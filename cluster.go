@@ -1,0 +1,124 @@
+package sherman
+
+import (
+	"errors"
+	"fmt"
+
+	"sherman/internal/cluster"
+	"sherman/internal/sim"
+)
+
+// ClusterConfig sizes a simulated disaggregated-memory cluster.
+type ClusterConfig struct {
+	// MemoryServers is the number of memory servers (MSs). The paper's
+	// testbed emulates 8.
+	MemoryServers int
+
+	// ComputeServers is the number of compute servers (CSs). The paper's
+	// testbed emulates 8; each runs many client threads.
+	ComputeServers int
+
+	// Fabric overrides the simulated network timing model. The zero value
+	// uses defaults calibrated to the paper's 100 Gbps ConnectX-5 testbed.
+	Fabric FabricParams
+}
+
+// FabricParams exposes the tunable constants of the simulated RDMA fabric.
+// All times are virtual nanoseconds. Zero fields take the calibrated
+// defaults (see DESIGN.md §3).
+type FabricParams struct {
+	// RTTNS is the one-sided verb round-trip time (paper: <= 2 us).
+	RTTNS int64
+	// HostAtomicNS is the in-NIC service time of an RDMA_ATOMIC targeting
+	// host memory (two PCIe transactions, §3.2.2).
+	HostAtomicNS int64
+	// OnChipAtomicNS is the service time of an RDMA_ATOMIC targeting NIC
+	// on-chip device memory (§4.3).
+	OnChipAtomicNS int64
+	// AtomicBuckets is the number of NIC-internal buckets serializing
+	// conflicting atomics (§3.2.2; e.g. 4096).
+	AtomicBuckets int
+	// OnChipMemBytes is the NIC device-memory capacity (256 KB on
+	// ConnectX-5).
+	OnChipMemBytes int
+}
+
+func (p FabricParams) toSim() sim.Params {
+	d := sim.DefaultParams()
+	if p.RTTNS != 0 {
+		d.RTTNS = p.RTTNS
+	}
+	if p.HostAtomicNS != 0 {
+		d.HostAtomicNS = p.HostAtomicNS
+	}
+	if p.OnChipAtomicNS != 0 {
+		d.OnChipAtomicNS = p.OnChipAtomicNS
+	}
+	if p.AtomicBuckets != 0 {
+		d.AtomicBuckets = p.AtomicBuckets
+	}
+	if p.OnChipMemBytes != 0 {
+		d.OnChipMemBytes = p.OnChipMemBytes
+	}
+	return d
+}
+
+// Cluster is a running simulated deployment: memory servers, compute
+// servers, and the RDMA fabric between them. Create trees with CreateTree.
+type Cluster struct {
+	cl *cluster.Cluster
+}
+
+// NewCluster builds and starts a cluster.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.MemoryServers <= 0 {
+		return nil, errors.New("sherman: MemoryServers must be positive")
+	}
+	if cfg.ComputeServers <= 0 {
+		return nil, errors.New("sherman: ComputeServers must be positive")
+	}
+	if cfg.MemoryServers > 1<<15 {
+		return nil, fmt.Errorf("sherman: MemoryServers %d exceeds the 15-bit server id space", cfg.MemoryServers)
+	}
+	p := cfg.Fabric.toSim()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Cluster{cl: cluster.New(cluster.Config{
+		NumMS:  cfg.MemoryServers,
+		NumCS:  cfg.ComputeServers,
+		Params: p,
+	})}, nil
+}
+
+// MemoryServers returns the memory-server count.
+func (c *Cluster) MemoryServers() int { return c.cl.NumMS() }
+
+// ComputeServers returns the compute-server count.
+func (c *Cluster) ComputeServers() int { return c.cl.NumCS() }
+
+// MemoryUsage returns the total host memory currently materialized across
+// all memory servers, in bytes.
+func (c *Cluster) MemoryUsage() uint64 {
+	var n uint64
+	for _, s := range c.cl.F.Servers {
+		n += s.Capacity()
+	}
+	return n
+}
+
+// AllocStats reports allocator activity since the cluster started.
+func (c *Cluster) AllocStats() AllocStats {
+	return AllocStats{
+		ChunkRPCs: c.cl.AllocStats.Chunks.Load(),
+		Nodes:     c.cl.AllocStats.Nodes.Load(),
+	}
+}
+
+// AllocStats summarizes the two-stage allocator (§4.2.4): ChunkRPCs is the
+// number of 8 MB chunk allocations that reached a memory thread; Nodes is
+// the number of node allocations served, almost all of them locally.
+type AllocStats struct {
+	ChunkRPCs int64
+	Nodes     int64
+}

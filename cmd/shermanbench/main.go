@@ -1,0 +1,108 @@
+// Command shermanbench regenerates every table and figure of the paper's
+// evaluation (§5) on the simulated fabric. Results print as aligned text
+// tables; EXPERIMENTS.md records a captured run against the paper's numbers.
+//
+// Usage:
+//
+//	shermanbench -exp all
+//	shermanbench -exp fig10 -keys 4194304 -ops 2000 -threads 22
+//
+// Experiments: table1 table2 fig2 fig3 fig10 fig11 fig12 fig13 fig14
+// fig15a fig15b fig15c fig16 all quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"sherman/internal/bench"
+	"sherman/internal/workload"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment id (table1,table2,fig2,fig3,fig10,fig11,fig12,fig13,fig14,fig15a,fig15b,fig15c,fig16,extras,ycsb,all,quick)")
+		keys     = flag.Uint64("keys", 0, "key-space size (0 = scale default)")
+		windowMS = flag.Int("window", 0, "virtual measurement window in ms (0 = scale default)")
+		warmup   = flag.Int("warmup", 0, "warmup ops per thread (0 = scale default)")
+		threads  = flag.Int("threads", 0, "client threads per compute server (0 = scale default)")
+		quick    = flag.Bool("quick", false, "use the quick (CI-sized) scale")
+	)
+	flag.Parse()
+
+	s := bench.FullScale()
+	if *quick || *exp == "quick" {
+		s = bench.QuickScale()
+	}
+	if *keys != 0 {
+		s.Keys = *keys
+	}
+	if *windowMS != 0 {
+		s.MeasureNS = int64(*windowMS) * 1_000_000
+	}
+	if *warmup != 0 {
+		s.WarmupOps = *warmup
+	}
+	if *threads != 0 {
+		s.ThreadsPerCS = *threads
+	}
+
+	ids := strings.Split(*exp, ",")
+	if *exp == "all" || *exp == "quick" {
+		ids = []string{"table1", "table2", "fig2", "fig3", "fig10", "fig11",
+			"fig12", "fig13", "fig14", "fig15a", "fig15b", "fig15c", "fig16"}
+	}
+	fmt.Printf("# shermanbench: keys=%d threads/CS=%d window=%dms GOMAXPROCS=%d\n\n",
+		s.Keys, s.ThreadsPerCS, s.MeasureNS/1_000_000, runtime.GOMAXPROCS(0))
+	for _, id := range ids {
+		run(strings.TrimSpace(id), s)
+	}
+}
+
+func run(id string, s bench.Scale) {
+	start := time.Now()
+	var tables []*bench.Table
+	switch id {
+	case "table1":
+		tables = []*bench.Table{bench.Table1(s)}
+	case "table2":
+		tables = []*bench.Table{bench.Table2()}
+	case "fig2":
+		tables = []*bench.Table{bench.Fig2(s)}
+	case "fig3":
+		tables = []*bench.Table{bench.Fig3(s)}
+	case "fig10":
+		tables = bench.Ablation(s, workload.Zipfian)
+	case "fig11":
+		tables = bench.Ablation(s, workload.Uniform)
+	case "fig12":
+		tables = []*bench.Table{bench.Fig12(s)}
+	case "fig13":
+		tables = bench.Fig13(s)
+	case "fig14":
+		tables = bench.Fig14(s)
+	case "fig15a":
+		tables = []*bench.Table{bench.Fig15KeySize(s, workload.Uniform)}
+	case "fig15b":
+		tables = []*bench.Table{bench.Fig15KeySize(s, workload.Zipfian)}
+	case "fig15c":
+		tables = []*bench.Table{bench.Fig15Cache(s)}
+	case "fig16":
+		tables = []*bench.Table{bench.Fig16(s)}
+	case "extras":
+		tables = bench.Extras(s)
+	case "ycsb":
+		tables = []*bench.Table{bench.YCSBSuite(s)}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
+		os.Exit(2)
+	}
+	for _, t := range tables {
+		fmt.Println(t)
+	}
+	fmt.Printf("(%s took %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,48 @@
+// Package sherman is a from-scratch Go reproduction of Sherman, the
+// write-optimized distributed B+Tree index on disaggregated memory from
+// SIGMOD 2022 (Qing Wang, Youyou Lu, Jiwu Shu; arXiv:2112.07320).
+//
+// # Architecture
+//
+// A Sherman deployment separates compute from memory: memory servers (MSs)
+// host the tree in high-volume DRAM behind RDMA NICs and have near-zero
+// compute; compute servers (CSs) run many client threads that manipulate the
+// tree purely with one-sided RDMA verbs (READ, WRITE, CAS, masked CAS). No
+// RDMA hardware is required here: the fabric is simulated with a virtual-time
+// model calibrated to the paper's 100 Gbps ConnectX-5 testbed, while every
+// data-path operation really executes against shared memory with
+// cacheline-granular torn reads — so the index's consistency machinery is
+// genuinely exercised. See DESIGN.md for the model.
+//
+// Three techniques give Sherman its write performance:
+//
+//   - Command combination (§4.5): dependent RDMA_WRITEs (node write-back,
+//     lock release) post as one doorbell batch on an RC queue pair, whose
+//     in-order delivery makes the acknowledgement of the first redundant.
+//   - Hierarchical on-chip locks (§4.3): global lock tables live in NIC
+//     on-chip memory (no PCIe transactions), and per-CS local lock tables
+//     with FIFO wait queues and bounded lock handover eliminate remote retry
+//     storms.
+//   - Two-level versions (§4.4): unsorted leaves whose entries carry their
+//     own 4-bit version pairs, so a non-structural insert or delete writes
+//     back one ~18-byte entry instead of a 1 KB node.
+//
+// # Usage
+//
+// Open a simulated cluster, create a tree, then open one Session per worker
+// goroutine:
+//
+//	cluster, err := sherman.NewCluster(sherman.ClusterConfig{MemoryServers: 8, ComputeServers: 8})
+//	tree, err := cluster.CreateTree(sherman.DefaultTreeOptions())
+//	s := tree.Session(0)
+//	s.Put(42, 1000)
+//	v, ok := s.Get(42)
+//	kvs := s.Scan(40, 10)
+//
+// Sessions are deliberately single-goroutine (they model one client thread of
+// the paper); open as many as you like across compute servers.
+//
+// The same engine, reconfigured via TreeOptions, is the FG+ baseline the
+// paper compares against, which makes the ablation studies of §5 a matter of
+// flipping options.
+package sherman

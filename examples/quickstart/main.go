@@ -1,0 +1,94 @@
+// Quickstart: bring up a simulated disaggregated-memory cluster, create a
+// Sherman tree, and exercise the basic API — puts, gets, deletes, scans —
+// from a few concurrent client threads.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"sherman"
+)
+
+func main() {
+	// A small cluster: 2 memory servers hosting the tree, 2 compute servers
+	// running our client threads (the paper's testbed uses 8 + 8).
+	cluster, err := sherman.NewCluster(sherman.ClusterConfig{
+		MemoryServers:  2,
+		ComputeServers: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tree, err := cluster.CreateTree(sherman.DefaultTreeOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Bulkload a sorted initial dataset (keys 1..1000). Bulkload packs
+	// leaves 80% full, like the paper's setup, leaving room for inserts.
+	kvs := make([]sherman.KV, 1000)
+	for i := range kvs {
+		kvs[i] = sherman.KV{Key: uint64(i + 1), Value: uint64(i+1) * 10}
+	}
+	if err := tree.Bulkload(kvs); err != nil {
+		log.Fatal(err)
+	}
+
+	// Single-session basics.
+	s := tree.Session(0)
+	if v, ok := s.Get(42); ok {
+		fmt.Printf("Get(42)        = %d\n", v)
+	}
+	s.Put(42, 4242) // update in place
+	s.Put(5000, 1)  // insert a new key
+	if v, ok := s.Get(42); ok {
+		fmt.Printf("after Put(42)  = %d\n", v)
+	}
+	if s.Delete(7) {
+		fmt.Println("Delete(7)      = ok")
+	}
+	if _, ok := s.Get(7); !ok {
+		fmt.Println("Get(7)         = not found (deleted)")
+	}
+
+	// Range scan: 5 pairs starting at key 40.
+	fmt.Println("Scan(40, 5):")
+	for _, kv := range s.Scan(40, 5) {
+		fmt.Printf("  %4d -> %d\n", kv.Key, kv.Value)
+	}
+
+	// Concurrent sessions: one per goroutine, spread across both compute
+	// servers. Sessions on the same tree coordinate through the index's own
+	// RDMA locking, exactly as the paper's client threads do.
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess := tree.Session(w % cluster.ComputeServers())
+			base := uint64(10_000 + w*1000)
+			for i := uint64(0); i < 200; i++ {
+				sess.Put(base+i, i)
+			}
+			for i := uint64(0); i < 200; i++ {
+				if v, ok := sess.Get(base + i); !ok || v != i {
+					log.Fatalf("worker %d: Get(%d) = %d,%v; want %d", w, base+i, v, ok, i)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if err := tree.Validate(); err != nil {
+		log.Fatalf("tree invariants violated: %v", err)
+	}
+
+	ls := tree.LockStats()
+	fmt.Printf("\nconcurrent phase ok: 1600 inserts + 1600 lookups across 8 sessions\n")
+	fmt.Printf("lock stats: %d acquisitions, %d handovers, %d failed remote CAS\n",
+		ls.Acquisitions, ls.Handovers, ls.GlobalRetries)
+	fmt.Printf("memory in use across MSs: %d MB\n", cluster.MemoryUsage()>>20)
+}

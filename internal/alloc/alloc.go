@@ -1,0 +1,138 @@
+// Package alloc implements Sherman's two-stage memory allocation scheme
+// (§4.2.4): client threads obtain fixed-length 8 MB chunks from memory
+// servers' wimpy memory threads via RPC (stage one), then carve tree nodes
+// out of their current chunk locally (stage two). Most allocations therefore
+// cost zero network round trips, and the memory thread handles only one RPC
+// per 8 MB.
+package alloc
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"sherman/internal/rdma"
+)
+
+// nodeAlign keeps every allocation 64-byte aligned so that node headers and
+// trailing versions land at predictable line offsets.
+const nodeAlign = 64
+
+// Stats aggregates allocator activity across threads.
+type Stats struct {
+	// Chunks counts chunk-allocation RPCs issued to memory threads.
+	Chunks atomic.Int64
+	// Nodes counts local (stage-two) allocations served.
+	Nodes atomic.Int64
+}
+
+// ThreadAllocator is the per-client-thread stage-two allocator. It selects
+// memory servers round-robin per chunk (§4.2.4; the paper notes round-robin
+// may imbalance accesses and leaves that for future work).
+type ThreadAllocator struct {
+	c      *rdma.Client
+	stats  *Stats
+	numMS  int
+	nextMS int
+
+	cur rdma.Addr
+	rem uint64
+}
+
+// NewThreadAllocator creates an allocator for client thread c. startMS
+// staggers the round-robin origin so threads do not stampede one server;
+// pass e.g. the thread index.
+func NewThreadAllocator(c *rdma.Client, stats *Stats, startMS int) *ThreadAllocator {
+	numMS := len(c.F.Servers)
+	return &ThreadAllocator{
+		c:      c,
+		stats:  stats,
+		numMS:  numMS,
+		nextMS: ((startMS % numMS) + numMS) % numMS,
+	}
+}
+
+// Alloc returns the address of a fresh size-byte region of disaggregated
+// memory. It falls back to a chunk RPC only when the current chunk is
+// exhausted.
+func (a *ThreadAllocator) Alloc(size int) rdma.Addr {
+	if size <= 0 || size > rdma.DefaultChunkSize {
+		panic(fmt.Sprintf("alloc: bad allocation size %d", size))
+	}
+	sz := (uint64(size) + nodeAlign - 1) &^ (nodeAlign - 1)
+	for a.rem < sz {
+		// A refill can yield slightly less than a full chunk (the nil-address
+		// carve-out on MS 0), so loop until a chunk fits.
+		a.refill()
+	}
+	addr := a.cur
+	a.cur = a.cur.Add(sz)
+	a.rem -= sz
+	a.stats.Nodes.Add(1)
+	return addr
+}
+
+// refill obtains a new chunk from the next memory server in round-robin
+// order via the memory thread RPC.
+func (a *ThreadAllocator) refill() {
+	ms := uint16(a.nextMS)
+	a.nextMS = (a.nextMS + 1) % a.numMS
+	var base uint64
+	a.c.Call(ms, func() {
+		base = a.c.F.Servers[ms].Grow()
+	})
+	a.cur, a.rem = chunkStart(ms, base)
+	a.stats.Chunks.Add(1)
+}
+
+// chunkStart converts a freshly grown chunk into an allocation cursor. The
+// very first bytes of memory server 0 would form address 0 — the nil
+// pointer — so that region is skipped (deployments normally reserve it for
+// the superblock anyway).
+func chunkStart(ms uint16, base uint64) (rdma.Addr, uint64) {
+	if ms == 0 && base == 0 {
+		return rdma.MakeAddr(ms, nodeAlign), rdma.DefaultChunkSize - nodeAlign
+	}
+	return rdma.MakeAddr(ms, base), rdma.DefaultChunkSize
+}
+
+// Bulk is a setup-time allocator used for bulk loading: it grows server
+// memory directly with no virtual-time accounting and no client context.
+// It is not safe for concurrent use.
+type Bulk struct {
+	f     *rdma.Fabric
+	next  int
+	cur   rdma.Addr
+	rem   uint64
+	stats *Stats
+}
+
+// NewBulk creates a bulk-load allocator over the fabric.
+func NewBulk(f *rdma.Fabric, stats *Stats) *Bulk {
+	return &Bulk{f: f, stats: stats}
+}
+
+// Alloc carves a region with the same alignment and chunk discipline as the
+// runtime allocator, rotating across memory servers chunk by chunk so the
+// bulkloaded tree is spread like a live-built one.
+func (b *Bulk) Alloc(size int) rdma.Addr {
+	if size <= 0 || size > rdma.DefaultChunkSize {
+		panic(fmt.Sprintf("alloc: bad bulk allocation size %d", size))
+	}
+	sz := (uint64(size) + nodeAlign - 1) &^ (nodeAlign - 1)
+	for b.rem < sz {
+		ms := uint16(b.next)
+		b.next = (b.next + 1) % len(b.f.Servers)
+		base := b.f.Servers[ms].Grow()
+		b.cur, b.rem = chunkStart(ms, base)
+		if b.stats != nil {
+			b.stats.Chunks.Add(1)
+		}
+	}
+	addr := b.cur
+	b.cur = b.cur.Add(sz)
+	b.rem -= sz
+	if b.stats != nil {
+		b.stats.Nodes.Add(1)
+	}
+	return addr
+}

@@ -1,0 +1,212 @@
+package alloc
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"sherman/internal/rdma"
+	"sherman/internal/sim"
+)
+
+func newTestFabric(numMS int) *rdma.Fabric {
+	return rdma.NewFabric(sim.DefaultParams(), numMS, 2)
+}
+
+func TestThreadAllocatorAlignmentAndDistinctness(t *testing.T) {
+	f := newTestFabric(2)
+	var st Stats
+	a := NewThreadAllocator(f.NewClient(0), &st, 0)
+
+	seen := map[rdma.Addr]bool{}
+	for i := 0; i < 1000; i++ {
+		addr := a.Alloc(1024)
+		if addr.Off()%64 != 0 {
+			t.Fatalf("allocation %d at %v not 64-byte aligned", i, addr)
+		}
+		if seen[addr] {
+			t.Fatalf("allocation %d at %v overlaps a previous one", i, addr)
+		}
+		seen[addr] = true
+	}
+	if st.Nodes.Load() != 1000 {
+		t.Errorf("node count = %d, want 1000", st.Nodes.Load())
+	}
+}
+
+// TestChunkRPCRate: allocations within one chunk must not trigger RPCs; a
+// fresh chunk is one RPC.
+func TestChunkRPCRate(t *testing.T) {
+	f := newTestFabric(1)
+	var st Stats
+	c := f.NewClient(0)
+	a := NewThreadAllocator(c, &st, 0)
+
+	// The first chunk on MS 0 loses 64 B to the nil-address carve-out, so
+	// one fewer full node fits.
+	perChunk := rdma.DefaultChunkSize/1024 - 1
+	for i := 0; i < perChunk; i++ {
+		a.Alloc(1024)
+	}
+	if got := st.Chunks.Load(); got != 1 {
+		t.Fatalf("chunk RPCs after one chunk's worth of nodes = %d, want 1", got)
+	}
+	if got := c.M.RPCs; got != 1 {
+		t.Fatalf("client RPC count = %d, want 1", got)
+	}
+	a.Alloc(1024)
+	if got := st.Chunks.Load(); got != 2 {
+		t.Fatalf("chunk RPCs after spill = %d, want 2", got)
+	}
+}
+
+// TestRoundRobinAcrossServers: consecutive chunk refills rotate across
+// memory servers, staggered by the seed.
+func TestRoundRobinAcrossServers(t *testing.T) {
+	f := newTestFabric(4)
+	var st Stats
+	a := NewThreadAllocator(f.NewClient(0), &st, 1)
+
+	var order []uint16
+	for i := 0; i < 9; i++ {
+		// One max-size allocation consumes a whole chunk. (MS 0's very first
+		// chunk is 64 B short because of the nil-address carve-out, so the
+		// rotation skips it once.)
+		addr := a.Alloc(rdma.DefaultChunkSize)
+		order = append(order, addr.MS())
+	}
+	hit := map[uint16]int{}
+	for i, ms := range order {
+		hit[ms]++
+		if i > 0 && order[i] == order[i-1] {
+			t.Fatalf("consecutive refills both hit ms%d (order %v)", ms, order)
+		}
+	}
+	if len(hit) != 4 {
+		t.Fatalf("rotation covered %d servers, want 4 (order %v)", len(hit), order)
+	}
+	if order[0] != 1 {
+		t.Fatalf("seed 1 should start at ms1, got ms%d", order[0])
+	}
+}
+
+// TestAllocationsNeverSpanChunks: an object must fit entirely inside its
+// chunk, or Server.slice would panic on access.
+func TestAllocationsNeverSpanChunks(t *testing.T) {
+	f := newTestFabric(1)
+	var st Stats
+	a := NewThreadAllocator(f.NewClient(0), &st, 0)
+	sizes := []int{1024, 4096, 64, 8128, 333, 1 << 20}
+	for round := 0; round < 200; round++ {
+		size := sizes[round%len(sizes)]
+		addr := a.Alloc(size)
+		start := addr.Off() / rdma.DefaultChunkSize
+		end := (addr.Off() + uint64(size) - 1) / rdma.DefaultChunkSize
+		if start != end {
+			t.Fatalf("allocation of %d B at %v spans chunks %d and %d", size, addr, start, end)
+		}
+		// The memory must actually be addressable.
+		buf := make([]byte, size)
+		f.Servers[addr.MS()].WriteAt(addr.Off(), buf)
+	}
+}
+
+func TestAllocBadSizesPanic(t *testing.T) {
+	f := newTestFabric(1)
+	var st Stats
+	a := NewThreadAllocator(f.NewClient(0), &st, 0)
+	for _, size := range []int{0, -1, rdma.DefaultChunkSize + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Alloc(%d) did not panic", size)
+				}
+			}()
+			a.Alloc(size)
+		}()
+	}
+}
+
+// TestConcurrentAllocatorsDisjoint: allocators on different threads hand out
+// disjoint regions (each owns its chunks).
+func TestConcurrentAllocatorsDisjoint(t *testing.T) {
+	f := newTestFabric(2)
+	var st Stats
+	const threads, allocs = 8, 300
+
+	results := make([][]rdma.Addr, threads)
+	var wg sync.WaitGroup
+	for th := 0; th < threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			a := NewThreadAllocator(f.NewClient(th%2), &st, th)
+			for i := 0; i < allocs; i++ {
+				results[th] = append(results[th], a.Alloc(1024))
+			}
+		}(th)
+	}
+	wg.Wait()
+
+	seen := map[rdma.Addr]int{}
+	for th, addrs := range results {
+		for _, a := range addrs {
+			if prev, dup := seen[a]; dup {
+				t.Fatalf("threads %d and %d both got %v", prev, th, a)
+			}
+			seen[a] = th
+		}
+	}
+	if got := st.Nodes.Load(); got != threads*allocs {
+		t.Errorf("node count = %d, want %d", got, threads*allocs)
+	}
+}
+
+// TestBulkSpreadsServers: bulk allocation rotates chunks across servers so a
+// bulkloaded tree lands spread out.
+func TestBulkSpreadsServers(t *testing.T) {
+	f := newTestFabric(4)
+	b := NewBulk(f, nil)
+	perChunk := rdma.DefaultChunkSize / 1024
+	hit := map[uint16]bool{}
+	for i := 0; i < 4*perChunk; i++ {
+		hit[b.Alloc(1024).MS()] = true
+	}
+	if len(hit) != 4 {
+		t.Errorf("bulk allocation touched %d servers, want 4", len(hit))
+	}
+}
+
+// TestBulkNoTimeAccounting: bulk allocation must not consume virtual time or
+// client metrics (it models pre-experiment setup).
+func TestBulkNoTimeAccounting(t *testing.T) {
+	f := newTestFabric(1)
+	var st Stats
+	b := NewBulk(f, &st)
+	for i := 0; i < 100; i++ {
+		b.Alloc(2048)
+	}
+	if got := f.Servers[0].Inbound.Peek(); got != 0 {
+		t.Errorf("bulk allocation advanced the inbound pipeline to %d", got)
+	}
+	if st.Nodes.Load() != 100 {
+		t.Errorf("stats nodes = %d, want 100", st.Nodes.Load())
+	}
+}
+
+// Property: any legal size sequence yields aligned, in-bounds, non-nil
+// addresses.
+func TestAllocPropertyAligned(t *testing.T) {
+	f := newTestFabric(2)
+	var st Stats
+	a := NewThreadAllocator(f.NewClient(0), &st, 0)
+	fn := func(raw uint16) bool {
+		size := int(raw)%8192 + 1
+		addr := a.Alloc(size)
+		return !addr.IsNil() && addr.Off()%64 == 0 &&
+			addr.Off()+uint64(size) <= f.Servers[addr.MS()].Capacity()
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

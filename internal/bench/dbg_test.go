@@ -1,0 +1,30 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"sherman/internal/core"
+	"sherman/internal/workload"
+)
+
+func TestDebugTable1(t *testing.T) {
+	s := QuickScale()
+	cells := []struct {
+		name string
+		mix  workload.Mix
+		dist workload.Dist
+	}{
+		{"ri-uni", workload.ReadIntensive, workload.Uniform},
+		{"ri-skew", workload.ReadIntensive, workload.Zipfian},
+		{"wi-uni", workload.WriteIntensive, workload.Uniform},
+		{"wi-skew", workload.WriteIntensive, workload.Zipfian},
+	}
+	for _, c := range cells {
+		t0 := time.Now()
+		r := RunTree(s.treeExp("FG+", c.mix, c.dist, core.FGPlusConfig()))
+		fmt.Printf("%-8s Mops=%.2f p50=%d p90=%d p99=%d rtp99=%d wall=%v\n", c.name, r.Mops, r.P50, r.P90, r.P99,
+			r.Rec.WriteRoundTrips.PercentileValue(99), time.Since(t0))
+	}
+}

@@ -1,0 +1,39 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"sherman/internal/core"
+	"sherman/internal/workload"
+)
+
+// TestDiagFGCollapse inspects the FG+ baseline under full-scale skewed
+// write-intensive load: hot-lock convoy depth, retry volume, atomic-unit
+// utilization. Run with -run TestDiagFGCollapse -v.
+func TestDiagFGCollapse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	e := TreeExp{
+		Name: "FG+", Keys: 2 << 20, ThreadsPerCS: 22,
+		WarmupOps: 300, MeasureNS: 10_000_000,
+		Mix: workload.WriteIntensive, Dist: workload.Zipfian,
+		Tree: core.FGPlusConfig(),
+	}
+	r := RunTree(e)
+	fmt.Printf("Mops=%.2f p50=%d p99=%d\n", r.Mops, r.P50, r.P99)
+	fmt.Printf("grants=%d avgSpinnersAtGrant=%.1f\n", r.LockGrants,
+		float64(r.LockGrantSpinners)/float64(max64(r.LockGrants, 1)))
+	fmt.Printf("rt/write p50=%d p99=%d\n",
+		r.Rec.WriteRoundTrips.PercentileValue(50), r.Rec.WriteRoundTrips.PercentileValue(99))
+	fmt.Printf("lock stats: %+v maxWaiters=%d retries=%d acq=%d\n",
+		r.Handovers, r.LockMaxWaiters, r.LockRetries, r.LockAcquisitions)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

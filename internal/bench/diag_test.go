@@ -1,0 +1,28 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"sherman/internal/core"
+	"sherman/internal/workload"
+)
+
+// TestDiagAblation prints detailed internals for each ablation step under the
+// skewed write-intensive workload. Run with -run TestDiagAblation -v.
+func TestDiagAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	s := QuickScale()
+	for _, step := range core.AblationSteps() {
+		t0 := time.Now()
+		r := RunTree(s.treeExp(step.String(), workload.WriteIntensive, workload.Zipfian, core.AblationConfig(step)))
+		fmt.Printf("%-14s Mops=%6.2f p50=%7d p99=%9d rt/wr(p50/p99)=%d/%d handovers=%d wall=%v\n",
+			step.String(), r.Mops, r.P50, r.P99,
+			r.Rec.WriteRoundTrips.PercentileValue(50),
+			r.Rec.WriteRoundTrips.PercentileValue(99),
+			r.Handovers, time.Since(t0).Round(time.Millisecond))
+	}
+}

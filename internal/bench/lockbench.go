@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"sync"
+
+	"sherman/internal/hocl"
+	"sherman/internal/rdma"
+	"sherman/internal/sim"
+	"sherman/internal/stats"
+	"sherman/internal/workload"
+)
+
+// LockExp is the raw lock microbenchmark of Figures 2 and 16: threads across
+// several compute servers acquire and release a set of locks on one memory
+// server under a (possibly skewed) access pattern.
+type LockExp struct {
+	Name string
+
+	NumCS        int
+	ThreadsPerCS int
+	// Locks is the number of distinct locks, all on memory server 0
+	// (10240 in the paper's experiments).
+	Locks int
+	// Theta is the Zipfian skewness; 0 means uniform.
+	Theta float64
+	// HoldNS is the local critical-section time between acquire and
+	// release.
+	HoldNS int64
+
+	Mode hocl.Mode
+	// MaxHandover overrides HOCL's consecutive-handover bound (0 = the
+	// paper's MAX_DEPTH of 4).
+	MaxHandover int
+
+	// WarmupOps is executed per thread before measurement.
+	WarmupOps int
+	// MeasureNS is the virtual measurement window (see TreeExp.MeasureNS);
+	// 0 means 10 ms.
+	MeasureNS int64
+	// MaxOpsPerThread is the wall-time safety valve (0 = 1e6).
+	MaxOpsPerThread int
+
+	Params sim.Params
+}
+
+// Defaults fills unset fields with the Figure 16 setup (176 threads across
+// 8 CSs, 10240 locks, skew 0.99).
+func (e LockExp) Defaults() LockExp {
+	if e.NumCS == 0 {
+		e.NumCS = 8
+	}
+	if e.ThreadsPerCS == 0 {
+		e.ThreadsPerCS = 22
+	}
+	if e.Locks == 0 {
+		e.Locks = 10240
+	}
+	if e.HoldNS == 0 {
+		e.HoldNS = 200
+	}
+	if e.WarmupOps == 0 {
+		e.WarmupOps = 200
+	}
+	if e.MeasureNS == 0 {
+		e.MeasureNS = 10_000_000
+	}
+	if e.MaxOpsPerThread == 0 {
+		e.MaxOpsPerThread = 1_000_000
+	}
+	if e.Params.RTTNS == 0 {
+		e.Params = sim.DefaultParams()
+	}
+	return e
+}
+
+// LockResult is the outcome of one lock experiment.
+type LockResult struct {
+	Name          string
+	Mops          float64
+	P50, P99      int64
+	Handovers     int64
+	GlobalRetries int64
+}
+
+// RunLocks executes one lock microbenchmark.
+func RunLocks(e LockExp) LockResult {
+	e = e.Defaults()
+	f := rdma.NewFabric(e.Params, 1, e.NumCS)
+	mgr := hocl.NewManager(f, hocl.Config{Mode: e.Mode, LocksPerMS: e.Locks, MaxHandover: e.MaxHandover})
+
+	n := e.NumCS * e.ThreadsPerCS
+	clients := make([]*rdma.Client, n)
+	for i := range clients {
+		clients[i] = f.NewClient(i % e.NumCS)
+	}
+	var zipf *workload.ZipfGen
+	if e.Theta > 0 {
+		zipf = workload.NewZipfGen(uint64(e.Locks), e.Theta)
+	}
+
+	startV := make([]int64, n)
+	recs := make([]*stats.Recorder, n)
+	gate := sim.NewGate(gateWindowNS, gateSlack, n)
+	var warmDone, measureDone sync.WaitGroup
+	warmDone.Add(n)
+	measureDone.Add(n)
+	startCh := make(chan struct{})
+	var maxStart int64
+
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer measureDone.Done()
+			defer gate.Done(i)
+			c := clients[i]
+			rng := newRand(uint64(i) + 1)
+			next := func() int {
+				if zipf != nil {
+					return int(zipf.Next(rng))
+				}
+				return int(rng.Uint64N(uint64(e.Locks)))
+			}
+			lockOnce := func(rec *stats.Recorder) {
+				idx := next()
+				t0 := c.Now()
+				g := mgr.LockIdx(c, 0, idx)
+				c.Step(e.HoldNS)
+				mgr.Unlock(c, g, nil, true)
+				if rec != nil {
+					rec.RecordOp(stats.OpInsert, c.Now()-t0)
+				}
+			}
+			for j := 0; j < e.WarmupOps; j++ {
+				lockOnce(nil)
+				gate.Sync(i, c.Now())
+			}
+			startV[i] = c.Now()
+			gate.Park(i) // frozen clock must not stall threads still warming up
+			warmDone.Done()
+			<-startCh
+			// Jittered start; see RunTree.
+			start := maxStart + int64(i*9973%10_000)
+			c.Clk.AdvanceTo(start)
+			gate.Resume(i, start)
+			rec := stats.NewRecorder()
+			deadline := maxStart + e.MeasureNS
+			for j := 0; c.Now() < deadline && j < e.MaxOpsPerThread; j++ {
+				lockOnce(rec)
+				gate.Sync(i, c.Now())
+			}
+			rec.FinishV = c.Now()
+			recs[i] = rec
+		}(i)
+	}
+	warmDone.Wait()
+	for _, v := range startV {
+		if v > maxStart {
+			maxStart = v
+		}
+	}
+	close(startCh)
+	measureDone.Wait()
+
+	merged := stats.NewRecorder()
+	for _, r := range recs {
+		merged.Merge(r)
+	}
+	return LockResult{
+		Name:          e.Name,
+		Mops:          stats.ThroughputMops(merged.TotalOps(), e.MeasureNS),
+		P50:           merged.AllLatency.Percentile(50),
+		P99:           merged.AllLatency.Percentile(99),
+		Handovers:     mgr.Stats.Handovers.Load(),
+		GlobalRetries: mgr.Stats.GlobalRetries.Load(),
+	}
+}

@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"math/rand/v2"
+	"runtime"
+	"sync"
+
+	"sherman/internal/rdma"
+	"sherman/internal/sim"
+	"sherman/internal/stats"
+)
+
+// newRand creates a thread-local PRNG.
+func newRand(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0xda3e39cb94b95bdb))
+}
+
+// WriteExp is the raw RDMA_WRITE microbenchmark of Figure 3: saturating
+// either one memory server's inbound pipeline (many CSs writing to one MS)
+// or one compute server's outbound pipeline (one CS writing to many MSs)
+// at a given IO size.
+type WriteExp struct {
+	Name    string
+	IOSize  int
+	Inbound bool // true: 8 CSs -> 1 MS; false: 1 CS -> 8 MSs
+	Threads int
+	Ops     int // per thread
+	Params  sim.Params
+}
+
+// Defaults fills unset fields.
+func (e WriteExp) Defaults() WriteExp {
+	if e.Threads == 0 {
+		e.Threads = 64
+	}
+	if e.Ops == 0 {
+		e.Ops = 4000
+	}
+	if e.IOSize == 0 {
+		e.IOSize = 64
+	}
+	if e.Params.RTTNS == 0 {
+		e.Params = sim.DefaultParams()
+	}
+	return e
+}
+
+// WriteResult is the measured verb throughput.
+type WriteResult struct {
+	Name   string
+	IOSize int
+	Mops   float64
+}
+
+// RunWrites executes one RDMA_WRITE saturation run.
+func RunWrites(e WriteExp) WriteResult {
+	e = e.Defaults()
+	numMS, numCS := 1, 8
+	if !e.Inbound {
+		numMS, numCS = 8, 1
+	}
+	f := rdma.NewFabric(e.Params, numMS, numCS)
+	// One private chunk per thread per server keeps targets distinct.
+	bases := make([][]uint64, numMS)
+	for ms := 0; ms < numMS; ms++ {
+		bases[ms] = make([]uint64, e.Threads)
+		for th := 0; th < e.Threads; th++ {
+			bases[ms][th] = f.Servers[ms].Grow()
+		}
+	}
+
+	finish := make([]int64, e.Threads)
+	var wg sync.WaitGroup
+	for th := 0; th < e.Threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			c := f.NewClient(th % numCS)
+			data := make([]byte, e.IOSize)
+			// Saturation benchmarks keep many WRITEs in flight: post
+			// unsignaled batches per QP, paying one round trip per batch.
+			const batch = 32
+			ops := make([]rdma.WriteOp, 0, batch)
+			for i := 0; i < e.Ops; i += batch {
+				ms := uint16(0)
+				if !e.Inbound {
+					ms = uint16((i / batch) % numMS)
+				}
+				ops = ops[:0]
+				for j := 0; j < batch && i+j < e.Ops; j++ {
+					off := bases[ms][th] + uint64(((i+j)*e.IOSize)%(rdma.DefaultChunkSize-e.IOSize))
+					off &^= 63
+					ops = append(ops, rdma.WriteOp{Addr: rdma.MakeAddr(ms, off), Data: data})
+				}
+				c.PostWrites(ops...)
+				runtime.Gosched()
+			}
+			finish[th] = c.Now()
+		}(th)
+	}
+	wg.Wait()
+	var makespan int64
+	for _, v := range finish {
+		if v > makespan {
+			makespan = v
+		}
+	}
+	return WriteResult{
+		Name:   e.Name,
+		IOSize: e.IOSize,
+		Mops:   stats.ThroughputMops(int64(e.Threads*e.Ops), makespan),
+	}
+}

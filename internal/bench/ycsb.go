@@ -1,0 +1,30 @@
+package bench
+
+import (
+	"sherman/internal/core"
+	"sherman/internal/workload"
+)
+
+// YCSBSuite runs the six standard YCSB core workloads against both engines
+// — the benchmark a library user would reach for first. Not a paper figure
+// (the paper uses its own mixes, Table 3), but built from the same
+// harness.
+func YCSBSuite(s Scale) *Table {
+	t := NewTable("YCSB core workloads (zipfian 0.99)",
+		"workload", "FG+(Mops)", "Sherman(Mops)", "Sherman p99(us)")
+	for _, w := range workload.AllYCSB() {
+		var mops [2]float64
+		var p99 int64
+		for i, cfg := range []core.Config{core.FGPlusConfig(), core.ShermanConfig()} {
+			wcfg := workload.YCSBConfig(w, s.Keys)
+			e := s.treeExp(w.String(), wcfg.Mix, workload.Zipfian, cfg)
+			e.Workload = &wcfg
+			r := RunTreeN(e, s.runs())
+			mops[i] = r.Mops
+			p99 = r.P99
+		}
+		t.Add(w.String(), MopsString(mops[0]), MopsString(mops[1]), USString(p99))
+	}
+	t.Note("A=50/50 update, B=95/5, C=read-only, D=read-latest, E=short scans, F=read-modify-write")
+	return t
+}

@@ -1,0 +1,227 @@
+package cache
+
+import (
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+
+	"sherman/internal/layout"
+	"sherman/internal/rdma"
+)
+
+// Entry is one cached level-1 internal node: a client-local copy of the
+// node's buffer plus bookkeeping for eviction.
+type Entry struct {
+	// Addr is the node's disaggregated-memory address; validation failures
+	// on nodes fetched through this entry invalidate it.
+	Addr rdma.Addr
+	// N is the decoded copy. It is immutable after insertion — updates
+	// replace the whole entry.
+	N layout.Internal
+
+	key     uint64 // lower fence, the skiplist key
+	lastUse atomic.Int64
+	dead    atomic.Bool
+	node    *slNode
+	poolIdx int // index in the sampling pool, guarded by IndexCache.poolMu
+}
+
+// IndexCache is one compute server's type-1 cache (§4.2.3): level-1 nodes in
+// a lock-free-search skiplist, evicted by power-of-two-choices on a logical
+// LRU clock. All client threads of the CS share it.
+type IndexCache struct {
+	sl    *skiplist
+	limit int
+
+	tick atomic.Int64
+
+	poolMu sync.Mutex
+	pool   []*Entry
+	rnd    rand.Source // guarded by poolMu
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	invalids  atomic.Int64
+}
+
+// New creates a cache bounded to maxBytes of cached node copies with the
+// given node size (the paper gives each CS a 500 MB index cache by default
+// and sweeps 100–500 MB in Figure 15(c)).
+func New(maxBytes int64, nodeSize int) *IndexCache {
+	limit := int(maxBytes / int64(nodeSize))
+	if limit < 1 {
+		limit = 1
+	}
+	return &IndexCache{sl: newSkiplist(), limit: limit, rnd: rand.NewPCG(0x5eed, 0xfeed)}
+}
+
+// Len returns the number of live cached entries.
+func (c *IndexCache) Len() int { return int(c.sl.size.Load()) }
+
+// Limit returns the entry capacity.
+func (c *IndexCache) Limit() int { return c.limit }
+
+// Hits and Misses expose aggregate counters (Figure 15(c)'s hit ratio).
+func (c *IndexCache) Hits() int64 { return c.hits.Load() }
+
+// Misses returns the aggregate miss count.
+func (c *IndexCache) Misses() int64 { return c.misses.Load() }
+
+// Evictions returns the number of evicted entries.
+func (c *IndexCache) Evictions() int64 { return c.evictions.Load() }
+
+// Lookup returns the cached level-1 entry whose fence interval contains key,
+// or nil on miss. The caller resolves the leaf via e.N.ChildFor(key) and
+// must Invalidate(e) if the fetched leaf fails validation.
+func (c *IndexCache) Lookup(key uint64) *Entry {
+	e := c.sl.floor(key)
+	if e != nil && e.N.Covers(key) {
+		e.lastUse.Store(c.tick.Add(1))
+		c.hits.Add(1)
+		return e
+	}
+	c.misses.Add(1)
+	return nil
+}
+
+// Insert caches a level-1 node copy fetched during traversal. The buffer is
+// owned by the cache afterwards.
+func (c *IndexCache) Insert(addr rdma.Addr, n layout.Internal) {
+	e := &Entry{Addr: addr, N: n, key: n.LowerFence()}
+	e.lastUse.Store(c.tick.Add(1))
+	if old := c.sl.insert(e); old != nil {
+		c.unpool(old)
+	}
+	c.poolMu.Lock()
+	e.poolIdx = len(c.pool)
+	c.pool = append(c.pool, e)
+	c.poolMu.Unlock()
+	for c.Len() > c.limit {
+		c.evictOne()
+	}
+}
+
+// Invalidate drops an entry that steered a client to a wrong or freed node.
+func (c *IndexCache) Invalidate(e *Entry) {
+	if e == nil || e.dead.Load() {
+		return
+	}
+	c.invalids.Add(1)
+	c.sl.remove(e)
+	c.unpool(e)
+}
+
+// evictOne applies power-of-two-choices [48]: sample two entries uniformly
+// and evict the one least recently used (§4.2.3).
+func (c *IndexCache) evictOne() {
+	c.poolMu.Lock()
+	n := len(c.pool)
+	if n == 0 {
+		c.poolMu.Unlock()
+		return
+	}
+	a := c.pool[int(c.rnd.Uint64()%uint64(n))]
+	b := c.pool[int(c.rnd.Uint64()%uint64(n))]
+	if b == a && n > 1 {
+		// Degenerate sample: choosing the same entry twice would evict it
+		// regardless of recency; resample the second choice.
+		b = c.pool[int(c.rnd.Uint64()%uint64(n-1))]
+		if b == a {
+			b = c.pool[n-1]
+		}
+	}
+	victim := a
+	if b.lastUse.Load() < a.lastUse.Load() {
+		victim = b
+	}
+	c.removePoolLocked(victim)
+	c.poolMu.Unlock()
+	c.sl.remove(victim)
+	c.evictions.Add(1)
+}
+
+// unpool removes e from the sampling pool.
+func (c *IndexCache) unpool(e *Entry) {
+	c.poolMu.Lock()
+	c.removePoolLocked(e)
+	c.poolMu.Unlock()
+}
+
+func (c *IndexCache) removePoolLocked(e *Entry) {
+	i := e.poolIdx
+	if i < 0 || i >= len(c.pool) || c.pool[i] != e {
+		return
+	}
+	last := len(c.pool) - 1
+	c.pool[i] = c.pool[last]
+	c.pool[i].poolIdx = i
+	c.pool = c.pool[:last]
+	e.poolIdx = -1
+}
+
+// TopCache is the type-2 cache: the root and the level just below it,
+// "always cached" (§4.2.3) — never evicted, refreshed when validation fails.
+// It also remembers the current root address and level.
+type TopCache struct {
+	mu    sync.RWMutex
+	root  rdma.Addr
+	level uint8
+	nodes map[rdma.Addr]layout.Internal
+}
+
+// NewTop creates an empty top-level cache.
+func NewTop() *TopCache { return &TopCache{nodes: make(map[rdma.Addr]layout.Internal)} }
+
+// Root returns the cached root address and level (NilAddr when unknown).
+func (t *TopCache) Root() (rdma.Addr, uint8) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.root, t.level
+}
+
+// SetRoot records a (re)fetched root.
+func (t *TopCache) SetRoot(a rdma.Addr, level uint8) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if a != t.root {
+		// New root: the old top nodes belong to a stale top structure.
+		t.nodes = make(map[rdma.Addr]layout.Internal)
+	}
+	t.root, t.level = a, level
+}
+
+// Get returns the cached copy of a top node.
+func (t *TopCache) Get(a rdma.Addr) (layout.Internal, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n, ok := t.nodes[a]
+	return n, ok
+}
+
+// Put caches a top node copy if it belongs to the top two levels.
+func (t *TopCache) Put(a rdma.Addr, n layout.Internal) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.level > 0 && n.Level() >= t.level-1 {
+		t.nodes[a] = n
+	}
+}
+
+// Drop removes a stale top node copy.
+func (t *TopCache) Drop(a rdma.Addr) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.nodes, a)
+}
+
+// Flush discards every cached top-node copy but keeps the root pointer.
+// Clients call it when excessive B-link sibling walking signals that a
+// cached copy predates a split: the copy still passes fence/level
+// validation (its fences were correct when taken) yet steers traversals
+// one or more nodes left of their target.
+func (t *TopCache) Flush() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nodes = make(map[rdma.Addr]layout.Internal)
+}

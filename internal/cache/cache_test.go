@@ -1,0 +1,276 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"sherman/internal/layout"
+	"sherman/internal/rdma"
+)
+
+var testFormat = layout.DefaultFormat(layout.TwoLevel)
+
+// mkNode builds a level-1 internal node copy covering [lower, upper).
+func mkNode(lower, upper uint64) layout.Internal {
+	n := layout.NewInternal(testFormat, 1, lower, upper)
+	n.SetLeftmost(rdma.MakeAddr(0, lower+64))
+	return n
+}
+
+func addr(i uint64) rdma.Addr { return rdma.MakeAddr(0, 0x10000+i*1024) }
+
+func TestLookupHitAndMiss(t *testing.T) {
+	c := New(1<<20, testFormat.NodeSize)
+	c.Insert(addr(1), mkNode(100, 200))
+	c.Insert(addr(2), mkNode(200, 300))
+
+	for _, tc := range []struct {
+		key  uint64
+		want rdma.Addr
+		hit  bool
+	}{
+		{100, addr(1), true},
+		{150, addr(1), true},
+		{199, addr(1), true},
+		{200, addr(2), true},
+		{299, addr(2), true},
+		{99, 0, false},  // below every cached range
+		{300, 0, false}, // above every cached range
+	} {
+		e := c.Lookup(tc.key)
+		if tc.hit {
+			if e == nil {
+				t.Errorf("Lookup(%d) = miss, want hit on %v", tc.key, tc.want)
+				continue
+			}
+			if e.Addr != tc.want {
+				t.Errorf("Lookup(%d) = %v, want %v", tc.key, e.Addr, tc.want)
+			}
+		} else if e != nil {
+			t.Errorf("Lookup(%d) = hit on %v, want miss", tc.key, e.Addr)
+		}
+	}
+	if c.Hits() == 0 || c.Misses() == 0 {
+		t.Errorf("counters: hits=%d misses=%d, both should be nonzero", c.Hits(), c.Misses())
+	}
+}
+
+// TestLookupGapMiss: a key between two cached nodes' ranges (not covered by
+// the floor node's fences) must miss rather than steer wrongly.
+func TestLookupGapMiss(t *testing.T) {
+	c := New(1<<20, testFormat.NodeSize)
+	c.Insert(addr(1), mkNode(100, 200))
+	c.Insert(addr(3), mkNode(500, 600))
+	if e := c.Lookup(350); e != nil {
+		t.Errorf("Lookup(350) in coverage gap = hit on %v, want miss", e.Addr)
+	}
+}
+
+func TestInsertReplacesSameFence(t *testing.T) {
+	c := New(1<<20, testFormat.NodeSize)
+	c.Insert(addr(1), mkNode(100, 200))
+	// A split shrank the node: replace the copy at the same lower fence.
+	c.Insert(addr(1), mkNode(100, 150))
+	e := c.Lookup(160)
+	if e != nil {
+		t.Errorf("Lookup(160) after shrink = hit on %v, want miss", e.Addr)
+	}
+	if got := c.Len(); got != 1 {
+		t.Errorf("Len = %d, want 1 (replaced, not duplicated)", got)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(1<<20, testFormat.NodeSize)
+	c.Insert(addr(1), mkNode(100, 200))
+	e := c.Lookup(150)
+	if e == nil {
+		t.Fatal("expected hit")
+	}
+	c.Invalidate(e)
+	if got := c.Lookup(150); got != nil {
+		t.Errorf("Lookup after Invalidate = hit on %v, want miss", got.Addr)
+	}
+	c.Invalidate(e)   // double-invalidate is a no-op
+	c.Invalidate(nil) // nil is a no-op
+	if c.Len() != 0 {
+		t.Errorf("Len = %d, want 0", c.Len())
+	}
+}
+
+// TestEvictionBound: the cache never exceeds its entry limit, and evicts the
+// least-recently-used of sampled pairs.
+func TestEvictionBound(t *testing.T) {
+	nodeSize := testFormat.NodeSize
+	limit := 8
+	c := New(int64(limit*nodeSize), nodeSize)
+	for i := uint64(0); i < 64; i++ {
+		c.Insert(addr(i), mkNode(i*100, (i+1)*100))
+		if c.Len() > limit {
+			t.Fatalf("cache grew to %d entries, limit %d", c.Len(), limit)
+		}
+	}
+	if c.Evictions() == 0 {
+		t.Error("expected evictions")
+	}
+}
+
+// TestEvictionPrefersCold: power-of-two-choices evicts the older of two
+// sampled entries, so recently used entries must survive eviction pressure
+// statistically more often than stale ones. (Retention is probabilistic,
+// not absolute — the comparison is the paper's design, §4.2.3 [48].)
+func TestEvictionPrefersCold(t *testing.T) {
+	nodeSize := testFormat.NodeSize
+	const limit = 32
+	c := New(int64(limit*nodeSize), nodeSize)
+	// Fill the cache: entries 0..15 go stale, 16..31 stay hot.
+	for i := uint64(0); i < limit; i++ {
+		c.Insert(addr(i), mkNode(i*100, (i+1)*100))
+	}
+	for round := 0; round < 10; round++ {
+		for i := uint64(16); i < limit; i++ {
+			c.Lookup(i*100 + 50)
+		}
+	}
+	// Apply eviction pressure: 16 fresh inserts displace 16 entries.
+	for i := uint64(limit); i < limit+16; i++ {
+		c.Insert(addr(i), mkNode(i*100, (i+1)*100))
+	}
+	staleLeft, hotLeft := 0, 0
+	for i := uint64(0); i < 16; i++ {
+		if e := c.Lookup(i*100 + 50); e != nil && e.Addr == addr(i) {
+			staleLeft++
+		}
+	}
+	for i := uint64(16); i < limit; i++ {
+		if e := c.Lookup(i*100 + 50); e != nil && e.Addr == addr(i) {
+			hotLeft++
+		}
+	}
+	if hotLeft <= staleLeft {
+		t.Errorf("hot survivors %d <= stale survivors %d; eviction ignores recency", hotLeft, staleLeft)
+	}
+}
+
+// TestConcurrentMixed hammers the cache from many goroutines; correctness
+// here is "no crashes, no wrong-range results, bounded size".
+func TestConcurrentMixed(t *testing.T) {
+	nodeSize := testFormat.NodeSize
+	c := New(int64(64*nodeSize), nodeSize)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := uint64((w*131 + i*17) % 6400)
+				switch i % 3 {
+				case 0:
+					lo := k / 100 * 100
+					c.Insert(addr(lo/100), mkNode(lo, lo+100))
+				case 1:
+					if e := c.Lookup(k); e != nil && !e.N.Covers(k) {
+						t.Errorf("Lookup(%d) returned node [%d,%d)", k, e.N.LowerFence(), e.N.UpperFence())
+						return
+					}
+				case 2:
+					if e := c.Lookup(k); e != nil {
+						c.Invalidate(e)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > c.Limit() {
+		t.Errorf("size %d exceeds limit %d", c.Len(), c.Limit())
+	}
+}
+
+func TestTopCache(t *testing.T) {
+	tc := NewTop()
+	if r, _ := tc.Root(); !r.IsNil() {
+		t.Fatal("fresh top cache has a root")
+	}
+	root := addr(100)
+	tc.SetRoot(root, 3)
+	if r, lvl := tc.Root(); r != root || lvl != 3 {
+		t.Fatalf("Root = (%v,%d), want (%v,3)", r, lvl, root)
+	}
+
+	// Nodes at the top two levels are cached; lower levels are not.
+	top := layout.NewInternal(testFormat, 3, 0, layout.NoUpperBound)
+	second := layout.NewInternal(testFormat, 2, 0, 500)
+	low := layout.NewInternal(testFormat, 1, 0, 100)
+	tc.Put(addr(100), top)
+	tc.Put(addr(101), second)
+	tc.Put(addr(102), low)
+	if _, ok := tc.Get(addr(100)); !ok {
+		t.Error("root-level node not cached")
+	}
+	if _, ok := tc.Get(addr(101)); !ok {
+		t.Error("level root-1 node not cached")
+	}
+	if _, ok := tc.Get(addr(102)); ok {
+		t.Error("level-1 node cached in the top cache")
+	}
+
+	tc.Drop(addr(101))
+	if _, ok := tc.Get(addr(101)); ok {
+		t.Error("Drop did not remove the node")
+	}
+
+	// A root change flushes stale top nodes.
+	tc.SetRoot(addr(200), 4)
+	if _, ok := tc.Get(addr(100)); ok {
+		t.Error("old top node survived a root change")
+	}
+}
+
+func TestCacheStatsCounters(t *testing.T) {
+	c := New(1<<20, testFormat.NodeSize)
+	c.Insert(addr(1), mkNode(0, 100))
+	c.Lookup(50)
+	c.Lookup(5000)
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Errorf("hits/misses = %d/%d, want 1/1", c.Hits(), c.Misses())
+	}
+}
+
+func TestTinyCache(t *testing.T) {
+	// A cache smaller than one node still holds one entry (limit clamps).
+	c := New(1, testFormat.NodeSize)
+	if c.Limit() != 1 {
+		t.Fatalf("limit = %d, want 1", c.Limit())
+	}
+	c.Insert(addr(1), mkNode(0, 100))
+	c.Insert(addr(2), mkNode(100, 200))
+	if c.Len() > 1 {
+		t.Errorf("tiny cache holds %d entries", c.Len())
+	}
+}
+
+func ExampleIndexCache() {
+	c := New(1<<20, testFormat.NodeSize)
+	c.Insert(rdma.MakeAddr(0, 0x8000), mkNode(1000, 2000))
+	if e := c.Lookup(1500); e != nil {
+		fmt.Println("hit:", e.N.LowerFence(), e.N.UpperFence())
+	}
+	// Output: hit: 1000 2000
+}
+
+func TestTopCacheFlushKeepsRoot(t *testing.T) {
+	tc := NewTop()
+	root := addr(7)
+	tc.SetRoot(root, 2)
+	top := layout.NewInternal(testFormat, 2, 0, layout.NoUpperBound)
+	tc.Put(addr(7), top)
+	tc.Flush()
+	if _, ok := tc.Get(addr(7)); ok {
+		t.Error("Flush kept a node copy")
+	}
+	if r, lvl := tc.Root(); r != root || lvl != 2 {
+		t.Errorf("Flush dropped the root: (%v,%d)", r, lvl)
+	}
+}

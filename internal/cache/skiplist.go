@@ -1,0 +1,128 @@
+// Package cache implements the compute-server-side index cache (§4.2.3):
+// copies of level-1 internal nodes (the parents of leaves) kept in a
+// concurrent skiplist with lock-free search, evicted by power-of-two-choices
+// on least-recent use, plus the always-cached top two tree levels.
+//
+// The cache needs no coherence protocol: internal nodes only carry location
+// information, and every fetched node is validated against its fence keys
+// and level — a stale cache entry steers the client to a node whose fences
+// reject the key, which invalidates the entry and retraverses (§4.2.3).
+package cache
+
+import (
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+)
+
+const maxHeight = 16
+
+// slNode is one skiplist tower. Readers traverse next pointers with atomic
+// loads only; inserts and unlinks serialize on the list mutex (misses and
+// evictions are rare compared to hits, which is the case the structure is
+// optimized for).
+type slNode struct {
+	key   uint64
+	entry atomic.Pointer[Entry]
+	next  []atomic.Pointer[slNode]
+}
+
+// skiplist maps lower-fence keys to cache entries, supporting a
+// predecessor-or-equal query without locks.
+type skiplist struct {
+	head *slNode
+	mu   sync.Mutex
+	rnd  rand.Source // guarded by mu
+	size atomic.Int64
+}
+
+func newSkiplist() *skiplist {
+	head := &slNode{next: make([]atomic.Pointer[slNode], maxHeight)}
+	return &skiplist{head: head, rnd: rand.NewPCG(0xcafe, 0xf00d)}
+}
+
+// seek returns the last node with key <= target (key < target when strict;
+// the result may be the head) and, when preds is non-nil, fills the
+// predecessor at every level for insertion/unlinking.
+func (s *skiplist) seek(target uint64, strict bool, preds []*slNode) *slNode {
+	x := s.head
+	for lvl := maxHeight - 1; lvl >= 0; lvl-- {
+		for {
+			nxt := x.next[lvl].Load()
+			if nxt == nil || nxt.key > target || (strict && nxt.key == target) {
+				break
+			}
+			x = nxt
+		}
+		if preds != nil {
+			preds[lvl] = x
+		}
+	}
+	return x
+}
+
+// floor returns the live entry with the greatest key <= target, skipping
+// entries that were marked dead but not yet unlinked.
+func (s *skiplist) floor(target uint64) *Entry {
+	x := s.seek(target, false, nil)
+	for x != s.head {
+		if e := x.entry.Load(); e != nil && !e.dead.Load() {
+			return e
+		}
+		// Dead node: step strictly back with a fresh seek below its key.
+		x = s.seek(x.key, true, nil)
+	}
+	return nil
+}
+
+// insert adds or replaces the entry at e.key (the node's lower fence).
+// It returns the entry that was displaced, if any.
+func (s *skiplist) insert(e *Entry) *Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	preds := make([]*slNode, maxHeight)
+	x := s.seek(e.key, false, preds)
+	if x != s.head && x.key == e.key {
+		old := x.entry.Swap(e)
+		e.node = x
+		if old != nil && !old.dead.Swap(true) {
+			return old
+		}
+		return nil
+	}
+	h := 1
+	r := s.rnd.Uint64()
+	for h < maxHeight && r&1 == 1 {
+		h++
+		r >>= 1
+	}
+	n := &slNode{key: e.key, next: make([]atomic.Pointer[slNode], h)}
+	n.entry.Store(e)
+	e.node = n
+	for lvl := 0; lvl < h; lvl++ {
+		n.next[lvl].Store(preds[lvl].next[lvl].Load())
+		preds[lvl].next[lvl].Store(n)
+	}
+	s.size.Add(1)
+	return nil
+}
+
+// remove marks e dead and unlinks its tower.
+func (s *skiplist) remove(e *Entry) {
+	e.dead.Store(true)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := e.node
+	if n == nil || n.entry.Load() != e {
+		return // already replaced by a newer entry for the same fence
+	}
+	preds := make([]*slNode, maxHeight)
+	s.seek(n.key, true, preds)
+	for lvl := 0; lvl < len(n.next); lvl++ {
+		if preds[lvl].next[lvl].Load() == n {
+			preds[lvl].next[lvl].Store(n.next[lvl].Load())
+		}
+	}
+	n.entry.Store(nil)
+	s.size.Add(-1)
+}

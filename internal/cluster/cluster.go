@@ -1,0 +1,111 @@
+// Package cluster assembles a disaggregated-memory cluster: memory servers,
+// compute servers, the simulated RDMA fabric between them, and the cluster
+// superblock holding the tree's root pointer.
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+
+	"sherman/internal/alloc"
+	"sherman/internal/rdma"
+	"sherman/internal/sim"
+)
+
+// Superblock layout, at offset 0 of memory server 0. The root pointer is
+// updated by RDMA_CAS when the root splits; clients re-read it whenever
+// cached-root validation (level / fence checks) fails.
+const (
+	superRootOff  = 0  // 8 B: rdma.Addr of the current root node
+	superLevelOff = 8  // 8 B: height hint (root node level)
+	superSize     = 64 // one line, so root updates are atomic
+)
+
+// Cluster is a running disaggregated-memory deployment.
+type Cluster struct {
+	F *rdma.Fabric
+	P sim.Params
+
+	// AllocStats aggregates allocator activity across all client threads.
+	AllocStats alloc.Stats
+
+	numThreads []atomic.Int64 // per CS, for diagnostics
+}
+
+// Config sizes a cluster.
+type Config struct {
+	// NumMS and NumCS are the memory- and compute-server counts. The paper's
+	// testbed emulates 8 of each (§5.1.1).
+	NumMS int
+	NumCS int
+	// Params overrides the fabric timing model; zero value means defaults.
+	Params sim.Params
+}
+
+// New builds the cluster and reserves the superblock chunk on MS 0 so that
+// offset 0 is never handed to the allocator (Addr 0 is the nil pointer).
+func New(cfg Config) *Cluster {
+	p := cfg.Params
+	if p.RTTNS == 0 {
+		p = sim.DefaultParams()
+	}
+	if cfg.NumMS <= 0 || cfg.NumCS <= 0 {
+		panic(fmt.Sprintf("cluster: invalid sizes %d MS / %d CS", cfg.NumMS, cfg.NumCS))
+	}
+	f := rdma.NewFabric(p, cfg.NumMS, cfg.NumCS)
+	f.Servers[0].Grow() // superblock chunk
+	return &Cluster{F: f, P: p, numThreads: make([]atomic.Int64, cfg.NumCS)}
+}
+
+// NumMS returns the memory-server count.
+func (c *Cluster) NumMS() int { return len(c.F.Servers) }
+
+// NumCS returns the compute-server count.
+func (c *Cluster) NumCS() int { return len(c.F.CSs) }
+
+// NewClient creates a client thread bound to compute server cs.
+func (c *Cluster) NewClient(cs int) *rdma.Client {
+	c.numThreads[cs].Add(1)
+	return c.F.NewClient(cs)
+}
+
+// NewThreadAllocator pairs a client thread with its stage-two allocator.
+func (c *Cluster) NewThreadAllocator(cl *rdma.Client, seed int) *alloc.ThreadAllocator {
+	return alloc.NewThreadAllocator(cl, &c.AllocStats, seed)
+}
+
+// SuperAddr returns the global address of the superblock field at off.
+func SuperAddr(off uint64) rdma.Addr { return rdma.MakeAddr(0, off) }
+
+// SetRoot stores the root pointer and level without timing; used by bulk
+// load before client threads start.
+func (c *Cluster) SetRoot(root rdma.Addr, level uint8) {
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[0:], uint64(root))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(level))
+	c.F.Servers[0].WriteAt(superRootOff, buf[:])
+}
+
+// ReadRoot fetches the current root pointer and level via RDMA_READ on the
+// caller's clock.
+func ReadRoot(cl *rdma.Client) (rdma.Addr, uint8) {
+	var buf [16]byte
+	cl.Read(SuperAddr(superRootOff), buf[:])
+	root := rdma.Addr(binary.LittleEndian.Uint64(buf[0:]))
+	level := uint8(binary.LittleEndian.Uint64(buf[8:]))
+	return root, level
+}
+
+// CASRoot atomically swaps the root pointer from old to new; the level hint
+// is then updated with a plain WRITE (readers tolerate a stale hint — they
+// validate the fetched node's level field).
+func CASRoot(cl *rdma.Client, old, new rdma.Addr, newLevel uint8) bool {
+	_, ok := cl.CAS(SuperAddr(superRootOff), uint64(old), uint64(new))
+	if ok {
+		var lv [8]byte
+		binary.LittleEndian.PutUint64(lv[:], uint64(newLevel))
+		cl.Write(SuperAddr(superLevelOff), lv[:])
+	}
+	return ok
+}

@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+
+	"sherman/internal/rdma"
+)
+
+func TestNewClusterReservesSuperblock(t *testing.T) {
+	c := New(Config{NumMS: 2, NumCS: 2})
+	if c.NumMS() != 2 || c.NumCS() != 2 {
+		t.Fatalf("sizes = %d MS / %d CS, want 2/2", c.NumMS(), c.NumCS())
+	}
+	// MS 0 must already own the superblock chunk, so the first allocator
+	// chunk cannot be offset 0 (Addr 0 is the nil pointer).
+	if got := c.F.Servers[0].Capacity(); got != rdma.DefaultChunkSize {
+		t.Fatalf("MS0 capacity = %d, want one chunk", got)
+	}
+	base := c.F.Servers[0].Grow()
+	if base == 0 {
+		t.Fatal("allocator chunk landed on the superblock")
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	for _, cfg := range []Config{{NumMS: 0, NumCS: 1}, {NumMS: 1, NumCS: 0}, {NumMS: -1, NumCS: -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%+v) did not panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestRootRoundTrip(t *testing.T) {
+	c := New(Config{NumMS: 2, NumCS: 1})
+	root := rdma.MakeAddr(1, 0x4000)
+	c.SetRoot(root, 3)
+
+	cl := c.NewClient(0)
+	gotRoot, gotLevel := ReadRoot(cl)
+	if gotRoot != root || gotLevel != 3 {
+		t.Fatalf("ReadRoot = (%v, %d), want (%v, 3)", gotRoot, gotLevel, root)
+	}
+	if cl.M.Reads != 1 {
+		t.Errorf("ReadRoot issued %d READs, want 1", cl.M.Reads)
+	}
+}
+
+func TestCASRoot(t *testing.T) {
+	c := New(Config{NumMS: 1, NumCS: 1})
+	oldRoot := rdma.MakeAddr(0, 0x1000)
+	c.SetRoot(oldRoot, 0)
+	cl := c.NewClient(0)
+
+	newRoot := rdma.MakeAddr(0, 0x2000)
+	if !CASRoot(cl, oldRoot, newRoot, 1) {
+		t.Fatal("CASRoot with correct old value failed")
+	}
+	if r, lvl := ReadRoot(cl); r != newRoot || lvl != 1 {
+		t.Fatalf("root after CAS = (%v, %d), want (%v, 1)", r, lvl, newRoot)
+	}
+	// A stale CAS must fail and leave the root untouched.
+	if CASRoot(cl, oldRoot, rdma.MakeAddr(0, 0x3000), 2) {
+		t.Fatal("CASRoot with stale old value succeeded")
+	}
+	if r, _ := ReadRoot(cl); r != newRoot {
+		t.Fatalf("failed CAS modified the root to %v", r)
+	}
+}
+
+// TestCASRootRace: of N concurrent root swaps from the same old value,
+// exactly one wins.
+func TestCASRootRace(t *testing.T) {
+	c := New(Config{NumMS: 1, NumCS: 4})
+	oldRoot := rdma.MakeAddr(0, 0x1000)
+	c.SetRoot(oldRoot, 0)
+
+	const racers = 16
+	wins := make([]bool, racers)
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cl := c.NewClient(i % 4)
+			wins[i] = CASRoot(cl, oldRoot, rdma.MakeAddr(0, uint64(0x2000+i*64)), 1)
+		}(i)
+	}
+	wg.Wait()
+
+	winners := 0
+	winner := -1
+	for i, w := range wins {
+		if w {
+			winners++
+			winner = i
+		}
+	}
+	if winners != 1 {
+		t.Fatalf("%d CAS winners, want exactly 1", winners)
+	}
+	cl := c.NewClient(0)
+	r, _ := ReadRoot(cl)
+	if r != rdma.MakeAddr(0, uint64(0x2000+winner*64)) {
+		t.Fatalf("root %v does not match winner %d", r, winner)
+	}
+}
+
+func TestThreadAllocatorIntegration(t *testing.T) {
+	c := New(Config{NumMS: 2, NumCS: 1})
+	cl := c.NewClient(0)
+	a := c.NewThreadAllocator(cl, 0)
+	addr := a.Alloc(1024)
+	if addr.IsNil() {
+		t.Fatal("nil allocation")
+	}
+	if c.AllocStats.Chunks.Load() != 1 || c.AllocStats.Nodes.Load() != 1 {
+		t.Errorf("alloc stats = %d chunks / %d nodes, want 1/1",
+			c.AllocStats.Chunks.Load(), c.AllocStats.Nodes.Load())
+	}
+}
+
+func TestDefaultParamsApplied(t *testing.T) {
+	c := New(Config{NumMS: 1, NumCS: 1})
+	if c.P.RTTNS == 0 {
+		t.Fatal("zero params were not replaced with defaults")
+	}
+}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"sherman/internal/alloc"
+	"sherman/internal/cache"
+	"sherman/internal/cluster"
+	"sherman/internal/layout"
+	"sherman/internal/rdma"
+	"sherman/internal/stats"
+)
+
+// Handle is one client thread's interface to the tree. Handles are not safe
+// for concurrent use; create one per goroutine.
+type Handle struct {
+	t     *Tree
+	C     *rdma.Client
+	alloc *alloc.ThreadAllocator
+	cache *cache.IndexCache
+	top   *cache.TopCache
+
+	// Rec accumulates this thread's measurements.
+	Rec *stats.Recorder
+
+	// Reusable node buffers (verbs copy synchronously, so reuse is safe).
+	leafBuf []byte
+	nodeBuf []byte
+}
+
+// NewHandle creates a handle on compute server cs. seed staggers the
+// allocator's round-robin start.
+func (t *Tree) NewHandle(cs int, seed int) *Handle {
+	c := t.cl.NewClient(cs)
+	return &Handle{
+		t:       t,
+		C:       c,
+		alloc:   t.cl.NewThreadAllocator(c, seed),
+		cache:   t.caches[cs],
+		top:     t.tops[cs],
+		Rec:     stats.NewRecorder(),
+		leafBuf: make([]byte, t.cfg.Format.NodeSize),
+		nodeBuf: make([]byte, t.cfg.Format.NodeSize),
+	}
+}
+
+// Tree returns the handle's tree.
+func (h *Handle) Tree() *Tree { return h.t }
+
+// --- read-side machinery ----------------------------------------------------
+
+// readNode fetches the node at a into buf, retrying until the node-level
+// consistency check passes (version pair or checksum) and the wraparound
+// guard is satisfied (§4.4: a read taking longer than 8 us could straddle a
+// full 4-bit version cycle and must retry). Returns the view and the number
+// of retries performed.
+func (h *Handle) readNode(a rdma.Addr, buf []byte) (layout.Node, int) {
+	p := h.C.F.P
+	retries := 0
+	wrap := 0
+	for {
+		start := h.C.Now()
+		h.C.Read(a, buf)
+		n := layout.ViewNode(h.t.cfg.Format, buf)
+		if !n.Consistent() {
+			retries++
+			continue
+		}
+		if h.t.cfg.Format.Mode == layout.TwoLevel &&
+			h.C.Now()-start > p.WraparoundGuardNS && wrap < h.t.cfg.maxWrapRetries() {
+			wrap++
+			retries++
+			continue
+		}
+		return n, retries
+	}
+}
+
+// refreshRoot re-reads the superblock and updates the CS's top cache.
+func (h *Handle) refreshRoot() (rdma.Addr, uint8) {
+	root, level := cluster.ReadRoot(h.C)
+	h.top.SetRoot(root, level)
+	return root, level
+}
+
+// locateLeaf resolves the leaf that should contain key: index-cache hit
+// (type-1), else a traversal from the (cached) top levels, inserting the
+// level-1 node into the cache on the way (§4.2.3). The returned cache entry
+// (nil on miss) lets the caller invalidate stale steering.
+func (h *Handle) locateLeaf(key uint64) (rdma.Addr, *cache.Entry) {
+	h.C.Step(h.C.F.P.LocalStepNS)
+	if e := h.cache.Lookup(key); e != nil {
+		h.Rec.CacheHits++
+		child, _ := e.N.ChildFor(key)
+		return child, e
+	}
+	h.Rec.CacheMisses++
+	return h.traverseToLeaf(key), nil
+}
+
+// traverseToLeaf walks internal levels from the root down to level 0,
+// following sibling pointers when a node's fences exclude the key (B-link
+// move-right) and restarting from a fresh root when steering proves stale.
+func (h *Handle) traverseToLeaf(key uint64) rdma.Addr {
+	root, level := h.top.Root()
+	if root.IsNil() {
+		root, level = h.refreshRoot()
+	}
+	for attempt := 0; ; attempt++ {
+		addr, lvl := root, level
+		ok := true
+		for lvl > 0 {
+			n, fromCache := h.readInternal(addr, lvl, level)
+			if !n.Alive() || n.Level() != lvl || key < n.LowerFence() {
+				// Freed or repurposed node, or we are left of its range:
+				// the steering was stale; restart from a fresh root.
+				if fromCache {
+					h.top.Drop(addr)
+				}
+				ok = false
+				break
+			}
+			if n.UpperFence() != layout.NoUpperBound && key >= n.UpperFence() {
+				// Move right along the B-link chain (level unchanged).
+				sib := n.Sibling()
+				if sib.IsNil() {
+					ok = false
+					break
+				}
+				addr = sib
+				continue
+			}
+			if lvl == 1 {
+				h.cacheLevel1(addr, n)
+			}
+			child, _ := layout.AsInternal(n).ChildFor(key)
+			addr = child
+			lvl--
+		}
+		if ok {
+			return addr
+		}
+		root, level = h.refreshRoot()
+	}
+}
+
+// readInternal fetches an internal node, consulting the always-cached top
+// two levels first. rootLevel is the level of the traversal's root, which
+// defines which levels belong to the top cache.
+func (h *Handle) readInternal(a rdma.Addr, lvl, rootLevel uint8) (layout.Node, bool) {
+	if rootLevel > 0 && lvl >= rootLevel-1 {
+		if n, ok := h.top.Get(a); ok {
+			h.C.Step(h.C.F.P.LocalStepNS)
+			return n.Node, true
+		}
+	}
+	n, _ := h.readNode(a, h.nodeBuf)
+	if rootLevel > 0 && n.Level() >= rootLevel-1 && n.Alive() {
+		cp := append([]byte(nil), n.B...)
+		h.top.Put(a, layout.AsInternal(layout.ViewNode(n.F, cp)))
+	}
+	return n, false
+}
+
+// cacheLevel1 copies a level-1 node into the index cache.
+func (h *Handle) cacheLevel1(a rdma.Addr, n layout.Node) {
+	cp := append([]byte(nil), n.B...)
+	h.cache.Insert(a, layout.AsInternal(layout.ViewNode(n.F, cp)))
+}
+
+// maxSiblingHops is the level-0 B-link walk length that signals stale
+// top-cache steering: a copy of a since-split top node passes fence/level
+// validation (its fences were right when taken) yet steers every traversal
+// left of the target, and only excess sibling hops reveal it.
+const maxSiblingHops = 3
+
+// noteSiblingHop counts one level-0 move-right and flushes the top cache
+// when the walk gets long enough to implicate stale steering.
+func (h *Handle) noteSiblingHop(hops *int) {
+	*hops++
+	if *hops == maxSiblingHops {
+		h.top.Flush()
+	}
+}
+
+// Lookup returns the value stored under key.
+func (h *Handle) Lookup(key uint64) (uint64, bool) {
+	h.C.M.BeginOp()
+	t0 := h.C.Now()
+	val, found := h.lookupInner(key)
+	h.Rec.RecordOp(stats.OpLookup, h.C.Now()-t0)
+	return val, found
+}
+
+func (h *Handle) lookupInner(key uint64) (uint64, bool) {
+	retries := 0
+	hops := 0
+	defer func() { h.Rec.ReadRetries.Record(retries) }()
+	addr, ce := h.locateLeaf(key)
+	for {
+		n, r := h.readNode(addr, h.leafBuf)
+		retries += r
+		leaf := layout.AsLeaf(n)
+		if !n.Alive() || !n.IsLeaf() || key < n.LowerFence() {
+			// Stale steering: invalidate and retraverse.
+			if ce != nil {
+				h.cache.Invalidate(ce)
+				ce = nil
+			}
+			addr = h.traverseToLeaf(key)
+			continue
+		}
+		if n.UpperFence() != layout.NoUpperBound && key >= n.UpperFence() {
+			h.noteSiblingHop(&hops)
+			addr = n.Sibling()
+			if addr.IsNil() {
+				return 0, false
+			}
+			continue
+		}
+		h.C.Step(h.C.F.P.LocalStepNS) // scan the (unsorted) leaf locally
+		i, found := leaf.Find(key)
+		if !found {
+			return 0, false
+		}
+		if h.t.cfg.Format.Mode == layout.TwoLevel && !leaf.EntryConsistent(i) {
+			retries++ // entry-level check failed: re-read the leaf (§4.4)
+			continue
+		}
+		return leaf.Value(i), true
+	}
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+
+	"sherman/internal/alloc"
+	"sherman/internal/cache"
+	"sherman/internal/layout"
+	"sherman/internal/rdma"
+)
+
+// TreeStats is a structural snapshot of the tree, collected with raw reads.
+type TreeStats struct {
+	// Height is the number of levels (a lone leaf is height 1).
+	Height int
+	// InternalNodes and LeafNodes count reachable nodes per kind.
+	InternalNodes int
+	LeafNodes     int
+	// Entries is the number of live key-value pairs.
+	Entries int
+	// LeafFill is the mean fraction of leaf slots in use.
+	LeafFill float64
+	// BytesUsed is the memory footprint of reachable nodes.
+	BytesUsed int64
+	// MinLeafFill is the emptiest reachable leaf's fill fraction (1 for an
+	// empty tree); a low value indicates delete-driven fragmentation that
+	// Compact can reclaim.
+	MinLeafFill float64
+}
+
+// Stats walks the tree and reports structural statistics. Like Validate, it
+// uses raw (untimed) reads and must not run concurrently with writers.
+func (t *Tree) Stats() TreeStats {
+	st := TreeStats{MinLeafFill: 1}
+	rootAddr, level := t.rawRoot()
+	st.Height = int(level) + 1
+	t.statsNode(rootAddr, &st)
+	if st.LeafNodes > 0 {
+		st.LeafFill /= float64(st.LeafNodes)
+	}
+	return st
+}
+
+func (t *Tree) statsNode(a rdma.Addr, st *TreeStats) {
+	f := t.cfg.Format
+	buf := make([]byte, f.NodeSize)
+	readRaw(t.cl, a, buf)
+	n := layout.ViewNode(f, buf)
+	st.BytesUsed += int64(f.NodeSize)
+	if n.IsLeaf() {
+		st.LeafNodes++
+		cnt := layout.AsLeaf(n).Count()
+		st.Entries += cnt
+		fill := float64(cnt) / float64(f.LeafCap)
+		st.LeafFill += fill
+		if fill < st.MinLeafFill {
+			st.MinLeafFill = fill
+		}
+		return
+	}
+	st.InternalNodes++
+	in := layout.AsInternal(n)
+	t.statsNode(in.Leftmost(), st)
+	for _, s := range in.Separators() {
+		t.statsNode(s.Child, st)
+	}
+}
+
+// CompactResult reports what an offline compaction did.
+type CompactResult struct {
+	// EntriesKept is the number of live pairs carried over.
+	EntriesKept int
+	// NodesBefore and NodesAfter count reachable nodes.
+	NodesBefore int
+	NodesAfter  int
+	// BytesReclaimed is the footprint difference; the freed nodes' alive
+	// bits are cleared (§4.2.4) so stale readers detect them.
+	BytesReclaimed int64
+}
+
+// Compact rebuilds the tree at the configured bulkload fill factor,
+// reclaiming the fragmentation left by deletes (cleared slots, underfull
+// and empty leaves). It is an offline maintenance operation: the tree must
+// be quiesced — no concurrent sessions — exactly like Bulkload. Old nodes
+// are freed by clearing their alive bit, so a client thread resuming with
+// stale cached steering will fail validation and retraverse (§4.2.4).
+//
+// Structural merging during deletes is deliberately not performed on the
+// hot path (matching the paper's evaluation and the authors' released
+// code); Compact is the offline counterpart that restores packing.
+func (t *Tree) Compact() CompactResult {
+	before := t.Stats()
+
+	// Collect all live entries in key order, remembering every reachable
+	// node so it can be freed after the rebuild.
+	var kvs []layout.KV
+	var old []rdma.Addr
+	rootAddr, _ := t.rawRoot()
+	t.collect(rootAddr, &kvs, &old)
+
+	t.freeNodes(old)
+
+	if len(kvs) == 0 {
+		// Rebuild to a single empty leaf.
+		b := alloc.NewBulk(t.cl.F, &t.cl.AllocStats)
+		rootAddr := b.Alloc(t.cfg.Format.NodeSize)
+		leaf := layout.NewLeaf(t.cfg.Format, 0, layout.NoUpperBound)
+		if t.cfg.Format.Mode == layout.Checksum {
+			leaf.UpdateChecksum()
+		}
+		writeRaw(t.cl, rootAddr, leaf.B)
+		t.cl.SetRoot(rootAddr, 0)
+	} else {
+		t.Bulkload(kvs)
+	}
+	t.dropCaches()
+
+	after := t.Stats()
+	return CompactResult{
+		EntriesKept:    len(kvs),
+		NodesBefore:    before.LeafNodes + before.InternalNodes,
+		NodesAfter:     after.LeafNodes + after.InternalNodes,
+		BytesReclaimed: before.BytesUsed - after.BytesUsed,
+	}
+}
+
+// collect appends the subtree's live entries in key order and records node
+// addresses.
+func (t *Tree) collect(a rdma.Addr, kvs *[]layout.KV, nodes *[]rdma.Addr) {
+	f := t.cfg.Format
+	buf := make([]byte, f.NodeSize)
+	readRaw(t.cl, a, buf)
+	n := layout.ViewNode(f, buf)
+	*nodes = append(*nodes, a)
+	if n.IsLeaf() {
+		*kvs = append(*kvs, layout.AsLeaf(n).Entries()...)
+		return
+	}
+	in := layout.AsInternal(n)
+	t.collect(in.Leftmost(), kvs, nodes)
+	for _, s := range in.Separators() {
+		t.collect(s.Child, kvs, nodes)
+	}
+}
+
+// freeNodes clears the alive bit of each node (the free-bit deallocation of
+// §4.2.4). The memory itself is not returned to the memory servers — the
+// paper's allocator does not reclaim chunks either; freed nodes are
+// tombstones that steer stale readers back to the root.
+func (t *Tree) freeNodes(addrs []rdma.Addr) {
+	for _, a := range addrs {
+		writeRaw(t.cl, a.Add(layout.AliveOffset), []byte{0})
+	}
+}
+
+// dropCaches clears every compute server's index and top caches after a
+// structural rebuild, so sessions opened later start from the new root.
+func (t *Tree) dropCaches() {
+	for i := range t.caches {
+		t.caches[i] = newCSCache(t.cfg)
+		t.tops[i] = cache.NewTop()
+	}
+}
+
+// String renders the stats compactly.
+func (s TreeStats) String() string {
+	return fmt.Sprintf("height=%d internal=%d leaves=%d entries=%d fill=%.2f minFill=%.2f bytes=%d",
+		s.Height, s.InternalNodes, s.LeafNodes, s.Entries, s.LeafFill, s.MinLeafFill, s.BytesUsed)
+}

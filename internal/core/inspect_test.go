@@ -1,0 +1,142 @@
+package core
+
+import (
+	"testing"
+
+	"sherman/internal/layout"
+)
+
+func TestStatsEmptyTree(t *testing.T) {
+	for _, cfg := range configsUnderTest() {
+		cl := testCluster(t, 1, 1)
+		tr := New(cl, cfg)
+		st := tr.Stats()
+		if st.Height != 1 || st.LeafNodes != 1 || st.InternalNodes != 0 || st.Entries != 0 {
+			t.Errorf("%s: empty tree stats %+v", cfg.Name(), st)
+		}
+	}
+}
+
+func TestStatsAfterBulkload(t *testing.T) {
+	for _, cfg := range configsUnderTest() {
+		cl := testCluster(t, 2, 1)
+		tr := New(cl, cfg)
+		const n = 10000
+		kvs := make([]layout.KV, n)
+		for i := range kvs {
+			kvs[i] = layout.KV{Key: uint64(i + 1), Value: 7}
+		}
+		tr.Bulkload(kvs)
+		st := tr.Stats()
+		if st.Entries != n {
+			t.Errorf("%s: entries = %d, want %d", cfg.Name(), st.Entries, n)
+		}
+		if st.Height < 2 {
+			t.Errorf("%s: height = %d, want >= 2", cfg.Name(), st.Height)
+		}
+		// Bulkload packs to 80%: mean fill should be near that.
+		if st.LeafFill < 0.7 || st.LeafFill > 0.9 {
+			t.Errorf("%s: mean leaf fill %.2f, want ~0.8", cfg.Name(), st.LeafFill)
+		}
+		if st.BytesUsed != int64(st.LeafNodes+st.InternalNodes)*int64(cfg.Format.NodeSize) {
+			t.Errorf("%s: bytes %d inconsistent with node counts", cfg.Name(), st.BytesUsed)
+		}
+		if st.String() == "" {
+			t.Error("empty String()")
+		}
+	}
+}
+
+func TestCompactReclaimsFragmentation(t *testing.T) {
+	for _, cfg := range configsUnderTest() {
+		cl := testCluster(t, 2, 1)
+		tr := New(cl, cfg)
+		h := tr.NewHandle(0, 0)
+		const n = 8000
+		for k := uint64(1); k <= n; k++ {
+			h.Insert(k, k*3)
+		}
+		// Delete 90%: leaves become mostly empty but are not merged.
+		for k := uint64(1); k <= n; k++ {
+			if k%10 != 0 {
+				h.Delete(k)
+			}
+		}
+		frag := tr.Stats()
+
+		res := tr.Compact()
+		if res.EntriesKept != n/10 {
+			t.Fatalf("%s: compact kept %d entries, want %d", cfg.Name(), res.EntriesKept, n/10)
+		}
+		if res.NodesAfter >= res.NodesBefore {
+			t.Errorf("%s: compact did not shrink the tree: %d -> %d nodes",
+				cfg.Name(), res.NodesBefore, res.NodesAfter)
+		}
+		if res.BytesReclaimed <= 0 {
+			t.Errorf("%s: reclaimed %d bytes", cfg.Name(), res.BytesReclaimed)
+		}
+
+		packed := tr.Stats()
+		if packed.LeafFill <= frag.LeafFill {
+			t.Errorf("%s: fill did not improve: %.2f -> %.2f", cfg.Name(), frag.LeafFill, packed.LeafFill)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%s: validate after compact: %v", cfg.Name(), err)
+		}
+
+		// Fresh sessions see exactly the surviving data and can keep writing.
+		h2 := tr.NewHandle(0, 1)
+		for k := uint64(1); k <= n; k++ {
+			v, ok := h2.Lookup(k)
+			if k%10 == 0 {
+				if !ok || v != k*3 {
+					t.Fatalf("%s: survivor %d = (%d,%v)", cfg.Name(), k, v, ok)
+				}
+			} else if ok {
+				t.Fatalf("%s: deleted key %d resurrected by compact", cfg.Name(), k)
+			}
+		}
+		h2.Insert(n+1, 42)
+		if v, ok := h2.Lookup(n + 1); !ok || v != 42 {
+			t.Fatalf("%s: post-compact insert lost", cfg.Name())
+		}
+	}
+}
+
+func TestCompactEmptyTree(t *testing.T) {
+	cfg := configsUnderTest()[0]
+	cl := testCluster(t, 1, 1)
+	tr := New(cl, cfg)
+	res := tr.Compact()
+	if res.EntriesKept != 0 {
+		t.Fatalf("compact of empty tree kept %d entries", res.EntriesKept)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	h := tr.NewHandle(0, 0)
+	h.Insert(5, 50)
+	if v, ok := h.Lookup(5); !ok || v != 50 {
+		t.Fatalf("insert after empty compact = (%d,%v)", v, ok)
+	}
+}
+
+func TestCompactFreesOldNodes(t *testing.T) {
+	cfg := configsUnderTest()[0]
+	cl := testCluster(t, 1, 1)
+	tr := New(cl, cfg)
+	h := tr.NewHandle(0, 0)
+	for k := uint64(1); k <= 3000; k++ {
+		h.Insert(k, k)
+	}
+	oldRoot, _ := tr.rawRoot()
+	tr.Compact()
+
+	// The old root must carry a cleared alive bit, so stale steering fails
+	// validation and retraverses (§4.2.4).
+	buf := make([]byte, cfg.Format.NodeSize)
+	readRaw(cl, oldRoot, buf)
+	if layout.ViewNode(cfg.Format, buf).Alive() {
+		t.Error("old root still marked alive after compact")
+	}
+}

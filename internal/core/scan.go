@@ -1,0 +1,199 @@
+package core
+
+import (
+	"fmt"
+
+	"sherman/internal/layout"
+	"sherman/internal/rdma"
+	"sherman/internal/stats"
+)
+
+// maxParallelReads caps one ReadMulti batch of a range query.
+const maxParallelReads = 16
+
+// maxScanRestarts bounds full-scan restarts so a steering bug can never
+// livelock a client silently; the bound is far above anything concurrent
+// splits can cause.
+const maxScanRestarts = 1 << 20
+
+// Range returns up to span key-value pairs with key >= from, in ascending
+// key order. Like FG, Sherman's range query is not atomic with concurrent
+// writes (§4.4): each leaf is read consistently, but the scan as a whole is
+// not a snapshot.
+func (h *Handle) Range(from uint64, span int) []layout.KV {
+	h.C.M.BeginOp()
+	t0 := h.C.Now()
+	out := h.rangeInner(from, span)
+	h.Rec.RecordOp(stats.OpRange, h.C.Now()-t0)
+	return out
+}
+
+func (h *Handle) rangeInner(from uint64, span int) []layout.KV {
+	out := make([]layout.KV, 0, span)
+	cursor := from
+	restarts := 0
+	for len(out) < span {
+		if restarts > maxScanRestarts {
+			panic(fmt.Sprintf("core: range scan livelocked at cursor %d (from %d, %d rows)",
+				cursor, from, len(out)))
+		}
+		// Collect the addresses of the next run of leaves. A cached level-1
+		// node yields many at once, fetched with parallel RDMA_READs; a
+		// cache miss falls back to a single traversal.
+		var addrs []rdma.Addr
+		h.C.Step(h.C.F.P.LocalStepNS)
+		e := h.cache.Lookup(cursor)
+		if e != nil {
+			h.Rec.CacheHits++
+			addrs = e.N.ChildrenFrom(cursor)
+			if len(addrs) > maxParallelReads {
+				addrs = addrs[:maxParallelReads]
+			}
+		} else {
+			h.Rec.CacheMisses++
+			addrs = []rdma.Addr{h.traverseToLeaf(cursor)}
+		}
+
+		bufs := make([][]byte, len(addrs))
+		reqs := make([]rdma.ReadOp, len(addrs))
+		for i, a := range addrs {
+			bufs[i] = make([]byte, h.t.cfg.Format.NodeSize)
+			reqs[i] = rdma.ReadOp{Addr: a, Buf: bufs[i]}
+		}
+		h.C.ReadMulti(reqs)
+
+		restart := false
+		for i := range addrs {
+			n := layout.ViewNode(h.t.cfg.Format, bufs[i])
+			if !n.Consistent() {
+				// Inconsistent snapshot: re-read this leaf alone.
+				n, _ = h.readNode(addrs[i], bufs[i])
+			}
+			if !n.Alive() || !n.IsLeaf() || cursor < n.LowerFence() {
+				// Freed or repurposed node, or steering overshot the
+				// cursor: drop the cached node and retraverse from cursor.
+				if e != nil {
+					h.cache.Invalidate(e)
+					e = nil
+				}
+				restart = true
+				break
+			}
+			if n.UpperFence() != layout.NoUpperBound && cursor >= n.UpperFence() {
+				// The leaf is left of the cursor — it split since the
+				// steering copy was made (possibly a stale top-cache copy
+				// whose separators predate the split). Walk the B-link
+				// sibling chain rightward, exactly like the lookup path;
+				// restarting instead would re-consult the same stale
+				// steering forever. The walk advances the cursor, so the
+				// rest of this batch is stale: re-steer afterwards.
+				var done, ok bool
+				done, ok, cursor = h.scanWalkRight(n, bufs[i], cursor, span, &out)
+				if done {
+					return out
+				}
+				if !ok && e != nil {
+					h.cache.Invalidate(e)
+					e = nil
+				}
+				restart = true
+				break
+			}
+			kvs, ok := h.leafEntriesConsistent(addrs[i], n, bufs[i])
+			if !ok {
+				restart = true
+				break
+			}
+			h.C.Step(h.C.F.P.LocalStepNS) // local sort/scan of the leaf
+			for _, kv := range kvs {
+				if kv.Key >= cursor {
+					out = append(out, kv)
+					if len(out) == span {
+						return out
+					}
+				}
+			}
+			if n.UpperFence() == layout.NoUpperBound {
+				return out // reached the right edge of the tree
+			}
+			cursor = n.UpperFence()
+		}
+		if restart {
+			restarts++
+			continue
+		}
+	}
+	return out
+}
+
+// scanWalkRight walks the B-link sibling chain from leaf n (which lies left
+// of the cursor) until reaching the leaf covering the cursor, appending
+// that leaf's rows. done=true means the scan is complete (span filled or
+// right edge reached); ok=false means a freed or torn node interrupted the
+// walk. newCursor is where the scan should continue steering from.
+func (h *Handle) scanWalkRight(n layout.Node, buf []byte, cursor uint64, span int, out *[]layout.KV) (done, ok bool, newCursor uint64) {
+	hops := 0
+	for n.UpperFence() != layout.NoUpperBound && cursor >= n.UpperFence() {
+		sib := n.Sibling()
+		if sib.IsNil() {
+			return true, true, cursor // right edge: nothing at the cursor
+		}
+		h.noteSiblingHop(&hops)
+		n, _ = h.readNode(sib, buf)
+		if !n.Alive() || !n.IsLeaf() {
+			return false, false, cursor
+		}
+	}
+	if cursor < n.LowerFence() {
+		// Overshot: the chain skipped the cursor's range; retraverse.
+		return false, false, cursor
+	}
+	kvs, okc := h.leafEntriesConsistent(rdma.NilAddr, n, buf)
+	if !okc {
+		return false, false, cursor
+	}
+	h.C.Step(h.C.F.P.LocalStepNS)
+	for _, kv := range kvs {
+		if kv.Key >= cursor {
+			*out = append(*out, kv)
+			if len(*out) == span {
+				return true, true, cursor
+			}
+		}
+	}
+	if n.UpperFence() == layout.NoUpperBound {
+		return true, true, cursor
+	}
+	return false, true, n.UpperFence()
+}
+
+// leafEntriesConsistent extracts the leaf's live entries, re-reading the
+// leaf when an entry-level version check fails (§4.4). addr may be NilAddr
+// when the caller cannot cheaply re-read (sibling walks); the caller then
+// restarts from steering instead.
+func (h *Handle) leafEntriesConsistent(addr rdma.Addr, n layout.Node, buf []byte) ([]layout.KV, bool) {
+	for attempt := 0; attempt < 8; attempt++ {
+		leaf := layout.AsLeaf(n)
+		if h.t.cfg.Format.Mode != layout.TwoLevel {
+			return leaf.Entries(), true
+		}
+		torn := false
+		for i := 0; i < leaf.Cap(); i++ {
+			if leaf.Key(i) != 0 && !leaf.EntryConsistent(i) {
+				torn = true
+				break
+			}
+		}
+		if !torn {
+			return leaf.Entries(), true
+		}
+		if addr.IsNil() {
+			return nil, false
+		}
+		n, _ = h.readNode(addr, buf)
+		if !n.Alive() || !n.IsLeaf() {
+			return nil, false
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"sherman/internal/cluster"
+	"sherman/internal/layout"
+)
+
+func testCluster(t *testing.T, numMS, numCS int) *cluster.Cluster {
+	t.Helper()
+	return cluster.New(cluster.Config{NumMS: numMS, NumCS: numCS})
+}
+
+func smallFormat(mode layout.Mode) layout.Format {
+	// Tiny nodes force deep trees and frequent splits in tests.
+	return layout.NewFormat(mode, 8, 256)
+}
+
+func configsUnderTest() []Config {
+	sherman := ShermanConfig()
+	sherman.Format = smallFormat(layout.TwoLevel)
+	fg := FGPlusConfig()
+	fg.Format = smallFormat(layout.Checksum)
+	return []Config{sherman, fg}
+}
+
+func TestEmptyTreeLookup(t *testing.T) {
+	for _, cfg := range configsUnderTest() {
+		cl := testCluster(t, 2, 1)
+		tr := New(cl, cfg)
+		h := tr.NewHandle(0, 0)
+		if _, ok := h.Lookup(42); ok {
+			t.Errorf("%s: lookup on empty tree found a value", cfg.Name())
+		}
+	}
+}
+
+func TestInsertLookupSingleThread(t *testing.T) {
+	for _, cfg := range configsUnderTest() {
+		cl := testCluster(t, 2, 1)
+		tr := New(cl, cfg)
+		h := tr.NewHandle(0, 0)
+
+		const n = 5000
+		rng := rand.New(rand.NewPCG(1, 2))
+		oracle := make(map[uint64]uint64)
+		for i := 0; i < n; i++ {
+			k := rng.Uint64N(3*n) + 1
+			v := rng.Uint64() | 1
+			h.Insert(k, v)
+			oracle[k] = v
+		}
+		for k, v := range oracle {
+			got, ok := h.Lookup(k)
+			if !ok || got != v {
+				t.Fatalf("%s: lookup(%d) = %d,%v want %d,true", cfg.Name(), k, got, ok, v)
+			}
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%s: validate: %v", cfg.Name(), err)
+		}
+	}
+}
+
+func TestBulkloadAndLookup(t *testing.T) {
+	for _, cfg := range configsUnderTest() {
+		cl := testCluster(t, 4, 1)
+		tr := New(cl, cfg)
+
+		const n = 20000
+		kvs := make([]layout.KV, n)
+		for i := range kvs {
+			kvs[i] = layout.KV{Key: uint64(i + 1), Value: uint64(i+1) * 7}
+		}
+		tr.Bulkload(kvs)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%s: validate after bulkload: %v", cfg.Name(), err)
+		}
+
+		h := tr.NewHandle(0, 0)
+		for _, probe := range []uint64{1, 2, n / 2, n - 1, n} {
+			got, ok := h.Lookup(probe)
+			if !ok || got != probe*7 {
+				t.Fatalf("%s: lookup(%d) = %d,%v want %d,true", cfg.Name(), probe, got, ok, probe*7)
+			}
+		}
+		if _, ok := h.Lookup(n + 100); ok {
+			t.Fatalf("%s: found key beyond bulkloaded range", cfg.Name())
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	for _, cfg := range configsUnderTest() {
+		cl := testCluster(t, 2, 1)
+		tr := New(cl, cfg)
+		h := tr.NewHandle(0, 0)
+
+		for k := uint64(1); k <= 2000; k++ {
+			h.Insert(k, k*3)
+		}
+		for k := uint64(2); k <= 2000; k += 2 {
+			if !h.Delete(k) {
+				t.Fatalf("%s: delete(%d) reported missing", cfg.Name(), k)
+			}
+		}
+		if h.Delete(99999) {
+			t.Fatalf("%s: delete of absent key reported found", cfg.Name())
+		}
+		for k := uint64(1); k <= 2000; k++ {
+			v, ok := h.Lookup(k)
+			if k%2 == 0 && ok {
+				t.Fatalf("%s: deleted key %d still present", cfg.Name(), k)
+			}
+			if k%2 == 1 && (!ok || v != k*3) {
+				t.Fatalf("%s: surviving key %d wrong: %d,%v", cfg.Name(), k, v, ok)
+			}
+		}
+	}
+}
+
+func TestRangeQuery(t *testing.T) {
+	for _, cfg := range configsUnderTest() {
+		cl := testCluster(t, 2, 1)
+		tr := New(cl, cfg)
+		const n = 10000
+		kvs := make([]layout.KV, n)
+		for i := range kvs {
+			kvs[i] = layout.KV{Key: uint64(i+1) * 2, Value: uint64(i + 1)}
+		}
+		tr.Bulkload(kvs)
+		h := tr.NewHandle(0, 0)
+
+		got := h.Range(1000, 500)
+		if len(got) != 500 {
+			t.Fatalf("%s: range returned %d results, want 500", cfg.Name(), len(got))
+		}
+		want := uint64(1000)
+		for i, kv := range got {
+			if kv.Key != want {
+				t.Fatalf("%s: range[%d].Key = %d, want %d", cfg.Name(), i, kv.Key, want)
+			}
+			if kv.Value != want/2 {
+				t.Fatalf("%s: range[%d].Value = %d, want %d", cfg.Name(), i, kv.Value, want/2)
+			}
+			want += 2
+		}
+
+		// Range off the right edge returns only what exists.
+		tail := h.Range(uint64(n)*2-10, 100)
+		if len(tail) != 6 {
+			t.Fatalf("%s: tail range returned %d results, want 6", cfg.Name(), len(tail))
+		}
+	}
+}
+
+func TestConcurrentInsertLookup(t *testing.T) {
+	for _, cfg := range configsUnderTest() {
+		cl := testCluster(t, 4, 2)
+		tr := New(cl, cfg)
+
+		const threads = 8
+		const perThread = 2000
+		var wg sync.WaitGroup
+		for th := 0; th < threads; th++ {
+			wg.Add(1)
+			go func(th int) {
+				defer wg.Done()
+				h := tr.NewHandle(th%2, th)
+				base := uint64(th) * 1_000_000
+				for i := uint64(1); i <= perThread; i++ {
+					h.Insert(base+i, base+i*2)
+					if i%7 == 0 {
+						if v, ok := h.Lookup(base + i); !ok || v != base+i*2 {
+							t.Errorf("thread %d: lookup(%d) = %d,%v", th, base+i, v, ok)
+							return
+						}
+					}
+				}
+			}(th)
+		}
+		wg.Wait()
+		if t.Failed() {
+			t.Fatalf("%s: concurrent failures", cfg.Name())
+		}
+		h := tr.NewHandle(0, 99)
+		for th := 0; th < threads; th++ {
+			base := uint64(th) * 1_000_000
+			for i := uint64(1); i <= perThread; i += 97 {
+				if v, ok := h.Lookup(base + i); !ok || v != base+i*2 {
+					t.Fatalf("%s: post-hoc lookup(%d) = %d,%v", cfg.Name(), base+i, v, ok)
+				}
+			}
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%s: validate: %v", cfg.Name(), err)
+		}
+	}
+}
+
+func TestConcurrentHotKeyContention(t *testing.T) {
+	for _, cfg := range configsUnderTest() {
+		cl := testCluster(t, 2, 2)
+		tr := New(cl, cfg)
+		// A handful of hot keys hammered by many threads: exercises lock
+		// queueing, handover, and entry-version torn-read detection.
+		const threads = 12
+		const rounds = 1500
+		var wg sync.WaitGroup
+		for th := 0; th < threads; th++ {
+			wg.Add(1)
+			go func(th int) {
+				defer wg.Done()
+				h := tr.NewHandle(th%2, th)
+				rng := rand.New(rand.NewPCG(uint64(th), 99))
+				for i := 0; i < rounds; i++ {
+					k := rng.Uint64N(8) + 1
+					if rng.Uint64N(2) == 0 {
+						h.Insert(k, k*10000+uint64(i))
+					} else if v, ok := h.Lookup(k); ok && v/10000 != k {
+						// Every value ever written for k is k*10000+i with
+						// i < rounds, so any other reading is a torn read.
+						t.Errorf("torn value for key %d: %d", k, v)
+						return
+					}
+				}
+			}(th)
+		}
+		wg.Wait()
+		if t.Failed() {
+			t.Fatalf("%s: hot-key contention failures", cfg.Name())
+		}
+	}
+}

@@ -1,0 +1,336 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"sherman/internal/cache"
+	"sherman/internal/cluster"
+	"sherman/internal/hocl"
+	"sherman/internal/layout"
+	"sherman/internal/rdma"
+	"sherman/internal/stats"
+)
+
+// Insert stores (key, value), updating in place when key exists (the paper
+// folds updates into insert, §1). Key 0 is reserved.
+func (h *Handle) Insert(key, value uint64) {
+	if key == 0 {
+		panic("core: key 0 is reserved")
+	}
+	h.C.M.BeginOp()
+	t0 := h.C.Now()
+	dataBytes := h.insertInner(key, value)
+	h.Rec.RecordOp(stats.OpInsert, h.C.Now()-t0)
+	h.Rec.WriteRoundTrips.Record(int(h.C.M.OpRoundTrips))
+	h.Rec.WriteSizes.Record(dataBytes)
+}
+
+// Delete removes key, reporting whether it was present. Non-structural
+// deletes clear the entry in place (§4.4); underfull leaves are tolerated
+// rather than merged (see DESIGN.md §5).
+func (h *Handle) Delete(key uint64) bool {
+	if key == 0 {
+		panic("core: key 0 is reserved")
+	}
+	h.C.M.BeginOp()
+	t0 := h.C.Now()
+	found, dataBytes := h.deleteInner(key)
+	h.Rec.RecordOp(stats.OpDelete, h.C.Now()-t0)
+	h.Rec.WriteRoundTrips.Record(int(h.C.M.OpRoundTrips))
+	if found {
+		h.Rec.WriteSizes.Record(dataBytes)
+	}
+	return found
+}
+
+// unlockWrite releases g, flushing pending dependent writes per the tree's
+// command-combination setting.
+func (h *Handle) unlockWrite(g hocl.Guard, pending []rdma.WriteOp) {
+	h.t.locks.Unlock(h.C, g, pending, h.t.cfg.Combine)
+}
+
+// lockLeafForWrite locks and reads the leaf that must hold key, handling
+// stale steering and B-link move-right under lock coupling (unlock current,
+// lock sibling — Sherman holds at most one node lock at a time, §4.3 [52]).
+func (h *Handle) lockLeafForWrite(key uint64) (rdma.Addr, hocl.Guard, layout.Leaf) {
+	addr, ce := h.locateLeaf(key)
+	hops := 0
+	for {
+		g := h.t.locks.Lock(h.C, addr)
+		if g.HandedOver() {
+			h.Rec.Handovers++
+		}
+		n, _ := h.readNode(addr, h.leafBuf)
+		if !n.Alive() || !n.IsLeaf() || key < n.LowerFence() {
+			h.unlockWrite(g, nil)
+			if ce != nil {
+				h.cache.Invalidate(ce)
+				ce = nil
+			}
+			addr = h.traverseToLeaf(key)
+			continue
+		}
+		if n.UpperFence() != layout.NoUpperBound && key >= n.UpperFence() {
+			sib := n.Sibling()
+			h.unlockWrite(g, nil)
+			if sib.IsNil() {
+				panic(fmt.Sprintf("core: rightmost leaf %v has finite upper fence", addr))
+			}
+			h.noteSiblingHop(&hops)
+			addr = sib
+			continue
+		}
+		return addr, g, layout.AsLeaf(n)
+	}
+}
+
+func (h *Handle) insertInner(key, value uint64) (dataBytes int64) {
+	addr, g, leaf := h.lockLeafForWrite(key)
+	f := h.t.cfg.Format
+	h.C.Step(h.C.F.P.LocalStepNS)
+	if f.Mode == layout.TwoLevel {
+		i, found := leaf.Find(key)
+		if !found {
+			i = leaf.FindFree()
+		}
+		if found || i >= 0 {
+			// Entry-level modification: bump FEV/REV and write back only the
+			// entry (Figure 7 lines 11-17) — the write-amplification fix.
+			leaf.SetEntry(i, key, value)
+			off, sz := leaf.EntrySpan(i)
+			h.unlockWrite(g, []rdma.WriteOp{{Addr: addr.Add(uint64(off)), Data: leaf.B[off : off+sz]}})
+			return int64(sz)
+		}
+		return h.splitLeaf(addr, g, leaf, key, value)
+	}
+	if leaf.InsertSorted(key, value) {
+		leaf.UpdateChecksum()
+		h.unlockWrite(g, []rdma.WriteOp{{Addr: addr, Data: leaf.B}})
+		return int64(f.NodeSize)
+	}
+	return h.splitLeaf(addr, g, leaf, key, value)
+}
+
+func (h *Handle) deleteInner(key uint64) (bool, int64) {
+	addr, g, leaf := h.lockLeafForWrite(key)
+	f := h.t.cfg.Format
+	h.C.Step(h.C.F.P.LocalStepNS)
+	if f.Mode == layout.TwoLevel {
+		i, found := leaf.Find(key)
+		if !found {
+			h.unlockWrite(g, nil)
+			return false, 0
+		}
+		leaf.ClearEntry(i)
+		off, sz := leaf.EntrySpan(i)
+		h.unlockWrite(g, []rdma.WriteOp{{Addr: addr.Add(uint64(off)), Data: leaf.B[off : off+sz]}})
+		return true, int64(sz)
+	}
+	if !leaf.DeleteSorted(key) {
+		h.unlockWrite(g, nil)
+		return false, 0
+	}
+	leaf.UpdateChecksum()
+	h.unlockWrite(g, []rdma.WriteOp{{Addr: addr, Data: leaf.B}})
+	return true, int64(f.NodeSize)
+}
+
+// splitLeaf splits the locked full leaf, inserting (key, value) into the
+// proper half, and propagates the separator to the parent (Figure 7 lines
+// 18-39). It returns the data bytes written back.
+func (h *Handle) splitLeaf(addr rdma.Addr, g hocl.Guard, leaf layout.Leaf, key, value uint64) int64 {
+	f := h.t.cfg.Format
+	kvs := leaf.Entries() // sorts the unsorted leaf (Figure 7 line 21)
+	i := sort.Search(len(kvs), func(i int) bool { return kvs[i].Key >= key })
+	kvs = append(kvs, layout.KV{})
+	copy(kvs[i+1:], kvs[i:])
+	kvs[i] = layout.KV{Key: key, Value: value}
+
+	mid := len(kvs) / 2
+	sep := kvs[mid].Key
+
+	sibAddr := h.alloc.Alloc(f.NodeSize)
+	sib := layout.NewLeaf(f, sep, leaf.UpperFence())
+	sib.SetSibling(leaf.Sibling())
+	sib.SetEntries(kvs[mid:])
+
+	leaf.SetEntries(kvs[:mid])
+	leaf.SetUpperFence(sep)
+	leaf.SetSibling(sibAddr)
+	if f.Mode == layout.TwoLevel {
+		leaf.BumpNodeVersions() // node-level modification (Figure 7 lines 26-28)
+	} else {
+		sib.UpdateChecksum()
+		leaf.UpdateChecksum()
+	}
+
+	dataBytes := int64(2 * f.NodeSize)
+	// Sibling write-back, node write-back and lock release combine when the
+	// new sibling landed on the same MS (Figure 7 lines 29-35).
+	if sibAddr.MS() == addr.MS() {
+		h.unlockWrite(g, []rdma.WriteOp{
+			{Addr: sibAddr, Data: sib.B},
+			{Addr: addr, Data: leaf.B},
+		})
+	} else {
+		h.C.Write(sibAddr, sib.B)
+		h.unlockWrite(g, []rdma.WriteOp{{Addr: addr, Data: leaf.B}})
+	}
+	h.insertParent(sep, sibAddr, 1)
+	return dataBytes
+}
+
+// insertParent inserts (sepKey -> child) into the internal node at the given
+// level, creating a new root when the tree grows (insert_internal of
+// Figure 7 line 39).
+func (h *Handle) insertParent(sepKey uint64, child rdma.Addr, level uint8) {
+	f := h.t.cfg.Format
+	for {
+		root, rootLvl := h.top.Root()
+		if root.IsNil() {
+			root, rootLvl = h.refreshRoot()
+		}
+		if rootLvl < level {
+			// The split node was the root: grow the tree.
+			newRootAddr := h.alloc.Alloc(f.NodeSize)
+			nr := layout.NewInternal(f, level, 0, layout.NoUpperBound)
+			nr.SetLeftmost(root)
+			nr.Insert(sepKey, child)
+			if f.Mode == layout.Checksum {
+				nr.UpdateChecksum()
+			}
+			h.C.Write(newRootAddr, nr.B)
+			if cluster.CASRoot(h.C, root, newRootAddr, level) {
+				h.top.SetRoot(newRootAddr, level)
+				return
+			}
+			// Lost the root race: deallocate (clear the free bit, §4.2.4)
+			// and retry against the winner's root.
+			h.C.Write(newRootAddr.Add(layout.AliveOffset), []byte{0})
+			h.refreshRoot()
+			continue
+		}
+		addr, ce := h.locateInternal(sepKey, level)
+		done, ok := h.tryInsertAt(addr, ce, sepKey, child, level)
+		if done {
+			return
+		}
+		if !ok {
+			continue // stale steering; retry from a fresh root
+		}
+	}
+}
+
+// locateInternal finds the internal node at the target level covering key.
+// Level-1 targets use the index cache (the entry's own address is the
+// level-1 node).
+func (h *Handle) locateInternal(key uint64, level uint8) (rdma.Addr, *cache.Entry) {
+	if level == 1 {
+		if e := h.cache.Lookup(key); e != nil {
+			return e.Addr, e
+		}
+	}
+	root, rootLvl := h.top.Root()
+	if root.IsNil() || rootLvl < level {
+		root, rootLvl = h.refreshRoot()
+	}
+	addr, lvl := root, rootLvl
+	for lvl > level {
+		n, fromCache := h.readInternal(addr, lvl, rootLvl)
+		if !n.Alive() || n.Level() != lvl || key < n.LowerFence() {
+			if fromCache {
+				h.top.Drop(addr)
+			}
+			root, rootLvl = h.refreshRoot()
+			addr, lvl = root, rootLvl
+			continue
+		}
+		if n.UpperFence() != layout.NoUpperBound && key >= n.UpperFence() {
+			addr = n.Sibling()
+			continue
+		}
+		c, _ := layout.AsInternal(n).ChildFor(key)
+		addr = c
+		lvl--
+	}
+	return addr, nil
+}
+
+// tryInsertAt locks the internal node at addr and inserts or splits.
+// done=true means the separator was placed (possibly after recursing up);
+// ok=false means steering was stale and the caller should retry.
+func (h *Handle) tryInsertAt(addr rdma.Addr, ce *cache.Entry, sepKey uint64, child rdma.Addr, level uint8) (done, ok bool) {
+	f := h.t.cfg.Format
+	hops := 0
+	for {
+		g := h.t.locks.Lock(h.C, addr)
+		if g.HandedOver() {
+			h.Rec.Handovers++
+		}
+		n, _ := h.readNode(addr, h.nodeBuf)
+		if !n.Alive() || n.Level() != level || sepKey < n.LowerFence() {
+			h.unlockWrite(g, nil)
+			if ce != nil {
+				h.cache.Invalidate(ce)
+			}
+			return false, false
+		}
+		if n.UpperFence() != layout.NoUpperBound && sepKey >= n.UpperFence() {
+			sib := n.Sibling()
+			h.unlockWrite(g, nil)
+			if sib.IsNil() {
+				return false, false
+			}
+			h.noteSiblingHop(&hops)
+			addr = sib
+			ce = nil
+			continue
+		}
+		in := layout.AsInternal(n)
+		h.C.Step(h.C.F.P.LocalStepNS)
+		if in.Insert(sepKey, child) {
+			if f.Mode == layout.TwoLevel {
+				in.BumpNodeVersions()
+			} else {
+				in.UpdateChecksum()
+			}
+			h.unlockWrite(g, []rdma.WriteOp{{Addr: addr, Data: in.B}})
+			if level == 1 {
+				h.cacheLevel1(addr, in.Node)
+			}
+			return true, true
+		}
+		// Full: split the internal node and push the median up.
+		rightAddr := h.alloc.Alloc(f.NodeSize)
+		right := layout.NewInternal(f, level, 0, layout.NoUpperBound)
+		upSep := in.SplitInto(right, rightAddr)
+		switch {
+		case sepKey < upSep:
+			in.Insert(sepKey, child)
+		default:
+			right.Insert(sepKey, child)
+		}
+		if f.Mode == layout.TwoLevel {
+			in.BumpNodeVersions()
+		} else {
+			right.UpdateChecksum()
+			in.UpdateChecksum()
+		}
+		if rightAddr.MS() == addr.MS() {
+			h.unlockWrite(g, []rdma.WriteOp{
+				{Addr: rightAddr, Data: right.B},
+				{Addr: addr, Data: in.B},
+			})
+		} else {
+			h.C.Write(rightAddr, right.B)
+			h.unlockWrite(g, []rdma.WriteOp{{Addr: addr, Data: in.B}})
+		}
+		if level == 1 {
+			h.cacheLevel1(addr, in.Node)
+			h.cacheLevel1(rightAddr, right.Node)
+		}
+		h.insertParent(upSep, rightAddr, level+1)
+		return true, true
+	}
+}

@@ -1,0 +1,145 @@
+package hocl
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestConvoyDepthQueueOnly(t *testing.T) {
+	var s gslot
+	s.waiters = []*gwaiter{{}, {}, {}}
+	// Without a full arrival ring, the estimate is just the queue length.
+	if got := s.convoyDepth(1_000_000, 100); got != 3 {
+		t.Errorf("depth = %d, want 3 (queue only)", got)
+	}
+}
+
+func TestConvoyDepthRateExtrapolation(t *testing.T) {
+	var s gslot
+	// One arrival every 1000 ns fills the ring.
+	for i := 0; i < len(s.arrivals); i++ {
+		s.noteArrival(int64(i) * 1000)
+	}
+	s.waiters = []*gwaiter{{}}
+	// The lock's timeline leads the newest arrival by 10_000 ns: ten more
+	// clients will virtually arrive inside that window.
+	got := s.convoyDepth(s.lastArrival+10_000, 1000)
+	if got < 9 || got > 13 {
+		t.Errorf("depth = %d, want ~11 (1 queued + ~10 extrapolated)", got)
+	}
+}
+
+func TestConvoyDepthCappedAtPopulation(t *testing.T) {
+	var s gslot
+	for i := 0; i < len(s.arrivals); i++ {
+		s.noteArrival(int64(i) * 10) // very fast arrivals
+	}
+	got := s.convoyDepth(s.lastArrival+1_000_000, 42)
+	if got != 42 {
+		t.Errorf("depth = %d, want the population cap 42", got)
+	}
+	// No cap when maxClients is zero (unknown population).
+	if got := s.convoyDepth(s.lastArrival+1_000, 0); got <= 42 {
+		t.Errorf("uncapped depth = %d, want > 42", got)
+	}
+}
+
+func TestConvoyDepthNoLead(t *testing.T) {
+	var s gslot
+	for i := 0; i < len(s.arrivals); i++ {
+		s.noteArrival(int64(i) * 1000)
+	}
+	// Release time at or before the newest arrival: no extrapolation.
+	if got := s.convoyDepth(s.lastArrival, 100); got != 0 {
+		t.Errorf("depth = %d, want 0", got)
+	}
+}
+
+func TestNoteArrivalRing(t *testing.T) {
+	var s gslot
+	for i := 0; i < 100; i++ {
+		s.noteArrival(int64(i))
+	}
+	if s.acount != len(s.arrivals) {
+		t.Errorf("acount = %d, want ring size %d", s.acount, len(s.arrivals))
+	}
+	if s.lastArrival != 99 {
+		t.Errorf("lastArrival = %d, want 99", s.lastArrival)
+	}
+	// Out-of-order arrival must not move lastArrival backwards.
+	s.noteArrival(50)
+	if s.lastArrival != 99 {
+		t.Errorf("lastArrival after stale arrival = %d, want 99", s.lastArrival)
+	}
+}
+
+// TestLocalLockRelVPropagation: a thread acquiring a free local lock
+// inherits the previous holder's virtual release time.
+func TestLocalLockRelVPropagation(t *testing.T) {
+	f := testFabric(t, 1, 1)
+	m := NewManager(f, Config{Mode: Sherman(), LocksPerMS: 8})
+	c1 := f.NewClient(0)
+	g := m.LockIdx(c1, 0, 0)
+	c1.Step(5000)
+	m.Unlock(c1, g, nil, true)
+	rel := c1.Now()
+
+	// A second thread with a clock in the past acquires later (real time):
+	// its clock must advance to at least the previous release.
+	c2 := f.NewClient(0)
+	g2 := m.LockIdx(c2, 0, 0)
+	if c2.Now() < rel {
+		t.Errorf("second holder's clock %d is inside the previous hold (release %d)", c2.Now(), rel)
+	}
+	m.Unlock(c2, g2, nil, true)
+}
+
+// TestGlobalRetriesCounted: a waiter that must wait accrues retry counts.
+func TestGlobalRetriesCounted(t *testing.T) {
+	f := testFabric(t, 1, 2)
+	m := NewManager(f, Config{Mode: Baseline(), LocksPerMS: 8})
+
+	c1 := f.NewClient(0)
+	g := m.LockIdx(c1, 0, 0)
+	c1.Step(200_000) // long hold
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c2 := f.NewClient(1)
+		g2 := m.LockIdx(c2, 0, 0) // blocks until release, then spins virtually
+		m.Unlock(c2, g2, nil, true)
+	}()
+	m.Unlock(c1, g, nil, true)
+	<-done
+	if m.Stats.GlobalRetries.Load() == 0 {
+		t.Error("no retries recorded for a 200 us wait")
+	}
+}
+
+// TestCrossCSContention: threads on different compute servers contend on
+// one lock; exclusion and progress must hold with local tables enabled
+// (each CS has its own LLT, the global slot arbitrates between them).
+func TestCrossCSContention(t *testing.T) {
+	f := testFabric(t, 1, 4)
+	m := NewManager(f, Config{Mode: Sherman(), LocksPerMS: 4})
+	var counter int64
+	var wg sync.WaitGroup
+	const threads, ops = 8, 250
+	for th := 0; th < threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			c := f.NewClient(th % 4)
+			for i := 0; i < ops; i++ {
+				g := m.LockIdx(c, 0, 1)
+				counter++
+				m.Unlock(c, g, nil, true)
+			}
+		}(th)
+	}
+	wg.Wait()
+	if counter != threads*ops {
+		t.Errorf("counter = %d, want %d", counter, threads*ops)
+	}
+}

@@ -1,0 +1,449 @@
+// Package hocl implements Sherman's hierarchical on-chip lock (§4.3): global
+// lock tables (GLTs) stored in the on-chip device memory of memory-server
+// NICs, and per-compute-server local lock tables (LLTs) with FIFO wait
+// queues and a bounded lock-handover mechanism.
+//
+// The package also implements every degraded configuration the paper
+// ablates (Figure 16 and the +On-Chip / +Hierarchical steps of Figures 10
+// and 11): host-memory lock tables, lockless-local spinning, local tables
+// without wait queues, and wait queues without handover.
+package hocl
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"sherman/internal/rdma"
+)
+
+// DefaultLocksPerMS is the default GLT size. The paper packs 131,072
+// 16-bit locks into the 256 KB of ConnectX-5 on-chip memory; the simulator
+// defaults lower to keep per-CS local tables small in-process (see
+// DESIGN.md §2), and accepts the full value via Config.
+const DefaultLocksPerMS = 16384
+
+// DefaultMaxHandover bounds consecutive intra-CS handovers so remote
+// compute servers cannot starve (§4.3: MAX_DEPTH = 4).
+const DefaultMaxHandover = 4
+
+// Mode selects which parts of HOCL are active; the zero value is the FG-like
+// baseline (host-memory locks, global CAS spinning, no local coordination).
+type Mode struct {
+	// OnChip stores GLTs in NIC on-chip device memory (16-bit masked-CAS
+	// locks) instead of host memory (64-bit CAS locks behind PCIe).
+	OnChip bool
+	// Local enables per-CS local lock tables: a thread acquires the local
+	// lock before issuing any remote CAS, eliminating intra-CS retry storms.
+	Local bool
+	// WaitQueue adds FIFO wait queues to local locks, providing
+	// first-come-first-served fairness within a CS. Requires Local.
+	WaitQueue bool
+	// Handover lets a releasing thread pass the *global* lock directly to
+	// the next local waiter, saving that waiter's remote acquisition round
+	// trip. Requires WaitQueue.
+	Handover bool
+}
+
+// Sherman is the full HOCL configuration.
+func Sherman() Mode {
+	return Mode{OnChip: true, Local: true, WaitQueue: true, Handover: true}
+}
+
+// Baseline is the FG-style RDMA spin lock: 64-bit CAS on host memory,
+// release by WRITE, no CS-side coordination.
+func Baseline() Mode { return Mode{} }
+
+func (m Mode) validate() error {
+	if m.WaitQueue && !m.Local {
+		return fmt.Errorf("hocl: WaitQueue requires Local")
+	}
+	if m.Handover && !m.WaitQueue {
+		return fmt.Errorf("hocl: Handover requires WaitQueue")
+	}
+	return nil
+}
+
+// Stats aggregates lock activity across all threads of a Manager.
+type Stats struct {
+	// Acquisitions counts successful lock acquisitions.
+	Acquisitions atomic.Int64
+	// Handovers counts acquisitions satisfied by intra-CS handover, which
+	// skip the remote CAS entirely.
+	Handovers atomic.Int64
+	// GlobalRetries counts failed remote CAS attempts.
+	GlobalRetries atomic.Int64
+	// LocalWaits counts acquisitions that had to wait for a local holder.
+	LocalWaits atomic.Int64
+	// MaxWaiters is the high-water mark of threads queued on one global
+	// lock — the depth of the worst convoy (diagnostic for the §3.2.2
+	// collapse).
+	MaxWaiters atomic.Int64
+	// Grants counts lock handoffs to queued waiters; GrantSpinnersSum sums
+	// the queue depth at those handoffs (diagnostics: their ratio is the
+	// average convoy depth a winner's CAS must traverse).
+	Grants           atomic.Int64
+	GrantSpinnersSum atomic.Int64
+}
+
+func (s *Stats) noteWaiters(n int) {
+	v := int64(n)
+	for {
+		old := s.MaxWaiters.Load()
+		if v <= old || s.MaxWaiters.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// Config sizes a lock manager.
+type Config struct {
+	Mode Mode
+	// LocksPerMS is the GLT size per memory server; 0 means
+	// DefaultLocksPerMS.
+	LocksPerMS int
+	// MaxHandover is the consecutive-handover bound; 0 means
+	// DefaultMaxHandover.
+	MaxHandover int
+}
+
+// Manager owns the global lock tables of every memory server and the local
+// lock tables of every compute server.
+type Manager struct {
+	mode        Mode
+	locksPerMS  int
+	maxHandover int
+	f           *rdma.Fabric
+
+	// gltHostBase[ms] is the host-memory base offset of ms's lock table
+	// when !mode.OnChip. On-chip GLTs start at on-chip offset 0.
+	gltHostBase []uint64
+
+	llts []*localTable // indexed by CS id; nil when !mode.Local
+
+	// slots[ms*locksPerMS+idx] serializes each global lock in virtual time.
+	// Worker goroutines execute at unrelated real-time rates, so a raw
+	// real-time CAS race would let a thread whose virtual clock is far in
+	// the future snatch a lock from virtually-earlier waiters, dragging the
+	// lock's timeline forward and billing laggards phantom retry storms.
+	// Instead each slot tracks its holder and grants releases to the
+	// virtually-earliest waiter, while the waiters pay — against the NIC
+	// pipelines and atomic buckets — for every spin retry real hardware
+	// would have issued during their wait (§3.2.2). Real mutual exclusion
+	// and faithful virtual-time ordering both hold, independent of
+	// goroutine scheduling.
+	slots []gslot
+
+	// Stats is safe to read after threads quiesce.
+	Stats Stats
+}
+
+// gslot is the simulation state of one global lock.
+type gslot struct {
+	mu      sync.Mutex
+	held    bool
+	relV    int64      // virtual time of the most recent release
+	waiters []*gwaiter // threads blocked on the held lock
+
+	// Arrival history for convoy-depth estimation. Client goroutines run at
+	// unrelated real-time speeds, so at any real instant the queue holds
+	// only a few waiters even when — in virtual time — dozens of clients
+	// are spinning on this lock (their wait windows overlap the lock's
+	// timeline, which runs far ahead of the client population under
+	// contention). The virtual convoy depth is therefore estimated from
+	// the observed arrival rate: V = queued + rate x (lock lead over the
+	// newest arrival).
+	arrivals    [16]int64 // ring of recent arrival clocks
+	ai          int       // next ring index
+	acount      int       // samples recorded (saturates at ring size)
+	lastArrival int64     // newest arrival clock seen
+}
+
+// noteArrival records a waiter's clock for rate estimation. Caller holds mu.
+func (s *gslot) noteArrival(clock int64) {
+	s.arrivals[s.ai] = clock
+	s.ai = (s.ai + 1) % len(s.arrivals)
+	if s.acount < len(s.arrivals) {
+		s.acount++
+	}
+	if clock > s.lastArrival {
+		s.lastArrival = clock
+	}
+}
+
+// convoyDepth estimates how many clients are virtually spinning on the lock
+// at virtual time rel, bounded by the client population (each client has at
+// most one command in flight). Caller holds mu.
+func (s *gslot) convoyDepth(rel int64, maxClients int) int {
+	v := len(s.waiters)
+	if s.acount == len(s.arrivals) {
+		oldest := s.arrivals[s.ai] // ring is full: next slot holds the oldest
+		if span := s.lastArrival - oldest; span > 0 {
+			rate := float64(s.acount-1) / float64(span) // arrivals per virtual ns
+			if lead := rel - s.lastArrival; lead > 0 {
+				v += int(rate * float64(lead))
+			}
+		}
+	}
+	if maxClients > 0 && v > maxClients {
+		v = maxClients
+	}
+	return v
+}
+
+// gwaiter is one thread waiting for a global lock.
+type gwaiter struct {
+	clock int64      // the waiter's virtual clock at arrival
+	ch    chan grant // receives the releaser's virtual release time
+}
+
+// grant is the message a releaser passes to the waiter it wakes.
+type grant struct {
+	rel int64 // releaser's virtual release time
+	// spinners is the number of threads still waiting at handoff. On real
+	// hardware every spinner keeps one CAS permanently in flight, so the
+	// NIC's atomic unit carries a backlog of ~spinners * service-time that
+	// the winner's CAS must traverse before it can observe the released
+	// lock (§3.2.2) — the mechanism behind Figure 2's collapse.
+	spinners int
+}
+
+// NewManager builds the lock tables over fabric f. Host-memory GLTs reserve
+// one chunk per memory server at setup time.
+func NewManager(f *rdma.Fabric, cfg Config) *Manager {
+	if err := cfg.Mode.validate(); err != nil {
+		panic(err)
+	}
+	n := cfg.LocksPerMS
+	if n == 0 {
+		n = DefaultLocksPerMS
+	}
+	maxHO := cfg.MaxHandover
+	if maxHO == 0 {
+		maxHO = DefaultMaxHandover
+	}
+	m := &Manager{mode: cfg.Mode, locksPerMS: n, maxHandover: maxHO, f: f}
+	if cfg.Mode.OnChip {
+		for _, s := range f.Servers {
+			if need := n * 2; need > s.OnChipSize() {
+				panic(fmt.Sprintf("hocl: %d locks need %d B on-chip, NIC has %d B", n, need, s.OnChipSize()))
+			}
+		}
+	} else {
+		for _, s := range f.Servers {
+			if n*8 > rdma.DefaultChunkSize {
+				panic(fmt.Sprintf("hocl: host GLT of %d locks exceeds one chunk", n))
+			}
+			m.gltHostBase = append(m.gltHostBase, s.Grow())
+		}
+	}
+	if cfg.Mode.Local {
+		for range f.CSs {
+			m.llts = append(m.llts, newLocalTable(len(f.Servers)*n))
+		}
+	}
+	m.slots = make([]gslot, len(f.Servers)*n)
+	return m
+}
+
+// LocksPerMS returns the GLT size per memory server.
+func (m *Manager) LocksPerMS() int { return m.locksPerMS }
+
+// index hashes a protected object's address into its GLT slot (§4.3, line 5
+// of Figure 6). splitmix64 finalizer — fast and well mixed.
+func (m *Manager) index(a rdma.Addr) int {
+	x := uint64(a)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(m.locksPerMS))
+}
+
+// gltAddr returns the global address of lock slot idx on server ms.
+func (m *Manager) gltAddr(ms uint16, idx int) rdma.Addr {
+	if m.mode.OnChip {
+		return rdma.MakeOnChipAddr(ms, uint64(idx)*2)
+	}
+	return rdma.MakeAddr(ms, m.gltHostBase[ms]+uint64(idx)*8)
+}
+
+// Guard is an acquired lock; pass it back to Unlock.
+type Guard struct {
+	m         *Manager
+	ms        uint16
+	idx       int
+	slot      int
+	gaddr     rdma.Addr
+	ll        *localLock
+	handedOff bool // acquired via handover: global lock still held by this CS
+}
+
+// HandedOver reports whether this acquisition skipped the remote CAS.
+func (g Guard) HandedOver() bool { return g.handedOff }
+
+// Lock acquires the exclusive lock protecting the object at addr, per the
+// HOCL_Lock pseudo-code (Figure 6): local lock first (queueing locally under
+// contention), then the remote lock in the GLT unless it was handed over.
+func (m *Manager) Lock(c *rdma.Client, addr rdma.Addr) Guard {
+	idx := m.index(addr)
+	return m.LockIdx(c, addr.MS(), idx)
+}
+
+// LockIdx acquires GLT slot idx on server ms directly, bypassing hashing.
+// The lock microbenchmarks (Figures 2 and 16) use it to place exactly N
+// distinct locks.
+func (m *Manager) LockIdx(c *rdma.Client, ms uint16, idx int) Guard {
+	slot := int(ms)*m.locksPerMS + idx
+	g := Guard{m: m, ms: ms, idx: idx, slot: slot, gaddr: m.gltAddr(ms, idx)}
+	if m.mode.Local {
+		ll := m.llts[c.CS.ID].lock(slot)
+		g.ll = ll
+		g.handedOff = ll.acquire(c, m.mode.WaitQueue, &m.Stats)
+		if g.handedOff {
+			m.Stats.Handovers.Add(1)
+			m.Stats.Acquisitions.Add(1)
+			return g
+		}
+	}
+	m.acquireGlobal(c, g.gaddr, slot)
+	m.Stats.Acquisitions.Add(1)
+	return g
+}
+
+// acquireGlobal acquires the GLT slot: it claims the slot's simulation state
+// (queueing behind the current holder when necessary), pays the spin retries
+// real hardware would have issued while the lock was held, and then flips
+// the physical lock word from 0 to this CS's identifier (+1 so an id of zero
+// is distinguishable from "unlocked") with one RDMA_CAS.
+func (m *Manager) acquireGlobal(c *rdma.Client, gaddr rdma.Addr, slot int) {
+	s := &m.slots[slot]
+	svc := c.AtomicSvcNS(gaddr)
+	var spinners int
+	var rel int64
+	s.mu.Lock()
+	if s.held {
+		// Queue on the slot; the releaser grants to the virtually-earliest
+		// waiter and passes its release timestamp along.
+		w := &gwaiter{clock: c.Now(), ch: make(chan grant, 1)}
+		s.waiters = append(s.waiters, w)
+		s.noteArrival(w.clock)
+		m.Stats.noteWaiters(len(s.waiters))
+		s.mu.Unlock()
+		g := <-w.ch
+		rel, spinners = g.rel, g.spinners
+		m.Stats.Grants.Add(1)
+		m.Stats.GrantSpinnersSum.Add(int64(g.spinners))
+	} else {
+		rel = s.relV
+		s.held = true
+		s.mu.Unlock()
+		// The lock is free in real time, but the previous virtual hold
+		// window may extend past our clock; spin through the remainder.
+	}
+	// Pay the spin retries of the wait: one CAS in flight at all times,
+	// each completing only after the convoy's queued commands drain
+	// (§3.2.2), so the retry cadence stretches with the convoy.
+	backlog := int64(spinners) * svc
+	n := c.ChargeSpin(gaddr, c.Now(), rel, c.F.P.RTTNS+svc+backlog)
+	m.Stats.GlobalRetries.Add(int64(n))
+
+	id := uint64(c.CS.ID) + 1
+	var ok bool
+	if m.mode.OnChip {
+		_, ok = c.CAS16Backlog(gaddr, 0, uint16(id), backlog)
+	} else {
+		_, ok = c.CASBacklog(gaddr, 0, uint64(id), backlog)
+	}
+	if !ok {
+		panic("hocl: winning CAS failed despite slot serialization")
+	}
+}
+
+// releaseSlot records the virtual release time and hands the slot to the
+// virtually-earliest waiter, if any. The physical lock word was already
+// cleared by the caller's release WRITE, so the woken waiter's CAS finds it
+// free.
+func (m *Manager) releaseSlot(slot int, now int64) {
+	s := &m.slots[slot]
+	s.mu.Lock()
+	s.relV = now
+	if len(s.waiters) > 0 {
+		min := 0
+		for i, w := range s.waiters {
+			if w.clock < s.waiters[min].clock {
+				min = i
+			}
+		}
+		w := s.waiters[min]
+		s.waiters[min] = s.waiters[len(s.waiters)-1]
+		s.waiters = s.waiters[:len(s.waiters)-1]
+		spinners := s.convoyDepth(now, m.f.ClientCount())
+		s.mu.Unlock() // the slot stays held; ownership passes to w
+		w.ch <- grant{rel: now, spinners: spinners}
+		return
+	}
+	s.held = false
+	s.mu.Unlock()
+}
+
+// releaseOp returns the WRITE command that clears the GLT slot (lock release
+// by RDMA_WRITE, which is cheaper than RDMA_FAA — §5.1.2, [68]).
+func (m *Manager) releaseOp(gaddr rdma.Addr) rdma.WriteOp {
+	if m.mode.OnChip {
+		return rdma.WriteOp{Addr: gaddr, Data: []byte{0, 0}}
+	}
+	return rdma.WriteOp{Addr: gaddr, Data: make([]byte, 8)}
+}
+
+// Unlock releases the lock, flushing the caller's pending dependent writes.
+//
+// When combine is true, the write-backs and (if no handover happens) the
+// lock-release WRITE are posted as one doorbell batch on the node's QP — one
+// round trip total (§4.5). When combine is false the writes are issued as
+// separate signaled commands, each costing a round trip (the FG+ behavior).
+//
+// All writes in pending must target the same memory server as the lock;
+// PostWrites enforces this. Writes to *other* servers (cross-MS split
+// siblings) must be issued by the caller before Unlock, as in Figure 7.
+func (m *Manager) Unlock(c *rdma.Client, g Guard, pending []rdma.WriteOp, combine bool) {
+	if g.ll != nil {
+		g.ll.mu.Lock()
+		handover := m.mode.Handover && len(g.ll.queue) > 0 && g.ll.depth < int32(m.maxHandover)
+		if handover {
+			g.ll.depth++
+		} else {
+			g.ll.depth = 0
+		}
+		m.flush(c, g, pending, combine, !handover)
+		g.ll.releaseLocked(c.Now())
+		return
+	}
+	m.flush(c, g, pending, combine, true)
+}
+
+// flush issues the dependent writes and, when releaseGlobal is set, the GLT
+// clear.
+func (m *Manager) flush(c *rdma.Client, g Guard, pending []rdma.WriteOp, combine, releaseGlobal bool) {
+	if combine {
+		ops := pending
+		if releaseGlobal {
+			ops = append(ops, m.releaseOp(g.gaddr))
+		}
+		if len(ops) > 0 {
+			c.PostWrites(ops...)
+		}
+	} else {
+		for _, op := range pending {
+			c.Write(op.Addr, op.Data)
+		}
+		if releaseGlobal {
+			op := m.releaseOp(g.gaddr)
+			c.Write(op.Addr, op.Data)
+		}
+	}
+	if releaseGlobal {
+		m.releaseSlot(g.slot, c.Now())
+	}
+}

@@ -1,0 +1,104 @@
+package hocl
+
+import (
+	"runtime"
+	"sync"
+
+	"sherman/internal/rdma"
+)
+
+// localTable is one compute server's local lock table (LLT): one local lock
+// per GLT slot of every memory server (§4.3). It coordinates conflicting
+// acquisitions *within* a CS so that at most one thread per CS ever spins on
+// the remote lock.
+type localTable struct {
+	locks []localLock
+}
+
+func newLocalTable(n int) *localTable {
+	return &localTable{locks: make([]localLock, n)}
+}
+
+func (t *localTable) lock(i int) *localLock { return &t.locks[i] }
+
+// localLock is one LLT entry. The mutex only guards the entry's own state;
+// waiting happens on per-waiter channels so the FIFO order is explicit and
+// the releaser can hand both the virtual release time and the handover flag
+// to its successor.
+type localLock struct {
+	mu    sync.Mutex
+	held  bool
+	queue []chan wake
+	depth int32
+	// relV is the holder's virtual clock at the most recent release; late
+	// spinners inherit it so local waiting consumes virtual time.
+	relV int64
+}
+
+// wake is the message a releaser passes to the next FIFO waiter.
+type wake struct {
+	v        int64 // releaser's virtual time
+	handover bool  // true: the global lock comes with it
+}
+
+// acquire takes the local lock on behalf of client c, blocking (FIFO when
+// waitQueue, barging spin otherwise) until this thread holds it. It returns
+// true when the *global* lock was handed over along with the local one.
+func (l *localLock) acquire(c *rdma.Client, waitQueue bool, st *Stats) bool {
+	l.mu.Lock()
+	if !l.held {
+		l.held = true
+		rel := l.relV
+		l.mu.Unlock()
+		// The previous virtual hold window may extend past our clock even
+		// though the lock is free in real time.
+		c.Clk.AdvanceTo(rel)
+		return false
+	}
+	st.LocalWaits.Add(1)
+	if waitQueue {
+		ch := make(chan wake, 1)
+		l.queue = append(l.queue, ch)
+		l.mu.Unlock()
+		w := <-ch
+		// Ownership transferred by the releaser; account the wait.
+		c.Clk.AdvanceTo(w.v)
+		c.Step(c.F.P.LocalSpinNS)
+		return w.handover
+	}
+	// No wait queue: unfair local spinning (the "+Hierarchical structure
+	// only" configuration of Figure 16).
+	l.mu.Unlock()
+	for {
+		c.Step(c.F.P.LocalSpinNS)
+		runtime.Gosched()
+		l.mu.Lock()
+		if !l.held {
+			l.held = true
+			rel := l.relV
+			l.mu.Unlock()
+			c.Clk.AdvanceTo(rel)
+			return false
+		}
+		l.mu.Unlock()
+	}
+}
+
+// releaseLocked finishes a release whose decisions were made by the caller
+// (Manager.Unlock) while holding l.mu: it records the virtual release time,
+// wakes the FIFO successor if any, and unlocks the entry. The caller has
+// already flushed its dependent RDMA writes, so a woken successor observes
+// fully written memory.
+func (l *localLock) releaseLocked(now int64) {
+	l.relV = now
+	if len(l.queue) > 0 {
+		ch := l.queue[0]
+		l.queue = l.queue[1:]
+		handover := l.depth > 0 // Manager set depth>0 iff handing over
+		l.mu.Unlock()
+		ch <- wake{v: now, handover: handover}
+		return
+	}
+	l.held = false
+	l.mu.Unlock()
+}

@@ -1,0 +1,211 @@
+package layout
+
+import "sort"
+
+// Leaf views a node buffer as a leaf.
+//
+// TwoLevel mode: the entry array is unsorted; empty slots have key 0 (key 0
+// is reserved, §4.4 "set key to null" on delete); every entry is wrapped in
+// a pair of 4-bit versions (FEV/REV) so a single-entry write-back is
+// self-verifying.
+//
+// Checksum mode: the entry array is sorted with an explicit count, and the
+// node CRC covers everything; insertions shift entries, which is part of the
+// write amplification Sherman removes (§3.2.3).
+type Leaf struct{ Node }
+
+// AsLeaf views the node as a leaf.
+func AsLeaf(n Node) Leaf { return Leaf{n} }
+
+// NewLeaf allocates and initializes a fresh leaf.
+func NewLeaf(f Format, lower, upper uint64) Leaf {
+	l := Leaf{NewNodeBuf(f)}
+	l.Init(0, lower, upper)
+	return l
+}
+
+// KV is one key-value pair.
+type KV struct {
+	Key   uint64
+	Value uint64
+}
+
+// Cap returns the entry capacity.
+func (l Leaf) Cap() int { return l.F.LeafCap }
+
+// keyOff/valOff locate the fields of slot i.
+func (l Leaf) keyOff(i int) int {
+	off := l.F.leafEntryOff(i)
+	if l.F.Mode == TwoLevel {
+		return off + 1 // skip FEV
+	}
+	return off
+}
+
+func (l Leaf) valOff(i int) int { return l.keyOff(i) + l.F.KeySize }
+
+// Key returns the key in slot i (0 = empty in TwoLevel mode).
+func (l Leaf) Key(i int) uint64 { return l.getKey(l.keyOff(i)) }
+
+// Value returns the value in slot i.
+func (l Leaf) Value(i int) uint64 { return l.getU64(l.valOff(i)) }
+
+// FEV and REV return the entry versions of slot i (TwoLevel mode).
+func (l Leaf) FEV(i int) uint8 { return l.B[l.F.leafEntryOff(i)] & 0xF }
+
+// REV returns the rear entry version of slot i.
+func (l Leaf) REV(i int) uint8 {
+	return l.B[l.F.leafEntryOff(i)+l.F.LeafEntSize-1] & 0xF
+}
+
+// EntryConsistent reports whether slot i's two versions match (§4.4 lookup,
+// entry-level check).
+func (l Leaf) EntryConsistent(i int) bool { return l.FEV(i) == l.REV(i) }
+
+// SetEntry stores (key, value) into slot i; in TwoLevel mode it also bumps
+// both entry versions, making the slot's write-back self-describing.
+func (l Leaf) SetEntry(i int, key, value uint64) {
+	l.putKey(l.keyOff(i), key)
+	l.putU64(l.valOff(i), value)
+	if l.F.Mode == TwoLevel {
+		off := l.F.leafEntryOff(i)
+		v := (l.B[off] + 1) & 0xF
+		l.B[off] = v
+		l.B[off+l.F.LeafEntSize-1] = v
+	}
+}
+
+// ClearEntry marks slot i deleted (key 0) and bumps its versions.
+func (l Leaf) ClearEntry(i int) { l.SetEntry(i, 0, 0) }
+
+// EntrySpan returns the buffer offset and length of slot i's write-back
+// region (the 17-byte granule of Figure 14(c), including FEV and REV).
+func (l Leaf) EntrySpan(i int) (off, size int) {
+	return l.F.leafEntryOff(i), l.F.LeafEntSize
+}
+
+// Count returns the number of live entries.
+func (l Leaf) Count() int {
+	if l.F.Mode == Checksum {
+		return l.getU16(offCountCksum)
+	}
+	n := 0
+	for i := 0; i < l.Cap(); i++ {
+		if l.Key(i) != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Find locates key. TwoLevel mode scans the whole (unsorted) node — the
+// added CPU cost the paper accepts for microsecond-scale networks (§4.4);
+// Checksum mode binary-searches the sorted array.
+func (l Leaf) Find(key uint64) (int, bool) {
+	if l.F.Mode == Checksum {
+		cnt := l.Count()
+		i := sort.Search(cnt, func(i int) bool { return l.Key(i) >= key })
+		if i < cnt && l.Key(i) == key {
+			return i, true
+		}
+		return -1, false
+	}
+	for i := 0; i < l.Cap(); i++ {
+		if l.Key(i) == key {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// FindFree returns an empty slot, or -1 when the leaf is full. Only
+// meaningful in TwoLevel mode.
+func (l Leaf) FindFree() int {
+	for i := 0; i < l.Cap(); i++ {
+		if l.Key(i) == 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// InsertSorted inserts (key, value) preserving sort order (Checksum mode),
+// shifting the tail. Returns false when full. An existing key is updated in
+// place.
+func (l Leaf) InsertSorted(key, value uint64) bool {
+	cnt := l.Count()
+	i := sort.Search(cnt, func(i int) bool { return l.Key(i) >= key })
+	if i < cnt && l.Key(i) == key {
+		l.putU64(l.valOff(i), value)
+		return true
+	}
+	if cnt == l.Cap() {
+		return false
+	}
+	start := l.F.leafEntryOff(i)
+	end := l.F.leafEntryOff(cnt)
+	copy(l.B[start+l.F.LeafEntSize:end+l.F.LeafEntSize], l.B[start:end])
+	l.putKey(l.keyOff(i), key)
+	l.putU64(l.valOff(i), value)
+	l.putU16(offCountCksum, cnt+1)
+	return true
+}
+
+// DeleteSorted removes key from a sorted leaf, shifting the tail left.
+func (l Leaf) DeleteSorted(key uint64) bool {
+	cnt := l.Count()
+	i := sort.Search(cnt, func(i int) bool { return l.Key(i) >= key })
+	if i >= cnt || l.Key(i) != key {
+		return false
+	}
+	start := l.F.leafEntryOff(i)
+	end := l.F.leafEntryOff(cnt)
+	copy(l.B[start:], l.B[start+l.F.LeafEntSize:end])
+	l.putU16(offCountCksum, cnt-1)
+	return true
+}
+
+// Entries returns the live entries sorted by key (used before splitting an
+// unsorted leaf: Figure 7 line 21 sorts then moves).
+func (l Leaf) Entries() []KV {
+	var kvs []KV
+	if l.F.Mode == Checksum {
+		cnt := l.Count()
+		for i := 0; i < cnt; i++ {
+			kvs = append(kvs, KV{l.Key(i), l.Value(i)})
+		}
+		return kvs
+	}
+	for i := 0; i < l.Cap(); i++ {
+		if k := l.Key(i); k != 0 {
+			kvs = append(kvs, KV{k, l.Value(i)})
+		}
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].Key < kvs[j].Key })
+	return kvs
+}
+
+// SetEntries rewrites the leaf's entry area from sorted kvs (post-split
+// write-back). The caller bumps node versions / checksum as appropriate.
+func (l Leaf) SetEntries(kvs []KV) {
+	if len(kvs) > l.Cap() {
+		panic("layout: too many entries for leaf")
+	}
+	// Clear the whole entry area first so stale slots cannot resurface.
+	lo := l.F.leafEntryOff(0)
+	hi := l.F.leafEntryOff(l.Cap())
+	for i := lo; i < hi; i++ {
+		l.B[i] = 0
+	}
+	for i, kv := range kvs {
+		if l.F.Mode == Checksum {
+			l.putKey(l.keyOff(i), kv.Key)
+			l.putU64(l.valOff(i), kv.Value)
+		} else {
+			l.SetEntry(i, kv.Key, kv.Value)
+		}
+	}
+	if l.F.Mode == Checksum {
+		l.putU16(offCountCksum, len(kvs))
+	}
+}

@@ -1,0 +1,343 @@
+package rdma
+
+import (
+	"fmt"
+	"runtime"
+
+	"sherman/internal/sim"
+)
+
+// yield makes every verb a real scheduling point. A verb spans microseconds
+// of virtual time, so other client goroutines must get real CPU time inside
+// it — otherwise critical sections (lock, read, write-back, release) would
+// execute atomically in real time and lock conflicts could never be
+// observed, no matter the contention.
+func yield() { runtime.Gosched() }
+
+// Client is one client thread's view of the fabric: a set of RC queue pairs
+// (one per memory server, modeled implicitly), a virtual clock, and verb
+// counters. A Client is owned by exactly one goroutine.
+type Client struct {
+	F  *Fabric
+	CS *ComputeServer
+
+	// Clk is the thread's virtual clock. Higher layers read it to timestamp
+	// operations; verbs advance it.
+	Clk sim.Clock
+
+	// M accumulates verb-level metrics; the index layer snapshots the Op*
+	// fields around each index operation.
+	M Metrics
+}
+
+// Metrics counts verb activity on one client thread. All fields are owned by
+// the client's goroutine; aggregate across threads only after they finish.
+type Metrics struct {
+	// RoundTrips counts network round trips; a doorbell-batched post of
+	// several dependent WRITEs counts once (that is the point of command
+	// combination, §4.5).
+	RoundTrips int64
+	// OpRoundTrips counts round trips since the last BeginOp.
+	OpRoundTrips int64
+
+	// WriteBytes totals payload bytes sent by WRITE verbs; OpWriteBytes
+	// since the last BeginOp.
+	WriteBytes   int64
+	OpWriteBytes int64
+
+	Reads   int64
+	Writes  int64
+	Atomics int64
+	RPCs    int64
+
+	// CASFailures counts remote compare-and-swap attempts that did not
+	// swap — the retry traffic that squanders NIC IOPS (§3.2.2).
+	CASFailures int64
+}
+
+// BeginOp resets the per-operation counters.
+func (m *Metrics) BeginOp() {
+	m.OpRoundTrips = 0
+	m.OpWriteBytes = 0
+}
+
+// NewClient creates a client thread context on compute server cs.
+func (f *Fabric) NewClient(cs int) *Client {
+	if cs < 0 || cs >= len(f.CSs) {
+		panic(fmt.Sprintf("rdma: no compute server %d", cs))
+	}
+	f.clients.Add(1)
+	return &Client{F: f, CS: f.CSs[cs]}
+}
+
+// Now returns the thread's current virtual time.
+func (c *Client) Now() int64 { return c.Clk.Now() }
+
+// Step charges d nanoseconds of CS-local compute time.
+func (c *Client) Step(d int64) { c.Clk.Advance(d) }
+
+func (c *Client) roundTrip() {
+	c.M.RoundTrips++
+	c.M.OpRoundTrips++
+}
+
+// Read fetches len(buf) bytes at a via RDMA_READ: one round trip, with the
+// response payload charged at the memory server's NIC.
+func (c *Client) Read(a Addr, buf []byte) {
+	p := c.F.P
+	srv := c.F.Server(a)
+	t := c.CS.Outbound.Acquire(c.Clk.Now(), p.OutboundMinNS)
+	t = srv.Inbound.Acquire(t, p.PayloadNS(len(buf), p.InboundMinNS))
+	srv.copyOut(a, buf)
+	c.Clk.AdvanceTo(t + p.RTTNS)
+	c.roundTrip()
+	c.M.Reads++
+	yield()
+}
+
+// ReadMulti issues the given reads in parallel (one command per target, all
+// posted back-to-back) and returns when the slowest completes; this is how
+// range queries fetch several leaves in one round-trip time (§4.4).
+func (c *Client) ReadMulti(reqs []ReadOp) {
+	if len(reqs) == 0 {
+		return
+	}
+	p := c.F.P
+	var done int64
+	t := c.Clk.Now()
+	for _, r := range reqs {
+		t = c.CS.Outbound.Acquire(t, p.OutboundMinNS)
+		srv := c.F.Server(r.Addr)
+		fin := srv.Inbound.Acquire(t, p.PayloadNS(len(r.Buf), p.InboundMinNS))
+		srv.copyOut(r.Addr, r.Buf)
+		if fin > done {
+			done = fin
+		}
+	}
+	c.Clk.AdvanceTo(done + p.RTTNS)
+	c.roundTrip()
+	c.M.Reads += int64(len(reqs))
+	yield()
+}
+
+// ReadOp names one RDMA_READ target for ReadMulti.
+type ReadOp struct {
+	Addr Addr
+	Buf  []byte
+}
+
+// Write stores data at a via a single signaled RDMA_WRITE: one round trip.
+func (c *Client) Write(a Addr, data []byte) {
+	c.PostWrites(WriteOp{Addr: a, Data: data})
+}
+
+// WriteOp names one RDMA_WRITE for a doorbell-batched post.
+type WriteOp struct {
+	Addr Addr
+	Data []byte
+}
+
+// PostWrites posts the given WRITE commands on one queue pair in order, with
+// only the last command signaled: the NIC at the receiver executes them in
+// posting order (RC in-order delivery, §4.5), so dependent writes — node
+// write-back then lock release — complete in one round trip. All targets
+// must live on the same memory server, since an RC QP connects exactly one
+// pair of NICs.
+func (c *Client) PostWrites(ops ...WriteOp) {
+	if len(ops) == 0 {
+		return
+	}
+	p := c.F.P
+	srv := c.F.Server(ops[0].Addr)
+	for _, op := range ops[1:] {
+		if op.Addr.MS() != srv.ID {
+			panic(fmt.Sprintf("rdma: combined post spans servers ms%d and ms%d", srv.ID, op.Addr.MS()))
+		}
+	}
+	t := c.Clk.Now()
+	for _, op := range ops {
+		t = c.CS.Outbound.Acquire(t, p.PayloadNS(len(op.Data), p.OutboundMinNS))
+	}
+	for _, op := range ops {
+		t = srv.Inbound.Acquire(t, p.PayloadNS(len(op.Data), p.InboundMinNS))
+		srv.copyIn(op.Addr, op.Data)
+		c.M.WriteBytes += int64(len(op.Data))
+		c.M.OpWriteBytes += int64(len(op.Data))
+		c.M.Writes++
+	}
+	c.Clk.AdvanceTo(t + p.RTTNS)
+	c.roundTrip()
+	yield()
+}
+
+func (c *Client) atomicTiming(a Addr, backlogNS int64) int64 {
+	p := c.F.P
+	srv := c.F.Server(a)
+	conflictSvc, unitSvc := p.HostAtomicNS, p.HostAtomicUnitNS
+	if a.OnChip() {
+		conflictSvc, unitSvc = p.OnChipAtomicNS, p.OnChipAtomicUnitNS
+	}
+	t := c.CS.Outbound.Acquire(c.Clk.Now(), p.OutboundMinNS)
+	t = srv.Inbound.Acquire(t, p.InboundMinNS)
+	// Commands already sitting in the NIC's internal queue ahead of ours
+	// (e.g. one in-flight CAS per concurrent lock spinner) serialize first
+	// (§3.2.2).
+	t += backlogNS
+	// The NIC's single atomic pipeline bounds aggregate atomic throughput;
+	// the per-address bucket serializes conflicting commands on top.
+	t = srv.AtomicUnit.Acquire(t, unitSvc)
+	t = srv.bucketFor(a).Acquire(t, conflictSvc)
+	c.roundTrip()
+	c.M.Atomics++
+	return t + p.RTTNS
+}
+
+// AtomicSvcNS returns the total in-NIC service time of one atomic command
+// targeting a — pipeline occupancy plus conflict serialization (§3.2.2,
+// §4.3). Lock managers use it to size handoff backlogs.
+func (c *Client) AtomicSvcNS(a Addr) int64 {
+	if a.OnChip() {
+		return c.F.P.OnChipAtomicNS + c.F.P.OnChipAtomicUnitNS
+	}
+	return c.F.P.HostAtomicNS + c.F.P.HostAtomicUnitNS
+}
+
+// CAS executes RDMA_CAS on the 8-byte word at a, returning the previous
+// value and whether the swap happened. Host-memory targets pay the in-NIC
+// PCIe-transaction cost serialized per atomic bucket (§3.2.2); on-chip
+// targets do not (§4.3).
+func (c *Client) CAS(a Addr, old, new uint64) (uint64, bool) {
+	return c.CASBacklog(a, old, new, 0)
+}
+
+// CASBacklog is CAS whose command must first traverse backlogNS of service
+// time already queued in the target NIC's atomic unit — the in-flight
+// commands of concurrent spinners (§3.2.2). Lock managers use it to model
+// handoff latency under heavy contention.
+func (c *Client) CASBacklog(a Addr, old, new uint64, backlogNS int64) (uint64, bool) {
+	fin := c.atomicTiming(a, backlogNS)
+	var swapped bool
+	prev := c.F.Server(a).atomic64(a, func(cur uint64) (uint64, bool) {
+		swapped = cur == old
+		return new, swapped
+	})
+	c.Clk.AdvanceTo(fin)
+	if !swapped {
+		c.M.CASFailures++
+	}
+	yield()
+	return prev, swapped
+}
+
+// CAS16 executes a masked RDMA_CAS confined to the 16-bit field at a (which
+// must be 2-aligned within its 8-byte word). Masked CAS is the "enhanced
+// atomic" verb Sherman uses to pack 131,072 locks into 256 KB of on-chip
+// memory (§4.3).
+func (c *Client) CAS16(a Addr, old, new uint16) (uint16, bool) {
+	return c.CAS16Backlog(a, old, new, 0)
+}
+
+// CAS16Backlog is CAS16 behind backlogNS of queued atomic service time; see
+// CASBacklog.
+func (c *Client) CAS16Backlog(a Addr, old, new uint16, backlogNS int64) (uint16, bool) {
+	if a.Off()%2 != 0 {
+		panic(fmt.Sprintf("rdma: unaligned CAS16 at %v", a))
+	}
+	word := Addr(uint64(a) &^ 7)
+	shift := (a.Off() % 8) * 8
+	mask := uint64(0xffff) << shift
+	fin := c.atomicTiming(word, backlogNS)
+	var swapped bool
+	prev := c.F.Server(word).atomic64(word, func(cur uint64) (uint64, bool) {
+		swapped = (cur&mask)>>shift == uint64(old)
+		return cur&^mask | uint64(new)<<shift, swapped
+	})
+	c.Clk.AdvanceTo(fin)
+	if !swapped {
+		c.M.CASFailures++
+	}
+	yield()
+	return uint16((prev & mask) >> shift), swapped
+}
+
+// FAA executes RDMA_FAA on the 8-byte word at a and returns the previous
+// value.
+func (c *Client) FAA(a Addr, delta uint64) uint64 {
+	fin := c.atomicTiming(a, 0)
+	prev := c.F.Server(a).atomic64(a, func(cur uint64) (uint64, bool) {
+		return cur + delta, true
+	})
+	c.Clk.AdvanceTo(fin)
+	yield()
+	return prev
+}
+
+// ChargeAtomic accounts the cost of one atomic command — NIC pipelines,
+// atomic-bucket serialization, a round trip, a failure count — without
+// executing a memory operation. Lock implementations use it to bill spin
+// retries that are implied by virtual time rather than observed in real
+// time (see hocl).
+func (c *Client) ChargeAtomic(a Addr) {
+	fin := c.atomicTiming(a, 0)
+	c.Clk.AdvanceTo(fin)
+	c.M.CASFailures++
+	yield()
+}
+
+// maxSpinCharges bounds the work of one ChargeSpin call in real time; waits
+// long enough to hit it are already far into the collapse regime, where
+// undercounting the tail of the storm changes nothing observable.
+const maxSpinCharges = 1 << 14
+
+// ChargeSpin models a failed-CAS polling loop across the virtual window
+// [from, to): the spinner keeps exactly one CAS in flight at all times,
+// re-posting as each completion arrives, so retries land at the given
+// cadence — the storm-inflated completion time of one retry (round trip
+// plus the NIC's atomic queue, which the lock manager estimates from the
+// convoy depth). Every retry consumes sender and receiver IOPS and a round
+// trip; this is the §3.2.2 retry traffic that squanders NIC resources. The
+// caller's clock lands on `to`. Returns the number of retries charged.
+//
+// The retries' occupancy of the target's atomic unit is deliberately not
+// booked here: a closed loop of spinners keeps the atomic queue at
+// convoy-depth x service-time, and the lock manager bills exactly that
+// bound to the winning CAS (CASBacklog). Booking open-loop charges as well
+// would double-count the storm and grow the queue without bound.
+func (c *Client) ChargeSpin(a Addr, from, to, cadence int64) int {
+	p := c.F.P
+	srv := c.F.Server(a)
+	if cadence <= 0 {
+		cadence = p.RTTNS
+	}
+	n := 0
+	for t := from; t+cadence < to && n < maxSpinCharges; t += cadence {
+		c.CS.Outbound.Acquire(t, p.OutboundMinNS)
+		srv.Inbound.Acquire(t, p.InboundMinNS)
+		n++
+	}
+	c.M.Atomics += int64(n)
+	c.M.CASFailures += int64(n)
+	c.M.RoundTrips += int64(n)
+	c.M.OpRoundTrips += int64(n)
+	c.Clk.AdvanceTo(to)
+	if n > 0 {
+		yield()
+	}
+	return n
+}
+
+// Call performs a two-sided RPC to memory server ms's memory thread: request
+// and response messages plus the handler's service time on the wimpy CPU.
+// fn runs the real server-side logic (e.g. chunk allocation) exactly once.
+func (c *Client) Call(ms uint16, fn func()) {
+	p := c.F.P
+	srv := c.F.Servers[ms]
+	t := c.CS.Outbound.Acquire(c.Clk.Now(), p.OutboundMinNS)
+	t = srv.Inbound.Acquire(t, p.InboundMinNS)
+	t = srv.CPU.Acquire(t, p.MemThreadRPCNS)
+	fn()
+	c.Clk.AdvanceTo(t + p.RTTNS)
+	c.roundTrip()
+	c.M.RPCs++
+	yield()
+}

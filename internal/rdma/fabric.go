@@ -1,0 +1,75 @@
+package rdma
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"sherman/internal/sim"
+)
+
+// Fabric wires a set of memory servers and compute servers together over a
+// simulated RDMA network with the timing model in sim.Params.
+type Fabric struct {
+	P       sim.Params
+	Servers []*Server
+	CSs     []*ComputeServer
+
+	clients atomic.Int64
+}
+
+// ClientCount returns the number of client threads created on the fabric —
+// the physical bound on how many commands can be in flight from distinct
+// spinners at once.
+func (f *Fabric) ClientCount() int { return int(f.clients.Load()) }
+
+// ComputeServer is one compute node: many client threads, a local cache and
+// lock tables (owned by higher layers), and an RDMA NIC whose outbound
+// pipeline is shared by all of its threads.
+type ComputeServer struct {
+	// ID identifies the compute server; it is also the value written into
+	// global locks by RDMA_CAS (§4.3), offset by one so that 0 can mean
+	// "unlocked".
+	ID uint16
+
+	// Outbound models the NIC's outbound command-processing pipeline.
+	Outbound sim.Resource
+}
+
+// NewFabric builds a fabric with numMS memory servers and numCS compute
+// servers. Params are validated once here.
+func NewFabric(p sim.Params, numMS, numCS int) *Fabric {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if numMS <= 0 || numCS <= 0 {
+		panic(fmt.Sprintf("rdma: need at least one MS and one CS (got %d, %d)", numMS, numCS))
+	}
+	f := &Fabric{P: p}
+	for i := 0; i < numMS; i++ {
+		f.Servers = append(f.Servers, newServer(uint16(i), p))
+	}
+	for i := 0; i < numCS; i++ {
+		f.CSs = append(f.CSs, &ComputeServer{ID: uint16(i)})
+	}
+	return f
+}
+
+// Server returns the memory server addressed by a.
+func (f *Fabric) Server(a Addr) *Server {
+	ms := a.MS()
+	if int(ms) >= len(f.Servers) {
+		panic(fmt.Sprintf("rdma: address %v names unknown memory server", a))
+	}
+	return f.Servers[ms]
+}
+
+// ResetTime rewinds every resource clock in the fabric to zero. Call only
+// between experiments, with no client threads running.
+func (f *Fabric) ResetTime() {
+	for _, s := range f.Servers {
+		s.ResetTime()
+	}
+	for _, cs := range f.CSs {
+		cs.Outbound.Reset()
+	}
+}

@@ -1,0 +1,202 @@
+package rdma
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"sherman/internal/sim"
+)
+
+// DefaultChunkSize is the fixed-length chunk granularity used by memory
+// threads when handing memory to compute servers (§4.2.4).
+const DefaultChunkSize = 8 << 20
+
+// lineSize is the granularity at which simulated DMA is atomic. Real NICs
+// read/write host memory in cacheline units in increasing address order
+// (§3.2.3 footnote 5), so larger transfers can be observed torn at line
+// boundaries — which is exactly what the index's consistency checks exist
+// to detect.
+const lineSize = 64
+
+const (
+	hostStripes   = 1 << 11
+	onChipStripes = 1 << 6
+)
+
+// Server is one memory server: high-volume host DRAM carved into chunks, an
+// RDMA NIC with on-chip device memory and internal atomic buckets, and a
+// wimpy memory thread for allocation RPCs.
+type Server struct {
+	// ID is the server's 15-bit identifier used in Addr values.
+	ID uint16
+
+	// Inbound models the NIC's inbound command-processing pipeline.
+	Inbound sim.Resource
+
+	// AtomicUnit models the NIC's single atomic processing pipeline: every
+	// RDMA_ATOMIC handled by this NIC occupies it for the per-command unit
+	// time (PCIe-bound for host targets, §3.2.2; fast for on-chip targets,
+	// §4.3). Saturating it — as a hot-lock retry storm does — stalls
+	// atomics for unrelated addresses too.
+	AtomicUnit sim.Resource
+
+	// CPU models the wimpy memory thread that serves allocation RPCs.
+	CPU sim.Resource
+
+	chunkSize int64
+	chunks    atomic.Pointer[[][]byte]
+	growMu    sync.Mutex
+
+	stripes [hostStripes]sync.Mutex
+
+	onChip        []byte
+	onChipStripes [onChipStripes]sync.Mutex
+
+	buckets []sim.Resource
+}
+
+func newServer(id uint16, p sim.Params) *Server {
+	s := &Server{
+		ID:        id,
+		chunkSize: DefaultChunkSize,
+		onChip:    make([]byte, p.OnChipMemBytes),
+		buckets:   make([]sim.Resource, p.AtomicBuckets),
+	}
+	empty := make([][]byte, 0)
+	s.chunks.Store(&empty)
+	return s
+}
+
+// Capacity returns the currently materialized host-memory size in bytes.
+func (s *Server) Capacity() uint64 {
+	return uint64(len(*s.chunks.Load())) * uint64(s.chunkSize)
+}
+
+// OnChipSize returns the NIC's on-chip device memory capacity in bytes.
+func (s *Server) OnChipSize() int { return len(s.onChip) }
+
+// Grow appends one fixed-length chunk of host memory and returns its base
+// offset. It is invoked by the memory thread's allocation RPC handler; the
+// virtual-time cost of the RPC is charged by the caller.
+func (s *Server) Grow() uint64 {
+	s.growMu.Lock()
+	defer s.growMu.Unlock()
+	old := *s.chunks.Load()
+	base := uint64(len(old)) * uint64(s.chunkSize)
+	grown := make([][]byte, len(old)+1)
+	copy(grown, old)
+	grown[len(old)] = make([]byte, s.chunkSize)
+	s.chunks.Store(&grown)
+	return base
+}
+
+// slice resolves [off, off+n) to the backing chunk memory. Objects never
+// span chunks (the allocator guarantees it), so a single slice suffices.
+func (s *Server) slice(off uint64, n int) []byte {
+	chunks := *s.chunks.Load()
+	ci := off / uint64(s.chunkSize)
+	inner := off % uint64(s.chunkSize)
+	if ci >= uint64(len(chunks)) || inner+uint64(n) > uint64(s.chunkSize) {
+		panic(fmt.Sprintf("rdma: access [%#x,+%d) out of bounds on ms%d (cap %#x)",
+			off, n, s.ID, s.Capacity()))
+	}
+	return chunks[ci][inner : inner+uint64(n)]
+}
+
+func (s *Server) region(a Addr, n int) (mem []byte, stripes []sync.Mutex, base uint64) {
+	if a.OnChip() {
+		off := a.Off()
+		if off+uint64(n) > uint64(len(s.onChip)) {
+			panic(fmt.Sprintf("rdma: on-chip access [%#x,+%d) out of bounds on ms%d", off, n, s.ID))
+		}
+		return s.onChip[off : off+uint64(n)], s.onChipStripes[:], off
+	}
+	return s.slice(a.Off(), n), s.stripes[:], a.Off()
+}
+
+// copyOut reads n = len(buf) bytes at a into buf with line-granular
+// atomicity, in increasing address order.
+func (s *Server) copyOut(a Addr, buf []byte) {
+	mem, stripes, base := s.region(a, len(buf))
+	forEachLine(base, len(buf), func(lo, hi int, stripe uint64) {
+		mu := &stripes[stripe%uint64(len(stripes))]
+		mu.Lock()
+		copy(buf[lo:hi], mem[lo:hi])
+		mu.Unlock()
+	})
+}
+
+// copyIn writes data at a with line-granular atomicity, in increasing
+// address order (real NIC DMA order, which Cell/NAM-DB and Sherman rely on).
+func (s *Server) copyIn(a Addr, data []byte) {
+	mem, stripes, base := s.region(a, len(data))
+	forEachLine(base, len(data), func(lo, hi int, stripe uint64) {
+		mu := &stripes[stripe%uint64(len(stripes))]
+		mu.Lock()
+		copy(mem[lo:hi], data[lo:hi])
+		mu.Unlock()
+	})
+}
+
+// forEachLine visits [0,n) split at 64-byte line boundaries of base+i,
+// yielding buffer-relative [lo,hi) plus the global line index.
+func forEachLine(base uint64, n int, fn func(lo, hi int, line uint64)) {
+	lo := 0
+	for lo < n {
+		line := (base + uint64(lo)) / lineSize
+		hi := int((line+1)*lineSize - base)
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi, line)
+		lo = hi
+	}
+}
+
+// atomic64 runs fn on the 8-byte little-endian word at a under the word's
+// stripe lock, giving RDMA_ATOMIC semantics. The address must be 8-aligned.
+func (s *Server) atomic64(a Addr, fn func(old uint64) (new uint64, write bool)) uint64 {
+	if a.Off()%8 != 0 {
+		panic(fmt.Sprintf("rdma: unaligned atomic at %v", a))
+	}
+	mem, stripes, base := s.region(a, 8)
+	mu := &stripes[(base/lineSize)%uint64(len(stripes))]
+	mu.Lock()
+	old := binary.LittleEndian.Uint64(mem)
+	if nw, write := fn(old); write {
+		binary.LittleEndian.PutUint64(mem, nw)
+	}
+	mu.Unlock()
+	return old
+}
+
+// bucketFor returns the NIC-internal atomic bucket serializing commands that
+// target a. Buckets are keyed by low destination-address bits (§3.2.2).
+func (s *Server) bucketFor(a Addr) *sim.Resource {
+	return &s.buckets[(a.Off()>>3)%uint64(len(s.buckets))]
+}
+
+// WriteAt stores data at host offset off without virtual-time accounting.
+// It is intended for bulk loading before client threads start.
+func (s *Server) WriteAt(off uint64, data []byte) {
+	s.copyIn(MakeAddr(s.ID, off), data)
+}
+
+// ReadAt loads len(buf) bytes from host offset off without virtual-time
+// accounting. Intended for tests and debugging.
+func (s *Server) ReadAt(off uint64, buf []byte) {
+	s.copyOut(MakeAddr(s.ID, off), buf)
+}
+
+// ResetTime rewinds all of the server's resource clocks to zero between
+// experiments.
+func (s *Server) ResetTime() {
+	s.Inbound.Reset()
+	s.AtomicUnit.Reset()
+	s.CPU.Reset()
+	for i := range s.buckets {
+		s.buckets[i].Reset()
+	}
+}

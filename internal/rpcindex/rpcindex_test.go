@@ -1,0 +1,140 @@
+package rpcindex
+
+import (
+	"sync"
+	"testing"
+
+	"sherman/internal/rdma"
+	"sherman/internal/sim"
+)
+
+func testIndex() *Index {
+	return New(rdma.NewFabric(sim.DefaultParams(), 4, 2))
+}
+
+func TestPutGetDelete(t *testing.T) {
+	ix := testIndex()
+	h := ix.NewHandle(0)
+	for k := uint64(1); k <= 1000; k++ {
+		h.Put(k, k*2)
+	}
+	for k := uint64(1); k <= 1000; k++ {
+		if v, ok := h.Get(k); !ok || v != k*2 {
+			t.Fatalf("Get(%d) = (%d,%v)", k, v, ok)
+		}
+	}
+	if ix.Len() != 1000 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	if !h.Delete(500) || h.Delete(500) {
+		t.Fatal("delete semantics wrong")
+	}
+	if _, ok := h.Get(500); ok {
+		t.Fatal("deleted key found")
+	}
+	if _, ok := h.Get(99999); ok {
+		t.Fatal("absent key found")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	ix := testIndex()
+	const threads, ops = 8, 500
+	var wg sync.WaitGroup
+	for th := 0; th < threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			h := ix.NewHandle(th % 2)
+			base := uint64(th) * 1_000_000
+			for i := uint64(1); i <= ops; i++ {
+				h.Put(base+i, i)
+			}
+			for i := uint64(1); i <= ops; i++ {
+				if v, ok := h.Get(base + i); !ok || v != i {
+					t.Errorf("thread %d: Get(%d) = (%d,%v)", th, base+i, v, ok)
+					return
+				}
+			}
+		}(th)
+	}
+	wg.Wait()
+	if ix.Len() != threads*ops {
+		t.Fatalf("Len = %d, want %d", ix.Len(), threads*ops)
+	}
+}
+
+// TestWritesBillMemoryThread: every Put must consume the home server's
+// wimpy CPU — the §3.1 bottleneck this package exists to demonstrate.
+func TestWritesBillMemoryThread(t *testing.T) {
+	ix := testIndex()
+	h := ix.NewHandle(0)
+	for k := uint64(1); k <= 100; k++ {
+		h.Put(k, k)
+	}
+	var busy int64
+	for _, s := range ix.f.Servers {
+		busy += s.CPU.Peek()
+	}
+	if busy == 0 {
+		t.Fatal("no CPU time billed to memory threads")
+	}
+	if h.C.M.RPCs != 100 {
+		t.Fatalf("RPCs = %d, want 100", h.C.M.RPCs)
+	}
+}
+
+// TestReadsAreOneSided: Gets must not touch the memory thread.
+func TestReadsAreOneSided(t *testing.T) {
+	ix := testIndex()
+	h := ix.NewHandle(0)
+	h.Put(1, 1)
+	rpcsAfterPut := h.C.M.RPCs
+	for i := 0; i < 50; i++ {
+		h.Get(1)
+	}
+	if h.C.M.RPCs != rpcsAfterPut {
+		t.Fatalf("reads issued %d RPCs", h.C.M.RPCs-rpcsAfterPut)
+	}
+	if h.C.M.Reads != 50 {
+		t.Fatalf("reads = %d, want 50", h.C.M.Reads)
+	}
+}
+
+// TestWimpyCPUCeiling: aggregate write throughput saturates near
+// numMS / MemThreadRPCNS regardless of client count — the reason RPC
+// indexes cannot ride disaggregated memory (§3.1, Table 2).
+func TestWimpyCPUCeiling(t *testing.T) {
+	p := sim.DefaultParams()
+	f := rdma.NewFabric(p, 2, 4)
+	ix := New(f)
+
+	const threads, ops = 16, 400
+	finish := make([]int64, threads)
+	var wg sync.WaitGroup
+	for th := 0; th < threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			h := ix.NewHandle(th % 4)
+			base := uint64(th) * 1_000_000
+			for i := uint64(1); i <= ops; i++ {
+				h.Put(base+i, i)
+			}
+			finish[th] = h.C.Now()
+		}(th)
+	}
+	wg.Wait()
+	var makespan int64
+	for _, v := range finish {
+		if v > makespan {
+			makespan = v
+		}
+	}
+	total := int64(threads * ops)
+	// 2 MSs x 1 RPC per MemThreadRPCNS is the hard ceiling.
+	floor := total * p.MemThreadRPCNS / 2
+	if makespan < floor {
+		t.Errorf("%d writes finished in %d ns, beating the %d ns CPU ceiling", total, makespan, floor)
+	}
+}

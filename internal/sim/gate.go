@@ -1,0 +1,91 @@
+package sim
+
+import "sync"
+
+// Gate keeps the virtual clocks of a set of worker threads within a bounded
+// window of each other, the way wall time does on real hardware.
+//
+// Worker goroutines execute at unrelated real-time rates, so without pacing
+// their virtual clocks drift arbitrarily far apart and cross-thread
+// interactions (lock hold windows, resource queues) would mix unrelated
+// virtual timelines. Each worker calls Sync between operations; a worker
+// whose clock is more than `slack` windows ahead of the slowest active
+// worker blocks (in real time) until the stragglers catch up. Blocking only
+// ever happens between operations — never while holding a lock — so the
+// gate cannot deadlock against the index's own synchronization.
+type Gate struct {
+	windowNS int64
+	slack    int64
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	clocks []int64
+	done   []bool
+	active int
+}
+
+// NewGate creates a gate for n workers (ids 0..n-1). windowNS is the pacing
+// quantum; slack is how many windows a worker may run ahead.
+func NewGate(windowNS, slack int64, n int) *Gate {
+	g := &Gate{windowNS: windowNS, slack: slack, clocks: make([]int64, n), done: make([]bool, n), active: n}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// Sync publishes the worker's clock and blocks while the worker is too far
+// ahead of the slowest active worker.
+func (g *Gate) Sync(id int, clock int64) {
+	g.mu.Lock()
+	g.clocks[id] = clock
+	g.cond.Broadcast()
+	limit := g.slack * g.windowNS
+	for clock/g.windowNS*g.windowNS-g.minActiveLocked() > limit {
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+}
+
+// Done removes a finished worker from pacing so stragglers cannot block on
+// it forever.
+func (g *Gate) Done(id int) {
+	g.mu.Lock()
+	if !g.done[id] {
+		g.done[id] = true
+		g.active--
+	}
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// Park removes a worker from pacing while it waits at a real-time barrier
+// (e.g. the warmup/measure alignment point). A parked worker's frozen clock
+// must not hold back the rest, or workers whose operations are virtually
+// expensive would block in Sync forever and deadlock against the barrier.
+func (g *Gate) Park(id int) { g.Done(id) }
+
+// Resume re-admits a parked worker at the given clock.
+func (g *Gate) Resume(id int, clock int64) {
+	g.mu.Lock()
+	if g.done[id] {
+		g.done[id] = false
+		g.active++
+	}
+	g.clocks[id] = clock
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// minActiveLocked returns the slowest active worker's clock (or a huge value
+// when none remain). Callers hold g.mu.
+func (g *Gate) minActiveLocked() int64 {
+	if g.active == 0 {
+		return int64(1) << 62
+	}
+	min := int64(1) << 62
+	for i, c := range g.clocks {
+		if !g.done[i] && c < min {
+			min = c
+		}
+	}
+	return min
+}

@@ -1,0 +1,139 @@
+package stats
+
+// OpKind distinguishes index operation classes in recorders. The paper calls
+// lookup and range query "read operations" and insert (including updates)
+// and delete "write operations" (§1 footnote 1).
+type OpKind int
+
+// Operation classes.
+const (
+	OpLookup OpKind = iota
+	OpInsert
+	OpDelete
+	OpRange
+	numOpKinds
+)
+
+// String names the operation class.
+func (k OpKind) String() string {
+	switch k {
+	case OpLookup:
+		return "lookup"
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	case OpRange:
+		return "range"
+	default:
+		return "unknown"
+	}
+}
+
+// IsWrite reports whether the class is a write operation in the paper's
+// terminology.
+func (k OpKind) IsWrite() bool { return k == OpInsert || k == OpDelete }
+
+// Recorder collects one thread's measurements; it is not safe for concurrent
+// use. Merge recorders after the worker goroutines finish.
+type Recorder struct {
+	// Latency holds per-class operation latencies (virtual ns).
+	Latency [numOpKinds]*Hist
+	// AllLatency aggregates every operation, matching the paper's combined
+	// latency plots.
+	AllLatency *Hist
+
+	// Ops counts operations per class.
+	Ops [numOpKinds]int64
+
+	// WriteRoundTrips is the round-trip count distribution of write
+	// operations (Figure 14(b)).
+	WriteRoundTrips *Counter
+	// WriteSizes is the total-bytes-written distribution of write
+	// operations (Figure 14(c)).
+	WriteSizes *SizeHist
+	// ReadRetries is the per-lookup retry-count distribution (Figure 14(a)).
+	ReadRetries *Counter
+
+	// CacheHits / CacheMisses count index-cache outcomes (Figure 15(c)).
+	CacheHits   int64
+	CacheMisses int64
+
+	// Handovers counts lock acquisitions satisfied by handover.
+	Handovers int64
+
+	// FinishV is the thread's virtual clock when it finished its share of
+	// the workload; the experiment makespan is the max across threads.
+	FinishV int64
+	// StartV is the thread's virtual clock at workload start.
+	StartV int64
+}
+
+// NewRecorder creates an empty recorder.
+func NewRecorder() *Recorder {
+	r := &Recorder{
+		AllLatency:      NewHist(),
+		WriteRoundTrips: NewCounter(1 << 12),
+		WriteSizes:      NewSizeHist(),
+		ReadRetries:     NewCounter(64),
+	}
+	for i := range r.Latency {
+		r.Latency[i] = NewHist()
+	}
+	return r
+}
+
+// RecordOp stores one finished operation.
+func (r *Recorder) RecordOp(kind OpKind, latencyNS int64) {
+	r.Latency[kind].Record(latencyNS)
+	r.AllLatency.Record(latencyNS)
+	r.Ops[kind]++
+}
+
+// Merge folds other into r.
+func (r *Recorder) Merge(other *Recorder) {
+	if other == nil {
+		return
+	}
+	for i := range r.Latency {
+		r.Latency[i].Merge(other.Latency[i])
+		r.Ops[i] += other.Ops[i]
+	}
+	r.AllLatency.Merge(other.AllLatency)
+	r.WriteRoundTrips.Merge(other.WriteRoundTrips)
+	r.WriteSizes.Merge(other.WriteSizes)
+	r.ReadRetries.Merge(other.ReadRetries)
+	r.CacheHits += other.CacheHits
+	r.CacheMisses += other.CacheMisses
+	r.Handovers += other.Handovers
+	if other.FinishV > r.FinishV {
+		r.FinishV = other.FinishV
+	}
+}
+
+// TotalOps returns the number of operations across all classes.
+func (r *Recorder) TotalOps() int64 {
+	var n int64
+	for _, v := range r.Ops {
+		n += v
+	}
+	return n
+}
+
+// HitRatio returns the index-cache hit ratio in [0,1].
+func (r *Recorder) HitRatio() float64 {
+	tot := r.CacheHits + r.CacheMisses
+	if tot == 0 {
+		return 0
+	}
+	return float64(r.CacheHits) / float64(tot)
+}
+
+// ThroughputMops converts an op count and a virtual makespan to millions of
+// operations per second.
+func ThroughputMops(ops int64, makespanNS int64) float64 {
+	if makespanNS <= 0 {
+		return 0
+	}
+	return float64(ops) / float64(makespanNS) * 1e3
+}

@@ -1,0 +1,75 @@
+package workload
+
+import "fmt"
+
+// The six canonical YCSB core workloads [20], expressed in this package's
+// terms. The paper's evaluation uses custom read/write ratios (Table 3);
+// these standard presets are provided for library users benchmarking their
+// own deployments.
+//
+//	A  update heavy   50% read / 50% update, zipfian
+//	B  read mostly    95% read /  5% update, zipfian
+//	C  read only     100% read,              zipfian
+//	D  read latest    95% read /  5% insert, latest-biased reads
+//	E  short ranges   95% scan /  5% insert, zipfian, spans ~50
+//	F  read-mod-write 50% read / 50% RMW,    zipfian
+type YCSB byte
+
+// YCSB workload identifiers.
+const (
+	YCSBA YCSB = 'A'
+	YCSBB YCSB = 'B'
+	YCSBC YCSB = 'C'
+	YCSBD YCSB = 'D'
+	YCSBE YCSB = 'E'
+	YCSBF YCSB = 'F'
+)
+
+// String names the workload ("YCSB-A").
+func (w YCSB) String() string { return fmt.Sprintf("YCSB-%c", byte(w)) }
+
+// YCSBConfig returns the workload configuration for one of the six core
+// workloads over the given key space.
+//
+// Two presets need semantics beyond the paper's five mixes:
+//   - D draws read keys from the most recently inserted region ("latest");
+//     here the freshest keys are the unloaded tail that inserts fill, so D
+//     biases lookups there via the Latest flag.
+//   - F's read-modify-write is expressed as the ReadModifyWrite flag, which
+//     makes Insert operations semantically "read the key, then update it";
+//     drivers should issue a Lookup followed by an Insert for those ops
+//     (bench and examples do).
+func YCSBConfig(w YCSB, keys uint64) Config {
+	base := func(mix Mix) Config {
+		c := DefaultConfig(mix, Zipfian, keys)
+		c.UpdateFraction = 1 // YCSB updates target existing keys
+		return c
+	}
+	switch w {
+	case YCSBA:
+		return base(Mix{LookupPct: 50, InsertPct: 50})
+	case YCSBB:
+		return base(Mix{LookupPct: 95, InsertPct: 5})
+	case YCSBC:
+		return base(Mix{LookupPct: 100})
+	case YCSBD:
+		c := base(Mix{LookupPct: 95, InsertPct: 5})
+		c.UpdateFraction = 0 // D's inserts are new records
+		c.Latest = true
+		return c
+	case YCSBE:
+		c := base(Mix{RangePct: 95, InsertPct: 5})
+		c.UpdateFraction = 0 // E's inserts are new records
+		c.RangeSpan = 50
+		return c
+	case YCSBF:
+		c := base(Mix{LookupPct: 50, InsertPct: 50})
+		c.ReadModifyWrite = true
+		return c
+	default:
+		panic(fmt.Sprintf("workload: unknown YCSB workload %q", byte(w)))
+	}
+}
+
+// AllYCSB lists the six core workloads in order.
+func AllYCSB() []YCSB { return []YCSB{YCSBA, YCSBB, YCSBC, YCSBD, YCSBE, YCSBF} }

@@ -1,0 +1,105 @@
+package sherman
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"sherman/internal/core"
+	"sherman/internal/stats"
+)
+
+// Session is one client thread's interface to a tree, bound to one compute
+// server. Sessions are not safe for concurrent use — they model exactly one
+// client thread of the paper — so open one per goroutine. Any number of
+// sessions may operate on the same tree concurrently.
+type Session struct {
+	h  *core.Handle
+	cs int
+}
+
+var sessionSeq atomic.Int64
+
+// Session opens a session on compute server cs (0 <= cs < ComputeServers).
+func (t *Tree) Session(cs int) *Session {
+	if cs < 0 || cs >= t.c.ComputeServers() {
+		panic(fmt.Sprintf("sherman: compute server %d out of range [0,%d)", cs, t.c.ComputeServers()))
+	}
+	return &Session{h: t.tr.NewHandle(cs, int(sessionSeq.Add(1))), cs: cs}
+}
+
+// ComputeServer returns the compute server this session runs on.
+func (s *Session) ComputeServer() int { return s.cs }
+
+// Put stores value under key, inserting or updating in place. Key 0 is
+// reserved and panics (it is the tree's deleted-entry sentinel, §4.4).
+func (s *Session) Put(key, value uint64) {
+	s.h.Insert(key, value)
+}
+
+// Get returns the value stored under key.
+func (s *Session) Get(key uint64) (uint64, bool) {
+	return s.h.Lookup(key)
+}
+
+// Delete removes key, reporting whether it was present.
+func (s *Session) Delete(key uint64) bool {
+	return s.h.Delete(key)
+}
+
+// Scan returns up to span pairs with key >= from in ascending key order.
+// Like the paper's range query (§4.4), a scan is not atomic with concurrent
+// writes: each leaf is read consistently, but the scan as a whole is not a
+// snapshot.
+func (s *Session) Scan(from uint64, span int) []KV {
+	if span <= 0 {
+		return nil
+	}
+	return s.h.Range(from, span)
+}
+
+// VirtualNow returns the session's virtual clock in nanoseconds — the time
+// at which its most recent operation completed on the simulated fabric.
+// Dividing operation counts by makespans of these clocks gives the
+// throughput numbers the benchmarks report.
+func (s *Session) VirtualNow() int64 { return s.h.C.Now() }
+
+// Stats returns the session's accumulated measurements.
+func (s *Session) Stats() SessionStats {
+	r := s.h.Rec
+	m := &s.h.C.M
+	return SessionStats{
+		Lookups:      r.Ops[stats.OpLookup],
+		Inserts:      r.Ops[stats.OpInsert],
+		Deletes:      r.Ops[stats.OpDelete],
+		Scans:        r.Ops[stats.OpRange],
+		RoundTrips:   m.RoundTrips,
+		WriteBytes:   m.WriteBytes,
+		CASFailures:  m.CASFailures,
+		CacheHits:    r.CacheHits,
+		CacheMisses:  r.CacheMisses,
+		Handovers:    r.Handovers,
+		P50LatencyNS: r.AllLatency.Percentile(50),
+		P99LatencyNS: r.AllLatency.Percentile(99),
+	}
+}
+
+// SessionStats summarizes one session's activity. Latencies are in virtual
+// nanoseconds over all completed operations.
+type SessionStats struct {
+	Lookups, Inserts, Deletes, Scans int64
+
+	// RoundTrips counts network round trips; a doorbell-batched post of
+	// dependent writes counts once (§4.5).
+	RoundTrips int64
+	// WriteBytes totals RDMA_WRITE payload bytes — the write-amplification
+	// metric of Figure 14(c).
+	WriteBytes int64
+	// CASFailures counts failed remote lock CAS attempts (§3.2.2).
+	CASFailures int64
+
+	CacheHits, CacheMisses int64
+	// Handovers counts lock acquisitions satisfied by intra-CS handover.
+	Handovers int64
+
+	P50LatencyNS, P99LatencyNS int64
+}

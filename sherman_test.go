@@ -1,0 +1,383 @@
+package sherman
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+)
+
+func testCluster(t *testing.T) *Cluster {
+	t.Helper()
+	c, err := NewCluster(ClusterConfig{MemoryServers: 2, ComputeServers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewClusterValidation(t *testing.T) {
+	cases := []ClusterConfig{
+		{},
+		{MemoryServers: 1},
+		{ComputeServers: 1},
+		{MemoryServers: -1, ComputeServers: 1},
+		{MemoryServers: 1 << 16, ComputeServers: 1},
+	}
+	for _, cfg := range cases {
+		if _, err := NewCluster(cfg); err == nil {
+			t.Errorf("NewCluster(%+v) succeeded, want error", cfg)
+		}
+	}
+}
+
+func TestTreeOptionsValidation(t *testing.T) {
+	c := testCluster(t)
+	bad := []TreeOptions{
+		{KeySize: 4},
+		{BulkFill: 1.5},
+		{Advanced: &AdvancedOptions{WaitQueues: true}},
+		{Advanced: &AdvancedOptions{LocalLockTables: true, Handover: true}},
+	}
+	for _, opts := range bad {
+		if _, err := c.CreateTree(opts); err == nil {
+			t.Errorf("CreateTree(%+v) succeeded, want error", opts)
+		}
+	}
+}
+
+func TestPutGetDeleteScan(t *testing.T) {
+	for _, engine := range []Engine{EngineSherman, EngineFGPlus} {
+		t.Run(engine.String(), func(t *testing.T) {
+			c := testCluster(t)
+			tree, err := c.CreateTree(TreeOptions{Engine: engine})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := tree.Session(0)
+
+			if _, ok := s.Get(1); ok {
+				t.Fatal("Get on empty tree found a value")
+			}
+			for k := uint64(1); k <= 500; k++ {
+				s.Put(k, k*3)
+			}
+			for k := uint64(1); k <= 500; k++ {
+				if v, ok := s.Get(k); !ok || v != k*3 {
+					t.Fatalf("Get(%d) = (%d,%v), want (%d,true)", k, v, ok, k*3)
+				}
+			}
+			s.Put(42, 999) // update
+			if v, _ := s.Get(42); v != 999 {
+				t.Fatalf("updated Get(42) = %d, want 999", v)
+			}
+			if !s.Delete(42) {
+				t.Fatal("Delete(42) = false")
+			}
+			if s.Delete(42) {
+				t.Fatal("double Delete(42) = true")
+			}
+			if _, ok := s.Get(42); ok {
+				t.Fatal("Get(42) after delete found a value")
+			}
+
+			kvs := s.Scan(40, 5)
+			want := []uint64{40, 41, 43, 44, 45} // 42 deleted
+			if len(kvs) != len(want) {
+				t.Fatalf("Scan returned %d rows, want %d", len(kvs), len(want))
+			}
+			for i, kv := range kvs {
+				if kv.Key != want[i] || kv.Value != want[i]*3 {
+					t.Fatalf("Scan[%d] = %+v, want key %d", i, kv, want[i])
+				}
+			}
+			if got := s.Scan(40, 0); got != nil {
+				t.Fatalf("Scan span 0 = %v, want nil", got)
+			}
+
+			if err := tree.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+		})
+	}
+}
+
+func TestBulkloadValidation(t *testing.T) {
+	c := testCluster(t)
+	tree, _ := c.CreateTree(DefaultTreeOptions())
+	if err := tree.Bulkload([]KV{{Key: 0, Value: 1}}); err == nil {
+		t.Error("Bulkload accepted key 0")
+	}
+	if err := tree.Bulkload([]KV{{Key: 5, Value: 1}, {Key: 5, Value: 2}}); err == nil {
+		t.Error("Bulkload accepted duplicate keys")
+	}
+	if err := tree.Bulkload([]KV{{Key: 5, Value: 1}, {Key: 3, Value: 2}}); err == nil {
+		t.Error("Bulkload accepted unsorted keys")
+	}
+	if err := tree.Bulkload([]KV{{Key: 1, Value: 10}, {Key: 2, Value: 20}}); err != nil {
+		t.Errorf("valid Bulkload failed: %v", err)
+	}
+	s := tree.Session(0)
+	if v, ok := s.Get(2); !ok || v != 20 {
+		t.Errorf("Get(2) after bulkload = (%d,%v), want (20,true)", v, ok)
+	}
+}
+
+func TestKeyZeroPanics(t *testing.T) {
+	c := testCluster(t)
+	tree, _ := c.CreateTree(DefaultTreeOptions())
+	s := tree.Session(0)
+	for name, fn := range map[string]func(){
+		"Put":    func() { s.Put(0, 1) },
+		"Delete": func() { s.Delete(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with key 0 did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSessionOutOfRangePanics(t *testing.T) {
+	c := testCluster(t)
+	tree, _ := c.CreateTree(DefaultTreeOptions())
+	for _, cs := range []int{-1, 2, 99} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Session(%d) did not panic", cs)
+				}
+			}()
+			tree.Session(cs)
+		}()
+	}
+}
+
+// TestConcurrentSessionsAgainstReference runs concurrent random operations
+// on disjoint key stripes and compares the final tree contents against a
+// per-stripe reference map.
+func TestConcurrentSessionsAgainstReference(t *testing.T) {
+	c := testCluster(t)
+	tree, err := c.CreateTree(DefaultTreeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	const opsPerWorker = 400
+	refs := make([]map[uint64]uint64, workers)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := tree.Session(w % c.ComputeServers())
+			ref := make(map[uint64]uint64)
+			rng := rand.New(rand.NewPCG(uint64(w)+1, 7))
+			base := uint64(w)*100_000 + 1
+			for i := 0; i < opsPerWorker; i++ {
+				k := base + rng.Uint64N(200)
+				switch rng.Uint64N(10) {
+				case 0, 1: // delete
+					s.Delete(k)
+					delete(ref, k)
+				default: // put
+					v := rng.Uint64() | 1
+					s.Put(k, v)
+					ref[k] = v
+				}
+			}
+			refs[w] = ref
+		}(w)
+	}
+	wg.Wait()
+
+	if err := tree.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	s := tree.Session(0)
+	for w, ref := range refs {
+		for k, v := range ref {
+			got, ok := s.Get(k)
+			if !ok || got != v {
+				t.Fatalf("worker %d key %d: Get = (%d,%v), want (%d,true)", w, k, got, ok, v)
+			}
+		}
+	}
+}
+
+func TestStatsSurface(t *testing.T) {
+	c := testCluster(t)
+	tree, _ := c.CreateTree(DefaultTreeOptions())
+	s := tree.Session(0)
+	for k := uint64(1); k <= 100; k++ {
+		s.Put(k, k)
+	}
+	for k := uint64(1); k <= 100; k++ {
+		s.Get(k)
+	}
+	s.Scan(1, 10)
+	s.Delete(50)
+
+	st := s.Stats()
+	if st.Inserts != 100 || st.Lookups != 100 || st.Scans != 1 || st.Deletes != 1 {
+		t.Errorf("op counts = %+v", st)
+	}
+	if st.RoundTrips == 0 || st.WriteBytes == 0 {
+		t.Errorf("verb counters empty: %+v", st)
+	}
+	if st.P50LatencyNS <= 0 || st.P99LatencyNS < st.P50LatencyNS {
+		t.Errorf("latencies inconsistent: p50=%d p99=%d", st.P50LatencyNS, st.P99LatencyNS)
+	}
+	if s.VirtualNow() <= 0 {
+		t.Error("virtual clock did not advance")
+	}
+	if s.ComputeServer() != 0 {
+		t.Errorf("ComputeServer = %d, want 0", s.ComputeServer())
+	}
+
+	ls := tree.LockStats()
+	// 100 puts + 1 delete, plus parent-node locks taken by leaf splits.
+	if ls.Acquisitions < 101 {
+		t.Errorf("lock acquisitions = %d, want >= 101", ls.Acquisitions)
+	}
+	if cs := tree.CacheStats(0); cs.Capacity <= 0 {
+		t.Errorf("cache capacity = %d", cs.Capacity)
+	}
+	as := c.AllocStats()
+	if as.Nodes == 0 || as.ChunkRPCs == 0 {
+		t.Errorf("alloc stats empty: %+v", as)
+	}
+	if c.MemoryUsage() == 0 {
+		t.Error("memory usage zero after inserts")
+	}
+}
+
+// TestAdvancedOptionsMatrix creates a tree for every consistent ablation
+// combination and smoke-tests it.
+func TestAdvancedOptionsMatrix(t *testing.T) {
+	combos := []AdvancedOptions{
+		{},
+		{CombineCommands: true},
+		{OnChipLocks: true},
+		{TwoLevelVersions: true},
+		{CombineCommands: true, OnChipLocks: true},
+		{LocalLockTables: true},
+		{LocalLockTables: true, WaitQueues: true},
+		{LocalLockTables: true, WaitQueues: true, Handover: true},
+		{TwoLevelVersions: true, CombineCommands: true, OnChipLocks: true,
+			LocalLockTables: true, WaitQueues: true, Handover: true},
+	}
+	for _, adv := range combos {
+		adv := adv
+		c := testCluster(t)
+		tree, err := c.CreateTree(TreeOptions{Advanced: &adv})
+		if err != nil {
+			t.Fatalf("CreateTree(%+v): %v", adv, err)
+		}
+		s := tree.Session(0)
+		for k := uint64(1); k <= 50; k++ {
+			s.Put(k, k+7)
+		}
+		for k := uint64(1); k <= 50; k++ {
+			if v, ok := s.Get(k); !ok || v != k+7 {
+				t.Fatalf("%+v: Get(%d) = (%d,%v)", adv, k, v, ok)
+			}
+		}
+		if err := tree.Validate(); err != nil {
+			t.Fatalf("%+v: %v", adv, err)
+		}
+	}
+}
+
+func TestKeySizeOption(t *testing.T) {
+	c := testCluster(t)
+	tree, err := c.CreateTree(TreeOptions{KeySize: 64, NodeSize: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tree.Session(0)
+	for k := uint64(1); k <= 200; k++ {
+		s.Put(k, k*2)
+	}
+	for k := uint64(1); k <= 200; k++ {
+		if v, ok := s.Get(k); !ok || v != k*2 {
+			t.Fatalf("Get(%d) = (%d,%v)", k, v, ok)
+		}
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFabricParamOverrides(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{
+		MemoryServers:  1,
+		ComputeServers: 1,
+		Fabric: FabricParams{
+			RTTNS:          5000,
+			AtomicBuckets:  64,
+			OnChipMemBytes: 128 << 10,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := c.CreateTree(DefaultTreeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tree.Session(0)
+	s.Put(1, 2)
+	if v, ok := s.Get(1); !ok || v != 2 {
+		t.Fatalf("Get(1) = (%d,%v)", v, ok)
+	}
+	// A 5 us RTT means even one round trip exceeds 5000 virtual ns.
+	if s.VirtualNow() < 5000 {
+		t.Errorf("virtual clock %d too small for RTT override", s.VirtualNow())
+	}
+}
+
+func TestStatsAndCompact(t *testing.T) {
+	c := testCluster(t)
+	tree, _ := c.CreateTree(DefaultTreeOptions())
+	s := tree.Session(0)
+	const n = 4000
+	for k := uint64(1); k <= n; k++ {
+		s.Put(k, k)
+	}
+	st := tree.Stats()
+	if st.Entries != n || st.Height < 2 || st.LeafNodes == 0 {
+		t.Fatalf("stats after inserts: %+v", st)
+	}
+	for k := uint64(1); k <= n; k++ {
+		if k%8 != 0 {
+			s.Delete(k)
+		}
+	}
+	res := tree.Compact()
+	if res.EntriesKept != n/8 || res.BytesReclaimed <= 0 || res.NodesAfter >= res.NodesBefore {
+		t.Fatalf("compact: %+v", res)
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Sessions opened after Compact see exactly the survivors.
+	s2 := tree.Session(1)
+	for k := uint64(8); k <= n; k += 8 {
+		if v, ok := s2.Get(k); !ok || v != k {
+			t.Fatalf("survivor %d = (%d,%v)", k, v, ok)
+		}
+	}
+	if _, ok := s2.Get(3); ok {
+		t.Fatal("deleted key resurrected")
+	}
+	after := tree.Stats()
+	if after.LeafFill <= st.LeafFill-0.2 {
+		t.Fatalf("fill did not recover: %.2f -> %.2f", st.LeafFill, after.LeafFill)
+	}
+}
