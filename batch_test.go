@@ -1,0 +1,206 @@
+package sherman
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// batchAblationOptions spans the TwoLevel/Checksum × Combine on/off grid of
+// the ablation axes; the batch pipeline must be sequential-equivalent under
+// every one. Small nodes force batches to straddle leaf splits.
+func batchAblationOptions() []TreeOptions {
+	var out []TreeOptions
+	for _, twoLevel := range []bool{true, false} {
+		for _, combine := range []bool{true, false} {
+			out = append(out, TreeOptions{
+				NodeSize: 256,
+				Advanced: &AdvancedOptions{TwoLevelVersions: twoLevel, CombineCommands: combine},
+			})
+		}
+	}
+	return out
+}
+
+// TestBatchSequentialEquivalenceProperty quick-checks, through the public
+// API, that PutBatch/GetBatch/DeleteBatch are observably equivalent to the
+// same operations applied sequentially — including batches that straddle
+// leaf splits and deletes of absent keys — across the ablation grid.
+func TestBatchSequentialEquivalenceProperty(t *testing.T) {
+	for _, opts := range batchAblationOptions() {
+		opts := opts
+		fn := func(seed uint64) bool {
+			rng := rand.New(rand.NewPCG(seed, 0x5e55))
+			mk := func() *Session {
+				c, err := NewCluster(ClusterConfig{MemoryServers: 2, ComputeServers: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				tree, err := c.CreateTree(opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return tree.Session(0)
+			}
+			seq, bat := mk(), mk()
+
+			const keySpace = 300
+			for round := 0; round < 5; round++ {
+				n := int(rng.Uint64N(80)) + 1
+				switch rng.Uint64N(3) {
+				case 0:
+					kvs := make([]KV, n)
+					for i := range kvs {
+						kvs[i] = KV{Key: rng.Uint64N(keySpace) + 1, Value: rng.Uint64() | 1}
+					}
+					for _, kv := range kvs {
+						seq.Put(kv.Key, kv.Value)
+					}
+					bat.PutBatch(kvs)
+				case 1:
+					keys := make([]uint64, n)
+					for i := range keys {
+						keys[i] = rng.Uint64N(2*keySpace) + 1 // half absent
+					}
+					got := bat.DeleteBatch(keys)
+					for i, k := range keys {
+						if want := seq.Delete(k); got[i] != want {
+							t.Logf("opts %+v seed %d: DeleteBatch(%d) = %v, want %v", *opts.Advanced, seed, k, got[i], want)
+							return false
+						}
+					}
+				default:
+					keys := make([]uint64, n)
+					for i := range keys {
+						keys[i] = rng.Uint64N(keySpace) + 1
+					}
+					vals, found := bat.GetBatch(keys)
+					for i, k := range keys {
+						wv, wok := seq.Get(k)
+						if found[i] != wok || (wok && vals[i] != wv) {
+							t.Logf("opts %+v seed %d: GetBatch(%d) = (%d,%v), want (%d,%v)", *opts.Advanced, seed, k, vals[i], found[i], wv, wok)
+							return false
+						}
+					}
+				}
+			}
+			for k := uint64(1); k <= keySpace; k++ {
+				wv, wok := seq.Get(k)
+				gv, gok := bat.Get(k)
+				if wok != gok || (wok && wv != gv) {
+					t.Logf("opts %+v seed %d: final key %d mismatch", *opts.Advanced, seed, k)
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(fn, &quick.Config{MaxCount: 6}); err != nil {
+			t.Errorf("%+v: %v", *opts.Advanced, err)
+		}
+	}
+}
+
+// TestBatchConcurrentSessions runs concurrent batched writers on disjoint
+// stripes, then validates the tree and checks contents — the public-API
+// face of the concurrent-batch-churn acceptance criterion.
+func TestBatchConcurrentSessions(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{MemoryServers: 2, ComputeServers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := c.CreateTree(TreeOptions{NodeSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	refs := make([]map[uint64]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := tree.Session(w % c.ComputeServers())
+			rng := rand.New(rand.NewPCG(uint64(w)+1, 31))
+			ref := make(map[uint64]uint64)
+			base := uint64(w)*100_000 + 1
+			for round := 0; round < 25; round++ {
+				n := int(rng.Uint64N(40)) + 1
+				if rng.Uint64N(4) == 0 {
+					keys := make([]uint64, n)
+					for i := range keys {
+						keys[i] = base + rng.Uint64N(400)
+					}
+					s.DeleteBatch(keys)
+					for _, k := range keys {
+						delete(ref, k)
+					}
+				} else {
+					kvs := make([]KV, n)
+					for i := range kvs {
+						kvs[i] = KV{Key: base + rng.Uint64N(400), Value: rng.Uint64() | 1}
+					}
+					s.PutBatch(kvs)
+					for _, kv := range kvs {
+						ref[kv.Key] = kv.Value
+					}
+				}
+			}
+			refs[w] = ref
+		}(w)
+	}
+	wg.Wait()
+
+	if err := tree.Validate(); err != nil {
+		t.Fatalf("Validate after concurrent batch churn: %v", err)
+	}
+	s := tree.Session(0)
+	for w, ref := range refs {
+		keys := make([]uint64, 0, len(ref))
+		for k := range ref {
+			keys = append(keys, k)
+		}
+		vals, found := s.GetBatch(keys)
+		for i, k := range keys {
+			if !found[i] || vals[i] != ref[k] {
+				t.Fatalf("worker %d key %d: GetBatch = (%d,%v), want (%d,true)", w, k, vals[i], found[i], ref[k])
+			}
+		}
+	}
+
+	st := s.Stats()
+	if st.Batches == 0 || st.BatchedOps == 0 || st.BatchLeafGroups == 0 {
+		t.Errorf("batch counters empty: %+v", st)
+	}
+	if st.BatchedOps < st.BatchLeafGroups {
+		t.Errorf("BatchedOps %d < BatchLeafGroups %d: grouping never amortized", st.BatchedOps, st.BatchLeafGroups)
+	}
+}
+
+// TestBatchEmptyAndKeyZero covers the degenerate inputs.
+func TestBatchEmptyAndKeyZero(t *testing.T) {
+	c := testCluster(t)
+	tree, _ := c.CreateTree(DefaultTreeOptions())
+	s := tree.Session(0)
+	s.PutBatch(nil)
+	if v, f := s.GetBatch(nil); len(v) != 0 || len(f) != 0 {
+		t.Error("GetBatch(nil) returned non-empty slices")
+	}
+	if f := s.DeleteBatch(nil); len(f) != 0 {
+		t.Error("DeleteBatch(nil) returned non-empty slice")
+	}
+	for name, fn := range map[string]func(){
+		"PutBatch":    func() { s.PutBatch([]KV{{Key: 0, Value: 1}}) },
+		"DeleteBatch": func() { s.DeleteBatch([]uint64{0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with key 0 did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

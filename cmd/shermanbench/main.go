@@ -8,7 +8,7 @@
 //	shermanbench -exp fig10 -keys 4194304 -ops 2000 -threads 22
 //
 // Experiments: table1 table2 fig2 fig3 fig10 fig11 fig12 fig13 fig14
-// fig15a fig15b fig15c fig16 all quick
+// fig15a fig15b fig15c fig16 extras ycsb batch all quick
 package main
 
 import (
@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (table1,table2,fig2,fig3,fig10,fig11,fig12,fig13,fig14,fig15a,fig15b,fig15c,fig16,extras,ycsb,all,quick)")
+		exp      = flag.String("exp", "all", "experiment id (table1,table2,fig2,fig3,fig10,fig11,fig12,fig13,fig14,fig15a,fig15b,fig15c,fig16,extras,ycsb,batch,all,quick)")
 		keys     = flag.Uint64("keys", 0, "key-space size (0 = scale default)")
 		windowMS = flag.Int("window", 0, "virtual measurement window in ms (0 = scale default)")
 		warmup   = flag.Int("warmup", 0, "warmup ops per thread (0 = scale default)")
@@ -54,7 +54,7 @@ func main() {
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" || *exp == "quick" {
 		ids = []string{"table1", "table2", "fig2", "fig3", "fig10", "fig11",
-			"fig12", "fig13", "fig14", "fig15a", "fig15b", "fig15c", "fig16"}
+			"fig12", "fig13", "fig14", "fig15a", "fig15b", "fig15c", "fig16", "batch"}
 	}
 	fmt.Printf("# shermanbench: keys=%d threads/CS=%d window=%dms GOMAXPROCS=%d\n\n",
 		s.Keys, s.ThreadsPerCS, s.MeasureNS/1_000_000, runtime.GOMAXPROCS(0))
@@ -97,6 +97,8 @@ func run(id string, s bench.Scale) {
 		tables = bench.Extras(s)
 	case "ycsb":
 		tables = []*bench.Table{bench.YCSBSuite(s)}
+	case "batch":
+		tables = bench.BatchTables(s)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
 		os.Exit(2)

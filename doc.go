@@ -39,6 +39,14 @@
 //	v, ok := s.Get(42)
 //	kvs := s.Scan(40, 10)
 //
+// Bulk work goes through the batch pipeline — observably equivalent to the
+// same operations applied in order, but amortizing traversals, leaf locks
+// and doorbells across operations that share a leaf:
+//
+//	s.PutBatch([]sherman.KV{{Key: 1, Value: 10}, {Key: 2, Value: 20}})
+//	vals, found := s.GetBatch([]uint64{1, 2, 3})
+//	deleted := s.DeleteBatch([]uint64{1, 3})
+//
 // Sessions are deliberately single-goroutine (they model one client thread of
 // the paper); open as many as you like across compute servers.
 //

@@ -1,0 +1,3 @@
+module sherman
+
+go 1.24

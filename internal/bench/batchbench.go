@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"fmt"
+
+	"sherman/internal/core"
+	"sherman/internal/workload"
+)
+
+// BatchTables reports the batch execution pipeline: the batched-vs-
+// sequential sweep that quantifies the per-operation amortization, and a
+// batched YCSB-style mix table. Not paper figures — the paper batches only
+// the dependent writes *within* one operation (§4.5); these tables measure
+// what batching *across* operations adds on top.
+func BatchTables(s Scale) []*Table {
+	return []*Table{BatchSweep(s), BatchYCSB(s)}
+}
+
+// BatchSweep compares batched and sequential execution of a uniform
+// write-only workload at increasing batch sizes, for both engines. batch=1
+// is the sequential path; RT/op and lock acq/op are measured-window
+// per-operation costs, and ops/group is the number of operations each leaf
+// lock acquisition served.
+func BatchSweep(s Scale) *Table {
+	t := NewTable("Batch pipeline: batched vs sequential Put (uniform write-only)",
+		"config", "keys", "batch", "Mops", "RT/op", "lock acq/op", "ops/group", "p50(us)", "p99(us)")
+	// The sparse keyspace is the paper's scale; the dense one (a hot table
+	// a real batch client would hammer) co-locates batch keys in leaves,
+	// showing the leaf-group amortization at full strength.
+	for _, keys := range []uint64{s.Keys, s.Keys / 16} {
+		for _, cfg := range []core.Config{core.ShermanConfig(), core.FGPlusConfig()} {
+			for _, bs := range []int{1, 8, 32, 128} {
+				e := s.treeExp(cfg.Name(), workload.WriteOnly, workload.Uniform, cfg)
+				e.Keys = keys
+				e.BatchSize = bs
+				r := RunTreeN(e, s.runs())
+				group := "-"
+				if g := r.Rec.BatchLeafGroups; g > 0 {
+					group = fmt.Sprintf("%.2f", float64(r.Rec.BatchedOps)/float64(g))
+				}
+				t.Add(cfg.Name(), fmt.Sprint(keys), fmt.Sprint(bs), MopsString(r.Mops),
+					fmt.Sprintf("%.2f", r.RoundTripsPerOp),
+					fmt.Sprintf("%.2f", r.LockAcqPerOp),
+					group, USString(r.P50), USString(r.P99))
+			}
+		}
+	}
+	t.Note("batch=1 is the sequential path; RT/op and acq/op are measured-window per-operation costs")
+	t.Note("p50/p99 are amortized per-op latencies: a batch of n completing in T books T/n per operation")
+	return t
+}
+
+// BatchYCSB runs batched YCSB-style mixes (batch clients submitting groups
+// of operations) against the full Sherman configuration.
+func BatchYCSB(s Scale) *Table {
+	t := NewTable("Batched YCSB-style workloads (Sherman, zipfian 0.99)",
+		"workload", "batch", "Mops", "RT/op", "p99(us)")
+	mixes := []struct {
+		name string
+		mix  workload.Mix
+	}{
+		{"write-only", workload.WriteOnly},
+		{"update-heavy (A-like)", workload.WriteIntensive},
+		{"read-mostly (B-like)", workload.ReadIntensive},
+	}
+	for _, m := range mixes {
+		for _, bs := range []int{1, 32} {
+			e := s.treeExp(m.name, m.mix, workload.Zipfian, core.ShermanConfig())
+			e.BatchSize = bs
+			r := RunTreeN(e, s.runs())
+			t.Add(m.name, fmt.Sprint(bs), MopsString(r.Mops),
+				fmt.Sprintf("%.2f", r.RoundTripsPerOp), USString(r.P99))
+		}
+	}
+	t.Note("batched clients keep per-key semantics: a batch is equivalent to its operations applied in order")
+	return t
+}

@@ -72,6 +72,11 @@ type TreeExp struct {
 	// safety valve (0 = 1e6).
 	MaxOpsPerThread int
 
+	// BatchSize, when > 1, makes workers issue their operations through the
+	// batch pipeline in groups of this size (same-kind runs dispatch to the
+	// batch entry points); 0 or 1 issues operations one at a time.
+	BatchSize int
+
 	Params sim.Params // zero = defaults
 }
 
@@ -132,6 +137,16 @@ type TreeResult struct {
 	LockMaxWaiters    int64
 	LockGrants        int64
 	LockGrantSpinners int64
+
+	// MeasuredLockAcquisitions is the lock manager's acquisition count over
+	// the measurement window only (the harness snapshots the counter at the
+	// warmup barrier, when every thread is parked).
+	MeasuredLockAcquisitions int64
+	// RoundTripsPerOp and LockAcqPerOp are measured-window network round
+	// trips and lock acquisitions per completed operation — the
+	// amortization metrics of the batch pipeline.
+	RoundTripsPerOp float64
+	LockAcqPerOp    float64
 }
 
 // RunTree executes one tree experiment.
@@ -182,14 +197,31 @@ func RunTree(e TreeExp) TreeResult {
 	measureDone.Add(n)
 	startCh := make(chan int64) // closed after carrying maxStart by value
 
+	// issue runs one unit of work — a single operation or one batch — and
+	// returns the number of operations it completed.
+	batchSize := e.BatchSize
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	issue := func(h *core.Handle, g *workload.Generator) int {
+		if batchSize == 1 {
+			doOp(h, g.Next())
+			return 1
+		}
+		doBatch(h, g.NextBatch(batchSize))
+		return batchSize
+	}
+
 	var maxStart int64
 	for i := 0; i < n; i++ {
 		go func(i int) {
 			defer measureDone.Done()
 			defer gate.Done(i)
 			h, g := handles[i], gens[i]
-			for j := 0; j < e.WarmupOps; j++ {
-				doOp(h, g.Next())
+			// Batch executors pace between leaf groups so a long batch
+			// cannot carry this thread's clock outside the gate window.
+			h.Pace = func(v int64) { gate.Sync(i, v) }
+			for j := 0; j < e.WarmupOps; j += issue(h, g) {
 				gate.Sync(i, h.C.Now())
 			}
 			startV[i] = h.C.Now()
@@ -206,18 +238,22 @@ func RunTree(e TreeExp) TreeResult {
 			rec := stats.NewRecorder()
 			rec.StartV = start
 			h.Rec = rec
+			rt0 := h.C.M.RoundTrips
 			deadline := maxStart + e.MeasureNS
-			for j := 0; h.C.Now() < deadline && j < e.MaxOpsPerThread; j++ {
-				doOp(h, g.Next())
+			for j := 0; h.C.Now() < deadline && j < e.MaxOpsPerThread; j += issue(h, g) {
 				// Pace workers so virtual clocks stay within a bounded
 				// window of each other (see sim.Gate).
 				gate.Sync(i, h.C.Now())
 			}
+			rec.RoundTrips = h.C.M.RoundTrips - rt0
 			rec.FinishV = h.C.Now()
 			recs[i] = rec
 		}(i)
 	}
 	warmDone.Wait()
+	// Every thread is parked at the warmup barrier: snapshot the lock
+	// manager here so the result can report measurement-window deltas.
+	warmupAcq := tr.LockStats().Acquisitions.Load()
 	for _, v := range startV {
 		if v > maxStart {
 			maxStart = v
@@ -227,17 +263,23 @@ func RunTree(e TreeExp) TreeResult {
 	measureDone.Wait()
 
 	merged := stats.NewRecorder()
+	// Throughput sums per-thread rates over each thread's actual issuing
+	// interval. Threads stop issuing at the deadline but complete their
+	// final unit of work — a whole batch when BatchSize > 1 — so dividing
+	// total ops by the fixed window would credit the overshoot ops without
+	// their time, biasing large-batch runs upward. Per-thread intervals
+	// charge numerator and denominator together.
+	var mops float64
 	for _, r := range recs {
 		merged.Merge(r)
+		if d := r.FinishV - r.StartV; d > 0 {
+			mops += stats.ThroughputMops(r.TotalOps(), d)
+		}
 	}
-	// Throughput over the fixed window; threads stop issuing at the
-	// deadline, so the small overshoot of each thread's final operation is
-	// noise.
-	makespan := e.MeasureNS
 	ls := tr.LockStats()
 	res := TreeResult{
 		Name:              e.Name,
-		Mops:              stats.ThroughputMops(merged.TotalOps(), makespan),
+		Mops:              mops,
 		P50:               merged.AllLatency.Percentile(50),
 		P90:               merged.AllLatency.Percentile(90),
 		P99:               merged.AllLatency.Percentile(99),
@@ -249,6 +291,12 @@ func RunTree(e TreeExp) TreeResult {
 		LockMaxWaiters:    ls.MaxWaiters.Load(),
 		LockGrants:        ls.Grants.Load(),
 		LockGrantSpinners: ls.GrantSpinnersSum.Load(),
+
+		MeasuredLockAcquisitions: ls.Acquisitions.Load() - warmupAcq,
+	}
+	if ops := merged.TotalOps(); ops > 0 {
+		res.RoundTripsPerOp = float64(merged.RoundTrips) / float64(ops)
+		res.LockAcqPerOp = float64(res.MeasuredLockAcquisitions) / float64(ops)
 	}
 	return res
 }
@@ -270,14 +318,61 @@ func RunTreeN(e TreeExp, runs int) TreeResult {
 		acc.P99 += r.P99 / int64(runs)
 		acc.HitRatio += r.HitRatio / float64(runs)
 		acc.Handovers += r.Handovers / int64(runs)
+		acc.RoundTripsPerOp += r.RoundTripsPerOp / float64(runs)
+		acc.LockAcqPerOp += r.LockAcqPerOp / float64(runs)
 		acc.Rec = r.Rec
 		acc.LockAcquisitions = r.LockAcquisitions
 		acc.LockRetries = r.LockRetries
 		acc.LockMaxWaiters = r.LockMaxWaiters
 		acc.LockGrants = r.LockGrants
 		acc.LockGrantSpinners = r.LockGrantSpinners
+		acc.MeasuredLockAcquisitions = r.MeasuredLockAcquisitions
 	}
 	return acc
+}
+
+// doBatch dispatches one generated batch through the handle's batch entry
+// points: consecutive same-kind runs execute as one sub-batch (preserving
+// cross-kind ordering); range queries run individually.
+func doBatch(h *core.Handle, ops []workload.Op) {
+	for i := 0; i < len(ops); {
+		kind := ops[i].Kind
+		j := i
+		for j < len(ops) && ops[j].Kind == kind {
+			j++
+		}
+		run := ops[i:j]
+		i = j
+		switch kind {
+		case workload.Lookup:
+			h.LookupBatch(runKeys(run))
+		case workload.Insert:
+			rmw := false
+			kvs := make([]layout.KV, len(run))
+			for k, op := range run {
+				kvs[k] = layout.KV{Key: op.Key, Value: op.Value}
+				rmw = rmw || op.RMW
+			}
+			if rmw {
+				h.LookupBatch(runKeys(run)) // YCSB-F: read before updating
+			}
+			h.InsertBatch(kvs)
+		case workload.Delete:
+			h.DeleteBatch(runKeys(run))
+		case workload.Range:
+			for _, op := range run {
+				h.Range(op.Key, op.Span)
+			}
+		}
+	}
+}
+
+func runKeys(run []workload.Op) []uint64 {
+	keys := make([]uint64, len(run))
+	for i, op := range run {
+		keys[i] = op.Key
+	}
+	return keys
 }
 
 // doOp dispatches one generated operation to the handle.

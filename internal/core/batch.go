@@ -1,0 +1,278 @@
+package core
+
+import (
+	"sort"
+
+	"sherman/internal/hocl"
+	"sherman/internal/layout"
+	"sherman/internal/rdma"
+	"sherman/internal/stats"
+)
+
+// This file is the batch execution pipeline on top of the shared node-I/O
+// layer (nodeio.go). A batch executor sorts its operations by key, locates
+// each target leaf once, applies every operation that leaf covers, and
+// emits a single combined doorbell post per leaf — write-backs plus lock
+// release in one round trip (§4.5) — where sequential execution pays a
+// traversal, a lock acquisition and a doorbell per operation. When the
+// right sibling's lock hashes onto the very GLT slot the executor already
+// holds, the guard is reused across the leaf boundary too (hocl.SameSlot).
+
+// batchOp pairs one batched operation with its position in the caller's
+// slice so results map back to submission order.
+type batchOp struct {
+	key, value uint64
+	pos        int
+}
+
+// sortBatchOps orders ops by key, stable in submission order, so the
+// executor visits each leaf exactly once per run and same-key operations
+// apply in the order the caller issued them (last Put wins, like the
+// sequential path).
+func sortBatchOps(ops []batchOp) {
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].key < ops[j].key })
+}
+
+// leafCovers reports whether key falls inside the node's fence range.
+func leafCovers(n layout.Node, key uint64) bool {
+	return key >= n.LowerFence() && (n.UpperFence() == layout.NoUpperBound || key < n.UpperFence())
+}
+
+// pace yields to the harness's clock gate between leaf groups (no lock is
+// held at these points, so blocking in real time is safe).
+func (h *Handle) pace() {
+	if h.Pace != nil {
+		h.Pace(h.C.Now())
+	}
+}
+
+// appendCopiedWrite queues one write-back with a private copy of data:
+// batch executors defer their writes until the group's single doorbell
+// post, by which time the shared node buffer may hold a different node.
+func appendCopiedWrite(ops []rdma.WriteOp, a rdma.Addr, data []byte) []rdma.WriteOp {
+	return append(ops, rdma.WriteOp{Addr: a, Data: append([]byte(nil), data...)})
+}
+
+// InsertBatch stores every pair in kvs, observably equivalent to calling
+// Insert for each pair in submission order. Keys sharing a leaf share one
+// traversal, one lock acquisition and one combined write-back+release
+// doorbell. Key 0 is reserved and panics.
+func (h *Handle) InsertBatch(kvs []layout.KV) {
+	if len(kvs) == 0 {
+		return
+	}
+	h.C.M.BeginOp()
+	t0 := h.C.Now()
+	h.insertBatchInner(kvs)
+	h.Rec.RecordBatch(stats.OpInsert, len(kvs), h.C.Now()-t0, h.C.M.OpRoundTrips)
+}
+
+func (h *Handle) insertBatchInner(kvs []layout.KV) {
+	ops := make([]batchOp, len(kvs))
+	for i, kv := range kvs {
+		if kv.Key == 0 {
+			panic("core: key 0 is reserved")
+		}
+		ops[i] = batchOp{key: kv.Key, value: kv.Value, pos: i}
+	}
+	sortBatchOps(ops)
+	h.walkWriteBatch(ops, h.applyBatchInsert)
+}
+
+// applyBatchInsert applies one insert to the locked leaf. A full leaf
+// splits: the split writes whole nodes, carrying every entry already
+// applied to the local image, and writes queued for earlier slots or
+// chained leaves ride along in the same doorbell ahead of the split's
+// write-backs.
+func (h *Handle) applyBatchInsert(addr rdma.Addr, g hocl.Guard, leaf layout.Leaf, op batchOp, pending []rdma.WriteOp) ([]rdma.WriteOp, bool, bool) {
+	if h.t.cfg.Format.Mode == layout.TwoLevel {
+		slot, found := leaf.Find(op.key)
+		if !found {
+			slot = leaf.FindFree()
+		}
+		if found || slot >= 0 {
+			// Entry-level modification; the write-back is queued for the
+			// group's combined post.
+			leaf.SetEntry(slot, op.key, op.value)
+			off, sz := leaf.EntrySpan(slot)
+			return appendCopiedWrite(pending, addr.Add(uint64(off)), leaf.B[off:off+sz]), false, false
+		}
+	} else if leaf.InsertSorted(op.key, op.value) {
+		return pending, true, false
+	}
+	h.splitLeaf(addr, g, leaf, op.key, op.value, pending)
+	return nil, false, true
+}
+
+// batchApply applies one operation to the locked leaf at addr, returning
+// the (possibly extended) pending write set, whether the whole node is now
+// dirty (Checksum mode's deferred write-back), and whether the op was
+// consumed by a split — which releases the guard and ends the group.
+type batchApply func(addr rdma.Addr, g hocl.Guard, leaf layout.Leaf, op batchOp, pending []rdma.WriteOp) (newPending []rdma.WriteOp, dirty, split bool)
+
+// walkWriteBatch drives the shared leaf-group walk of a write batch: lock
+// the leaf covering the next operation, apply every consecutive operation
+// it covers, chain into aliased siblings where the lock slot allows, and
+// release each group with one combined write-backs+release doorbell.
+func (h *Handle) walkWriteBatch(ops []batchOp, apply batchApply) {
+	f := h.t.cfg.Format
+	i := 0
+	for i < len(ops) {
+		h.pace()
+		addr, g, leaf := h.lockLeafForWrite(ops[i].key)
+		h.Rec.BatchLeafGroups++
+		var pending []rdma.WriteOp
+	group:
+		for {
+			h.C.Step(h.C.F.P.LocalStepNS)
+			dirty := false
+			for i < len(ops) && leafCovers(leaf.Node, ops[i].key) {
+				var d, split bool
+				pending, d, split = apply(addr, g, leaf, ops[i], pending)
+				dirty = dirty || d
+				i++
+				if split {
+					break group // the split released the guard
+				}
+			}
+			if f.Mode == layout.Checksum && dirty {
+				leaf.UpdateChecksum()
+				pending = appendCopiedWrite(pending, addr, leaf.B)
+			}
+			if i < len(ops) {
+				if sib, sibLeaf, ok := h.chainToSibling(g, leaf, ops[i].key); ok {
+					addr, leaf = sib, sibLeaf
+					continue group
+				}
+			}
+			h.unlockWrite(g, pending)
+			break
+		}
+	}
+}
+
+// chainToSibling attempts to continue a write group into the right sibling
+// without releasing the guard: possible when the next operation's key lives
+// in the sibling and the sibling's lock hashes onto the GLT slot the guard
+// already holds (§4.3's table hashing aliases distinct nodes, and a held
+// slot excludes writers from every node it covers). The sibling is read
+// into the shared leaf buffer, so the caller's queued writes must already
+// be private copies — appendCopiedWrite guarantees that.
+func (h *Handle) chainToSibling(g hocl.Guard, leaf layout.Leaf, nextKey uint64) (rdma.Addr, layout.Leaf, bool) {
+	sib := leaf.Sibling()
+	if sib.IsNil() || !h.t.locks.SameSlot(g, sib) {
+		return rdma.NilAddr, layout.Leaf{}, false
+	}
+	n, _ := h.readNode(sib, h.leafBuf)
+	if !n.Alive() || !n.IsLeaf() || !leafCovers(n, nextKey) {
+		return rdma.NilAddr, layout.Leaf{}, false
+	}
+	h.Rec.BatchChainedLeaves++
+	return sib, layout.AsLeaf(n), true
+}
+
+// DeleteBatch removes every key, reporting per key (in submission order)
+// whether it was present — observably equivalent to calling Delete for
+// each key in order. Absent keys cost no write-back. Key 0 panics.
+func (h *Handle) DeleteBatch(keys []uint64) []bool {
+	found := make([]bool, len(keys))
+	if len(keys) == 0 {
+		return found
+	}
+	h.C.M.BeginOp()
+	t0 := h.C.Now()
+	h.deleteBatchInner(keys, found)
+	h.Rec.RecordBatch(stats.OpDelete, len(keys), h.C.Now()-t0, h.C.M.OpRoundTrips)
+	return found
+}
+
+func (h *Handle) deleteBatchInner(keys []uint64, found []bool) {
+	ops := make([]batchOp, len(keys))
+	for i, k := range keys {
+		if k == 0 {
+			panic("core: key 0 is reserved")
+		}
+		ops[i] = batchOp{key: k, pos: i}
+	}
+	sortBatchOps(ops)
+	h.walkWriteBatch(ops, func(addr rdma.Addr, _ hocl.Guard, leaf layout.Leaf, op batchOp, pending []rdma.WriteOp) ([]rdma.WriteOp, bool, bool) {
+		if h.t.cfg.Format.Mode == layout.TwoLevel {
+			if slot, ok := leaf.Find(op.key); ok {
+				leaf.ClearEntry(slot)
+				off, sz := leaf.EntrySpan(slot)
+				pending = appendCopiedWrite(pending, addr.Add(uint64(off)), leaf.B[off:off+sz])
+				found[op.pos] = true
+			}
+			return pending, false, false
+		}
+		if leaf.DeleteSorted(op.key) {
+			found[op.pos] = true
+			return pending, true, false
+		}
+		return pending, false, false
+	})
+}
+
+// LookupBatch returns the value stored under each key, in submission
+// order — observably equivalent to calling Lookup per key, but reading
+// each target leaf once for all the keys it covers.
+func (h *Handle) LookupBatch(keys []uint64) (values []uint64, found []bool) {
+	values = make([]uint64, len(keys))
+	found = make([]bool, len(keys))
+	if len(keys) == 0 {
+		return values, found
+	}
+	h.C.M.BeginOp()
+	t0 := h.C.Now()
+	h.lookupBatchInner(keys, values, found)
+	h.Rec.RecordBatch(stats.OpLookup, len(keys), h.C.Now()-t0, h.C.M.OpRoundTrips)
+	return values, found
+}
+
+func (h *Handle) lookupBatchInner(keys []uint64, values []uint64, found []bool) {
+	ops := make([]batchOp, len(keys))
+	for i, k := range keys {
+		ops[i] = batchOp{key: k, pos: i}
+	}
+	sortBatchOps(ops)
+
+	// Keys whose entry-level check failed mid-group fall back to the
+	// sequential path after the batch walk (the walk shares one leaf buffer
+	// that a re-read would clobber).
+	var torn []batchOp
+
+	i := 0
+	for i < len(ops) {
+		h.pace()
+		retries := 0
+		addr, ce := h.locateLeaf(ops[i].key)
+		r, ok := h.seek(ops[i].key, 0, intentRead, addr, ce, h.leafBuf, &retries, nil)
+		if !ok {
+			h.Rec.ReadRetries.Record(retries)
+			i++ // ran off the right edge: the key cannot exist
+			continue
+		}
+		h.Rec.BatchLeafGroups++
+		leaf := layout.AsLeaf(r.n)
+		h.C.Step(h.C.F.P.LocalStepNS) // scan the leaf locally for the group
+		for i < len(ops) && leafCovers(r.n, ops[i].key) {
+			op := ops[i]
+			if slot, hit := leaf.Find(op.key); hit {
+				if h.t.cfg.Format.Mode == layout.TwoLevel && !leaf.EntryConsistent(slot) {
+					torn = append(torn, op) // §4.4: re-read required
+				} else {
+					values[op.pos], found[op.pos] = leaf.Value(slot), true
+				}
+			}
+			// Every lookup the group serves shares its validated read, so
+			// each records the group's retry count — keeping the per-lookup
+			// retry distribution (Figure 14a) comparable to the sequential
+			// path. Torn entries record again via their lookupInner re-read.
+			h.Rec.ReadRetries.Record(retries)
+			i++
+		}
+	}
+	for _, op := range torn {
+		values[op.pos], found[op.pos] = h.lookupInner(op.key)
+	}
+}

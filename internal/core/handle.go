@@ -21,6 +21,14 @@ type Handle struct {
 	// Rec accumulates this thread's measurements.
 	Rec *stats.Recorder
 
+	// Pace, when non-nil, is called between the leaf groups of a batch —
+	// points where no lock is held — with the handle's current virtual
+	// time. The bench harness uses it to keep worker clocks inside the
+	// simulation gate's window even across long batches; without it a
+	// batch-issuing thread drifts far ahead in virtual time and drags lock
+	// timelines with it, billing paced threads phantom spin storms.
+	Pace func(nowNS int64)
+
 	// Reusable node buffers (verbs copy synchronously, so reuse is safe).
 	leafBuf []byte
 	nodeBuf []byte
@@ -81,67 +89,6 @@ func (h *Handle) refreshRoot() (rdma.Addr, uint8) {
 	return root, level
 }
 
-// locateLeaf resolves the leaf that should contain key: index-cache hit
-// (type-1), else a traversal from the (cached) top levels, inserting the
-// level-1 node into the cache on the way (§4.2.3). The returned cache entry
-// (nil on miss) lets the caller invalidate stale steering.
-func (h *Handle) locateLeaf(key uint64) (rdma.Addr, *cache.Entry) {
-	h.C.Step(h.C.F.P.LocalStepNS)
-	if e := h.cache.Lookup(key); e != nil {
-		h.Rec.CacheHits++
-		child, _ := e.N.ChildFor(key)
-		return child, e
-	}
-	h.Rec.CacheMisses++
-	return h.traverseToLeaf(key), nil
-}
-
-// traverseToLeaf walks internal levels from the root down to level 0,
-// following sibling pointers when a node's fences exclude the key (B-link
-// move-right) and restarting from a fresh root when steering proves stale.
-func (h *Handle) traverseToLeaf(key uint64) rdma.Addr {
-	root, level := h.top.Root()
-	if root.IsNil() {
-		root, level = h.refreshRoot()
-	}
-	for attempt := 0; ; attempt++ {
-		addr, lvl := root, level
-		ok := true
-		for lvl > 0 {
-			n, fromCache := h.readInternal(addr, lvl, level)
-			if !n.Alive() || n.Level() != lvl || key < n.LowerFence() {
-				// Freed or repurposed node, or we are left of its range:
-				// the steering was stale; restart from a fresh root.
-				if fromCache {
-					h.top.Drop(addr)
-				}
-				ok = false
-				break
-			}
-			if n.UpperFence() != layout.NoUpperBound && key >= n.UpperFence() {
-				// Move right along the B-link chain (level unchanged).
-				sib := n.Sibling()
-				if sib.IsNil() {
-					ok = false
-					break
-				}
-				addr = sib
-				continue
-			}
-			if lvl == 1 {
-				h.cacheLevel1(addr, n)
-			}
-			child, _ := layout.AsInternal(n).ChildFor(key)
-			addr = child
-			lvl--
-		}
-		if ok {
-			return addr
-		}
-		root, level = h.refreshRoot()
-	}
-}
-
 // readInternal fetches an internal node, consulting the always-cached top
 // two levels first. rootLevel is the level of the traversal's root, which
 // defines which levels belong to the top cache.
@@ -196,33 +143,20 @@ func (h *Handle) lookupInner(key uint64) (uint64, bool) {
 	defer func() { h.Rec.ReadRetries.Record(retries) }()
 	addr, ce := h.locateLeaf(key)
 	for {
-		n, r := h.readNode(addr, h.leafBuf)
-		retries += r
-		leaf := layout.AsLeaf(n)
-		if !n.Alive() || !n.IsLeaf() || key < n.LowerFence() {
-			// Stale steering: invalidate and retraverse.
-			if ce != nil {
-				h.cache.Invalidate(ce)
-				ce = nil
-			}
-			addr = h.traverseToLeaf(key)
-			continue
+		r, ok := h.seek(key, 0, intentRead, addr, ce, h.leafBuf, &retries, &hops)
+		if !ok {
+			return 0, false // the sibling walk ran off the right edge
 		}
-		if n.UpperFence() != layout.NoUpperBound && key >= n.UpperFence() {
-			h.noteSiblingHop(&hops)
-			addr = n.Sibling()
-			if addr.IsNil() {
-				return 0, false
-			}
-			continue
-		}
+		leaf := layout.AsLeaf(r.n)
 		h.C.Step(h.C.F.P.LocalStepNS) // scan the (unsorted) leaf locally
 		i, found := leaf.Find(key)
 		if !found {
 			return 0, false
 		}
 		if h.t.cfg.Format.Mode == layout.TwoLevel && !leaf.EntryConsistent(i) {
-			retries++ // entry-level check failed: re-read the leaf (§4.4)
+			// Entry-level check failed: re-read the leaf (§4.4).
+			retries++
+			addr, ce = r.addr, nil
 			continue
 		}
 		return leaf.Value(i), true

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"fmt"
+
+	"sherman/internal/cache"
+	"sherman/internal/hocl"
+	"sherman/internal/layout"
+	"sherman/internal/rdma"
+)
+
+// This file is the shared node-I/O + traversal layer: every data path —
+// point lookups, locked writes, parent-separator insertion, range scans and
+// the batch executors — resolves tree nodes through the two loops below
+// instead of carrying its own copy of the move-right / stale-steering /
+// lock-coupling logic. The loops encode the B-link protocol of §4.2:
+// a traversal may land left of its key after concurrent splits (follow the
+// sibling chain right), on a freed or repurposed node (recover from stale
+// steering), and — for writes — must hold at most one node lock at any time
+// (unlock the current node before locking its sibling, §4.3 [52]).
+
+// intent selects how seek interacts with the target node.
+type intent int
+
+const (
+	// intentRead seeks lock-free: the node is fetched with a consistency-
+	// validated read (version pair or checksum) and returned unlocked.
+	intentRead intent = iota
+	// intentWrite seeks under lock coupling: the target is locked before
+	// the validating read, and moving right releases the current lock
+	// before acquiring the sibling's.
+	intentWrite
+)
+
+// seekResult is the node a seek landed on. The guard is the held lock for
+// intentWrite seeks and the zero Guard for intentRead.
+type seekResult struct {
+	addr rdma.Addr
+	n    layout.Node
+	g    hocl.Guard
+}
+
+// seek drives the shared move-right / stale-steering loop at one level of
+// the tree: starting from the steering hint addr (with ce the index-cache
+// entry that produced it, nil otherwise), it locks (for intentWrite) and
+// reads the node, validates liveness, level and fences, and either returns
+// the covering node, follows the B-link sibling chain right, or recovers
+// from stale steering.
+//
+// Stale recovery differs by level: level-0 seeks re-traverse from the root
+// internally and always make progress, while level>0 seeks return ok=false
+// so the caller can re-resolve its target from a fresh root (the parent
+// level of a split is not known to the descent helper). ok=false at level 0
+// happens only for read seeks whose sibling walk ran off the right edge —
+// the key cannot exist. A level-0 write seek finding a finite upper fence
+// with no sibling panics: the write-back protocol never produces that
+// state, so it is structural corruption, not staleness.
+//
+// retries, when non-nil, accumulates consistency-check re-reads (the
+// Figure 14(a) metric). hops, when non-nil, is the caller's sibling-hop
+// budget — one logical operation keeps one counter across its seeks so the
+// stale-top-cache flush heuristic (noteSiblingHop) sees the whole walk.
+func (h *Handle) seek(key uint64, level uint8, in intent, addr rdma.Addr, ce *cache.Entry, buf []byte, retries, hops *int) (seekResult, bool) {
+	var localHops int
+	if hops == nil {
+		hops = &localHops
+	}
+	for {
+		var g hocl.Guard
+		if in == intentWrite {
+			g = h.t.locks.Lock(h.C, addr)
+			if g.HandedOver() {
+				h.Rec.Handovers++
+			}
+		}
+		n, r := h.readNode(addr, buf)
+		if retries != nil {
+			*retries += r
+		}
+		if !n.Alive() || n.Level() != level || key < n.LowerFence() {
+			// Stale steering: the node was freed, repurposed at another
+			// level, or lies right of the key.
+			if in == intentWrite {
+				h.unlockWrite(g, nil)
+			}
+			if ce != nil {
+				h.cache.Invalidate(ce)
+				ce = nil
+			}
+			if level > 0 {
+				return seekResult{}, false
+			}
+			addr = h.traverseToLeaf(key)
+			continue
+		}
+		if n.UpperFence() != layout.NoUpperBound && key >= n.UpperFence() {
+			sib := n.Sibling()
+			if in == intentWrite {
+				h.unlockWrite(g, nil)
+			}
+			if sib.IsNil() {
+				if level == 0 && in == intentWrite {
+					panic(fmt.Sprintf("core: rightmost leaf %v has finite upper fence", addr))
+				}
+				return seekResult{}, false
+			}
+			h.noteSiblingHop(hops)
+			addr = sib
+			if level > 0 {
+				ce = nil
+			}
+			continue
+		}
+		return seekResult{addr: addr, n: n, g: g}, true
+	}
+}
+
+// descend walks internal levels from the (cached) top of the tree down to
+// the target level, following sibling pointers when a node's fences exclude
+// the key and restarting from a fresh root when steering proves stale.
+// Level-1 nodes crossed on the way are copied into the index cache
+// (§4.2.3). descend returns the address of the level `target` node whose
+// fence range covered the key at read time; the caller re-validates under
+// its own intent via seek.
+func (h *Handle) descend(key uint64, target uint8) rdma.Addr {
+	root, rootLvl := h.top.Root()
+	if root.IsNil() || rootLvl < target {
+		root, rootLvl = h.refreshRoot()
+	}
+	for {
+		addr, lvl := root, rootLvl
+		ok := true
+		for lvl > target {
+			n, fromCache := h.readInternal(addr, lvl, rootLvl)
+			if !n.Alive() || n.Level() != lvl || key < n.LowerFence() {
+				// Freed or repurposed node, or we are left of its range:
+				// the steering was stale; restart from a fresh root.
+				if fromCache {
+					h.top.Drop(addr)
+				}
+				ok = false
+				break
+			}
+			if n.UpperFence() != layout.NoUpperBound && key >= n.UpperFence() {
+				// Move right along the B-link chain (level unchanged).
+				sib := n.Sibling()
+				if sib.IsNil() {
+					ok = false
+					break
+				}
+				addr = sib
+				continue
+			}
+			if lvl == 1 {
+				h.cacheLevel1(addr, n)
+			}
+			child, _ := layout.AsInternal(n).ChildFor(key)
+			addr = child
+			lvl--
+		}
+		if ok {
+			return addr
+		}
+		root, rootLvl = h.refreshRoot()
+	}
+}
+
+// traverseToLeaf resolves the leaf-level address covering key by a full
+// descent from the root.
+func (h *Handle) traverseToLeaf(key uint64) rdma.Addr {
+	return h.descend(key, 0)
+}
+
+// locateLeaf resolves the leaf that should contain key: index-cache hit
+// (type-1), else a descent from the (cached) top levels. The returned cache
+// entry (nil on miss) lets the caller invalidate stale steering.
+func (h *Handle) locateLeaf(key uint64) (rdma.Addr, *cache.Entry) {
+	h.C.Step(h.C.F.P.LocalStepNS)
+	if e := h.cache.Lookup(key); e != nil {
+		h.Rec.CacheHits++
+		child, _ := e.N.ChildFor(key)
+		return child, e
+	}
+	h.Rec.CacheMisses++
+	return h.traverseToLeaf(key), nil
+}
+
+// locateInternal finds the internal node at the target level covering key.
+// Level-1 targets use the index cache (the entry's own address is the
+// level-1 node).
+func (h *Handle) locateInternal(key uint64, level uint8) (rdma.Addr, *cache.Entry) {
+	if level == 1 {
+		if e := h.cache.Lookup(key); e != nil {
+			return e.Addr, e
+		}
+	}
+	return h.descend(key, level), nil
+}
+
+// lockLeafForWrite locks and reads the leaf that must hold key, handling
+// stale steering and B-link move-right under lock coupling (unlock current,
+// lock sibling — Sherman holds at most one node lock at a time, §4.3 [52]).
+func (h *Handle) lockLeafForWrite(key uint64) (rdma.Addr, hocl.Guard, layout.Leaf) {
+	addr, ce := h.locateLeaf(key)
+	r, _ := h.seek(key, 0, intentWrite, addr, ce, h.leafBuf, nil, nil)
+	return r.addr, r.g, layout.AsLeaf(r.n)
+}

@@ -129,26 +129,25 @@ func (h *Handle) rangeInner(from uint64, span int) []layout.KV {
 // scanWalkRight walks the B-link sibling chain from leaf n (which lies left
 // of the cursor) until reaching the leaf covering the cursor, appending
 // that leaf's rows. done=true means the scan is complete (span filled or
-// right edge reached); ok=false means a freed or torn node interrupted the
-// walk. newCursor is where the scan should continue steering from.
+// right edge reached); ok=false means a torn node interrupted the walk.
+// newCursor is where the scan should continue steering from.
 func (h *Handle) scanWalkRight(n layout.Node, buf []byte, cursor uint64, span int, out *[]layout.KV) (done, ok bool, newCursor uint64) {
+	sib := n.Sibling()
+	if sib.IsNil() {
+		return true, true, cursor // right edge: nothing at the cursor
+	}
+	// The jump to the sibling is this walk's first hop; the shared seek
+	// handles the rest of the chain — further move-rights, freed nodes
+	// (stale steering recovery) and fence validation — and lands on the
+	// leaf covering the cursor, counting its hops into the same budget.
 	hops := 0
-	for n.UpperFence() != layout.NoUpperBound && cursor >= n.UpperFence() {
-		sib := n.Sibling()
-		if sib.IsNil() {
-			return true, true, cursor // right edge: nothing at the cursor
-		}
-		h.noteSiblingHop(&hops)
-		n, _ = h.readNode(sib, buf)
-		if !n.Alive() || !n.IsLeaf() {
-			return false, false, cursor
-		}
+	h.noteSiblingHop(&hops)
+	r, okSeek := h.seek(cursor, 0, intentRead, sib, nil, buf, nil, &hops)
+	if !okSeek {
+		return true, true, cursor // ran off the right edge
 	}
-	if cursor < n.LowerFence() {
-		// Overshot: the chain skipped the cursor's range; retraverse.
-		return false, false, cursor
-	}
-	kvs, okc := h.leafEntriesConsistent(rdma.NilAddr, n, buf)
+	n = r.n
+	kvs, okc := h.leafEntriesConsistent(r.addr, n, buf)
 	if !okc {
 		return false, false, cursor
 	}

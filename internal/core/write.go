@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"sort"
 
 	"sherman/internal/cache"
@@ -50,41 +49,6 @@ func (h *Handle) unlockWrite(g hocl.Guard, pending []rdma.WriteOp) {
 	h.t.locks.Unlock(h.C, g, pending, h.t.cfg.Combine)
 }
 
-// lockLeafForWrite locks and reads the leaf that must hold key, handling
-// stale steering and B-link move-right under lock coupling (unlock current,
-// lock sibling — Sherman holds at most one node lock at a time, §4.3 [52]).
-func (h *Handle) lockLeafForWrite(key uint64) (rdma.Addr, hocl.Guard, layout.Leaf) {
-	addr, ce := h.locateLeaf(key)
-	hops := 0
-	for {
-		g := h.t.locks.Lock(h.C, addr)
-		if g.HandedOver() {
-			h.Rec.Handovers++
-		}
-		n, _ := h.readNode(addr, h.leafBuf)
-		if !n.Alive() || !n.IsLeaf() || key < n.LowerFence() {
-			h.unlockWrite(g, nil)
-			if ce != nil {
-				h.cache.Invalidate(ce)
-				ce = nil
-			}
-			addr = h.traverseToLeaf(key)
-			continue
-		}
-		if n.UpperFence() != layout.NoUpperBound && key >= n.UpperFence() {
-			sib := n.Sibling()
-			h.unlockWrite(g, nil)
-			if sib.IsNil() {
-				panic(fmt.Sprintf("core: rightmost leaf %v has finite upper fence", addr))
-			}
-			h.noteSiblingHop(&hops)
-			addr = sib
-			continue
-		}
-		return addr, g, layout.AsLeaf(n)
-	}
-}
-
 func (h *Handle) insertInner(key, value uint64) (dataBytes int64) {
 	addr, g, leaf := h.lockLeafForWrite(key)
 	f := h.t.cfg.Format
@@ -102,14 +66,14 @@ func (h *Handle) insertInner(key, value uint64) (dataBytes int64) {
 			h.unlockWrite(g, []rdma.WriteOp{{Addr: addr.Add(uint64(off)), Data: leaf.B[off : off+sz]}})
 			return int64(sz)
 		}
-		return h.splitLeaf(addr, g, leaf, key, value)
+		return h.splitLeaf(addr, g, leaf, key, value, nil)
 	}
 	if leaf.InsertSorted(key, value) {
 		leaf.UpdateChecksum()
 		h.unlockWrite(g, []rdma.WriteOp{{Addr: addr, Data: leaf.B}})
 		return int64(f.NodeSize)
 	}
-	return h.splitLeaf(addr, g, leaf, key, value)
+	return h.splitLeaf(addr, g, leaf, key, value, nil)
 }
 
 func (h *Handle) deleteInner(key uint64) (bool, int64) {
@@ -138,8 +102,11 @@ func (h *Handle) deleteInner(key uint64) (bool, int64) {
 
 // splitLeaf splits the locked full leaf, inserting (key, value) into the
 // proper half, and propagates the separator to the parent (Figure 7 lines
-// 18-39). It returns the data bytes written back.
-func (h *Handle) splitLeaf(addr rdma.Addr, g hocl.Guard, leaf layout.Leaf, key, value uint64) int64 {
+// 18-39). It returns the data bytes written back. carry holds writes a
+// batch executor accumulated under g before the split filled the leaf; they
+// target g's memory server and are posted ahead of the split's write-backs
+// in the same doorbell batch.
+func (h *Handle) splitLeaf(addr rdma.Addr, g hocl.Guard, leaf layout.Leaf, key, value uint64, carry []rdma.WriteOp) int64 {
 	f := h.t.cfg.Format
 	kvs := leaf.Entries() // sorts the unsorted leaf (Figure 7 line 21)
 	i := sort.Search(len(kvs), func(i int) bool { return kvs[i].Key >= key })
@@ -169,13 +136,13 @@ func (h *Handle) splitLeaf(addr rdma.Addr, g hocl.Guard, leaf layout.Leaf, key, 
 	// Sibling write-back, node write-back and lock release combine when the
 	// new sibling landed on the same MS (Figure 7 lines 29-35).
 	if sibAddr.MS() == addr.MS() {
-		h.unlockWrite(g, []rdma.WriteOp{
-			{Addr: sibAddr, Data: sib.B},
-			{Addr: addr, Data: leaf.B},
-		})
+		h.unlockWrite(g, append(carry,
+			rdma.WriteOp{Addr: sibAddr, Data: sib.B},
+			rdma.WriteOp{Addr: addr, Data: leaf.B},
+		))
 	} else {
 		h.C.Write(sibAddr, sib.B)
-		h.unlockWrite(g, []rdma.WriteOp{{Addr: addr, Data: leaf.B}})
+		h.unlockWrite(g, append(carry, rdma.WriteOp{Addr: addr, Data: leaf.B}))
 	}
 	h.insertParent(sep, sibAddr, 1)
 	return dataBytes
@@ -212,125 +179,66 @@ func (h *Handle) insertParent(sepKey uint64, child rdma.Addr, level uint8) {
 			continue
 		}
 		addr, ce := h.locateInternal(sepKey, level)
-		done, ok := h.tryInsertAt(addr, ce, sepKey, child, level)
-		if done {
+		if h.tryInsertAt(addr, ce, sepKey, child, level) {
 			return
 		}
-		if !ok {
-			continue // stale steering; retry from a fresh root
-		}
+		// Stale steering; retry from a fresh root.
 	}
 }
 
-// locateInternal finds the internal node at the target level covering key.
-// Level-1 targets use the index cache (the entry's own address is the
-// level-1 node).
-func (h *Handle) locateInternal(key uint64, level uint8) (rdma.Addr, *cache.Entry) {
-	if level == 1 {
-		if e := h.cache.Lookup(key); e != nil {
-			return e.Addr, e
-		}
-	}
-	root, rootLvl := h.top.Root()
-	if root.IsNil() || rootLvl < level {
-		root, rootLvl = h.refreshRoot()
-	}
-	addr, lvl := root, rootLvl
-	for lvl > level {
-		n, fromCache := h.readInternal(addr, lvl, rootLvl)
-		if !n.Alive() || n.Level() != lvl || key < n.LowerFence() {
-			if fromCache {
-				h.top.Drop(addr)
-			}
-			root, rootLvl = h.refreshRoot()
-			addr, lvl = root, rootLvl
-			continue
-		}
-		if n.UpperFence() != layout.NoUpperBound && key >= n.UpperFence() {
-			addr = n.Sibling()
-			continue
-		}
-		c, _ := layout.AsInternal(n).ChildFor(key)
-		addr = c
-		lvl--
-	}
-	return addr, nil
-}
-
-// tryInsertAt locks the internal node at addr and inserts or splits.
-// done=true means the separator was placed (possibly after recursing up);
-// ok=false means steering was stale and the caller should retry.
-func (h *Handle) tryInsertAt(addr rdma.Addr, ce *cache.Entry, sepKey uint64, child rdma.Addr, level uint8) (done, ok bool) {
+// tryInsertAt seeks the internal node at addr under lock coupling and
+// inserts or splits. false means steering was stale and the caller should
+// re-resolve the target from a fresh root.
+func (h *Handle) tryInsertAt(addr rdma.Addr, ce *cache.Entry, sepKey uint64, child rdma.Addr, level uint8) bool {
 	f := h.t.cfg.Format
-	hops := 0
-	for {
-		g := h.t.locks.Lock(h.C, addr)
-		if g.HandedOver() {
-			h.Rec.Handovers++
-		}
-		n, _ := h.readNode(addr, h.nodeBuf)
-		if !n.Alive() || n.Level() != level || sepKey < n.LowerFence() {
-			h.unlockWrite(g, nil)
-			if ce != nil {
-				h.cache.Invalidate(ce)
-			}
-			return false, false
-		}
-		if n.UpperFence() != layout.NoUpperBound && sepKey >= n.UpperFence() {
-			sib := n.Sibling()
-			h.unlockWrite(g, nil)
-			if sib.IsNil() {
-				return false, false
-			}
-			h.noteSiblingHop(&hops)
-			addr = sib
-			ce = nil
-			continue
-		}
-		in := layout.AsInternal(n)
-		h.C.Step(h.C.F.P.LocalStepNS)
-		if in.Insert(sepKey, child) {
-			if f.Mode == layout.TwoLevel {
-				in.BumpNodeVersions()
-			} else {
-				in.UpdateChecksum()
-			}
-			h.unlockWrite(g, []rdma.WriteOp{{Addr: addr, Data: in.B}})
-			if level == 1 {
-				h.cacheLevel1(addr, in.Node)
-			}
-			return true, true
-		}
-		// Full: split the internal node and push the median up.
-		rightAddr := h.alloc.Alloc(f.NodeSize)
-		right := layout.NewInternal(f, level, 0, layout.NoUpperBound)
-		upSep := in.SplitInto(right, rightAddr)
-		switch {
-		case sepKey < upSep:
-			in.Insert(sepKey, child)
-		default:
-			right.Insert(sepKey, child)
-		}
+	r, ok := h.seek(sepKey, level, intentWrite, addr, ce, h.nodeBuf, nil, nil)
+	if !ok {
+		return false
+	}
+	addr, g := r.addr, r.g
+	in := layout.AsInternal(r.n)
+	h.C.Step(h.C.F.P.LocalStepNS)
+	if in.Insert(sepKey, child) {
 		if f.Mode == layout.TwoLevel {
 			in.BumpNodeVersions()
 		} else {
-			right.UpdateChecksum()
 			in.UpdateChecksum()
 		}
-		if rightAddr.MS() == addr.MS() {
-			h.unlockWrite(g, []rdma.WriteOp{
-				{Addr: rightAddr, Data: right.B},
-				{Addr: addr, Data: in.B},
-			})
-		} else {
-			h.C.Write(rightAddr, right.B)
-			h.unlockWrite(g, []rdma.WriteOp{{Addr: addr, Data: in.B}})
-		}
+		h.unlockWrite(g, []rdma.WriteOp{{Addr: addr, Data: in.B}})
 		if level == 1 {
 			h.cacheLevel1(addr, in.Node)
-			h.cacheLevel1(rightAddr, right.Node)
 		}
-		h.insertParent(upSep, rightAddr, level+1)
-		return true, true
+		return true
 	}
+	// Full: split the internal node and push the median up.
+	rightAddr := h.alloc.Alloc(f.NodeSize)
+	right := layout.NewInternal(f, level, 0, layout.NoUpperBound)
+	upSep := in.SplitInto(right, rightAddr)
+	switch {
+	case sepKey < upSep:
+		in.Insert(sepKey, child)
+	default:
+		right.Insert(sepKey, child)
+	}
+	if f.Mode == layout.TwoLevel {
+		in.BumpNodeVersions()
+	} else {
+		right.UpdateChecksum()
+		in.UpdateChecksum()
+	}
+	if rightAddr.MS() == addr.MS() {
+		h.unlockWrite(g, []rdma.WriteOp{
+			{Addr: rightAddr, Data: right.B},
+			{Addr: addr, Data: in.B},
+		})
+	} else {
+		h.C.Write(rightAddr, right.B)
+		h.unlockWrite(g, []rdma.WriteOp{{Addr: addr, Data: in.B}})
+	}
+	if level == 1 {
+		h.cacheLevel1(addr, in.Node)
+		h.cacheLevel1(rightAddr, right.Node)
+	}
+	h.insertParent(upSep, rightAddr, level+1)
+	return true
 }

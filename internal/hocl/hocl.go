@@ -283,6 +283,16 @@ type Guard struct {
 // HandedOver reports whether this acquisition skipped the remote CAS.
 func (g Guard) HandedOver() bool { return g.handedOff }
 
+// SameSlot reports whether the lock protecting the object at a is the very
+// GLT slot g holds — the slot hashing of §4.3 maps every object of one
+// memory server into a fixed table, so distinct nodes can alias. A holder
+// may then modify the object at a under g without a second acquisition;
+// batch executors use this to keep one guard across sibling leaves whose
+// locks collide instead of paying release + re-acquire at the boundary.
+func (m *Manager) SameSlot(g Guard, a rdma.Addr) bool {
+	return g.m == m && int(a.MS())*m.locksPerMS+m.index(a) == g.slot
+}
+
 // Lock acquires the exclusive lock protecting the object at addr, per the
 // HOCL_Lock pseudo-code (Figure 6): local lock first (queueing locally under
 // contention), then the remote lock in the GLT unless it was handed over.

@@ -50,6 +50,13 @@ type Metrics struct {
 	Atomics int64
 	RPCs    int64
 
+	// DoorbellBatches counts multi-command doorbell posts (a PostWrites of
+	// several WRITEs or a ReadMulti of several READs); DoorbellOps totals
+	// the commands those posts carried. Their ratio is the doorbell
+	// amortization the combination and batching layers achieve (§4.5).
+	DoorbellBatches int64
+	DoorbellOps     int64
+
 	// CASFailures counts remote compare-and-swap attempts that did not
 	// swap — the retry traffic that squanders NIC IOPS (§3.2.2).
 	CASFailures int64
@@ -117,6 +124,10 @@ func (c *Client) ReadMulti(reqs []ReadOp) {
 	c.Clk.AdvanceTo(done + p.RTTNS)
 	c.roundTrip()
 	c.M.Reads += int64(len(reqs))
+	if len(reqs) > 1 {
+		c.M.DoorbellBatches++
+		c.M.DoorbellOps += int64(len(reqs))
+	}
 	yield()
 }
 
@@ -167,6 +178,10 @@ func (c *Client) PostWrites(ops ...WriteOp) {
 	}
 	c.Clk.AdvanceTo(t + p.RTTNS)
 	c.roundTrip()
+	if len(ops) > 1 {
+		c.M.DoorbellBatches++
+		c.M.DoorbellOps += int64(len(ops))
+	}
 	yield()
 }
 

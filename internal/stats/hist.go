@@ -216,6 +216,24 @@ func (c *Counter) Merge(other *Counter) {
 // Count returns total observations.
 func (c *Counter) Count() int64 { return c.n }
 
+// Sum returns the total of all recorded values (observations beyond the
+// domain contribute their clamped value).
+func (c *Counter) Sum() int64 {
+	var s int64
+	for v, cnt := range c.bins {
+		s += int64(v) * cnt
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of recorded values (0 when empty).
+func (c *Counter) Mean() float64 {
+	if c.n == 0 {
+		return 0
+	}
+	return float64(c.Sum()) / float64(c.n)
+}
+
 // Fraction returns the share of observations equal to v.
 func (c *Counter) Fraction(v int) float64 {
 	if c.n == 0 || v < 0 || v >= len(c.bins) {

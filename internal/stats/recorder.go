@@ -55,6 +55,27 @@ type Recorder struct {
 	// ReadRetries is the per-lookup retry-count distribution (Figure 14(a)).
 	ReadRetries *Counter
 
+	// Batches counts batch-API invocations; BatchedOps the operations they
+	// carried (those operations are also counted in Ops by kind).
+	Batches    int64
+	BatchedOps int64
+	// BatchSizes is the ops-per-batch distribution; BatchRoundTrips the
+	// round-trips-per-batch distribution. Sum(BatchRoundTrips)/BatchedOps
+	// is the amortized round trips per batched operation.
+	BatchSizes      *Counter
+	BatchRoundTrips *Counter
+	// BatchLeafGroups counts the leaf groups batch executors formed — one
+	// leaf lock acquisition (write batches) or one leaf read (read batches)
+	// per group. BatchChainedLeaves counts sibling leaves processed under a
+	// reused guard without a fresh acquisition (lock-slot aliasing).
+	BatchLeafGroups    int64
+	BatchChainedLeaves int64
+
+	// RoundTrips totals network round trips attributed to this recorder's
+	// window (the harness fills it with the measured-phase delta of the
+	// client's verb counter).
+	RoundTrips int64
+
 	// CacheHits / CacheMisses count index-cache outcomes (Figure 15(c)).
 	CacheHits   int64
 	CacheMisses int64
@@ -76,6 +97,8 @@ func NewRecorder() *Recorder {
 		WriteRoundTrips: NewCounter(1 << 12),
 		WriteSizes:      NewSizeHist(),
 		ReadRetries:     NewCounter(64),
+		BatchSizes:      NewCounter(1 << 10),
+		BatchRoundTrips: NewCounter(1 << 12),
 	}
 	for i := range r.Latency {
 		r.Latency[i] = NewHist()
@@ -88,6 +111,26 @@ func (r *Recorder) RecordOp(kind OpKind, latencyNS int64) {
 	r.Latency[kind].Record(latencyNS)
 	r.AllLatency.Record(latencyNS)
 	r.Ops[kind]++
+}
+
+// RecordBatch stores one finished batch of n same-kind operations,
+// attributing the batch latency to each operation amortized (a batch of n
+// completes n operations in latencyNS total, so each effectively costs the
+// mean — the per-op number a batched client observes).
+func (r *Recorder) RecordBatch(kind OpKind, n int, latencyNS, roundTrips int64) {
+	if n <= 0 {
+		return
+	}
+	per := latencyNS / int64(n)
+	for i := 0; i < n; i++ {
+		r.Latency[kind].Record(per)
+		r.AllLatency.Record(per)
+	}
+	r.Ops[kind] += int64(n)
+	r.Batches++
+	r.BatchedOps += int64(n)
+	r.BatchSizes.Record(n)
+	r.BatchRoundTrips.Record(int(roundTrips))
 }
 
 // Merge folds other into r.
@@ -103,6 +146,13 @@ func (r *Recorder) Merge(other *Recorder) {
 	r.WriteRoundTrips.Merge(other.WriteRoundTrips)
 	r.WriteSizes.Merge(other.WriteSizes)
 	r.ReadRetries.Merge(other.ReadRetries)
+	r.Batches += other.Batches
+	r.BatchedOps += other.BatchedOps
+	r.BatchSizes.Merge(other.BatchSizes)
+	r.BatchRoundTrips.Merge(other.BatchRoundTrips)
+	r.BatchLeafGroups += other.BatchLeafGroups
+	r.BatchChainedLeaves += other.BatchChainedLeaves
+	r.RoundTrips += other.RoundTrips
 	r.CacheHits += other.CacheHits
 	r.CacheMisses += other.CacheMisses
 	r.Handovers += other.Handovers

@@ -209,6 +209,18 @@ func (g *Generator) Next() Op {
 	return op
 }
 
+// NextBatch returns the next n operations as one batch — the YCSB-style
+// batched-client pattern where a client submits a group of operations at
+// once and the driver hands same-kind runs to the index's batch entry
+// points.
+func (g *Generator) NextBatch(n int) []Op {
+	ops := make([]Op, n)
+	for i := range ops {
+		ops[i] = g.Next()
+	}
+	return ops
+}
+
 // freshKey maps a drawn key to a likely-unloaded key deterministically so
 // repeated inserts still contend realistically.
 func (g *Generator) freshKey(k uint64) uint64 {

@@ -46,6 +46,30 @@ func (s *Session) Delete(key uint64) bool {
 	return s.h.Delete(key)
 }
 
+// PutBatch stores every pair in kvs, observably equivalent to calling Put
+// for each pair in order, but executed through the batch pipeline: keys are
+// sorted and pairs landing in the same leaf share one traversal, one leaf
+// lock and one combined write-back+release doorbell, cutting round trips
+// and lock traffic on bulk writes. Duplicate keys apply in submission order
+// (the last value wins). Key 0 is reserved and panics.
+func (s *Session) PutBatch(kvs []KV) {
+	s.h.InsertBatch(kvs)
+}
+
+// GetBatch returns, for each key, the stored value and whether it was
+// present — observably equivalent to calling Get per key, but reading each
+// target leaf once for all the keys it covers.
+func (s *Session) GetBatch(keys []uint64) (values []uint64, found []bool) {
+	return s.h.LookupBatch(keys)
+}
+
+// DeleteBatch removes every key, reporting per key whether it was present —
+// observably equivalent to calling Delete per key. Deletes of absent keys
+// cost no write-back. Key 0 is reserved and panics.
+func (s *Session) DeleteBatch(keys []uint64) (found []bool) {
+	return s.h.DeleteBatch(keys)
+}
+
 // Scan returns up to span pairs with key >= from in ascending key order.
 // Like the paper's range query (§4.4), a scan is not atomic with concurrent
 // writes: each leaf is read consistently, but the scan as a whole is not a
@@ -80,6 +104,12 @@ func (s *Session) Stats() SessionStats {
 		Handovers:    r.Handovers,
 		P50LatencyNS: r.AllLatency.Percentile(50),
 		P99LatencyNS: r.AllLatency.Percentile(99),
+
+		Batches:         r.Batches,
+		BatchedOps:      r.BatchedOps,
+		BatchLeafGroups: r.BatchLeafGroups,
+		DoorbellBatches: m.DoorbellBatches,
+		DoorbellOps:     m.DoorbellOps,
 	}
 }
 
@@ -102,4 +132,14 @@ type SessionStats struct {
 	Handovers int64
 
 	P50LatencyNS, P99LatencyNS int64
+
+	// Batches counts PutBatch/GetBatch/DeleteBatch invocations; BatchedOps
+	// the operations they carried (also included in the per-kind counts
+	// above). BatchLeafGroups counts the leaf groups those batches formed —
+	// BatchedOps/BatchLeafGroups is the traversal-and-lock amortization the
+	// pipeline achieved.
+	Batches, BatchedOps, BatchLeafGroups int64
+	// DoorbellBatches counts multi-command doorbell posts issued by this
+	// session's verbs; DoorbellOps the commands they carried (§4.5).
+	DoorbellBatches, DoorbellOps int64
 }
