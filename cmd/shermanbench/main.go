@@ -8,7 +8,11 @@
 //	shermanbench -exp fig10 -keys 4194304 -ops 2000 -threads 22
 //
 // Experiments: table1 table2 fig2 fig3 fig10 fig11 fig12 fig13 fig14
-// fig15a fig15b fig15c fig16 extras ycsb batch all quick
+// fig15a fig15b fig15c fig16 extras ycsb batch pipeline all quick
+//
+// -check (with -exp pipeline) additionally verifies that depth-4 pipelined
+// execution beats depth-1 per-thread throughput and exits non-zero
+// otherwise — the CI latency-hiding smoke.
 package main
 
 import (
@@ -25,12 +29,13 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (table1,table2,fig2,fig3,fig10,fig11,fig12,fig13,fig14,fig15a,fig15b,fig15c,fig16,extras,ycsb,batch,all,quick)")
+		exp      = flag.String("exp", "all", "experiment id (table1,table2,fig2,fig3,fig10,fig11,fig12,fig13,fig14,fig15a,fig15b,fig15c,fig16,extras,ycsb,batch,pipeline,all,quick)")
 		keys     = flag.Uint64("keys", 0, "key-space size (0 = scale default)")
 		windowMS = flag.Int("window", 0, "virtual measurement window in ms (0 = scale default)")
 		warmup   = flag.Int("warmup", 0, "warmup ops per thread (0 = scale default)")
 		threads  = flag.Int("threads", 0, "client threads per compute server (0 = scale default)")
 		quick    = flag.Bool("quick", false, "use the quick (CI-sized) scale")
+		check    = flag.Bool("check", false, "with -exp pipeline: fail unless depth-4 beats depth-1 per-thread throughput")
 	)
 	flag.Parse()
 
@@ -54,12 +59,19 @@ func main() {
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" || *exp == "quick" {
 		ids = []string{"table1", "table2", "fig2", "fig3", "fig10", "fig11",
-			"fig12", "fig13", "fig14", "fig15a", "fig15b", "fig15c", "fig16", "batch"}
+			"fig12", "fig13", "fig14", "fig15a", "fig15b", "fig15c", "fig16", "batch", "pipeline"}
 	}
 	fmt.Printf("# shermanbench: keys=%d threads/CS=%d window=%dms GOMAXPROCS=%d\n\n",
 		s.Keys, s.ThreadsPerCS, s.MeasureNS/1_000_000, runtime.GOMAXPROCS(0))
 	for _, id := range ids {
 		run(strings.TrimSpace(id), s)
+	}
+	if *check {
+		if err := bench.PipelineGate(s); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println("pipeline gate: depth-4 beats depth-1 for put and get (hiding > 1.5x)")
 	}
 }
 
@@ -99,6 +111,8 @@ func run(id string, s bench.Scale) {
 		tables = []*bench.Table{bench.YCSBSuite(s)}
 	case "batch":
 		tables = bench.BatchTables(s)
+	case "pipeline":
+		tables = bench.PipelineTables(s)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
 		os.Exit(2)

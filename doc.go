@@ -39,13 +39,26 @@
 //	v, ok := s.Get(42)
 //	kvs := s.Scan(40, 10)
 //
-// Bulk work goes through the batch pipeline — observably equivalent to the
+// Bulk work goes through the batch planner — observably equivalent to the
 // same operations applied in order, but amortizing traversals, leaf locks
 // and doorbells across operations that share a leaf:
 //
 //	s.PutBatch([]sherman.KV{{Key: 1, Value: 10}, {Key: 2, Value: 20}})
 //	vals, found := s.GetBatch([]uint64{1, 2, 3})
 //	deleted := s.DeleteBatch([]uint64{1, 3})
+//
+// The unified Op/Result API pipelines operations the way the paper's
+// clients run multiple coroutines per thread to hide round-trip latency: a
+// session opened with a pipeline depth keeps that many operations
+// outstanding, overlapping their round trips while preserving sequential
+// semantics (same-key operations never reorder), and reports typed errors
+// (ErrReservedKey, ErrBadComputeServer) instead of panicking:
+//
+//	s, err := tree.SessionAt(0, sherman.PipelineDepth(4))
+//	f := s.Submit(sherman.PutOp(42, 1000))
+//	r := s.Submit(sherman.GetOp(42)).Wait() // sees the put
+//	results := s.Exec([]sherman.Op{sherman.PutOp(1, 10), sherman.GetOp(2)})
+//	s.Flush()
 //
 // Sessions are deliberately single-goroutine (they model one client thread of
 // the paper); open as many as you like across compute servers.

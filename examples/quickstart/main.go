@@ -60,6 +60,59 @@ func main() {
 		fmt.Printf("  %4d -> %d\n", kv.Key, kv.Value)
 	}
 
+	// Iterating a longer range is easier with a Cursor, which refills
+	// leaf-at-a-time under the hood instead of hand-rolled
+	// resume-from-last-key loops.
+	count, sum := 0, uint64(0)
+	for cur := s.Cursor(900); ; {
+		kv, ok := cur.Next()
+		if !ok || kv.Key > 950 {
+			break
+		}
+		count++
+		sum += kv.Value
+	}
+	fmt.Printf("Cursor(900..950): %d rows, value sum %d\n", count, sum)
+
+	// The async Op/Result API pipelines operations: a session opened with
+	// PipelineDepth(4) keeps up to 4 operations in flight, overlapping
+	// their round trips the way the paper's clients run multiple
+	// coroutines per thread. Submit returns a Future; results are
+	// observably equivalent to sequential execution (same-key operations
+	// never reorder).
+	ps, err := tree.SessionAt(0, sherman.PipelineDepth(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var futures []*sherman.Future
+	for i := uint64(0); i < 8; i++ {
+		futures = append(futures, ps.Submit(sherman.PutOp(20_000+i, i*i)))
+	}
+	futures = append(futures, ps.Submit(sherman.GetOp(20_003))) // sees the put above
+	for _, f := range futures {
+		if r := f.Wait(); r.Err != nil {
+			log.Fatal(r.Err)
+		}
+	}
+	if r := futures[len(futures)-1].Wait(); r.Value != 9 {
+		log.Fatalf("pipelined get = %d, want 9", r.Value)
+	}
+	ps.Flush()
+	st := ps.Stats()
+	fmt.Printf("pipelined session: %d ops, latency hiding %.1fx\n",
+		st.PipelinedOps, st.LatencyHidingRatio)
+
+	// Exec applies a mixed batch — puts, gets, deletes, scans in one call —
+	// through the batch planner, with typed errors instead of panics.
+	results := ps.Exec([]sherman.Op{
+		sherman.PutOp(500, 1),
+		sherman.GetOp(500),
+		sherman.DeleteOp(501),
+		sherman.PutOp(0, 1), // invalid: key 0 is reserved
+	})
+	fmt.Printf("Exec: get=%d deleted=%v err=%v\n",
+		results[1].Value, results[2].Found, results[3].Err)
+
 	// Concurrent sessions: one per goroutine, spread across both compute
 	// servers. Sessions on the same tree coordinate through the index's own
 	// RDMA locking, exactly as the paper's client threads do.

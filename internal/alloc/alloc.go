@@ -101,36 +101,47 @@ func chunkStart(ms uint16, base uint64) (rdma.Addr, uint64) {
 type Bulk struct {
 	f     *rdma.Fabric
 	next  int
-	cur   rdma.Addr
-	rem   uint64
+	cur   []rdma.Addr // per-MS open-chunk cursor
+	rem   []uint64
 	stats *Stats
 }
 
 // NewBulk creates a bulk-load allocator over the fabric.
 func NewBulk(f *rdma.Fabric, stats *Stats) *Bulk {
-	return &Bulk{f: f, stats: stats}
+	return &Bulk{
+		f:     f,
+		cur:   make([]rdma.Addr, len(f.Servers)),
+		rem:   make([]uint64, len(f.Servers)),
+		stats: stats,
+	}
 }
 
 // Alloc carves a region with the same alignment and chunk discipline as the
-// runtime allocator, rotating across memory servers chunk by chunk so the
-// bulkloaded tree is spread like a live-built one.
+// runtime allocator, striping consecutive allocations across memory servers
+// (one open chunk per server) so the bulkloaded tree is balanced the way the
+// paper's full-scale tree is: at a billion keys every server holds hundreds
+// of chunks of every tree level, so reads spread evenly no matter which key
+// range is hot. A scaled-down tree that fits in one 8 MB chunk would instead
+// put every leaf behind a single NIC, making that NIC's inbound pipeline
+// the whole fabric's bound — a placement artifact of the scaling, not a
+// property of the system.
 func (b *Bulk) Alloc(size int) rdma.Addr {
 	if size <= 0 || size > rdma.DefaultChunkSize {
 		panic(fmt.Sprintf("alloc: bad bulk allocation size %d", size))
 	}
 	sz := (uint64(size) + nodeAlign - 1) &^ (nodeAlign - 1)
-	for b.rem < sz {
-		ms := uint16(b.next)
-		b.next = (b.next + 1) % len(b.f.Servers)
+	ms := b.next
+	b.next = (b.next + 1) % len(b.f.Servers)
+	for b.rem[ms] < sz {
 		base := b.f.Servers[ms].Grow()
-		b.cur, b.rem = chunkStart(ms, base)
+		b.cur[ms], b.rem[ms] = chunkStart(uint16(ms), base)
 		if b.stats != nil {
 			b.stats.Chunks.Add(1)
 		}
 	}
-	addr := b.cur
-	b.cur = b.cur.Add(sz)
-	b.rem -= sz
+	addr := b.cur[ms]
+	b.cur[ms] = b.cur[ms].Add(sz)
+	b.rem[ms] -= sz
 	if b.stats != nil {
 		b.stats.Nodes.Add(1)
 	}

@@ -73,9 +73,16 @@ type TreeExp struct {
 	MaxOpsPerThread int
 
 	// BatchSize, when > 1, makes workers issue their operations through the
-	// batch pipeline in groups of this size (same-kind runs dispatch to the
-	// batch entry points); 0 or 1 issues operations one at a time.
+	// batch planner (core.Handle.Exec) in groups of this size; 0 or 1
+	// issues operations one at a time.
 	BatchSize int
+
+	// PipelineDepth, when > 1, issues operations through the async
+	// executor with that many outstanding operations per thread, so round
+	// trips overlap on each worker's virtual timeline (latency hiding).
+	// Composes with BatchSize: pipelined workers submit batches through
+	// Async.Exec, overlapping the batch's leaf groups.
+	PipelineDepth int
 
 	Params sim.Params // zero = defaults
 }
@@ -197,19 +204,28 @@ func RunTree(e TreeExp) TreeResult {
 	measureDone.Add(n)
 	startCh := make(chan int64) // closed after carrying maxStart by value
 
-	// issue runs one unit of work — a single operation or one batch — and
-	// returns the number of operations it completed.
+	// issue runs one unit of work — a single operation or one batch,
+	// synchronous or pipelined — and returns the number of operations it
+	// completed.
 	batchSize := e.BatchSize
 	if batchSize < 1 {
 		batchSize = 1
 	}
-	issue := func(h *core.Handle, g *workload.Generator) int {
-		if batchSize == 1 {
+	issue := func(h *core.Handle, as *core.Async, g *workload.Generator) int {
+		switch {
+		case as != nil && batchSize > 1:
+			as.Exec(coreOps(g.NextBatch(batchSize)))
+			return batchSize
+		case as != nil:
+			doOpAsync(as, g.Next())
+			return 1
+		case batchSize > 1:
+			doBatch(h, g.NextBatch(batchSize))
+			return batchSize
+		default:
 			doOp(h, g.Next())
 			return 1
 		}
-		doBatch(h, g.NextBatch(batchSize))
-		return batchSize
 	}
 
 	var maxStart int64
@@ -218,11 +234,18 @@ func RunTree(e TreeExp) TreeResult {
 			defer measureDone.Done()
 			defer gate.Done(i)
 			h, g := handles[i], gens[i]
+			var as *core.Async
+			if e.PipelineDepth > 1 {
+				as = h.NewAsync(e.PipelineDepth)
+			}
 			// Batch executors pace between leaf groups so a long batch
 			// cannot carry this thread's clock outside the gate window.
 			h.Pace = func(v int64) { gate.Sync(i, v) }
-			for j := 0; j < e.WarmupOps; j += issue(h, g) {
+			for j := 0; j < e.WarmupOps; j += issue(h, as, g) {
 				gate.Sync(i, h.C.Now())
+			}
+			if as != nil {
+				as.Flush()
 			}
 			startV[i] = h.C.Now()
 			gate.Park(i) // frozen clock must not stall threads still warming up
@@ -240,10 +263,13 @@ func RunTree(e TreeExp) TreeResult {
 			h.Rec = rec
 			rt0 := h.C.M.RoundTrips
 			deadline := maxStart + e.MeasureNS
-			for j := 0; h.C.Now() < deadline && j < e.MaxOpsPerThread; j += issue(h, g) {
+			for j := 0; h.C.Now() < deadline && j < e.MaxOpsPerThread; j += issue(h, as, g) {
 				// Pace workers so virtual clocks stay within a bounded
 				// window of each other (see sim.Gate).
 				gate.Sync(i, h.C.Now())
+			}
+			if as != nil {
+				as.Flush() // fold outstanding completions into the makespan
 			}
 			rec.RoundTrips = h.C.M.RoundTrips - rt0
 			rec.FinishV = h.C.Now()
@@ -331,48 +357,51 @@ func RunTreeN(e TreeExp, runs int) TreeResult {
 	return acc
 }
 
-// doBatch dispatches one generated batch through the handle's batch entry
-// points: consecutive same-kind runs execute as one sub-batch (preserving
-// cross-kind ordering); range queries run individually.
-func doBatch(h *core.Handle, ops []workload.Op) {
-	for i := 0; i < len(ops); {
-		kind := ops[i].Kind
-		j := i
-		for j < len(ops) && ops[j].Kind == kind {
-			j++
-		}
-		run := ops[i:j]
-		i = j
-		switch kind {
+// coreOps translates one generated batch to the unified operation model,
+// expanding YCSB-F read-modify-writes into an explicit lookup ahead of each
+// update (the planner's stable sort keeps the pair ordered on its key).
+func coreOps(ops []workload.Op) []core.Op {
+	out := make([]core.Op, 0, len(ops))
+	for _, op := range ops {
+		switch op.Kind {
 		case workload.Lookup:
-			h.LookupBatch(runKeys(run))
+			out = append(out, core.Op{Kind: stats.OpLookup, Key: op.Key})
 		case workload.Insert:
-			rmw := false
-			kvs := make([]layout.KV, len(run))
-			for k, op := range run {
-				kvs[k] = layout.KV{Key: op.Key, Value: op.Value}
-				rmw = rmw || op.RMW
+			if op.RMW {
+				out = append(out, core.Op{Kind: stats.OpLookup, Key: op.Key})
 			}
-			if rmw {
-				h.LookupBatch(runKeys(run)) // YCSB-F: read before updating
-			}
-			h.InsertBatch(kvs)
+			out = append(out, core.Op{Kind: stats.OpInsert, Key: op.Key, Value: op.Value})
 		case workload.Delete:
-			h.DeleteBatch(runKeys(run))
+			out = append(out, core.Op{Kind: stats.OpDelete, Key: op.Key})
 		case workload.Range:
-			for _, op := range run {
-				h.Range(op.Key, op.Span)
-			}
+			out = append(out, core.Op{Kind: stats.OpRange, Key: op.Key, Span: op.Span})
 		}
 	}
+	return out
 }
 
-func runKeys(run []workload.Op) []uint64 {
-	keys := make([]uint64, len(run))
-	for i, op := range run {
-		keys[i] = op.Key
+// doBatch runs one generated batch through the mixed-op planner.
+func doBatch(h *core.Handle, ops []workload.Op) {
+	h.Exec(coreOps(ops))
+}
+
+// doOpAsync submits one generated operation to the pipelined executor.
+func doOpAsync(as *core.Async, op workload.Op) {
+	switch op.Kind {
+	case workload.Lookup:
+		as.Submit(core.Op{Kind: stats.OpLookup, Key: op.Key})
+	case workload.Insert:
+		if op.RMW {
+			// YCSB-F: the read pipelines ahead of its update; same-key
+			// ordering in the executor keeps the pair dependent.
+			as.Submit(core.Op{Kind: stats.OpLookup, Key: op.Key})
+		}
+		as.Submit(core.Op{Kind: stats.OpInsert, Key: op.Key, Value: op.Value})
+	case workload.Delete:
+		as.Submit(core.Op{Kind: stats.OpDelete, Key: op.Key})
+	case workload.Range:
+		as.Submit(core.Op{Kind: stats.OpRange, Key: op.Key, Span: op.Span})
 	}
-	return keys
 }
 
 // doOp dispatches one generated operation to the handle.

@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"fmt"
+
+	"sherman/internal/core"
+	"sherman/internal/workload"
+)
+
+// pipelineDepths is the depth sweep of the latency-hiding experiment.
+var pipelineDepths = []int{1, 2, 4, 8}
+
+// pipelineThreadsPerCS keeps the sweep in the latency-bound regime: with the
+// full 22 threads/CS the fabric is already near its IOPS bound at depth 1
+// and deeper pipelines can only re-divide it. Per-thread speedup — the
+// paper's reason for running multiple coroutines per thread — shows at
+// modest thread counts.
+const pipelineThreadsPerCS = 4
+
+func pipelineExp(s Scale, name string, mix workload.Mix, depth int) TreeExp {
+	e := s.treeExp(name, mix, workload.Uniform, core.ShermanConfig())
+	e.ThreadsPerCS = pipelineThreadsPerCS
+	if s.ThreadsPerCS < pipelineThreadsPerCS {
+		e.ThreadsPerCS = s.ThreadsPerCS
+	}
+	e.PipelineDepth = depth
+	return e.Defaults()
+}
+
+// PipelineTables reports the pipelined-execution experiment: the depth
+// sweep that quantifies latency hiding. Not a paper figure — the paper's
+// clients hide latency with coroutines (§5.1.1, 2 coroutines/thread); this
+// table measures what the async Op/Result client surface buys per thread.
+func PipelineTables(s Scale) []*Table {
+	return []*Table{PipelineSweep(s)}
+}
+
+// PipelineSweep measures per-thread throughput against pipeline depth for
+// put-only and get-only uniform workloads. speedup is per-thread throughput
+// relative to depth 1; hiding is the measured latency-hiding ratio (summed
+// op latencies over the union of their execution intervals); depth-bar is
+// the mean outstanding depth the executor actually sustained.
+func PipelineSweep(s Scale) *Table {
+	t := NewTable("Pipeline: per-thread throughput vs depth (uniform, Sherman)",
+		"mix", "depth", "Mops", "Kops/thread", "speedup", "hiding", "depth-bar", "p50(us)", "p99(us)")
+	for _, m := range []struct {
+		name string
+		mix  workload.Mix
+	}{{"put-only", workload.WriteOnly}, {"get-only", workload.ReadOnly}} {
+		var base float64
+		for _, d := range pipelineDepths {
+			e := pipelineExp(s, m.name, m.mix, d)
+			r := RunTreeN(e, s.runs())
+			threads := float64(e.NumCS * e.ThreadsPerCS)
+			if threads == 0 {
+				threads = 1
+			}
+			perThread := r.Mops / threads
+			if d == 1 {
+				base = perThread
+			}
+			speedup := "-"
+			if base > 0 {
+				speedup = fmt.Sprintf("%.2fx", perThread/base)
+			}
+			hiding, depthBar := "-", "-"
+			if r.Rec.PipelinedOps > 0 {
+				hiding = fmt.Sprintf("%.2f", r.Rec.HidingRatio())
+				depthBar = fmt.Sprintf("%.2f", r.Rec.PipelineDepths.Mean())
+			}
+			t.Add(m.name, fmt.Sprint(d), MopsString(r.Mops),
+				fmt.Sprintf("%.1f", perThread*1000), speedup, hiding, depthBar,
+				USString(r.P50), USString(r.P99))
+		}
+	}
+	t.Note("depth=1 is the synchronous client; speedup is per-thread throughput vs depth 1")
+	t.Note("hiding = summed op latencies / union of execution intervals (1.0 = serialized)")
+	t.Note("p50/p99 are issue-to-completion latencies; pipelining trades per-op latency for throughput")
+	return t
+}
+
+// PipelineGate is the CI smoke check behind `shermanbench -exp pipeline
+// -check`: depth-4 per-thread throughput must beat depth-1 for both put-
+// and get-only uniform workloads, and the measured hiding ratio at depth 4
+// must exceed 1.5x. One run per cell keeps it fast.
+func PipelineGate(s Scale) error {
+	for _, m := range []struct {
+		name string
+		mix  workload.Mix
+	}{{"put-only", workload.WriteOnly}, {"get-only", workload.ReadOnly}} {
+		d1 := RunTree(pipelineExp(s, m.name, m.mix, 1))
+		d4 := RunTree(pipelineExp(s, m.name, m.mix, 4))
+		if d4.Mops <= d1.Mops {
+			return fmt.Errorf("pipeline gate: %s depth-4 throughput %.3f Mops not above depth-1 %.3f Mops",
+				m.name, d4.Mops, d1.Mops)
+		}
+		if hr := d4.Rec.HidingRatio(); hr <= 1.5 {
+			return fmt.Errorf("pipeline gate: %s depth-4 hiding ratio %.2f not above 1.5", m.name, hr)
+		}
+	}
+	return nil
+}

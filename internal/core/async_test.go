@@ -1,0 +1,275 @@
+package core
+
+import (
+	"testing"
+
+	"sherman/internal/cluster"
+	"sherman/internal/layout"
+	"sherman/internal/stats"
+)
+
+// asyncTestTree builds a bulkloaded tree with n keys (key i+1 -> i+1) and
+// one handle, caches warmed.
+func asyncTestTree(t *testing.T, n int) (*Tree, *Handle) {
+	t.Helper()
+	cl := cluster.New(cluster.Config{NumMS: 4, NumCS: 1})
+	tr := New(cl, ShermanConfig())
+	kvs := make([]layout.KV, n)
+	for i := range kvs {
+		kvs[i] = layout.KV{Key: uint64(i + 1), Value: uint64(i + 1)}
+	}
+	tr.Bulkload(kvs)
+	h := tr.NewHandle(0, 0)
+	for k := uint64(1); k <= uint64(n); k += 61 {
+		h.Lookup(k)
+	}
+	return tr, h
+}
+
+// TestAsyncOverlapsIndependentOps: the acceptance criterion at unit scale —
+// a depth-4 pipeline must execute independent gets in well under the
+// sequential virtual time, with a measured hiding ratio above 1.5x.
+func TestAsyncOverlapsIndependentOps(t *testing.T) {
+	const n = 50_000
+	const ops = 500
+	span := func(depth int) (int64, *Handle) {
+		_, h := asyncTestTree(t, n)
+		a := h.NewAsync(depth)
+		t0 := h.C.Now()
+		key := uint64(7)
+		for i := 0; i < ops; i++ {
+			key = key*6364136223846793005 + 1442695040888963407
+			a.Submit(Op{Kind: stats.OpLookup, Key: key%n + 1})
+		}
+		a.Flush()
+		return h.C.Now() - t0, h
+	}
+	seq, _ := span(1)
+	pipe, h := span(4)
+	if pipe*2 >= seq {
+		t.Errorf("depth-4 span %d not under half the sequential span %d", pipe, seq)
+	}
+	if hr := h.Rec.HidingRatio(); hr <= 1.5 {
+		t.Errorf("depth-4 hiding ratio %.2f, want > 1.5", hr)
+	}
+	if h.Rec.PipelinedOps != ops {
+		t.Errorf("PipelinedOps = %d, want %d", h.Rec.PipelinedOps, ops)
+	}
+	if mean := h.Rec.PipelineDepths.Mean(); mean < 3 {
+		t.Errorf("mean outstanding depth %.2f, want close to 4", mean)
+	}
+}
+
+// TestAsyncSameKeyOrdering: dependent operations must not overlap — a get
+// of key k starts after an outstanding put to k completes (and returns its
+// value), and a put after an outstanding get starts after the get.
+func TestAsyncSameKeyOrdering(t *testing.T) {
+	_, h := asyncTestTree(t, 10_000)
+	a := h.NewAsync(8)
+
+	// put(k) then get(k): the get must see the put's value and complete
+	// after it.
+	_, putDone := a.Submit(Op{Kind: stats.OpInsert, Key: 42, Value: 9999})
+	res, getDone := a.Submit(Op{Kind: stats.OpLookup, Key: 42})
+	if !res.Found || res.Value != 9999 {
+		t.Fatalf("pipelined get after put = (%d,%v), want (9999,true)", res.Value, res.Found)
+	}
+	if getDone <= putDone {
+		t.Errorf("dependent get completed at %d, not after its put at %d", getDone, putDone)
+	}
+
+	// get(k) then put(k): the later put must not virtually complete before
+	// the read it would otherwise clobber.
+	_, rDone := a.Submit(Op{Kind: stats.OpLookup, Key: 77})
+	_, wDone := a.Submit(Op{Kind: stats.OpInsert, Key: 77, Value: 1})
+	if wDone <= rDone {
+		t.Errorf("write-after-read completed at %d, not after the read at %d", wDone, rDone)
+	}
+
+	// Independent keys do overlap: with 8 lanes, two fresh gets on cold
+	// keys complete within one RTT of each other in either order.
+	a.Flush()
+	_, d1 := a.Submit(Op{Kind: stats.OpLookup, Key: 101})
+	_, d2 := a.Submit(Op{Kind: stats.OpLookup, Key: 5003})
+	gap := d2 - d1
+	if gap < 0 {
+		gap = -gap
+	}
+	if gap > h.C.F.P.RTTNS {
+		t.Errorf("independent gets completed %d ns apart, want overlap (< 1 RTT)", gap)
+	}
+}
+
+// TestAsyncScanBarrier: a scan orders after every outstanding write and
+// bars later writes until it completes, so pipelined streams stay
+// observably sequential around range queries.
+func TestAsyncScanBarrier(t *testing.T) {
+	_, h := asyncTestTree(t, 10_000)
+	a := h.NewAsync(8)
+
+	var writeDones []int64
+	for i := uint64(0); i < 4; i++ {
+		_, d := a.Submit(Op{Kind: stats.OpInsert, Key: 2000 + i, Value: 1})
+		writeDones = append(writeDones, d)
+	}
+	res, scanDone := a.Submit(Op{Kind: stats.OpRange, Key: 1999, Span: 8})
+	for _, d := range writeDones {
+		if scanDone <= d {
+			t.Errorf("scan completed at %d, before an outstanding write at %d", scanDone, d)
+		}
+	}
+	// The scan sees all four writes (sequential semantics).
+	found := 0
+	for _, kv := range res.KVs {
+		if kv.Key >= 2000 && kv.Key < 2004 {
+			found++
+		}
+	}
+	if found != 4 {
+		t.Errorf("scan observed %d of the 4 writes submitted before it", found)
+	}
+	_, wDone := a.Submit(Op{Kind: stats.OpInsert, Key: 2500, Value: 1})
+	if wDone <= scanDone {
+		t.Errorf("write after scan completed at %d, before the scan at %d", wDone, scanDone)
+	}
+}
+
+// TestAsyncDepth1MatchesSync: a depth-1 executor is the synchronous client —
+// identical results, clock advance, and round-trip counts, no pipeline
+// metrics.
+func TestAsyncDepth1MatchesSync(t *testing.T) {
+	_, hs := asyncTestTree(t, 10_000)
+	_, ha := asyncTestTree(t, 10_000)
+	a := ha.NewAsync(1)
+
+	s0, a0 := hs.C.Now(), ha.C.Now()
+	srt, art := hs.C.M.RoundTrips, ha.C.M.RoundTrips
+	keys := []uint64{5, 500, 5000, 9999, 123, 456}
+	for _, k := range keys {
+		hs.Insert(k, k*3)
+		r, _ := a.Submit(Op{Kind: stats.OpInsert, Key: k, Value: k * 3})
+		_ = r
+	}
+	for _, k := range keys {
+		wv, wok := hs.Lookup(k)
+		r, _ := a.Submit(Op{Kind: stats.OpLookup, Key: k})
+		if r.Found != wok || r.Value != wv {
+			t.Errorf("depth-1 Submit lookup(%d) = (%d,%v), sync (%d,%v)", k, r.Value, r.Found, wv, wok)
+		}
+	}
+	a.Flush()
+	if sd, ad := hs.C.Now()-s0, ha.C.Now()-a0; sd != ad {
+		t.Errorf("depth-1 pipeline consumed %d virtual ns, sync path %d", ad, sd)
+	}
+	if sr, ar := hs.C.M.RoundTrips-srt, ha.C.M.RoundTrips-art; sr != ar {
+		t.Errorf("depth-1 pipeline used %d round trips, sync path %d", ar, sr)
+	}
+	if ha.Rec.PipelinedOps != 0 {
+		t.Errorf("depth-1 executor recorded %d pipelined ops, want 0", ha.Rec.PipelinedOps)
+	}
+}
+
+// TestAsyncExecOverlapsGroups: Async.Exec pipelines the planner's leaf
+// groups, so a scattered batch completes in less virtual time at depth 4
+// than at depth 1 while returning identical results.
+func TestAsyncExecOverlapsGroups(t *testing.T) {
+	const n = 50_000
+	run := func(depth int) (int64, []OpResult) {
+		_, h := asyncTestTree(t, n)
+		a := h.NewAsync(depth)
+		var ops []Op
+		key := uint64(3)
+		for i := 0; i < 64; i++ {
+			key = key*6364136223846793005 + 1442695040888963407
+			k := key%n + 1
+			if i%3 == 0 {
+				ops = append(ops, Op{Kind: stats.OpInsert, Key: k, Value: k * 7})
+			} else {
+				ops = append(ops, Op{Kind: stats.OpLookup, Key: k})
+			}
+		}
+		t0 := h.C.Now()
+		res := a.Exec(ops)
+		return h.C.Now() - t0, res
+	}
+	seqSpan, seqRes := run(1)
+	pipeSpan, pipeRes := run(4)
+	for i := range seqRes {
+		if seqRes[i].Found != pipeRes[i].Found || seqRes[i].Value != pipeRes[i].Value {
+			t.Fatalf("Exec result %d differs: depth1 %+v, depth4 %+v", i, seqRes[i], pipeRes[i])
+		}
+	}
+	if pipeSpan >= seqSpan {
+		t.Errorf("depth-4 Exec span %d not under depth-1 span %d", pipeSpan, seqSpan)
+	}
+}
+
+// TestAsyncMixedChurnEquivalence: a long pipelined stream of mixed ops at
+// several depths — including inserts that split small leaves mid-pipeline
+// and interleaved deletes — stays observably equivalent to the sequential
+// path, and the tree stays valid.
+func TestAsyncMixedChurnEquivalence(t *testing.T) {
+	for _, mode := range []layout.Mode{layout.TwoLevel, layout.Checksum} {
+		for _, depth := range []int{2, 4, 8} {
+			cfg := ShermanConfig()
+			if mode == layout.Checksum {
+				cfg = FGPlusConfig()
+			}
+			cfg.Format = smallFormat(mode)
+			seqTree := New(cluster.New(cluster.Config{NumMS: 2, NumCS: 1}), cfg)
+			pipeTree := New(cluster.New(cluster.Config{NumMS: 2, NumCS: 1}), cfg)
+			seqH := seqTree.NewHandle(0, 0)
+			pipeH := pipeTree.NewHandle(0, 0)
+			a := pipeH.NewAsync(depth)
+
+			const keySpace = 300
+			key := uint64(mode)*17 + uint64(depth)
+			for i := 0; i < 1200; i++ {
+				key = key*6364136223846793005 + 1442695040888963407
+				k := key%keySpace + 1
+				switch key % 5 {
+				case 0, 1:
+					seqH.Insert(k, key|1)
+					a.Submit(Op{Kind: stats.OpInsert, Key: k, Value: key | 1})
+				case 2:
+					want := seqH.Delete(k)
+					got, _ := a.Submit(Op{Kind: stats.OpDelete, Key: k})
+					if got.Found != want {
+						t.Fatalf("%v depth %d: delete(%d) = %v, sequential %v", mode, depth, k, got.Found, want)
+					}
+				case 3:
+					wv, wok := seqH.Lookup(k)
+					got, _ := a.Submit(Op{Kind: stats.OpLookup, Key: k})
+					if got.Found != wok || got.Value != wv {
+						t.Fatalf("%v depth %d: get(%d) = (%d,%v), sequential (%d,%v)",
+							mode, depth, k, got.Value, got.Found, wv, wok)
+					}
+				default:
+					want := seqH.Range(k, 7)
+					got, _ := a.Submit(Op{Kind: stats.OpRange, Key: k, Span: 7})
+					if len(got.KVs) != len(want) {
+						t.Fatalf("%v depth %d: scan(%d) returned %d rows, sequential %d",
+							mode, depth, k, len(got.KVs), len(want))
+					}
+					for j := range want {
+						if got.KVs[j] != want[j] {
+							t.Fatalf("%v depth %d: scan(%d) row %d = %+v, sequential %+v",
+								mode, depth, k, j, got.KVs[j], want[j])
+						}
+					}
+				}
+			}
+			a.Flush()
+			for k := uint64(1); k <= keySpace; k++ {
+				wv, wok := seqH.Lookup(k)
+				gv, gok := pipeH.Lookup(k)
+				if wok != gok || (wok && wv != gv) {
+					t.Fatalf("%v depth %d: final key %d = (%d,%v), sequential (%d,%v)", mode, depth, k, gv, gok, wv, wok)
+				}
+			}
+			if err := pipeTree.Validate(); err != nil {
+				t.Fatalf("%v depth %d: validate: %v", mode, depth, err)
+			}
+		}
+	}
+}

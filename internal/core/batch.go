@@ -9,27 +9,40 @@ import (
 	"sherman/internal/stats"
 )
 
-// This file is the batch execution pipeline on top of the shared node-I/O
-// layer (nodeio.go). A batch executor sorts its operations by key, locates
-// each target leaf once, applies every operation that leaf covers, and
-// emits a single combined doorbell post per leaf — write-backs plus lock
-// release in one round trip (§4.5) — where sequential execution pays a
-// traversal, a lock acquisition and a doorbell per operation. When the
-// right sibling's lock hashes onto the very GLT slot the executor already
-// holds, the guard is reused across the leaf boundary too (hocl.SameSlot).
+// This file is the mixed-operation batch planner on top of the shared
+// node-I/O layer (nodeio.go). Exec takes one stream of Ops — lookups,
+// inserts, deletes and scans interleaved — sorts the point operations of
+// each scan-delimited segment by key (stable, so same-key operations keep
+// submission order), and walks the resulting leaf groups: consecutive
+// operations covered by one leaf share one traversal and, when any of them
+// writes, one lock acquisition and one combined write-backs+release
+// doorbell (§4.5), where sequential execution pays a traversal, a lock and
+// a doorbell per operation. Read-only groups are served from a single
+// lock-free validated read, exactly like the sequential lookup path. When
+// the right sibling's lock hashes onto the very GLT slot the executor
+// already holds, the guard is reused across the leaf boundary (hocl.
+// SameSlot). The per-kind batch entry points (InsertBatch, LookupBatch,
+// DeleteBatch) are thin wrappers over Exec.
+//
+// Equivalence argument: operations on different keys commute for both final
+// state and per-op results, and operations on the same key land adjacently
+// in the stable sort, still in submission order — a lookup sees exactly the
+// writes submitted before it. Scans are not reordered: each executes at its
+// position between fully-applied point segments.
 
-// batchOp pairs one batched operation with its position in the caller's
-// slice so results map back to submission order.
-type batchOp struct {
+// planOp pairs one planned point operation with its position in the
+// caller's slice so results map back to submission order.
+type planOp struct {
+	kind       stats.OpKind
 	key, value uint64
 	pos        int
 }
 
-// sortBatchOps orders ops by key, stable in submission order, so the
-// executor visits each leaf exactly once per run and same-key operations
-// apply in the order the caller issued them (last Put wins, like the
-// sequential path).
-func sortBatchOps(ops []batchOp) {
+// sortPlanOps orders ops by key, stable in submission order, so the
+// executor visits each leaf exactly once per segment and same-key
+// operations apply in the order the caller issued them (last Put wins,
+// lookups see prior writes — like the sequential path).
+func sortPlanOps(ops []planOp) {
 	sort.SliceStable(ops, func(i, j int) bool { return ops[i].key < ops[j].key })
 }
 
@@ -53,72 +66,195 @@ func appendCopiedWrite(ops []rdma.WriteOp, a rdma.Addr, data []byte) []rdma.Writ
 	return append(ops, rdma.WriteOp{Addr: a, Data: append([]byte(nil), data...)})
 }
 
-// InsertBatch stores every pair in kvs, observably equivalent to calling
-// Insert for each pair in submission order. Keys sharing a leaf share one
-// traversal, one lock acquisition and one combined write-back+release
-// doorbell. Key 0 is reserved and panics.
-func (h *Handle) InsertBatch(kvs []layout.KV) {
-	if len(kvs) == 0 {
-		return
+// opCounts tallies ops per kind, excluding scans (which record
+// individually), and returns the point-op total.
+func opCounts(ops []Op) (counts [stats.NumOpKinds]int64, points int64) {
+	for _, op := range ops {
+		if op.Kind != stats.OpRange {
+			counts[op.Kind]++
+			points++
+		}
+	}
+	return counts, points
+}
+
+// Exec applies a mixed batch of operations, observably equivalent to
+// executing them sequentially in submission order, and returns one result
+// per operation. Point operations sharing a leaf share one traversal, one
+// lock acquisition (when any writes) and one combined doorbell. Key 0 is
+// reserved for inserts and deletes and panics; callers wanting typed errors
+// validate first (the session layer does).
+func (h *Handle) Exec(ops []Op) []OpResult {
+	if len(ops) == 0 {
+		return nil
 	}
 	h.C.M.BeginOp()
 	t0 := h.C.Now()
-	h.insertBatchInner(kvs)
-	h.Rec.RecordBatch(stats.OpInsert, len(kvs), h.C.Now()-t0, h.C.M.OpRoundTrips)
-}
-
-func (h *Handle) insertBatchInner(kvs []layout.KV) {
-	ops := make([]batchOp, len(kvs))
-	for i, kv := range kvs {
-		if kv.Key == 0 {
-			panic("core: key 0 is reserved")
+	results := make([]OpResult, len(ops))
+	scanNS := h.execOps(ops, nil, results)
+	if counts, points := opCounts(ops); points > 0 {
+		// Scans record their own latency in execScan; exclude their time
+		// from the window amortized over the point operations.
+		lat := h.C.Now() - t0 - scanNS
+		if lat < 0 {
+			lat = 0
 		}
-		ops[i] = batchOp{key: kv.Key, value: kv.Value, pos: i}
+		h.Rec.RecordMixedBatch(counts, lat, h.C.M.OpRoundTrips)
 	}
-	sortBatchOps(ops)
-	h.walkWriteBatch(ops, h.applyBatchInsert)
+	return results
 }
 
-// applyBatchInsert applies one insert to the locked leaf. A full leaf
-// splits: the split writes whole nodes, carrying every entry already
-// applied to the local image, and writes queued for earlier slots or
-// chained leaves ride along in the same doorbell ahead of the split's
-// write-backs.
-func (h *Handle) applyBatchInsert(addr rdma.Addr, g hocl.Guard, leaf layout.Leaf, op batchOp, pending []rdma.WriteOp) ([]rdma.WriteOp, bool, bool) {
-	if h.t.cfg.Format.Mode == layout.TwoLevel {
-		slot, found := leaf.Find(op.key)
-		if !found {
-			slot = leaf.FindFree()
-		}
-		if found || slot >= 0 {
-			// Entry-level modification; the write-back is queued for the
-			// group's combined post.
-			leaf.SetEntry(slot, op.key, op.value)
-			off, sz := leaf.EntrySpan(slot)
-			return appendCopiedWrite(pending, addr.Add(uint64(off)), leaf.B[off:off+sz]), false, false
-		}
-	} else if leaf.InsertSorted(op.key, op.value) {
-		return pending, true, false
-	}
-	h.splitLeaf(addr, g, leaf, op.key, op.value, pending)
-	return nil, false, true
-}
-
-// batchApply applies one operation to the locked leaf at addr, returning
-// the (possibly extended) pending write set, whether the whole node is now
-// dirty (Checksum mode's deferred write-back), and whether the op was
-// consumed by a split — which releases the guard and ends the group.
-type batchApply func(addr rdma.Addr, g hocl.Guard, leaf layout.Leaf, op batchOp, pending []rdma.WriteOp) (newPending []rdma.WriteOp, dirty, split bool)
-
-// walkWriteBatch drives the shared leaf-group walk of a write batch: lock
-// the leaf covering the next operation, apply every consecutive operation
-// it covers, chain into aliased siblings where the lock slot allows, and
-// release each group with one combined write-backs+release doorbell.
-func (h *Handle) walkWriteBatch(ops []batchOp, apply batchApply) {
-	f := h.t.cfg.Format
+// execOps drives the planned walk and returns the virtual time the stream's
+// scans consumed (so callers can exclude it from point-op accounting). When
+// a is non-nil each unit — a leaf group or a scan — runs on one of the
+// async executor's lane timelines, so units' round trips overlap; with a
+// nil executor everything runs on the handle's own clock.
+func (h *Handle) execOps(ops []Op, a *Async, results []OpResult) (scanNS int64) {
 	i := 0
 	for i < len(ops) {
+		if ops[i].Kind == stats.OpRange {
+			scanNS += h.execScan(a, ops[i], &results[i])
+			i++
+			continue
+		}
+		// One scan-delimited segment of point operations: the planner may
+		// reorder across keys but a scan must observe exactly the writes
+		// submitted before it, so segments never span a scan.
+		j := i
+		for j < len(ops) && ops[j].Kind != stats.OpRange {
+			j++
+		}
+		seg := make([]planOp, 0, j-i)
+		for k := i; k < j; k++ {
+			op := ops[k]
+			if op.Kind != stats.OpLookup && op.Key == 0 {
+				panic("core: key 0 is reserved")
+			}
+			seg = append(seg, planOp{kind: op.Kind, key: op.Key, value: op.Value, pos: k})
+		}
+		sortPlanOps(seg)
+		h.execSegment(a, seg, results)
+		i = j
+	}
+	return scanNS
+}
+
+// execScan runs one range query at its position in the stream, returning
+// the virtual time it consumed.
+func (h *Handle) execScan(a *Async, op Op, res *OpResult) int64 {
+	if op.Span <= 0 {
+		return 0
+	}
+	var elapsed int64
+	run := func() {
+		t0 := h.C.Now()
+		res.KVs = h.rangeInner(op.Key, op.Span)
+		elapsed = h.C.Now() - t0
+		h.Rec.RecordOp(stats.OpRange, elapsed)
+	}
+	if a != nil {
+		a.scanUnit(run)
+	} else {
+		run()
+	}
+	return elapsed
+}
+
+// execSegment walks one sorted point-op segment leaf group by leaf group. A
+// group led by a lookup is served lock-free; a group led by a write locks
+// the leaf and consumes every covered operation of any kind, lookups
+// included (they read the locked image, which already reflects the group's
+// earlier writes). When a read group stops at a covered write (same leaf),
+// the following write unit is floored at the read unit's completion — a
+// real pipelined client must not let the write's round trips complete
+// under a read of the leaf it clobbers.
+func (h *Handle) execSegment(a *Async, ops []planOp, results []OpResult) {
+	i := 0
+	var readDone int64
+	for i < len(ops) {
 		h.pace()
+		if ops[i].kind == stats.OpLookup {
+			i, readDone = h.execReadGroup(a, ops, i, results)
+		} else {
+			i = h.execWriteGroup(a, ops, i, results, readDone)
+			readDone = 0
+		}
+	}
+}
+
+// execReadGroup serves consecutive lookups from one lock-free validated
+// leaf read, stopping at the leaf's fence or at the first write operation
+// (which starts a locked group on the same leaf, so a lookup sorted after
+// a same-key write still observes it). Returns the index of the first
+// unconsumed op and, when the group stopped at a covered write, the read
+// unit's completion horizon (the floor for that write's unit).
+func (h *Handle) execReadGroup(a *Async, ops []planOp, start int, results []OpResult) (int, int64) {
+	i := start
+	sameLeafWrite := false
+	run := func() {
+		retries := 0
+		addr, ce := h.locateLeaf(ops[i].key)
+		r, ok := h.seek(ops[i].key, 0, intentRead, addr, ce, h.leafBuf, &retries, nil)
+		if !ok {
+			h.Rec.ReadRetries.Record(retries)
+			i++ // ran off the right edge: the key cannot exist
+			return
+		}
+		h.Rec.BatchLeafGroups++
+		leaf := layout.AsLeaf(r.n)
+		h.C.Step(h.C.F.P.LocalStepNS) // scan the (unsorted) leaf locally
+
+		// Keys whose entry-level check fails re-read via the sequential
+		// path (§4.4) — after the group (the walk shares one leaf buffer),
+		// but before any later group may write to their keys.
+		var torn []planOp
+		for i < len(ops) && ops[i].kind == stats.OpLookup && leafCovers(r.n, ops[i].key) {
+			op := ops[i]
+			if slot, hit := leaf.Find(op.key); hit {
+				if h.t.cfg.Format.Mode == layout.TwoLevel && !leaf.EntryConsistent(slot) {
+					torn = append(torn, op)
+				} else {
+					results[op.pos] = OpResult{Value: leaf.Value(slot), Found: true}
+				}
+			}
+			// Every lookup the group serves shares its validated read, so
+			// each records the group's retry count — keeping the per-lookup
+			// retry distribution (Figure 14a) comparable to the sequential
+			// path. Torn entries record again via their lookupInner re-read.
+			h.Rec.ReadRetries.Record(retries)
+			i++
+		}
+		// Evaluated before the torn re-reads below clobber the shared
+		// leaf buffer r.n views.
+		sameLeafWrite = i < len(ops) && leafCovers(r.n, ops[i].key)
+		for _, op := range torn {
+			v, found := h.lookupInner(op.key)
+			results[op.pos] = OpResult{Value: v, Found: found}
+		}
+	}
+	if a == nil {
+		run()
+		return i, 0
+	}
+	done := a.readUnit(run)
+	if !sameLeafWrite {
+		done = 0
+	}
+	return i, done
+}
+
+// execWriteGroup locks the leaf covering ops[start] and applies every
+// consecutive covered operation — inserts and deletes mutate the locked
+// image and queue entry write-backs, lookups read it — then releases with
+// one combined write-backs+release doorbell. The group chains into aliased
+// siblings where the lock slot allows, and ends early when a split consumes
+// the guard. floor, when nonzero, bounds how early the unit may start on a
+// lane timeline (a preceding read unit of the same leaf). Returns the
+// index of the first unconsumed op.
+func (h *Handle) execWriteGroup(a *Async, ops []planOp, start int, results []OpResult, floor int64) int {
+	f := h.t.cfg.Format
+	i := start
+	run := func() {
 		addr, g, leaf := h.lockLeafForWrite(ops[i].key)
 		h.Rec.BatchLeafGroups++
 		var pending []rdma.WriteOp
@@ -127,9 +263,53 @@ func (h *Handle) walkWriteBatch(ops []batchOp, apply batchApply) {
 			h.C.Step(h.C.F.P.LocalStepNS)
 			dirty := false
 			for i < len(ops) && leafCovers(leaf.Node, ops[i].key) {
-				var d, split bool
-				pending, d, split = apply(addr, g, leaf, ops[i], pending)
-				dirty = dirty || d
+				op := ops[i]
+				split := false
+				switch op.kind {
+				case stats.OpLookup:
+					// Served from the locked image: exclusion means no torn
+					// entries, and the image reflects the group's earlier
+					// writes, preserving submission order on the key.
+					if slot, hit := leaf.Find(op.key); hit {
+						results[op.pos] = OpResult{Value: leaf.Value(slot), Found: true}
+					}
+				case stats.OpDelete:
+					if f.Mode == layout.TwoLevel {
+						if slot, hit := leaf.Find(op.key); hit {
+							leaf.ClearEntry(slot)
+							off, sz := leaf.EntrySpan(slot)
+							pending = appendCopiedWrite(pending, addr.Add(uint64(off)), leaf.B[off:off+sz])
+							results[op.pos].Found = true
+						}
+					} else if leaf.DeleteSorted(op.key) {
+						results[op.pos].Found = true
+						dirty = true
+					}
+				case stats.OpInsert:
+					// A full leaf splits: the split writes whole nodes,
+					// carrying every entry already applied to the local
+					// image, and earlier queued writes ride along in the
+					// same doorbell ahead of the split's write-backs.
+					if f.Mode == layout.TwoLevel {
+						slot, found := leaf.Find(op.key)
+						if !found {
+							slot = leaf.FindFree()
+						}
+						if found || slot >= 0 {
+							leaf.SetEntry(slot, op.key, op.value)
+							off, sz := leaf.EntrySpan(slot)
+							pending = appendCopiedWrite(pending, addr.Add(uint64(off)), leaf.B[off:off+sz])
+						} else {
+							h.splitLeaf(addr, g, leaf, op.key, op.value, pending)
+							split = true
+						}
+					} else if leaf.InsertSorted(op.key, op.value) {
+						dirty = true
+					} else {
+						h.splitLeaf(addr, g, leaf, op.key, op.value, pending)
+						split = true
+					}
+				}
 				i++
 				if split {
 					break group // the split released the guard
@@ -149,9 +329,15 @@ func (h *Handle) walkWriteBatch(ops []batchOp, apply batchApply) {
 			break
 		}
 	}
+	if a != nil {
+		a.writeUnit(floor, run)
+	} else {
+		run()
+	}
+	return i
 }
 
-// chainToSibling attempts to continue a write group into the right sibling
+// chainToSibling attempts to continue a locked group into the right sibling
 // without releasing the guard: possible when the next operation's key lives
 // in the sibling and the sibling's lock hashes onto the GLT slot the guard
 // already holds (§4.3's table hashing aliases distinct nodes, and a held
@@ -171,108 +357,55 @@ func (h *Handle) chainToSibling(g hocl.Guard, leaf layout.Leaf, nextKey uint64) 
 	return sib, layout.AsLeaf(n), true
 }
 
+// --- legacy per-kind batch entry points, now thin wrappers over Exec ------
+
+// InsertBatch stores every pair in kvs, observably equivalent to calling
+// Insert for each pair in submission order. Keys sharing a leaf share one
+// traversal, one lock acquisition and one combined write-back+release
+// doorbell. Key 0 is reserved and panics.
+func (h *Handle) InsertBatch(kvs []layout.KV) {
+	ops := make([]Op, len(kvs))
+	for i, kv := range kvs {
+		if kv.Key == 0 {
+			panic("core: key 0 is reserved")
+		}
+		ops[i] = Op{Kind: stats.OpInsert, Key: kv.Key, Value: kv.Value}
+	}
+	h.Exec(ops)
+}
+
 // DeleteBatch removes every key, reporting per key (in submission order)
 // whether it was present — observably equivalent to calling Delete for
 // each key in order. Absent keys cost no write-back. Key 0 panics.
 func (h *Handle) DeleteBatch(keys []uint64) []bool {
-	found := make([]bool, len(keys))
-	if len(keys) == 0 {
-		return found
-	}
-	h.C.M.BeginOp()
-	t0 := h.C.Now()
-	h.deleteBatchInner(keys, found)
-	h.Rec.RecordBatch(stats.OpDelete, len(keys), h.C.Now()-t0, h.C.M.OpRoundTrips)
-	return found
-}
-
-func (h *Handle) deleteBatchInner(keys []uint64, found []bool) {
-	ops := make([]batchOp, len(keys))
+	ops := make([]Op, len(keys))
 	for i, k := range keys {
 		if k == 0 {
 			panic("core: key 0 is reserved")
 		}
-		ops[i] = batchOp{key: k, pos: i}
+		ops[i] = Op{Kind: stats.OpDelete, Key: k}
 	}
-	sortBatchOps(ops)
-	h.walkWriteBatch(ops, func(addr rdma.Addr, _ hocl.Guard, leaf layout.Leaf, op batchOp, pending []rdma.WriteOp) ([]rdma.WriteOp, bool, bool) {
-		if h.t.cfg.Format.Mode == layout.TwoLevel {
-			if slot, ok := leaf.Find(op.key); ok {
-				leaf.ClearEntry(slot)
-				off, sz := leaf.EntrySpan(slot)
-				pending = appendCopiedWrite(pending, addr.Add(uint64(off)), leaf.B[off:off+sz])
-				found[op.pos] = true
-			}
-			return pending, false, false
-		}
-		if leaf.DeleteSorted(op.key) {
-			found[op.pos] = true
-			return pending, true, false
-		}
-		return pending, false, false
-	})
+	res := h.Exec(ops)
+	found := make([]bool, len(keys))
+	for i := range res {
+		found[i] = res[i].Found
+	}
+	return found
 }
 
 // LookupBatch returns the value stored under each key, in submission
 // order — observably equivalent to calling Lookup per key, but reading
 // each target leaf once for all the keys it covers.
 func (h *Handle) LookupBatch(keys []uint64) (values []uint64, found []bool) {
+	ops := make([]Op, len(keys))
+	for i, k := range keys {
+		ops[i] = Op{Kind: stats.OpLookup, Key: k}
+	}
+	res := h.Exec(ops)
 	values = make([]uint64, len(keys))
 	found = make([]bool, len(keys))
-	if len(keys) == 0 {
-		return values, found
+	for i := range res {
+		values[i], found[i] = res[i].Value, res[i].Found
 	}
-	h.C.M.BeginOp()
-	t0 := h.C.Now()
-	h.lookupBatchInner(keys, values, found)
-	h.Rec.RecordBatch(stats.OpLookup, len(keys), h.C.Now()-t0, h.C.M.OpRoundTrips)
 	return values, found
-}
-
-func (h *Handle) lookupBatchInner(keys []uint64, values []uint64, found []bool) {
-	ops := make([]batchOp, len(keys))
-	for i, k := range keys {
-		ops[i] = batchOp{key: k, pos: i}
-	}
-	sortBatchOps(ops)
-
-	// Keys whose entry-level check failed mid-group fall back to the
-	// sequential path after the batch walk (the walk shares one leaf buffer
-	// that a re-read would clobber).
-	var torn []batchOp
-
-	i := 0
-	for i < len(ops) {
-		h.pace()
-		retries := 0
-		addr, ce := h.locateLeaf(ops[i].key)
-		r, ok := h.seek(ops[i].key, 0, intentRead, addr, ce, h.leafBuf, &retries, nil)
-		if !ok {
-			h.Rec.ReadRetries.Record(retries)
-			i++ // ran off the right edge: the key cannot exist
-			continue
-		}
-		h.Rec.BatchLeafGroups++
-		leaf := layout.AsLeaf(r.n)
-		h.C.Step(h.C.F.P.LocalStepNS) // scan the leaf locally for the group
-		for i < len(ops) && leafCovers(r.n, ops[i].key) {
-			op := ops[i]
-			if slot, hit := leaf.Find(op.key); hit {
-				if h.t.cfg.Format.Mode == layout.TwoLevel && !leaf.EntryConsistent(slot) {
-					torn = append(torn, op) // §4.4: re-read required
-				} else {
-					values[op.pos], found[op.pos] = leaf.Value(slot), true
-				}
-			}
-			// Every lookup the group serves shares its validated read, so
-			// each records the group's retry count — keeping the per-lookup
-			// retry distribution (Figure 14a) comparable to the sequential
-			// path. Torn entries record again via their lookupInner re-read.
-			h.Rec.ReadRetries.Record(retries)
-			i++
-		}
-	}
-	for _, op := range torn {
-		values[op.pos], found[op.pos] = h.lookupInner(op.key)
-	}
 }

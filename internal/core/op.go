@@ -1,0 +1,27 @@
+package core
+
+import (
+	"sherman/internal/layout"
+	"sherman/internal/stats"
+)
+
+// Op is one client operation in the unified model: every data-path request —
+// point lookup, insert/update, delete, range scan — is the same value type,
+// so mixed streams flow through one planner (Exec) and one async executor
+// (Async) instead of per-kind entry points.
+type Op struct {
+	Kind stats.OpKind
+	Key  uint64
+	// Value is the OpInsert payload.
+	Value uint64
+	// Span bounds an OpRange result.
+	Span int
+}
+
+// OpResult is the outcome of one Op. Lookups fill Value/Found; deletes fill
+// Found; range scans fill KVs.
+type OpResult struct {
+	Value uint64
+	Found bool
+	KVs   []layout.KV
+}

@@ -1,0 +1,72 @@
+package sim
+
+// Lanes tracks the completion horizons of N logical coroutines ("lanes")
+// multiplexed over one client thread — the virtual-time half of the
+// pipelined client's issue/complete split.
+//
+// A synchronous client serializes on its own clock: every verb starts after
+// the previous one's round trip completed. A pipelined client instead keeps
+// up to N operations outstanding; each runs on its own lane timeline, so its
+// round trips overlap the siblings' and only the issue-side costs — doorbell
+// posts and NIC pipeline occupancy, which the shared Resources charge at
+// issue time — serialize. Lanes holds one completion horizon per coroutine:
+// the scheduler starts the next operation on the earliest-free lane, and
+// waits (in virtual time) for that lane's horizon when all N are busy,
+// exactly like a coroutine scheduler that regains control at the next
+// completion event.
+//
+// Lanes is owned by one goroutine (the session it times) and needs no
+// synchronization.
+type Lanes struct {
+	done []int64
+}
+
+// NewLanes creates n lanes (n is clamped to >= 1), all idle at time 0.
+func NewLanes(n int) *Lanes {
+	if n < 1 {
+		n = 1
+	}
+	return &Lanes{done: make([]int64, n)}
+}
+
+// N returns the number of lanes — the pipeline depth.
+func (l *Lanes) N() int { return len(l.done) }
+
+// Min returns the earliest-free lane and its completion horizon; ties pick
+// the lowest index so assignment is deterministic.
+func (l *Lanes) Min() (lane int, done int64) {
+	lane = 0
+	for i, d := range l.done {
+		if d < l.done[lane] {
+			lane = i
+		}
+	}
+	return lane, l.done[lane]
+}
+
+// Max returns the latest completion horizon across all lanes — the virtual
+// time at which the whole pipeline has drained.
+func (l *Lanes) Max() int64 {
+	var m int64
+	for _, d := range l.done {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Set records lane's new completion horizon.
+func (l *Lanes) Set(lane int, done int64) { l.done[lane] = done }
+
+// Busy counts lanes whose work completes after now — the outstanding depth
+// a scheduler at virtual time now observes.
+func (l *Lanes) Busy(now int64) int {
+	n := 0
+	for _, d := range l.done {
+		if d > now {
+			n++
+		}
+	}
+	return n
+}

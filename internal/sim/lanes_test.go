@@ -1,0 +1,31 @@
+package sim
+
+import "testing"
+
+func TestLanes(t *testing.T) {
+	l := NewLanes(3)
+	if l.N() != 3 {
+		t.Fatalf("N = %d, want 3", l.N())
+	}
+	if lane, done := l.Min(); lane != 0 || done != 0 {
+		t.Fatalf("Min of fresh lanes = (%d,%d), want (0,0)", lane, done)
+	}
+	l.Set(0, 100)
+	l.Set(1, 50)
+	l.Set(2, 200)
+	if lane, done := l.Min(); lane != 1 || done != 50 {
+		t.Errorf("Min = (%d,%d), want (1,50)", lane, done)
+	}
+	if m := l.Max(); m != 200 {
+		t.Errorf("Max = %d, want 200", m)
+	}
+	if b := l.Busy(50); b != 2 {
+		t.Errorf("Busy(50) = %d, want 2 (completions at exactly now are idle)", b)
+	}
+	if b := l.Busy(200); b != 0 {
+		t.Errorf("Busy(200) = %d, want 0", b)
+	}
+	if NewLanes(0).N() != 1 {
+		t.Error("NewLanes(0) not clamped to 1")
+	}
+}

@@ -87,6 +87,14 @@ type Params struct {
 	// lock-free read must be retried because 4-bit versions may have wrapped
 	// (§4.4: 8 us = 2^4 x 0.5 us).
 	WraparoundGuardNS int64
+
+	// PipelineIssueNS is the client-side cost of issuing one pipelined
+	// operation: posting its first work request and switching to the next
+	// logical coroutine. It is what a pipelined client still pays per
+	// operation after latency hiding removes the round trips, and it bounds
+	// the throughput a single thread can reach at large pipeline depths.
+	// Synchronous (depth-1) clients never pay it.
+	PipelineIssueNS int64
 }
 
 // DefaultParams returns the fabric parameters calibrated to the paper's
@@ -107,6 +115,7 @@ func DefaultParams() Params {
 		LocalStepNS:        50,
 		LocalSpinNS:        100,
 		WraparoundGuardNS:  8000,
+		PipelineIssueNS:    150, // post WR + coroutine switch, well under one RTT
 	}
 }
 

@@ -14,6 +14,9 @@ const (
 	numOpKinds
 )
 
+// NumOpKinds is the number of operation classes, for per-kind count arrays.
+const NumOpKinds = int(numOpKinds)
+
 // String names the operation class.
 func (k OpKind) String() string {
 	switch k {
@@ -71,6 +74,20 @@ type Recorder struct {
 	BatchLeafGroups    int64
 	BatchChainedLeaves int64
 
+	// PipelinedOps counts operations issued through the async executor at
+	// depth > 1; PipelineDepths is the outstanding-depth distribution
+	// observed at each issue (including the op being issued).
+	PipelinedOps   int64
+	PipelineDepths *Counter
+	// PipelineOpNS sums issue-to-completion latencies of pipelined
+	// operations; PipelineBusyNS is the union length of their execution
+	// intervals — the virtual time the pipeline spent doing anything.
+	// Their ratio is the latency-hiding factor: how many serialized
+	// operation-latencies the pipeline packed into each unit of busy time
+	// (1.0 means no overlap).
+	PipelineOpNS   int64
+	PipelineBusyNS int64
+
 	// RoundTrips totals network round trips attributed to this recorder's
 	// window (the harness fills it with the measured-phase delta of the
 	// client's verb counter).
@@ -99,6 +116,7 @@ func NewRecorder() *Recorder {
 		ReadRetries:     NewCounter(64),
 		BatchSizes:      NewCounter(1 << 10),
 		BatchRoundTrips: NewCounter(1 << 12),
+		PipelineDepths:  NewCounter(1 << 10),
 	}
 	for i := range r.Latency {
 		r.Latency[i] = NewHist()
@@ -133,6 +151,54 @@ func (r *Recorder) RecordBatch(kind OpKind, n int, latencyNS, roundTrips int64) 
 	r.BatchRoundTrips.Record(int(roundTrips))
 }
 
+// RecordMixedBatch stores one finished mixed-op batch: counts[k] operations
+// of each class, completing in latencyNS total over roundTrips round trips.
+// Like RecordBatch, the batch latency is attributed to each operation
+// amortized — the per-op number a batched client observes.
+func (r *Recorder) RecordMixedBatch(counts [NumOpKinds]int64, latencyNS, roundTrips int64) {
+	var n int64
+	for _, c := range counts {
+		n += c
+	}
+	if n <= 0 {
+		return
+	}
+	per := latencyNS / n
+	for k, c := range counts {
+		for i := int64(0); i < c; i++ {
+			r.Latency[k].Record(per)
+			r.AllLatency.Record(per)
+		}
+		r.Ops[k] += c
+	}
+	r.Batches++
+	r.BatchedOps += n
+	r.BatchSizes.Record(int(n))
+	r.BatchRoundTrips.Record(int(roundTrips))
+}
+
+// RecordPipelineOp stores one operation issued through the async executor:
+// the outstanding depth observed at issue, its execution latency, and its
+// contribution to the pipeline's busy-interval union (busyNS <= opNS; the
+// difference is the latency the pipeline hid under siblings).
+func (r *Recorder) RecordPipelineOp(depth int, opNS, busyNS int64) {
+	r.PipelinedOps++
+	r.PipelineDepths.Record(depth)
+	r.PipelineOpNS += opNS
+	r.PipelineBusyNS += busyNS
+}
+
+// HidingRatio returns the pipeline's latency-hiding factor: summed operation
+// latencies over the union of their execution intervals. 1.0 means fully
+// serialized (no overlap); depth-D pipelines approach D until the NIC
+// pipelines or lock conflicts bound them. 0 means nothing was pipelined.
+func (r *Recorder) HidingRatio() float64 {
+	if r.PipelineBusyNS <= 0 {
+		return 0
+	}
+	return float64(r.PipelineOpNS) / float64(r.PipelineBusyNS)
+}
+
 // Merge folds other into r.
 func (r *Recorder) Merge(other *Recorder) {
 	if other == nil {
@@ -152,6 +218,10 @@ func (r *Recorder) Merge(other *Recorder) {
 	r.BatchRoundTrips.Merge(other.BatchRoundTrips)
 	r.BatchLeafGroups += other.BatchLeafGroups
 	r.BatchChainedLeaves += other.BatchChainedLeaves
+	r.PipelinedOps += other.PipelinedOps
+	r.PipelineDepths.Merge(other.PipelineDepths)
+	r.PipelineOpNS += other.PipelineOpNS
+	r.PipelineBusyNS += other.PipelineBusyNS
 	r.RoundTrips += other.RoundTrips
 	r.CacheHits += other.CacheHits
 	r.CacheMisses += other.CacheMisses

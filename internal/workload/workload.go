@@ -50,6 +50,7 @@ type Mix struct {
 
 // The five mixes of Table 3.
 var (
+	ReadOnly       = Mix{LookupPct: 100}
 	WriteOnly      = Mix{InsertPct: 100}
 	WriteIntensive = Mix{LookupPct: 50, InsertPct: 50}
 	ReadIntensive  = Mix{LookupPct: 95, InsertPct: 5}

@@ -1,0 +1,386 @@
+package sherman
+
+import (
+	"errors"
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// pipelineDepthsUnderTest spans the depths the async API must be
+// sequential-equivalent at.
+var pipelineDepthsUnderTest = []int{1, 2, 4, 8}
+
+// TestPipelineSequentialEquivalenceProperty quick-checks, through the
+// public API, that a random Submit stream at every pipeline depth is
+// observably equivalent to the same operations applied sequentially —
+// including puts that split small leaves mid-pipeline, interleaved deletes
+// of absent keys, and occasional scans — across the TwoLevel/Checksum ×
+// Combine ablation grid.
+func TestPipelineSequentialEquivalenceProperty(t *testing.T) {
+	for _, opts := range batchAblationOptions() {
+		opts := opts
+		fn := func(seed uint64) bool {
+			rng := rand.New(rand.NewPCG(seed, 0xa51c))
+			depth := pipelineDepthsUnderTest[rng.Uint64N(uint64(len(pipelineDepthsUnderTest)))]
+			mk := func(d int) *Session {
+				c, err := NewCluster(ClusterConfig{MemoryServers: 2, ComputeServers: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				tree, err := c.CreateTree(opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				s, err := tree.SessionAt(0, PipelineDepth(d))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return s
+			}
+			seq, pipe := mk(1), mk(depth)
+
+			const keySpace = 250
+			var futures []*Future
+			var wants []Result
+			for i := 0; i < 400; i++ {
+				k := rng.Uint64N(keySpace) + 1
+				var op Op
+				switch rng.Uint64N(8) {
+				case 0, 1, 2:
+					op = PutOp(k, rng.Uint64()|1)
+				case 3:
+					op = DeleteOp(rng.Uint64N(2*keySpace) + 1) // half absent
+				case 4:
+					op = ScanOp(k, int(rng.Uint64N(10))+1)
+				default:
+					op = GetOp(k)
+				}
+				var want Result
+				switch op.Kind {
+				case OpPut:
+					seq.Put(op.Key, op.Value)
+				case OpDelete:
+					want.Found = seq.Delete(op.Key)
+				case OpScan:
+					want.KVs = seq.Scan(op.Key, op.Span)
+				default:
+					want.Value, want.Found = seq.Get(op.Key)
+				}
+				futures = append(futures, pipe.Submit(op))
+				wants = append(wants, want)
+			}
+			pipe.Flush()
+			for i, f := range futures {
+				got, want := f.Wait(), wants[i]
+				if got.Err != nil || got.Found != want.Found || got.Value != want.Value || len(got.KVs) != len(want.KVs) {
+					t.Logf("opts %+v depth %d seed %d: op %d = %+v, sequential %+v", *opts.Advanced, depth, seed, i, got, want)
+					return false
+				}
+				for j := range want.KVs {
+					if got.KVs[j] != want.KVs[j] {
+						t.Logf("opts %+v depth %d seed %d: op %d scan row %d mismatch", *opts.Advanced, depth, seed, i, j)
+						return false
+					}
+				}
+			}
+			for k := uint64(1); k <= keySpace; k++ {
+				wv, wok := seq.Get(k)
+				gv, gok := pipe.Get(k)
+				if wok != gok || (wok && wv != gv) {
+					t.Logf("opts %+v depth %d seed %d: final key %d mismatch", *opts.Advanced, depth, seed, k)
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(fn, &quick.Config{MaxCount: 5}); err != nil {
+			t.Errorf("%+v: %v", *opts.Advanced, err)
+		}
+	}
+}
+
+// TestExecMixedEquivalenceProperty quick-checks that mixed Exec batches —
+// puts, gets, deletes and scans in one call — match sequential execution at
+// every depth across the ablation grid, including same-key read-after-write
+// chains inside one batch.
+func TestExecMixedEquivalenceProperty(t *testing.T) {
+	for _, opts := range batchAblationOptions() {
+		opts := opts
+		fn := func(seed uint64) bool {
+			rng := rand.New(rand.NewPCG(seed, 0xe4ec))
+			depth := pipelineDepthsUnderTest[rng.Uint64N(uint64(len(pipelineDepthsUnderTest)))]
+			c, err := NewCluster(ClusterConfig{MemoryServers: 2, ComputeServers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tree, err := c.CreateTree(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pipe, err := tree.SessionAt(0, PipelineDepth(depth))
+			if err != nil {
+				t.Fatal(err)
+			}
+			c2, _ := NewCluster(ClusterConfig{MemoryServers: 2, ComputeServers: 1})
+			tree2, _ := c2.CreateTree(opts)
+			seq := tree2.Session(0)
+
+			const keySpace = 200
+			for round := 0; round < 4; round++ {
+				n := int(rng.Uint64N(80)) + 1
+				ops := make([]Op, n)
+				for i := range ops {
+					k := rng.Uint64N(keySpace) + 1
+					switch rng.Uint64N(6) {
+					case 0, 1:
+						ops[i] = PutOp(k, rng.Uint64()|1)
+					case 2:
+						ops[i] = DeleteOp(k)
+					case 3:
+						ops[i] = ScanOp(k, int(rng.Uint64N(8))+1)
+					default:
+						ops[i] = GetOp(k)
+					}
+				}
+				got := pipe.Exec(ops)
+				for i, op := range ops {
+					var want Result
+					switch op.Kind {
+					case OpPut:
+						seq.Put(op.Key, op.Value)
+					case OpDelete:
+						want.Found = seq.Delete(op.Key)
+					case OpScan:
+						want.KVs = seq.Scan(op.Key, op.Span)
+					default:
+						want.Value, want.Found = seq.Get(op.Key)
+					}
+					g := got[i]
+					if g.Err != nil || g.Found != want.Found || g.Value != want.Value || len(g.KVs) != len(want.KVs) {
+						t.Logf("opts %+v depth %d seed %d: batch op %d (%+v) = %+v, sequential %+v",
+							*opts.Advanced, depth, seed, i, op, g, want)
+						return false
+					}
+					for j := range want.KVs {
+						if g.KVs[j] != want.KVs[j] {
+							return false
+						}
+					}
+				}
+			}
+			for k := uint64(1); k <= keySpace; k++ {
+				wv, wok := seq.Get(k)
+				gv, gok := pipe.Get(k)
+				if wok != gok || (wok && wv != gv) {
+					return false
+				}
+			}
+			return tree.Validate() == nil
+		}
+		if err := quick.Check(fn, &quick.Config{MaxCount: 5}); err != nil {
+			t.Errorf("%+v: %v", *opts.Advanced, err)
+		}
+	}
+}
+
+// TestPipelineConcurrentSessions races pipelined sessions on per-worker key
+// stripes — splits and deletes mid-pipeline included — then validates the
+// tree and checks contents. Run under -race this is the pipelined
+// counterpart of the concurrent batch churn test.
+func TestPipelineConcurrentSessions(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{MemoryServers: 2, ComputeServers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := c.CreateTree(TreeOptions{NodeSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	refs := make([]map[uint64]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s, err := tree.SessionAt(w%c.ComputeServers(), PipelineDepth(1+w%4*2))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			rng := rand.New(rand.NewPCG(uint64(w)+1, 77))
+			ref := make(map[uint64]uint64)
+			base := uint64(w)*100_000 + 1
+			for i := 0; i < 900; i++ {
+				k := base + rng.Uint64N(500)
+				switch rng.Uint64N(5) {
+				case 0:
+					s.Submit(DeleteOp(k))
+					delete(ref, k)
+				case 1:
+					got := s.Submit(GetOp(k)).Wait()
+					want, exists := ref[k]
+					if got.Found != exists || (exists && got.Value != want) {
+						t.Errorf("worker %d: pipelined Get(%d) = (%d,%v), reference (%d,%v)",
+							w, k, got.Value, got.Found, want, exists)
+						return
+					}
+				default:
+					v := rng.Uint64() | 1
+					s.Submit(PutOp(k, v))
+					ref[k] = v
+				}
+			}
+			s.Flush()
+			refs[w] = ref
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatalf("Validate after concurrent pipelined churn: %v", err)
+	}
+	s := tree.Session(0)
+	for w, ref := range refs {
+		for k, v := range ref {
+			if got, ok := s.Get(k); !ok || got != v {
+				t.Fatalf("worker %d key %d = (%d,%v), want (%d,true)", w, k, got, ok, v)
+			}
+		}
+	}
+}
+
+// TestSessionAtAndTypedErrors covers the typed-error surface: out-of-range
+// compute servers, reserved-key writes via Submit and Exec, and the
+// preserved legacy panic contracts.
+func TestSessionAtAndTypedErrors(t *testing.T) {
+	c := testCluster(t)
+	tree, _ := c.CreateTree(DefaultTreeOptions())
+
+	for _, cs := range []int{-1, c.ComputeServers(), 99} {
+		if _, err := tree.SessionAt(cs); !errors.Is(err, ErrBadComputeServer) {
+			t.Errorf("SessionAt(%d) error = %v, want ErrBadComputeServer", cs, err)
+		}
+	}
+	s, err := tree.SessionAt(0, PipelineDepth(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PipelineDepth() != 4 {
+		t.Errorf("PipelineDepth() = %d, want 4", s.PipelineDepth())
+	}
+
+	if r := s.Submit(PutOp(0, 1)).Wait(); !errors.Is(r.Err, ErrReservedKey) {
+		t.Errorf("Submit(PutOp(0)) err = %v, want ErrReservedKey", r.Err)
+	}
+	if r := s.Submit(DeleteOp(0)).Wait(); !errors.Is(r.Err, ErrReservedKey) {
+		t.Errorf("Submit(DeleteOp(0)) err = %v, want ErrReservedKey", r.Err)
+	}
+	if r := s.Submit(Op{Kind: OpKind(99)}).Wait(); r.Err == nil {
+		t.Error("Submit of unknown kind reported no error")
+	}
+	if r := s.Submit(ScanOp(1, 0)).Wait(); r.Err != nil || r.KVs != nil {
+		t.Errorf("Submit(ScanOp span 0) = %+v, want empty", r)
+	}
+
+	// A bad op inside Exec errors in place; the rest of the batch applies.
+	res := s.Exec([]Op{PutOp(11, 110), PutOp(0, 1), PutOp(12, 120)})
+	if !errors.Is(res[1].Err, ErrReservedKey) || res[0].Err != nil || res[2].Err != nil {
+		t.Errorf("Exec partial errors = [%v %v %v]", res[0].Err, res[1].Err, res[2].Err)
+	}
+	if v, ok := s.Get(12); !ok || v != 120 {
+		t.Errorf("Get(12) after partial-error Exec = (%d,%v), want (120,true)", v, ok)
+	}
+
+	// Legacy contracts: Session panics on a bad cs, Put panics on key 0.
+	for name, fn := range map[string]func(){
+		"Session(-1)": func() { tree.Session(-1) },
+		"Put(0)":      func() { s.Put(0, 1) },
+		"Delete(0)":   func() { s.Delete(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestCursor checks the Scan convenience: full iteration matches one big
+// Scan, resumes across leaf boundaries, and terminates on empty ranges.
+func TestCursor(t *testing.T) {
+	c := testCluster(t)
+	tree, _ := c.CreateTree(TreeOptions{NodeSize: 256}) // small leaves: many refills
+	s := tree.Session(0)
+	kvs := make([]KV, 500)
+	for i := range kvs {
+		kvs[i] = KV{Key: uint64(i+1) * 3, Value: uint64(i + 7)}
+	}
+	if err := tree.Bulkload(kvs); err != nil {
+		t.Fatal(err)
+	}
+
+	cur := s.Cursor(100)
+	want := s.Scan(100, len(kvs))
+	for i, w := range want {
+		kv, ok := cur.Next()
+		if !ok || kv != w {
+			t.Fatalf("cursor row %d = (%+v,%v), want %+v", i, kv, ok, w)
+		}
+	}
+	if kv, ok := cur.Next(); ok {
+		t.Errorf("cursor returned %+v past the end", kv)
+	}
+	if _, ok := s.Cursor(10_000_000).Next(); ok {
+		t.Error("cursor on empty range returned a row")
+	}
+}
+
+// TestPipelineVirtualTime: Submit must not block the session's virtual
+// clock on completions — only Wait and Flush do — and pipelined sessions
+// report hiding stats.
+func TestPipelineVirtualTime(t *testing.T) {
+	c := testCluster(t)
+	tree, _ := c.CreateTree(DefaultTreeOptions())
+	kvs := make([]KV, 5000)
+	for i := range kvs {
+		kvs[i] = KV{Key: uint64(i + 1), Value: 1}
+	}
+	if err := tree.Bulkload(kvs); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := tree.SessionAt(0, PipelineDepth(4))
+	s.Get(1) // warm the cache
+
+	before := s.VirtualNow()
+	var fs []*Future
+	for i := 0; i < 4; i++ {
+		fs = append(fs, s.Submit(GetOp(uint64(1+i*1000))))
+	}
+	submitted := s.VirtualNow()
+	if adv := submitted - before; adv >= fs[0].CompleteAtV()-before {
+		t.Errorf("4 submits advanced the clock %d ns, past the first completion", adv)
+	}
+	s.Flush()
+	flushed := s.VirtualNow()
+	for _, f := range fs {
+		if f.CompleteAtV() > flushed {
+			t.Errorf("completion %d after Flush clock %d", f.CompleteAtV(), flushed)
+		}
+	}
+	st := s.Stats()
+	if st.PipelinedOps != 5 { // the warming Get pipelines too
+		t.Errorf("PipelinedOps = %d, want 5", st.PipelinedOps)
+	}
+	if st.LatencyHidingRatio <= 1 {
+		t.Errorf("LatencyHidingRatio = %.2f, want > 1", st.LatencyHidingRatio)
+	}
+}

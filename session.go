@@ -1,6 +1,7 @@
 package sherman
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
 
@@ -8,66 +9,256 @@ import (
 	"sherman/internal/stats"
 )
 
+// Typed errors of the unified Op/Result API. The legacy methods keep their
+// original panic contracts; Submit and Exec report these instead.
+var (
+	// ErrReservedKey rejects writes to key 0, the tree's deleted-entry
+	// sentinel (§4.4).
+	ErrReservedKey = errors.New("sherman: key 0 is reserved")
+	// ErrBadComputeServer rejects a session on a compute server outside
+	// [0, ComputeServers).
+	ErrBadComputeServer = errors.New("sherman: compute server out of range")
+)
+
+// OpKind names one operation class of the unified client model.
+type OpKind int
+
+// Operation kinds.
+const (
+	OpGet OpKind = iota
+	OpPut
+	OpDelete
+	OpScan
+)
+
+// Op is one client operation. Every request — point get, put (insert or
+// in-place update), delete, range scan — is the same value type, so mixed
+// streams flow through one pipeline (Submit) and one batch planner (Exec).
+type Op struct {
+	Kind OpKind
+	Key  uint64
+	// Value is the OpPut payload.
+	Value uint64
+	// Span bounds an OpScan result.
+	Span int
+}
+
+// PutOp stores value under key (insert or in-place update).
+func PutOp(key, value uint64) Op { return Op{Kind: OpPut, Key: key, Value: value} }
+
+// GetOp reads the value under key.
+func GetOp(key uint64) Op { return Op{Kind: OpGet, Key: key} }
+
+// DeleteOp removes key.
+func DeleteOp(key uint64) Op { return Op{Kind: OpDelete, Key: key} }
+
+// ScanOp reads up to span pairs with key >= from in ascending order.
+func ScanOp(from uint64, span int) Op { return Op{Kind: OpScan, Key: from, Span: span} }
+
+// Result is the outcome of one Op. Gets fill Value/Found, deletes fill
+// Found, scans fill KVs; an invalid operation fills only Err and leaves the
+// tree untouched.
+type Result struct {
+	Value uint64
+	Found bool
+	KVs   []KV
+	Err   error
+}
+
+// Future is the pending result of one submitted operation.
+type Future struct {
+	s    *Session
+	res  Result
+	done int64
+}
+
+// Wait blocks the session's virtual timeline until the operation has
+// completed — the session clock advances to the operation's completion
+// time — and returns its result. Waiting on an already-passed future is
+// free; Wait may be called any number of times.
+func (f *Future) Wait() Result {
+	if f.s != nil {
+		f.s.a.WaitUntil(f.done)
+	}
+	return f.res
+}
+
+// CompleteAtV returns the operation's completion time on the session's
+// virtual clock (see Session.VirtualNow).
+func (f *Future) CompleteAtV() int64 { return f.done }
+
 // Session is one client thread's interface to a tree, bound to one compute
 // server. Sessions are not safe for concurrent use — they model exactly one
 // client thread of the paper — so open one per goroutine. Any number of
 // sessions may operate on the same tree concurrently.
+//
+// A session issues operations two ways. The synchronous methods (Put, Get,
+// Delete, Scan and the *Batch wrappers) complete each call before
+// returning. The unified Op/Result API (Submit, Exec, Flush) pipelines: a
+// session opened with PipelineDepth(n) keeps up to n operations
+// outstanding, overlapping their round trips the way the paper's clients
+// run multiple coroutines per thread, so per-thread throughput climbs
+// toward the fabric bound instead of being RTT-bound.
 type Session struct {
 	h  *core.Handle
+	a  *core.Async
 	cs int
 }
 
 var sessionSeq atomic.Int64
 
-// Session opens a session on compute server cs (0 <= cs < ComputeServers).
-func (t *Tree) Session(cs int) *Session {
+// SessionOption configures a session at open time.
+type SessionOption func(*sessionConfig)
+
+type sessionConfig struct {
+	depth int
+}
+
+// PipelineDepth bounds the session's outstanding operations (clamped to
+// >= 1). Depth 1 — the default — is the synchronous client; higher depths
+// hide round-trip latency under Submit and Exec while remaining observably
+// equivalent to sequential execution: the executor preserves per-key
+// ordering, and scans order against all outstanding writes.
+func PipelineDepth(n int) SessionOption {
+	return func(c *sessionConfig) { c.depth = n }
+}
+
+// SessionAt opens a session on compute server cs (0 <= cs <
+// ComputeServers), reporting ErrBadComputeServer for an out-of-range cs.
+func (t *Tree) SessionAt(cs int, opts ...SessionOption) (*Session, error) {
 	if cs < 0 || cs >= t.c.ComputeServers() {
+		return nil, fmt.Errorf("%w: %d not in [0,%d)", ErrBadComputeServer, cs, t.c.ComputeServers())
+	}
+	cfg := sessionConfig{depth: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	h := t.tr.NewHandle(cs, int(sessionSeq.Add(1)))
+	return &Session{h: h, a: h.NewAsync(cfg.depth), cs: cs}, nil
+}
+
+// Session opens a synchronous session on compute server cs, panicking when
+// cs is out of range (the original contract; new code should prefer
+// SessionAt).
+func (t *Tree) Session(cs int) *Session {
+	s, err := t.SessionAt(cs)
+	if err != nil {
 		panic(fmt.Sprintf("sherman: compute server %d out of range [0,%d)", cs, t.c.ComputeServers()))
 	}
-	return &Session{h: t.tr.NewHandle(cs, int(sessionSeq.Add(1))), cs: cs}
+	return s
 }
 
 // ComputeServer returns the compute server this session runs on.
 func (s *Session) ComputeServer() int { return s.cs }
 
+// PipelineDepth returns the session's outstanding-operation bound.
+func (s *Session) PipelineDepth() int { return s.a.Depth() }
+
+// toCore validates op and translates it to the core representation.
+func (op Op) toCore() (core.Op, error) {
+	switch op.Kind {
+	case OpGet:
+		return core.Op{Kind: stats.OpLookup, Key: op.Key}, nil
+	case OpPut:
+		if op.Key == 0 {
+			return core.Op{}, ErrReservedKey
+		}
+		return core.Op{Kind: stats.OpInsert, Key: op.Key, Value: op.Value}, nil
+	case OpDelete:
+		if op.Key == 0 {
+			return core.Op{}, ErrReservedKey
+		}
+		return core.Op{Kind: stats.OpDelete, Key: op.Key}, nil
+	case OpScan:
+		return core.Op{Kind: stats.OpRange, Key: op.Key, Span: op.Span}, nil
+	default:
+		return core.Op{}, fmt.Errorf("sherman: unknown op kind %d", op.Kind)
+	}
+}
+
+// resultFrom converts one core result.
+func resultFrom(r core.OpResult) Result {
+	return Result{Value: r.Value, Found: r.Found, KVs: r.KVs}
+}
+
+// Submit enqueues op on the session's pipeline and returns its future. Up
+// to PipelineDepth operations run with overlapping round trips; Submit
+// itself advances the session only by the issue cost (and, when the
+// pipeline is full, to the next completion). Invalid operations — a put or
+// delete of reserved key 0 — resolve immediately to a Result carrying a
+// typed error (ErrReservedKey) without touching the tree.
+func (s *Session) Submit(op Op) *Future {
+	cop, err := op.toCore()
+	if err != nil {
+		return &Future{res: Result{Err: err}, done: s.h.C.Now()}
+	}
+	if op.Kind == OpScan && op.Span <= 0 {
+		return &Future{res: Result{}, done: s.h.C.Now()}
+	}
+	res, done := s.a.Submit(cop)
+	return &Future{s: s, res: resultFrom(res), done: done}
+}
+
+// Exec applies a mixed batch of operations, observably equivalent to
+// executing them sequentially in submission order, and returns one result
+// per operation. Point operations sharing a leaf share one traversal, one
+// lock acquisition (when any writes) and one combined doorbell, and — at
+// PipelineDepth > 1 — independent leaf groups overlap their round trips.
+// Exec orders after all outstanding Submits and returns fully drained.
+// Invalid operations carry a typed error in their Result slot; the rest of
+// the batch still executes.
+func (s *Session) Exec(ops []Op) []Result {
+	results := make([]Result, len(ops))
+	cops := make([]core.Op, 0, len(ops))
+	idx := make([]int, 0, len(ops))
+	for i, op := range ops {
+		cop, err := op.toCore()
+		if err != nil {
+			results[i].Err = err
+			continue
+		}
+		if op.Kind == OpScan && op.Span <= 0 {
+			continue
+		}
+		cops = append(cops, cop)
+		idx = append(idx, i)
+	}
+	for j, r := range s.a.Exec(cops) {
+		results[idx[j]] = resultFrom(r)
+	}
+	return results
+}
+
+// Flush drains the pipeline: it returns once every submitted operation has
+// completed (the session clock advances to the last completion). A
+// depth-1 session's Flush is a no-op.
+func (s *Session) Flush() { s.a.Flush() }
+
+// --- legacy synchronous methods: thin wrappers over the unified API ------
+
 // Put stores value under key, inserting or updating in place. Key 0 is
-// reserved and panics (it is the tree's deleted-entry sentinel, §4.4).
+// reserved and panics (it is the tree's deleted-entry sentinel, §4.4); use
+// Submit for the typed-error contract.
 func (s *Session) Put(key, value uint64) {
-	s.h.Insert(key, value)
+	if r := s.Submit(PutOp(key, value)).Wait(); r.Err != nil {
+		panic("core: key 0 is reserved")
+	}
 }
 
 // Get returns the value stored under key.
 func (s *Session) Get(key uint64) (uint64, bool) {
-	return s.h.Lookup(key)
+	r := s.Submit(GetOp(key)).Wait()
+	return r.Value, r.Found
 }
 
-// Delete removes key, reporting whether it was present.
+// Delete removes key, reporting whether it was present. Key 0 is reserved
+// and panics; use Submit for the typed-error contract.
 func (s *Session) Delete(key uint64) bool {
-	return s.h.Delete(key)
-}
-
-// PutBatch stores every pair in kvs, observably equivalent to calling Put
-// for each pair in order, but executed through the batch pipeline: keys are
-// sorted and pairs landing in the same leaf share one traversal, one leaf
-// lock and one combined write-back+release doorbell, cutting round trips
-// and lock traffic on bulk writes. Duplicate keys apply in submission order
-// (the last value wins). Key 0 is reserved and panics.
-func (s *Session) PutBatch(kvs []KV) {
-	s.h.InsertBatch(kvs)
-}
-
-// GetBatch returns, for each key, the stored value and whether it was
-// present — observably equivalent to calling Get per key, but reading each
-// target leaf once for all the keys it covers.
-func (s *Session) GetBatch(keys []uint64) (values []uint64, found []bool) {
-	return s.h.LookupBatch(keys)
-}
-
-// DeleteBatch removes every key, reporting per key whether it was present —
-// observably equivalent to calling Delete per key. Deletes of absent keys
-// cost no write-back. Key 0 is reserved and panics.
-func (s *Session) DeleteBatch(keys []uint64) (found []bool) {
-	return s.h.DeleteBatch(keys)
+	r := s.Submit(DeleteOp(key)).Wait()
+	if r.Err != nil {
+		panic("core: key 0 is reserved")
+	}
+	return r.Found
 }
 
 // Scan returns up to span pairs with key >= from in ascending key order.
@@ -75,19 +266,71 @@ func (s *Session) DeleteBatch(keys []uint64) (found []bool) {
 // writes: each leaf is read consistently, but the scan as a whole is not a
 // snapshot.
 func (s *Session) Scan(from uint64, span int) []KV {
-	if span <= 0 {
-		return nil
+	return s.Submit(ScanOp(from, span)).Wait().KVs
+}
+
+// PutBatch stores every pair in kvs, observably equivalent to calling Put
+// for each pair in order, but executed through the batch planner: keys are
+// sorted and pairs landing in the same leaf share one traversal, one leaf
+// lock and one combined write-back+release doorbell, cutting round trips
+// and lock traffic on bulk writes. Duplicate keys apply in submission order
+// (the last value wins). Key 0 is reserved and panics.
+func (s *Session) PutBatch(kvs []KV) {
+	ops := make([]Op, len(kvs))
+	for i, kv := range kvs {
+		if kv.Key == 0 {
+			panic("core: key 0 is reserved")
+		}
+		ops[i] = PutOp(kv.Key, kv.Value)
 	}
-	return s.h.Range(from, span)
+	s.Exec(ops)
+}
+
+// GetBatch returns, for each key, the stored value and whether it was
+// present — observably equivalent to calling Get per key, but reading each
+// target leaf once for all the keys it covers.
+func (s *Session) GetBatch(keys []uint64) (values []uint64, found []bool) {
+	ops := make([]Op, len(keys))
+	for i, k := range keys {
+		ops[i] = GetOp(k)
+	}
+	res := s.Exec(ops)
+	values = make([]uint64, len(keys))
+	found = make([]bool, len(keys))
+	for i, r := range res {
+		values[i], found[i] = r.Value, r.Found
+	}
+	return values, found
+}
+
+// DeleteBatch removes every key, reporting per key whether it was present —
+// observably equivalent to calling Delete per key. Deletes of absent keys
+// cost no write-back. Key 0 is reserved and panics.
+func (s *Session) DeleteBatch(keys []uint64) (found []bool) {
+	ops := make([]Op, len(keys))
+	for i, k := range keys {
+		if k == 0 {
+			panic("core: key 0 is reserved")
+		}
+		ops[i] = DeleteOp(k)
+	}
+	res := s.Exec(ops)
+	found = make([]bool, len(keys))
+	for i, r := range res {
+		found[i] = r.Found
+	}
+	return found
 }
 
 // VirtualNow returns the session's virtual clock in nanoseconds — the time
-// at which its most recent operation completed on the simulated fabric.
-// Dividing operation counts by makespans of these clocks gives the
-// throughput numbers the benchmarks report.
+// at which its most recent operation was issued (and, after Wait or Flush,
+// completed) on the simulated fabric. Dividing operation counts by
+// makespans of these clocks gives the throughput numbers the benchmarks
+// report.
 func (s *Session) VirtualNow() int64 { return s.h.C.Now() }
 
-// Stats returns the session's accumulated measurements.
+// Stats returns the session's accumulated measurements. Call Flush first on
+// a pipelined session to fold outstanding operations in.
 func (s *Session) Stats() SessionStats {
 	r := s.h.Rec
 	m := &s.h.C.M
@@ -110,6 +353,10 @@ func (s *Session) Stats() SessionStats {
 		BatchLeafGroups: r.BatchLeafGroups,
 		DoorbellBatches: m.DoorbellBatches,
 		DoorbellOps:     m.DoorbellOps,
+
+		PipelinedOps:       r.PipelinedOps,
+		MeanOutstanding:    r.PipelineDepths.Mean(),
+		LatencyHidingRatio: r.HidingRatio(),
 	}
 }
 
@@ -133,13 +380,73 @@ type SessionStats struct {
 
 	P50LatencyNS, P99LatencyNS int64
 
-	// Batches counts PutBatch/GetBatch/DeleteBatch invocations; BatchedOps
-	// the operations they carried (also included in the per-kind counts
+	// Batches counts Exec (and *Batch wrapper) invocations; BatchedOps the
+	// point operations they carried (also included in the per-kind counts
 	// above). BatchLeafGroups counts the leaf groups those batches formed —
 	// BatchedOps/BatchLeafGroups is the traversal-and-lock amortization the
-	// pipeline achieved.
+	// planner achieved.
 	Batches, BatchedOps, BatchLeafGroups int64
 	// DoorbellBatches counts multi-command doorbell posts issued by this
 	// session's verbs; DoorbellOps the commands they carried (§4.5).
 	DoorbellBatches, DoorbellOps int64
+
+	// PipelinedOps counts operations issued at PipelineDepth > 1;
+	// MeanOutstanding is the mean outstanding depth observed at issue.
+	PipelinedOps    int64
+	MeanOutstanding float64
+	// LatencyHidingRatio is summed operation latencies over the union of
+	// their execution intervals: 1.0 means fully serialized, depth-D
+	// pipelines approach D. 0 means nothing was pipelined.
+	LatencyHidingRatio float64
+}
+
+// Cursor iterates the tree in ascending key order, refilling leaf-at-a-time
+// through Scan so callers don't hand-roll resume-from-last-key loops. Like
+// Scan, a cursor is not a snapshot: each refill observes concurrent writes.
+type Cursor struct {
+	s    *Session
+	next uint64
+	span int
+	buf  []KV
+	i    int
+	done bool
+}
+
+// Cursor opens a cursor positioned at the first key >= from. The refill
+// granularity is one leaf's worth of entries.
+func (s *Session) Cursor(from uint64) *Cursor {
+	span := s.h.Tree().Config().Format.LeafCap
+	if span < 1 {
+		span = 16
+	}
+	return &Cursor{s: s, next: from, span: span}
+}
+
+// Next returns the next pair in ascending key order, or ok=false when the
+// range is exhausted.
+func (c *Cursor) Next() (kv KV, ok bool) {
+	for {
+		if c.i < len(c.buf) {
+			kv = c.buf[c.i]
+			c.i++
+			return kv, true
+		}
+		if c.done {
+			return KV{}, false
+		}
+		c.buf = c.s.Scan(c.next, c.span)
+		c.i = 0
+		if len(c.buf) < c.span {
+			c.done = true // the tree ran out before the span filled
+		}
+		if len(c.buf) == 0 {
+			return KV{}, false
+		}
+		last := c.buf[len(c.buf)-1].Key
+		if last == ^uint64(0) {
+			c.done = true
+		} else {
+			c.next = last + 1
+		}
+	}
 }
