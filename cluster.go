@@ -97,6 +97,53 @@ func (c *Cluster) MemoryServers() int { return c.cl.NumMS() }
 // ComputeServers returns the compute-server count.
 func (c *Cluster) ComputeServers() int { return c.cl.NumCS() }
 
+// KillComputeServer simulates the crash of compute server cs: every session
+// bound to it fails — in-flight operations abort with no effect at their
+// next fabric verb, and all further calls on those sessions report
+// ErrSessionDead. Locks the dead sessions held become reclaimable by
+// survivors once the liveness lease expires, and splits they left half-done
+// are completed by Tree.Recover. The memory servers are untouched: in the
+// one-sided design the client is the unit of failure.
+func (c *Cluster) KillComputeServer(cs int) error {
+	if cs < 0 || cs >= c.cl.NumCS() {
+		return fmt.Errorf("%w: %d not in [0,%d)", ErrBadComputeServer, cs, c.cl.NumCS())
+	}
+	c.cl.Kill(cs, 0)
+	return nil
+}
+
+// ScheduleCrash arms a deterministic crash for fault-injection tests:
+// compute server cs fails at its n-th subsequent fabric operation (n >= 1
+// counts verbs issued by any of the server's sessions from now). The crash
+// then behaves exactly like KillComputeServer — in particular, an
+// operation mid-flight at that verb is dropped with no effect, which is
+// how tests place a crash inside a write's critical section.
+func (c *Cluster) ScheduleCrash(cs int, n int64) error {
+	if cs < 0 || cs >= c.cl.NumCS() {
+		return fmt.Errorf("%w: %d not in [0,%d)", ErrBadComputeServer, cs, c.cl.NumCS())
+	}
+	if n < 1 {
+		return fmt.Errorf("sherman: ScheduleCrash needs n >= 1, got %d", n)
+	}
+	c.cl.Faults().KillAtVerb(cs, n)
+	return nil
+}
+
+// RestartComputeServer revives a killed compute server under a fresh
+// incarnation. Sessions opened before the crash stay dead — open new ones.
+func (c *Cluster) RestartComputeServer(cs int) error {
+	if cs < 0 || cs >= c.cl.NumCS() {
+		return fmt.Errorf("%w: %d not in [0,%d)", ErrBadComputeServer, cs, c.cl.NumCS())
+	}
+	c.cl.Restart(cs)
+	return nil
+}
+
+// ComputeServerAlive reports whether compute server cs is currently up.
+func (c *Cluster) ComputeServerAlive(cs int) bool {
+	return cs >= 0 && cs < c.cl.NumCS() && !c.cl.Faults().Dead(cs)
+}
+
 // MemoryUsage returns the total host memory currently materialized across
 // all memory servers, in bytes.
 func (c *Cluster) MemoryUsage() uint64 {

@@ -1,18 +1,31 @@
 // Command shermanbench regenerates every table and figure of the paper's
-// evaluation (§5) on the simulated fabric. Results print as aligned text
-// tables; EXPERIMENTS.md records a captured run against the paper's numbers.
+// evaluation (§5) on the simulated fabric, plus the repo's own batch,
+// pipeline and fault experiments. Results print as aligned text tables;
+// EXPERIMENTS.md records a captured run against the paper's numbers.
 //
 // Usage:
 //
 //	shermanbench -exp all
 //	shermanbench -exp fig10 -keys 4194304 -ops 2000 -threads 22
+//	shermanbench -exp batch,pipeline,faults -quick -json BENCH.json -baseline bench/baseline.json
 //
 // Experiments: table1 table2 fig2 fig3 fig10 fig11 fig12 fig13 fig14
-// fig15a fig15b fig15c fig16 extras ycsb batch pipeline all quick
+// fig15a fig15b fig15c fig16 extras ycsb batch pipeline faults all quick
 //
-// -check (with -exp pipeline) additionally verifies that depth-4 pipelined
-// execution beats depth-1 per-thread throughput and exits non-zero
-// otherwise — the CI latency-hiding smoke.
+// Machine-readable output and CI gating:
+//
+//	-json PATH            write the run's structured Report (tables + typed
+//	                      metrics) to PATH — the BENCH_*.json artifact
+//	-baseline PATH        after the run, fail (exit 1) when a batch or
+//	                      pipeline metric regressed more than -tolerance
+//	                      against the committed baseline report
+//	-write-baseline PATH  write the fresh metrics as the new baseline
+//	-tolerance F          regression band (default 0.15 = 15%)
+//
+// -check adds experiment-specific hard assertions: with -exp pipeline, the
+// latency-hiding smoke (depth-4 beats depth-1); with -exp faults, the
+// crash-recovery smoke (a compute server killed mid-write leaves a
+// reclaimable lock, and the tree validates after recovery).
 package main
 
 import (
@@ -29,13 +42,18 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (table1,table2,fig2,fig3,fig10,fig11,fig12,fig13,fig14,fig15a,fig15b,fig15c,fig16,extras,ycsb,batch,pipeline,all,quick)")
+		exp      = flag.String("exp", "all", "experiment id (table1,table2,fig2,fig3,fig10,fig11,fig12,fig13,fig14,fig15a,fig15b,fig15c,fig16,extras,ycsb,batch,pipeline,faults,all,quick)")
 		keys     = flag.Uint64("keys", 0, "key-space size (0 = scale default)")
 		windowMS = flag.Int("window", 0, "virtual measurement window in ms (0 = scale default)")
 		warmup   = flag.Int("warmup", 0, "warmup ops per thread (0 = scale default)")
 		threads  = flag.Int("threads", 0, "client threads per compute server (0 = scale default)")
 		quick    = flag.Bool("quick", false, "use the quick (CI-sized) scale")
-		check    = flag.Bool("check", false, "with -exp pipeline: fail unless depth-4 beats depth-1 per-thread throughput")
+		runs     = flag.Int("runs", 0, "average each tree experiment over this many runs (0 = scale default)")
+		check    = flag.Bool("check", false, "run the hard assertions of the selected experiments (pipeline, faults)")
+		jsonOut  = flag.String("json", "", "write the structured run report to this path")
+		baseline = flag.String("baseline", "", "regression-gate the run against this committed baseline report")
+		writeBas = flag.String("write-baseline", "", "write the fresh metrics as the new baseline report")
+		tol      = flag.Float64("tolerance", 0.15, "regression tolerance band (fraction of baseline Mops)")
 	)
 	flag.Parse()
 
@@ -55,27 +73,92 @@ func main() {
 	if *threads != 0 {
 		s.ThreadsPerCS = *threads
 	}
+	if *runs != 0 {
+		s.Runs = *runs
+	}
 
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" || *exp == "quick" {
 		ids = []string{"table1", "table2", "fig2", "fig3", "fig10", "fig11",
-			"fig12", "fig13", "fig14", "fig15a", "fig15b", "fig15c", "fig16", "batch", "pipeline"}
+			"fig12", "fig13", "fig14", "fig15a", "fig15b", "fig15c", "fig16",
+			"batch", "pipeline", "faults"}
 	}
 	fmt.Printf("# shermanbench: keys=%d threads/CS=%d window=%dms GOMAXPROCS=%d\n\n",
 		s.Keys, s.ThreadsPerCS, s.MeasureNS/1_000_000, runtime.GOMAXPROCS(0))
+
+	report := bench.NewReport(*exp, *quick || *exp == "quick", s)
+	col := &bench.Collector{}
+	var churn *bench.FaultResult
 	for _, id := range ids {
-		run(strings.TrimSpace(id), s)
+		run(strings.TrimSpace(id), s, col, report, &churn)
 	}
-	if *check {
-		if err := bench.PipelineGate(s); err != nil {
+	report.Metrics = col.Metrics
+
+	if *jsonOut != "" {
+		if err := report.Write(*jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Println("pipeline gate: depth-4 beats depth-1 for put and get (hiding > 1.5x)")
+		fmt.Printf("wrote %s (%d metrics, %d tables)\n", *jsonOut, len(report.Metrics), len(report.Tables))
+	}
+	if *writeBas != "" {
+		// The baseline keeps only the typed metrics: it is a comparison
+		// anchor, not an archive.
+		base := *report
+		base.Tables = nil
+		if err := base.Write(*writeBas); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote baseline %s (%d metrics)\n", *writeBas, len(base.Metrics))
+	}
+
+	failed := false
+	if *baseline != "" {
+		base, err := bench.LoadReport(*baseline)
+		if err == nil {
+			err = bench.CheckRegression(base, report, *tol)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			failed = true
+		} else {
+			fmt.Printf("regression gate: within %.0f%% of %s\n", *tol*100, *baseline)
+		}
+	}
+	if *check {
+		if err := runChecks(ids, s, col, churn); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
 	}
 }
 
-func run(id string, s bench.Scale) {
+// runChecks executes the hard assertions of the selected experiments,
+// evaluating the results this invocation already produced (the pipeline
+// sweep's metrics, the fault churn's rounds) rather than re-running them.
+func runChecks(ids []string, s bench.Scale, col *bench.Collector, churn *bench.FaultResult) error {
+	for _, id := range ids {
+		switch strings.TrimSpace(id) {
+		case "pipeline":
+			if err := bench.PipelineGate(col.Metrics); err != nil {
+				return err
+			}
+			fmt.Println("pipeline gate: depth-4 beats depth-1 for put and get (hiding > 1.5x)")
+		case "faults":
+			if err := bench.FaultGate(s, churn); err != nil {
+				return err
+			}
+			fmt.Println("fault gate: mid-write crash reclaimed and recovered; churn rounds validate")
+		}
+	}
+	return nil
+}
+
+func run(id string, s bench.Scale, col *bench.Collector, report *bench.Report, churn **bench.FaultResult) {
 	start := time.Now()
 	var tables []*bench.Table
 	switch id {
@@ -110,15 +193,20 @@ func run(id string, s bench.Scale) {
 	case "ycsb":
 		tables = []*bench.Table{bench.YCSBSuite(s)}
 	case "batch":
-		tables = bench.BatchTables(s)
+		tables = bench.BatchTables(s, col)
 	case "pipeline":
-		tables = bench.PipelineTables(s)
+		tables = bench.PipelineTables(s, col)
+	case "faults":
+		t, r := bench.FaultChurn(s, col)
+		tables = []*bench.Table{t}
+		*churn = &r
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
 		os.Exit(2)
 	}
 	for _, t := range tables {
 		fmt.Println(t)
+		report.Tables = append(report.Tables, t.ToJSON())
 	}
 	fmt.Printf("(%s took %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 }

@@ -11,9 +11,10 @@ import (
 // sequential sweep that quantifies the per-operation amortization, and a
 // batched YCSB-style mix table. Not paper figures — the paper batches only
 // the dependent writes *within* one operation (§4.5); these tables measure
-// what batching *across* operations adds on top.
-func BatchTables(s Scale) []*Table {
-	return []*Table{BatchSweep(s), BatchYCSB(s)}
+// what batching *across* operations adds on top. When c is non-nil, typed
+// metrics are recorded for the JSON report and regression gate.
+func BatchTables(s Scale, c *Collector) []*Table {
+	return []*Table{BatchSweep(s, c), BatchYCSB(s)}
 }
 
 // BatchSweep compares batched and sequential execution of a uniform
@@ -21,7 +22,7 @@ func BatchTables(s Scale) []*Table {
 // is the sequential path; RT/op and lock acq/op are measured-window
 // per-operation costs, and ops/group is the number of operations each leaf
 // lock acquisition served.
-func BatchSweep(s Scale) *Table {
+func BatchSweep(s Scale, c *Collector) *Table {
 	t := NewTable("Batch pipeline: batched vs sequential Put (uniform write-only)",
 		"config", "keys", "batch", "Mops", "RT/op", "lock acq/op", "ops/group", "p50(us)", "p99(us)")
 	// The sparse keyspace is the paper's scale; the dense one (a hot table
@@ -42,6 +43,15 @@ func BatchSweep(s Scale) *Table {
 					fmt.Sprintf("%.2f", r.RoundTripsPerOp),
 					fmt.Sprintf("%.2f", r.LockAcqPerOp),
 					group, USString(r.P50), USString(r.P99))
+				c.Add(Metric{
+					Exp:  "batch",
+					Name: fmt.Sprintf("batch/%s/keys=%d/bs=%d", cfg.Name(), keys, bs),
+					// The dense hot-table cells sit in a bistable convoy
+					// regime; report them, but don't gate on them.
+					Gate: keys == s.Keys,
+					Mops: r.Mops, P50NS: r.P50, P99NS: r.P99,
+					RTPerOp: r.RoundTripsPerOp, LockAcqPerOp: r.LockAcqPerOp,
+				})
 			}
 		}
 	}

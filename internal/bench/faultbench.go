@@ -1,0 +1,411 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+
+	"sherman/internal/cluster"
+	"sherman/internal/core"
+	"sherman/internal/layout"
+	"sherman/internal/sim"
+	"sherman/internal/stats"
+	"sherman/internal/workload"
+)
+
+// This file is the partial-failure experiment: compute servers crash and
+// restart mid-measurement while the survivors keep serving. It is not a
+// paper figure — conf_sigmod_WangLS22 evaluates the failure-free path — but
+// the one-sided design makes the client the unit of failure, so the
+// interesting questions are all on the recovery side: how deep the
+// throughput dips when a compute server dies holding locks, how long lease
+// reclamation and the structural REDO sweep take, and whether the tree is
+// Validate-clean afterwards.
+
+// FaultExp configures one crash/restart churn run.
+type FaultExp struct {
+	Name string
+
+	NumMS        int
+	NumCS        int
+	ThreadsPerCS int
+
+	Keys  uint64
+	Mix   workload.Mix
+	Dist  workload.Dist
+	Theta float64
+
+	Tree core.Config
+
+	// MeasureNS is the per-round virtual measurement window.
+	MeasureNS int64
+	// MaxOpsPerThread bounds a worker's measured ops (wall-time valve).
+	MaxOpsPerThread int
+
+	// Rounds is the number of faulted rounds after the fault-free baseline
+	// round. In faulted round r, compute server r % NumCS is killed one
+	// third into the window and restarted after recovery.
+	Rounds int
+
+	Params sim.Params
+}
+
+// Defaults fills unset fields (smaller than TreeExp's: each round is a full
+// window and the per-round recovery sweep reads the whole tree).
+func (e FaultExp) Defaults() FaultExp {
+	if e.NumMS == 0 {
+		e.NumMS = 4
+	}
+	if e.NumCS == 0 {
+		e.NumCS = 4
+	}
+	if e.ThreadsPerCS == 0 {
+		e.ThreadsPerCS = 4
+	}
+	if e.Keys == 0 {
+		e.Keys = 256 << 10
+	}
+	if e.Theta == 0 {
+		e.Theta = 0.99
+	}
+	if e.MeasureNS == 0 {
+		e.MeasureNS = 3_000_000
+	}
+	if e.MaxOpsPerThread == 0 {
+		e.MaxOpsPerThread = 1_000_000
+	}
+	if e.Rounds == 0 {
+		e.Rounds = 3
+	}
+	if e.Params.RTTNS == 0 {
+		e.Params = sim.DefaultParams()
+	}
+	return e
+}
+
+// FaultRound is one measurement window of the churn run.
+type FaultRound struct {
+	// Victim is the compute server killed mid-window (-1: fault-free
+	// baseline round).
+	Victim int
+	// Mops is whole-cluster throughput over the round; SurvivorMops counts
+	// only threads of surviving compute servers.
+	Mops, SurvivorMops float64
+	// LeaseExpiries and Reclaims are the lock manager's deltas over the
+	// round including recovery: locks orphaned by the crash, and orphaned
+	// locks survivors freed by expired-lease reclamation.
+	LeaseExpiries, Reclaims int64
+	// Repairs is the number of half-done splits the post-round recovery
+	// sweep completed; RecoveryNS is the sweep's virtual duration.
+	Repairs    int
+	RecoveryNS int64
+	// ValidateErr is the post-recovery structural check's result.
+	ValidateErr error
+}
+
+// FaultResult is the outcome of one churn run.
+type FaultResult struct {
+	Name   string
+	Rounds []FaultRound
+}
+
+// RunFaults executes the crash/restart churn experiment: a fault-free
+// baseline round, then Rounds rounds that each kill one compute server one
+// third into the window, run recovery from a survivor, validate the tree,
+// and restart the victim before the next round.
+func RunFaults(e FaultExp) FaultResult {
+	e = e.Defaults()
+	if err := e.Mix.Validate(); err != nil {
+		panic(err)
+	}
+	cl := cluster.New(cluster.Config{NumMS: e.NumMS, NumCS: e.NumCS, Params: e.Params})
+	tr := core.New(cl, e.Tree)
+
+	wcfg := workload.DefaultConfig(e.Mix, e.Dist, e.Keys)
+	wcfg.Theta = e.Theta
+	loaded := wcfg.LoadedKeys()
+	kvs := make([]layout.KV, loaded)
+	for i := range kvs {
+		k := uint64(i + 1)
+		kvs[i] = layout.KV{Key: k, Value: bulkValue(k)}
+	}
+	tr.Bulkload(kvs)
+
+	baseGen := workload.NewGenerator(wcfg, 0x5eed)
+	n := e.NumCS * e.ThreadsPerCS
+	gens := make([]*workload.Generator, n)
+	for i := range gens {
+		gens[i] = workload.NewGeneratorFrom(baseGen, uint64(i)+1)
+	}
+
+	res := FaultResult{Name: e.Name}
+	var startV int64
+	seed := n
+	// Round -2 warms the index caches and is discarded; round -1 is the
+	// fault-free baseline; rounds 0.. each kill one compute server.
+	for round := -2; round < e.Rounds; round++ {
+		victim := -1
+		if round >= 0 {
+			victim = round % e.NumCS
+		}
+		ls := tr.LockStats()
+		expiries0, reclaims0 := ls.LeaseExpiries.Load(), ls.Reclaims.Load()
+
+		if victim >= 0 {
+			cl.Faults().KillAtTime(victim, startV+e.MeasureNS/3)
+		}
+		recs, maxV := runFaultRound(e, cl, tr, gens, startV, seed)
+		seed += n
+		if round == -2 {
+			startV = maxV + 10_000
+			continue
+		}
+
+		// Throughput is completed operations over the fixed round window —
+		// the aggregation under which a mid-window crash shows as a dip: a
+		// dead server's silence lowers the cluster total even while the
+		// survivors' per-thread rates rise with the lightened contention.
+		r := FaultRound{Victim: victim}
+		for i, rec := range recs {
+			if rec == nil {
+				continue
+			}
+			m := stats.ThroughputMops(rec.TotalOps(), e.MeasureNS)
+			r.Mops += m
+			if i%e.NumCS != victim {
+				r.SurvivorMops += m
+			}
+		}
+
+		// Recovery runs from the first surviving compute server: complete
+		// any splits the dead clients left half-done. Orphaned locks are
+		// reclaimed on demand (mostly already during the round, by
+		// survivors landing on the victim's leaves).
+		recCS := 0
+		if victim == 0 {
+			recCS = 1 % e.NumCS
+		}
+		recH := tr.NewHandle(recCS, seed)
+		seed++
+		recH.C.Clk.Set(maxV)
+		r.Repairs, _ = recH.RecoverStructure()
+		r.RecoveryNS = recH.C.Now() - maxV
+		r.ValidateErr = tr.Validate()
+
+		ls = tr.LockStats()
+		r.LeaseExpiries = ls.LeaseExpiries.Load() - expiries0
+		r.Reclaims = ls.Reclaims.Load() - reclaims0
+		res.Rounds = append(res.Rounds, r)
+
+		if victim >= 0 {
+			cl.Restart(victim)
+		}
+		startV = recH.C.Now() + 10_000
+	}
+	return res
+}
+
+// runFaultRound runs one measurement window with fresh handles whose clocks
+// start at startV, returning the per-thread recorders (nil entries are
+// threads that never started) and the latest clock observed.
+func runFaultRound(e FaultExp, cl *cluster.Cluster, tr *core.Tree, gens []*workload.Generator, startV int64, seed int) ([]*stats.Recorder, int64) {
+	n := e.NumCS * e.ThreadsPerCS
+	recs := make([]*stats.Recorder, n)
+	ends := make([]int64, n)
+	gate := sim.NewGate(gateWindowNS, gateSlack, n)
+	deadline := startV + e.MeasureNS
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer gate.Done(i)
+			h := tr.NewHandle(i%e.NumCS, seed+i)
+			h.C.Clk.Set(startV + int64(i*9973%10_000))
+			h.Pace = func(v int64) { gate.Sync(i, v) }
+			rec := stats.NewRecorder()
+			rec.StartV = h.C.Now()
+			h.Rec = rec
+			recs[i] = rec
+			defer func() {
+				rec.FinishV = h.C.Now()
+				ends[i] = h.C.Now()
+				if r := recover(); r != nil {
+					if _, ok := sim.IsCrash(r); ok {
+						return // the injector killed this thread's CS
+					}
+					panic(r)
+				}
+			}()
+			g := gens[i]
+			for j := 0; h.C.Now() < deadline && j < e.MaxOpsPerThread; j++ {
+				doOp(h, g.Next())
+				gate.Sync(i, h.C.Now())
+			}
+		}(i)
+	}
+	wg.Wait()
+	var maxV int64
+	for _, v := range ends {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV < deadline {
+		maxV = deadline
+	}
+	return recs, maxV
+}
+
+func faultExp(s Scale, name string) FaultExp {
+	rounds := 3
+	if s.Keys >= FullScale().Keys { // full scale: more churn
+		rounds = 6
+	}
+	return FaultExp{
+		Name:         name,
+		Keys:         s.Keys,
+		ThreadsPerCS: s.ThreadsPerCS,
+		MeasureNS:    s.MeasureNS,
+		Mix:          workload.WriteIntensive,
+		Dist:         workload.Zipfian,
+		Tree:         core.ShermanConfig(),
+		Rounds:       rounds,
+	}
+}
+
+// FaultChurn runs the churn experiment and renders the per-round
+// trajectory, also returning the raw result so `-check` can assert on the
+// very rounds it rendered instead of re-running the churn. Round -1 is the
+// fault-free baseline; each later round kills one compute server a third
+// into its window. When c is non-nil, typed per-round metrics are recorded
+// for the JSON report.
+func FaultChurn(s Scale, c *Collector) (*Table, FaultResult) {
+	e := faultExp(s, "faults")
+	r := RunFaults(e)
+	t := NewTable(fmt.Sprintf("Faults: crash/restart churn (write-intensive, zipfian, %d CS x %d threads)", e.Defaults().NumCS, e.Defaults().ThreadsPerCS),
+		"round", "victim", "Mops", "survivor Mops", "lease exp", "reclaims", "repairs", "recovery(us)", "validate")
+	for i, round := range r.Rounds {
+		label, victim := fmt.Sprint(i-1), "-"
+		if round.Victim < 0 {
+			label = "base"
+		} else {
+			victim = fmt.Sprintf("cs%d", round.Victim)
+		}
+		valid := "ok"
+		if round.ValidateErr != nil {
+			valid = round.ValidateErr.Error()
+		}
+		t.Add(label, victim, MopsString(round.Mops), MopsString(round.SurvivorMops),
+			fmt.Sprint(round.LeaseExpiries), fmt.Sprint(round.Reclaims),
+			fmt.Sprint(round.Repairs), USString(round.RecoveryNS), valid)
+		c.Add(Metric{
+			Exp: "faults", Name: fmt.Sprintf("faults/round=%s", label),
+			Mops: round.Mops, Reclaims: round.Reclaims, RecoveryNS: round.RecoveryNS,
+		})
+	}
+	t.Note("victims are killed one third into the window and restarted after recovery")
+	t.Note("reclaims free orphaned locks after the lease expires; repairs complete half-done splits")
+	return t, r
+}
+
+// FaultGate is the CI check behind `shermanbench -exp faults -check`. It
+// asserts the deterministic heart of the failure model: a compute server
+// killed at the final verb of a put — the commit doorbell, with the leaf
+// lock held — leaves a lock a survivor must reclaim, after which the tree
+// validates and the acked data is intact; and every round of the churn the
+// same invocation already ran (churn; run a short one when nil) ended
+// Validate-clean and made progress.
+func FaultGate(s Scale, churn *FaultResult) error {
+	for _, cfg := range []core.Config{core.ShermanConfig(), core.FGPlusConfig()} {
+		if err := midWriteCrashCheck(cfg); err != nil {
+			return fmt.Errorf("fault gate (%s): %w", cfg.Name(), err)
+		}
+	}
+	if churn == nil {
+		e := faultExp(s, "faults")
+		e.Rounds = 2
+		r := RunFaults(e)
+		churn = &r
+	}
+	for i, round := range churn.Rounds {
+		if round.ValidateErr != nil {
+			return fmt.Errorf("fault gate: churn round %d left an invalid tree: %w", i-1, round.ValidateErr)
+		}
+		if round.Mops <= 0 {
+			return fmt.Errorf("fault gate: churn round %d made no progress", i-1)
+		}
+	}
+	return nil
+}
+
+// midWriteCrashCheck kills a single-threaded victim at the last fabric verb
+// of an in-place put — dropping the commit (and in Combine mode the
+// combined lock release) while the HOCL slot is held — then drives
+// recovery from a survivor and checks every invariant the fault model
+// promises.
+func midWriteCrashCheck(cfg core.Config) error {
+	build := func() (*cluster.Cluster, *core.Tree) {
+		cl := cluster.New(cluster.Config{NumMS: 2, NumCS: 2})
+		tr := core.New(cl, cfg)
+		kvs := make([]layout.KV, 64)
+		for i := range kvs {
+			kvs[i] = layout.KV{Key: uint64(i + 1), Value: bulkValue(uint64(i + 1))}
+		}
+		tr.Bulkload(kvs)
+		return cl, tr
+	}
+
+	// Dry run: count the verbs of the put on an identical cluster.
+	key, val := uint64(7), uint64(0xfa011)
+	cl, tr := build()
+	victim := tr.NewHandle(1, 1)
+	v0 := cl.Faults().Verbs(1)
+	victim.Insert(key, val)
+	putVerbs := cl.Faults().Verbs(1) - v0
+	if putVerbs < 2 {
+		return fmt.Errorf("implausible verb count %d for a put", putVerbs)
+	}
+
+	// Measured run: kill the victim at the put's final verb.
+	cl, tr = build()
+	victim = tr.NewHandle(1, 1)
+	cl.Faults().KillAtVerb(1, putVerbs)
+	crashed := func() (crashed bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := sim.IsCrash(r); ok {
+					crashed = true
+					return
+				}
+				panic(r)
+			}
+		}()
+		victim.Insert(key, val)
+		return false
+	}()
+	if !crashed {
+		return fmt.Errorf("victim survived its armed kill (verb %d)", putVerbs)
+	}
+
+	// A survivor writing the same leaf must find the orphaned lock and
+	// reclaim it after the lease expires.
+	surv := tr.NewHandle(0, 2)
+	surv.C.Clk.Set(victim.C.Now())
+	surv.Insert(key, val+1)
+	if got := tr.LockStats().Reclaims.Load(); got < 1 {
+		return fmt.Errorf("survivor write did not reclaim the orphaned lock (reclaims=%d)", got)
+	}
+	if _, complete := surv.RecoverStructure(); !complete {
+		return fmt.Errorf("recovery pass budget exhausted")
+	}
+	if err := tr.Validate(); err != nil {
+		return fmt.Errorf("post-recovery validate failed: %w", err)
+	}
+	if v, ok := surv.Lookup(key); !ok || v != val+1 {
+		return fmt.Errorf("acked write lost: got (%d,%v), want (%d,true)", v, ok, val+1)
+	}
+	if v, ok := surv.Lookup(1); !ok || v != bulkValue(1) {
+		return fmt.Errorf("bulkloaded key lost: got (%d,%v)", v, ok)
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// This file is the machine-readable side of the harness: experiments record
+// typed Metrics into a Collector alongside the human-readable tables, the
+// whole run serializes as one Report (the BENCH_*.json CI artifact that
+// seeds the repo's benchmark trajectory), and CheckRegression gates fresh
+// quick-scale numbers against a committed baseline.
+
+// ReportSchema versions the JSON layout; bump on breaking changes.
+const ReportSchema = 1
+
+// Metric is one typed benchmark data point. Name is the stable row key the
+// regression gate joins on — keep it deterministic across runs (config
+// names, depths, batch sizes; never timestamps or addresses).
+type Metric struct {
+	Exp  string `json:"exp"`
+	Name string `json:"name"`
+
+	// Gate marks the metric as stable enough for the regression gate.
+	// Excluded rows (fault-churn rounds, the dense hot-table batch cells
+	// whose convoy equilibria are bistable) still land in the report for
+	// trajectory tracking but never fail CI.
+	Gate bool `json:"gate,omitempty"`
+
+	Mops          float64 `json:"mops"`
+	KopsPerThread float64 `json:"kops_per_thread,omitempty"`
+	P50NS         int64   `json:"p50_ns,omitempty"`
+	P99NS         int64   `json:"p99_ns,omitempty"`
+	RTPerOp       float64 `json:"rt_per_op,omitempty"`
+	LockAcqPerOp  float64 `json:"lock_acq_per_op,omitempty"`
+	Hiding        float64 `json:"hiding,omitempty"`
+	Reclaims      int64   `json:"reclaims,omitempty"`
+	RecoveryNS    int64   `json:"recovery_ns,omitempty"`
+}
+
+// Collector accumulates the typed metrics of one harness invocation. A nil
+// Collector discards everything, so table builders record unconditionally.
+type Collector struct {
+	Metrics []Metric
+}
+
+// Add records one metric; no-op on a nil collector.
+func (c *Collector) Add(m Metric) {
+	if c != nil {
+		c.Metrics = append(c.Metrics, m)
+	}
+}
+
+// TableJSON is the structured form of one rendered table.
+type TableJSON struct {
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
+}
+
+// ToJSON converts the table to its structured form.
+func (t *Table) ToJSON() TableJSON {
+	return TableJSON{Title: t.Title, Header: t.Header, Rows: t.Rows, Notes: t.Notes}
+}
+
+// Report is one full harness run in machine-readable form.
+type Report struct {
+	Schema       int    `json:"schema"`
+	Exp          string `json:"exp"`
+	Quick        bool   `json:"quick"`
+	Keys         uint64 `json:"keys"`
+	ThreadsPerCS int    `json:"threads_per_cs"`
+	WindowMS     int64  `json:"window_ms"`
+
+	Metrics []Metric    `json:"metrics"`
+	Tables  []TableJSON `json:"tables,omitempty"`
+}
+
+// NewReport seeds a report with the run's scale parameters.
+func NewReport(exp string, quick bool, s Scale) *Report {
+	return &Report{
+		Schema:       ReportSchema,
+		Exp:          exp,
+		Quick:        quick,
+		Keys:         s.Keys,
+		ThreadsPerCS: s.ThreadsPerCS,
+		WindowMS:     s.MeasureNS / 1_000_000,
+	}
+}
+
+// Write serializes the report to path, indented for diffability.
+func (r *Report) Write(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// LoadReport reads a report (e.g. the committed regression baseline).
+func LoadReport(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// CheckRegression compares a fresh run against a committed baseline:
+// every gate-marked baseline row that also appears in the fresh run must be
+// within the tolerance band — fresh Mops no worse than (1-tol) of baseline.
+// The runs must be at the same scale (metric names carry no scale
+// component, so cross-scale joins would compare incommensurable numbers).
+// Baseline rows absent from the fresh run are skipped (the invocation may
+// run fewer experiments), but matching nothing at all is an error so a
+// renamed row cannot silently disable the gate.
+func CheckRegression(base, fresh *Report, tol float64) error {
+	if base.Keys != fresh.Keys || base.ThreadsPerCS != fresh.ThreadsPerCS || base.WindowMS != fresh.WindowMS {
+		return fmt.Errorf("bench: regression gate scale mismatch: baseline keys=%d threads=%d window=%dms, run keys=%d threads=%d window=%dms — rerun with the baseline's scale flags or refresh the baseline",
+			base.Keys, base.ThreadsPerCS, base.WindowMS, fresh.Keys, fresh.ThreadsPerCS, fresh.WindowMS)
+	}
+	freshByName := make(map[string]Metric, len(fresh.Metrics))
+	for _, m := range fresh.Metrics {
+		freshByName[m.Name] = m
+	}
+	matched := 0
+	var failures []string
+	for _, b := range base.Metrics {
+		if !b.Gate || b.Mops <= 0 {
+			continue
+		}
+		f, ok := freshByName[b.Name]
+		if !ok {
+			continue
+		}
+		matched++
+		if f.Mops < b.Mops*(1-tol) {
+			failures = append(failures, fmt.Sprintf("%s: %.3f Mops vs baseline %.3f (-%.1f%%)",
+				b.Name, f.Mops, b.Mops, (1-f.Mops/b.Mops)*100))
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("bench: regression gate matched no baseline rows (baseline stale or run misconfigured)")
+	}
+	if len(failures) > 0 {
+		msg := fmt.Sprintf("bench: %d of %d gated metrics regressed more than %.0f%%:", len(failures), matched, tol*100)
+		for _, f := range failures {
+			msg += "\n  " + f
+		}
+		return fmt.Errorf("%s", msg)
+	}
+	return nil
+}

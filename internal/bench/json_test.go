@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func gateReport(mops float64) *Report {
+	return &Report{
+		Schema: ReportSchema, Keys: 1000, ThreadsPerCS: 4, WindowMS: 3,
+		Metrics: []Metric{
+			{Exp: "batch", Name: "batch/x", Gate: true, Mops: mops},
+			{Exp: "faults", Name: "faults/round=0", Mops: 1}, // ungated
+		},
+	}
+}
+
+func TestCheckRegression(t *testing.T) {
+	base := gateReport(10)
+	if err := CheckRegression(base, gateReport(9), 0.15); err != nil {
+		t.Fatalf("within-band run failed the gate: %v", err)
+	}
+	err := CheckRegression(base, gateReport(8), 0.15)
+	if err == nil || !strings.Contains(err.Error(), "batch/x") {
+		t.Fatalf("20%% regression not caught: %v", err)
+	}
+	// Ungated rows never fail the gate even when they collapse.
+	fresh := gateReport(10)
+	fresh.Metrics[1].Mops = 0.01
+	if err := CheckRegression(base, fresh, 0.15); err != nil {
+		t.Fatalf("ungated row failed the gate: %v", err)
+	}
+	// Scale mismatch is an error, not a silent cross-scale comparison.
+	off := gateReport(10)
+	off.WindowMS = 10
+	if err := CheckRegression(base, off, 0.15); err == nil || !strings.Contains(err.Error(), "scale mismatch") {
+		t.Fatalf("scale mismatch not caught: %v", err)
+	}
+	// A fresh run matching no gated baseline rows is an error.
+	none := gateReport(10)
+	none.Metrics[0].Name = "batch/renamed"
+	if err := CheckRegression(base, none, 0.15); err == nil || !strings.Contains(err.Error(), "matched no baseline") {
+		t.Fatalf("empty join not caught: %v", err)
+	}
+}

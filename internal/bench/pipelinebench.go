@@ -31,8 +31,10 @@ func pipelineExp(s Scale, name string, mix workload.Mix, depth int) TreeExp {
 // sweep that quantifies latency hiding. Not a paper figure — the paper's
 // clients hide latency with coroutines (§5.1.1, 2 coroutines/thread); this
 // table measures what the async Op/Result client surface buys per thread.
-func PipelineTables(s Scale) []*Table {
-	return []*Table{PipelineSweep(s)}
+// When c is non-nil, typed metrics are recorded for the JSON report and
+// regression gate.
+func PipelineTables(s Scale, c *Collector) []*Table {
+	return []*Table{PipelineSweep(s, c)}
 }
 
 // PipelineSweep measures per-thread throughput against pipeline depth for
@@ -40,7 +42,7 @@ func PipelineTables(s Scale) []*Table {
 // relative to depth 1; hiding is the measured latency-hiding ratio (summed
 // op latencies over the union of their execution intervals); depth-bar is
 // the mean outstanding depth the executor actually sustained.
-func PipelineSweep(s Scale) *Table {
+func PipelineSweep(s Scale, c *Collector) *Table {
 	t := NewTable("Pipeline: per-thread throughput vs depth (uniform, Sherman)",
 		"mix", "depth", "Mops", "Kops/thread", "speedup", "hiding", "depth-bar", "p50(us)", "p99(us)")
 	for _, m := range []struct {
@@ -71,6 +73,13 @@ func PipelineSweep(s Scale) *Table {
 			t.Add(m.name, fmt.Sprint(d), MopsString(r.Mops),
 				fmt.Sprintf("%.1f", perThread*1000), speedup, hiding, depthBar,
 				USString(r.P50), USString(r.P99))
+			c.Add(Metric{
+				Exp:  "pipeline",
+				Name: fmt.Sprintf("pipeline/%s/depth=%d", m.name, d),
+				Gate: true,
+				Mops: r.Mops, KopsPerThread: perThread * 1000,
+				P50NS: r.P50, P99NS: r.P99, Hiding: r.Rec.HidingRatio(),
+			})
 		}
 	}
 	t.Note("depth=1 is the synchronous client; speedup is per-thread throughput vs depth 1")
@@ -79,23 +88,29 @@ func PipelineSweep(s Scale) *Table {
 	return t
 }
 
-// PipelineGate is the CI smoke check behind `shermanbench -exp pipeline
-// -check`: depth-4 per-thread throughput must beat depth-1 for both put-
-// and get-only uniform workloads, and the measured hiding ratio at depth 4
-// must exceed 1.5x. One run per cell keeps it fast.
-func PipelineGate(s Scale) error {
-	for _, m := range []struct {
-		name string
-		mix  workload.Mix
-	}{{"put-only", workload.WriteOnly}, {"get-only", workload.ReadOnly}} {
-		d1 := RunTree(pipelineExp(s, m.name, m.mix, 1))
-		d4 := RunTree(pipelineExp(s, m.name, m.mix, 4))
+// PipelineGate is the CI check behind `shermanbench -exp pipeline -check`:
+// depth-4 throughput must beat depth-1 for both put- and get-only uniform
+// workloads, and the measured hiding ratio at depth 4 must exceed 1.5x. It
+// evaluates the metrics the sweep already collected (same thread count at
+// every depth, so total Mops compares per-thread throughput) rather than
+// re-running the experiments.
+func PipelineGate(ms []Metric) error {
+	byName := make(map[string]Metric, len(ms))
+	for _, m := range ms {
+		byName[m.Name] = m
+	}
+	for _, mix := range []string{"put-only", "get-only"} {
+		d1, ok1 := byName[fmt.Sprintf("pipeline/%s/depth=1", mix)]
+		d4, ok4 := byName[fmt.Sprintf("pipeline/%s/depth=4", mix)]
+		if !ok1 || !ok4 {
+			return fmt.Errorf("pipeline gate: %s depth-1/4 metrics missing from the run", mix)
+		}
 		if d4.Mops <= d1.Mops {
 			return fmt.Errorf("pipeline gate: %s depth-4 throughput %.3f Mops not above depth-1 %.3f Mops",
-				m.name, d4.Mops, d1.Mops)
+				mix, d4.Mops, d1.Mops)
 		}
-		if hr := d4.Rec.HidingRatio(); hr <= 1.5 {
-			return fmt.Errorf("pipeline gate: %s depth-4 hiding ratio %.2f not above 1.5", m.name, hr)
+		if d4.Hiding <= 1.5 {
+			return fmt.Errorf("pipeline gate: %s depth-4 hiding ratio %.2f not above 1.5", mix, d4.Hiding)
 		}
 	}
 	return nil

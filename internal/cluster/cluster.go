@@ -70,6 +70,27 @@ func (c *Cluster) NewClient(cs int) *rdma.Client {
 	return c.F.NewClient(cs)
 }
 
+// Kill fails compute server cs: every client thread bound to it aborts with
+// sim.Crash at its next fabric verb, its held locks become reclaimable after
+// the lease expires, and its queued lock waiters are woken and aborted. nowV
+// seeds the lease anchor; pass the caller's best bound on the victim's
+// clocks (the injector keeps the max of it and every verb it has seen).
+func (c *Cluster) Kill(cs int, nowV int64) {
+	c.F.Faults.Kill(cs, nowV)
+}
+
+// Restart revives compute server cs under a new incarnation. Clients (and
+// sessions) created before the crash stay dead; create fresh ones.
+func (c *Cluster) Restart(cs int) {
+	c.F.Faults.Restart(cs)
+	c.numThreads[cs].Store(0)
+}
+
+// Faults exposes the fabric's deterministic fault injector for tests and
+// the fault benchmark (verb-indexed and time-indexed kills, degradation,
+// partitions).
+func (c *Cluster) Faults() *sim.Faults { return c.F.Faults }
+
 // NewThreadAllocator pairs a client thread with its stage-two allocator.
 func (c *Cluster) NewThreadAllocator(cl *rdma.Client, seed int) *alloc.ThreadAllocator {
 	return alloc.NewThreadAllocator(cl, &c.AllocStats, seed)

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"sherman/internal/cluster"
+	"sherman/internal/hocl"
+	"sherman/internal/layout"
+	"sherman/internal/sim"
+)
+
+// faultConfigs is the TwoLevel/Checksum x Combine grid, covering both lock
+// word formats (16-bit on-chip under Sherman locks, 64-bit host under the
+// baseline) and both write-back shapes (combined doorbell vs separate
+// signaled writes).
+func faultConfigs() []Config {
+	grid := []struct {
+		mode    layout.Mode
+		combine bool
+		locks   hocl.Mode
+	}{
+		{layout.TwoLevel, true, hocl.Sherman()},
+		{layout.TwoLevel, false, hocl.Sherman()},
+		{layout.Checksum, true, hocl.Baseline()},
+		{layout.Checksum, false, hocl.Baseline()},
+	}
+	var out []Config
+	for _, g := range grid {
+		out = append(out, Config{
+			Format:     smallFormat(g.mode),
+			Combine:    g.combine,
+			Locks:      g.locks,
+			LocksPerMS: 1024, // keep per-cluster lock state small: many clusters below
+		})
+	}
+	return out
+}
+
+func faultCfgName(cfg Config) string {
+	return fmt.Sprintf("%v/combine=%v/onchip=%v", cfg.Format.Mode, cfg.Combine, cfg.Locks.OnChip)
+}
+
+// faultScenario is one scripted operation whose every fabric verb gets a
+// crash injected in turn.
+type faultScenario struct {
+	name string
+	// keys bulkloaded (BulkFill 1.0: every leaf exactly full); nil means
+	// one exactly-full leaf (computed from the format's LeafCap), which
+	// makes the split op grow a new root.
+	load []uint64
+	// prefix ops acknowledged before the crash op (must survive).
+	prefix func(h *Handle)
+	// op is the operation under crash injection; retried by the survivor.
+	op func(h *Handle)
+	// key/old/new describe the op's effect for the invisible-or-applied
+	// check. deleted marks ops whose "new" state is absence.
+	key      uint64
+	old, new uint64
+	deleted  bool
+	present  bool // key exists before the op
+}
+
+// The prefix key is odd so it never collides with the (even) bulkloaded
+// keys; inserting it is itself an acked pre-crash write.
+const faultPrefixKey, faultPrefixVal = 31, 0xacced
+
+func faultScenarios() []faultScenario {
+	evens := func(n int) []uint64 {
+		out := make([]uint64, n)
+		for i := range out {
+			out[i] = uint64(2 * (i + 1))
+		}
+		return out
+	}
+	many := evens(120) // ~10 full leaves with 256 B nodes
+	prefix := func(h *Handle) { h.Insert(faultPrefixKey, faultPrefixVal) }
+	return []faultScenario{
+		{
+			name: "update-inplace", load: many, prefix: prefix,
+			op:  func(h *Handle) { h.Insert(120, 0xbeef) },
+			key: 120, old: faultVal(120), new: 0xbeef, present: true,
+		},
+		{
+			name: "delete-inplace", load: many, prefix: prefix,
+			op:  func(h *Handle) { h.Delete(120) },
+			key: 120, old: faultVal(120), deleted: true, present: true,
+		},
+		{
+			name: "insert-split", load: many, prefix: prefix,
+			op:  func(h *Handle) { h.Insert(121, 0xcafe) },
+			key: 121, new: 0xcafe,
+		},
+		{
+			// A full single-leaf tree (load nil: sized to LeafCap): the
+			// split grows a new root, covering the CASRoot path too.
+			name: "root-split",
+			op:   func(h *Handle) { h.Insert(13, 0xd00d) },
+			key:  13, new: 0xd00d,
+		},
+	}
+}
+
+func faultVal(k uint64) uint64 { return k*7 + 1 }
+
+// buildFaultTree builds a deterministic cluster+tree for one scenario run,
+// returning the bulkloaded keys.
+func buildFaultTree(cfg Config, sc faultScenario) (*cluster.Cluster, *Tree, []uint64) {
+	cl := cluster.New(cluster.Config{NumMS: 2, NumCS: 2})
+	c := cfg
+	c.BulkFill = 1.0
+	tr := New(cl, c)
+	load := sc.load
+	if load == nil {
+		load = make([]uint64, c.Format.LeafCap)
+		for i := range load {
+			load[i] = uint64(2 * (i + 1))
+		}
+	}
+	kvs := make([]layout.KV, len(load))
+	for i, k := range load {
+		kvs[i] = layout.KV{Key: k, Value: faultVal(k)}
+	}
+	tr.Bulkload(kvs)
+	return cl, tr, load
+}
+
+// runCrashing runs fn and reports whether it aborted with a compute-server
+// crash.
+func runCrashing(fn func()) (crashed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := sim.IsCrash(r); ok {
+				crashed = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	fn()
+	return false
+}
+
+// TestCrashAtEveryVerb is the fault-model property test: for every scripted
+// operation, every configuration of the consistency x combine grid, and
+// every fabric-verb index of the operation, a compute-server crash injected
+// at that verb must leave the tree recoverable — the survivor's retry is
+// idempotent (reclaiming the dead session's lock if held), the structural
+// sweep completes any half-done split, Validate passes, and every
+// acknowledged write (bulkload + prefix) is durable. The in-flight
+// operation itself must be invisible or fully applied, never torn.
+func TestCrashAtEveryVerb(t *testing.T) {
+	for _, cfg := range faultConfigs() {
+		for _, sc := range faultScenarios() {
+			t.Run(faultCfgName(cfg)+"/"+sc.name, func(t *testing.T) {
+				// Dry run: count the operation's fabric verbs.
+				cl, tr, load := buildFaultTree(cfg, sc)
+				victim := tr.NewHandle(1, 1)
+				if sc.prefix != nil {
+					sc.prefix(victim)
+				}
+				v0 := cl.Faults().Verbs(1)
+				sc.op(victim)
+				verbs := int(cl.Faults().Verbs(1) - v0)
+				if verbs < 2 {
+					t.Fatalf("implausible verb count %d", verbs)
+				}
+				if err := tr.Validate(); err != nil {
+					t.Fatalf("dry run left invalid tree: %v", err)
+				}
+
+				for i := 1; i <= verbs; i++ {
+					cl, tr, load = buildFaultTree(cfg, sc)
+					victim = tr.NewHandle(1, 1)
+					if sc.prefix != nil {
+						sc.prefix(victim)
+					}
+					cl.Faults().KillAtVerb(1, int64(i))
+					if !runCrashing(func() { sc.op(victim) }) {
+						t.Fatalf("verb %d/%d: victim survived its armed kill", i, verbs)
+					}
+
+					surv := tr.NewHandle(0, 2)
+					surv.C.Clk.Set(victim.C.Now())
+
+					// Invisible or fully applied, never torn.
+					got, ok := surv.Lookup(sc.key)
+					switch {
+					case sc.deleted:
+						if ok && got != sc.old {
+							t.Fatalf("verb %d: delete left torn value %#x", i, got)
+						}
+					case sc.present:
+						if !ok || (got != sc.old && got != sc.new) {
+							t.Fatalf("verb %d: update left (%#x,%v), want old %#x or new %#x", i, got, ok, sc.old, sc.new)
+						}
+					default:
+						if ok && got != sc.new {
+							t.Fatalf("verb %d: insert left torn value %#x", i, got)
+						}
+					}
+
+					// The survivor's retry is idempotent and reclaims the
+					// dead session's lock when the crash left it held.
+					sc.op(surv)
+					if _, complete := surv.RecoverStructure(); !complete {
+						t.Fatalf("verb %d: recovery pass budget exhausted", i)
+					}
+
+					if err := tr.Validate(); err != nil {
+						t.Fatalf("verb %d/%d: post-recovery validate: %v", i, verbs, err)
+					}
+					// Acked writes are durable; the retried op is applied.
+					for _, k := range load {
+						want, wantOK := faultVal(k), true
+						if k == sc.key {
+							want, wantOK = sc.new, !sc.deleted
+						}
+						got, ok := surv.Lookup(k)
+						if ok != wantOK || (ok && got != want) {
+							t.Fatalf("verb %d: key %d = (%#x,%v), want (%#x,%v)", i, k, got, ok, want, wantOK)
+						}
+					}
+					if sc.prefix != nil {
+						if got, ok := surv.Lookup(faultPrefixKey); !ok || got != faultPrefixVal {
+							t.Fatalf("verb %d: acked prefix write lost: (%#x,%v)", i, got, ok)
+						}
+					}
+					if !sc.deleted && !sc.present {
+						if got, ok := surv.Lookup(sc.key); !ok || got != sc.new {
+							t.Fatalf("verb %d: retried insert missing: (%#x,%v)", i, got, ok)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestReclaimCountsAndLeaseExpiry pins the lock-layer accounting: a victim
+// killed at its commit verb leaves exactly one orphaned lock, and the
+// survivor's conflicting write reclaims it (observable in the manager's
+// counters and the survivor's recorder).
+func TestReclaimCountsAndLeaseExpiry(t *testing.T) {
+	for _, cfg := range faultConfigs() {
+		sc := faultScenarios()[0] // update-inplace
+		cl, tr, _ := buildFaultTree(cfg, sc)
+		victim := tr.NewHandle(1, 1)
+		v0 := cl.Faults().Verbs(1)
+		victim.Insert(sc.key, 1)
+		verbs := int(cl.Faults().Verbs(1) - v0)
+
+		cl, tr, _ = buildFaultTree(cfg, sc)
+		victim = tr.NewHandle(1, 1)
+		cl.Faults().KillAtVerb(1, int64(verbs)) // the commit verb: lock held
+		if !runCrashing(func() { victim.Insert(sc.key, 1) }) {
+			t.Fatalf("%s: victim survived", faultCfgName(cfg))
+		}
+		if got := tr.LockStats().LeaseExpiries.Load(); got != 1 {
+			t.Fatalf("%s: lease expiries = %d, want 1", faultCfgName(cfg), got)
+		}
+		surv := tr.NewHandle(0, 2)
+		surv.C.Clk.Set(victim.C.Now())
+		surv.Insert(sc.key, 2)
+		if got := tr.LockStats().Reclaims.Load(); got != 1 {
+			t.Fatalf("%s: reclaims = %d, want 1", faultCfgName(cfg), got)
+		}
+		if surv.Rec.Reclaims != 1 {
+			t.Fatalf("%s: recorder reclaims = %d, want 1", faultCfgName(cfg), surv.Rec.Reclaims)
+		}
+		if v, ok := surv.Lookup(sc.key); !ok || v != 2 {
+			t.Fatalf("%s: post-reclaim value (%d,%v), want (2,true)", faultCfgName(cfg), v, ok)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%s: validate: %v", faultCfgName(cfg), err)
+		}
+	}
+}

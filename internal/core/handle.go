@@ -82,11 +82,22 @@ func (h *Handle) readNode(a rdma.Addr, buf []byte) (layout.Node, int) {
 	}
 }
 
-// refreshRoot re-reads the superblock and updates the CS's top cache.
+// refreshRoot re-reads the superblock and updates the CS's top cache. The
+// superblock's level field is only a hint — the pointer CAS and the hint
+// write are separate verbs, and a client can crash between them — so the
+// authoritative level comes from the fetched root node itself (readers
+// validate node levels everywhere else for the same reason).
 func (h *Handle) refreshRoot() (rdma.Addr, uint8) {
-	root, level := cluster.ReadRoot(h.C)
-	h.top.SetRoot(root, level)
-	return root, level
+	for {
+		root, _ := cluster.ReadRoot(h.C)
+		n, _ := h.readNode(root, h.nodeBuf)
+		if n.Alive() {
+			level := n.Level()
+			h.top.SetRoot(root, level)
+			return root, level
+		}
+		// The pointed-to node was freed under us (root moved); re-read.
+	}
 }
 
 // readInternal fetches an internal node, consulting the always-cached top

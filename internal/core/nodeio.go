@@ -72,6 +72,12 @@ func (h *Handle) seek(key uint64, level uint8, in intent, addr rdma.Addr, ce *ca
 			if g.HandedOver() {
 				h.Rec.Handovers++
 			}
+			if g.Reclaimed() {
+				// The previous holder crashed mid-operation; the validating
+				// read below re-establishes the node's consistency (the
+				// two-level version pair or checksum) before any write.
+				h.Rec.Reclaims++
+			}
 		}
 		n, r := h.readNode(addr, buf)
 		if retries != nil {

@@ -195,7 +195,13 @@ func (t *Tree) Validate() error {
 func (t *Tree) rawRoot() (rdma.Addr, uint8) {
 	var buf [16]byte
 	t.cl.F.Servers[0].ReadAt(0, buf[:])
-	return rdma.Addr(le64(buf[0:])), uint8(le64(buf[8:]))
+	root := rdma.Addr(le64(buf[0:]))
+	// The superblock's level field is only a hint (the pointer CAS and the
+	// hint write are separate verbs; a client can crash between them): the
+	// node's own level field is authoritative.
+	nb := make([]byte, t.cfg.Format.NodeSize)
+	readRaw(t.cl, root, nb)
+	return root, layout.ViewNode(t.cfg.Format, nb).Level()
 }
 
 func le64(b []byte) uint64 {

@@ -10,11 +10,13 @@
 package hocl
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"sherman/internal/rdma"
+	"sherman/internal/sim"
 )
 
 // DefaultLocksPerMS is the default GLT size. The paper packs 131,072
@@ -84,6 +86,18 @@ type Stats struct {
 	// average convoy depth a winner's CAS must traverse).
 	Grants           atomic.Int64
 	GrantSpinnersSum atomic.Int64
+
+	// LeaseExpiries counts lock slots orphaned by a compute-server crash
+	// (holder died while holding the global lock); Reclaims counts the
+	// expired-lease reclamations survivors performed — each frees one
+	// orphaned slot by CASing the dead holder's stamp out of the lock word
+	// after its lease ran out.
+	LeaseExpiries atomic.Int64
+	Reclaims      atomic.Int64
+
+	// DeadWaiterKills counts queued waiters woken only to find their own
+	// compute server dead (they abort without acquiring).
+	DeadWaiterKills atomic.Int64
 }
 
 func (s *Stats) noteWaiters(n int) {
@@ -119,7 +133,8 @@ type Manager struct {
 	// when !mode.OnChip. On-chip GLTs start at on-chip offset 0.
 	gltHostBase []uint64
 
-	llts []*localTable // indexed by CS id; nil when !mode.Local
+	lltMu sync.Mutex
+	llts  []*localTable // indexed by CS id; nil when !mode.Local
 
 	// slots[ms*locksPerMS+idx] serializes each global lock in virtual time.
 	// Worker goroutines execute at unrelated real-time rates, so a raw
@@ -140,10 +155,13 @@ type Manager struct {
 
 // gslot is the simulation state of one global lock.
 type gslot struct {
-	mu      sync.Mutex
-	held    bool
-	relV    int64      // virtual time of the most recent release
-	waiters []*gwaiter // threads blocked on the held lock
+	mu       sync.Mutex
+	held     bool
+	holderCS int        // CS currently holding the lock (valid when held)
+	deadCS   int        // holder's CS id + 1 when the holder crashed; 0 = live
+	deadV    int64      // lease anchor of the dead holder (valid when deadCS != 0)
+	relV     int64      // virtual time of the most recent release
+	waiters  []*gwaiter // threads blocked on the held lock
 
 	// Arrival history for convoy-depth estimation. Client goroutines run at
 	// unrelated real-time speeds, so at any real instant the queue holds
@@ -194,6 +212,7 @@ func (s *gslot) convoyDepth(rel int64, maxClients int) int {
 // gwaiter is one thread waiting for a global lock.
 type gwaiter struct {
 	clock int64      // the waiter's virtual clock at arrival
+	cs    int        // the waiter's compute server
 	ch    chan grant // receives the releaser's virtual release time
 }
 
@@ -206,6 +225,16 @@ type grant struct {
 	// the winner's CAS must traverse before it can observe the released
 	// lock (§3.2.2) — the mechanism behind Figure 2's collapse.
 	spinners int
+
+	// killed wakes a waiter whose own compute server died: it aborts
+	// without acquiring. reclaim wakes a surviving waiter whose lock holder
+	// died: ownership of the slot transfers, and the waiter performs the
+	// lease-expiry reclamation against the dead holder's stamp (deadCS,
+	// lease anchored at deadV).
+	killed  bool
+	reclaim bool
+	deadCS  int
+	deadV   int64
 }
 
 // NewManager builds the lock tables over fabric f. Host-memory GLTs reserve
@@ -243,6 +272,11 @@ func NewManager(f *rdma.Fabric, cfg Config) *Manager {
 		}
 	}
 	m.slots = make([]gslot, len(f.Servers)*n)
+	// Failure wiring: a compute-server crash orphans every global lock it
+	// holds (marked for lease-expiry reclamation) and strands its queued
+	// waiters (woken and aborted); a restart resets the CS's local tables.
+	f.Faults.OnDeath(m.noteDeath)
+	f.Faults.OnRestart(m.resetCS)
 	return m
 }
 
@@ -278,10 +312,18 @@ type Guard struct {
 	gaddr     rdma.Addr
 	ll        *localLock
 	handedOff bool // acquired via handover: global lock still held by this CS
+	reclaimed bool // acquired by stealing a dead holder's expired lease
 }
 
 // HandedOver reports whether this acquisition skipped the remote CAS.
 func (g Guard) HandedOver() bool { return g.handedOff }
+
+// Reclaimed reports whether this acquisition stole the lock from a crashed
+// holder after its lease expired. The caller must treat the protected
+// object as suspect — the dead holder may have died between its write-backs
+// — and re-validate it (the index layer's post-lock consistency-checked
+// read does exactly that).
+func (g Guard) Reclaimed() bool { return g.reclaimed }
 
 // SameSlot reports whether the lock protecting the object at a is the very
 // GLT slot g holds — the slot hashing of §4.3 maps every object of one
@@ -308,7 +350,7 @@ func (m *Manager) LockIdx(c *rdma.Client, ms uint16, idx int) Guard {
 	slot := int(ms)*m.locksPerMS + idx
 	g := Guard{m: m, ms: ms, idx: idx, slot: slot, gaddr: m.gltAddr(ms, idx)}
 	if m.mode.Local {
-		ll := m.llts[c.CS.ID].lock(slot)
+		ll := m.llt(c).lock(slot)
 		g.ll = ll
 		g.handedOff = ll.acquire(c, m.mode.WaitQueue, &m.Stats)
 		if g.handedOff {
@@ -317,37 +359,92 @@ func (m *Manager) LockIdx(c *rdma.Client, ms uint16, idx int) Guard {
 			return g
 		}
 	}
-	m.acquireGlobal(c, g.gaddr, slot)
+	g.reclaimed = m.acquireGlobal(c, g.gaddr, slot)
 	m.Stats.Acquisitions.Add(1)
 	return g
+}
+
+// llt returns the client's CS-local lock table under the table swap lock
+// (restart replaces a dead CS's table wholesale).
+func (m *Manager) llt(c *rdma.Client) *localTable {
+	m.lltMu.Lock()
+	defer m.lltMu.Unlock()
+	return m.llts[c.CS.ID]
 }
 
 // acquireGlobal acquires the GLT slot: it claims the slot's simulation state
 // (queueing behind the current holder when necessary), pays the spin retries
 // real hardware would have issued while the lock was held, and then flips
 // the physical lock word from 0 to this CS's identifier (+1 so an id of zero
-// is distinguishable from "unlocked") with one RDMA_CAS.
-func (m *Manager) acquireGlobal(c *rdma.Client, gaddr rdma.Addr, slot int) {
+// is distinguishable from "unlocked") with one RDMA_CAS. When the current
+// holder crashed, the caller instead becomes the slot's reclaimer and steals
+// the lock after the dead holder's lease expires; the return value reports
+// that case.
+func (m *Manager) acquireGlobal(c *rdma.Client, gaddr rdma.Addr, slot int) (reclaimed bool) {
 	s := &m.slots[slot]
 	svc := c.AtomicSvcNS(gaddr)
 	var spinners int
 	var rel int64
 	s.mu.Lock()
+	// The dead-CS sweep (noteDeath) and this queueing decision serialize on
+	// s.mu, and the injector marks a CS dead before the sweep runs — so a
+	// thread of a dying CS either queues early enough for the sweep to
+	// abort it, or observes its own death here and aborts itself. Either
+	// way no doomed waiter is ever stranded in the queue.
+	if !c.Alive() {
+		s.mu.Unlock()
+		panic(sim.Crash{CS: int(c.CS.ID)})
+	}
 	if s.held {
+		if s.deadCS != 0 {
+			// Orphaned slot with no reclaimer yet: take over directly.
+			deadV := s.deadV
+			s.deadCS, s.deadV = 0, 0
+			s.holderCS = int(c.CS.ID)
+			s.mu.Unlock()
+			m.reclaim(c, gaddr, deadV)
+			return true
+		}
 		// Queue on the slot; the releaser grants to the virtually-earliest
 		// waiter and passes its release timestamp along.
-		w := &gwaiter{clock: c.Now(), ch: make(chan grant, 1)}
+		w := &gwaiter{clock: c.Now(), cs: int(c.CS.ID), ch: make(chan grant, 1)}
 		s.waiters = append(s.waiters, w)
 		s.noteArrival(w.clock)
 		m.Stats.noteWaiters(len(s.waiters))
 		s.mu.Unlock()
 		g := <-w.ch
+		if g.killed {
+			m.Stats.DeadWaiterKills.Add(1)
+			panic(sim.Crash{CS: int(c.CS.ID)})
+		}
+		if !c.Alive() {
+			// Granted ownership in the race window between the releaser's
+			// handoff and this CS's death sweep (the sweep can no longer see
+			// us — we left the queue). Re-orphan the slot so a survivor
+			// reclaims it, instead of leaking it held forever. The lease
+			// anchor keeps the latest of our clock, the releaser's, and —
+			// for an inherited orphan — the original holder's death.
+			deathV := g.rel
+			if g.deadV > deathV {
+				deathV = g.deadV
+			}
+			if now := c.Now(); now > deathV {
+				deathV = now
+			}
+			m.orphanSlot(slot, int(c.CS.ID), deathV)
+			panic(sim.Crash{CS: int(c.CS.ID)})
+		}
+		if g.reclaim {
+			m.reclaim(c, gaddr, g.deadV)
+			return true
+		}
 		rel, spinners = g.rel, g.spinners
 		m.Stats.Grants.Add(1)
 		m.Stats.GrantSpinnersSum.Add(int64(g.spinners))
 	} else {
 		rel = s.relV
 		s.held = true
+		s.holderCS = int(c.CS.ID)
 		s.mu.Unlock()
 		// The lock is free in real time, but the previous virtual hold
 		// window may extend past our clock; spin through the remainder.
@@ -369,27 +466,198 @@ func (m *Manager) acquireGlobal(c *rdma.Client, gaddr rdma.Addr, slot int) {
 	if !ok {
 		panic("hocl: winning CAS failed despite slot serialization")
 	}
+	return false
+}
+
+// reclaim frees an orphaned GLT slot whose holder crashed: the reclaimer —
+// already owner of the slot's simulation state by promotion or takeover —
+// spins out the remainder of the dead holder's lease, re-reads the lock
+// word, and CASes whatever stamp it finds to its own. The observed stamp is
+// not necessarily the last marked holder's: a chain of reclaimers can each
+// die before their stealing CAS lands, so the word may carry the stamp of
+// any crashed client in the chain — or 0, when a holder died between
+// claiming the slot and stamping it. Cluster membership is local knowledge
+// (pushed by the management plane), so the re-read plus the slot's
+// exclusive simulation ownership guarantee the observed stamp belongs to a
+// dead client. Reclamation counts as an acquisition; the caller holds the
+// lock when it returns.
+func (m *Manager) reclaim(c *rdma.Client, gaddr rdma.Addr, deadV int64) {
+	p := c.F.P
+	svc := c.AtomicSvcNS(gaddr)
+	expiry := deadV + p.LeaseNS
+	// Until the lease runs out the reclaimer is just another spinner.
+	n := c.ChargeSpin(gaddr, c.Now(), expiry, p.RTTNS+svc)
+	m.Stats.GlobalRetries.Add(int64(n))
+
+	// Read-then-CAS, retried: a dead client's final posted verb can still
+	// land (it passed its fault check before the crash flag rose) and
+	// rewrite the word under our read — one more round trip resolves it.
+	id := uint64(c.CS.ID) + 1
+	for attempt := 0; ; attempt++ {
+		var swapped bool
+		if m.mode.OnChip {
+			var b [2]byte
+			c.Read(gaddr, b[:])
+			_, swapped = c.CAS16(gaddr, binary.LittleEndian.Uint16(b[:]), uint16(id))
+		} else {
+			var b [8]byte
+			c.Read(gaddr, b[:])
+			_, swapped = c.CAS(gaddr, binary.LittleEndian.Uint64(b[:]), id)
+		}
+		if swapped {
+			break
+		}
+		if attempt >= 8 {
+			panic("hocl: reclaim CAS livelocked despite slot serialization")
+		}
+	}
+	m.Stats.Reclaims.Add(1)
+}
+
+// orphanSlot marks a slot held by a just-crashed CS for reclamation and
+// promotes a surviving waiter if one is queued. It is the per-slot core of
+// noteDeath, also invoked by a granted waiter that discovers its own death
+// before issuing any verb (the death sweep could not see it: it had already
+// left the queue).
+func (m *Manager) orphanSlot(slot int, cs int, deathV int64) {
+	s := &m.slots[slot]
+	s.mu.Lock()
+	m.markOrphanLocked(s, cs, deathV)
+	w, g := s.promoteLocked()
+	s.mu.Unlock()
+	if w != nil {
+		w.ch <- g
+	}
+}
+
+// markOrphanLocked records a dead holder on its slot — the single place the
+// orphan invariant (deadCS stamp, lease anchor, expiry accounting) is
+// written, shared by the death sweep and the granted-then-died path. Caller
+// holds s.mu; no-op unless cs actually holds the slot un-orphaned.
+func (m *Manager) markOrphanLocked(s *gslot, cs int, deathV int64) {
+	if !s.held || s.holderCS != cs || s.deadCS != 0 {
+		return
+	}
+	s.deadCS = cs + 1
+	s.deadV = deathV
+	m.Stats.LeaseExpiries.Add(1)
+}
+
+// popEarliestLocked removes and returns the virtually-earliest waiter, or
+// nil when the queue is empty. Caller holds s.mu. Both handoff paths — a
+// normal release and an orphan promotion — share this selection so the
+// wakeup policy cannot diverge between them.
+func (s *gslot) popEarliestLocked() *gwaiter {
+	if len(s.waiters) == 0 {
+		return nil
+	}
+	min := 0
+	for j, w := range s.waiters {
+		if w.clock < s.waiters[min].clock {
+			min = j
+		}
+	}
+	w := s.waiters[min]
+	s.waiters[min] = s.waiters[len(s.waiters)-1]
+	s.waiters = s.waiters[:len(s.waiters)-1]
+	return w
+}
+
+// promoteLocked hands an orphaned held slot to its earliest waiter, who
+// will perform the lease reclamation on its own clock. Caller holds s.mu;
+// the returned grant must be sent after unlocking.
+func (s *gslot) promoteLocked() (*gwaiter, grant) {
+	if !s.held || s.deadCS == 0 {
+		return nil, grant{}
+	}
+	w := s.popEarliestLocked()
+	if w == nil {
+		return nil, grant{}
+	}
+	g := grant{reclaim: true, deadCS: s.deadCS - 1, deadV: s.deadV}
+	s.deadCS, s.deadV = 0, 0
+	s.holderCS = w.cs
+	return w, g
+}
+
+// noteDeath marks every global lock the dead CS holds for lease-expiry
+// reclamation, aborts the dead CS's queued waiters (global and local), and
+// promotes the earliest surviving waiter of each orphaned slot to reclaimer.
+// It runs synchronously on the crashing thread before its panic unwinds.
+func (m *Manager) noteDeath(cs int, deathV int64) {
+	for i := range m.slots {
+		s := &m.slots[i]
+		s.mu.Lock()
+		// Abort waiters of the dead CS.
+		var doomed []*gwaiter
+		keep := s.waiters[:0]
+		for _, w := range s.waiters {
+			if w.cs == cs {
+				doomed = append(doomed, w)
+			} else {
+				keep = append(keep, w)
+			}
+		}
+		s.waiters = keep
+		// Orphan the slot if the dead CS holds it, and hand it to the
+		// earliest surviving waiter, which will perform the reclamation on
+		// its own clock.
+		m.markOrphanLocked(s, cs, deathV)
+		reclaimer, g := s.promoteLocked()
+		s.mu.Unlock()
+		for _, w := range doomed {
+			w.ch <- grant{killed: true}
+		}
+		if reclaimer != nil {
+			reclaimer.ch <- g
+		}
+	}
+	if m.mode.Local {
+		m.lltMu.Lock()
+		t := m.llts[cs]
+		m.lltMu.Unlock()
+		t.killAll()
+	}
+}
+
+// resetCS re-initializes a restarted CS's local lock table; the dead
+// incarnation's global locks stay orphaned until survivors (including the
+// new incarnation) reclaim them lazily.
+func (m *Manager) resetCS(cs int) {
+	if !m.mode.Local {
+		return
+	}
+	m.lltMu.Lock()
+	m.llts[cs] = newLocalTable(len(m.f.Servers) * m.locksPerMS)
+	m.lltMu.Unlock()
 }
 
 // releaseSlot records the virtual release time and hands the slot to the
 // virtually-earliest waiter, if any. The physical lock word was already
 // cleared by the caller's release WRITE, so the woken waiter's CAS finds it
-// free.
-func (m *Manager) releaseSlot(slot int, now int64) {
+// free. cs is the releasing thread's compute server: a releaser whose CS
+// was declared dead while its final (already-checked) release verb was in
+// flight may find the slot orphaned or already handed to a reclaimer — it
+// must then keep its hands off; the reclamation path owns the slot.
+func (m *Manager) releaseSlot(slot int, now int64, cs int) {
 	s := &m.slots[slot]
 	s.mu.Lock()
+	if !s.held || s.holderCS != cs {
+		// Ownership moved to a reclaimer during the crash race; the
+		// physical word is already 0 from our release WRITE and the
+		// reclaimer's read-CAS loop absorbs it.
+		s.mu.Unlock()
+		return
+	}
+	if s.deadCS != 0 {
+		// Marked orphaned, but the release actually completed: the lock is
+		// cleanly free. Un-orphan and release normally.
+		s.deadCS, s.deadV = 0, 0
+	}
 	s.relV = now
-	if len(s.waiters) > 0 {
-		min := 0
-		for i, w := range s.waiters {
-			if w.clock < s.waiters[min].clock {
-				min = i
-			}
-		}
-		w := s.waiters[min]
-		s.waiters[min] = s.waiters[len(s.waiters)-1]
-		s.waiters = s.waiters[:len(s.waiters)-1]
+	if w := s.popEarliestLocked(); w != nil {
 		spinners := s.convoyDepth(now, m.f.ClientCount())
+		s.holderCS = w.cs
 		s.mu.Unlock() // the slot stays held; ownership passes to w
 		w.ch <- grant{rel: now, spinners: spinners}
 		return
@@ -419,6 +687,14 @@ func (m *Manager) releaseOp(gaddr rdma.Addr) rdma.WriteOp {
 // siblings) must be issued by the caller before Unlock, as in Figure 7.
 func (m *Manager) Unlock(c *rdma.Client, g Guard, pending []rdma.WriteOp, combine bool) {
 	if g.ll != nil {
+		// Decide the handover before flushing, but do not hold the local
+		// entry's mutex across the flush: flushing issues fabric verbs, and
+		// a verb may abort the thread on a compute-server crash — the death
+		// sweep must then be able to lock this entry to kill its waiters.
+		// The decision stays valid: waiters cannot leave the queue, and a
+		// waiter arriving between the decision and the release simply
+		// misses this handover window (it re-acquires the global lock
+		// itself, exactly as if it had arrived after the release).
 		g.ll.mu.Lock()
 		handover := m.mode.Handover && len(g.ll.queue) > 0 && g.ll.depth < int32(m.maxHandover)
 		if handover {
@@ -426,7 +702,9 @@ func (m *Manager) Unlock(c *rdma.Client, g Guard, pending []rdma.WriteOp, combin
 		} else {
 			g.ll.depth = 0
 		}
+		g.ll.mu.Unlock()
 		m.flush(c, g, pending, combine, !handover)
+		g.ll.mu.Lock()
 		g.ll.releaseLocked(c.Now())
 		return
 	}
@@ -454,6 +732,6 @@ func (m *Manager) flush(c *rdma.Client, g Guard, pending []rdma.WriteOp, combine
 		}
 	}
 	if releaseGlobal {
-		m.releaseSlot(g.slot, c.Now())
+		m.releaseSlot(g.slot, c.Now(), int(c.CS.ID))
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"sherman/internal/rdma"
+	"sherman/internal/sim"
 )
 
 // localTable is one compute server's local lock table (LLT): one local lock
@@ -39,13 +40,22 @@ type localLock struct {
 type wake struct {
 	v        int64 // releaser's virtual time
 	handover bool  // true: the global lock comes with it
+	killed   bool  // the waiter's own compute server died: abort
 }
 
 // acquire takes the local lock on behalf of client c, blocking (FIFO when
 // waitQueue, barging spin otherwise) until this thread holds it. It returns
 // true when the *global* lock was handed over along with the local one.
+// Local tables are per compute server, so every thread touching l belongs
+// to c's CS; when that CS dies the death sweep (killAll) aborts every
+// queued waiter, and the alive checks below keep doomed threads from
+// queueing after the sweep or spinning forever on verb-free paths.
 func (l *localLock) acquire(c *rdma.Client, waitQueue bool, st *Stats) bool {
 	l.mu.Lock()
+	if !c.Alive() {
+		l.mu.Unlock()
+		panic(sim.Crash{CS: int(c.CS.ID)})
+	}
 	if !l.held {
 		l.held = true
 		rel := l.relV
@@ -61,6 +71,9 @@ func (l *localLock) acquire(c *rdma.Client, waitQueue bool, st *Stats) bool {
 		l.queue = append(l.queue, ch)
 		l.mu.Unlock()
 		w := <-ch
+		if w.killed {
+			panic(sim.Crash{CS: int(c.CS.ID)})
+		}
 		// Ownership transferred by the releaser; account the wait.
 		c.Clk.AdvanceTo(w.v)
 		c.Step(c.F.P.LocalSpinNS)
@@ -70,6 +83,7 @@ func (l *localLock) acquire(c *rdma.Client, waitQueue bool, st *Stats) bool {
 	// only" configuration of Figure 16).
 	l.mu.Unlock()
 	for {
+		c.CheckAlive()
 		c.Step(c.F.P.LocalSpinNS)
 		runtime.Gosched()
 		l.mu.Lock()
@@ -101,4 +115,20 @@ func (l *localLock) releaseLocked(now int64) {
 	}
 	l.held = false
 	l.mu.Unlock()
+}
+
+// killAll aborts every queued waiter of the table's compute server after it
+// died, so their goroutines unwind instead of blocking forever. The table is
+// replaced wholesale on restart (Manager.resetCS).
+func (t *localTable) killAll() {
+	for i := range t.locks {
+		l := &t.locks[i]
+		l.mu.Lock()
+		q := l.queue
+		l.queue = nil
+		l.mu.Unlock()
+		for _, ch := range q {
+			ch <- wake{killed: true}
+		}
+	}
 }

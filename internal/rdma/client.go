@@ -28,6 +28,10 @@ type Client struct {
 	// M accumulates verb-level metrics; the index layer snapshots the Op*
 	// fields around each index operation.
 	M Metrics
+
+	// epoch is the compute server's incarnation at client creation; a
+	// restart bumps it, so clients of a crashed-then-restarted CS stay dead.
+	epoch int64
 }
 
 // Metrics counts verb activity on one client thread. All fields are owned by
@@ -74,7 +78,36 @@ func (f *Fabric) NewClient(cs int) *Client {
 		panic(fmt.Sprintf("rdma: no compute server %d", cs))
 	}
 	f.clients.Add(1)
-	return &Client{F: f, CS: f.CSs[cs]}
+	return &Client{F: f, CS: f.CSs[cs], epoch: f.Faults.Epoch(cs)}
+}
+
+// Epoch returns the CS incarnation this client was created under.
+func (c *Client) Epoch() int64 { return c.epoch }
+
+// Alive reports whether this client may still issue verbs (its CS has not
+// crashed since the client was created).
+func (c *Client) Alive() bool { return c.F.Faults.Alive(int(c.CS.ID), c.epoch) }
+
+// CheckAlive panics with sim.Crash when the client's compute server has
+// failed. Verbs check implicitly; lock managers call it from verb-free spin
+// and queue paths so a doomed thread cannot linger (or block peers) there.
+func (c *Client) CheckAlive() {
+	if !c.Alive() {
+		panic(sim.Crash{CS: int(c.CS.ID)})
+	}
+}
+
+// checkVerb gates one fabric verb on the injector: it aborts the thread when
+// the CS is dead (or this verb triggers an armed kill), stalls the clock
+// through a partition, and applies degradation delay. Called at verb entry,
+// before any memory effect, so the crashing verb is never applied.
+func (c *Client) checkVerb() {
+	start, delay, ok := c.F.Faults.OnVerb(int(c.CS.ID), c.epoch, c.Clk.Now())
+	if !ok {
+		panic(sim.Crash{CS: int(c.CS.ID)})
+	}
+	c.Clk.AdvanceTo(start)
+	c.Clk.Advance(delay)
 }
 
 // Now returns the thread's current virtual time.
@@ -112,6 +145,7 @@ func (c *Client) roundTrip() {
 // Read fetches len(buf) bytes at a via RDMA_READ: one round trip, with the
 // response payload charged at the memory server's NIC.
 func (c *Client) Read(a Addr, buf []byte) {
+	c.checkVerb()
 	p := c.F.P
 	srv := c.F.Server(a)
 	t := c.CS.Outbound.Acquire(c.Clk.Now(), p.OutboundMinNS)
@@ -130,6 +164,7 @@ func (c *Client) ReadMulti(reqs []ReadOp) {
 	if len(reqs) == 0 {
 		return
 	}
+	c.checkVerb()
 	p := c.F.P
 	var done int64
 	t := c.Clk.Now()
@@ -179,6 +214,7 @@ func (c *Client) PostWrites(ops ...WriteOp) {
 	if len(ops) == 0 {
 		return
 	}
+	c.checkVerb()
 	p := c.F.P
 	srv := c.F.Server(ops[0].Addr)
 	for _, op := range ops[1:] {
@@ -207,6 +243,7 @@ func (c *Client) PostWrites(ops ...WriteOp) {
 }
 
 func (c *Client) atomicTiming(a Addr, backlogNS int64) int64 {
+	c.checkVerb()
 	p := c.F.P
 	srv := c.F.Server(a)
 	conflictSvc, unitSvc := p.HostAtomicNS, p.HostAtomicUnitNS
@@ -340,6 +377,7 @@ const maxSpinCharges = 1 << 14
 // bound to the winning CAS (CASBacklog). Booking open-loop charges as well
 // would double-count the storm and grow the queue without bound.
 func (c *Client) ChargeSpin(a Addr, from, to, cadence int64) int {
+	c.checkVerb()
 	p := c.F.P
 	srv := c.F.Server(a)
 	if cadence <= 0 {
@@ -366,6 +404,7 @@ func (c *Client) ChargeSpin(a Addr, from, to, cadence int64) int {
 // and response messages plus the handler's service time on the wimpy CPU.
 // fn runs the real server-side logic (e.g. chunk allocation) exactly once.
 func (c *Client) Call(ms uint16, fn func()) {
+	c.checkVerb()
 	p := c.F.P
 	srv := c.F.Servers[ms]
 	t := c.CS.Outbound.Acquire(c.Clk.Now(), p.OutboundMinNS)

@@ -14,6 +14,11 @@ type Fabric struct {
 	Servers []*Server
 	CSs     []*ComputeServer
 
+	// Faults is the fabric's deterministic fault injector. Every verb of
+	// every client consults it; a dead compute server's clients abort with
+	// sim.Crash at their next verb.
+	Faults *sim.Faults
+
 	clients atomic.Int64
 }
 
@@ -44,7 +49,7 @@ func NewFabric(p sim.Params, numMS, numCS int) *Fabric {
 	if numMS <= 0 || numCS <= 0 {
 		panic(fmt.Sprintf("rdma: need at least one MS and one CS (got %d, %d)", numMS, numCS))
 	}
-	f := &Fabric{P: p}
+	f := &Fabric{P: p, Faults: sim.NewFaults(numCS)}
 	for i := 0; i < numMS; i++ {
 		f.Servers = append(f.Servers, newServer(uint16(i), p))
 	}

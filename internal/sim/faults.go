@@ -1,0 +1,266 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Crash is the panic value raised when a client thread of a failed compute
+// server touches the fabric. The one-sided design makes the *client* the unit
+// of failure (no memory-server CPU participates in the data path), so a
+// compute-server crash is modeled as every one of its threads aborting at its
+// next fabric verb: verbs issued before the crash point are fully applied,
+// the crashing verb and everything after it have no effect. Higher layers
+// (the session API, the bench harness) recover the panic at the thread
+// boundary and surface a typed error.
+type Crash struct {
+	// CS is the failed compute server.
+	CS int
+}
+
+// Error makes a Crash usable as an error value after recovery.
+func (c Crash) Error() string { return fmt.Sprintf("sim: compute server %d crashed", c.CS) }
+
+// IsCrash reports whether a recovered panic value is a compute-server crash.
+func IsCrash(v any) (Crash, bool) {
+	c, ok := v.(Crash)
+	return c, ok
+}
+
+// Faults is the deterministic fault injector of one fabric. All client
+// threads consult it at every fabric verb; faults are armed by verb index or
+// by virtual time, so a given schedule reproduces exactly on a
+// single-threaded victim (and up to goroutine interleaving on a
+// multi-threaded one).
+//
+// The zero-cost path (no fault armed, CS alive) is a single atomic-free
+// mutex-guarded counter bump per verb; the simulator's verbs already
+// serialize on resource mutexes far hotter than this one.
+type Faults struct {
+	mu        sync.Mutex
+	cs        []csFault
+	onDeath   []func(cs int, deathV int64)
+	onRestart []func(cs int)
+
+	// lifecycle serializes a death (flag + listener sweep) against
+	// restarts: without it, a restart racing an in-flight death sweep
+	// could revive the server — and admit new-incarnation lock holders —
+	// while the sweep is still orphaning slots it attributes to the dead
+	// incarnation, letting it steal a live holder's lock.
+	lifecycle sync.Mutex
+}
+
+// csFault is the fault state of one compute server.
+type csFault struct {
+	verbs     int64 // fabric verbs issued by this CS since creation
+	killAtN   int64 // kill when verbs reaches this count (0 = disarmed)
+	killAtV   int64 // kill at the first verb at/after this virtual time (0 = disarmed)
+	dead      bool
+	deathV    int64 // lease anchor: latest virtual time the CS could have issued a verb
+	epoch     int64 // bumped by Restart; clients of older epochs stay dead
+	degradeNS int64 // extra per-verb issue delay (degraded NIC)
+	healAtV   int64 // partition: verbs before this virtual time stall until it
+}
+
+// NewFaults creates the injector for numCS compute servers, with no faults
+// armed.
+func NewFaults(numCS int) *Faults {
+	return &Faults{cs: make([]csFault, numCS)}
+}
+
+// OnDeath registers a listener invoked synchronously (on the crashing
+// thread, before it unwinds) when a compute server dies. Lock managers use
+// it to mark orphaned lock slots and wake doomed waiters.
+func (f *Faults) OnDeath(fn func(cs int, deathV int64)) {
+	f.mu.Lock()
+	f.onDeath = append(f.onDeath, fn)
+	f.mu.Unlock()
+}
+
+// OnRestart registers a listener invoked when a compute server restarts.
+func (f *Faults) OnRestart(fn func(cs int)) {
+	f.mu.Lock()
+	f.onRestart = append(f.onRestart, fn)
+	f.mu.Unlock()
+}
+
+// KillAtVerb arms a crash at the CS's n-th fabric verb counted from now
+// (n >= 1: the very next verb). The property tests sweep n across every verb
+// of an operation.
+func (f *Faults) KillAtVerb(cs int, n int64) {
+	f.mu.Lock()
+	f.cs[cs].killAtN = f.cs[cs].verbs + n
+	f.mu.Unlock()
+}
+
+// KillAtTime arms a crash at the CS's first fabric verb at or after virtual
+// time v. The fault benchmark uses it to land kills mid-window.
+func (f *Faults) KillAtTime(cs int, v int64) {
+	f.mu.Lock()
+	f.cs[cs].killAtV = v
+	f.mu.Unlock()
+}
+
+// Kill fails the CS immediately: its threads abort at their next fabric
+// verb. nowV seeds the lease anchor (use the caller's best bound on the CS's
+// clocks; the injector keeps the max of it and every verb time it has seen).
+// Kill returns only after the death listeners (the lock managers' orphan
+// sweeps) have completed.
+func (f *Faults) Kill(cs int, nowV int64) {
+	f.kill(cs, -1, nowV)
+}
+
+// kill marks the CS dead and runs the death listeners under the lifecycle
+// lock. epoch >= 0 restricts the kill to that incarnation (armed kills must
+// not fire on a restarted server they raced); -1 kills unconditionally.
+func (f *Faults) kill(cs int, epoch int64, nowV int64) {
+	f.lifecycle.Lock()
+	defer f.lifecycle.Unlock()
+	f.mu.Lock()
+	s := &f.cs[cs]
+	if s.dead || (epoch >= 0 && s.epoch != epoch) {
+		f.mu.Unlock()
+		return
+	}
+	s.dead = true
+	s.killAtN, s.killAtV = 0, 0
+	if nowV > s.deathV {
+		s.deathV = nowV
+	}
+	deathV := s.deathV
+	listeners := f.onDeath // header copy; registration appends never mutate it
+	f.mu.Unlock()
+	for _, fn := range listeners {
+		fn(cs, deathV)
+	}
+}
+
+// Restart revives the CS under a new epoch. Clients created before the
+// restart stay dead (their epoch no longer matches); the caller creates
+// fresh ones. Restart listeners (lock managers resetting the CS's local
+// tables) run synchronously, and the lifecycle lock orders the whole
+// restart after any in-flight death sweep — no new-incarnation client can
+// acquire anything while a sweep still attributes the server's locks to
+// the dead incarnation.
+func (f *Faults) Restart(cs int) {
+	f.lifecycle.Lock()
+	defer f.lifecycle.Unlock()
+	f.mu.Lock()
+	s := &f.cs[cs]
+	s.dead = false
+	s.deathV = 0
+	s.killAtN, s.killAtV = 0, 0
+	s.degradeNS, s.healAtV = 0, 0
+	s.epoch++
+	listeners := f.onRestart // header copy
+	f.mu.Unlock()
+	for _, fn := range listeners {
+		fn(cs)
+	}
+}
+
+// Degrade adds extraNS of issue delay to every subsequent verb of the CS — a
+// NIC running hot or a flaky link retransmitting.
+func (f *Faults) Degrade(cs int, extraNS int64) {
+	f.mu.Lock()
+	f.cs[cs].degradeNS = extraNS
+	f.mu.Unlock()
+}
+
+// Partition stalls every verb the CS issues before virtual time healV until
+// that time — a transient network partition that heals.
+func (f *Faults) Partition(cs int, healV int64) {
+	f.mu.Lock()
+	f.cs[cs].healAtV = healV
+	f.mu.Unlock()
+}
+
+// Epoch returns the CS's current incarnation.
+func (f *Faults) Epoch(cs int) int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.cs[cs].epoch
+}
+
+// Dead reports whether the CS is currently failed.
+func (f *Faults) Dead(cs int) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.cs[cs].dead
+}
+
+// DeathTime returns the failed CS's lease anchor — the latest virtual time
+// at which it could have issued a verb (0 if alive).
+func (f *Faults) DeathTime(cs int) int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.cs[cs].dead {
+		return 0
+	}
+	return f.cs[cs].deathV
+}
+
+// Alive reports whether a client of the given epoch on cs may issue verbs.
+func (f *Faults) Alive(cs int, epoch int64) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := &f.cs[cs]
+	return !s.dead && s.epoch == epoch
+}
+
+// Verbs returns the CS's fabric-verb count (for arming verb-indexed kills
+// relative to the present).
+func (f *Faults) Verbs(cs int) int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.cs[cs].verbs
+}
+
+// LatestVerbV returns the latest virtual time any compute server has
+// issued a verb at — a cluster-wide clock bound. Recovery anchors fresh
+// client clocks here so measured recovery latency excludes catch-up
+// through prior virtual activity.
+func (f *Faults) LatestVerbV() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var max int64
+	for i := range f.cs {
+		if f.cs[i].deathV > max {
+			max = f.cs[i].deathV
+		}
+	}
+	return max
+}
+
+// OnVerb accounts one fabric verb issued by a client of the given epoch at
+// virtual time nowV. It returns the virtual time the verb may start (>= nowV
+// under partition) plus any degradation delay; ok=false means the client is
+// dead (stale epoch, killed, or this very verb triggered an armed kill) and
+// must abort by panicking with Crash — the verb has no effect.
+func (f *Faults) OnVerb(cs int, epoch int64, nowV int64) (startV, delayNS int64, ok bool) {
+	f.mu.Lock()
+	s := &f.cs[cs]
+	if s.dead || s.epoch != epoch {
+		f.mu.Unlock()
+		return 0, 0, false
+	}
+	s.verbs++
+	if nowV > s.deathV {
+		s.deathV = nowV // track the lease anchor while alive
+	}
+	if (s.killAtN != 0 && s.verbs >= s.killAtN) || (s.killAtV != 0 && nowV >= s.killAtV) {
+		f.mu.Unlock()
+		// The sweep runs under the lifecycle lock, pinned to this
+		// incarnation (a racing Restart makes it a no-op; the thread still
+		// aborts — its epoch is stale either way).
+		f.kill(cs, epoch, nowV)
+		return 0, 0, false
+	}
+	startV = nowV
+	if s.healAtV > startV {
+		startV = s.healAtV
+	}
+	delayNS = s.degradeNS
+	f.mu.Unlock()
+	return startV, delayNS, true
+}

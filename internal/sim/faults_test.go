@@ -1,0 +1,87 @@
+package sim
+
+import "testing"
+
+func TestFaultsKillAtVerb(t *testing.T) {
+	f := NewFaults(2)
+	for i := 0; i < 4; i++ {
+		if _, _, ok := f.OnVerb(0, 0, int64(i)); !ok {
+			t.Fatalf("verb %d refused with no fault armed", i)
+		}
+	}
+	f.KillAtVerb(0, 3) // the 3rd verb from now
+	for i := 0; i < 2; i++ {
+		if _, _, ok := f.OnVerb(0, 0, 100); !ok {
+			t.Fatalf("verb before the armed index refused")
+		}
+	}
+	if _, _, ok := f.OnVerb(0, 0, 200); ok {
+		t.Fatal("armed kill verb was allowed")
+	}
+	if !f.Dead(0) {
+		t.Fatal("CS not dead after kill")
+	}
+	if f.DeathTime(0) != 200 {
+		t.Fatalf("death anchor = %d, want 200", f.DeathTime(0))
+	}
+	if _, _, ok := f.OnVerb(0, 0, 300); ok {
+		t.Fatal("dead CS issued a verb")
+	}
+	// The sibling CS is unaffected.
+	if _, _, ok := f.OnVerb(1, 0, 0); !ok {
+		t.Fatal("sibling CS refused")
+	}
+}
+
+func TestFaultsKillAtTimeAndRestart(t *testing.T) {
+	f := NewFaults(1)
+	f.KillAtTime(0, 1000)
+	if _, _, ok := f.OnVerb(0, 0, 999); !ok {
+		t.Fatal("verb before the kill time refused")
+	}
+	if _, _, ok := f.OnVerb(0, 0, 1000); ok {
+		t.Fatal("verb at the kill time allowed")
+	}
+	var deaths, restarts int
+	f.OnDeath(func(cs int, deathV int64) { deaths++ })
+	f.OnRestart(func(cs int) { restarts++ })
+	f.Restart(0)
+	if restarts != 1 {
+		t.Fatalf("restart listeners ran %d times, want 1", restarts)
+	}
+	if f.Dead(0) {
+		t.Fatal("CS dead after restart")
+	}
+	// Old-epoch clients stay dead; new-epoch clients work.
+	if _, _, ok := f.OnVerb(0, 0, 2000); ok {
+		t.Fatal("old-epoch client issued a verb after restart")
+	}
+	if _, _, ok := f.OnVerb(0, 1, 2000); !ok {
+		t.Fatal("new-epoch client refused")
+	}
+	if !f.Alive(0, 1) || f.Alive(0, 0) {
+		t.Fatal("epoch aliveness wrong after restart")
+	}
+	f.Kill(0, 5000)
+	if deaths != 1 {
+		t.Fatalf("death listeners ran %d times, want 1", deaths)
+	}
+}
+
+func TestFaultsDegradeAndPartition(t *testing.T) {
+	f := NewFaults(1)
+	f.Degrade(0, 77)
+	start, delay, ok := f.OnVerb(0, 0, 10)
+	if !ok || start != 10 || delay != 77 {
+		t.Fatalf("degraded verb = (%d,%d,%v), want (10,77,true)", start, delay, ok)
+	}
+	f.Partition(0, 500)
+	start, _, ok = f.OnVerb(0, 0, 100)
+	if !ok || start != 500 {
+		t.Fatalf("partitioned verb starts at %d, want 500", start)
+	}
+	start, _, ok = f.OnVerb(0, 0, 600)
+	if !ok || start != 600 {
+		t.Fatalf("post-heal verb starts at %d, want 600", start)
+	}
+}

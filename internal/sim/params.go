@@ -95,6 +95,14 @@ type Params struct {
 	// the throughput a single thread can reach at large pipeline depths.
 	// Synchronous (depth-1) clients never pay it.
 	PipelineIssueNS int64
+
+	// LeaseNS is the liveness-lease duration of a compute server: a lock
+	// whose holder has been dead for LeaseNS may be reclaimed by a survivor
+	// (CAS from the dead holder's stamp). It must exceed the worker-clock
+	// skew bound (the bench gate's slack x window) so a straggling thread of
+	// a dying CS can never issue a verb after a survivor has reclaimed one
+	// of its locks.
+	LeaseNS int64
 }
 
 // DefaultParams returns the fabric parameters calibrated to the paper's
@@ -115,7 +123,8 @@ func DefaultParams() Params {
 		LocalStepNS:        50,
 		LocalSpinNS:        100,
 		WraparoundGuardNS:  8000,
-		PipelineIssueNS:    150, // post WR + coroutine switch, well under one RTT
+		PipelineIssueNS:    150,    // post WR + coroutine switch, well under one RTT
+		LeaseNS:            50_000, // > bench gate skew (2 x 20 us), << measurement windows
 	}
 }
 
@@ -144,6 +153,8 @@ func (p Params) Validate() error {
 		return errParam("HostAtomicNS must be >= OnChipAtomicNS (PCIe cost)")
 	case p.HostAtomicUnitNS < p.OnChipAtomicUnitNS:
 		return errParam("HostAtomicUnitNS must be >= OnChipAtomicUnitNS (PCIe cost)")
+	case p.LeaseNS < 0:
+		return errParam("LeaseNS must be non-negative")
 	}
 	return nil
 }

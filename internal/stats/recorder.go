@@ -100,6 +100,13 @@ type Recorder struct {
 	// Handovers counts lock acquisitions satisfied by handover.
 	Handovers int64
 
+	// Reclaims counts lock acquisitions that stole an orphaned lock from a
+	// crashed holder after its lease expired; SplitRepairs counts the
+	// parent-separator (and root) repairs this thread's recovery sweeps
+	// performed to complete splits a dead client left half-done.
+	Reclaims     int64
+	SplitRepairs int64
+
 	// FinishV is the thread's virtual clock when it finished its share of
 	// the workload; the experiment makespan is the max across threads.
 	FinishV int64
@@ -226,6 +233,8 @@ func (r *Recorder) Merge(other *Recorder) {
 	r.CacheHits += other.CacheHits
 	r.CacheMisses += other.CacheMisses
 	r.Handovers += other.Handovers
+	r.Reclaims += other.Reclaims
+	r.SplitRepairs += other.SplitRepairs
 	if other.FinishV > r.FinishV {
 		r.FinishV = other.FinishV
 	}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"sherman/internal/core"
+	"sherman/internal/sim"
 	"sherman/internal/stats"
 )
 
@@ -18,6 +19,12 @@ var (
 	// ErrBadComputeServer rejects a session on a compute server outside
 	// [0, ComputeServers).
 	ErrBadComputeServer = errors.New("sherman: compute server out of range")
+	// ErrSessionDead reports that the session's compute server crashed
+	// (Cluster.KillComputeServer, or a fault-injection schedule). The
+	// session is permanently unusable — restarting the server does not
+	// revive it; open a new session. An operation that died mid-flight was
+	// either fully applied or had no effect, never anything in between.
+	ErrSessionDead = errors.New("sherman: session's compute server crashed")
 )
 
 // OpKind names one operation class of the unified client model.
@@ -100,9 +107,42 @@ func (f *Future) CompleteAtV() int64 { return f.done }
 // run multiple coroutines per thread, so per-thread throughput climbs
 // toward the fabric bound instead of being RTT-bound.
 type Session struct {
-	h  *core.Handle
-	a  *core.Async
-	cs int
+	h    *core.Handle
+	a    *core.Async
+	cs   int
+	dead bool
+}
+
+// run executes fn, converting the crash of this session's compute server
+// into the typed ErrSessionDead: every entry point funnels through it, so a
+// dead session's calls return (or panic with) the error instead of touching
+// the fabric — and never hang.
+func (s *Session) run(fn func()) (err error) {
+	if s.dead || !s.h.C.Alive() {
+		s.dead = true
+		return ErrSessionDead
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := sim.IsCrash(r); ok {
+				s.dead = true
+				err = ErrSessionDead
+				return
+			}
+			panic(r)
+		}
+	}()
+	fn()
+	return nil
+}
+
+// Dead reports whether the session's compute server has crashed. Dead
+// sessions stay dead across a RestartComputeServer; open a new session.
+func (s *Session) Dead() bool {
+	if !s.dead && !s.h.C.Alive() {
+		s.dead = true
+	}
+	return s.dead
 }
 
 var sessionSeq atomic.Int64
@@ -186,7 +226,10 @@ func resultFrom(r core.OpResult) Result {
 // itself advances the session only by the issue cost (and, when the
 // pipeline is full, to the next completion). Invalid operations — a put or
 // delete of reserved key 0 — resolve immediately to a Result carrying a
-// typed error (ErrReservedKey) without touching the tree.
+// typed error (ErrReservedKey) without touching the tree, as does any
+// operation on a dead session (ErrSessionDead). An operation in flight when
+// the compute server crashes resolves to ErrSessionDead; it was either
+// fully applied or had no effect.
 func (s *Session) Submit(op Op) *Future {
 	cop, err := op.toCore()
 	if err != nil {
@@ -195,7 +238,11 @@ func (s *Session) Submit(op Op) *Future {
 	if op.Kind == OpScan && op.Span <= 0 {
 		return &Future{res: Result{}, done: s.h.C.Now()}
 	}
-	res, done := s.a.Submit(cop)
+	var res core.OpResult
+	var done int64
+	if err := s.run(func() { res, done = s.a.Submit(cop) }); err != nil {
+		return &Future{res: Result{Err: err}, done: s.h.C.Now()}
+	}
 	return &Future{s: s, res: resultFrom(res), done: done}
 }
 
@@ -223,50 +270,81 @@ func (s *Session) Exec(ops []Op) []Result {
 		cops = append(cops, cop)
 		idx = append(idx, i)
 	}
-	for j, r := range s.a.Exec(cops) {
+	var cres []core.OpResult
+	if err := s.run(func() { cres = s.a.Exec(cops) }); err != nil {
+		// The server crashed mid-batch: the outcomes of the ops that went
+		// to the fabric are unknown (each applied fully or not at all, but
+		// the results died with the session). Locally-rejected ops keep
+		// their known errors — they were never sent.
+		for _, i := range idx {
+			results[i] = Result{Err: err}
+		}
+		return results
+	}
+	for j, r := range cres {
 		results[idx[j]] = resultFrom(r)
 	}
 	return results
 }
 
 // Flush drains the pipeline: it returns once every submitted operation has
-// completed (the session clock advances to the last completion). A
-// depth-1 session's Flush is a no-op.
-func (s *Session) Flush() { s.a.Flush() }
+// completed (the session clock advances to the last completion). A depth-1
+// session's Flush is a no-op. On a session whose compute server crashed,
+// Flush returns ErrSessionDead immediately instead of hanging — there is
+// nothing left to drain; in-flight operations died with the server.
+func (s *Session) Flush() error {
+	return s.run(func() { s.a.Flush() })
+}
 
 // --- legacy synchronous methods: thin wrappers over the unified API ------
 
-// Put stores value under key, inserting or updating in place. Key 0 is
-// reserved and panics (it is the tree's deleted-entry sentinel, §4.4); use
-// Submit for the typed-error contract.
-func (s *Session) Put(key, value uint64) {
-	if r := s.Submit(PutOp(key, value)).Wait(); r.Err != nil {
-		panic("core: key 0 is reserved")
+// legacyErr enforces the legacy methods' panic contracts: reserved keys keep
+// the original message; a dead session panics with ErrSessionDead (the
+// legacy signatures have no error slot to report it through — use Submit or
+// Exec for the typed-error contract).
+func legacyErr(err error) {
+	if err == nil {
+		return
 	}
+	if errors.Is(err, ErrSessionDead) {
+		panic(ErrSessionDead)
+	}
+	panic("core: key 0 is reserved")
 }
 
-// Get returns the value stored under key.
+// Put stores value under key, inserting or updating in place. Key 0 is
+// reserved and panics (it is the tree's deleted-entry sentinel, §4.4), as
+// does a dead session (with ErrSessionDead); use Submit for the typed-error
+// contract.
+func (s *Session) Put(key, value uint64) {
+	legacyErr(s.Submit(PutOp(key, value)).Wait().Err)
+}
+
+// Get returns the value stored under key. A dead session panics with
+// ErrSessionDead; use Submit for the typed-error contract.
 func (s *Session) Get(key uint64) (uint64, bool) {
 	r := s.Submit(GetOp(key)).Wait()
+	legacyErr(r.Err)
 	return r.Value, r.Found
 }
 
 // Delete removes key, reporting whether it was present. Key 0 is reserved
-// and panics; use Submit for the typed-error contract.
+// and panics, as does a dead session (with ErrSessionDead); use Submit for
+// the typed-error contract.
 func (s *Session) Delete(key uint64) bool {
 	r := s.Submit(DeleteOp(key)).Wait()
-	if r.Err != nil {
-		panic("core: key 0 is reserved")
-	}
+	legacyErr(r.Err)
 	return r.Found
 }
 
 // Scan returns up to span pairs with key >= from in ascending key order.
 // Like the paper's range query (§4.4), a scan is not atomic with concurrent
 // writes: each leaf is read consistently, but the scan as a whole is not a
-// snapshot.
+// snapshot. A dead session panics with ErrSessionDead.
 func (s *Session) Scan(from uint64, span int) []KV {
-	return s.Submit(ScanOp(from, span)).Wait().KVs
+	r := s.Submit(ScanOp(from, span)).Wait()
+	legacyErr(r.Err)
+	return r.KVs
 }
 
 // PutBatch stores every pair in kvs, observably equivalent to calling Put
@@ -283,7 +361,9 @@ func (s *Session) PutBatch(kvs []KV) {
 		}
 		ops[i] = PutOp(kv.Key, kv.Value)
 	}
-	s.Exec(ops)
+	for _, r := range s.Exec(ops) {
+		legacyErr(r.Err)
+	}
 }
 
 // GetBatch returns, for each key, the stored value and whether it was
@@ -298,6 +378,7 @@ func (s *Session) GetBatch(keys []uint64) (values []uint64, found []bool) {
 	values = make([]uint64, len(keys))
 	found = make([]bool, len(keys))
 	for i, r := range res {
+		legacyErr(r.Err)
 		values[i], found[i] = r.Value, r.Found
 	}
 	return values, found
@@ -317,6 +398,7 @@ func (s *Session) DeleteBatch(keys []uint64) (found []bool) {
 	res := s.Exec(ops)
 	found = make([]bool, len(keys))
 	for i, r := range res {
+		legacyErr(r.Err)
 		found[i] = r.Found
 	}
 	return found
@@ -345,6 +427,7 @@ func (s *Session) Stats() SessionStats {
 		CacheHits:    r.CacheHits,
 		CacheMisses:  r.CacheMisses,
 		Handovers:    r.Handovers,
+		Reclaims:     r.Reclaims,
 		P50LatencyNS: r.AllLatency.Percentile(50),
 		P99LatencyNS: r.AllLatency.Percentile(99),
 
@@ -377,6 +460,9 @@ type SessionStats struct {
 	CacheHits, CacheMisses int64
 	// Handovers counts lock acquisitions satisfied by intra-CS handover.
 	Handovers int64
+	// Reclaims counts lock acquisitions that freed an orphaned lock left by
+	// a crashed compute server (expired-lease reclamation).
+	Reclaims int64
 
 	P50LatencyNS, P99LatencyNS int64
 

@@ -7,6 +7,7 @@ import (
 	"sherman/internal/core"
 	"sherman/internal/hocl"
 	"sherman/internal/layout"
+	"sherman/internal/sim"
 )
 
 // Engine selects which index design a tree runs.
@@ -243,6 +244,8 @@ func (t *Tree) LockStats() LockStats {
 		Handovers:     s.Handovers.Load(),
 		GlobalRetries: s.GlobalRetries.Load(),
 		LocalWaits:    s.LocalWaits.Load(),
+		LeaseExpiries: s.LeaseExpiries.Load(),
+		Reclaims:      s.Reclaims.Load(),
 	}
 }
 
@@ -250,12 +253,64 @@ func (t *Tree) LockStats() LockStats {
 // acquisitions that skipped the remote CAS entirely; GlobalRetries are
 // failed remote CAS attempts (the retry traffic HOCL exists to suppress);
 // LocalWaits are acquisitions that queued behind another thread of the same
-// compute server.
+// compute server. LeaseExpiries counts locks orphaned by compute-server
+// crashes; Reclaims counts the expired-lease reclamations survivors
+// performed to free them.
 type LockStats struct {
 	Acquisitions  int64
 	Handovers     int64
 	GlobalRetries int64
 	LocalWaits    int64
+	LeaseExpiries int64
+	Reclaims      int64
+}
+
+// Recover completes crash recovery from compute server cs: it sweeps the
+// tree for splits that crashed clients left half-done (committed node
+// write-backs whose parent separator — or new root — was never installed)
+// and re-inserts them through the ordinary locked write path. Orphaned
+// locks need no sweep; they are reclaimed on demand once the dead holder's
+// lease expires. Call after KillComputeServer (from any surviving server)
+// to restore the tree to a Validate-clean state; running it when nothing
+// crashed is safe and repairs nothing.
+func (t *Tree) Recover(cs int) (rs RecoveryStats, err error) {
+	if cs < 0 || cs >= t.c.ComputeServers() {
+		return RecoveryStats{}, fmt.Errorf("%w: %d not in [0,%d)", ErrBadComputeServer, cs, t.c.ComputeServers())
+	}
+	if !t.c.ComputeServerAlive(cs) {
+		return RecoveryStats{}, fmt.Errorf("%w: recovery must run on a live compute server", ErrSessionDead)
+	}
+	defer func() {
+		// The recovering server can itself crash mid-sweep.
+		if r := recover(); r != nil {
+			if _, ok := sim.IsCrash(r); ok {
+				err = ErrSessionDead
+				return
+			}
+			panic(r)
+		}
+	}()
+	h := t.tr.NewHandle(cs, int(sessionSeq.Add(1)))
+	// Anchor the fresh handle's clock at the cluster's latest verb time:
+	// otherwise the sweep's first contended acquisition would spend virtual
+	// time catching up through all prior activity and the reported latency
+	// would measure the cluster's age, not the recovery.
+	h.C.Clk.Set(t.c.cl.Faults().LatestVerbV())
+	t0 := h.C.Now()
+	repairs, complete := h.RecoverStructure()
+	rs = RecoveryStats{SplitRepairs: repairs, VirtualNS: h.C.Now() - t0}
+	if !complete {
+		return rs, fmt.Errorf("sherman: recovery pass budget exhausted with repairs pending (%d done); run Recover again", repairs)
+	}
+	return rs, nil
+}
+
+// RecoveryStats reports one Tree.Recover run: the number of half-done
+// splits completed and the virtual time the sweep took — the recovery
+// latency a real deployment would observe.
+type RecoveryStats struct {
+	SplitRepairs int
+	VirtualNS    int64
 }
 
 // CacheStats reports compute server cs's index-cache effectiveness.
