@@ -1,104 +1,92 @@
 package sherman
 
 import (
-	"math/rand/v2"
 	"sync"
 	"testing"
-	"testing/quick"
+
+	"sherman/internal/testutil"
 )
 
-// batchAblationOptions spans the TwoLevel/Checksum × Combine on/off grid of
-// the ablation axes; the batch pipeline must be sequential-equivalent under
-// every one. Small nodes force batches to straddle leaf splits.
-func batchAblationOptions() []TreeOptions {
-	var out []TreeOptions
-	for _, twoLevel := range []bool{true, false} {
-		for _, combine := range []bool{true, false} {
-			out = append(out, TreeOptions{
-				NodeSize: 256,
-				Advanced: &AdvancedOptions{TwoLevelVersions: twoLevel, CombineCommands: combine},
+// TestBatchSequentialEquivalenceProperty checks, for deterministic seeds,
+// through the public API, that PutBatch/GetBatch/DeleteBatch are observably
+// equivalent to the same operations applied sequentially — including
+// batches that straddle leaf splits and deletes of absent keys — across
+// the shared harness's ablation grid.
+func TestBatchSequentialEquivalenceProperty(t *testing.T) {
+	for _, opts := range gridOptions() {
+		opts := opts
+		t.Run(opts.Advanced.name(), func(t *testing.T) {
+			testutil.RunSeeds(t, 6, func(t *testing.T, seed uint64) {
+				rng := testutil.RNG(seed)
+				mk := func() *Session {
+					c, err := NewCluster(ClusterConfig{MemoryServers: 2, ComputeServers: 1})
+					if err != nil {
+						t.Fatal(err)
+					}
+					return testTree(t, c, opts).Session(0)
+				}
+				seq, bat := mk(), mk()
+
+				const keySpace = 300
+				for round := 0; round < 5; round++ {
+					n := int(rng.Uint64N(80)) + 1
+					switch rng.Uint64N(3) {
+					case 0:
+						kvs := make([]KV, n)
+						for i := range kvs {
+							kvs[i] = KV{Key: rng.Uint64N(keySpace) + 1, Value: rng.Uint64() | 1}
+						}
+						for _, kv := range kvs {
+							seq.Put(kv.Key, kv.Value)
+						}
+						bat.PutBatch(kvs)
+					case 1:
+						keys := make([]uint64, n)
+						for i := range keys {
+							keys[i] = rng.Uint64N(2*keySpace) + 1 // half absent
+						}
+						got := bat.DeleteBatch(keys)
+						for i, k := range keys {
+							if want := seq.Delete(k); got[i] != want {
+								t.Fatalf("DeleteBatch(%d) = %v, want %v", k, got[i], want)
+							}
+						}
+					default:
+						keys := make([]uint64, n)
+						for i := range keys {
+							keys[i] = rng.Uint64N(keySpace) + 1
+						}
+						vals, found := bat.GetBatch(keys)
+						for i, k := range keys {
+							wv, wok := seq.Get(k)
+							if found[i] != wok || (wok && vals[i] != wv) {
+								t.Fatalf("GetBatch(%d) = (%d,%v), want (%d,%v)", k, vals[i], found[i], wv, wok)
+							}
+						}
+					}
+				}
+				for k := uint64(1); k <= keySpace; k++ {
+					wv, wok := seq.Get(k)
+					gv, gok := bat.Get(k)
+					if wok != gok || (wok && wv != gv) {
+						t.Fatalf("final key %d mismatch: batch (%d,%v), sequential (%d,%v)", k, gv, gok, wv, wok)
+					}
+				}
 			})
-		}
+		})
 	}
-	return out
 }
 
-// TestBatchSequentialEquivalenceProperty quick-checks, through the public
-// API, that PutBatch/GetBatch/DeleteBatch are observably equivalent to the
-// same operations applied sequentially — including batches that straddle
-// leaf splits and deletes of absent keys — across the ablation grid.
-func TestBatchSequentialEquivalenceProperty(t *testing.T) {
-	for _, opts := range batchAblationOptions() {
-		opts := opts
-		fn := func(seed uint64) bool {
-			rng := rand.New(rand.NewPCG(seed, 0x5e55))
-			mk := func() *Session {
-				c, err := NewCluster(ClusterConfig{MemoryServers: 2, ComputeServers: 1})
-				if err != nil {
-					t.Fatal(err)
-				}
-				tree, err := c.CreateTree(opts)
-				if err != nil {
-					t.Fatal(err)
-				}
-				return tree.Session(0)
-			}
-			seq, bat := mk(), mk()
-
-			const keySpace = 300
-			for round := 0; round < 5; round++ {
-				n := int(rng.Uint64N(80)) + 1
-				switch rng.Uint64N(3) {
-				case 0:
-					kvs := make([]KV, n)
-					for i := range kvs {
-						kvs[i] = KV{Key: rng.Uint64N(keySpace) + 1, Value: rng.Uint64() | 1}
-					}
-					for _, kv := range kvs {
-						seq.Put(kv.Key, kv.Value)
-					}
-					bat.PutBatch(kvs)
-				case 1:
-					keys := make([]uint64, n)
-					for i := range keys {
-						keys[i] = rng.Uint64N(2*keySpace) + 1 // half absent
-					}
-					got := bat.DeleteBatch(keys)
-					for i, k := range keys {
-						if want := seq.Delete(k); got[i] != want {
-							t.Logf("opts %+v seed %d: DeleteBatch(%d) = %v, want %v", *opts.Advanced, seed, k, got[i], want)
-							return false
-						}
-					}
-				default:
-					keys := make([]uint64, n)
-					for i := range keys {
-						keys[i] = rng.Uint64N(keySpace) + 1
-					}
-					vals, found := bat.GetBatch(keys)
-					for i, k := range keys {
-						wv, wok := seq.Get(k)
-						if found[i] != wok || (wok && vals[i] != wv) {
-							t.Logf("opts %+v seed %d: GetBatch(%d) = (%d,%v), want (%d,%v)", *opts.Advanced, seed, k, vals[i], found[i], wv, wok)
-							return false
-						}
-					}
-				}
-			}
-			for k := uint64(1); k <= keySpace; k++ {
-				wv, wok := seq.Get(k)
-				gv, gok := bat.Get(k)
-				if wok != gok || (wok && wv != gv) {
-					t.Logf("opts %+v seed %d: final key %d mismatch", *opts.Advanced, seed, k)
-					return false
-				}
-			}
-			return true
-		}
-		if err := quick.Check(fn, &quick.Config{MaxCount: 6}); err != nil {
-			t.Errorf("%+v: %v", *opts.Advanced, err)
-		}
+// name renders the ablation cell for subtest names.
+func (a *AdvancedOptions) name() string {
+	mode := "checksum"
+	if a.TwoLevelVersions {
+		mode = "two-level"
 	}
+	if a.CombineCommands {
+		return mode + "/combine"
+	}
+	return mode + "/nocombine"
 }
 
 // TestBatchConcurrentSessions runs concurrent batched writers on disjoint
@@ -109,10 +97,7 @@ func TestBatchConcurrentSessions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tree, err := c.CreateTree(TreeOptions{NodeSize: 256})
-	if err != nil {
-		t.Fatal(err)
-	}
+	tree := testTree(t, c, TreeOptions{NodeSize: testutil.SmallNodeSize})
 
 	const workers = 8
 	refs := make([]map[uint64]uint64, workers)
@@ -122,7 +107,7 @@ func TestBatchConcurrentSessions(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			s := tree.Session(w % c.ComputeServers())
-			rng := rand.New(rand.NewPCG(uint64(w)+1, 31))
+			rng := testutil.RNG(uint64(w) + 1)
 			ref := make(map[uint64]uint64)
 			base := uint64(w)*100_000 + 1
 			for round := 0; round < 25; round++ {
@@ -181,7 +166,7 @@ func TestBatchConcurrentSessions(t *testing.T) {
 // TestBatchEmptyAndKeyZero covers the degenerate inputs.
 func TestBatchEmptyAndKeyZero(t *testing.T) {
 	c := testCluster(t)
-	tree, _ := c.CreateTree(DefaultTreeOptions())
+	tree := testTree(t, c, DefaultTreeOptions())
 	s := tree.Session(0)
 	s.PutBatch(nil)
 	if v, f := s.GetBatch(nil); len(v) != 0 || len(f) != 0 {

@@ -3,6 +3,7 @@ package sherman
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"sherman/internal/cluster"
 	"sherman/internal/sim"
@@ -17,6 +18,11 @@ type ClusterConfig struct {
 	// ComputeServers is the number of compute servers (CSs). The paper's
 	// testbed emulates 8; each runs many client threads.
 	ComputeServers int
+
+	// MaxMemoryServers caps online scale-out (AddMemoryServer): lock tables
+	// and other per-server state are sized for it at creation. 0 means
+	// MemoryServers plus a small headroom.
+	MaxMemoryServers int
 
 	// Fabric overrides the simulated network timing model. The zero value
 	// uses defaults calibrated to the paper's 100 Gbps ConnectX-5 testbed.
@@ -67,6 +73,9 @@ func (p FabricParams) toSim() sim.Params {
 // servers, and the RDMA fabric between them. Create trees with CreateTree.
 type Cluster struct {
 	cl *cluster.Cluster
+
+	treeMu sync.Mutex
+	trees  []*Tree // registered by CreateTree, for DrainMemoryServer
 }
 
 // NewCluster builds and starts a cluster.
@@ -80,6 +89,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.MemoryServers > 1<<15 {
 		return nil, fmt.Errorf("sherman: MemoryServers %d exceeds the 15-bit server id space", cfg.MemoryServers)
 	}
+	if cfg.MaxMemoryServers != 0 && (cfg.MaxMemoryServers < cfg.MemoryServers || cfg.MaxMemoryServers > 1<<15) {
+		return nil, fmt.Errorf("sherman: MaxMemoryServers %d outside [%d, %d]", cfg.MaxMemoryServers, cfg.MemoryServers, 1<<15)
+	}
 	p := cfg.Fabric.toSim()
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -87,6 +99,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	return &Cluster{cl: cluster.New(cluster.Config{
 		NumMS:  cfg.MemoryServers,
 		NumCS:  cfg.ComputeServers,
+		MaxMS:  cfg.MaxMemoryServers,
 		Params: p,
 	})}, nil
 }
@@ -148,7 +161,7 @@ func (c *Cluster) ComputeServerAlive(cs int) bool {
 // all memory servers, in bytes.
 func (c *Cluster) MemoryUsage() uint64 {
 	var n uint64
-	for _, s := range c.cl.F.Servers {
+	for _, s := range c.cl.F.Servers() {
 		n += s.Capacity()
 	}
 	return n

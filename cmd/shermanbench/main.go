@@ -25,7 +25,10 @@
 // -check adds experiment-specific hard assertions: with -exp pipeline, the
 // latency-hiding smoke (depth-4 beats depth-1); with -exp faults, the
 // crash-recovery smoke (a compute server killed mid-write leaves a
-// reclaimable lock, and the tree validates after recovery).
+// reclaimable lock, and the tree validates after recovery); with -exp
+// elastic, the scale-out gate (adding a memory server mid-run at least
+// halves the per-MS inbound-load skew and steady-state throughput reaches
+// 95% of a cluster provisioned at the larger size up front).
 package main
 
 import (
@@ -42,7 +45,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (table1,table2,fig2,fig3,fig10,fig11,fig12,fig13,fig14,fig15a,fig15b,fig15c,fig16,extras,ycsb,batch,pipeline,faults,all,quick)")
+		exp      = flag.String("exp", "all", "experiment id (table1,table2,fig2,fig3,fig10,fig11,fig12,fig13,fig14,fig15a,fig15b,fig15c,fig16,extras,ycsb,batch,pipeline,faults,elastic,all,quick)")
 		keys     = flag.Uint64("keys", 0, "key-space size (0 = scale default)")
 		windowMS = flag.Int("window", 0, "virtual measurement window in ms (0 = scale default)")
 		warmup   = flag.Int("warmup", 0, "warmup ops per thread (0 = scale default)")
@@ -81,7 +84,7 @@ func main() {
 	if *exp == "all" || *exp == "quick" {
 		ids = []string{"table1", "table2", "fig2", "fig3", "fig10", "fig11",
 			"fig12", "fig13", "fig14", "fig15a", "fig15b", "fig15c", "fig16",
-			"batch", "pipeline", "faults"}
+			"batch", "pipeline", "faults", "elastic"}
 	}
 	fmt.Printf("# shermanbench: keys=%d threads/CS=%d window=%dms GOMAXPROCS=%d\n\n",
 		s.Keys, s.ThreadsPerCS, s.MeasureNS/1_000_000, runtime.GOMAXPROCS(0))
@@ -89,8 +92,9 @@ func main() {
 	report := bench.NewReport(*exp, *quick || *exp == "quick", s)
 	col := &bench.Collector{}
 	var churn *bench.FaultResult
+	var elastic *bench.ElasticResult
 	for _, id := range ids {
-		run(strings.TrimSpace(id), s, col, report, &churn)
+		run(strings.TrimSpace(id), s, col, report, &churn, &elastic)
 	}
 	report.Metrics = col.Metrics
 
@@ -127,7 +131,7 @@ func main() {
 		}
 	}
 	if *check {
-		if err := runChecks(ids, s, col, churn); err != nil {
+		if err := runChecks(ids, s, col, churn, elastic); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			failed = true
 		}
@@ -140,7 +144,7 @@ func main() {
 // runChecks executes the hard assertions of the selected experiments,
 // evaluating the results this invocation already produced (the pipeline
 // sweep's metrics, the fault churn's rounds) rather than re-running them.
-func runChecks(ids []string, s bench.Scale, col *bench.Collector, churn *bench.FaultResult) error {
+func runChecks(ids []string, s bench.Scale, col *bench.Collector, churn *bench.FaultResult, elastic *bench.ElasticResult) error {
 	for _, id := range ids {
 		switch strings.TrimSpace(id) {
 		case "pipeline":
@@ -153,12 +157,17 @@ func runChecks(ids []string, s bench.Scale, col *bench.Collector, churn *bench.F
 				return err
 			}
 			fmt.Println("fault gate: mid-write crash reclaimed and recovered; churn rounds validate")
+		case "elastic":
+			if err := bench.ElasticGate(elastic); err != nil {
+				return err
+			}
+			fmt.Println("elastic gate: skew halved after scale-out; steady state within 95% of the provisioned control")
 		}
 	}
 	return nil
 }
 
-func run(id string, s bench.Scale, col *bench.Collector, report *bench.Report, churn **bench.FaultResult) {
+func run(id string, s bench.Scale, col *bench.Collector, report *bench.Report, churn **bench.FaultResult, elastic **bench.ElasticResult) {
 	start := time.Now()
 	var tables []*bench.Table
 	switch id {
@@ -200,6 +209,10 @@ func run(id string, s bench.Scale, col *bench.Collector, report *bench.Report, c
 		t, r := bench.FaultChurn(s, col)
 		tables = []*bench.Table{t}
 		*churn = &r
+	case "elastic":
+		t, r := bench.Elastic(s, col)
+		tables = []*bench.Table{t}
+		*elastic = &r
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
 		os.Exit(2)

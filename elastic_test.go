@@ -1,0 +1,244 @@
+package sherman
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// elasticTree builds a 1-MS cluster with a bulkloaded tree — the most
+// skewed possible placement, everything behind one NIC.
+func elasticTree(t *testing.T, nodeSize int) (*Cluster, *Tree) {
+	t.Helper()
+	c, err := NewCluster(ClusterConfig{MemoryServers: 1, ComputeServers: 2, MaxMemoryServers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := c.CreateTree(TreeOptions{NodeSize: nodeSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kvs := make([]KV, 2000)
+	for i := range kvs {
+		kvs[i] = KV{Key: uint64(i + 1), Value: uint64(i)*3 + 7}
+	}
+	if err := tr.Bulkload(kvs); err != nil {
+		t.Fatal(err)
+	}
+	return c, tr
+}
+
+func TestAddMemoryServerAndRebalance(t *testing.T) {
+	c, tr := elasticTree(t, 256)
+	s := tr.Session(0)
+
+	// Generate load so the picker has a signal.
+	for k := uint64(1); k <= 2000; k += 3 {
+		s.Get(k)
+	}
+	ms, err := c.AddMemoryServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms != 1 || c.MemoryServers() != 2 {
+		t.Fatalf("AddMemoryServer = %d, MemoryServers = %d; want 1, 2", ms, c.MemoryServers())
+	}
+
+	st, err := tr.Rebalance(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ChunksMoved == 0 || st.NodesMoved == 0 {
+		t.Fatalf("rebalance moved nothing: %+v", st)
+	}
+	if st.Repoints == 0 {
+		t.Fatalf("rebalance repointed nothing: %+v", st)
+	}
+	if st.VirtualNS <= 0 {
+		t.Fatalf("rebalance took %d virtual ns", st.VirtualNS)
+	}
+
+	// The tree must be fully intact through both sessions (old and fresh).
+	for k := uint64(1); k <= 2000; k++ {
+		if v, ok := s.Get(k); !ok || v != (k-1)*3+7 {
+			t.Fatalf("post-rebalance Get(%d) = (%d,%v)", k, v, ok)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate after rebalance: %v", err)
+	}
+
+	// New writes spread across both servers now.
+	loads0 := c.MemoryServerLoads()
+	if len(loads0) != 2 {
+		t.Fatalf("loads = %+v", loads0)
+	}
+	s2 := tr.Session(1)
+	for k := uint64(5000); k < 7000; k++ {
+		s2.Put(k, k)
+	}
+	loads := c.MemoryServerLoads()
+	if loads[1].InboundOps-loads0[1].InboundOps == 0 {
+		t.Fatal("new server took no traffic after rebalance")
+	}
+}
+
+func TestDrainMemoryServer(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{MemoryServers: 2, ComputeServers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := c.CreateTree(TreeOptions{NodeSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kvs := make([]KV, 1500)
+	for i := range kvs {
+		kvs[i] = KV{Key: uint64(i + 1), Value: uint64(i + 1)}
+	}
+	if err := tr.Bulkload(kvs); err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Session(0)
+	s.Get(1)
+
+	st, err := c.DrainMemoryServer(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NodesMoved == 0 {
+		t.Fatalf("drain moved nothing: %+v", st)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate after drain: %v", err)
+	}
+	for k := uint64(1); k <= 1500; k++ {
+		if v, ok := s.Get(k); !ok || v != k {
+			t.Fatalf("post-drain Get(%d) = (%d,%v)", k, v, ok)
+		}
+	}
+	// Writes after the drain must not land on the drained server.
+	before := c.MemoryServerLoads()[1].InboundOps
+	for k := uint64(10_000); k < 12_000; k++ {
+		s.Put(k, k)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	loads := c.MemoryServerLoads()
+	if !loads[1].Draining {
+		t.Fatal("drained server not marked draining")
+	}
+	// Chasing tolerance: stale sibling pointers may still touch ms1, but
+	// the write path must not allocate there — growth should be minimal
+	// compared to the 2000 puts.
+	if grew := loads[1].InboundOps - before; grew > 500 {
+		t.Fatalf("drained server still serving heavy traffic: %d inbound ops", grew)
+	}
+
+	// Draining the last live server must fail.
+	if _, err := c.DrainMemoryServer(0, 0); err == nil {
+		t.Fatal("draining the last memory server succeeded")
+	}
+}
+
+// TestRebalanceDuringConcurrentSessions migrates while writers and readers
+// churn — the live half of "usable while sessions run".
+func TestRebalanceDuringConcurrentSessions(t *testing.T) {
+	c, tr := elasticTree(t, 256)
+
+	const workers = 4
+	refs := make([]map[uint64]uint64, workers)
+	var wg sync.WaitGroup
+	startMigr := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s, err := tr.SessionAt(w%c.ComputeServers(), PipelineDepth(1+w%4))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ref := make(map[uint64]uint64)
+			base := uint64(w)*100_000 + 10_000
+			for i := uint64(0); i < 600; i++ {
+				if w == 0 && i == 100 {
+					close(startMigr)
+				}
+				k := base + i%300
+				switch i % 7 {
+				case 0:
+					s.Submit(DeleteOp(k))
+					delete(ref, k)
+				case 1:
+					r := s.Submit(GetOp(k)).Wait()
+					want, ok := ref[k]
+					if r.Found != ok || (ok && r.Value != want) {
+						t.Errorf("worker %d: Get(%d) = (%d,%v), want (%d,%v)", w, k, r.Value, r.Found, want, ok)
+						return
+					}
+				default:
+					s.Submit(PutOp(k, k+i))
+					ref[k] = k + i
+				}
+			}
+			if err := s.Flush(); err != nil {
+				t.Error(err)
+			}
+			refs[w] = ref
+		}(w)
+	}
+
+	<-startMigr
+	if _, err := c.AddMemoryServer(); err != nil {
+		t.Error(err)
+	}
+	if _, err := tr.Rebalance(1); err != nil {
+		t.Error(err)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate after concurrent rebalance: %v", err)
+	}
+	s := tr.Session(0)
+	for w, ref := range refs {
+		for k, v := range ref {
+			if got, ok := s.Get(k); !ok || got != v {
+				t.Fatalf("worker %d key %d = (%d,%v), want (%d,true)", w, k, got, ok, v)
+			}
+		}
+	}
+	// Bulkloaded keys survived too.
+	for k := uint64(1); k <= 2000; k += 37 {
+		if v, ok := s.Get(k); !ok || v != (k-1)*3+7 {
+			t.Fatalf("bulk key %d = (%d,%v)", k, v, ok)
+		}
+	}
+}
+
+func TestElasticValidation(t *testing.T) {
+	c, tr := elasticTree(t, 256)
+	if _, err := tr.Rebalance(-1); !errors.Is(err, ErrBadComputeServer) {
+		t.Fatalf("Rebalance(-1): %v", err)
+	}
+	if _, err := c.DrainMemoryServer(9, 0); err == nil {
+		t.Fatal("DrainMemoryServer(9) succeeded")
+	}
+	// Capacity cap: 4 total were declared.
+	for i := 0; i < 3; i++ {
+		if _, err := c.AddMemoryServer(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.AddMemoryServer(); err == nil {
+		t.Fatal("AddMemoryServer beyond MaxMemoryServers succeeded")
+	}
+	if _, err := NewCluster(ClusterConfig{MemoryServers: 2, ComputeServers: 1, MaxMemoryServers: 1}); err == nil {
+		t.Fatal("MaxMemoryServers < MemoryServers accepted")
+	}
+}

@@ -8,10 +8,7 @@ import (
 func faultTree(t *testing.T) (*Cluster, *Tree) {
 	t.Helper()
 	c := testCluster(t)
-	tr, err := c.CreateTree(DefaultTreeOptions())
-	if err != nil {
-		t.Fatal(err)
-	}
+	tr := testTree(t, c, DefaultTreeOptions())
 	kvs := make([]KV, 500)
 	for i := range kvs {
 		kvs[i] = KV{Key: uint64(i + 1), Value: uint64(i) + 100}

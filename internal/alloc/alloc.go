@@ -27,11 +27,12 @@ type Stats struct {
 
 // ThreadAllocator is the per-client-thread stage-two allocator. It selects
 // memory servers round-robin per chunk (§4.2.4; the paper notes round-robin
-// may imbalance accesses and leaves that for future work).
+// may imbalance accesses and leaves that for future work). The server set is
+// re-read at every refill, so chunks start landing on scaled-out servers as
+// soon as they join, and never on draining ones.
 type ThreadAllocator struct {
 	c      *rdma.Client
 	stats  *Stats
-	numMS  int
 	nextMS int
 
 	cur rdma.Addr
@@ -42,11 +43,10 @@ type ThreadAllocator struct {
 // staggers the round-robin origin so threads do not stampede one server;
 // pass e.g. the thread index.
 func NewThreadAllocator(c *rdma.Client, stats *Stats, startMS int) *ThreadAllocator {
-	numMS := len(c.F.Servers)
+	numMS := c.F.NumServers()
 	return &ThreadAllocator{
 		c:      c,
 		stats:  stats,
-		numMS:  numMS,
 		nextMS: ((startMS % numMS) + numMS) % numMS,
 	}
 }
@@ -59,6 +59,11 @@ func (a *ThreadAllocator) Alloc(size int) rdma.Addr {
 		panic(fmt.Sprintf("alloc: bad allocation size %d", size))
 	}
 	sz := (uint64(size) + nodeAlign - 1) &^ (nodeAlign - 1)
+	if a.rem > 0 && a.c.F.Servers()[a.cur.MS()].Draining() {
+		// The current chunk's server started draining: abandon the
+		// remainder so no new node lands on a server being scaled in.
+		a.rem = 0
+	}
 	for a.rem < sz {
 		// A refill can yield slightly less than a full chunk (the nil-address
 		// carve-out on MS 0), so loop until a chunk fits.
@@ -71,17 +76,35 @@ func (a *ThreadAllocator) Alloc(size int) rdma.Addr {
 	return addr
 }
 
-// refill obtains a new chunk from the next memory server in round-robin
-// order via the memory thread RPC.
+// refill obtains a new chunk from the next non-draining memory server in
+// round-robin order via the memory thread RPC.
 func (a *ThreadAllocator) refill() {
-	ms := uint16(a.nextMS)
-	a.nextMS = (a.nextMS + 1) % a.numMS
+	servers := a.c.F.Servers()
+	ms := uint16(nextPlacement(servers, &a.nextMS))
 	var base uint64
 	a.c.Call(ms, func() {
-		base = a.c.F.Servers[ms].Grow()
+		base = servers[ms].Grow()
 	})
 	a.cur, a.rem = chunkStart(ms, base)
 	a.stats.Chunks.Add(1)
+}
+
+// nextPlacement advances the round-robin cursor to the next server willing
+// to accept allocations, falling back to plain round-robin when every
+// server is draining (scale-in must never wedge the allocator).
+func nextPlacement(servers []*rdma.Server, cursor *int) int {
+	n := len(servers)
+	*cursor %= n
+	for i := 0; i < n; i++ {
+		ms := *cursor
+		*cursor = (*cursor + 1) % n
+		if !servers[ms].Draining() {
+			return ms
+		}
+	}
+	ms := *cursor
+	*cursor = (*cursor + 1) % n
+	return ms
 }
 
 // chunkStart converts a freshly grown chunk into an allocation cursor. The
@@ -110,8 +133,8 @@ type Bulk struct {
 func NewBulk(f *rdma.Fabric, stats *Stats) *Bulk {
 	return &Bulk{
 		f:     f,
-		cur:   make([]rdma.Addr, len(f.Servers)),
-		rem:   make([]uint64, len(f.Servers)),
+		cur:   make([]rdma.Addr, f.NumServers()),
+		rem:   make([]uint64, f.NumServers()),
 		stats: stats,
 	}
 }
@@ -130,10 +153,15 @@ func (b *Bulk) Alloc(size int) rdma.Addr {
 		panic(fmt.Sprintf("alloc: bad bulk allocation size %d", size))
 	}
 	sz := (uint64(size) + nodeAlign - 1) &^ (nodeAlign - 1)
-	ms := b.next
-	b.next = (b.next + 1) % len(b.f.Servers)
+	servers := b.f.Servers()
+	ms := nextPlacement(servers, &b.next)
+	for ms >= len(b.cur) {
+		// The fabric grew since this Bulk was created.
+		b.cur = append(b.cur, rdma.NilAddr)
+		b.rem = append(b.rem, 0)
+	}
 	for b.rem[ms] < sz {
-		base := b.f.Servers[ms].Grow()
+		base := servers[ms].Grow()
 		b.cur[ms], b.rem[ms] = chunkStart(uint16(ms), base)
 		if b.stats != nil {
 			b.stats.Chunks.Add(1)

@@ -107,7 +107,7 @@ func TestAllocationsNeverSpanChunks(t *testing.T) {
 		}
 		// The memory must actually be addressable.
 		buf := make([]byte, size)
-		f.Servers[addr.MS()].WriteAt(addr.Off(), buf)
+		f.Servers()[addr.MS()].WriteAt(addr.Off(), buf)
 	}
 }
 
@@ -186,7 +186,7 @@ func TestBulkNoTimeAccounting(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		b.Alloc(2048)
 	}
-	if got := f.Servers[0].Inbound.Peek(); got != 0 {
+	if got := f.Servers()[0].Inbound.Peek(); got != 0 {
 		t.Errorf("bulk allocation advanced the inbound pipeline to %d", got)
 	}
 	if st.Nodes.Load() != 100 {
@@ -204,9 +204,46 @@ func TestAllocPropertyAligned(t *testing.T) {
 		size := int(raw)%8192 + 1
 		addr := a.Alloc(size)
 		return !addr.IsNil() && addr.Off()%64 == 0 &&
-			addr.Off()+uint64(size) <= f.Servers[addr.MS()].Capacity()
+			addr.Off()+uint64(size) <= f.Servers()[addr.MS()].Capacity()
 	}
 	if err := quick.Check(fn, &quick.Config{MaxCount: 2000}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestForwardingSingleTarget pins the one-target-per-chunk contract: a
+// second migration of the same source chunk must reuse the installed
+// target (so first-generation references keep resolving) — installing a
+// fresh one is a protocol violation and panics.
+func TestForwardingSingleTarget(t *testing.T) {
+	fwd := NewForwarding()
+	ck := ChunkID{MS: 1, Index: 3}
+	base := rdma.MakeAddr(2, 5*rdma.DefaultChunkSize)
+	if _, ok := fwd.Reuse(ck, 0, 1); ok {
+		t.Fatal("Reuse found an entry before Install")
+	}
+	fwd.Install(ck, base, 0, 1)
+	got, ok := fwd.Reuse(ck, 1, 7)
+	if !ok || got != base {
+		t.Fatalf("Reuse = (%v,%v), want (%v,true)", got, ok, base)
+	}
+	src := ck.ChunkBase().Add(640)
+	if r, ok := fwd.Resolve(src); !ok || r != base.Add(640) {
+		t.Fatalf("Resolve(%v) = (%v,%v)", src, r, ok)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("duplicate Install did not panic")
+			}
+		}()
+		fwd.Install(ck, base.Add(rdma.DefaultChunkSize), 0, 1)
+	}()
+	// The re-stamped owner (cs 1, epoch 7) governs draining.
+	if n := fwd.DropDead(func(cs int, epoch int64) bool { return cs == 1 && epoch == 7 }); n != 0 {
+		t.Fatalf("DropDead removed %d live-owner entries", n)
+	}
+	if n := fwd.DropDead(func(cs int, epoch int64) bool { return false }); n != 1 || fwd.Len() != 0 {
+		t.Fatalf("DropDead = %d, len %d; want 1, 0", n, fwd.Len())
 	}
 }

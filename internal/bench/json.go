@@ -37,6 +37,9 @@ type Metric struct {
 	Hiding        float64 `json:"hiding,omitempty"`
 	Reclaims      int64   `json:"reclaims,omitempty"`
 	RecoveryNS    int64   `json:"recovery_ns,omitempty"`
+	// Skew is the per-MS inbound-load imbalance (hottest/coldest) of an
+	// elastic experiment's window.
+	Skew float64 `json:"skew,omitempty"`
 }
 
 // Collector accumulates the typed metrics of one harness invocation. A nil

@@ -65,7 +65,7 @@ func RunWrites(e WriteExp) WriteResult {
 	for ms := 0; ms < numMS; ms++ {
 		bases[ms] = make([]uint64, e.Threads)
 		for th := 0; th < e.Threads; th++ {
-			bases[ms][th] = f.Servers[ms].Grow()
+			bases[ms][th] = f.Servers()[ms].Grow()
 		}
 	}
 

@@ -112,6 +112,25 @@ func (c *IndexCache) Invalidate(e *Entry) {
 	c.unpool(e)
 }
 
+// InvalidateMatching drops every entry the predicate selects and returns
+// how many were dropped. The migration engine uses it to purge entries that
+// live in (or steer into) a migrated chunk, so readers stop resolving
+// leaves through addresses that are about to die.
+func (c *IndexCache) InvalidateMatching(pred func(*Entry) bool) int {
+	c.poolMu.Lock()
+	victims := make([]*Entry, 0, 8)
+	for _, e := range c.pool {
+		if pred(e) {
+			victims = append(victims, e)
+		}
+	}
+	c.poolMu.Unlock()
+	for _, e := range victims {
+		c.Invalidate(e)
+	}
+	return len(victims)
+}
+
 // evictOne applies power-of-two-choices [48]: sample two entries uniformly
 // and evict the one least recently used (§4.2.3).
 func (c *IndexCache) evictOne() {

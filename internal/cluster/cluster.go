@@ -6,6 +6,7 @@ package cluster
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"sherman/internal/alloc"
@@ -30,8 +31,24 @@ type Cluster struct {
 	// AllocStats aggregates allocator activity across all client threads.
 	AllocStats alloc.Stats
 
+	// Fwd is the chunk forwarding map of the live-migration protocol:
+	// compute-side shared state redirecting addresses of migrated chunks to
+	// their new home until every parent pointer is repointed.
+	Fwd *alloc.Forwarding
+
 	numThreads []atomic.Int64 // per CS, for diagnostics
+
+	// migMu serializes migration engines cluster-wide: two concurrent
+	// rebalances must never relocate the same chunk. Held in real time only
+	// (the owner's verbs still cost virtual time like any client's).
+	migMu sync.Mutex
 }
+
+// MigrationLock enters the cluster-wide migration critical section.
+func (c *Cluster) MigrationLock() { c.migMu.Lock() }
+
+// MigrationUnlock leaves the migration critical section.
+func (c *Cluster) MigrationUnlock() { c.migMu.Unlock() }
 
 // Config sizes a cluster.
 type Config struct {
@@ -39,6 +56,9 @@ type Config struct {
 	// testbed emulates 8 of each (§5.1.1).
 	NumMS int
 	NumCS int
+	// MaxMS caps online memory-server scale-out (AddMS); 0 means NumMS plus
+	// a small default headroom. Lock tables are sized for it up front.
+	MaxMS int
 	// Params overrides the fabric timing model; zero value means defaults.
 	Params sim.Params
 }
@@ -53,13 +73,35 @@ func New(cfg Config) *Cluster {
 	if cfg.NumMS <= 0 || cfg.NumCS <= 0 {
 		panic(fmt.Sprintf("cluster: invalid sizes %d MS / %d CS", cfg.NumMS, cfg.NumCS))
 	}
-	f := rdma.NewFabric(p, cfg.NumMS, cfg.NumCS)
-	f.Servers[0].Grow() // superblock chunk
-	return &Cluster{F: f, P: p, numThreads: make([]atomic.Int64, cfg.NumCS)}
+	maxMS := cfg.MaxMS
+	if maxMS == 0 {
+		maxMS = cfg.NumMS + rdma.DefaultServerHeadroom
+	}
+	f := rdma.NewFabricCap(p, cfg.NumMS, maxMS, cfg.NumCS)
+	f.Servers()[0].Grow() // superblock chunk
+	return &Cluster{F: f, P: p, Fwd: alloc.NewForwarding(), numThreads: make([]atomic.Int64, cfg.NumCS)}
 }
 
-// NumMS returns the memory-server count.
-func (c *Cluster) NumMS() int { return len(c.F.Servers) }
+// NumMS returns the current memory-server count.
+func (c *Cluster) NumMS() int { return c.F.NumServers() }
+
+// AddMS attaches one new (empty) memory server to the running cluster and
+// returns its id. Safe while client threads run: lock managers wire the
+// newcomer before it is published, and allocators start placing chunks on
+// it at their next refill. Data moves only when a migration rebalances.
+func (c *Cluster) AddMS() (int, error) {
+	s, err := c.F.AddServer()
+	if err != nil {
+		return 0, err
+	}
+	return int(s.ID), nil
+}
+
+// SetDraining marks memory server ms as scaling in (or back): allocators
+// skip it. The migration engine moves its contents elsewhere.
+func (c *Cluster) SetDraining(ms int, v bool) {
+	c.F.Servers()[ms].SetDraining(v)
+}
 
 // NumCS returns the compute-server count.
 func (c *Cluster) NumCS() int { return len(c.F.CSs) }
@@ -105,7 +147,7 @@ func (c *Cluster) SetRoot(root rdma.Addr, level uint8) {
 	var buf [16]byte
 	binary.LittleEndian.PutUint64(buf[0:], uint64(root))
 	binary.LittleEndian.PutUint64(buf[8:], uint64(level))
-	c.F.Servers[0].WriteAt(superRootOff, buf[:])
+	c.F.Servers()[0].WriteAt(superRootOff, buf[:])
 }
 
 // ReadRoot fetches the current root pointer and level via RDMA_READ on the

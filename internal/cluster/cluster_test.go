@@ -14,10 +14,10 @@ func TestNewClusterReservesSuperblock(t *testing.T) {
 	}
 	// MS 0 must already own the superblock chunk, so the first allocator
 	// chunk cannot be offset 0 (Addr 0 is the nil pointer).
-	if got := c.F.Servers[0].Capacity(); got != rdma.DefaultChunkSize {
+	if got := c.F.Servers()[0].Capacity(); got != rdma.DefaultChunkSize {
 		t.Fatalf("MS0 capacity = %d, want one chunk", got)
 	}
-	base := c.F.Servers[0].Grow()
+	base := c.F.Servers()[0].Grow()
 	if base == 0 {
 		t.Fatal("allocator chunk landed on the superblock")
 	}

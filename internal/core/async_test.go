@@ -1,19 +1,21 @@
-package core
+package core_test
 
 import (
 	"testing"
 
 	"sherman/internal/cluster"
+	core "sherman/internal/core"
 	"sherman/internal/layout"
 	"sherman/internal/stats"
+	"sherman/internal/testutil"
 )
 
 // asyncTestTree builds a bulkloaded tree with n keys (key i+1 -> i+1) and
 // one handle, caches warmed.
-func asyncTestTree(t *testing.T, n int) (*Tree, *Handle) {
+func asyncTestTree(t *testing.T, n int) (*core.Tree, *core.Handle) {
 	t.Helper()
 	cl := cluster.New(cluster.Config{NumMS: 4, NumCS: 1})
-	tr := New(cl, ShermanConfig())
+	tr := core.New(cl, core.ShermanConfig())
 	kvs := make([]layout.KV, n)
 	for i := range kvs {
 		kvs[i] = layout.KV{Key: uint64(i + 1), Value: uint64(i + 1)}
@@ -32,14 +34,14 @@ func asyncTestTree(t *testing.T, n int) (*Tree, *Handle) {
 func TestAsyncOverlapsIndependentOps(t *testing.T) {
 	const n = 50_000
 	const ops = 500
-	span := func(depth int) (int64, *Handle) {
+	span := func(depth int) (int64, *core.Handle) {
 		_, h := asyncTestTree(t, n)
 		a := h.NewAsync(depth)
 		t0 := h.C.Now()
 		key := uint64(7)
 		for i := 0; i < ops; i++ {
 			key = key*6364136223846793005 + 1442695040888963407
-			a.Submit(Op{Kind: stats.OpLookup, Key: key%n + 1})
+			a.Submit(core.Op{Kind: stats.OpLookup, Key: key%n + 1})
 		}
 		a.Flush()
 		return h.C.Now() - t0, h
@@ -69,8 +71,8 @@ func TestAsyncSameKeyOrdering(t *testing.T) {
 
 	// put(k) then get(k): the get must see the put's value and complete
 	// after it.
-	_, putDone := a.Submit(Op{Kind: stats.OpInsert, Key: 42, Value: 9999})
-	res, getDone := a.Submit(Op{Kind: stats.OpLookup, Key: 42})
+	_, putDone := a.Submit(core.Op{Kind: stats.OpInsert, Key: 42, Value: 9999})
+	res, getDone := a.Submit(core.Op{Kind: stats.OpLookup, Key: 42})
 	if !res.Found || res.Value != 9999 {
 		t.Fatalf("pipelined get after put = (%d,%v), want (9999,true)", res.Value, res.Found)
 	}
@@ -80,8 +82,8 @@ func TestAsyncSameKeyOrdering(t *testing.T) {
 
 	// get(k) then put(k): the later put must not virtually complete before
 	// the read it would otherwise clobber.
-	_, rDone := a.Submit(Op{Kind: stats.OpLookup, Key: 77})
-	_, wDone := a.Submit(Op{Kind: stats.OpInsert, Key: 77, Value: 1})
+	_, rDone := a.Submit(core.Op{Kind: stats.OpLookup, Key: 77})
+	_, wDone := a.Submit(core.Op{Kind: stats.OpInsert, Key: 77, Value: 1})
 	if wDone <= rDone {
 		t.Errorf("write-after-read completed at %d, not after the read at %d", wDone, rDone)
 	}
@@ -89,8 +91,8 @@ func TestAsyncSameKeyOrdering(t *testing.T) {
 	// Independent keys do overlap: with 8 lanes, two fresh gets on cold
 	// keys complete within one RTT of each other in either order.
 	a.Flush()
-	_, d1 := a.Submit(Op{Kind: stats.OpLookup, Key: 101})
-	_, d2 := a.Submit(Op{Kind: stats.OpLookup, Key: 5003})
+	_, d1 := a.Submit(core.Op{Kind: stats.OpLookup, Key: 101})
+	_, d2 := a.Submit(core.Op{Kind: stats.OpLookup, Key: 5003})
 	gap := d2 - d1
 	if gap < 0 {
 		gap = -gap
@@ -109,10 +111,10 @@ func TestAsyncScanBarrier(t *testing.T) {
 
 	var writeDones []int64
 	for i := uint64(0); i < 4; i++ {
-		_, d := a.Submit(Op{Kind: stats.OpInsert, Key: 2000 + i, Value: 1})
+		_, d := a.Submit(core.Op{Kind: stats.OpInsert, Key: 2000 + i, Value: 1})
 		writeDones = append(writeDones, d)
 	}
-	res, scanDone := a.Submit(Op{Kind: stats.OpRange, Key: 1999, Span: 8})
+	res, scanDone := a.Submit(core.Op{Kind: stats.OpRange, Key: 1999, Span: 8})
 	for _, d := range writeDones {
 		if scanDone <= d {
 			t.Errorf("scan completed at %d, before an outstanding write at %d", scanDone, d)
@@ -128,7 +130,7 @@ func TestAsyncScanBarrier(t *testing.T) {
 	if found != 4 {
 		t.Errorf("scan observed %d of the 4 writes submitted before it", found)
 	}
-	_, wDone := a.Submit(Op{Kind: stats.OpInsert, Key: 2500, Value: 1})
+	_, wDone := a.Submit(core.Op{Kind: stats.OpInsert, Key: 2500, Value: 1})
 	if wDone <= scanDone {
 		t.Errorf("write after scan completed at %d, before the scan at %d", wDone, scanDone)
 	}
@@ -147,12 +149,12 @@ func TestAsyncDepth1MatchesSync(t *testing.T) {
 	keys := []uint64{5, 500, 5000, 9999, 123, 456}
 	for _, k := range keys {
 		hs.Insert(k, k*3)
-		r, _ := a.Submit(Op{Kind: stats.OpInsert, Key: k, Value: k * 3})
+		r, _ := a.Submit(core.Op{Kind: stats.OpInsert, Key: k, Value: k * 3})
 		_ = r
 	}
 	for _, k := range keys {
 		wv, wok := hs.Lookup(k)
-		r, _ := a.Submit(Op{Kind: stats.OpLookup, Key: k})
+		r, _ := a.Submit(core.Op{Kind: stats.OpLookup, Key: k})
 		if r.Found != wok || r.Value != wv {
 			t.Errorf("depth-1 Submit lookup(%d) = (%d,%v), sync (%d,%v)", k, r.Value, r.Found, wv, wok)
 		}
@@ -174,18 +176,18 @@ func TestAsyncDepth1MatchesSync(t *testing.T) {
 // than at depth 1 while returning identical results.
 func TestAsyncExecOverlapsGroups(t *testing.T) {
 	const n = 50_000
-	run := func(depth int) (int64, []OpResult) {
+	run := func(depth int) (int64, []core.OpResult) {
 		_, h := asyncTestTree(t, n)
 		a := h.NewAsync(depth)
-		var ops []Op
+		var ops []core.Op
 		key := uint64(3)
 		for i := 0; i < 64; i++ {
 			key = key*6364136223846793005 + 1442695040888963407
 			k := key%n + 1
 			if i%3 == 0 {
-				ops = append(ops, Op{Kind: stats.OpInsert, Key: k, Value: k * 7})
+				ops = append(ops, core.Op{Kind: stats.OpInsert, Key: k, Value: k * 7})
 			} else {
-				ops = append(ops, Op{Kind: stats.OpLookup, Key: k})
+				ops = append(ops, core.Op{Kind: stats.OpLookup, Key: k})
 			}
 		}
 		t0 := h.C.Now()
@@ -211,13 +213,13 @@ func TestAsyncExecOverlapsGroups(t *testing.T) {
 func TestAsyncMixedChurnEquivalence(t *testing.T) {
 	for _, mode := range []layout.Mode{layout.TwoLevel, layout.Checksum} {
 		for _, depth := range []int{2, 4, 8} {
-			cfg := ShermanConfig()
+			cfg := core.ShermanConfig()
 			if mode == layout.Checksum {
-				cfg = FGPlusConfig()
+				cfg = core.FGPlusConfig()
 			}
-			cfg.Format = smallFormat(mode)
-			seqTree := New(cluster.New(cluster.Config{NumMS: 2, NumCS: 1}), cfg)
-			pipeTree := New(cluster.New(cluster.Config{NumMS: 2, NumCS: 1}), cfg)
+			cfg.Format = testutil.SmallFormat(mode)
+			seqTree := core.New(cluster.New(cluster.Config{NumMS: 2, NumCS: 1}), cfg)
+			pipeTree := core.New(cluster.New(cluster.Config{NumMS: 2, NumCS: 1}), cfg)
 			seqH := seqTree.NewHandle(0, 0)
 			pipeH := pipeTree.NewHandle(0, 0)
 			a := pipeH.NewAsync(depth)
@@ -230,23 +232,23 @@ func TestAsyncMixedChurnEquivalence(t *testing.T) {
 				switch key % 5 {
 				case 0, 1:
 					seqH.Insert(k, key|1)
-					a.Submit(Op{Kind: stats.OpInsert, Key: k, Value: key | 1})
+					a.Submit(core.Op{Kind: stats.OpInsert, Key: k, Value: key | 1})
 				case 2:
 					want := seqH.Delete(k)
-					got, _ := a.Submit(Op{Kind: stats.OpDelete, Key: k})
+					got, _ := a.Submit(core.Op{Kind: stats.OpDelete, Key: k})
 					if got.Found != want {
 						t.Fatalf("%v depth %d: delete(%d) = %v, sequential %v", mode, depth, k, got.Found, want)
 					}
 				case 3:
 					wv, wok := seqH.Lookup(k)
-					got, _ := a.Submit(Op{Kind: stats.OpLookup, Key: k})
+					got, _ := a.Submit(core.Op{Kind: stats.OpLookup, Key: k})
 					if got.Found != wok || got.Value != wv {
 						t.Fatalf("%v depth %d: get(%d) = (%d,%v), sequential (%d,%v)",
 							mode, depth, k, got.Value, got.Found, wv, wok)
 					}
 				default:
 					want := seqH.Range(k, 7)
-					got, _ := a.Submit(Op{Kind: stats.OpRange, Key: k, Span: 7})
+					got, _ := a.Submit(core.Op{Kind: stats.OpRange, Key: k, Span: 7})
 					if len(got.KVs) != len(want) {
 						t.Fatalf("%v depth %d: scan(%d) returned %d rows, sequential %d",
 							mode, depth, k, len(got.KVs), len(want))

@@ -1,27 +1,28 @@
-package core
+package core_test
 
 import (
 	"math/rand/v2"
 	"sync"
 	"testing"
-	"testing/quick"
 
 	"sherman/internal/cluster"
+	core "sherman/internal/core"
 	"sherman/internal/layout"
+	"sherman/internal/testutil"
 )
 
 // batchConfigsUnderTest spans the ablation axes the batch pipeline must be
 // equivalent under: both node layouts crossed with command combination on
 // and off (batching must not depend on combining being available).
-func batchConfigsUnderTest() []Config {
-	var out []Config
+func batchConfigsUnderTest() []core.Config {
+	var out []core.Config
 	for _, mode := range []layout.Mode{layout.TwoLevel, layout.Checksum} {
 		for _, combine := range []bool{true, false} {
-			cfg := ShermanConfig()
+			cfg := core.ShermanConfig()
 			if mode == layout.Checksum {
-				cfg = FGPlusConfig()
+				cfg = core.FGPlusConfig()
 			}
-			cfg.Format = smallFormat(mode)
+			cfg.Format = testutil.SmallFormat(mode)
 			cfg.Combine = combine
 			out = append(out, cfg)
 		}
@@ -29,7 +30,7 @@ func batchConfigsUnderTest() []Config {
 	return out
 }
 
-// TestBatchEquivalenceProperty quick-checks that a random operation
+// TestBatchEquivalenceProperty checks, for deterministic seeds, that a random operation
 // sequence applied through the batch API leaves the tree in a state
 // observably equivalent to applying the same operations sequentially:
 // same per-key answers along the way, same final contents, and a valid
@@ -38,10 +39,10 @@ func batchConfigsUnderTest() []Config {
 func TestBatchEquivalenceProperty(t *testing.T) {
 	for _, cfg := range batchConfigsUnderTest() {
 		cfg := cfg
-		fn := func(seed uint64) bool {
-			rng := rand.New(rand.NewPCG(seed, 0xba7c4))
-			seqTree := New(cluster.New(cluster.Config{NumMS: 2, NumCS: 1}), cfg)
-			batTree := New(cluster.New(cluster.Config{NumMS: 2, NumCS: 1}), cfg)
+		testutil.RunSeeds(t, 12, func(t *testing.T, seed uint64) {
+			rng := testutil.RNG(seed)
+			seqTree := core.New(cluster.New(cluster.Config{NumMS: 2, NumCS: 1}), cfg)
+			batTree := core.New(cluster.New(cluster.Config{NumMS: 2, NumCS: 1}), cfg)
 			seqH := seqTree.NewHandle(0, 0)
 			batH := batTree.NewHandle(0, 0)
 
@@ -70,9 +71,8 @@ func TestBatchEquivalenceProperty(t *testing.T) {
 					got := batH.DeleteBatch(keys)
 					for i := range keys {
 						if got[i] != want[i] {
-							t.Logf("%s seed %d: DeleteBatch[%d] key %d = %v, sequential %v",
+							t.Fatalf("%s seed %d: DeleteBatch[%d] key %d = %v, sequential %v",
 								cfg.Name(), seed, i, keys[i], got[i], want[i])
-							return false
 						}
 					}
 				default: // lookups
@@ -84,9 +84,8 @@ func TestBatchEquivalenceProperty(t *testing.T) {
 					for i, k := range keys {
 						wv, wok := seqH.Lookup(k)
 						if found[i] != wok || (wok && vals[i] != wv) {
-							t.Logf("%s seed %d: GetBatch[%d] key %d = (%d,%v), sequential (%d,%v)",
+							t.Fatalf("%s seed %d: GetBatch[%d] key %d = (%d,%v), sequential (%d,%v)",
 								cfg.Name(), seed, i, k, vals[i], found[i], wv, wok)
-							return false
 						}
 					}
 				}
@@ -96,16 +95,17 @@ func TestBatchEquivalenceProperty(t *testing.T) {
 				wv, wok := seqH.Lookup(k)
 				gv, gok := batH.Lookup(k)
 				if wok != gok || (wok && wv != gv) {
-					t.Logf("%s seed %d: final key %d = (%d,%v), sequential (%d,%v)",
+					t.Fatalf("%s seed %d: final key %d = (%d,%v), sequential (%d,%v)",
 						cfg.Name(), seed, k, gv, gok, wv, wok)
-					return false
 				}
 			}
-			return seqTree.Validate() == nil && batTree.Validate() == nil
-		}
-		if err := quick.Check(fn, &quick.Config{MaxCount: 12}); err != nil {
-			t.Errorf("%s combine=%v: %v", cfg.Name(), cfg.Combine, err)
-		}
+			if err := seqTree.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if err := batTree.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
 	}
 }
 
@@ -114,8 +114,8 @@ func TestBatchEquivalenceProperty(t *testing.T) {
 // structure with Validate and the contents against per-thread references.
 func TestBatchConcurrentChurnValidate(t *testing.T) {
 	for _, cfg := range batchConfigsUnderTest() {
-		cl := testCluster(t, 2, 2)
-		tr := New(cl, cfg)
+		cl := testutil.NewCluster(t, 2, 2)
+		tr := core.New(cl, cfg)
 		const threads, rounds = 6, 40
 		refs := make([]map[uint64]uint64, threads)
 
@@ -198,8 +198,8 @@ func TestBatchConcurrentChurnValidate(t *testing.T) {
 func TestBatchGuardReuseChains(t *testing.T) {
 	for _, cfg := range batchConfigsUnderTest() {
 		cfg.LocksPerMS = 1
-		cl := testCluster(t, 1, 1)
-		tr := New(cl, cfg)
+		cl := testutil.NewCluster(t, 1, 1)
+		tr := core.New(cl, cfg)
 		h := tr.NewHandle(0, 0)
 
 		const n = 500
@@ -245,10 +245,10 @@ func TestBatchGuardReuseChains(t *testing.T) {
 // and lock acquisitions through InsertBatch than through sequential Insert.
 func TestBatchAmortizesRoundTripsAndLocks(t *testing.T) {
 	run := func(batched bool) (roundTrips, lockAcq int64) {
-		cfg := ShermanConfig()
-		cfg.Format = smallFormat(layout.TwoLevel)
-		cl := testCluster(t, 1, 1)
-		tr := New(cl, cfg)
+		cfg := core.ShermanConfig()
+		cfg.Format = testutil.SmallFormat(layout.TwoLevel)
+		cl := testutil.NewCluster(t, 1, 1)
+		tr := core.New(cl, cfg)
 		kvs := make([]layout.KV, 200)
 		for i := range kvs {
 			kvs[i] = layout.KV{Key: uint64(i + 1), Value: 1}

@@ -1,23 +1,24 @@
-package core
+package core_test
 
 import (
 	"math/rand/v2"
 	"sync"
 	"sync/atomic"
 	"testing"
-	"testing/quick"
 
 	"sherman/internal/cluster"
+	core "sherman/internal/core"
 	"sherman/internal/layout"
+	"sherman/internal/testutil"
 )
 
 // TestMixedChurnAgainstReference runs a random mix of insert, update,
 // delete and lookup on disjoint per-thread stripes and compares the whole
 // tree against per-thread reference maps, in both consistency modes.
 func TestMixedChurnAgainstReference(t *testing.T) {
-	for _, cfg := range configsUnderTest() {
-		cl := testCluster(t, 2, 2)
-		tr := New(cl, cfg)
+	for _, cfg := range testutil.Configs() {
+		cl := testutil.NewCluster(t, 2, 2)
+		tr := core.New(cl, cfg)
 		const threads, ops = 6, 3000
 		refs := make([]map[uint64]uint64, threads)
 
@@ -77,9 +78,9 @@ func TestMixedChurnAgainstReference(t *testing.T) {
 // value actually written for its key (leaf-level consistency, §4.4), while
 // half the threads insert into the scanned region.
 func TestRangeUnderChurn(t *testing.T) {
-	for _, cfg := range configsUnderTest() {
-		cl := testCluster(t, 2, 2)
-		tr := New(cl, cfg)
+	for _, cfg := range testutil.Configs() {
+		cl := testutil.NewCluster(t, 2, 2)
+		tr := core.New(cl, cfg)
 		const n = 4000
 		kvs := make([]layout.KV, n)
 		for i := range kvs {
@@ -131,9 +132,9 @@ func decKey(v uint64) uint64 { return v >> 20 }
 // TestDeleteHeavyReuse fills leaves, deletes everything, and refills:
 // cleared slots must be reusable and lookups must stay exact throughout.
 func TestDeleteHeavyReuse(t *testing.T) {
-	for _, cfg := range configsUnderTest() {
-		cl := testCluster(t, 2, 1)
-		tr := New(cl, cfg)
+	for _, cfg := range testutil.Configs() {
+		cl := testutil.NewCluster(t, 2, 1)
+		tr := core.New(cl, cfg)
 		h := tr.NewHandle(0, 0)
 		const n = 1500
 		for round := 0; round < 3; round++ {
@@ -166,14 +167,14 @@ func TestDeleteHeavyReuse(t *testing.T) {
 // entry (~18 B at the test geometry) for non-structural updates while the
 // checksum layout writes whole nodes — Figure 14(c)'s distinction.
 func TestUpdateInPlaceWriteSize(t *testing.T) {
-	shermanCfg := ShermanConfig()
-	shermanCfg.Format = smallFormat(layout.TwoLevel)
-	fgCfg := FGPlusConfig()
-	fgCfg.Format = smallFormat(layout.Checksum)
+	shermanCfg := core.ShermanConfig()
+	shermanCfg.Format = testutil.SmallFormat(layout.TwoLevel)
+	fgCfg := core.FGPlusConfig()
+	fgCfg.Format = testutil.SmallFormat(layout.Checksum)
 
-	measure := func(cfg Config) int64 {
-		cl := testCluster(t, 1, 1)
-		tr := New(cl, cfg)
+	measure := func(cfg core.Config) int64 {
+		cl := testutil.NewCluster(t, 1, 1)
+		tr := core.New(cl, cfg)
 		kvs := make([]layout.KV, 100)
 		for i := range kvs {
 			kvs[i] = layout.KV{Key: uint64(i + 1), Value: 1}
@@ -202,11 +203,11 @@ func TestUpdateInPlaceWriteSize(t *testing.T) {
 // non-structural insert from 4 round trips to 3 (Figure 14(b)).
 func TestCombineSavesRoundTrip(t *testing.T) {
 	measure := func(combine bool) int64 {
-		cfg := ShermanConfig()
-		cfg.Format = smallFormat(layout.TwoLevel)
+		cfg := core.ShermanConfig()
+		cfg.Format = testutil.SmallFormat(layout.TwoLevel)
 		cfg.Combine = combine
-		cl := testCluster(t, 1, 1)
-		tr := New(cl, cfg)
+		cl := testutil.NewCluster(t, 1, 1)
+		tr := core.New(cl, cfg)
 		kvs := make([]layout.KV, 100)
 		for i := range kvs {
 			kvs[i] = layout.KV{Key: uint64(i + 1), Value: 1}
@@ -231,10 +232,10 @@ func TestCombineSavesRoundTrip(t *testing.T) {
 // TestHandoverSavesRoundTrip: a handed-over lock acquisition skips the
 // remote CAS, giving 2-round-trip writes (Figure 14(b)'s 3.6% bucket).
 func TestHandoverSavesRoundTrip(t *testing.T) {
-	cfg := ShermanConfig()
-	cfg.Format = smallFormat(layout.TwoLevel)
-	cl := testCluster(t, 1, 1)
-	tr := New(cl, cfg)
+	cfg := core.ShermanConfig()
+	cfg.Format = testutil.SmallFormat(layout.TwoLevel)
+	cl := testutil.NewCluster(t, 1, 1)
+	tr := core.New(cl, cfg)
 	kvs := make([]layout.KV, 10)
 	for i := range kvs {
 		kvs[i] = layout.KV{Key: uint64(i + 1), Value: 1}
@@ -274,16 +275,16 @@ func TestHandoverSavesRoundTrip(t *testing.T) {
 func TestKeySizeFormats(t *testing.T) {
 	for _, ks := range []int{16, 64, 256, 1024} {
 		for _, mode := range []layout.Mode{layout.TwoLevel, layout.Checksum} {
-			cfg := ShermanConfig()
+			cfg := core.ShermanConfig()
 			if mode == layout.Checksum {
-				cfg = FGPlusConfig()
+				cfg = core.FGPlusConfig()
 			}
 			cfg.Format = layout.NewFormatFixedCap(mode, ks, 32)
 			if cfg.Format.LeafCap != 32 {
 				t.Fatalf("key %d mode %v: leaf cap %d, want 32", ks, mode, cfg.Format.LeafCap)
 			}
-			cl := testCluster(t, 2, 1)
-			tr := New(cl, cfg)
+			cl := testutil.NewCluster(t, 2, 1)
+			tr := core.New(cl, cfg)
 			h := tr.NewHandle(0, 0)
 			for k := uint64(1); k <= 300; k++ {
 				h.Insert(k, k*5)
@@ -300,47 +301,16 @@ func TestKeySizeFormats(t *testing.T) {
 	}
 }
 
-// TestTornNodeDetected injects a physically torn node image and checks the
-// read path retries rather than returning garbage: we corrupt, verify the
-// consistency check fails, then repair.
-func TestTornNodeDetected(t *testing.T) {
-	for _, cfg := range configsUnderTest() {
-		cl := testCluster(t, 1, 1)
-		tr := New(cl, cfg)
-		h := tr.NewHandle(0, 0)
-		for k := uint64(1); k <= 50; k++ {
-			h.Insert(k, k)
-		}
-		root, _ := tr.rawRoot()
-
-		// Snapshot the node, then simulate a half-applied write: bump the
-		// front version / flip a byte without updating the tail.
-		buf := make([]byte, cfg.Format.NodeSize)
-		readRaw(cl, root, buf)
-		n := layout.ViewNode(cfg.Format, buf)
-		if !n.Consistent() {
-			t.Fatalf("%s: clean node reports inconsistent", cfg.Name())
-		}
-		if cfg.Format.Mode == layout.TwoLevel {
-			buf[0]++ // front node version without rear
-		} else {
-			buf[40] ^= 0xff // payload byte without checksum update
-		}
-		if n.Consistent() {
-			t.Fatalf("%s: torn node passed the consistency check", cfg.Name())
-		}
-	}
-}
-
-// TestLookupPropertyRandomTrees is a quick-check over random small trees:
+// TestLookupPropertyRandomTrees is a seeded property test over random small
+// trees:
 // bulkload a random sorted set, then every loaded key must be found and a
 // sample of absent keys must not.
 func TestLookupPropertyRandomTrees(t *testing.T) {
-	cfg := ShermanConfig()
-	cfg.Format = smallFormat(layout.TwoLevel)
-	fn := func(seed uint64, sizeRaw uint16) bool {
-		size := int(sizeRaw)%2000 + 1
-		rng := rand.New(rand.NewPCG(seed, 42))
+	cfg := core.ShermanConfig()
+	cfg.Format = testutil.SmallFormat(layout.TwoLevel)
+	testutil.RunSeeds(t, 25, func(t *testing.T, seed uint64) {
+		rng := testutil.RNG(seed)
+		size := int(rng.Uint64N(2000)) + 1
 		present := make(map[uint64]bool, size)
 		kvs := make([]layout.KV, 0, size)
 		k := uint64(0)
@@ -350,24 +320,23 @@ func TestLookupPropertyRandomTrees(t *testing.T) {
 			present[k] = true
 		}
 		cl := cluster.New(cluster.Config{NumMS: 2, NumCS: 1})
-		tr := New(cl, cfg)
+		tr := core.New(cl, cfg)
 		tr.Bulkload(kvs)
 		h := tr.NewHandle(0, 0)
 		for i := 0; i < 50; i++ {
 			kv := kvs[rng.IntN(len(kvs))]
 			if v, ok := h.Lookup(kv.Key); !ok || v != kv.Value {
-				return false
+				t.Fatalf("size %d: Lookup(%d) = (%d,%v), want (%d,true)", size, kv.Key, v, ok, kv.Value)
 			}
 			probe := rng.Uint64N(k+100) + 1
 			if _, ok := h.Lookup(probe); ok != present[probe] {
-				return false
+				t.Fatalf("size %d: probe %d present=%v, want %v", size, probe, ok, present[probe])
 			}
 		}
-		return tr.Validate() == nil
-	}
-	if err := quick.Check(fn, &quick.Config{MaxCount: 25}); err != nil {
-		t.Error(err)
-	}
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	})
 }
 
 // TestScanBeyondStaleSteering is a regression test for a scan livelock:
@@ -378,9 +347,9 @@ func TestLookupPropertyRandomTrees(t *testing.T) {
 // grow the tree through that region with another handle, then scan from
 // the grown tail with the stale handle.
 func TestScanBeyondStaleSteering(t *testing.T) {
-	for _, cfg := range configsUnderTest() {
-		cl := testCluster(t, 2, 1)
-		tr := New(cl, cfg)
+	for _, cfg := range testutil.Configs() {
+		cl := testutil.NewCluster(t, 2, 1)
+		tr := core.New(cl, cfg)
 		kvs := make([]layout.KV, 200)
 		for i := range kvs {
 			kvs[i] = layout.KV{Key: uint64(i + 1), Value: uint64(i + 1)}
@@ -416,9 +385,9 @@ func TestScanBeyondStaleSteering(t *testing.T) {
 // flushes its top cache, so later lookups re-fetch fresh top nodes and stop
 // paying the walk. This guards the noteSiblingHop heuristic.
 func TestStaleTopCacheFlushed(t *testing.T) {
-	cfg := configsUnderTest()[0]
-	cl := testCluster(t, 1, 1)
-	tr := New(cl, cfg)
+	cfg := testutil.Configs()[0]
+	cl := testutil.NewCluster(t, 1, 1)
+	tr := core.New(cl, cfg)
 	kvs := make([]layout.KV, 100)
 	for i := range kvs {
 		kvs[i] = layout.KV{Key: uint64(i + 1), Value: 1}

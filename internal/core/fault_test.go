@@ -1,20 +1,22 @@
-package core
+package core_test
 
 import (
 	"fmt"
 	"testing"
 
 	"sherman/internal/cluster"
+	core "sherman/internal/core"
 	"sherman/internal/hocl"
 	"sherman/internal/layout"
 	"sherman/internal/sim"
+	"sherman/internal/testutil"
 )
 
 // faultConfigs is the TwoLevel/Checksum x Combine grid, covering both lock
 // word formats (16-bit on-chip under Sherman locks, 64-bit host under the
 // baseline) and both write-back shapes (combined doorbell vs separate
 // signaled writes).
-func faultConfigs() []Config {
+func faultConfigs() []core.Config {
 	grid := []struct {
 		mode    layout.Mode
 		combine bool
@@ -25,10 +27,10 @@ func faultConfigs() []Config {
 		{layout.Checksum, true, hocl.Baseline()},
 		{layout.Checksum, false, hocl.Baseline()},
 	}
-	var out []Config
+	var out []core.Config
 	for _, g := range grid {
-		out = append(out, Config{
-			Format:     smallFormat(g.mode),
+		out = append(out, core.Config{
+			Format:     testutil.SmallFormat(g.mode),
 			Combine:    g.combine,
 			Locks:      g.locks,
 			LocksPerMS: 1024, // keep per-cluster lock state small: many clusters below
@@ -37,7 +39,7 @@ func faultConfigs() []Config {
 	return out
 }
 
-func faultCfgName(cfg Config) string {
+func faultCfgName(cfg core.Config) string {
 	return fmt.Sprintf("%v/combine=%v/onchip=%v", cfg.Format.Mode, cfg.Combine, cfg.Locks.OnChip)
 }
 
@@ -50,9 +52,9 @@ type faultScenario struct {
 	// makes the split op grow a new root.
 	load []uint64
 	// prefix ops acknowledged before the crash op (must survive).
-	prefix func(h *Handle)
+	prefix func(h *core.Handle)
 	// op is the operation under crash injection; retried by the survivor.
-	op func(h *Handle)
+	op func(h *core.Handle)
 	// key/old/new describe the op's effect for the invisible-or-applied
 	// check. deleted marks ops whose "new" state is absence.
 	key      uint64
@@ -74,28 +76,28 @@ func faultScenarios() []faultScenario {
 		return out
 	}
 	many := evens(120) // ~10 full leaves with 256 B nodes
-	prefix := func(h *Handle) { h.Insert(faultPrefixKey, faultPrefixVal) }
+	prefix := func(h *core.Handle) { h.Insert(faultPrefixKey, faultPrefixVal) }
 	return []faultScenario{
 		{
 			name: "update-inplace", load: many, prefix: prefix,
-			op:  func(h *Handle) { h.Insert(120, 0xbeef) },
+			op:  func(h *core.Handle) { h.Insert(120, 0xbeef) },
 			key: 120, old: faultVal(120), new: 0xbeef, present: true,
 		},
 		{
 			name: "delete-inplace", load: many, prefix: prefix,
-			op:  func(h *Handle) { h.Delete(120) },
+			op:  func(h *core.Handle) { h.Delete(120) },
 			key: 120, old: faultVal(120), deleted: true, present: true,
 		},
 		{
 			name: "insert-split", load: many, prefix: prefix,
-			op:  func(h *Handle) { h.Insert(121, 0xcafe) },
+			op:  func(h *core.Handle) { h.Insert(121, 0xcafe) },
 			key: 121, new: 0xcafe,
 		},
 		{
 			// A full single-leaf tree (load nil: sized to LeafCap): the
 			// split grows a new root, covering the CASRoot path too.
 			name: "root-split",
-			op:   func(h *Handle) { h.Insert(13, 0xd00d) },
+			op:   func(h *core.Handle) { h.Insert(13, 0xd00d) },
 			key:  13, new: 0xd00d,
 		},
 	}
@@ -105,11 +107,11 @@ func faultVal(k uint64) uint64 { return k*7 + 1 }
 
 // buildFaultTree builds a deterministic cluster+tree for one scenario run,
 // returning the bulkloaded keys.
-func buildFaultTree(cfg Config, sc faultScenario) (*cluster.Cluster, *Tree, []uint64) {
+func buildFaultTree(cfg core.Config, sc faultScenario) (*cluster.Cluster, *core.Tree, []uint64) {
 	cl := cluster.New(cluster.Config{NumMS: 2, NumCS: 2})
 	c := cfg
 	c.BulkFill = 1.0
-	tr := New(cl, c)
+	tr := core.New(cl, c)
 	load := sc.load
 	if load == nil {
 		load = make([]uint64, c.Format.LeafCap)

@@ -91,6 +91,15 @@ func (h *Handle) refreshRoot() (rdma.Addr, uint8) {
 	for {
 		root, _ := cluster.ReadRoot(h.C)
 		n, _ := h.readNode(root, h.nodeBuf)
+		if !n.Alive() {
+			// The root node migrated but the superblock pointer is not yet
+			// repointed: its relocated copy is the root. Without the chase a
+			// reader would spin here until the migrator's CAS lands.
+			if fwd, ok := h.chase(root); ok {
+				root = fwd
+				n, _ = h.readNode(root, h.nodeBuf)
+			}
+		}
 		if n.Alive() {
 			level := n.Level()
 			h.top.SetRoot(root, level)

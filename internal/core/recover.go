@@ -62,6 +62,16 @@ func (h *Handle) recoverPass() (int, bool) {
 	buf := make([]byte, h.t.cfg.Format.NodeSize)
 	n, _ := h.readNode(root, buf)
 	if !n.Alive() {
+		if fwd, ok := h.chase(root); ok {
+			// The root migrated but the migrator died before repointing the
+			// superblock: follow the forwarding hop and repair the pointer,
+			// or the sweep would rescan this dead root forever.
+			fn, _ := h.readNode(fwd, buf)
+			if fn.Alive() && cluster.CASRoot(h.C, root, fwd, fn.Level()) {
+				h.top.SetRoot(fwd, fn.Level())
+				return 1, true
+			}
+		}
 		// Raced a root change; the next pass re-resolves it.
 		return 0, true
 	}
@@ -112,24 +122,54 @@ func (h *Handle) recoverNode(in layout.Internal, level uint8) (int, bool) {
 		if !n.Consistent() {
 			n, _ = h.readNode(a, bufs[i])
 		}
-		if !n.Alive() || n.Level() != level-1 {
+		if !n.Alive() {
+			if fwd, ok := h.chase(a); ok {
+				// The child migrated; if its migrator died before swinging
+				// the parent pointer, repair it here (follow the one hop,
+				// then rewrite the parent through the locked path) so
+				// forwarding entries can drain after the sweep.
+				fn, _ := h.readNode(fwd, bufs[i])
+				lower := in.LowerFence()
+				if i > 0 {
+					lower = uppers[i-1]
+				}
+				if fn.Alive() && fn.Level() == level-1 &&
+					h.repointChild(level, lower, a, fwd) == repointDone {
+					return repaired + 1, true
+				}
+			}
 			// The parent image went stale under us; re-sweep.
 			return repaired, true
 		}
+		if n.Level() != level-1 {
+			return repaired, true
+		}
 		// Follow the child's sibling chain up to the bound the parent
-		// claims; every hop crosses a separator the parent is missing.
+		// claims; every hop crosses a separator the parent is missing. A
+		// sibling that migrated is resolved through forwarding first, so
+		// the re-inserted separator names the live copy, not the corpse.
 		cur := n
 		for fenceBefore(cur.UpperFence(), uppers[i]) {
+			// Capture before reading the sibling: cur views bufs[i], which
+			// the sibling read below overwrites.
+			sepKey := cur.UpperFence()
 			sib := cur.Sibling()
 			if sib.IsNil() {
 				break // structurally off; leave it to Validate to report
 			}
-			h.insertParent(cur.UpperFence(), sib, level)
-			repaired++
 			sn, _ := h.readNode(sib, bufs[i])
+			if !sn.Alive() {
+				if fwd, ok := h.chase(sib); ok {
+					if fn, _ := h.readNode(fwd, bufs[i]); fn.Alive() {
+						sib, sn = fwd, fn
+					}
+				}
+			}
 			if !sn.Alive() || sn.Level() != level-1 {
 				return repaired, true
 			}
+			h.insertParent(sepKey, sib, level)
+			repaired++
 			cur = sn
 		}
 		if repaired > 0 {

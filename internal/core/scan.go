@@ -69,6 +69,18 @@ func (h *Handle) rangeInner(from uint64, span int) []layout.KV {
 				// Inconsistent snapshot: re-read this leaf alone.
 				n, _ = h.readNode(addrs[i], bufs[i])
 			}
+			// A migrated leaf reads dead while its parent pointer is stale:
+			// chase the forwarding chain (one hop per chunk generation) to
+			// the live copy — restarting would re-resolve the same stale
+			// parent pointer forever.
+			for !n.Alive() {
+				fwd, ok := h.chase(addrs[i])
+				if !ok {
+					break
+				}
+				addrs[i] = fwd
+				n, _ = h.readNode(fwd, bufs[i])
+			}
 			if !n.Alive() || !n.IsLeaf() || cursor < n.LowerFence() {
 				// Freed or repurposed node, or steering overshot the
 				// cursor: drop the cached node and retraverse from cursor.

@@ -65,11 +65,11 @@ func newCSCache(cfg Config) *cache.IndexCache {
 }
 
 func writeRaw(cl *cluster.Cluster, a rdma.Addr, data []byte) {
-	cl.F.Servers[a.MS()].WriteAt(a.Off(), data)
+	cl.F.Servers()[a.MS()].WriteAt(a.Off(), data)
 }
 
 func readRaw(cl *cluster.Cluster, a rdma.Addr, buf []byte) {
-	cl.F.Servers[a.MS()].ReadAt(a.Off(), buf)
+	cl.F.Servers()[a.MS()].ReadAt(a.Off(), buf)
 }
 
 // Bulkload replaces the tree contents with the given key-value pairs, which
@@ -194,7 +194,7 @@ func (t *Tree) Validate() error {
 
 func (t *Tree) rawRoot() (rdma.Addr, uint8) {
 	var buf [16]byte
-	t.cl.F.Servers[0].ReadAt(0, buf[:])
+	t.cl.F.Servers()[0].ReadAt(0, buf[:])
 	root := rdma.Addr(le64(buf[0:]))
 	// The superblock's level field is only a hint (the pointer CAS and the
 	// hint write are separate verbs; a client can crash between them): the

@@ -1,36 +1,19 @@
-package core
+package core_test
 
 import (
 	"math/rand/v2"
 	"sync"
 	"testing"
 
-	"sherman/internal/cluster"
+	core "sherman/internal/core"
 	"sherman/internal/layout"
+	"sherman/internal/testutil"
 )
 
-func testCluster(t *testing.T, numMS, numCS int) *cluster.Cluster {
-	t.Helper()
-	return cluster.New(cluster.Config{NumMS: numMS, NumCS: numCS})
-}
-
-func smallFormat(mode layout.Mode) layout.Format {
-	// Tiny nodes force deep trees and frequent splits in tests.
-	return layout.NewFormat(mode, 8, 256)
-}
-
-func configsUnderTest() []Config {
-	sherman := ShermanConfig()
-	sherman.Format = smallFormat(layout.TwoLevel)
-	fg := FGPlusConfig()
-	fg.Format = smallFormat(layout.Checksum)
-	return []Config{sherman, fg}
-}
-
 func TestEmptyTreeLookup(t *testing.T) {
-	for _, cfg := range configsUnderTest() {
-		cl := testCluster(t, 2, 1)
-		tr := New(cl, cfg)
+	for _, cfg := range testutil.Configs() {
+		cl := testutil.NewCluster(t, 2, 1)
+		tr := core.New(cl, cfg)
 		h := tr.NewHandle(0, 0)
 		if _, ok := h.Lookup(42); ok {
 			t.Errorf("%s: lookup on empty tree found a value", cfg.Name())
@@ -39,9 +22,9 @@ func TestEmptyTreeLookup(t *testing.T) {
 }
 
 func TestInsertLookupSingleThread(t *testing.T) {
-	for _, cfg := range configsUnderTest() {
-		cl := testCluster(t, 2, 1)
-		tr := New(cl, cfg)
+	for _, cfg := range testutil.Configs() {
+		cl := testutil.NewCluster(t, 2, 1)
+		tr := core.New(cl, cfg)
 		h := tr.NewHandle(0, 0)
 
 		const n = 5000
@@ -66,9 +49,9 @@ func TestInsertLookupSingleThread(t *testing.T) {
 }
 
 func TestBulkloadAndLookup(t *testing.T) {
-	for _, cfg := range configsUnderTest() {
-		cl := testCluster(t, 4, 1)
-		tr := New(cl, cfg)
+	for _, cfg := range testutil.Configs() {
+		cl := testutil.NewCluster(t, 4, 1)
+		tr := core.New(cl, cfg)
 
 		const n = 20000
 		kvs := make([]layout.KV, n)
@@ -94,9 +77,9 @@ func TestBulkloadAndLookup(t *testing.T) {
 }
 
 func TestDelete(t *testing.T) {
-	for _, cfg := range configsUnderTest() {
-		cl := testCluster(t, 2, 1)
-		tr := New(cl, cfg)
+	for _, cfg := range testutil.Configs() {
+		cl := testutil.NewCluster(t, 2, 1)
+		tr := core.New(cl, cfg)
 		h := tr.NewHandle(0, 0)
 
 		for k := uint64(1); k <= 2000; k++ {
@@ -123,9 +106,9 @@ func TestDelete(t *testing.T) {
 }
 
 func TestRangeQuery(t *testing.T) {
-	for _, cfg := range configsUnderTest() {
-		cl := testCluster(t, 2, 1)
-		tr := New(cl, cfg)
+	for _, cfg := range testutil.Configs() {
+		cl := testutil.NewCluster(t, 2, 1)
+		tr := core.New(cl, cfg)
 		const n = 10000
 		kvs := make([]layout.KV, n)
 		for i := range kvs {
@@ -158,9 +141,9 @@ func TestRangeQuery(t *testing.T) {
 }
 
 func TestConcurrentInsertLookup(t *testing.T) {
-	for _, cfg := range configsUnderTest() {
-		cl := testCluster(t, 4, 2)
-		tr := New(cl, cfg)
+	for _, cfg := range testutil.Configs() {
+		cl := testutil.NewCluster(t, 4, 2)
+		tr := core.New(cl, cfg)
 
 		const threads = 8
 		const perThread = 2000
@@ -202,9 +185,9 @@ func TestConcurrentInsertLookup(t *testing.T) {
 }
 
 func TestConcurrentHotKeyContention(t *testing.T) {
-	for _, cfg := range configsUnderTest() {
-		cl := testCluster(t, 2, 2)
-		tr := New(cl, cfg)
+	for _, cfg := range testutil.Configs() {
+		cl := testutil.NewCluster(t, 2, 2)
+		tr := core.New(cl, cfg)
 		// A handful of hot keys hammered by many threads: exercises lock
 		// queueing, handover, and entry-version torn-read detection.
 		const threads = 12

@@ -252,26 +252,24 @@ func NewManager(f *rdma.Fabric, cfg Config) *Manager {
 		maxHO = DefaultMaxHandover
 	}
 	m := &Manager{mode: cfg.Mode, locksPerMS: n, maxHandover: maxHO, f: f}
-	if cfg.Mode.OnChip {
-		for _, s := range f.Servers {
-			if need := n * 2; need > s.OnChipSize() {
-				panic(fmt.Sprintf("hocl: %d locks need %d B on-chip, NIC has %d B", n, need, s.OnChipSize()))
-			}
-		}
-	} else {
-		for _, s := range f.Servers {
-			if n*8 > rdma.DefaultChunkSize {
-				panic(fmt.Sprintf("hocl: host GLT of %d locks exceeds one chunk", n))
-			}
-			m.gltHostBase = append(m.gltHostBase, s.Grow())
-		}
+	// Tables are sized for the fabric's memory-server *capacity*, not its
+	// current count, so AddServer can attach servers while clients hold and
+	// contend locks — the slot array and local tables never move.
+	maxMS := f.MaxServers()
+	m.gltHostBase = make([]uint64, maxMS)
+	for _, s := range f.Servers() {
+		m.wireServer(s)
 	}
 	if cfg.Mode.Local {
 		for range f.CSs {
-			m.llts = append(m.llts, newLocalTable(len(f.Servers)*n))
+			m.llts = append(m.llts, newLocalTable(maxMS*n))
 		}
 	}
-	m.slots = make([]gslot, len(f.Servers)*n)
+	m.slots = make([]gslot, maxMS*n)
+	// New servers are wired (on-chip capacity check, host GLT chunk) before
+	// the fabric publishes them, so no client can lock an address on a
+	// server whose table slice is not ready.
+	f.OnAddServer(m.wireServer)
 	// Failure wiring: a compute-server crash orphans every global lock it
 	// holds (marked for lease-expiry reclamation) and strands its queued
 	// waiters (woken and aborted); a restart resets the CS's local tables.
@@ -282,6 +280,24 @@ func NewManager(f *rdma.Fabric, cfg Config) *Manager {
 
 // LocksPerMS returns the GLT size per memory server.
 func (m *Manager) LocksPerMS() int { return m.locksPerMS }
+
+// wireServer prepares one memory server's share of the lock tables: the
+// on-chip capacity check, and — in host mode — the GLT chunk reservation.
+// It runs at manager creation for existing servers and from the fabric's
+// growth hook for scaled-out ones.
+func (m *Manager) wireServer(s *rdma.Server) {
+	n := m.locksPerMS
+	if m.mode.OnChip {
+		if need := n * 2; need > s.OnChipSize() {
+			panic(fmt.Sprintf("hocl: %d locks need %d B on-chip, NIC has %d B", n, need, s.OnChipSize()))
+		}
+		return
+	}
+	if n*8 > rdma.DefaultChunkSize {
+		panic(fmt.Sprintf("hocl: host GLT of %d locks exceeds one chunk", n))
+	}
+	m.gltHostBase[s.ID] = s.Grow()
+}
 
 // index hashes a protected object's address into its GLT slot (§4.3, line 5
 // of Figure 6). splitmix64 finalizer — fast and well mixed.
@@ -628,7 +644,7 @@ func (m *Manager) resetCS(cs int) {
 		return
 	}
 	m.lltMu.Lock()
-	m.llts[cs] = newLocalTable(len(m.f.Servers) * m.locksPerMS)
+	m.llts[cs] = newLocalTable(m.f.MaxServers() * m.locksPerMS)
 	m.lltMu.Unlock()
 }
 

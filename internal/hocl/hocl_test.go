@@ -313,7 +313,7 @@ func TestPhysicalLockWord(t *testing.T) {
 					shift := ((3 * 2) % 8) * 8
 					return (le64(buf[:]) >> shift) & 0xffff
 				}
-				f.Servers[0].ReadAt(m.gltHostBase[0]+3*8, buf[:])
+				f.Servers()[0].ReadAt(m.gltHostBase[0]+3*8, buf[:])
 				return le64(buf[:])
 			}
 			if got := read(); got != uint64(c.CS.ID)+1 {

@@ -62,6 +62,17 @@ func (n Internal) setAt(i int, key uint64, child rdma.Addr) {
 	n.putU64(off+n.F.KeySize, uint64(child))
 }
 
+// SetChild rewrites the child pointer at the index ChildFor returned: -1 is
+// the leftmost child, i >= 0 the i-th separator's child. The migration
+// engine uses it to repoint a parent at a relocated node.
+func (n Internal) SetChild(i int, a rdma.Addr) {
+	if i < 0 {
+		n.SetLeftmost(a)
+		return
+	}
+	n.putU64(n.F.intEntryOff(i)+n.F.KeySize, uint64(a))
+}
+
 // ChildFor returns the child to descend into for key, plus the index of the
 // separator chosen (-1 for leftmost).
 func (n Internal) ChildFor(key uint64) (rdma.Addr, int) {

@@ -150,6 +150,7 @@ func (c *Client) Read(a Addr, buf []byte) {
 	srv := c.F.Server(a)
 	t := c.CS.Outbound.Acquire(c.Clk.Now(), p.OutboundMinNS)
 	t = srv.Inbound.Acquire(t, p.PayloadNS(len(buf), p.InboundMinNS))
+	srv.NoteInbound(a, 1)
 	srv.copyOut(a, buf)
 	c.Clk.AdvanceTo(t + p.RTTNS)
 	c.roundTrip()
@@ -172,6 +173,7 @@ func (c *Client) ReadMulti(reqs []ReadOp) {
 		t = c.CS.Outbound.Acquire(t, p.OutboundMinNS)
 		srv := c.F.Server(r.Addr)
 		fin := srv.Inbound.Acquire(t, p.PayloadNS(len(r.Buf), p.InboundMinNS))
+		srv.NoteInbound(r.Addr, 1)
 		srv.copyOut(r.Addr, r.Buf)
 		if fin > done {
 			done = fin
@@ -228,6 +230,7 @@ func (c *Client) PostWrites(ops ...WriteOp) {
 	}
 	for _, op := range ops {
 		t = srv.Inbound.Acquire(t, p.PayloadNS(len(op.Data), p.InboundMinNS))
+		srv.NoteInbound(op.Addr, 1)
 		srv.copyIn(op.Addr, op.Data)
 		c.M.WriteBytes += int64(len(op.Data))
 		c.M.OpWriteBytes += int64(len(op.Data))
@@ -252,6 +255,7 @@ func (c *Client) atomicTiming(a Addr, backlogNS int64) int64 {
 	}
 	t := c.CS.Outbound.Acquire(c.Clk.Now(), p.OutboundMinNS)
 	t = srv.Inbound.Acquire(t, p.InboundMinNS)
+	srv.NoteInbound(a, 1)
 	// Commands already sitting in the NIC's internal queue ahead of ours
 	// (e.g. one in-flight CAS per concurrent lock spinner) serialize first
 	// (§3.2.2).
@@ -389,6 +393,7 @@ func (c *Client) ChargeSpin(a Addr, from, to, cadence int64) int {
 		srv.Inbound.Acquire(t, p.InboundMinNS)
 		n++
 	}
+	srv.NoteInbound(a, int64(n))
 	c.M.Atomics += int64(n)
 	c.M.CASFailures += int64(n)
 	c.M.RoundTrips += int64(n)
@@ -406,9 +411,10 @@ func (c *Client) ChargeSpin(a Addr, from, to, cadence int64) int {
 func (c *Client) Call(ms uint16, fn func()) {
 	c.checkVerb()
 	p := c.F.P
-	srv := c.F.Servers[ms]
+	srv := c.F.Servers()[ms]
 	t := c.CS.Outbound.Acquire(c.Clk.Now(), p.OutboundMinNS)
 	t = srv.Inbound.Acquire(t, p.InboundMinNS)
+	srv.NoteRPC()
 	t = srv.CPU.Acquire(t, p.MemThreadRPCNS)
 	fn()
 	c.Clk.AdvanceTo(t + p.RTTNS)

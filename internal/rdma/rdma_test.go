@@ -60,7 +60,7 @@ func assertPanics(t *testing.T, fn func()) {
 
 func TestReadWriteRoundTrip(t *testing.T) {
 	f := testFabric(2, 1)
-	base := f.Servers[1].Grow()
+	base := f.Servers()[1].Grow()
 	c := f.NewClient(0)
 	data := []byte("hello disaggregated memory")
 	addr := MakeAddr(1, base+128)
@@ -77,7 +77,7 @@ func TestReadWriteRoundTrip(t *testing.T) {
 
 func TestPostWritesInOrderSingleTrip(t *testing.T) {
 	f := testFabric(1, 1)
-	base := f.Servers[0].Grow()
+	base := f.Servers()[0].Grow()
 	c := f.NewClient(0)
 	c.M.BeginOp()
 	c.PostWrites(
@@ -100,8 +100,8 @@ func TestPostWritesInOrderSingleTrip(t *testing.T) {
 
 func TestPostWritesRejectsCrossServer(t *testing.T) {
 	f := testFabric(2, 1)
-	f.Servers[0].Grow()
-	f.Servers[1].Grow()
+	f.Servers()[0].Grow()
+	f.Servers()[1].Grow()
 	c := f.NewClient(0)
 	assertPanics(t, func() {
 		c.PostWrites(
@@ -113,7 +113,7 @@ func TestPostWritesRejectsCrossServer(t *testing.T) {
 
 func TestCAS(t *testing.T) {
 	f := testFabric(1, 2)
-	base := f.Servers[0].Grow()
+	base := f.Servers()[0].Grow()
 	c := f.NewClient(0)
 	a := MakeAddr(0, base)
 	if _, ok := c.CAS(a, 0, 42); !ok {
@@ -133,7 +133,7 @@ func TestCAS(t *testing.T) {
 
 func TestCAS16MaskedSemantics(t *testing.T) {
 	f := testFabric(1, 1)
-	base := f.Servers[0].Grow()
+	base := f.Servers()[0].Grow()
 	c := f.NewClient(0)
 	word := MakeAddr(0, base)
 	// Set the full word, then CAS only the middle 16-bit lane.
@@ -153,7 +153,7 @@ func TestCAS16MaskedSemantics(t *testing.T) {
 
 func TestFAA(t *testing.T) {
 	f := testFabric(1, 1)
-	base := f.Servers[0].Grow()
+	base := f.Servers()[0].Grow()
 	c := f.NewClient(0)
 	a := MakeAddr(0, base+8)
 	if prev := c.FAA(a, 5); prev != 0 {
@@ -166,7 +166,7 @@ func TestFAA(t *testing.T) {
 
 func TestOnChipMemoryIsolated(t *testing.T) {
 	f := testFabric(1, 1)
-	base := f.Servers[0].Grow()
+	base := f.Servers()[0].Grow()
 	c := f.NewClient(0)
 	host := MakeAddr(0, base)
 	chip := MakeOnChipAddr(0, 0)
@@ -184,8 +184,8 @@ func TestOnChipMemoryIsolated(t *testing.T) {
 func TestAtomicTimingOnChipVsHost(t *testing.T) {
 	p := sim.DefaultParams()
 	f := NewFabric(p, 2, 2)
-	base := f.Servers[0].Grow()
-	f.Servers[1].Grow()
+	base := f.Servers()[0].Grow()
+	f.Servers()[1].Grow()
 
 	cHost := f.NewClient(0)
 	cChip := f.NewClient(1)
@@ -206,7 +206,7 @@ func TestAtomicTimingOnChipVsHost(t *testing.T) {
 func TestBandwidthBoundWrites(t *testing.T) {
 	p := sim.DefaultParams()
 	f := NewFabric(p, 1, 1)
-	base := f.Servers[0].Grow()
+	base := f.Servers()[0].Grow()
 	c := f.NewClient(0)
 	big := make([]byte, 4096)
 	t0 := c.Now()
@@ -220,7 +220,7 @@ func TestBandwidthBoundWrites(t *testing.T) {
 
 func TestTornReadAt64ByteGranularity(t *testing.T) {
 	f := testFabric(1, 2)
-	base := f.Servers[0].Grow()
+	base := f.Servers()[0].Grow()
 	w := f.NewClient(0)
 	r := f.NewClient(1)
 	// Two 128-byte patterns; a reader racing a writer must only ever see
@@ -270,7 +270,7 @@ func TestTornReadAt64ByteGranularity(t *testing.T) {
 
 func TestGrowAndBounds(t *testing.T) {
 	f := testFabric(1, 1)
-	s := f.Servers[0]
+	s := f.Servers()[0]
 	if s.Capacity() != 0 {
 		t.Fatal("fresh server has capacity")
 	}
@@ -311,7 +311,7 @@ func TestReadMultiParallel(t *testing.T) {
 	f := NewFabric(p, 4, 1)
 	var addrs []Addr
 	for ms := 0; ms < 4; ms++ {
-		base := f.Servers[ms].Grow()
+		base := f.Servers()[ms].Grow()
 		addrs = append(addrs, MakeAddr(uint16(ms), base))
 	}
 	c := f.NewClient(0)
@@ -335,7 +335,7 @@ func TestReadMultiParallel(t *testing.T) {
 
 func TestConcurrentAtomicsLinearize(t *testing.T) {
 	f := testFabric(1, 4)
-	base := f.Servers[0].Grow()
+	base := f.Servers()[0].Grow()
 	a := MakeAddr(0, base)
 	const threads = 8
 	const each = 500

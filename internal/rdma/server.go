@@ -49,6 +49,19 @@ type Server struct {
 	chunks    atomic.Pointer[[][]byte]
 	growMu    sync.Mutex
 
+	// draining marks a server that is being scaled in: allocators stop
+	// placing new chunks (and nodes) on it, and the migration engine moves
+	// its contents elsewhere. Existing addresses stay resolvable forever.
+	draining atomic.Bool
+
+	// inboundOps counts client verbs serviced by this NIC (reads, writes,
+	// atomics, RPCs) — the load signal the migration picker and the elastic
+	// benchmark consume. chunkOps breaks host-memory traffic down by chunk
+	// so the picker can select the hottest chunks; it is grown copy-on-write
+	// alongside chunks.
+	inboundOps atomic.Int64
+	chunkOps   atomic.Pointer[[]*atomic.Int64]
+
 	stripes [hostStripes]sync.Mutex
 
 	onChip        []byte
@@ -66,7 +79,49 @@ func newServer(id uint16, p sim.Params) *Server {
 	}
 	empty := make([][]byte, 0)
 	s.chunks.Store(&empty)
+	counters := make([]*atomic.Int64, 0)
+	s.chunkOps.Store(&counters)
 	return s
+}
+
+// SetDraining marks (or unmarks) the server as scaling in; draining servers
+// receive no new allocations.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Draining reports whether the server is scaling in.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// InboundOps returns the number of client verbs this NIC has serviced.
+func (s *Server) InboundOps() int64 { return s.inboundOps.Load() }
+
+// ChunkOps returns a snapshot of per-chunk inbound verb counts for host
+// memory (index = chunk number). On-chip traffic is counted only in
+// InboundOps.
+func (s *Server) ChunkOps() []int64 {
+	counters := *s.chunkOps.Load()
+	out := make([]int64, len(counters))
+	for i, c := range counters {
+		out[i] = c.Load()
+	}
+	return out
+}
+
+// NoteRPC books one memory-thread RPC against the NIC total (no chunk
+// attribution: RPCs are control traffic, not data placement).
+func (s *Server) NoteRPC() { s.inboundOps.Add(1) }
+
+// NoteInbound books n inbound verbs against the NIC (and, for host-memory
+// targets, against the chunk holding a). Client verbs call it; raw
+// setup-time accesses do not, so load counters reflect served traffic only.
+func (s *Server) NoteInbound(a Addr, n int64) {
+	s.inboundOps.Add(n)
+	if a.OnChip() {
+		return
+	}
+	counters := *s.chunkOps.Load()
+	if ci := a.Off() / uint64(s.chunkSize); ci < uint64(len(counters)) {
+		counters[ci].Add(n)
+	}
 }
 
 // Capacity returns the currently materialized host-memory size in bytes.
@@ -88,6 +143,11 @@ func (s *Server) Grow() uint64 {
 	grown := make([][]byte, len(old)+1)
 	copy(grown, old)
 	grown[len(old)] = make([]byte, s.chunkSize)
+	oldCtr := *s.chunkOps.Load()
+	ctrs := make([]*atomic.Int64, len(oldCtr)+1)
+	copy(ctrs, oldCtr)
+	ctrs[len(oldCtr)] = new(atomic.Int64)
+	s.chunkOps.Store(&ctrs)
 	s.chunks.Store(&grown)
 	return base
 }

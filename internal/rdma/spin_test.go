@@ -12,7 +12,7 @@ func spinFabric() *Fabric {
 
 func TestCASBacklogDelaysCompletion(t *testing.T) {
 	f := spinFabric()
-	f.Servers[0].Grow()
+	f.Servers()[0].Grow()
 	a := MakeAddr(0, 0x100)
 
 	// Without backlog.
@@ -69,7 +69,7 @@ func TestAtomicSvcNS(t *testing.T) {
 
 func TestChargeSpinCountsAndClock(t *testing.T) {
 	f := spinFabric()
-	f.Servers[0].Grow()
+	f.Servers()[0].Grow()
 	a := MakeAddr(0, 0x40)
 	c := f.NewClient(0)
 
@@ -92,7 +92,7 @@ func TestChargeSpinCountsAndClock(t *testing.T) {
 
 func TestChargeSpinEmptyWindow(t *testing.T) {
 	f := spinFabric()
-	f.Servers[0].Grow()
+	f.Servers()[0].Grow()
 	c := f.NewClient(0)
 	c.Clk.Set(500)
 	if n := c.ChargeSpin(MakeAddr(0, 0x40), 500, 400, 1000); n != 0 {
@@ -109,7 +109,7 @@ func TestChargeSpinEmptyWindow(t *testing.T) {
 
 func TestChargeSpinBounded(t *testing.T) {
 	f := spinFabric()
-	f.Servers[0].Grow()
+	f.Servers()[0].Grow()
 	c := f.NewClient(0)
 	// A pathologically long window must not loop unboundedly.
 	n := c.ChargeSpin(MakeAddr(0, 0x40), 0, 1<<40, 100)
@@ -137,7 +137,7 @@ func TestClientCount(t *testing.T) {
 func TestAtomicUnitSaturation(t *testing.T) {
 	p := sim.DefaultParams()
 	f := NewFabric(p, 1, 4)
-	f.Servers[0].Grow()
+	f.Servers()[0].Grow()
 
 	const clients, casEach = 8, 200
 	cs := make([]*Client, clients)

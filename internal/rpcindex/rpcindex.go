@@ -35,7 +35,7 @@ type shard struct {
 
 // New creates an empty index spanning all memory servers of the fabric.
 func New(f *rdma.Fabric) *Index {
-	ix := &Index{f: f, shards: make([]shard, len(f.Servers))}
+	ix := &Index{f: f, shards: make([]shard, f.NumServers())}
 	for i := range ix.shards {
 		ix.shards[i].m = make(map[uint64]uint64)
 	}
@@ -98,7 +98,7 @@ func (h *Handle) Get(key uint64) (uint64, bool) {
 	sh := &h.ix.shards[ms]
 	// Bill the verb: one read of an entry-sized payload at the home NIC.
 	p := h.C.F.P
-	srv := h.C.F.Servers[ms]
+	srv := h.C.F.Servers()[ms]
 	t := h.C.CS.Outbound.Acquire(h.C.Now(), p.OutboundMinNS)
 	t = srv.Inbound.Acquire(t, p.PayloadNS(16, p.InboundMinNS))
 	h.C.Clk.AdvanceTo(t + p.RTTNS)

@@ -73,7 +73,7 @@ func TestWritesBillMemoryThread(t *testing.T) {
 		h.Put(k, k)
 	}
 	var busy int64
-	for _, s := range ix.f.Servers {
+	for _, s := range ix.f.Servers() {
 		busy += s.CPU.Peek()
 	}
 	if busy == 0 {

@@ -1,0 +1,85 @@
+package stats
+
+// MSLoad is one memory server's NIC inbound load over some window — the
+// signal the migration picker balances and the elastic benchmark reports.
+// The rdma layer counts the verbs; this package only aggregates, so load
+// math stays testable without a fabric.
+type MSLoad struct {
+	MS int
+	// Ops is the number of inbound verbs the server's NIC serviced.
+	Ops int64
+	// ChunkOps breaks Ops down by host-memory chunk (control traffic and
+	// on-chip lock traffic appear only in Ops).
+	ChunkOps []int64
+	// Draining marks a server being scaled in; pickers treat it as having
+	// no capacity.
+	Draining bool
+}
+
+// Sub returns the load delta cur - prev (matched by MS id), the per-window
+// view benchmarks and pickers use. Servers present only in cur keep their
+// full counts (they joined mid-window).
+func SubLoads(cur, prev []MSLoad) []MSLoad {
+	byMS := make(map[int]MSLoad, len(prev))
+	for _, l := range prev {
+		byMS[l.MS] = l
+	}
+	out := make([]MSLoad, len(cur))
+	for i, l := range cur {
+		d := l
+		if p, ok := byMS[l.MS]; ok {
+			d.Ops -= p.Ops
+			d.ChunkOps = append([]int64(nil), l.ChunkOps...)
+			for j := range d.ChunkOps {
+				if j < len(p.ChunkOps) {
+					d.ChunkOps[j] -= p.ChunkOps[j]
+				}
+			}
+		}
+		out[i] = d
+	}
+	return out
+}
+
+// LoadSkew returns max/mean inbound ops across the servers — 1.0 is a
+// perfectly balanced cluster, N means one server carries the whole load of
+// an N-server cluster. Returns 0 when there is no load.
+func LoadSkew(loads []MSLoad) float64 {
+	var total, max int64
+	for _, l := range loads {
+		total += l.Ops
+		if l.Ops > max {
+			max = l.Ops
+		}
+	}
+	if total <= 0 || len(loads) == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(len(loads))
+	return float64(max) / mean
+}
+
+// LoadMaxMin returns hottest/coldest inbound ops across the servers, with
+// the coldest floored at one op so an idle newcomer reads as a huge skew
+// rather than a division by zero. This is the headline imbalance metric of
+// the elastic benchmark: before rebalancing onto a fresh server it is
+// enormous; after, it approaches 1.
+func LoadMaxMin(loads []MSLoad) float64 {
+	if len(loads) == 0 {
+		return 0
+	}
+	var max int64
+	min := int64(-1)
+	for _, l := range loads {
+		if l.Ops > max {
+			max = l.Ops
+		}
+		if min < 0 || l.Ops < min {
+			min = l.Ops
+		}
+	}
+	if min < 1 {
+		min = 1
+	}
+	return float64(max) / float64(min)
+}

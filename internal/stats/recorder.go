@@ -107,6 +107,11 @@ type Recorder struct {
 	Reclaims     int64
 	SplitRepairs int64
 
+	// ForwardHops counts traversal redirections through the chunk
+	// forwarding map — reads that landed on a migrated node and chased its
+	// one-hop forwarding entry to the relocated copy.
+	ForwardHops int64
+
 	// FinishV is the thread's virtual clock when it finished its share of
 	// the workload; the experiment makespan is the max across threads.
 	FinishV int64
@@ -235,6 +240,7 @@ func (r *Recorder) Merge(other *Recorder) {
 	r.Handovers += other.Handovers
 	r.Reclaims += other.Reclaims
 	r.SplitRepairs += other.SplitRepairs
+	r.ForwardHops += other.ForwardHops
 	if other.FinishV > r.FinishV {
 		r.FinishV = other.FinishV
 	}

@@ -1,0 +1,236 @@
+package sherman
+
+import (
+	"sync"
+	"testing"
+
+	"sherman/internal/testutil"
+)
+
+// This file is the model-based differential oracle: random mixed operation
+// streams — puts, gets, deletes, scans, submitted singly and in Exec
+// batches at pipeline depths 1–8 — run against the tree while being
+// replayed into testutil.Model, the obviously-correct in-memory map. Every
+// result must match the model's, at every grid cell, and (in the
+// migrating variant) while the elasticity engine concurrently adds,
+// rebalances onto, and drains memory servers under the stream.
+
+// oracleStream drives one session against the model for n steps.
+func oracleStream(t *testing.T, s *Session, model *testutil.Model, rng interface {
+	Uint64N(uint64) uint64
+	Uint64() uint64
+}, keySpace uint64, n int) {
+	t.Helper()
+	type pending struct {
+		op   Op
+		f    *Future
+		want Result
+	}
+	var inflight []pending
+	settle := func() {
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range inflight {
+			got := p.f.Wait()
+			if got.Err != nil {
+				t.Fatalf("op %+v errored: %v", p.op, got.Err)
+			}
+			if got.Found != p.want.Found || got.Value != p.want.Value {
+				t.Fatalf("op %+v = (%d,%v), model (%d,%v)", p.op, got.Value, got.Found, p.want.Value, p.want.Found)
+			}
+			if len(got.KVs) != len(p.want.KVs) {
+				t.Fatalf("scan %+v returned %d rows, model %d", p.op, len(got.KVs), len(p.want.KVs))
+			}
+			for j := range p.want.KVs {
+				if got.KVs[j] != p.want.KVs[j] {
+					t.Fatalf("scan %+v row %d = %+v, model %+v", p.op, j, got.KVs[j], p.want.KVs[j])
+				}
+			}
+		}
+		inflight = inflight[:0]
+	}
+	modelApply := func(op Op) Result {
+		var want Result
+		switch op.Kind {
+		case OpPut:
+			model.Put(op.Key, op.Value)
+		case OpDelete:
+			want.Found = model.Delete(op.Key)
+		case OpScan:
+			want.KVs = model.Scan(op.Key, op.Span)
+		default:
+			want.Value, want.Found = model.Get(op.Key)
+		}
+		return want
+	}
+	randOp := func() Op {
+		k := rng.Uint64N(keySpace) + 1
+		switch rng.Uint64N(10) {
+		case 0, 1, 2, 3:
+			return PutOp(k, rng.Uint64()|1)
+		case 4:
+			return DeleteOp(rng.Uint64N(keySpace*2) + 1) // half absent
+		case 5:
+			return ScanOp(k, int(rng.Uint64N(12))+1)
+		default:
+			return GetOp(k)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if rng.Uint64N(6) == 0 {
+			// One mixed Exec batch; results are plain values.
+			settle()
+			ops := make([]Op, rng.Uint64N(30)+1)
+			for j := range ops {
+				ops[j] = randOp()
+			}
+			got := s.Exec(ops)
+			for j, op := range ops {
+				want := modelApply(op)
+				g := got[j]
+				if g.Err != nil || g.Found != want.Found || g.Value != want.Value || len(g.KVs) != len(want.KVs) {
+					t.Fatalf("Exec op %d (%+v) = %+v, model %+v", j, op, g, want)
+				}
+				for r := range want.KVs {
+					if g.KVs[r] != want.KVs[r] {
+						t.Fatalf("Exec op %d scan row %d mismatch", j, r)
+					}
+				}
+			}
+			continue
+		}
+		op := randOp()
+		// A scan's model answer must be computed when the pipeline is
+		// drained up to it; the executor orders scans after outstanding
+		// writes, so replaying the model at submit time is exact.
+		want := modelApply(op)
+		inflight = append(inflight, pending{op: op, f: s.Submit(op), want: want})
+		if len(inflight) >= 64 {
+			settle()
+		}
+	}
+	settle()
+}
+
+// checkFinalState compares the whole tree against the model, key by key.
+func checkFinalState(t *testing.T, s *Session, model *testutil.Model, keySpace uint64) {
+	t.Helper()
+	for k := uint64(1); k <= 2*keySpace; k++ {
+		wv, wok := model.Get(k)
+		gv, gok := s.Get(k)
+		if wok != gok || (wok && wv != gv) {
+			t.Fatalf("final key %d = (%d,%v), model (%d,%v)", k, gv, gok, wv, wok)
+		}
+	}
+}
+
+// TestDifferentialOracle runs the oracle per grid cell at every pipeline
+// depth 1–8 (one depth per seed), with no migrations — the baseline the
+// migrating variant strengthens.
+func TestDifferentialOracle(t *testing.T) {
+	depths := []int{1, 2, 4, 8}
+	for _, opts := range gridOptions() {
+		opts := opts
+		t.Run(opts.Advanced.name(), func(t *testing.T) {
+			testutil.RunSeeds(t, 4, func(t *testing.T, seed uint64) {
+				rng := testutil.RNG(seed)
+				depth := depths[(seed-1)%uint64(len(depths))]
+				c, err := NewCluster(ClusterConfig{MemoryServers: 2, ComputeServers: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				s, err := testTree(t, c, opts).SessionAt(0, PipelineDepth(depth))
+				if err != nil {
+					t.Fatal(err)
+				}
+				model := testutil.NewModel()
+				const keySpace = 400
+				oracleStream(t, s, model, rng, keySpace, 500)
+				checkFinalState(t, s, model, keySpace)
+			})
+		})
+	}
+}
+
+// TestDifferentialOracleUnderMigration is the elastic differential oracle:
+// the same streams run while a migration goroutine adds memory servers,
+// rebalances onto them, and drains old ones — so every operation may land
+// mid-chunk-migration and resolve through forwarding. The model must still
+// agree on every single result.
+func TestDifferentialOracleUnderMigration(t *testing.T) {
+	for _, opts := range gridOptions() {
+		opts := opts
+		t.Run(opts.Advanced.name(), func(t *testing.T) {
+			testutil.RunSeeds(t, 3, func(t *testing.T, seed uint64) {
+				rng := testutil.RNG(seed)
+				depth := []int{1, 4, 8}[(seed-1)%3]
+				c, err := NewCluster(ClusterConfig{
+					MemoryServers: 2, ComputeServers: 2, MaxMemoryServers: 6,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				tree := testTree(t, c, opts)
+				s, err := tree.SessionAt(0, PipelineDepth(depth))
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				stop := make(chan struct{})
+				var wg sync.WaitGroup
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					// Scale out, rebalance, scale in, repeatedly, until the
+					// stream finishes. Driven from the other compute server.
+					drained := 0
+					for added := 2; ; added++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						if added < 6 {
+							if _, err := c.AddMemoryServer(); err != nil {
+								t.Error(err)
+								return
+							}
+						}
+						if _, err := tree.Rebalance(1); err != nil {
+							t.Error(err)
+							return
+						}
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						if drained < 3 {
+							if _, err := c.DrainMemoryServer(drained, 1); err != nil {
+								t.Error(err)
+								return
+							}
+							drained++
+						}
+					}
+				}()
+
+				model := testutil.NewModel()
+				const keySpace = 400
+				oracleStream(t, s, model, rng, keySpace, 700)
+				close(stop)
+				wg.Wait()
+				if t.Failed() {
+					t.FailNow()
+				}
+				checkFinalState(t, s, model, keySpace)
+				// The stream's data survived every migration; Validate runs
+				// once more in the testTree cleanup.
+				if err := tree.Validate(); err != nil {
+					t.Fatalf("validate after migrations: %v", err)
+				}
+			})
+		})
+	}
+}

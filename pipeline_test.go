@@ -2,150 +2,58 @@ package sherman
 
 import (
 	"errors"
-	"math/rand/v2"
 	"sync"
 	"testing"
-	"testing/quick"
+
+	"sherman/internal/testutil"
 )
 
 // pipelineDepthsUnderTest spans the depths the async API must be
 // sequential-equivalent at.
 var pipelineDepthsUnderTest = []int{1, 2, 4, 8}
 
-// TestPipelineSequentialEquivalenceProperty quick-checks, through the
-// public API, that a random Submit stream at every pipeline depth is
-// observably equivalent to the same operations applied sequentially —
-// including puts that split small leaves mid-pipeline, interleaved deletes
-// of absent keys, and occasional scans — across the TwoLevel/Checksum ×
-// Combine ablation grid.
+// TestPipelineSequentialEquivalenceProperty checks, for deterministic
+// seeds, through the public API, that a random Submit stream at every
+// pipeline depth is observably equivalent to the same operations applied
+// sequentially — including puts that split small leaves mid-pipeline,
+// interleaved deletes of absent keys, and occasional scans — across the
+// shared harness's ablation grid.
 func TestPipelineSequentialEquivalenceProperty(t *testing.T) {
-	for _, opts := range batchAblationOptions() {
+	for _, opts := range gridOptions() {
 		opts := opts
-		fn := func(seed uint64) bool {
-			rng := rand.New(rand.NewPCG(seed, 0xa51c))
-			depth := pipelineDepthsUnderTest[rng.Uint64N(uint64(len(pipelineDepthsUnderTest)))]
-			mk := func(d int) *Session {
-				c, err := NewCluster(ClusterConfig{MemoryServers: 2, ComputeServers: 1})
-				if err != nil {
-					t.Fatal(err)
-				}
-				tree, err := c.CreateTree(opts)
-				if err != nil {
-					t.Fatal(err)
-				}
-				s, err := tree.SessionAt(0, PipelineDepth(d))
-				if err != nil {
-					t.Fatal(err)
-				}
-				return s
-			}
-			seq, pipe := mk(1), mk(depth)
-
-			const keySpace = 250
-			var futures []*Future
-			var wants []Result
-			for i := 0; i < 400; i++ {
-				k := rng.Uint64N(keySpace) + 1
-				var op Op
-				switch rng.Uint64N(8) {
-				case 0, 1, 2:
-					op = PutOp(k, rng.Uint64()|1)
-				case 3:
-					op = DeleteOp(rng.Uint64N(2*keySpace) + 1) // half absent
-				case 4:
-					op = ScanOp(k, int(rng.Uint64N(10))+1)
-				default:
-					op = GetOp(k)
-				}
-				var want Result
-				switch op.Kind {
-				case OpPut:
-					seq.Put(op.Key, op.Value)
-				case OpDelete:
-					want.Found = seq.Delete(op.Key)
-				case OpScan:
-					want.KVs = seq.Scan(op.Key, op.Span)
-				default:
-					want.Value, want.Found = seq.Get(op.Key)
-				}
-				futures = append(futures, pipe.Submit(op))
-				wants = append(wants, want)
-			}
-			pipe.Flush()
-			for i, f := range futures {
-				got, want := f.Wait(), wants[i]
-				if got.Err != nil || got.Found != want.Found || got.Value != want.Value || len(got.KVs) != len(want.KVs) {
-					t.Logf("opts %+v depth %d seed %d: op %d = %+v, sequential %+v", *opts.Advanced, depth, seed, i, got, want)
-					return false
-				}
-				for j := range want.KVs {
-					if got.KVs[j] != want.KVs[j] {
-						t.Logf("opts %+v depth %d seed %d: op %d scan row %d mismatch", *opts.Advanced, depth, seed, i, j)
-						return false
+		t.Run(opts.Advanced.name(), func(t *testing.T) {
+			testutil.RunSeeds(t, 5, func(t *testing.T, seed uint64) {
+				rng := testutil.RNG(seed)
+				depth := pipelineDepthsUnderTest[rng.Uint64N(uint64(len(pipelineDepthsUnderTest)))]
+				mk := func(d int) *Session {
+					c, err := NewCluster(ClusterConfig{MemoryServers: 2, ComputeServers: 1})
+					if err != nil {
+						t.Fatal(err)
 					}
+					s, err := testTree(t, c, opts).SessionAt(0, PipelineDepth(d))
+					if err != nil {
+						t.Fatal(err)
+					}
+					return s
 				}
-			}
-			for k := uint64(1); k <= keySpace; k++ {
-				wv, wok := seq.Get(k)
-				gv, gok := pipe.Get(k)
-				if wok != gok || (wok && wv != gv) {
-					t.Logf("opts %+v depth %d seed %d: final key %d mismatch", *opts.Advanced, depth, seed, k)
-					return false
-				}
-			}
-			return true
-		}
-		if err := quick.Check(fn, &quick.Config{MaxCount: 5}); err != nil {
-			t.Errorf("%+v: %v", *opts.Advanced, err)
-		}
-	}
-}
+				seq, pipe := mk(1), mk(depth)
 
-// TestExecMixedEquivalenceProperty quick-checks that mixed Exec batches —
-// puts, gets, deletes and scans in one call — match sequential execution at
-// every depth across the ablation grid, including same-key read-after-write
-// chains inside one batch.
-func TestExecMixedEquivalenceProperty(t *testing.T) {
-	for _, opts := range batchAblationOptions() {
-		opts := opts
-		fn := func(seed uint64) bool {
-			rng := rand.New(rand.NewPCG(seed, 0xe4ec))
-			depth := pipelineDepthsUnderTest[rng.Uint64N(uint64(len(pipelineDepthsUnderTest)))]
-			c, err := NewCluster(ClusterConfig{MemoryServers: 2, ComputeServers: 1})
-			if err != nil {
-				t.Fatal(err)
-			}
-			tree, err := c.CreateTree(opts)
-			if err != nil {
-				t.Fatal(err)
-			}
-			pipe, err := tree.SessionAt(0, PipelineDepth(depth))
-			if err != nil {
-				t.Fatal(err)
-			}
-			c2, _ := NewCluster(ClusterConfig{MemoryServers: 2, ComputeServers: 1})
-			tree2, _ := c2.CreateTree(opts)
-			seq := tree2.Session(0)
-
-			const keySpace = 200
-			for round := 0; round < 4; round++ {
-				n := int(rng.Uint64N(80)) + 1
-				ops := make([]Op, n)
-				for i := range ops {
+				const keySpace = 250
+				var futures []*Future
+				var wants []Result
+				for i := 0; i < 400; i++ {
 					k := rng.Uint64N(keySpace) + 1
-					switch rng.Uint64N(6) {
-					case 0, 1:
-						ops[i] = PutOp(k, rng.Uint64()|1)
-					case 2:
-						ops[i] = DeleteOp(k)
+					var op Op
+					switch rng.Uint64N(8) {
+					case 0, 1, 2:
+						op = PutOp(k, rng.Uint64()|1)
 					case 3:
-						ops[i] = ScanOp(k, int(rng.Uint64N(8))+1)
+						op = DeleteOp(rng.Uint64N(2*keySpace) + 1) // half absent
+					case 4:
+						op = ScanOp(k, int(rng.Uint64N(10))+1)
 					default:
-						ops[i] = GetOp(k)
+						op = GetOp(k)
 					}
-				}
-				got := pipe.Exec(ops)
-				for i, op := range ops {
 					var want Result
 					switch op.Kind {
 					case OpPut:
@@ -157,31 +65,110 @@ func TestExecMixedEquivalenceProperty(t *testing.T) {
 					default:
 						want.Value, want.Found = seq.Get(op.Key)
 					}
-					g := got[i]
-					if g.Err != nil || g.Found != want.Found || g.Value != want.Value || len(g.KVs) != len(want.KVs) {
-						t.Logf("opts %+v depth %d seed %d: batch op %d (%+v) = %+v, sequential %+v",
-							*opts.Advanced, depth, seed, i, op, g, want)
-						return false
+					futures = append(futures, pipe.Submit(op))
+					wants = append(wants, want)
+				}
+				if err := pipe.Flush(); err != nil {
+					t.Fatal(err)
+				}
+				for i, f := range futures {
+					got, want := f.Wait(), wants[i]
+					if got.Err != nil || got.Found != want.Found || got.Value != want.Value || len(got.KVs) != len(want.KVs) {
+						t.Fatalf("depth %d: op %d = %+v, sequential %+v", depth, i, got, want)
 					}
 					for j := range want.KVs {
-						if g.KVs[j] != want.KVs[j] {
-							return false
+						if got.KVs[j] != want.KVs[j] {
+							t.Fatalf("depth %d: op %d scan row %d mismatch", depth, i, j)
 						}
 					}
 				}
-			}
-			for k := uint64(1); k <= keySpace; k++ {
-				wv, wok := seq.Get(k)
-				gv, gok := pipe.Get(k)
-				if wok != gok || (wok && wv != gv) {
-					return false
+				for k := uint64(1); k <= keySpace; k++ {
+					wv, wok := seq.Get(k)
+					gv, gok := pipe.Get(k)
+					if wok != gok || (wok && wv != gv) {
+						t.Fatalf("depth %d: final key %d mismatch", depth, k)
+					}
 				}
-			}
-			return tree.Validate() == nil
-		}
-		if err := quick.Check(fn, &quick.Config{MaxCount: 5}); err != nil {
-			t.Errorf("%+v: %v", *opts.Advanced, err)
-		}
+			})
+		})
+	}
+}
+
+// TestExecMixedEquivalenceProperty checks that mixed Exec batches — puts,
+// gets, deletes and scans in one call — match sequential execution at
+// every depth across the grid, including same-key read-after-write chains
+// inside one batch.
+func TestExecMixedEquivalenceProperty(t *testing.T) {
+	for _, opts := range gridOptions() {
+		opts := opts
+		t.Run(opts.Advanced.name(), func(t *testing.T) {
+			testutil.RunSeeds(t, 5, func(t *testing.T, seed uint64) {
+				rng := testutil.RNG(seed)
+				depth := pipelineDepthsUnderTest[rng.Uint64N(uint64(len(pipelineDepthsUnderTest)))]
+				c, err := NewCluster(ClusterConfig{MemoryServers: 2, ComputeServers: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				pipe, err := testTree(t, c, opts).SessionAt(0, PipelineDepth(depth))
+				if err != nil {
+					t.Fatal(err)
+				}
+				c2, err := NewCluster(ClusterConfig{MemoryServers: 2, ComputeServers: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				seq := testTree(t, c2, opts).Session(0)
+
+				const keySpace = 200
+				for round := 0; round < 4; round++ {
+					n := int(rng.Uint64N(80)) + 1
+					ops := make([]Op, n)
+					for i := range ops {
+						k := rng.Uint64N(keySpace) + 1
+						switch rng.Uint64N(6) {
+						case 0, 1:
+							ops[i] = PutOp(k, rng.Uint64()|1)
+						case 2:
+							ops[i] = DeleteOp(k)
+						case 3:
+							ops[i] = ScanOp(k, int(rng.Uint64N(8))+1)
+						default:
+							ops[i] = GetOp(k)
+						}
+					}
+					got := pipe.Exec(ops)
+					for i, op := range ops {
+						var want Result
+						switch op.Kind {
+						case OpPut:
+							seq.Put(op.Key, op.Value)
+						case OpDelete:
+							want.Found = seq.Delete(op.Key)
+						case OpScan:
+							want.KVs = seq.Scan(op.Key, op.Span)
+						default:
+							want.Value, want.Found = seq.Get(op.Key)
+						}
+						g := got[i]
+						if g.Err != nil || g.Found != want.Found || g.Value != want.Value || len(g.KVs) != len(want.KVs) {
+							t.Fatalf("depth %d: batch op %d (%+v) = %+v, sequential %+v", depth, i, op, g, want)
+						}
+						for j := range want.KVs {
+							if g.KVs[j] != want.KVs[j] {
+								t.Fatalf("depth %d: batch op %d scan row %d mismatch", depth, i, j)
+							}
+						}
+					}
+				}
+				for k := uint64(1); k <= keySpace; k++ {
+					wv, wok := seq.Get(k)
+					gv, gok := pipe.Get(k)
+					if wok != gok || (wok && wv != gv) {
+						t.Fatalf("final key %d mismatch", k)
+					}
+				}
+			})
+		})
 	}
 }
 
@@ -194,10 +181,7 @@ func TestPipelineConcurrentSessions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tree, err := c.CreateTree(TreeOptions{NodeSize: 256})
-	if err != nil {
-		t.Fatal(err)
-	}
+	tree := testTree(t, c, TreeOptions{NodeSize: testutil.SmallNodeSize})
 
 	const workers = 8
 	refs := make([]map[uint64]uint64, workers)
@@ -211,7 +195,7 @@ func TestPipelineConcurrentSessions(t *testing.T) {
 				t.Error(err)
 				return
 			}
-			rng := rand.New(rand.NewPCG(uint64(w)+1, 77))
+			rng := testutil.RNG(uint64(w) + 1)
 			ref := make(map[uint64]uint64)
 			base := uint64(w)*100_000 + 1
 			for i := 0; i < 900; i++ {
@@ -234,7 +218,9 @@ func TestPipelineConcurrentSessions(t *testing.T) {
 					ref[k] = v
 				}
 			}
-			s.Flush()
+			if err := s.Flush(); err != nil {
+				t.Error(err)
+			}
 			refs[w] = ref
 		}(w)
 	}
@@ -260,7 +246,7 @@ func TestPipelineConcurrentSessions(t *testing.T) {
 // preserved legacy panic contracts.
 func TestSessionAtAndTypedErrors(t *testing.T) {
 	c := testCluster(t)
-	tree, _ := c.CreateTree(DefaultTreeOptions())
+	tree := testTree(t, c, DefaultTreeOptions())
 
 	for _, cs := range []int{-1, c.ComputeServers(), 99} {
 		if _, err := tree.SessionAt(cs); !errors.Is(err, ErrBadComputeServer) {
@@ -318,7 +304,7 @@ func TestSessionAtAndTypedErrors(t *testing.T) {
 // Scan, resumes across leaf boundaries, and terminates on empty ranges.
 func TestCursor(t *testing.T) {
 	c := testCluster(t)
-	tree, _ := c.CreateTree(TreeOptions{NodeSize: 256}) // small leaves: many refills
+	tree := testTree(t, c, TreeOptions{NodeSize: testutil.SmallNodeSize}) // small leaves: many refills
 	s := tree.Session(0)
 	kvs := make([]KV, 500)
 	for i := range kvs {
@@ -349,7 +335,7 @@ func TestCursor(t *testing.T) {
 // report hiding stats.
 func TestPipelineVirtualTime(t *testing.T) {
 	c := testCluster(t)
-	tree, _ := c.CreateTree(DefaultTreeOptions())
+	tree := testTree(t, c, DefaultTreeOptions())
 	kvs := make([]KV, 5000)
 	for i := range kvs {
 		kvs[i] = KV{Key: uint64(i + 1), Value: 1}
@@ -369,7 +355,9 @@ func TestPipelineVirtualTime(t *testing.T) {
 	if adv := submitted - before; adv >= fs[0].CompleteAtV()-before {
 		t.Errorf("4 submits advanced the clock %d ns, past the first completion", adv)
 	}
-	s.Flush()
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
 	flushed := s.VirtualNow()
 	for _, f := range fs {
 		if f.CompleteAtV() > flushed {

@@ -4,6 +4,8 @@ import (
 	"math/rand/v2"
 	"sync"
 	"testing"
+
+	"sherman/internal/testutil"
 )
 
 func testCluster(t *testing.T) *Cluster {
@@ -13,6 +15,45 @@ func testCluster(t *testing.T) *Cluster {
 		t.Fatal(err)
 	}
 	return c
+}
+
+// testTree creates a tree and registers Validate-on-exit, the public-API
+// mirror of testutil.NewTree: a suite cannot pass while quietly corrupting
+// the structure.
+func testTree(t *testing.T, c *Cluster, opts TreeOptions) *Tree {
+	t.Helper()
+	tree, err := c.CreateTree(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if t.Failed() {
+			return
+		}
+		if err := tree.Validate(); err != nil {
+			t.Errorf("Validate on exit: %v", err)
+		}
+	})
+	return tree
+}
+
+// gridOptions maps the shared harness matrix (testutil.Matrix) onto public
+// TreeOptions: the TwoLevel cells run the full Sherman lock stack, the
+// Checksum cells the FG-style baseline, so both lock-word formats ride
+// along exactly as in the core-level grids.
+func gridOptions() []TreeOptions {
+	var out []TreeOptions
+	for _, ax := range testutil.Matrix() {
+		adv := &AdvancedOptions{TwoLevelVersions: ax.TwoLevel, CombineCommands: ax.Combine}
+		if ax.TwoLevel {
+			adv.OnChipLocks = true
+			adv.LocalLockTables = true
+			adv.WaitQueues = true
+			adv.Handover = true
+		}
+		out = append(out, TreeOptions{NodeSize: testutil.SmallNodeSize, LocksPerMS: 1024, Advanced: adv})
+	}
+	return out
 }
 
 func TestNewClusterValidation(t *testing.T) {

@@ -154,7 +154,11 @@ func (c *Cluster) CreateTree(opts TreeOptions) (*Tree, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Tree{c: c, tr: core.New(c.cl, cfg)}, nil
+	t := &Tree{c: c, tr: core.New(c.cl, cfg)}
+	c.treeMu.Lock()
+	c.trees = append(c.trees, t)
+	c.treeMu.Unlock()
+	return t, nil
 }
 
 // KV is one key-value pair. Key 0 is reserved as the tree's empty sentinel
@@ -302,15 +306,37 @@ func (t *Tree) Recover(cs int) (rs RecoveryStats, err error) {
 	if !complete {
 		return rs, fmt.Errorf("sherman: recovery pass budget exhausted with repairs pending (%d done); run Recover again", repairs)
 	}
+	// The forwarding map is cluster-wide: a dead migrator's entries may be
+	// the only thing keeping *any* tree's stale parent pointers resolvable,
+	// so every tree must be swept clean before the entries can drain.
+	t.c.treeMu.Lock()
+	trees := append([]*Tree(nil), t.c.trees...)
+	t.c.treeMu.Unlock()
+	for _, other := range trees {
+		if other == t {
+			continue
+		}
+		oh := other.tr.NewHandle(cs, int(sessionSeq.Add(1)))
+		oh.C.Clk.Set(h.C.Now())
+		n, ok := oh.RecoverStructure()
+		rs.SplitRepairs += n
+		if !ok {
+			return rs, fmt.Errorf("sherman: recovery pass budget exhausted on a sibling tree (%d repairs done); run Recover again", rs.SplitRepairs)
+		}
+	}
+	rs.ForwardingDrained = t.tr.DrainDeadForwarding()
 	return rs, nil
 }
 
 // RecoveryStats reports one Tree.Recover run: the number of half-done
-// splits completed and the virtual time the sweep took — the recovery
-// latency a real deployment would observe.
+// splits completed (which includes parent/root pointers repaired at
+// migrated addresses), the forwarding entries of crashed migrations
+// drained after the sweep, and the virtual time the sweep took — the
+// recovery latency a real deployment would observe.
 type RecoveryStats struct {
-	SplitRepairs int
-	VirtualNS    int64
+	SplitRepairs      int
+	ForwardingDrained int
+	VirtualNS         int64
 }
 
 // CacheStats reports compute server cs's index-cache effectiveness.
