@@ -10,7 +10,8 @@
 //	shermanbench -exp batch,pipeline,faults -quick -json BENCH.json -baseline bench/baseline.json
 //
 // Experiments: table1 table2 fig2 fig3 fig10 fig11 fig12 fig13 fig14
-// fig15a fig15b fig15c fig16 extras ycsb batch pipeline faults all quick
+// fig15a fig15b fig15c fig16 extras ycsb batch pipeline faults elastic
+// cache all quick
 //
 // Machine-readable output and CI gating:
 //
@@ -28,7 +29,11 @@
 // reclaimable lock, and the tree validates after recovery); with -exp
 // elastic, the scale-out gate (adding a memory server mid-run at least
 // halves the per-MS inbound-load skew and steady-state throughput reaches
-// 95% of a cluster provisioned at the larger size up front).
+// 95% of a cluster provisioned at the larger size up front); with -exp
+// cache, the unified-cache gate (speculative leaf-direct reads cut round
+// trips per op well below cache-off, speculation validates >= 90% of the
+// time, and the multi-level cache beats the flat level-1-only baseline at
+// the same constrained budget).
 package main
 
 import (
@@ -45,7 +50,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (table1,table2,fig2,fig3,fig10,fig11,fig12,fig13,fig14,fig15a,fig15b,fig15c,fig16,extras,ycsb,batch,pipeline,faults,elastic,all,quick)")
+		exp      = flag.String("exp", "all", "experiment id (table1,table2,fig2,fig3,fig10,fig11,fig12,fig13,fig14,fig15a,fig15b,fig15c,fig16,extras,ycsb,batch,pipeline,faults,elastic,cache,all,quick)")
 		keys     = flag.Uint64("keys", 0, "key-space size (0 = scale default)")
 		windowMS = flag.Int("window", 0, "virtual measurement window in ms (0 = scale default)")
 		warmup   = flag.Int("warmup", 0, "warmup ops per thread (0 = scale default)")
@@ -84,7 +89,7 @@ func main() {
 	if *exp == "all" || *exp == "quick" {
 		ids = []string{"table1", "table2", "fig2", "fig3", "fig10", "fig11",
 			"fig12", "fig13", "fig14", "fig15a", "fig15b", "fig15c", "fig16",
-			"batch", "pipeline", "faults", "elastic"}
+			"batch", "pipeline", "faults", "elastic", "cache"}
 	}
 	fmt.Printf("# shermanbench: keys=%d threads/CS=%d window=%dms GOMAXPROCS=%d\n\n",
 		s.Keys, s.ThreadsPerCS, s.MeasureNS/1_000_000, runtime.GOMAXPROCS(0))
@@ -93,8 +98,9 @@ func main() {
 	col := &bench.Collector{}
 	var churn *bench.FaultResult
 	var elastic *bench.ElasticResult
+	var cacheRes *bench.CacheResult
 	for _, id := range ids {
-		run(strings.TrimSpace(id), s, col, report, &churn, &elastic)
+		run(strings.TrimSpace(id), s, col, report, &churn, &elastic, &cacheRes)
 	}
 	report.Metrics = col.Metrics
 
@@ -131,7 +137,7 @@ func main() {
 		}
 	}
 	if *check {
-		if err := runChecks(ids, s, col, churn, elastic); err != nil {
+		if err := runChecks(ids, s, col, churn, elastic, cacheRes); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			failed = true
 		}
@@ -144,7 +150,7 @@ func main() {
 // runChecks executes the hard assertions of the selected experiments,
 // evaluating the results this invocation already produced (the pipeline
 // sweep's metrics, the fault churn's rounds) rather than re-running them.
-func runChecks(ids []string, s bench.Scale, col *bench.Collector, churn *bench.FaultResult, elastic *bench.ElasticResult) error {
+func runChecks(ids []string, s bench.Scale, col *bench.Collector, churn *bench.FaultResult, elastic *bench.ElasticResult, cacheRes *bench.CacheResult) error {
 	for _, id := range ids {
 		switch strings.TrimSpace(id) {
 		case "pipeline":
@@ -162,12 +168,17 @@ func runChecks(ids []string, s bench.Scale, col *bench.Collector, churn *bench.F
 				return err
 			}
 			fmt.Println("elastic gate: skew halved after scale-out; steady state within 95% of the provisioned control")
+		case "cache":
+			if err := bench.CacheGate(cacheRes); err != nil {
+				return err
+			}
+			fmt.Println("cache gate: leaf-direct speculation cuts RT/op vs cache-off; unified multi-level beats flat level-1-only")
 		}
 	}
 	return nil
 }
 
-func run(id string, s bench.Scale, col *bench.Collector, report *bench.Report, churn **bench.FaultResult, elastic **bench.ElasticResult) {
+func run(id string, s bench.Scale, col *bench.Collector, report *bench.Report, churn **bench.FaultResult, elastic **bench.ElasticResult, cacheRes **bench.CacheResult) {
 	start := time.Now()
 	var tables []*bench.Table
 	switch id {
@@ -213,6 +224,10 @@ func run(id string, s bench.Scale, col *bench.Collector, report *bench.Report, c
 		t, r := bench.Elastic(s, col)
 		tables = []*bench.Table{t}
 		*elastic = &r
+	case "cache":
+		t, r := bench.CacheSweep(s, col)
+		tables = []*bench.Table{t}
+		*cacheRes = r
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
 		os.Exit(2)

@@ -4,20 +4,20 @@ import (
 	"errors"
 	"sync"
 	"testing"
+
+	"sherman/internal/testutil"
 )
 
 // elasticTree builds a 1-MS cluster with a bulkloaded tree — the most
-// skewed possible placement, everything behind one NIC.
+// skewed possible placement, everything behind one NIC. The tree rides the
+// shared harness's Validate-on-exit via testTree.
 func elasticTree(t *testing.T, nodeSize int) (*Cluster, *Tree) {
 	t.Helper()
 	c, err := NewCluster(ClusterConfig{MemoryServers: 1, ComputeServers: 2, MaxMemoryServers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr, err := c.CreateTree(TreeOptions{NodeSize: nodeSize})
-	if err != nil {
-		t.Fatal(err)
-	}
+	tr := testTree(t, c, TreeOptions{NodeSize: nodeSize})
 	kvs := make([]KV, 2000)
 	for i := range kvs {
 		kvs[i] = KV{Key: uint64(i + 1), Value: uint64(i)*3 + 7}
@@ -88,10 +88,7 @@ func TestDrainMemoryServer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr, err := c.CreateTree(TreeOptions{NodeSize: 256})
-	if err != nil {
-		t.Fatal(err)
-	}
+	tr := testTree(t, c, TreeOptions{NodeSize: 256})
 	kvs := make([]KV, 1500)
 	for i := range kvs {
 		kvs[i] = KV{Key: uint64(i + 1), Value: uint64(i + 1)}
@@ -143,82 +140,84 @@ func TestDrainMemoryServer(t *testing.T) {
 }
 
 // TestRebalanceDuringConcurrentSessions migrates while writers and readers
-// churn — the live half of "usable while sessions run".
+// churn — the live half of "usable while sessions run" — with the op mix
+// drawn from the harness's seeded streams.
 func TestRebalanceDuringConcurrentSessions(t *testing.T) {
-	c, tr := elasticTree(t, 256)
+	testutil.RunSeeds(t, 2, func(t *testing.T, seed uint64) {
+		c, tr := elasticTree(t, 256)
 
-	const workers = 4
-	refs := make([]map[uint64]uint64, workers)
-	var wg sync.WaitGroup
-	startMigr := make(chan struct{})
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			s, err := tr.SessionAt(w%c.ComputeServers(), PipelineDepth(1+w%4))
-			if err != nil {
-				t.Error(err)
-				return
-			}
-			ref := make(map[uint64]uint64)
-			base := uint64(w)*100_000 + 10_000
-			for i := uint64(0); i < 600; i++ {
-				if w == 0 && i == 100 {
-					close(startMigr)
+		const workers = 4
+		refs := make([]map[uint64]uint64, workers)
+		var wg sync.WaitGroup
+		startMigr := make(chan struct{})
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				s, err := tr.SessionAt(w%c.ComputeServers(), PipelineDepth(1+w%4))
+				if err != nil {
+					t.Error(err)
+					return
 				}
-				k := base + i%300
-				switch i % 7 {
-				case 0:
-					s.Submit(DeleteOp(k))
-					delete(ref, k)
-				case 1:
-					r := s.Submit(GetOp(k)).Wait()
-					want, ok := ref[k]
-					if r.Found != ok || (ok && r.Value != want) {
-						t.Errorf("worker %d: Get(%d) = (%d,%v), want (%d,%v)", w, k, r.Value, r.Found, want, ok)
-						return
+				rng := testutil.RNG(seed<<8 | uint64(w))
+				ref := make(map[uint64]uint64)
+				base := uint64(w)*100_000 + 10_000
+				for i := uint64(0); i < 600; i++ {
+					if w == 0 && i == 100 {
+						close(startMigr)
 					}
-				default:
-					s.Submit(PutOp(k, k+i))
-					ref[k] = k + i
+					k := base + rng.Uint64N(300)
+					switch rng.Uint64N(7) {
+					case 0:
+						s.Submit(DeleteOp(k))
+						delete(ref, k)
+					case 1:
+						r := s.Submit(GetOp(k)).Wait()
+						want, ok := ref[k]
+						if r.Found != ok || (ok && r.Value != want) {
+							t.Errorf("worker %d: Get(%d) = (%d,%v), want (%d,%v)", w, k, r.Value, r.Found, want, ok)
+							return
+						}
+					default:
+						v := rng.Uint64() | 1
+						s.Submit(PutOp(k, v))
+						ref[k] = v
+					}
+				}
+				if err := s.Flush(); err != nil {
+					t.Error(err)
+				}
+				refs[w] = ref
+			}(w)
+		}
+
+		<-startMigr
+		if _, err := c.AddMemoryServer(); err != nil {
+			t.Error(err)
+		}
+		if _, err := tr.Rebalance(1); err != nil {
+			t.Error(err)
+		}
+		wg.Wait()
+		if t.Failed() {
+			t.FailNow()
+		}
+
+		s := tr.Session(0)
+		for w, ref := range refs {
+			for k, v := range ref {
+				if got, ok := s.Get(k); !ok || got != v {
+					t.Fatalf("worker %d key %d = (%d,%v), want (%d,true)", w, k, got, ok, v)
 				}
 			}
-			if err := s.Flush(); err != nil {
-				t.Error(err)
-			}
-			refs[w] = ref
-		}(w)
-	}
-
-	<-startMigr
-	if _, err := c.AddMemoryServer(); err != nil {
-		t.Error(err)
-	}
-	if _, err := tr.Rebalance(1); err != nil {
-		t.Error(err)
-	}
-	wg.Wait()
-	if t.Failed() {
-		t.FailNow()
-	}
-
-	if err := tr.Validate(); err != nil {
-		t.Fatalf("Validate after concurrent rebalance: %v", err)
-	}
-	s := tr.Session(0)
-	for w, ref := range refs {
-		for k, v := range ref {
-			if got, ok := s.Get(k); !ok || got != v {
-				t.Fatalf("worker %d key %d = (%d,%v), want (%d,true)", w, k, got, ok, v)
+		}
+		// Bulkloaded keys survived too.
+		for k := uint64(1); k <= 2000; k += 37 {
+			if v, ok := s.Get(k); !ok || v != (k-1)*3+7 {
+				t.Fatalf("bulk key %d = (%d,%v)", k, v, ok)
 			}
 		}
-	}
-	// Bulkloaded keys survived too.
-	for k := uint64(1); k <= 2000; k += 37 {
-		if v, ok := s.Get(k); !ok || v != (k-1)*3+7 {
-			t.Fatalf("bulk key %d = (%d,%v)", k, v, ok)
-		}
-	}
+	})
 }
 
 func TestElasticValidation(t *testing.T) {

@@ -123,9 +123,10 @@ func main() {
 	fmt.Printf("ingested %d new readings while dashboards verified %d scanned rows\n",
 		inserted.Load(), scanned.Load())
 	cs := tree.CacheStats(0)
-	fmt.Printf("index cache on CS0: %d/%d entries, %.1f%% hit ratio\n",
-		cs.Entries, cs.Capacity,
-		100*float64(cs.Hits)/float64(max64(cs.Hits+cs.Misses, 1)))
+	fmt.Printf("index cache on CS0: %d/%d entries (+%d pinned top), %.1f%% hit ratio, %d evictions, %d invalidations\n",
+		cs.Entries, cs.Capacity, cs.PinnedEntries,
+		100*float64(cs.Hits)/float64(max64(cs.Hits+cs.Misses, 1)),
+		cs.Evictions, cs.Invalidations)
 	fmt.Println("every scanned row matched its expected value: leaf-level consistency held under concurrent ingest")
 }
 

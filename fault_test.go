@@ -3,6 +3,8 @@ package sherman
 import (
 	"errors"
 	"testing"
+
+	"sherman/internal/testutil"
 )
 
 func faultTree(t *testing.T) (*Cluster, *Tree) {
@@ -90,45 +92,49 @@ func TestKilledSessionReportsErrSessionDead(t *testing.T) {
 	}
 }
 
+// TestMidFlightCrashResolvesFutures kills the compute server at a
+// seed-varied verb index so operations die at different points of their
+// pipelines; every in-flight future must resolve to ErrSessionDead and
+// every killed put must be all-or-nothing.
 func TestMidFlightCrashResolvesFutures(t *testing.T) {
-	c, tr := faultTree(t)
-	s, err := tr.SessionAt(1, PipelineDepth(4))
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Kill at a verb index so an operation dies in flight.
-	if err := c.ScheduleCrash(1, 5); err != nil {
-		t.Fatal(err)
-	}
-	if err := c.ScheduleCrash(1, 0); err == nil {
-		t.Fatal("ScheduleCrash accepted n=0")
-	}
-	var last *Future
-	for i := 0; i < 10; i++ {
-		last = s.Submit(PutOp(uint64(600+i), 1))
-	}
-	if r := last.Wait(); !errors.Is(r.Err, ErrSessionDead) {
-		t.Fatalf("in-flight op resolved to %+v, want ErrSessionDead", r)
-	}
-	if err := s.Flush(); !errors.Is(err, ErrSessionDead) {
-		t.Fatalf("Flush after mid-flight crash: %v, want ErrSessionDead", err)
-	}
-	// Each killed put was all-or-nothing: present implies the full value.
-	surv, err := tr.SessionAt(0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := 0; i < 10; i++ {
-		if v, ok := surv.Get(uint64(600 + i)); ok && v != 1 {
-			t.Fatalf("torn write: key %d = %d", 600+i, v)
+	testutil.RunSeeds(t, 4, func(t *testing.T, seed uint64) {
+		c, tr := faultTree(t)
+		s, err := tr.SessionAt(1, PipelineDepth(4))
+		if err != nil {
+			t.Fatal(err)
 		}
-	}
-	if _, err := tr.Recover(0); err != nil {
-		t.Fatal(err)
-	}
-	if err := tr.Validate(); err != nil {
-		t.Fatal(err)
-	}
+		// Kill at a seed-dependent verb index so an operation dies in
+		// flight at a different verb each seed.
+		if err := c.ScheduleCrash(1, int64(seed)*3+2); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.ScheduleCrash(1, 0); err == nil {
+			t.Fatal("ScheduleCrash accepted n=0")
+		}
+		var last *Future
+		for i := 0; i < 10; i++ {
+			last = s.Submit(PutOp(uint64(600+i), 1))
+		}
+		if r := last.Wait(); !errors.Is(r.Err, ErrSessionDead) {
+			t.Fatalf("in-flight op resolved to %+v, want ErrSessionDead", r)
+		}
+		if err := s.Flush(); !errors.Is(err, ErrSessionDead) {
+			t.Fatalf("Flush after mid-flight crash: %v, want ErrSessionDead", err)
+		}
+		// Each killed put was all-or-nothing: present implies the full value.
+		surv, err := tr.SessionAt(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			if v, ok := surv.Get(uint64(600 + i)); ok && v != 1 {
+				t.Fatalf("torn write: key %d = %d", 600+i, v)
+			}
+		}
+		if _, err := tr.Recover(0); err != nil {
+			t.Fatal(err)
+		}
+	})
 }
 
 func TestRecoverValidation(t *testing.T) {

@@ -58,24 +58,32 @@ func ExtraGLTSize(s Scale) *Table {
 	return t
 }
 
-// ExtraCacheOff compares the full index cache against top-levels-only
-// caching (no level-1 cache) under the uniform write-intensive workload.
+// ExtraCacheOff steps the unified cache's budgeted depth — off (pinned top
+// levels only), the paper's flat level-1-only cache, and the multi-level
+// default — under the uniform write-intensive workload, surfacing the
+// speculation and invalidation counters alongside throughput.
 func ExtraCacheOff(s Scale) *Table {
 	t := NewTable("Extra: index cache contribution (uniform write-intensive)",
-		"config", "Mops", "p50(us)", "hit ratio")
+		"config", "Mops", "p50(us)", "hit ratio", "spec ok", "inval", "evictions")
 	for _, c := range []struct {
-		name  string
-		bytes int64
+		name   string
+		levels int
 	}{
-		{"level-1 cache (default)", 0},
-		{"top levels only (1 node)", 1},
+		{"top levels only (levels=off)", -1},
+		{"flat level-1 (levels=1)", 1},
+		{"unified multi-level (default)", 0},
 	} {
 		cfg := core.ShermanConfig()
-		cfg.CacheBytes = c.bytes
+		cfg.CacheLevels = c.levels
 		r := RunTreeN(s.treeExp(c.name, workload.WriteIntensive, workload.Uniform, cfg), s.runs())
-		t.Add(c.name, MopsString(r.Mops), USString(r.P50), fmt.Sprintf("%.1f%%", r.HitRatio*100))
+		t.Add(c.name, MopsString(r.Mops), USString(r.P50),
+			fmt.Sprintf("%.1f%%", r.HitRatio*100),
+			fmt.Sprintf("%.1f%%", r.Rec.SpecSuccessRate()*100),
+			fmt.Sprint(r.Rec.CacheInvalidations),
+			fmt.Sprint(r.CacheEvictions))
 	}
-	t.Note("without level-1 copies every operation pays the level-1 read on top of the leaf read")
+	t.Note("without budgeted copies every operation pays the lower-level reads on top of the leaf read")
+	t.Note("spec ok: speculative leaf-direct reads validating first try; inval: stale entries dropped")
 	return t
 }
 

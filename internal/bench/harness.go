@@ -135,6 +135,9 @@ type TreeResult struct {
 	Rec *stats.Recorder
 	// HitRatio is the index-cache hit ratio during measurement.
 	HitRatio float64
+	// CacheEvictions totals budget-pressure evictions across every compute
+	// server's cache (whole run, including warmup).
+	CacheEvictions int64
 	// Handovers is the number of lock acquisitions satisfied by handover.
 	Handovers int64
 	// LockAcquisitions, LockRetries and LockMaxWaiters expose the lock
@@ -302,10 +305,15 @@ func RunTree(e TreeExp) TreeResult {
 			mops += stats.ThroughputMops(r.TotalOps(), d)
 		}
 	}
+	var evictions int64
+	for cs := 0; cs < e.NumCS; cs++ {
+		evictions += tr.Cache(cs).Evictions()
+	}
 	ls := tr.LockStats()
 	res := TreeResult{
 		Name:              e.Name,
 		Mops:              mops,
+		CacheEvictions:    evictions,
 		P50:               merged.AllLatency.Percentile(50),
 		P90:               merged.AllLatency.Percentile(90),
 		P99:               merged.AllLatency.Percentile(99),
@@ -343,6 +351,7 @@ func RunTreeN(e TreeExp, runs int) TreeResult {
 		acc.P90 += r.P90 / int64(runs)
 		acc.P99 += r.P99 / int64(runs)
 		acc.HitRatio += r.HitRatio / float64(runs)
+		acc.CacheEvictions += r.CacheEvictions / int64(runs)
 		acc.Handovers += r.Handovers / int64(runs)
 		acc.RoundTripsPerOp += r.RoundTripsPerOp / float64(runs)
 		acc.LockAcqPerOp += r.LockAcqPerOp / float64(runs)

@@ -40,6 +40,14 @@ type Metric struct {
 	// Skew is the per-MS inbound-load imbalance (hottest/coldest) of an
 	// elastic experiment's window.
 	Skew float64 `json:"skew,omitempty"`
+	// HitRatio, SpecRate, InvalPerOp and Evictions are the cache
+	// experiment's leaf-direct hit ratio, speculative-validation success
+	// rate, staleness invalidations per operation, and budget-pressure
+	// eviction total.
+	HitRatio   float64 `json:"hit_ratio,omitempty"`
+	SpecRate   float64 `json:"spec_rate,omitempty"`
+	InvalPerOp float64 `json:"inval_per_op,omitempty"`
+	Evictions  int64   `json:"evictions,omitempty"`
 }
 
 // Collector accumulates the typed metrics of one harness invocation. A nil

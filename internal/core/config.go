@@ -31,10 +31,16 @@ type Config struct {
 	// LocksPerMS sizes each global lock table (0 = hocl default).
 	LocksPerMS int
 
-	// CacheBytes bounds each compute server's index cache (§4.2.3). The
-	// paper gives each CS 500 MB; scale with the tree. 0 disables the
-	// level-1 cache (the top two levels are always cached regardless).
+	// CacheBytes bounds each compute server's budgeted index-cache region
+	// (§4.2.3). The paper gives each CS 500 MB; scale with the tree. 0
+	// means 64 MB; the pinned top two levels ride outside the budget.
 	CacheBytes int64
+
+	// CacheLevels is the budgeted caching depth: tree levels 1..CacheLevels
+	// are cacheable below the always-pinned top two levels. 0 means the
+	// default (2); 1 reproduces the paper's flat level-1-only type-1 cache;
+	// negative disables the budgeted region entirely (top levels only).
+	CacheLevels int
 
 	// BulkFill is the bulkload fill factor (the paper loads 80% full).
 	// 0 means 0.8.

@@ -15,8 +15,7 @@ type Handle struct {
 	t     *Tree
 	C     *rdma.Client
 	alloc *alloc.ThreadAllocator
-	cache *cache.IndexCache
-	top   *cache.TopCache
+	cache *cache.Cache
 
 	// Rec accumulates this thread's measurements.
 	Rec *stats.Recorder
@@ -43,7 +42,6 @@ func (t *Tree) NewHandle(cs int, seed int) *Handle {
 		C:       c,
 		alloc:   t.cl.NewThreadAllocator(c, seed),
 		cache:   t.caches[cs],
-		top:     t.tops[cs],
 		Rec:     stats.NewRecorder(),
 		leafBuf: make([]byte, t.cfg.Format.NodeSize),
 		nodeBuf: make([]byte, t.cfg.Format.NodeSize),
@@ -52,6 +50,9 @@ func (t *Tree) NewHandle(cs int, seed int) *Handle {
 
 // Tree returns the handle's tree.
 func (h *Handle) Tree() *Tree { return h.t }
+
+// Cache returns the compute server's unified index cache.
+func (h *Handle) Cache() *cache.Cache { return h.cache }
 
 // --- read-side machinery ----------------------------------------------------
 
@@ -82,7 +83,7 @@ func (h *Handle) readNode(a rdma.Addr, buf []byte) (layout.Node, int) {
 	}
 }
 
-// refreshRoot re-reads the superblock and updates the CS's top cache. The
+// refreshRoot re-reads the superblock and updates the CS's cache root. The
 // superblock's level field is only a hint — the pointer CAS and the hint
 // write are separate verbs, and a client can crash between them — so the
 // authoritative level comes from the fetched root node itself (readers
@@ -102,49 +103,49 @@ func (h *Handle) refreshRoot() (rdma.Addr, uint8) {
 		}
 		if n.Alive() {
 			level := n.Level()
-			h.top.SetRoot(root, level)
+			h.cache.SetRoot(root, level)
+			if level > 0 {
+				h.cacheInternal(root, n, level)
+			}
 			return root, level
 		}
 		// The pointed-to node was freed under us (root moved); re-read.
 	}
 }
 
-// readInternal fetches an internal node, consulting the always-cached top
-// two levels first. rootLevel is the level of the traversal's root, which
-// defines which levels belong to the top cache.
-func (h *Handle) readInternal(a rdma.Addr, lvl, rootLevel uint8) (layout.Node, bool) {
-	if rootLevel > 0 && lvl >= rootLevel-1 {
-		if n, ok := h.top.Get(a); ok {
-			h.C.Step(h.C.F.P.LocalStepNS)
-			return n.Node, true
-		}
+// cacheInternal copies an internal node into the unified cache; admission
+// (pinned top levels, budgeted depth, frequency gate) is the cache's call.
+// rootLevel is the level of the current traversal's root, which defines the
+// pinned region. The structural pre-check avoids paying a node-size copy
+// for levels the cache could never hold (mid-tree levels above the
+// budgeted depth, or everything budgeted when the cache is off).
+func (h *Handle) cacheInternal(a rdma.Addr, n layout.Node, rootLevel uint8) {
+	if !h.cache.Admissible(n.Level(), rootLevel) {
+		return
 	}
-	n, _ := h.readNode(a, h.nodeBuf)
-	if rootLevel > 0 && n.Level() >= rootLevel-1 && n.Alive() {
-		cp := append([]byte(nil), n.B...)
-		h.top.Put(a, layout.AsInternal(layout.ViewNode(n.F, cp)))
-	}
-	return n, false
+	cp := append([]byte(nil), n.B...)
+	h.cache.Insert(a, layout.AsInternal(layout.ViewNode(n.F, cp)), rootLevel)
 }
 
-// cacheLevel1 copies a level-1 node into the index cache.
-func (h *Handle) cacheLevel1(a rdma.Addr, n layout.Node) {
-	cp := append([]byte(nil), n.B...)
-	h.cache.Insert(a, layout.AsInternal(layout.ViewNode(n.F, cp)))
+// cacheNode is cacheInternal against the cache's current notion of the root
+// level, for call sites outside a descent (split refreshes, repoints).
+func (h *Handle) cacheNode(a rdma.Addr, n layout.Node) {
+	_, rootLvl := h.cache.Root()
+	h.cacheInternal(a, n, rootLvl)
 }
 
 // maxSiblingHops is the level-0 B-link walk length that signals stale
-// top-cache steering: a copy of a since-split top node passes fence/level
+// pinned-top steering: a copy of a since-split top node passes fence/level
 // validation (its fences were right when taken) yet steers every traversal
 // left of the target, and only excess sibling hops reveal it.
 const maxSiblingHops = 3
 
-// noteSiblingHop counts one level-0 move-right and flushes the top cache
-// when the walk gets long enough to implicate stale steering.
+// noteSiblingHop counts one level-0 move-right and flushes the pinned top
+// entries when the walk gets long enough to implicate stale steering.
 func (h *Handle) noteSiblingHop(hops *int) {
 	*hops++
 	if *hops == maxSiblingHops {
-		h.top.Flush()
+		h.cache.FlushTop()
 	}
 }
 

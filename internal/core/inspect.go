@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"sherman/internal/alloc"
-	"sherman/internal/cache"
 	"sherman/internal/layout"
 	"sherman/internal/rdma"
 )
@@ -153,12 +152,11 @@ func (t *Tree) freeNodes(addrs []rdma.Addr) {
 	}
 }
 
-// dropCaches clears every compute server's index and top caches after a
-// structural rebuild, so sessions opened later start from the new root.
+// dropCaches clears every compute server's index cache after a structural
+// rebuild, so sessions opened later start from the new root.
 func (t *Tree) dropCaches() {
 	for i := range t.caches {
 		t.caches[i] = newCSCache(t.cfg)
-		t.tops[i] = cache.NewTop()
 	}
 }
 

@@ -4,7 +4,6 @@ import (
 	"errors"
 
 	"sherman/internal/alloc"
-	"sherman/internal/cache"
 	"sherman/internal/cluster"
 	"sherman/internal/layout"
 	"sherman/internal/rdma"
@@ -77,6 +76,9 @@ func (h *Handle) MoveNode(src, dst rdma.Addr) (MovedNode, error) {
 	g := h.t.locks.Lock(h.C, src)
 	if g.Reclaimed() {
 		h.Rec.Reclaims++
+		if h.cache.InvalidateAddr(src) {
+			h.Rec.CacheInvalidations++
+		}
 	}
 	n, _ := h.readNode(src, h.nodeBuf)
 	if !n.Alive() {
@@ -118,7 +120,7 @@ func (h *Handle) Repoint(mv MovedNode, old, new rdma.Addr) bool {
 		sbRoot, _ := cluster.ReadRoot(h.C)
 		if sbRoot == old {
 			if cluster.CASRoot(h.C, old, new, mv.Level) {
-				h.top.SetRoot(new, mv.Level)
+				h.cache.SetRoot(new, mv.Level)
 				return true
 			}
 			continue // root raced (grew, or someone repointed already)
@@ -176,9 +178,7 @@ func (h *Handle) repointChild(parentLevel uint8, key uint64, old, new rdma.Addr)
 			in.UpdateChecksum()
 		}
 		h.unlockWrite(r.g, []rdma.WriteOp{{Addr: r.addr, Data: in.B}})
-		if parentLevel == 1 {
-			h.cacheLevel1(r.addr, in.Node)
-		}
+		h.cacheNode(r.addr, in.Node)
 		return repointDone
 	case new:
 		h.unlockWrite(r.g, nil)
@@ -268,27 +268,16 @@ func (w *chunkWalk) visit(addr rdma.Addr) {
 // injector) to the migration engine and benchmarks.
 func (t *Tree) Cluster() *cluster.Cluster { return t.cl }
 
-// InvalidateChunk purges every compute server's caches of entries located
+// InvalidateChunk purges every compute server's cache of entries located
 // in — or steering into — the migrated chunk, so steady-state traversals
-// stop resolving through addresses that just died. Returns the number of
-// index-cache entries dropped.
+// stop resolving through addresses that just died. The per-chunk index
+// makes each purge O(affected entries) — pinned top entries included — so
+// migration no longer pays a predicate scan over the whole cache (or a
+// wholesale top flush) per chunk. Returns the number of entries dropped.
 func (t *Tree) InvalidateChunk(ck alloc.ChunkID) int {
 	dropped := 0
 	for _, ic := range t.caches {
-		dropped += ic.InvalidateMatching(func(e *cache.Entry) bool {
-			if ck.Contains(e.Addr) || ck.Contains(e.N.Leftmost()) {
-				return true
-			}
-			for _, s := range e.N.Separators() {
-				if ck.Contains(s.Child) {
-					return true
-				}
-			}
-			return false
-		})
-	}
-	for _, tp := range t.tops {
-		tp.Flush()
+		dropped += ic.InvalidateChunk(ck)
 	}
 	return dropped
 }

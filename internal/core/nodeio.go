@@ -7,6 +7,7 @@ import (
 	"sherman/internal/hocl"
 	"sherman/internal/layout"
 	"sherman/internal/rdma"
+	"sherman/internal/stats"
 )
 
 // This file is the shared node-I/O + traversal layer: every data path —
@@ -18,6 +19,16 @@ import (
 // sibling chain right), on a freed or repurposed node (recover from stale
 // steering), and — for writes — must hold at most one node lock at any time
 // (unlock the current node before locking its sibling, §4.3 [52]).
+//
+// Both loops are cache-first against the unified multi-level index cache:
+// a traversal resumes at the deepest cached point of the key's path — a
+// level-1 hit issues the leaf read immediately (the speculative leaf-direct
+// jump), a level-2 hit restarts one read above the leaves, and so on up to
+// the pinned top levels. Every jump is speculative: the fetched node is
+// validated (liveness, level, fence keys), and a failure invalidates the
+// poisoned path suffix and falls back to a top-down descent. The same
+// validate-or-fall-back mechanism absorbs forwarding chases of migrated
+// nodes (core.ErrMoved's read-side analogue).
 
 // intent selects how seek interacts with the target node.
 type intent int
@@ -38,6 +49,21 @@ type seekResult struct {
 	addr rdma.Addr
 	n    layout.Node
 	g    hocl.Guard
+}
+
+// specFail records a cached steering entry that failed validation: the
+// entry is dropped along with the covering entries above it on the key's
+// path (the poisoned suffix — whatever installed the stale child likely
+// installed its stale parents too), and the traversal falls back to a
+// top-down descent. level is the seek's target level: only a leaf seek
+// steered by a level-1 entry counts as a failed speculative leaf-direct
+// read (matching where SpecReads are counted), so SpecSuccessRate stays a
+// true ratio.
+func (h *Handle) specFail(key uint64, level uint8, ce *cache.Entry) {
+	if level == 0 && ce.Level() == 1 {
+		h.Rec.SpecFails++
+	}
+	h.Rec.CacheInvalidations += int64(h.cache.InvalidatePath(key, ce))
 }
 
 // seek drives the shared move-right / stale-steering loop at one level of
@@ -75,8 +101,13 @@ func (h *Handle) seek(key uint64, level uint8, in intent, addr rdma.Addr, ce *ca
 			if g.Reclaimed() {
 				// The previous holder crashed mid-operation; the validating
 				// read below re-establishes the node's consistency (the
-				// two-level version pair or checksum) before any write.
+				// two-level version pair or checksum) before any write. Any
+				// cached copy of the node predates the crash repair: drop it
+				// by address — O(1), no scan.
 				h.Rec.Reclaims++
+				if h.cache.InvalidateAddr(addr) {
+					h.Rec.CacheInvalidations++
+				}
 			}
 		}
 		n, r := h.readNode(addr, buf)
@@ -90,7 +121,7 @@ func (h *Handle) seek(key uint64, level uint8, in intent, addr rdma.Addr, ce *ca
 				h.unlockWrite(g, nil)
 			}
 			if ce != nil {
-				h.cache.Invalidate(ce)
+				h.specFail(key, level, ce)
 				ce = nil
 			}
 			if !n.Alive() {
@@ -107,7 +138,7 @@ func (h *Handle) seek(key uint64, level uint8, in intent, addr rdma.Addr, ce *ca
 			if level > 0 {
 				return seekResult{}, false
 			}
-			addr = h.traverseToLeaf(key)
+			addr, ce = h.traverseToLeaf(key)
 			continue
 		}
 		if n.UpperFence() != layout.NoUpperBound && key >= n.UpperFence() {
@@ -123,44 +154,79 @@ func (h *Handle) seek(key uint64, level uint8, in intent, addr rdma.Addr, ce *ca
 			}
 			h.noteSiblingHop(hops)
 			addr = sib
-			if level > 0 {
-				ce = nil
-			}
+			// The steered node validated (alive, right level, covering
+			// lower fence) — the speculation succeeded; the entry is merely
+			// outdated about where the key's range ends, which the B-link
+			// walk absorbs. A later dead sibling is not a speculation
+			// failure, so drop the handle here.
+			ce = nil
 			continue
 		}
 		return seekResult{addr: addr, n: n, g: g}, true
 	}
 }
 
-// descend walks internal levels from the (cached) top of the tree down to
-// the target level, following sibling pointers when a node's fences exclude
-// the key and restarting from a fresh root when steering proves stale.
-// Level-1 nodes crossed on the way are copied into the index cache
-// (§4.2.3). descend returns the address of the level `target` node whose
-// fence range covered the key at read time; the caller re-validates under
-// its own intent via seek.
-func (h *Handle) descend(key uint64, target uint8) rdma.Addr {
-	root, rootLvl := h.top.Root()
+// descend walks internal levels down to the target level, following sibling
+// pointers when a node's fences exclude the key and restarting from a fresh
+// root when steering proves stale. It is cache-first: each round resumes at
+// the deepest cached point of the key's path below the root (pinned top
+// entries included), so a warm cache skips the upper levels entirely; the
+// jump is validated at the next read, and a failure invalidates the
+// poisoned path suffix and retries once cache-free. Internal nodes read on
+// the way are offered to the cache (admission-gated by level). descend
+// returns the address of the level `target` node whose fence range covered
+// the key at read time; the caller re-validates under its own intent via
+// seek. When the cached entry sat directly above the target, the returned
+// address is its child pointer, taken on faith with no validating read —
+// the entry is returned as the steering handle so the caller's seek can
+// invalidate it (via specFail) if the speculation proves stale; a nil
+// entry means the address came from a validated read.
+func (h *Handle) descend(key uint64, target uint8) (rdma.Addr, *cache.Entry) {
+	root, rootLvl := h.cache.Root()
 	if root.IsNil() || rootLvl < target {
 		root, rootLvl = h.refreshRoot()
 	}
+	useCache := true
 	for {
 		addr, lvl := root, rootLvl
+		var jumped *cache.Entry
+		if useCache && rootLvl > target {
+			if e := h.cache.Deepest(key, target+1, rootLvl); e != nil {
+				// Resume below the deepest cached node of the path: consume
+				// the local copy (no verbs) and jump to its child.
+				h.C.Step(h.C.F.P.LocalStepNS)
+				h.Rec.CacheLevelHits[stats.CacheLevelIdx(e.Level())]++
+				if target == 0 && e.Level() == 1 {
+					// The jump hands the caller a leaf address straight from
+					// a cached level-1 parent: a speculative leaf-direct
+					// read, same as locateLeaf's Lookup path.
+					h.Rec.SpecReads++
+				}
+				child, _ := e.N.ChildFor(key)
+				addr, lvl = child, e.Level()-1
+				jumped = e
+			}
+		}
 		ok := true
 		for lvl > target {
-			n, fromCache := h.readInternal(addr, lvl, rootLvl)
+			n, _ := h.readNode(addr, h.nodeBuf)
 			if !n.Alive() || n.Level() != lvl || key < n.LowerFence() {
 				// Freed, repurposed or migrated node, or we are left of its
-				// range: chase a migrated node to its new home, otherwise
-				// the steering was stale; restart from a fresh root.
-				if fromCache {
-					h.top.Drop(addr)
-				}
+				// range: chase a migrated node to its new home; otherwise
+				// the steering was stale — invalidate the cached path that
+				// produced it and restart from a fresh root.
 				if !n.Alive() {
+					if h.cache.InvalidateAddr(addr) {
+						h.Rec.CacheInvalidations++
+					}
 					if fwd, chased := h.chase(addr); chased {
 						addr = fwd
 						continue
 					}
+				}
+				if jumped != nil {
+					h.specFail(key, lvl, jumped)
+					useCache = false
 				}
 				ok = false
 				break
@@ -175,50 +241,65 @@ func (h *Handle) descend(key uint64, target uint8) rdma.Addr {
 				addr = sib
 				continue
 			}
-			if lvl == 1 {
-				h.cacheLevel1(addr, n)
-			}
+			h.cacheInternal(addr, n, rootLvl)
 			child, _ := layout.AsInternal(n).ChildFor(key)
 			addr = child
 			lvl--
+			// This validated covering read vindicates the cached jump: the
+			// entry steered correctly, so a failure deeper down is a fresh
+			// race, not the entry's fault — it must be neither invalidated
+			// nor returned as the steering handle.
+			jumped = nil
 		}
 		if ok {
-			return addr
+			return addr, jumped
 		}
 		root, rootLvl = h.refreshRoot()
+		if jumped == nil {
+			// The failure came from a fresh read, not a cache jump: the
+			// next round may use the cache again (the refreshed root moved
+			// the traversal past the race).
+			useCache = true
+		}
 	}
 }
 
-// traverseToLeaf resolves the leaf-level address covering key by a full
-// descent from the root.
-func (h *Handle) traverseToLeaf(key uint64) rdma.Addr {
+// traverseToLeaf resolves the leaf-level address covering key by a
+// (cache-resumed) descent; the returned entry, when non-nil, is the cached
+// parent whose unvalidated child pointer the address is.
+func (h *Handle) traverseToLeaf(key uint64) (rdma.Addr, *cache.Entry) {
 	return h.descend(key, 0)
 }
 
-// locateLeaf resolves the leaf that should contain key: index-cache hit
-// (type-1), else a descent from the (cached) top levels. The returned cache
-// entry (nil on miss) lets the caller invalidate stale steering.
+// locateLeaf resolves the leaf that should contain key. A level-1 cache hit
+// is the speculative leaf-direct jump (§4.2.3): the leaf read is issued
+// immediately from the cached parent, skipping the descent entirely; seek
+// validates it and falls back through specFail when the speculation was
+// stale. On a level-1 miss the descent still resumes at the deepest cached
+// ancestor. The returned cache entry (nil on miss) lets the caller
+// invalidate stale steering.
 func (h *Handle) locateLeaf(key uint64) (rdma.Addr, *cache.Entry) {
 	h.C.Step(h.C.F.P.LocalStepNS)
-	if e := h.cache.Lookup(key); e != nil {
+	if e := h.cache.Lookup(key, 1); e != nil {
 		h.Rec.CacheHits++
+		h.Rec.CacheLevelHits[stats.CacheLevelIdx(1)]++
+		h.Rec.SpecReads++
 		child, _ := e.N.ChildFor(key)
 		return child, e
 	}
 	h.Rec.CacheMisses++
-	return h.traverseToLeaf(key), nil
+	return h.traverseToLeaf(key)
 }
 
-// locateInternal finds the internal node at the target level covering key.
-// Level-1 targets use the index cache (the entry's own address is the
-// level-1 node).
+// locateInternal finds the internal node at the target level covering key:
+// a cache hit at exactly that level answers locally, anything else resumes
+// the descent at the deepest cached ancestor.
 func (h *Handle) locateInternal(key uint64, level uint8) (rdma.Addr, *cache.Entry) {
-	if level == 1 {
-		if e := h.cache.Lookup(key); e != nil {
-			return e.Addr, e
-		}
+	if e := h.cache.Lookup(key, level); e != nil {
+		h.Rec.CacheLevelHits[stats.CacheLevelIdx(level)]++
+		return e.Addr, e
 	}
-	return h.descend(key, level), nil
+	return h.descend(key, level)
 }
 
 // lockLeafForWrite locks and reads the leaf that must hold key, handling

@@ -68,7 +68,7 @@ func (h *Handle) recoverPass() (int, bool) {
 			// or the sweep would rescan this dead root forever.
 			fn, _ := h.readNode(fwd, buf)
 			if fn.Alive() && cluster.CASRoot(h.C, root, fwd, fn.Level()) {
-				h.top.SetRoot(fwd, fn.Level())
+				h.cache.SetRoot(fwd, fn.Level())
 				return 1, true
 			}
 		}
@@ -76,7 +76,7 @@ func (h *Handle) recoverPass() (int, bool) {
 		return 0, true
 	}
 	rootLvl := n.Level()
-	h.top.SetRoot(root, rootLvl)
+	h.cache.SetRoot(root, rootLvl)
 	if !n.Sibling().IsNil() {
 		// Half-done root split: the old root was split but the new root was
 		// never installed. insertParent grows the tree above it.

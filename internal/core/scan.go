@@ -42,16 +42,23 @@ func (h *Handle) rangeInner(from uint64, span int) []layout.KV {
 		// cache miss falls back to a single traversal.
 		var addrs []rdma.Addr
 		h.C.Step(h.C.F.P.LocalStepNS)
-		e := h.cache.Lookup(cursor)
+		e := h.cache.Lookup(cursor, 1)
 		if e != nil {
 			h.Rec.CacheHits++
+			h.Rec.CacheLevelHits[stats.CacheLevelIdx(1)]++
+			// The whole steered batch is one speculative leaf-direct
+			// resolution: it either validates or fails (and restarts) as a
+			// unit, matching the one SpecFail a failure records below.
+			h.Rec.SpecReads++
 			addrs = e.N.ChildrenFrom(cursor)
 			if len(addrs) > maxParallelReads {
 				addrs = addrs[:maxParallelReads]
 			}
 		} else {
 			h.Rec.CacheMisses++
-			addrs = []rdma.Addr{h.traverseToLeaf(cursor)}
+			var leaf rdma.Addr
+			leaf, e = h.traverseToLeaf(cursor)
+			addrs = []rdma.Addr{leaf}
 		}
 
 		bufs := make([][]byte, len(addrs))
@@ -83,9 +90,11 @@ func (h *Handle) rangeInner(from uint64, span int) []layout.KV {
 			}
 			if !n.Alive() || !n.IsLeaf() || cursor < n.LowerFence() {
 				// Freed or repurposed node, or steering overshot the
-				// cursor: drop the cached node and retraverse from cursor.
+				// cursor: a failed speculative validation — drop the
+				// poisoned path suffix exactly like the point-op path and
+				// retraverse from cursor.
 				if e != nil {
-					h.cache.Invalidate(e)
+					h.specFail(cursor, 0, e)
 					e = nil
 				}
 				restart = true
@@ -105,7 +114,9 @@ func (h *Handle) rangeInner(from uint64, span int) []layout.KV {
 					return out
 				}
 				if !ok && e != nil {
-					h.cache.Invalidate(e)
+					if h.cache.Invalidate(e) {
+						h.Rec.CacheInvalidations++
+					}
 					e = nil
 				}
 				restart = true

@@ -20,10 +20,9 @@ type Tree struct {
 
 	locks *hocl.Manager
 
-	// Per compute server: the level-1 index cache and the always-cached top
-	// levels (§4.2.3).
-	caches []*cache.IndexCache
-	tops   []*cache.TopCache
+	// Per compute server: the unified multi-level index cache (§4.2.3
+	// generalized — pinned top levels plus the budgeted lower levels).
+	caches []*cache.Cache
 }
 
 // New creates an empty tree (a single empty leaf as root) in the cluster.
@@ -32,7 +31,6 @@ func New(cl *cluster.Cluster, cfg Config) *Tree {
 	t.locks = hocl.NewManager(cl.F, hocl.Config{Mode: cfg.Locks, LocksPerMS: cfg.LocksPerMS})
 	for i := 0; i < cl.NumCS(); i++ {
 		t.caches = append(t.caches, newCSCache(cfg))
-		t.tops = append(t.tops, cache.NewTop())
 	}
 	// Empty tree: one leaf covering the whole key space.
 	b := alloc.NewBulk(cl.F, &cl.AllocStats)
@@ -53,15 +51,19 @@ func (t *Tree) Config() Config { return t.cfg }
 func (t *Tree) LockStats() *hocl.Stats { return &t.locks.Stats }
 
 // Cache returns compute server cs's index cache (for hit-ratio reports).
-func (t *Tree) Cache(cs int) *cache.IndexCache { return t.caches[cs] }
+func (t *Tree) Cache(cs int) *cache.Cache { return t.caches[cs] }
 
 // newCSCache builds one compute server's index cache per the config.
-func newCSCache(cfg Config) *cache.IndexCache {
+func newCSCache(cfg Config) *cache.Cache {
 	cacheBytes := cfg.CacheBytes
 	if cacheBytes == 0 {
 		cacheBytes = 64 << 20
 	}
-	return cache.New(cacheBytes, cfg.Format.NodeSize)
+	return cache.New(cache.Config{
+		MaxBytes: cacheBytes,
+		NodeSize: cfg.Format.NodeSize,
+		Levels:   cfg.CacheLevels,
+	})
 }
 
 func writeRaw(cl *cluster.Cluster, a rdma.Addr, data []byte) {

@@ -154,7 +154,7 @@ func (h *Handle) splitLeaf(addr rdma.Addr, g hocl.Guard, leaf layout.Leaf, key, 
 func (h *Handle) insertParent(sepKey uint64, child rdma.Addr, level uint8) {
 	f := h.t.cfg.Format
 	for {
-		root, rootLvl := h.top.Root()
+		root, rootLvl := h.cache.Root()
 		if root.IsNil() {
 			root, rootLvl = h.refreshRoot()
 		}
@@ -169,7 +169,7 @@ func (h *Handle) insertParent(sepKey uint64, child rdma.Addr, level uint8) {
 			}
 			h.C.Write(newRootAddr, nr.B)
 			if cluster.CASRoot(h.C, root, newRootAddr, level) {
-				h.top.SetRoot(newRootAddr, level)
+				h.cache.SetRoot(newRootAddr, level)
 				return
 			}
 			// Lost the root race: deallocate (clear the free bit, §4.2.4)
@@ -205,9 +205,10 @@ func (h *Handle) tryInsertAt(addr rdma.Addr, ce *cache.Entry, sepKey uint64, chi
 			in.UpdateChecksum()
 		}
 		h.unlockWrite(g, []rdma.WriteOp{{Addr: addr, Data: in.B}})
-		if level == 1 {
-			h.cacheLevel1(addr, in.Node)
-		}
+		// Refresh the cached copy with the post-insert image (replacement by
+		// fence key is O(1)) so the split's parent update never leaves a
+		// stale cached parent behind.
+		h.cacheNode(addr, in.Node)
 		return true
 	}
 	// Full: split the internal node and push the median up.
@@ -235,10 +236,11 @@ func (h *Handle) tryInsertAt(addr rdma.Addr, ce *cache.Entry, sepKey uint64, chi
 		h.C.Write(rightAddr, right.B)
 		h.unlockWrite(g, []rdma.WriteOp{{Addr: addr, Data: in.B}})
 	}
-	if level == 1 {
-		h.cacheLevel1(addr, in.Node)
-		h.cacheLevel1(rightAddr, right.Node)
-	}
+	// Replace the split node's cached copy (its fence range shrank) and
+	// admit the new right half, so traversals steered by the cache see the
+	// post-split structure immediately.
+	h.cacheNode(addr, in.Node)
+	h.cacheNode(rightAddr, right.Node)
 	h.insertParent(upSep, rightAddr, level+1)
 	return true
 }

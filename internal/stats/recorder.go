@@ -37,6 +37,18 @@ func (k OpKind) String() string {
 // terminology.
 func (k OpKind) IsWrite() bool { return k == OpInsert || k == OpDelete }
 
+// MaxCacheLevel is the highest tree level the per-level cache-hit counters
+// distinguish; hits at deeper levels fold into the top bucket.
+const MaxCacheLevel = 8
+
+// CacheLevelIdx maps a tree level to its CacheLevelHits bucket.
+func CacheLevelIdx(level uint8) int {
+	if int(level) > MaxCacheLevel {
+		return MaxCacheLevel
+	}
+	return int(level)
+}
+
 // Recorder collects one thread's measurements; it is not safe for concurrent
 // use. Merge recorders after the worker goroutines finish.
 type Recorder struct {
@@ -93,9 +105,29 @@ type Recorder struct {
 	// client's verb counter).
 	RoundTrips int64
 
-	// CacheHits / CacheMisses count index-cache outcomes (Figure 15(c)).
+	// CacheHits / CacheMisses count leaf-locate index-cache outcomes
+	// (Figure 15(c)): a hit is a level-1 entry answering a leaf location —
+	// the speculative leaf-direct jump.
 	CacheHits   int64
 	CacheMisses int64
+
+	// CacheLevelHits breaks cache usefulness down by the tree level of the
+	// entry that answered: index 1 counts leaf-direct jumps, higher indexes
+	// count descents resumed at that level instead of the root (levels
+	// beyond MaxCacheLevel fold into the top bucket).
+	CacheLevelHits [MaxCacheLevel + 1]int64
+
+	// SpecReads counts leaf reads issued speculatively from a cached
+	// level-1 parent; SpecFails counts those whose validation failed and
+	// fell back to a top-down descent. 1 - SpecFails/SpecReads is the
+	// speculation success rate.
+	SpecReads int64
+	SpecFails int64
+
+	// CacheInvalidations counts cache entries this thread dropped for
+	// staleness: failed speculative validations (poisoned path suffixes),
+	// dead nodes observed mid-descent, and reclaimed-lock repairs.
+	CacheInvalidations int64
 
 	// Handovers counts lock acquisitions satisfied by handover.
 	Handovers int64
@@ -237,6 +269,12 @@ func (r *Recorder) Merge(other *Recorder) {
 	r.RoundTrips += other.RoundTrips
 	r.CacheHits += other.CacheHits
 	r.CacheMisses += other.CacheMisses
+	for i := range r.CacheLevelHits {
+		r.CacheLevelHits[i] += other.CacheLevelHits[i]
+	}
+	r.SpecReads += other.SpecReads
+	r.SpecFails += other.SpecFails
+	r.CacheInvalidations += other.CacheInvalidations
 	r.Handovers += other.Handovers
 	r.Reclaims += other.Reclaims
 	r.SplitRepairs += other.SplitRepairs
@@ -253,6 +291,15 @@ func (r *Recorder) TotalOps() int64 {
 		n += v
 	}
 	return n
+}
+
+// SpecSuccessRate returns the fraction of speculative leaf-direct reads
+// that validated on the first try (0 when none were issued).
+func (r *Recorder) SpecSuccessRate() float64 {
+	if r.SpecReads == 0 {
+		return 0
+	}
+	return 1 - float64(r.SpecFails)/float64(r.SpecReads)
 }
 
 // HitRatio returns the index-cache hit ratio in [0,1].

@@ -153,6 +153,112 @@ func TestDifferentialOracle(t *testing.T) {
 	}
 }
 
+// TestDifferentialOracleTinyCache is the cache-staleness oracle: the same
+// random streams (depths 1–8) run with a deliberately tiny 2-entry index
+// cache, so eviction churn is constant and nearly every speculative
+// leaf-direct read races the stream's own splits — while a writer session
+// on the other compute server forces extra splits, and (for odd seeds) the
+// elasticity engine concurrently adds, rebalances onto, and drains memory
+// servers. Every speculative read must either validate or fall back
+// through the poisoned-path invalidation without ever returning a stale
+// value: any miss shows up as a model mismatch.
+func TestDifferentialOracleTinyCache(t *testing.T) {
+	depths := []int{1, 2, 4, 8}
+	for _, opts := range gridOptions() {
+		opts := opts
+		opts.CacheBytes = 2 * testutil.SmallNodeSize // a 2-entry budget
+		t.Run(opts.Advanced.name(), func(t *testing.T) {
+			testutil.RunSeeds(t, 4, func(t *testing.T, seed uint64) {
+				rng := testutil.RNG(seed)
+				depth := depths[(seed-1)%uint64(len(depths))]
+				migrate := seed%2 == 1
+				c, err := NewCluster(ClusterConfig{
+					MemoryServers: 2, ComputeServers: 2, MaxMemoryServers: 4,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				tree := testTree(t, c, opts)
+				s, err := tree.SessionAt(0, PipelineDepth(depth))
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				// A fence band of known keys separates the oracle keyspace
+				// from the churn writer's stripe: scans running off the
+				// oracle region land on fence rows (identical in tree and
+				// model) instead of the writer's racing keys. The band is
+				// wide enough to push the root past level 2, so level-1
+				// entries are budgeted (evictable), not pinned — a 2-entry
+				// cache then churns on every traversal.
+				const keySpace = 400
+				model := testutil.NewModel()
+				fence := make([]KV, 3000)
+				for i := range fence {
+					k := uint64(2*keySpace + 1 + i)
+					fence[i] = KV{Key: k, Value: testutil.BulkValue(k)}
+					model.Put(k, fence[i].Value)
+				}
+				if err := tree.Bulkload(fence); err != nil {
+					t.Fatal(err)
+				}
+
+				// Concurrent churn: a writer splitting leaves all over a
+				// disjoint stripe, plus (odd seeds) rebalance/drain cycles —
+				// the two sources of cache staleness under live traffic.
+				stop := make(chan struct{})
+				var wg sync.WaitGroup
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					w := tree.Session(1)
+					churnRng := testutil.RNG(seed + 1000)
+					added := false
+					for i := 0; ; i++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						for j := 0; j < 50; j++ {
+							w.Put(1_000_000+churnRng.Uint64N(5000)+1, churnRng.Uint64()|1)
+						}
+						if !migrate {
+							continue
+						}
+						if !added {
+							if _, err := c.AddMemoryServer(); err != nil {
+								t.Error(err)
+								return
+							}
+							added = true
+						}
+						if _, err := tree.Rebalance(1); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}()
+
+				oracleStream(t, s, model, rng, keySpace, 600)
+				close(stop)
+				wg.Wait()
+				if t.Failed() {
+					t.FailNow()
+				}
+				checkFinalState(t, s, model, keySpace)
+				st := s.Stats()
+				if st.SpeculativeReads == 0 {
+					t.Error("tiny-cache stream issued no speculative reads")
+				}
+				if st.CacheEvictions == 0 {
+					t.Error("2-entry cache saw no evictions")
+				}
+			})
+		})
+	}
+}
+
 // TestDifferentialOracleUnderMigration is the elastic differential oracle:
 // the same streams run while a migration goroutine adds memory servers,
 // rebalances onto them, and drains old ones — so every operation may land

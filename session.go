@@ -431,6 +431,11 @@ func (s *Session) Stats() SessionStats {
 		P50LatencyNS: r.AllLatency.Percentile(50),
 		P99LatencyNS: r.AllLatency.Percentile(99),
 
+		CacheEvictions:     s.h.Cache().Evictions(),
+		CacheInvalidations: r.CacheInvalidations,
+		SpeculativeReads:   r.SpecReads,
+		SpeculativeFails:   r.SpecFails,
+
 		Batches:         r.Batches,
 		BatchedOps:      r.BatchedOps,
 		BatchLeafGroups: r.BatchLeafGroups,
@@ -458,6 +463,17 @@ type SessionStats struct {
 	CASFailures int64
 
 	CacheHits, CacheMisses int64
+	// CacheEvictions counts budget-pressure evictions of the compute
+	// server's shared index cache (all sessions of the CS contribute).
+	CacheEvictions int64
+	// CacheInvalidations counts cache entries this session dropped for
+	// staleness: failed speculative validations (the poisoned path suffix),
+	// dead nodes observed mid-descent, and reclaimed-lock repairs.
+	CacheInvalidations int64
+	// SpeculativeReads counts leaf reads issued directly from a cached
+	// level-1 parent (the leaf-direct jump); SpeculativeFails counts those
+	// whose validation failed and fell back to a top-down descent.
+	SpeculativeReads, SpeculativeFails int64
 	// Handovers counts lock acquisitions satisfied by intra-CS handover.
 	Handovers int64
 	// Reclaims counts lock acquisitions that freed an orphaned lock left by

@@ -1,7 +1,6 @@
 package sherman
 
 import (
-	"math/rand/v2"
 	"sync"
 	"testing"
 
@@ -90,10 +89,7 @@ func TestPutGetDeleteScan(t *testing.T) {
 	for _, engine := range []Engine{EngineSherman, EngineFGPlus} {
 		t.Run(engine.String(), func(t *testing.T) {
 			c := testCluster(t)
-			tree, err := c.CreateTree(TreeOptions{Engine: engine})
-			if err != nil {
-				t.Fatal(err)
-			}
+			tree := testTree(t, c, TreeOptions{Engine: engine})
 			s := tree.Session(0)
 
 			if _, ok := s.Get(1); ok {
@@ -135,16 +131,13 @@ func TestPutGetDeleteScan(t *testing.T) {
 				t.Fatalf("Scan span 0 = %v, want nil", got)
 			}
 
-			if err := tree.Validate(); err != nil {
-				t.Fatalf("Validate: %v", err)
-			}
 		})
 	}
 }
 
 func TestBulkloadValidation(t *testing.T) {
 	c := testCluster(t)
-	tree, _ := c.CreateTree(DefaultTreeOptions())
+	tree := testTree(t, c, DefaultTreeOptions())
 	if err := tree.Bulkload([]KV{{Key: 0, Value: 1}}); err == nil {
 		t.Error("Bulkload accepted key 0")
 	}
@@ -165,7 +158,7 @@ func TestBulkloadValidation(t *testing.T) {
 
 func TestKeyZeroPanics(t *testing.T) {
 	c := testCluster(t)
-	tree, _ := c.CreateTree(DefaultTreeOptions())
+	tree := testTree(t, c, DefaultTreeOptions())
 	s := tree.Session(0)
 	for name, fn := range map[string]func(){
 		"Put":    func() { s.Put(0, 1) },
@@ -184,7 +177,7 @@ func TestKeyZeroPanics(t *testing.T) {
 
 func TestSessionOutOfRangePanics(t *testing.T) {
 	c := testCluster(t)
-	tree, _ := c.CreateTree(DefaultTreeOptions())
+	tree := testTree(t, c, DefaultTreeOptions())
 	for _, cs := range []int{-1, 2, 99} {
 		func() {
 			defer func() {
@@ -198,62 +191,59 @@ func TestSessionOutOfRangePanics(t *testing.T) {
 }
 
 // TestConcurrentSessionsAgainstReference runs concurrent random operations
-// on disjoint key stripes and compares the final tree contents against a
-// per-stripe reference map.
+// on disjoint key stripes — seeded through the shared harness, so a failure
+// names the seed — and compares the final tree contents against a
+// per-stripe reference map. Validate-on-exit rides on testTree.
 func TestConcurrentSessionsAgainstReference(t *testing.T) {
-	c := testCluster(t)
-	tree, err := c.CreateTree(DefaultTreeOptions())
-	if err != nil {
-		t.Fatal(err)
-	}
+	testutil.RunSeeds(t, 2, func(t *testing.T, seed uint64) {
+		c := testCluster(t)
+		tree := testTree(t, c, DefaultTreeOptions())
 
-	const workers = 8
-	const opsPerWorker = 400
-	refs := make([]map[uint64]uint64, workers)
+		const workers = 8
+		const opsPerWorker = 400
+		refs := make([]map[uint64]uint64, workers)
 
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			s := tree.Session(w % c.ComputeServers())
-			ref := make(map[uint64]uint64)
-			rng := rand.New(rand.NewPCG(uint64(w)+1, 7))
-			base := uint64(w)*100_000 + 1
-			for i := 0; i < opsPerWorker; i++ {
-				k := base + rng.Uint64N(200)
-				switch rng.Uint64N(10) {
-				case 0, 1: // delete
-					s.Delete(k)
-					delete(ref, k)
-				default: // put
-					v := rng.Uint64() | 1
-					s.Put(k, v)
-					ref[k] = v
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				s := tree.Session(w % c.ComputeServers())
+				ref := make(map[uint64]uint64)
+				rng := testutil.RNG(seed<<8 | uint64(w))
+				base := uint64(w)*100_000 + 1
+				for i := 0; i < opsPerWorker; i++ {
+					k := base + rng.Uint64N(200)
+					switch rng.Uint64N(10) {
+					case 0, 1: // delete
+						s.Delete(k)
+						delete(ref, k)
+					default: // put
+						v := rng.Uint64() | 1
+						s.Put(k, v)
+						ref[k] = v
+					}
+				}
+				refs[w] = ref
+			}(w)
+		}
+		wg.Wait()
+
+		s := tree.Session(0)
+		for w, ref := range refs {
+			for k, v := range ref {
+				got, ok := s.Get(k)
+				if !ok || got != v {
+					t.Fatalf("worker %d key %d: Get = (%d,%v), want (%d,true)", w, k, got, ok, v)
 				}
 			}
-			refs[w] = ref
-		}(w)
-	}
-	wg.Wait()
-
-	if err := tree.Validate(); err != nil {
-		t.Fatalf("Validate: %v", err)
-	}
-	s := tree.Session(0)
-	for w, ref := range refs {
-		for k, v := range ref {
-			got, ok := s.Get(k)
-			if !ok || got != v {
-				t.Fatalf("worker %d key %d: Get = (%d,%v), want (%d,true)", w, k, got, ok, v)
-			}
 		}
-	}
+	})
 }
 
 func TestStatsSurface(t *testing.T) {
 	c := testCluster(t)
-	tree, _ := c.CreateTree(DefaultTreeOptions())
+	tree := testTree(t, c, DefaultTreeOptions())
 	s := tree.Session(0)
 	for k := uint64(1); k <= 100; k++ {
 		s.Put(k, k)
@@ -286,8 +276,12 @@ func TestStatsSurface(t *testing.T) {
 	if ls.Acquisitions < 101 {
 		t.Errorf("lock acquisitions = %d, want >= 101", ls.Acquisitions)
 	}
-	if cs := tree.CacheStats(0); cs.Capacity <= 0 {
-		t.Errorf("cache capacity = %d", cs.Capacity)
+	if cs := tree.CacheStats(0); cs.Capacity <= 0 || cs.Levels <= 0 {
+		t.Errorf("cache capacity/levels = %d/%d", cs.Capacity, cs.Levels)
+	}
+	if st.SpeculativeReads == 0 || st.SpeculativeReads < st.SpeculativeFails {
+		t.Errorf("speculation counters inconsistent: reads=%d fails=%d",
+			st.SpeculativeReads, st.SpeculativeFails)
 	}
 	as := c.AllocStats()
 	if as.Nodes == 0 || as.ChunkRPCs == 0 {
@@ -316,10 +310,7 @@ func TestAdvancedOptionsMatrix(t *testing.T) {
 	for _, adv := range combos {
 		adv := adv
 		c := testCluster(t)
-		tree, err := c.CreateTree(TreeOptions{Advanced: &adv})
-		if err != nil {
-			t.Fatalf("CreateTree(%+v): %v", adv, err)
-		}
+		tree := testTree(t, c, TreeOptions{Advanced: &adv})
 		s := tree.Session(0)
 		for k := uint64(1); k <= 50; k++ {
 			s.Put(k, k+7)
@@ -329,18 +320,12 @@ func TestAdvancedOptionsMatrix(t *testing.T) {
 				t.Fatalf("%+v: Get(%d) = (%d,%v)", adv, k, v, ok)
 			}
 		}
-		if err := tree.Validate(); err != nil {
-			t.Fatalf("%+v: %v", adv, err)
-		}
 	}
 }
 
 func TestKeySizeOption(t *testing.T) {
 	c := testCluster(t)
-	tree, err := c.CreateTree(TreeOptions{KeySize: 64, NodeSize: 4096})
-	if err != nil {
-		t.Fatal(err)
-	}
+	tree := testTree(t, c, TreeOptions{KeySize: 64, NodeSize: 4096})
 	s := tree.Session(0)
 	for k := uint64(1); k <= 200; k++ {
 		s.Put(k, k*2)
@@ -349,9 +334,6 @@ func TestKeySizeOption(t *testing.T) {
 		if v, ok := s.Get(k); !ok || v != k*2 {
 			t.Fatalf("Get(%d) = (%d,%v)", k, v, ok)
 		}
-	}
-	if err := tree.Validate(); err != nil {
-		t.Fatal(err)
 	}
 }
 
@@ -368,10 +350,7 @@ func TestFabricParamOverrides(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tree, err := c.CreateTree(DefaultTreeOptions())
-	if err != nil {
-		t.Fatal(err)
-	}
+	tree := testTree(t, c, DefaultTreeOptions())
 	s := tree.Session(0)
 	s.Put(1, 2)
 	if v, ok := s.Get(1); !ok || v != 2 {
@@ -385,7 +364,7 @@ func TestFabricParamOverrides(t *testing.T) {
 
 func TestStatsAndCompact(t *testing.T) {
 	c := testCluster(t)
-	tree, _ := c.CreateTree(DefaultTreeOptions())
+	tree := testTree(t, c, DefaultTreeOptions())
 	s := tree.Session(0)
 	const n = 4000
 	for k := uint64(1); k <= n; k++ {
@@ -403,9 +382,6 @@ func TestStatsAndCompact(t *testing.T) {
 	res := tree.Compact()
 	if res.EntriesKept != n/8 || res.BytesReclaimed <= 0 || res.NodesAfter >= res.NodesBefore {
 		t.Fatalf("compact: %+v", res)
-	}
-	if err := tree.Validate(); err != nil {
-		t.Fatal(err)
 	}
 	// Sessions opened after Compact see exactly the survivors.
 	s2 := tree.Session(1)

@@ -46,9 +46,17 @@ type TreeOptions struct {
 	// means 1024.
 	NodeSize int
 
-	// CacheBytes bounds each compute server's index cache (§4.2.3; the
-	// paper gives each CS 500 MB). 0 means 64 MB.
+	// CacheBytes bounds each compute server's budgeted index-cache region
+	// (§4.2.3; the paper gives each CS 500 MB). 0 means 64 MB. The top two
+	// tree levels are always cached outside this budget.
 	CacheBytes int64
+
+	// CacheLevels is the budgeted caching depth: tree levels 1..CacheLevels
+	// (level 1 = the parents of leaves) are cacheable below the
+	// always-cached top. 0 means the default (2); 1 reproduces the paper's
+	// flat level-1-only cache; negative disables the budgeted region
+	// entirely (top levels only).
+	CacheLevels int
 
 	// LocksPerMS sizes each global lock table (§4.3; the paper packs
 	// 131,072 16-bit locks into 256 KB of NIC memory). 0 means 16384.
@@ -132,6 +140,7 @@ func (o TreeOptions) toCore() (core.Config, error) {
 		cfg.Format = layout.NewFormat(layout.TwoLevel, keySize, nodeSize)
 	}
 	cfg.CacheBytes = o.CacheBytes
+	cfg.CacheLevels = o.CacheLevels
 	cfg.LocksPerMS = o.LocksPerMS
 	cfg.BulkFill = o.BulkFill
 	if cfg.BulkFill < 0 || cfg.BulkFill > 1 {
@@ -343,19 +352,32 @@ type RecoveryStats struct {
 func (t *Tree) CacheStats(cs int) CacheStats {
 	ic := t.tr.Cache(cs)
 	return CacheStats{
-		Entries:   ic.Len(),
-		Capacity:  ic.Limit(),
-		Hits:      ic.Hits(),
-		Misses:    ic.Misses(),
-		Evictions: ic.Evictions(),
+		Entries:          ic.Len(),
+		PinnedEntries:    ic.PinnedLen(),
+		Capacity:         ic.Limit(),
+		Levels:           ic.Levels(),
+		Hits:             ic.Hits(),
+		Misses:           ic.Misses(),
+		Evictions:        ic.Evictions(),
+		Invalidations:    ic.Invalidations(),
+		AdmissionRejects: ic.AdmissionRejects(),
 	}
 }
 
-// CacheStats summarizes one compute server's index cache (§4.2.3).
+// CacheStats summarizes one compute server's unified index cache (§4.2.3):
+// the budgeted entries and their capacity, the pinned top-level entries
+// riding outside the budget, hit/miss aggregates, budget-pressure
+// evictions, staleness invalidations (failed speculative validations,
+// migrated chunks, reclaimed-lock repairs), and inserts the frequency gate
+// turned away under level pressure.
 type CacheStats struct {
-	Entries   int
-	Capacity  int
-	Hits      int64
-	Misses    int64
-	Evictions int64
+	Entries          int
+	PinnedEntries    int
+	Capacity         int
+	Levels           int
+	Hits             int64
+	Misses           int64
+	Evictions        int64
+	Invalidations    int64
+	AdmissionRejects int64
 }
