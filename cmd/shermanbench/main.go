@@ -11,7 +11,7 @@
 //
 // Experiments: table1 table2 fig2 fig3 fig10 fig11 fig12 fig13 fig14
 // fig15a fig15b fig15c fig16 extras ycsb batch pipeline faults elastic
-// cache all quick
+// cache alloc all quick
 //
 // Machine-readable output and CI gating:
 //
@@ -33,7 +33,9 @@
 // cache, the unified-cache gate (speculative leaf-direct reads cut round
 // trips per op well below cache-off, speculation validates >= 90% of the
 // time, and the multi-level cache beats the flat level-1-only baseline at
-// the same constrained budget).
+// the same constrained budget); with -exp alloc, the zero-allocation gate
+// (steady-state cached gets and puts measure zero heap allocations per
+// operation against hard per-probe budgets).
 package main
 
 import (
@@ -50,7 +52,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (table1,table2,fig2,fig3,fig10,fig11,fig12,fig13,fig14,fig15a,fig15b,fig15c,fig16,extras,ycsb,batch,pipeline,faults,elastic,cache,all,quick)")
+		exp      = flag.String("exp", "all", "experiment id (table1,table2,fig2,fig3,fig10,fig11,fig12,fig13,fig14,fig15a,fig15b,fig15c,fig16,extras,ycsb,batch,pipeline,faults,elastic,cache,alloc,all,quick)")
 		keys     = flag.Uint64("keys", 0, "key-space size (0 = scale default)")
 		windowMS = flag.Int("window", 0, "virtual measurement window in ms (0 = scale default)")
 		warmup   = flag.Int("warmup", 0, "warmup ops per thread (0 = scale default)")
@@ -89,7 +91,7 @@ func main() {
 	if *exp == "all" || *exp == "quick" {
 		ids = []string{"table1", "table2", "fig2", "fig3", "fig10", "fig11",
 			"fig12", "fig13", "fig14", "fig15a", "fig15b", "fig15c", "fig16",
-			"batch", "pipeline", "faults", "elastic", "cache"}
+			"batch", "pipeline", "faults", "elastic", "cache", "alloc"}
 	}
 	fmt.Printf("# shermanbench: keys=%d threads/CS=%d window=%dms GOMAXPROCS=%d\n\n",
 		s.Keys, s.ThreadsPerCS, s.MeasureNS/1_000_000, runtime.GOMAXPROCS(0))
@@ -173,6 +175,11 @@ func runChecks(ids []string, s bench.Scale, col *bench.Collector, churn *bench.F
 				return err
 			}
 			fmt.Println("cache gate: leaf-direct speculation cuts RT/op vs cache-off; unified multi-level beats flat level-1-only")
+		case "alloc":
+			if err := bench.AllocGate(col.Metrics); err != nil {
+				return err
+			}
+			fmt.Println("alloc gate: steady-state hot paths within hard budgets (cached get and put at 0 allocs/op)")
 		}
 	}
 	return nil
@@ -228,6 +235,8 @@ func run(id string, s bench.Scale, col *bench.Collector, report *bench.Report, c
 		t, r := bench.CacheSweep(s, col)
 		tables = []*bench.Table{t}
 		*cacheRes = r
+	case "alloc":
+		tables = bench.AllocTables(s, col)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
 		os.Exit(2)

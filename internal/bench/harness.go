@@ -214,16 +214,16 @@ func RunTree(e TreeExp) TreeResult {
 	if batchSize < 1 {
 		batchSize = 1
 	}
-	issue := func(h *core.Handle, as *core.Async, g *workload.Generator) int {
+	issue := func(h *core.Handle, as *core.Async, g *workload.Generator, sc *batchScratch) int {
 		switch {
 		case as != nil && batchSize > 1:
-			as.Exec(coreOps(g.NextBatch(batchSize)))
+			sc.exec(h, as, g.NextBatch(batchSize))
 			return batchSize
 		case as != nil:
 			doOpAsync(as, g.Next())
 			return 1
 		case batchSize > 1:
-			doBatch(h, g.NextBatch(batchSize))
+			sc.exec(h, nil, g.NextBatch(batchSize))
 			return batchSize
 		default:
 			doOp(h, g.Next())
@@ -237,6 +237,7 @@ func RunTree(e TreeExp) TreeResult {
 			defer measureDone.Done()
 			defer gate.Done(i)
 			h, g := handles[i], gens[i]
+			var sc batchScratch
 			var as *core.Async
 			if e.PipelineDepth > 1 {
 				as = h.NewAsync(e.PipelineDepth)
@@ -244,7 +245,7 @@ func RunTree(e TreeExp) TreeResult {
 			// Batch executors pace between leaf groups so a long batch
 			// cannot carry this thread's clock outside the gate window.
 			h.Pace = func(v int64) { gate.Sync(i, v) }
-			for j := 0; j < e.WarmupOps; j += issue(h, as, g) {
+			for j := 0; j < e.WarmupOps; j += issue(h, as, g, &sc) {
 				gate.Sync(i, h.C.Now())
 			}
 			if as != nil {
@@ -266,7 +267,7 @@ func RunTree(e TreeExp) TreeResult {
 			h.Rec = rec
 			rt0 := h.C.M.RoundTrips
 			deadline := maxStart + e.MeasureNS
-			for j := 0; h.C.Now() < deadline && j < e.MaxOpsPerThread; j += issue(h, as, g) {
+			for j := 0; h.C.Now() < deadline && j < e.MaxOpsPerThread; j += issue(h, as, g, &sc) {
 				// Pace workers so virtual clocks stay within a bounded
 				// window of each other (see sim.Gate).
 				gate.Sync(i, h.C.Now())
@@ -366,11 +367,37 @@ func RunTreeN(e TreeExp, runs int) TreeResult {
 	return acc
 }
 
-// coreOps translates one generated batch to the unified operation model,
-// expanding YCSB-F read-modify-writes into an explicit lookup ahead of each
-// update (the planner's stable sort keeps the pair ordered on its key).
-func coreOps(ops []workload.Op) []core.Op {
-	out := make([]core.Op, 0, len(ops))
+// batchScratch is one worker's recycled batch buffers: the translated op
+// slice and the results slice ExecInto fills. Reusing them across every
+// batch a worker issues keeps steady-state batch execution allocation-free,
+// matching the zero-alloc discipline of the paths under measurement (a
+// harness that allocates per batch would hide hot-path regressions behind
+// its own GC noise).
+type batchScratch struct {
+	cops    []core.Op
+	results []core.OpResult
+}
+
+// exec runs one generated batch through the mixed-op planner — pipelined
+// when as is non-nil, synchronous otherwise — recycling the scratch buffers.
+func (sc *batchScratch) exec(h *core.Handle, as *core.Async, ops []workload.Op) {
+	sc.cops = appendCoreOps(sc.cops[:0], ops)
+	if cap(sc.results) < len(sc.cops) {
+		sc.results = make([]core.OpResult, 2*len(sc.cops))
+	}
+	sc.results = sc.results[:len(sc.cops)]
+	if as != nil {
+		as.ExecInto(sc.cops, sc.results)
+	} else {
+		h.ExecInto(sc.cops, sc.results)
+	}
+}
+
+// appendCoreOps translates one generated batch to the unified operation
+// model, appending to dst, expanding YCSB-F read-modify-writes into an
+// explicit lookup ahead of each update (the planner's stable sort keeps the
+// pair ordered on its key).
+func appendCoreOps(out []core.Op, ops []workload.Op) []core.Op {
 	for _, op := range ops {
 		switch op.Kind {
 		case workload.Lookup:
@@ -387,11 +414,6 @@ func coreOps(ops []workload.Op) []core.Op {
 		}
 	}
 	return out
-}
-
-// doBatch runs one generated batch through the mixed-op planner.
-func doBatch(h *core.Handle, ops []workload.Op) {
-	h.Exec(coreOps(ops))
 }
 
 // doOpAsync submits one generated operation to the pipelined executor.

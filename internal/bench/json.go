@@ -48,6 +48,18 @@ type Metric struct {
 	SpecRate   float64 `json:"spec_rate,omitempty"`
 	InvalPerOp float64 `json:"inval_per_op,omitempty"`
 	Evictions  int64   `json:"evictions,omitempty"`
+
+	// HasAlloc marks a heap-profile row (alloc/* metrics): AllocsPerOp and
+	// BytesPerOp are runtime.ReadMemStats deltas per operation and
+	// GCPauseFrac the GC pause share of the probe's wall time. Zero is a
+	// meaningful value here (the whole point is measuring zero), so the
+	// marker distinguishes a measured 0 from an absent field. Alloc rows
+	// carry Mops 0: the throughput gate skips them and the alloc gate (in
+	// CheckRegression and the CLI's hard AllocGate) picks them up instead.
+	HasAlloc    bool    `json:"has_alloc,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	GCPauseFrac float64 `json:"gc_pause_frac,omitempty"`
 }
 
 // Collector accumulates the typed metrics of one harness invocation. A nil
@@ -143,10 +155,28 @@ func CheckRegression(base, fresh *Report, tol float64) error {
 	matched := 0
 	var failures []string
 	for _, b := range base.Metrics {
-		if !b.Gate || b.Mops <= 0 {
+		if !b.Gate {
 			continue
 		}
 		f, ok := freshByName[b.Name]
+		if b.HasAlloc {
+			// Alloc rows gate upward: more allocations per op than the
+			// baseline band allows is the regression. The +0.01 absolute
+			// slack keeps a measured-zero baseline from failing on any
+			// nonzero noise smaller than one alloc per hundred ops.
+			if !ok {
+				continue
+			}
+			matched++
+			if f.AllocsPerOp > b.AllocsPerOp*(1+tol)+0.01 {
+				failures = append(failures, fmt.Sprintf("%s: %.3f allocs/op vs baseline %.3f",
+					b.Name, f.AllocsPerOp, b.AllocsPerOp))
+			}
+			continue
+		}
+		if b.Mops <= 0 {
+			continue
+		}
 		if !ok {
 			continue
 		}

@@ -76,8 +76,11 @@ type Entry struct {
 	pinned bool
 	key    uint64 // lower fence, the skiplist key
 	// chunks are the 8 MB chunks this entry references — its own node plus
-	// every child — the index InvalidateChunk drops it through.
-	chunks []alloc.ChunkID
+	// every child — the index InvalidateChunk drops it through. The slice
+	// views chunkStore when the refs fit inline (the common case: children
+	// stripe across few servers), so admission allocates only the Entry.
+	chunks     []alloc.ChunkID
+	chunkStore [8]alloc.ChunkID
 
 	lastUse atomic.Int64
 	dead    atomic.Bool
@@ -301,7 +304,8 @@ func (c *Cache) Insert(addr rdma.Addr, n layout.Internal, rootLevel uint8) {
 	if !pinned && int(lvl) > c.levels {
 		return // below the pinned region, beyond the budgeted depth
 	}
-	e := &Entry{Addr: addr, N: n, level: lvl, pinned: pinned, key: n.LowerFence(), chunks: refChunks(addr, n), poolIdx: -1}
+	e := &Entry{Addr: addr, N: n, level: lvl, pinned: pinned, key: n.LowerFence(), poolIdx: -1}
+	e.chunks = appendRefChunks(e.chunkStore[:0], addr, n)
 	e.lastUse.Store(c.tick.Add(1))
 
 	// Replacing an existing entry at the same fence key (a split shrank the
@@ -429,26 +433,29 @@ func (c *Cache) unindexLocked(e *Entry) {
 	}
 }
 
-// refChunks collects the distinct chunks an entry references: its own node
-// plus every child pointer (the bulkload allocator stripes children across
-// servers, so a node's children span few — but more than one — chunks).
-func refChunks(addr rdma.Addr, n layout.Internal) []alloc.ChunkID {
-	out := make([]alloc.ChunkID, 0, 4)
-	add := func(a rdma.Addr) {
-		ck := alloc.ChunkOf(a)
-		for _, have := range out {
-			if have == ck {
-				return
-			}
+// appendRefChunks appends the distinct chunks an entry references — its own
+// node plus every child pointer (the bulkload allocator stripes children
+// across servers, so a node's children span few — but more than one —
+// chunks). Walking ChildAt directly instead of materializing Separators
+// keeps admission free of per-node slice allocations.
+func appendRefChunks(dst []alloc.ChunkID, addr rdma.Addr, n layout.Internal) []alloc.ChunkID {
+	dst = addChunk(dst, addr)
+	dst = addChunk(dst, n.Leftmost())
+	for i, cnt := 0, n.Count(); i < cnt; i++ {
+		dst = addChunk(dst, n.ChildAt(i))
+	}
+	return dst
+}
+
+// addChunk appends a's chunk to dst unless already present.
+func addChunk(dst []alloc.ChunkID, a rdma.Addr) []alloc.ChunkID {
+	ck := alloc.ChunkOf(a)
+	for _, have := range dst {
+		if have == ck {
+			return dst
 		}
-		out = append(out, ck)
 	}
-	add(addr)
-	add(n.Leftmost())
-	for _, s := range n.Separators() {
-		add(s.Child)
-	}
-	return out
+	return append(dst, ck)
 }
 
 // overShare reports whether level lvl exceeds its budget share.

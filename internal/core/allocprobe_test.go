@@ -1,0 +1,88 @@
+package core_test
+
+import (
+	"testing"
+
+	"sherman/internal/cluster"
+	"sherman/internal/core"
+	"sherman/internal/layout"
+	"sherman/internal/stats"
+)
+
+func setupProbe(b *testing.B, depth int) (*core.Handle, *core.Async) {
+	b.Helper()
+	cl := cluster.New(cluster.Config{NumMS: 2, NumCS: 1})
+	cfg := core.ShermanConfig()
+	cfg.Format = layout.NewFormat(layout.TwoLevel, 8, 256)
+	cfg.LocksPerMS = 1024
+	tr := core.New(cl, cfg)
+	kvs := make([]layout.KV, 4096)
+	for i := range kvs {
+		k := uint64(i + 1)
+		kvs[i] = layout.KV{Key: k, Value: k * 3}
+	}
+	tr.Bulkload(kvs)
+	h := tr.NewHandle(0, 0)
+	as := h.NewAsync(depth)
+	// warm the cache
+	for i := 0; i < 4096; i++ {
+		h.Lookup(uint64(i + 1))
+	}
+	return h, as
+}
+
+func BenchmarkProbeGetCached(b *testing.B) {
+	h, _ := setupProbe(b, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Lookup(uint64(i%4096 + 1))
+	}
+}
+
+func BenchmarkProbeGetPipelined(b *testing.B) {
+	_, as := setupProbe(b, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		as.Submit(core.Op{Kind: stats.OpLookup, Key: uint64(i%4096 + 1)})
+	}
+	as.Flush()
+}
+
+func BenchmarkProbePutSteady(b *testing.B) {
+	h, _ := setupProbe(b, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Insert(uint64(i%4096+1), uint64(i))
+	}
+}
+
+func BenchmarkProbePutPipelined(b *testing.B) {
+	_, as := setupProbe(b, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		as.Submit(core.Op{Kind: stats.OpInsert, Key: uint64(i%4096 + 1), Value: uint64(i)})
+	}
+	as.Flush()
+}
+
+func BenchmarkProbeExecMixed(b *testing.B) {
+	_, as := setupProbe(b, 4)
+	ops := make([]core.Op, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range ops {
+			k := uint64((i*16+j)%4096 + 1)
+			if j%2 == 0 {
+				ops[j] = core.Op{Kind: stats.OpLookup, Key: k}
+			} else {
+				ops[j] = core.Op{Kind: stats.OpInsert, Key: k, Value: k}
+			}
+		}
+		as.Exec(ops)
+	}
+}

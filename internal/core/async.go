@@ -252,11 +252,26 @@ func (a *Async) Exec(ops []Op) []OpResult {
 	if len(ops) == 0 {
 		return nil
 	}
+	results := make([]OpResult, len(ops))
+	a.ExecInto(ops, results)
+	return results
+}
+
+// ExecInto is Exec writing its results into the caller's slice (len must
+// equal len(ops)) — the allocation-free variant for callers that recycle a
+// results buffer across batches.
+func (a *Async) ExecInto(ops []Op, results []OpResult) {
+	if len(ops) == 0 {
+		return
+	}
+	if len(results) != len(ops) {
+		panic("core: ExecInto results length mismatch")
+	}
+	clear(results) // a recycled buffer must not leak stale slots (not-found lookups never write theirs)
 	a.Flush()
 	h := a.h
 	h.C.M.BeginOp()
 	t0 := h.C.Now()
-	results := make([]OpResult, len(ops))
 	scanNS := h.execOps(ops, a, results)
 	a.Flush()
 	if counts, points := opCounts(ops); points > 0 {
@@ -269,7 +284,6 @@ func (a *Async) Exec(ops []Op) []OpResult {
 		}
 		h.Rec.RecordMixedBatch(counts, lat, h.C.M.OpRoundTrips)
 	}
-	return results
 }
 
 // unit runs one planned group on the earliest-free lane and returns its

@@ -1,7 +1,8 @@
 package core
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"sherman/internal/hocl"
 	"sherman/internal/layout"
@@ -41,9 +42,12 @@ type planOp struct {
 // sortPlanOps orders ops by key, stable in submission order, so the
 // executor visits each leaf exactly once per segment and same-key
 // operations apply in the order the caller issued them (last Put wins,
-// lookups see prior writes — like the sequential path).
+// lookups see prior writes — like the sequential path). slices.
+// SortStableFunc sorts in place (block-swap symmerge), where sort.
+// SliceStable paid a reflection-built swapper allocation per call — the
+// single largest allocation source of the batch hot path.
 func sortPlanOps(ops []planOp) {
-	sort.SliceStable(ops, func(i, j int) bool { return ops[i].key < ops[j].key })
+	slices.SortStableFunc(ops, func(a, b planOp) int { return cmp.Compare(a.key, b.key) })
 }
 
 // leafCovers reports whether key falls inside the node's fence range.
@@ -61,9 +65,13 @@ func (h *Handle) pace() {
 
 // appendCopiedWrite queues one write-back with a private copy of data:
 // batch executors defer their writes until the group's single doorbell
-// post, by which time the shared node buffer may hold a different node.
-func appendCopiedWrite(ops []rdma.WriteOp, a rdma.Addr, data []byte) []rdma.WriteOp {
-	return append(ops, rdma.WriteOp{Addr: a, Data: append([]byte(nil), data...)})
+// post, by which time the shared node buffer may hold a different node. The
+// copy lives in the handle's arena — valid until the next operation resets
+// it, which is after the group's doorbell flushed.
+func (h *Handle) appendCopiedWrite(ops []rdma.WriteOp, a rdma.Addr, data []byte) []rdma.WriteOp {
+	cp := h.arena.bytes(len(data))
+	copy(cp, data)
+	return append(ops, rdma.WriteOp{Addr: a, Data: cp})
 }
 
 // opCounts tallies ops per kind, excluding scans (which record
@@ -88,9 +96,24 @@ func (h *Handle) Exec(ops []Op) []OpResult {
 	if len(ops) == 0 {
 		return nil
 	}
+	results := make([]OpResult, len(ops))
+	h.ExecInto(ops, results)
+	return results
+}
+
+// ExecInto is Exec writing its results into the caller's slice (len must
+// equal len(ops)) — the allocation-free variant for callers that recycle a
+// results buffer across batches.
+func (h *Handle) ExecInto(ops []Op, results []OpResult) {
+	if len(ops) == 0 {
+		return
+	}
+	if len(results) != len(ops) {
+		panic("core: ExecInto results length mismatch")
+	}
+	clear(results) // a recycled buffer must not leak stale slots (not-found lookups never write theirs)
 	h.C.M.BeginOp()
 	t0 := h.C.Now()
-	results := make([]OpResult, len(ops))
 	scanNS := h.execOps(ops, nil, results)
 	if counts, points := opCounts(ops); points > 0 {
 		// Scans record their own latency in execScan; exclude their time
@@ -101,7 +124,6 @@ func (h *Handle) Exec(ops []Op) []OpResult {
 		}
 		h.Rec.RecordMixedBatch(counts, lat, h.C.M.OpRoundTrips)
 	}
-	return results
 }
 
 // execOps drives the planned walk and returns the virtual time the stream's
@@ -124,7 +146,7 @@ func (h *Handle) execOps(ops []Op, a *Async, results []OpResult) (scanNS int64) 
 		for j < len(ops) && ops[j].Kind != stats.OpRange {
 			j++
 		}
-		seg := make([]planOp, 0, j-i)
+		seg := h.seg[:0]
 		for k := i; k < j; k++ {
 			op := ops[k]
 			if op.Kind != stats.OpLookup && op.Key == 0 {
@@ -132,6 +154,7 @@ func (h *Handle) execOps(ops []Op, a *Async, results []OpResult) (scanNS int64) 
 			}
 			seg = append(seg, planOp{kind: op.Kind, key: op.Key, value: op.Value, pos: k})
 		}
+		h.seg = seg[:0] // retain growth; consumed before the next segment
 		sortPlanOps(seg)
 		h.execSegment(a, seg, results)
 		i = j
@@ -255,9 +278,10 @@ func (h *Handle) execWriteGroup(a *Async, ops []planOp, start int, results []OpR
 	f := h.t.cfg.Format
 	i := start
 	run := func() {
+		h.arena.reset()
 		addr, g, leaf := h.lockLeafForWrite(ops[i].key)
 		h.Rec.BatchLeafGroups++
-		var pending []rdma.WriteOp
+		pending := h.takeWops()
 	group:
 		for {
 			h.C.Step(h.C.F.P.LocalStepNS)
@@ -278,7 +302,7 @@ func (h *Handle) execWriteGroup(a *Async, ops []planOp, start int, results []OpR
 						if slot, hit := leaf.Find(op.key); hit {
 							leaf.ClearEntry(slot)
 							off, sz := leaf.EntrySpan(slot)
-							pending = appendCopiedWrite(pending, addr.Add(uint64(off)), leaf.B[off:off+sz])
+							pending = h.appendCopiedWrite(pending, addr.Add(uint64(off)), leaf.B[off:off+sz])
 							results[op.pos].Found = true
 						}
 					} else if leaf.DeleteSorted(op.key) {
@@ -298,7 +322,7 @@ func (h *Handle) execWriteGroup(a *Async, ops []planOp, start int, results []OpR
 						if found || slot >= 0 {
 							leaf.SetEntry(slot, op.key, op.value)
 							off, sz := leaf.EntrySpan(slot)
-							pending = appendCopiedWrite(pending, addr.Add(uint64(off)), leaf.B[off:off+sz])
+							pending = h.appendCopiedWrite(pending, addr.Add(uint64(off)), leaf.B[off:off+sz])
 						} else {
 							h.splitLeaf(addr, g, leaf, op.key, op.value, pending)
 							split = true
@@ -317,7 +341,7 @@ func (h *Handle) execWriteGroup(a *Async, ops []planOp, start int, results []OpR
 			}
 			if f.Mode == layout.Checksum && dirty {
 				leaf.UpdateChecksum()
-				pending = appendCopiedWrite(pending, addr, leaf.B)
+				pending = h.appendCopiedWrite(pending, addr, leaf.B)
 			}
 			if i < len(ops) {
 				if sib, sibLeaf, ok := h.chainToSibling(g, leaf, ops[i].key); ok {
@@ -325,7 +349,9 @@ func (h *Handle) execWriteGroup(a *Async, ops []planOp, start int, results []OpR
 					continue group
 				}
 			}
+			pending = growForRelease(pending)
 			h.unlockWrite(g, pending)
+			h.keepWops(pending)
 			break
 		}
 	}

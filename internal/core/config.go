@@ -49,6 +49,13 @@ type Config struct {
 	// MaxWrapRetries bounds consecutive wraparound-guard retries of a
 	// lock-free read (§4.4's 8 us rule); 0 means 3.
 	MaxWrapRetries int
+
+	// Poison fills recycled hot-path scratch (the per-handle arena and the
+	// pooled write-op lists) with 0xDB when released, so a reuse-after-free —
+	// code retaining a buffer past its operation — reads deterministic
+	// garbage instead of a stale-but-plausible node image. Debug aid for the
+	// differential oracle suite; costs a memset per operation.
+	Poison bool
 }
 
 // Name returns a short label for reports.

@@ -31,13 +31,39 @@ type Handle struct {
 	// Reusable node buffers (verbs copy synchronously, so reuse is safe).
 	leafBuf []byte
 	nodeBuf []byte
+
+	// arena backs the remaining per-operation buffers — split siblings, new
+	// roots, deferred write-back copies, scan read buffers — reset at each
+	// top-level operation (see arena.go for the ownership rule).
+	arena arena
+
+	// wops is the write-op scratch behind every combined write-back+release
+	// doorbell; relWops backs release-only unlocks (the two can be live at
+	// once: a batch group's pending list while a nested seek move-right
+	// releases a freshly-probed lock). Both are handed to hocl with spare
+	// capacity so appending the release op never reallocates.
+	wops    []rdma.WriteOp
+	relWops []rdma.WriteOp
+
+	// seg is the batch planner's segment scratch; kvs the sorted-entries
+	// scratch of splits and scans; scanAddrs/scanReqs/scanBufs the parallel-
+	// read scratch of range scans. All recycle across operations.
+	seg       []planOp
+	kvs       []layout.KV
+	scanAddrs []rdma.Addr
+	scanReqs  []rdma.ReadOp
+	scanBufs  [][]byte
+
+	// poison mirrors Config.Poison: recycled scratch is filled with 0xDB so
+	// reuse-after-release reads deterministic garbage.
+	poison bool
 }
 
 // NewHandle creates a handle on compute server cs. seed staggers the
 // allocator's round-robin start.
 func (t *Tree) NewHandle(cs int, seed int) *Handle {
 	c := t.cl.NewClient(cs)
-	return &Handle{
+	h := &Handle{
 		t:       t,
 		C:       c,
 		alloc:   t.cl.NewThreadAllocator(c, seed),
@@ -45,7 +71,38 @@ func (t *Tree) NewHandle(cs int, seed int) *Handle {
 		Rec:     stats.NewRecorder(),
 		leafBuf: make([]byte, t.cfg.Format.NodeSize),
 		nodeBuf: make([]byte, t.cfg.Format.NodeSize),
+		wops:    make([]rdma.WriteOp, 0, 8),
+		relWops: make([]rdma.WriteOp, 0, 1),
+		poison:  t.cfg.Poison,
 	}
+	h.arena.poison = t.cfg.Poison
+	return h
+}
+
+// takeWops returns the emptied write-op scratch for one combined doorbell.
+// The slice is dead once unlockWrite returns; keepWops recycles any growth.
+func (h *Handle) takeWops() []rdma.WriteOp { return h.wops[:0] }
+
+// keepWops retains w's backing array (appends may have outgrown the original
+// scratch) and, in poison mode, clears the recycled entries so a retained
+// WriteOp reads zeroes instead of a plausible stale write.
+func (h *Handle) keepWops(w []rdma.WriteOp) {
+	if h.poison {
+		clear(w)
+	}
+	h.wops = w[:0]
+}
+
+// growForRelease guarantees one spare capacity slot so hocl's combined
+// release append stays in place — the combined doorbell then posts from this
+// very backing array with zero further allocation.
+func growForRelease(w []rdma.WriteOp) []rdma.WriteOp {
+	if len(w) < cap(w) {
+		return w
+	}
+	nw := make([]rdma.WriteOp, len(w), 2*cap(w)+4)
+	copy(nw, w)
+	return nw
 }
 
 // Tree returns the handle's tree.

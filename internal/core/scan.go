@@ -29,7 +29,7 @@ func (h *Handle) Range(from uint64, span int) []layout.KV {
 }
 
 func (h *Handle) rangeInner(from uint64, span int) []layout.KV {
-	out := make([]layout.KV, 0, span)
+	out := make([]layout.KV, 0, span) // caller-owned result, never recycled
 	cursor := from
 	restarts := 0
 	for len(out) < span {
@@ -37,10 +37,14 @@ func (h *Handle) rangeInner(from uint64, span int) []layout.KV {
 			panic(fmt.Sprintf("core: range scan livelocked at cursor %d (from %d, %d rows)",
 				cursor, from, len(out)))
 		}
+		// Each steered batch's scratch — target addresses, parallel read
+		// buffers — dies with the batch, so resetting the arena here keeps
+		// its high-water mark at one batch regardless of span.
+		h.arena.reset()
 		// Collect the addresses of the next run of leaves. A cached level-1
 		// node yields many at once, fetched with parallel RDMA_READs; a
 		// cache miss falls back to a single traversal.
-		var addrs []rdma.Addr
+		addrs := h.scanAddrs[:0]
 		h.C.Step(h.C.F.P.LocalStepNS)
 		e := h.cache.Lookup(cursor, 1)
 		if e != nil {
@@ -50,7 +54,7 @@ func (h *Handle) rangeInner(from uint64, span int) []layout.KV {
 			// resolution: it either validates or fails (and restarts) as a
 			// unit, matching the one SpecFail a failure records below.
 			h.Rec.SpecReads++
-			addrs = e.N.ChildrenFrom(cursor)
+			addrs = e.N.AppendChildrenFrom(addrs, cursor)
 			if len(addrs) > maxParallelReads {
 				addrs = addrs[:maxParallelReads]
 			}
@@ -58,15 +62,18 @@ func (h *Handle) rangeInner(from uint64, span int) []layout.KV {
 			h.Rec.CacheMisses++
 			var leaf rdma.Addr
 			leaf, e = h.traverseToLeaf(cursor)
-			addrs = []rdma.Addr{leaf}
+			addrs = append(addrs, leaf)
 		}
+		h.scanAddrs = addrs[:0]
 
-		bufs := make([][]byte, len(addrs))
-		reqs := make([]rdma.ReadOp, len(addrs))
-		for i, a := range addrs {
-			bufs[i] = make([]byte, h.t.cfg.Format.NodeSize)
-			reqs[i] = rdma.ReadOp{Addr: a, Buf: bufs[i]}
+		bufs := h.scanBufs[:0]
+		reqs := h.scanReqs[:0]
+		for _, a := range addrs {
+			buf := h.arena.bytes(h.t.cfg.Format.NodeSize)
+			bufs = append(bufs, buf)
+			reqs = append(reqs, rdma.ReadOp{Addr: a, Buf: buf})
 		}
+		h.scanBufs, h.scanReqs = bufs[:0], reqs[:0]
 		h.C.ReadMulti(reqs)
 
 		restart := false
@@ -197,7 +204,7 @@ func (h *Handle) leafEntriesConsistent(addr rdma.Addr, n layout.Node, buf []byte
 	for attempt := 0; attempt < 8; attempt++ {
 		leaf := layout.AsLeaf(n)
 		if h.t.cfg.Format.Mode != layout.TwoLevel {
-			return leaf.Entries(), true
+			return h.leafEntries(leaf), true
 		}
 		torn := false
 		for i := 0; i < leaf.Cap(); i++ {
@@ -207,7 +214,7 @@ func (h *Handle) leafEntriesConsistent(addr rdma.Addr, n layout.Node, buf []byte
 			}
 		}
 		if !torn {
-			return leaf.Entries(), true
+			return h.leafEntries(leaf), true
 		}
 		if addr.IsNil() {
 			return nil, false
@@ -218,4 +225,13 @@ func (h *Handle) leafEntriesConsistent(addr rdma.Addr, n layout.Node, buf []byte
 		}
 	}
 	return nil, false
+}
+
+// leafEntries sorts the leaf's live entries into the handle's KV scratch.
+// The returned slice is valid only until the scratch's next use — scan
+// callers copy the rows into their result slice immediately.
+func (h *Handle) leafEntries(leaf layout.Leaf) []layout.KV {
+	kvs := leaf.AppendEntries(h.kvs[:0])
+	h.kvs = kvs[:0]
+	return kvs
 }

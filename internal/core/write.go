@@ -44,12 +44,27 @@ func (h *Handle) Delete(key uint64) bool {
 }
 
 // unlockWrite releases g, flushing pending dependent writes per the tree's
-// command-combination setting.
+// command-combination setting. nil pending releases through the dedicated
+// release scratch, so even a bare unlock (failed probes, move-rights) posts
+// its GLT-clear WRITE without allocating.
 func (h *Handle) unlockWrite(g hocl.Guard, pending []rdma.WriteOp) {
+	if pending == nil {
+		pending = h.relWops[:0]
+	}
 	h.t.locks.Unlock(h.C, g, pending, h.t.cfg.Combine)
 }
 
+// unlockWith releases g after posting exactly the given write-backs, built in
+// the handle's write-op scratch — the steady-state (non-split) write path,
+// allocation-free.
+func (h *Handle) unlockWith(g hocl.Guard, ops ...rdma.WriteOp) {
+	w := append(h.takeWops(), ops...)
+	h.unlockWrite(g, w)
+	h.keepWops(w)
+}
+
 func (h *Handle) insertInner(key, value uint64) (dataBytes int64) {
+	h.arena.reset()
 	addr, g, leaf := h.lockLeafForWrite(key)
 	f := h.t.cfg.Format
 	h.C.Step(h.C.F.P.LocalStepNS)
@@ -63,20 +78,21 @@ func (h *Handle) insertInner(key, value uint64) (dataBytes int64) {
 			// entry (Figure 7 lines 11-17) — the write-amplification fix.
 			leaf.SetEntry(i, key, value)
 			off, sz := leaf.EntrySpan(i)
-			h.unlockWrite(g, []rdma.WriteOp{{Addr: addr.Add(uint64(off)), Data: leaf.B[off : off+sz]}})
+			h.unlockWith(g, rdma.WriteOp{Addr: addr.Add(uint64(off)), Data: leaf.B[off : off+sz]})
 			return int64(sz)
 		}
 		return h.splitLeaf(addr, g, leaf, key, value, nil)
 	}
 	if leaf.InsertSorted(key, value) {
 		leaf.UpdateChecksum()
-		h.unlockWrite(g, []rdma.WriteOp{{Addr: addr, Data: leaf.B}})
+		h.unlockWith(g, rdma.WriteOp{Addr: addr, Data: leaf.B})
 		return int64(f.NodeSize)
 	}
 	return h.splitLeaf(addr, g, leaf, key, value, nil)
 }
 
 func (h *Handle) deleteInner(key uint64) (bool, int64) {
+	h.arena.reset()
 	addr, g, leaf := h.lockLeafForWrite(key)
 	f := h.t.cfg.Format
 	h.C.Step(h.C.F.P.LocalStepNS)
@@ -88,7 +104,7 @@ func (h *Handle) deleteInner(key uint64) (bool, int64) {
 		}
 		leaf.ClearEntry(i)
 		off, sz := leaf.EntrySpan(i)
-		h.unlockWrite(g, []rdma.WriteOp{{Addr: addr.Add(uint64(off)), Data: leaf.B[off : off+sz]}})
+		h.unlockWith(g, rdma.WriteOp{Addr: addr.Add(uint64(off)), Data: leaf.B[off : off+sz]})
 		return true, int64(sz)
 	}
 	if !leaf.DeleteSorted(key) {
@@ -96,7 +112,7 @@ func (h *Handle) deleteInner(key uint64) (bool, int64) {
 		return false, 0
 	}
 	leaf.UpdateChecksum()
-	h.unlockWrite(g, []rdma.WriteOp{{Addr: addr, Data: leaf.B}})
+	h.unlockWith(g, rdma.WriteOp{Addr: addr, Data: leaf.B})
 	return true, int64(f.NodeSize)
 }
 
@@ -108,17 +124,18 @@ func (h *Handle) deleteInner(key uint64) (bool, int64) {
 // in the same doorbell batch.
 func (h *Handle) splitLeaf(addr rdma.Addr, g hocl.Guard, leaf layout.Leaf, key, value uint64, carry []rdma.WriteOp) int64 {
 	f := h.t.cfg.Format
-	kvs := leaf.Entries() // sorts the unsorted leaf (Figure 7 line 21)
+	kvs := leaf.AppendEntries(h.kvs[:0]) // sorts the unsorted leaf (Figure 7 line 21)
 	i := sort.Search(len(kvs), func(i int) bool { return kvs[i].Key >= key })
 	kvs = append(kvs, layout.KV{})
 	copy(kvs[i+1:], kvs[i:])
 	kvs[i] = layout.KV{Key: key, Value: value}
+	h.kvs = kvs[:0] // retain any growth; consumed fully before the next use
 
 	mid := len(kvs) / 2
 	sep := kvs[mid].Key
 
 	sibAddr := h.alloc.Alloc(f.NodeSize)
-	sib := layout.NewLeaf(f, sep, leaf.UpperFence())
+	sib := layout.NewLeafIn(f, h.arena.bytes(f.NodeSize), sep, leaf.UpperFence())
 	sib.SetSibling(leaf.Sibling())
 	sib.SetEntries(kvs[mid:])
 
@@ -133,17 +150,22 @@ func (h *Handle) splitLeaf(addr rdma.Addr, g hocl.Guard, leaf layout.Leaf, key, 
 	}
 
 	dataBytes := int64(2 * f.NodeSize)
+	if carry == nil {
+		carry = h.takeWops()
+	}
 	// Sibling write-back, node write-back and lock release combine when the
 	// new sibling landed on the same MS (Figure 7 lines 29-35).
 	if sibAddr.MS() == addr.MS() {
-		h.unlockWrite(g, append(carry,
+		carry = append(carry,
 			rdma.WriteOp{Addr: sibAddr, Data: sib.B},
 			rdma.WriteOp{Addr: addr, Data: leaf.B},
-		))
+		)
 	} else {
 		h.C.Write(sibAddr, sib.B)
-		h.unlockWrite(g, append(carry, rdma.WriteOp{Addr: addr, Data: leaf.B}))
+		carry = append(carry, rdma.WriteOp{Addr: addr, Data: leaf.B})
 	}
+	h.unlockWrite(g, carry)
+	h.keepWops(carry)
 	h.insertParent(sep, sibAddr, 1)
 	return dataBytes
 }
@@ -161,7 +183,7 @@ func (h *Handle) insertParent(sepKey uint64, child rdma.Addr, level uint8) {
 		if rootLvl < level {
 			// The split node was the root: grow the tree.
 			newRootAddr := h.alloc.Alloc(f.NodeSize)
-			nr := layout.NewInternal(f, level, 0, layout.NoUpperBound)
+			nr := layout.NewInternalIn(f, h.arena.bytes(f.NodeSize), level, 0, layout.NoUpperBound)
 			nr.SetLeftmost(root)
 			nr.Insert(sepKey, child)
 			if f.Mode == layout.Checksum {
@@ -204,7 +226,7 @@ func (h *Handle) tryInsertAt(addr rdma.Addr, ce *cache.Entry, sepKey uint64, chi
 		} else {
 			in.UpdateChecksum()
 		}
-		h.unlockWrite(g, []rdma.WriteOp{{Addr: addr, Data: in.B}})
+		h.unlockWith(g, rdma.WriteOp{Addr: addr, Data: in.B})
 		// Refresh the cached copy with the post-insert image (replacement by
 		// fence key is O(1)) so the split's parent update never leaves a
 		// stale cached parent behind.
@@ -213,7 +235,7 @@ func (h *Handle) tryInsertAt(addr rdma.Addr, ce *cache.Entry, sepKey uint64, chi
 	}
 	// Full: split the internal node and push the median up.
 	rightAddr := h.alloc.Alloc(f.NodeSize)
-	right := layout.NewInternal(f, level, 0, layout.NoUpperBound)
+	right := layout.NewInternalIn(f, h.arena.bytes(f.NodeSize), level, 0, layout.NoUpperBound)
 	upSep := in.SplitInto(right, rightAddr)
 	switch {
 	case sepKey < upSep:
@@ -228,13 +250,13 @@ func (h *Handle) tryInsertAt(addr rdma.Addr, ce *cache.Entry, sepKey uint64, chi
 		in.UpdateChecksum()
 	}
 	if rightAddr.MS() == addr.MS() {
-		h.unlockWrite(g, []rdma.WriteOp{
-			{Addr: rightAddr, Data: right.B},
-			{Addr: addr, Data: in.B},
-		})
+		h.unlockWith(g,
+			rdma.WriteOp{Addr: rightAddr, Data: right.B},
+			rdma.WriteOp{Addr: addr, Data: in.B},
+		)
 	} else {
 		h.C.Write(rightAddr, right.B)
-		h.unlockWrite(g, []rdma.WriteOp{{Addr: addr, Data: in.B}})
+		h.unlockWith(g, rdma.WriteOp{Addr: addr, Data: in.B})
 	}
 	// Replace the split node's cached copy (its fence range shrank) and
 	// admit the new right half, so traversals steered by the cache see the

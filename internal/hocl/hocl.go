@@ -136,6 +136,12 @@ type Manager struct {
 	lltMu sync.Mutex
 	llts  []*localTable // indexed by CS id; nil when !mode.Local
 
+	// waiterPool recycles gwaiters: each waiter receives exactly one grant
+	// on every wake path (release handoff, orphan promotion, death kill), so
+	// after the receive nothing references it and its one-slot channel is
+	// empty again — contended waits then allocate nothing in steady state.
+	waiterPool sync.Pool
+
 	// slots[ms*locksPerMS+idx] serializes each global lock in virtual time.
 	// Worker goroutines execute at unrelated real-time rates, so a raw
 	// real-time CAS race would let a thread whose virtual clock is far in
@@ -214,6 +220,18 @@ type gwaiter struct {
 	clock int64      // the waiter's virtual clock at arrival
 	cs    int        // the waiter's compute server
 	ch    chan grant // receives the releaser's virtual release time
+}
+
+// newWaiter takes a recycled gwaiter from the pool (its channel is empty —
+// every wake path sends exactly one grant, which the owner received before
+// returning it) or builds a fresh one.
+func (m *Manager) newWaiter(clock int64, cs int) *gwaiter {
+	if v := m.waiterPool.Get(); v != nil {
+		w := v.(*gwaiter)
+		w.clock, w.cs = clock, cs
+		return w
+	}
+	return &gwaiter{clock: clock, cs: cs, ch: make(chan grant, 1)}
 }
 
 // grant is the message a releaser passes to the waiter it wakes.
@@ -423,12 +441,13 @@ func (m *Manager) acquireGlobal(c *rdma.Client, gaddr rdma.Addr, slot int) (recl
 		}
 		// Queue on the slot; the releaser grants to the virtually-earliest
 		// waiter and passes its release timestamp along.
-		w := &gwaiter{clock: c.Now(), cs: int(c.CS.ID), ch: make(chan grant, 1)}
+		w := m.newWaiter(c.Now(), int(c.CS.ID))
 		s.waiters = append(s.waiters, w)
 		s.noteArrival(w.clock)
 		m.Stats.noteWaiters(len(s.waiters))
 		s.mu.Unlock()
 		g := <-w.ch
+		m.waiterPool.Put(w) // single grant received; no one else holds w
 		if g.killed {
 			m.Stats.DeadWaiterKills.Add(1)
 			panic(sim.Crash{CS: int(c.CS.ID)})
@@ -682,13 +701,21 @@ func (m *Manager) releaseSlot(slot int, now int64, cs int) {
 	s.mu.Unlock()
 }
 
+// Release WRITE payloads are all-zero and never mutated — the simulated
+// verbs copy their buffers synchronously — so two shared package-level
+// buffers serve every unlock in the process, allocation-free.
+var (
+	zeroOnChip = []byte{0, 0}
+	zeroHost   = make([]byte, 8)
+)
+
 // releaseOp returns the WRITE command that clears the GLT slot (lock release
 // by RDMA_WRITE, which is cheaper than RDMA_FAA — §5.1.2, [68]).
 func (m *Manager) releaseOp(gaddr rdma.Addr) rdma.WriteOp {
 	if m.mode.OnChip {
-		return rdma.WriteOp{Addr: gaddr, Data: []byte{0, 0}}
+		return rdma.WriteOp{Addr: gaddr, Data: zeroOnChip}
 	}
-	return rdma.WriteOp{Addr: gaddr, Data: make([]byte, 8)}
+	return rdma.WriteOp{Addr: gaddr, Data: zeroHost}
 }
 
 // Unlock releases the lock, flushing the caller's pending dependent writes.

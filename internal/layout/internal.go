@@ -29,6 +29,18 @@ func NewInternal(f Format, level uint8, lower, upper uint64) Internal {
 	return n
 }
 
+// NewInternalIn initializes a fresh internal node in the caller's buffer
+// (len must equal f.NodeSize) — the allocation-free variant for arena-backed
+// callers.
+func NewInternalIn(f Format, buf []byte, level uint8, lower, upper uint64) Internal {
+	if level == 0 {
+		panic("layout: internal node cannot be level 0")
+	}
+	n := Internal{ViewNode(f, buf)}
+	n.Init(level, lower, upper)
+	return n
+}
+
 func (n Internal) countOff() int {
 	if n.F.Mode == Checksum {
 		return offCountCksum
@@ -89,20 +101,26 @@ func (n Internal) ChildFor(key uint64) (rdma.Addr, int) {
 // range, in key order. Range queries use it to fetch several target leaves
 // with parallel RDMA_READs (§4.4).
 func (n Internal) ChildrenFrom(key uint64) []rdma.Addr {
+	return n.AppendChildrenFrom(nil, key)
+}
+
+// AppendChildrenFrom appends the children covering keys >= key onto dst and
+// returns the extended slice — the allocation-free variant for callers that
+// recycle a scratch buffer.
+func (n Internal) AppendChildrenFrom(dst []rdma.Addr, key uint64) []rdma.Addr {
 	cnt := n.Count()
 	_, i := n.ChildFor(key)
-	var out []rdma.Addr
 	if i < 0 {
-		out = append(out, n.Leftmost())
+		dst = append(dst, n.Leftmost())
 		i = 0
 	} else {
-		out = append(out, n.ChildAt(i))
+		dst = append(dst, n.ChildAt(i))
 		i++
 	}
 	for ; i < cnt; i++ {
-		out = append(out, n.ChildAt(i))
+		dst = append(dst, n.ChildAt(i))
 	}
-	return out
+	return dst
 }
 
 // Full reports whether no separator slot remains.

@@ -1,6 +1,10 @@
 package layout
 
-import "sort"
+import (
+	"cmp"
+	"slices"
+	"sort"
+)
 
 // Leaf views a node buffer as a leaf.
 //
@@ -20,6 +24,14 @@ func AsLeaf(n Node) Leaf { return Leaf{n} }
 // NewLeaf allocates and initializes a fresh leaf.
 func NewLeaf(f Format, lower, upper uint64) Leaf {
 	l := Leaf{NewNodeBuf(f)}
+	l.Init(0, lower, upper)
+	return l
+}
+
+// NewLeafIn initializes a fresh leaf in the caller's buffer (len must equal
+// f.NodeSize) — the allocation-free variant for arena-backed callers.
+func NewLeafIn(f Format, buf []byte, lower, upper uint64) Leaf {
+	l := Leaf{ViewNode(f, buf)}
 	l.Init(0, lower, upper)
 	return l
 }
@@ -167,22 +179,30 @@ func (l Leaf) DeleteSorted(key uint64) bool {
 
 // Entries returns the live entries sorted by key (used before splitting an
 // unsorted leaf: Figure 7 line 21 sorts then moves).
-func (l Leaf) Entries() []KV {
-	var kvs []KV
+func (l Leaf) Entries() []KV { return l.AppendEntries(nil) }
+
+// AppendEntries appends the live entries, sorted by key, onto dst and returns
+// the extended slice — the allocation-free variant for callers that recycle a
+// scratch buffer. Only the appended region is sorted; dst's prefix is
+// untouched.
+func (l Leaf) AppendEntries(dst []KV) []KV {
+	start := len(dst)
 	if l.F.Mode == Checksum {
 		cnt := l.Count()
 		for i := 0; i < cnt; i++ {
-			kvs = append(kvs, KV{l.Key(i), l.Value(i)})
+			dst = append(dst, KV{l.Key(i), l.Value(i)})
 		}
-		return kvs
+		return dst
 	}
 	for i := 0; i < l.Cap(); i++ {
 		if k := l.Key(i); k != 0 {
-			kvs = append(kvs, KV{k, l.Value(i)})
+			dst = append(dst, KV{k, l.Value(i)})
 		}
 	}
-	sort.Slice(kvs, func(i, j int) bool { return kvs[i].Key < kvs[j].Key })
-	return kvs
+	// Keys within a leaf are distinct, so an unstable in-place sort suffices
+	// (and, unlike sort.Slice, allocates nothing).
+	slices.SortFunc(dst[start:], func(a, b KV) int { return cmp.Compare(a.Key, b.Key) })
+	return dst
 }
 
 // SetEntries rewrites the leaf's entry area from sorted kvs (post-split

@@ -267,19 +267,45 @@ func (c *Counter) PercentileValue(p float64) int {
 }
 
 // SizeHist is an exact histogram over arbitrary int64 values (write sizes).
-// It keeps a map; cardinality is tiny (a handful of distinct IO sizes).
+// Cardinality is tiny — a handful of distinct IO sizes — so it keeps two
+// parallel arrays scanned linearly: after each distinct size has appeared
+// once, Record touches no map and never allocates, keeping the hot-path
+// recorders allocation-free in steady state.
 type SizeHist struct {
-	m map[int64]int64
-	n int64
+	vals   []int64
+	counts []int64
+	n      int64
 }
 
 // NewSizeHist creates an empty size histogram.
-func NewSizeHist() *SizeHist { return &SizeHist{m: make(map[int64]int64)} }
+func NewSizeHist() *SizeHist {
+	return &SizeHist{vals: make([]int64, 0, 8), counts: make([]int64, 0, 8)}
+}
 
 // Record adds one observation.
 func (s *SizeHist) Record(v int64) {
-	s.m[v]++
 	s.n++
+	for i, sv := range s.vals {
+		if sv == v {
+			s.counts[i]++
+			return
+		}
+	}
+	s.vals = append(s.vals, v)
+	s.counts = append(s.counts, 1)
+}
+
+// add folds cnt observations of v into s.
+func (s *SizeHist) add(v, cnt int64) {
+	s.n += cnt
+	for i, sv := range s.vals {
+		if sv == v {
+			s.counts[i] += cnt
+			return
+		}
+	}
+	s.vals = append(s.vals, v)
+	s.counts = append(s.counts, cnt)
 }
 
 // Merge folds other into s.
@@ -287,10 +313,9 @@ func (s *SizeHist) Merge(other *SizeHist) {
 	if other == nil {
 		return
 	}
-	for k, v := range other.m {
-		s.m[k] += v
+	for i, v := range other.vals {
+		s.add(v, other.counts[i])
 	}
-	s.n += other.n
 }
 
 // Count returns total observations.
@@ -298,15 +323,11 @@ func (s *SizeHist) Count() int64 { return s.n }
 
 // Points returns (value, fraction) sorted by value.
 func (s *SizeHist) Points() []SizePoint {
-	keys := make([]int64, 0, len(s.m))
-	for k := range s.m {
-		keys = append(keys, k)
+	out := make([]SizePoint, 0, len(s.vals))
+	for i, v := range s.vals {
+		out = append(out, SizePoint{Value: v, Fraction: float64(s.counts[i]) / float64(s.n)})
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	out := make([]SizePoint, 0, len(keys))
-	for _, k := range keys {
-		out = append(out, SizePoint{Value: k, Fraction: float64(s.m[k]) / float64(s.n)})
-	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Value < out[j].Value })
 	return out
 }
 

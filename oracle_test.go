@@ -153,6 +153,38 @@ func TestDifferentialOracle(t *testing.T) {
 	}
 }
 
+// TestDifferentialOraclePoison re-runs the baseline oracle once per grid
+// cell with TreeOptions.Poison set: every recycled hot-path buffer — the
+// per-session arena, the pooled write-op slices, the lock waiters — is
+// filled with 0xDB the moment its lifetime ends, so an operation that
+// reads scratch past its release returns poisoned garbage and fails the
+// model comparison deterministically. Under -race (the CI configuration)
+// this run doubles as the reuse-after-release detector of the
+// zero-allocation recycling.
+func TestDifferentialOraclePoison(t *testing.T) {
+	depths := []int{1, 2, 4, 8}
+	for i, opts := range gridOptions() {
+		opts := opts
+		opts.Poison = true
+		depth := depths[i%len(depths)]
+		t.Run(opts.Advanced.name(), func(t *testing.T) {
+			rng := testutil.RNG(uint64(i) + 101)
+			c, err := NewCluster(ClusterConfig{MemoryServers: 2, ComputeServers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := testTree(t, c, opts).SessionAt(0, PipelineDepth(depth))
+			if err != nil {
+				t.Fatal(err)
+			}
+			model := testutil.NewModel()
+			const keySpace = 400
+			oracleStream(t, s, model, rng, keySpace, 500)
+			checkFinalState(t, s, model, keySpace)
+		})
+	}
+}
+
 // TestDifferentialOracleTinyCache is the cache-staleness oracle: the same
 // random streams (depths 1–8) run with a deliberately tiny 2-entry index
 // cache, so eviction churn is constant and nearly every speculative

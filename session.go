@@ -111,6 +111,12 @@ type Session struct {
 	a    *core.Async
 	cs   int
 	dead bool
+
+	// Exec's translation scratch, recycled across batches so steady-state
+	// batching allocates only the caller-owned results slice.
+	cops []core.Op
+	idx  []int
+	cres []core.OpResult
 }
 
 // run executes fn, converting the crash of this session's compute server
@@ -255,9 +261,9 @@ func (s *Session) Submit(op Op) *Future {
 // Invalid operations carry a typed error in their Result slot; the rest of
 // the batch still executes.
 func (s *Session) Exec(ops []Op) []Result {
-	results := make([]Result, len(ops))
-	cops := make([]core.Op, 0, len(ops))
-	idx := make([]int, 0, len(ops))
+	results := make([]Result, len(ops)) // caller-owned, never recycled
+	cops := s.cops[:0]
+	idx := s.idx[:0]
 	for i, op := range ops {
 		cop, err := op.toCore()
 		if err != nil {
@@ -270,8 +276,14 @@ func (s *Session) Exec(ops []Op) []Result {
 		cops = append(cops, cop)
 		idx = append(idx, i)
 	}
-	var cres []core.OpResult
-	if err := s.run(func() { cres = s.a.Exec(cops) }); err != nil {
+	cres := s.cres
+	if cap(cres) < len(cops) {
+		cres = make([]core.OpResult, len(cops))
+	} else {
+		cres = cres[:len(cops)]
+	}
+	err := s.run(func() { s.a.ExecInto(cops, cres) })
+	if err != nil {
 		// The server crashed mid-batch: the outcomes of the ops that went
 		// to the fabric are unknown (each applied fully or not at all, but
 		// the results died with the session). Locally-rejected ops keep
@@ -279,11 +291,12 @@ func (s *Session) Exec(ops []Op) []Result {
 		for _, i := range idx {
 			results[i] = Result{Err: err}
 		}
-		return results
+	} else {
+		for j, r := range cres {
+			results[idx[j]] = resultFrom(r)
+		}
 	}
-	for j, r := range cres {
-		results[idx[j]] = resultFrom(r)
-	}
+	s.cops, s.idx, s.cres = cops[:0], idx[:0], cres[:0]
 	return results
 }
 
@@ -312,19 +325,37 @@ func legacyErr(err error) {
 	panic("core: key 0 is reserved")
 }
 
+// submitWait pushes one validated core op through the pipeline and waits for
+// its completion — the legacy synchronous path, which never materializes a
+// Future (a synchronous caller waits immediately, so the future's
+// wait-later-and-repeatedly contract buys nothing but an allocation).
+func (s *Session) submitWait(cop core.Op) (core.OpResult, error) {
+	var res core.OpResult
+	err := s.run(func() {
+		var done int64
+		res, done = s.a.Submit(cop)
+		s.a.WaitUntil(done)
+	})
+	return res, err
+}
+
 // Put stores value under key, inserting or updating in place. Key 0 is
 // reserved and panics (it is the tree's deleted-entry sentinel, §4.4), as
 // does a dead session (with ErrSessionDead); use Submit for the typed-error
 // contract.
 func (s *Session) Put(key, value uint64) {
-	legacyErr(s.Submit(PutOp(key, value)).Wait().Err)
+	cop, err := PutOp(key, value).toCore()
+	if err == nil {
+		_, err = s.submitWait(cop)
+	}
+	legacyErr(err)
 }
 
 // Get returns the value stored under key. A dead session panics with
 // ErrSessionDead; use Submit for the typed-error contract.
 func (s *Session) Get(key uint64) (uint64, bool) {
-	r := s.Submit(GetOp(key)).Wait()
-	legacyErr(r.Err)
+	r, err := s.submitWait(core.Op{Kind: stats.OpLookup, Key: key})
+	legacyErr(err)
 	return r.Value, r.Found
 }
 
@@ -332,8 +363,12 @@ func (s *Session) Get(key uint64) (uint64, bool) {
 // and panics, as does a dead session (with ErrSessionDead); use Submit for
 // the typed-error contract.
 func (s *Session) Delete(key uint64) bool {
-	r := s.Submit(DeleteOp(key)).Wait()
-	legacyErr(r.Err)
+	cop, err := DeleteOp(key).toCore()
+	var r core.OpResult
+	if err == nil {
+		r, err = s.submitWait(cop)
+	}
+	legacyErr(err)
 	return r.Found
 }
 
@@ -342,8 +377,11 @@ func (s *Session) Delete(key uint64) bool {
 // writes: each leaf is read consistently, but the scan as a whole is not a
 // snapshot. A dead session panics with ErrSessionDead.
 func (s *Session) Scan(from uint64, span int) []KV {
-	r := s.Submit(ScanOp(from, span)).Wait()
-	legacyErr(r.Err)
+	if span <= 0 {
+		return nil
+	}
+	r, err := s.submitWait(core.Op{Kind: stats.OpRange, Key: from, Span: span})
+	legacyErr(err)
 	return r.KVs
 }
 

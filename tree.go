@@ -66,6 +66,14 @@ type TreeOptions struct {
 	// trees 80% full). 0 means 0.8.
 	BulkFill float64
 
+	// Poison fills recycled hot-path scratch (per-session arenas, pooled
+	// write-op slices, lock-wait structs) with 0xDB on release, so any
+	// use-after-release of a recycled buffer corrupts data deterministically
+	// instead of silently reading stale bytes. A debugging/CI mode: the
+	// differential oracle runs once under it (with -race) to prove the
+	// zero-allocation recycling never aliases live data.
+	Poison bool
+
 	// Advanced enables per-technique control for ablations; nil uses the
 	// Engine's standard configuration.
 	Advanced *AdvancedOptions
@@ -143,6 +151,7 @@ func (o TreeOptions) toCore() (core.Config, error) {
 	cfg.CacheLevels = o.CacheLevels
 	cfg.LocksPerMS = o.LocksPerMS
 	cfg.BulkFill = o.BulkFill
+	cfg.Poison = o.Poison
 	if cfg.BulkFill < 0 || cfg.BulkFill > 1 {
 		return core.Config{}, fmt.Errorf("sherman: BulkFill %v outside [0,1]", cfg.BulkFill)
 	}
