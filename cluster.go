@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"sherman/internal/alloc"
 	"sherman/internal/cluster"
 	"sherman/internal/sim"
 )
@@ -23,6 +24,15 @@ type ClusterConfig struct {
 	// and other per-server state are sized for it at creation. 0 means
 	// MemoryServers plus a small headroom.
 	MaxMemoryServers int
+
+	// ReplicationFactor is the number of copies of every data chunk,
+	// including the primary. 0 or 1 disables replication (the default: no
+	// redundancy, matching the paper's single-copy design). At factor k every
+	// chunk's writes are mirrored to k-1 replica chunks on distinct other
+	// memory servers, and a memory-server death promotes the freshest replica
+	// of each lost chunk with zero lost acknowledged writes (see DESIGN.md
+	// §12). Must not exceed MemoryServers.
+	ReplicationFactor int
 
 	// Fabric overrides the simulated network timing model. The zero value
 	// uses defaults calibrated to the paper's 100 Gbps ConnectX-5 testbed.
@@ -92,15 +102,22 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.MaxMemoryServers != 0 && (cfg.MaxMemoryServers < cfg.MemoryServers || cfg.MaxMemoryServers > 1<<15) {
 		return nil, fmt.Errorf("sherman: MaxMemoryServers %d outside [%d, %d]", cfg.MaxMemoryServers, cfg.MemoryServers, 1<<15)
 	}
+	if cfg.ReplicationFactor < 0 || cfg.ReplicationFactor > alloc.MaxReplicationFactor {
+		return nil, fmt.Errorf("sherman: ReplicationFactor %d outside [0, %d]", cfg.ReplicationFactor, alloc.MaxReplicationFactor)
+	}
+	if cfg.ReplicationFactor > cfg.MemoryServers {
+		return nil, fmt.Errorf("sherman: ReplicationFactor %d exceeds MemoryServers %d", cfg.ReplicationFactor, cfg.MemoryServers)
+	}
 	p := cfg.Fabric.toSim()
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	return &Cluster{cl: cluster.New(cluster.Config{
-		NumMS:  cfg.MemoryServers,
-		NumCS:  cfg.ComputeServers,
-		MaxMS:  cfg.MaxMemoryServers,
-		Params: p,
+		NumMS:             cfg.MemoryServers,
+		NumCS:             cfg.ComputeServers,
+		MaxMS:             cfg.MaxMemoryServers,
+		ReplicationFactor: cfg.ReplicationFactor,
+		Params:            p,
 	})}, nil
 }
 
@@ -155,6 +172,25 @@ func (c *Cluster) RestartComputeServer(cs int) error {
 // ComputeServerAlive reports whether compute server cs is currently up.
 func (c *Cluster) ComputeServerAlive(cs int) bool {
 	return cs >= 0 && cs < c.cl.NumCS() && !c.cl.Faults().Dead(cs)
+}
+
+// KillMemoryServer simulates the permanent death of memory server ms: its
+// NIC stops answering, reads of its memory return zeros, and writes to it
+// are lost. With replication enabled the cluster fails over synchronously —
+// the freshest complete replica of every chunk the server owned is promoted
+// and all acknowledged writes remain readable; run Tree.ReReplicate
+// afterwards to restore full redundancy. Without replication the server's
+// data is simply gone (the call still succeeds; it models the failure the
+// replication subsystem exists to survive). Memory server 0 holds the
+// cluster superblock and cannot be killed, and a dead server cannot be
+// killed twice.
+func (c *Cluster) KillMemoryServer(ms int) error {
+	return c.cl.KillMS(ms)
+}
+
+// MemoryServerAlive reports whether memory server ms is currently up.
+func (c *Cluster) MemoryServerAlive(ms int) bool {
+	return ms >= 0 && ms < c.cl.NumMS() && c.cl.MSAlive(ms)
 }
 
 // MemoryUsage returns the total host memory currently materialized across

@@ -11,7 +11,7 @@
 //
 // Experiments: table1 table2 fig2 fig3 fig10 fig11 fig12 fig13 fig14
 // fig15a fig15b fig15c fig16 extras ycsb batch pipeline faults elastic
-// cache alloc all quick
+// cache alloc replica all quick
 //
 // Machine-readable output and CI gating:
 //
@@ -35,7 +35,11 @@
 // time, and the multi-level cache beats the flat level-1-only baseline at
 // the same constrained budget); with -exp alloc, the zero-allocation gate
 // (steady-state cached gets and puts measure zero heap allocations per
-// operation against hard per-probe budgets).
+// operation against hard per-probe budgets); with -exp replica, the
+// replication gate (a memory server killed mid-window loses zero acked
+// writes — each tracked key reachable exactly once after failover and
+// re-replication — and factor-2 steady-state throughput stays within 90%
+// of the unreplicated control).
 package main
 
 import (
@@ -52,7 +56,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (table1,table2,fig2,fig3,fig10,fig11,fig12,fig13,fig14,fig15a,fig15b,fig15c,fig16,extras,ycsb,batch,pipeline,faults,elastic,cache,alloc,all,quick)")
+		exp      = flag.String("exp", "all", "experiment id (table1,table2,fig2,fig3,fig10,fig11,fig12,fig13,fig14,fig15a,fig15b,fig15c,fig16,extras,ycsb,batch,pipeline,faults,elastic,cache,alloc,replica,all,quick)")
 		keys     = flag.Uint64("keys", 0, "key-space size (0 = scale default)")
 		windowMS = flag.Int("window", 0, "virtual measurement window in ms (0 = scale default)")
 		warmup   = flag.Int("warmup", 0, "warmup ops per thread (0 = scale default)")
@@ -91,7 +95,7 @@ func main() {
 	if *exp == "all" || *exp == "quick" {
 		ids = []string{"table1", "table2", "fig2", "fig3", "fig10", "fig11",
 			"fig12", "fig13", "fig14", "fig15a", "fig15b", "fig15c", "fig16",
-			"batch", "pipeline", "faults", "elastic", "cache", "alloc"}
+			"batch", "pipeline", "faults", "elastic", "cache", "alloc", "replica"}
 	}
 	fmt.Printf("# shermanbench: keys=%d threads/CS=%d window=%dms GOMAXPROCS=%d\n\n",
 		s.Keys, s.ThreadsPerCS, s.MeasureNS/1_000_000, runtime.GOMAXPROCS(0))
@@ -101,8 +105,9 @@ func main() {
 	var churn *bench.FaultResult
 	var elastic *bench.ElasticResult
 	var cacheRes *bench.CacheResult
+	var replicaRes *bench.ReplicaResult
 	for _, id := range ids {
-		run(strings.TrimSpace(id), s, col, report, &churn, &elastic, &cacheRes)
+		run(strings.TrimSpace(id), s, col, report, &churn, &elastic, &cacheRes, &replicaRes)
 	}
 	report.Metrics = col.Metrics
 
@@ -139,7 +144,7 @@ func main() {
 		}
 	}
 	if *check {
-		if err := runChecks(ids, s, col, churn, elastic, cacheRes); err != nil {
+		if err := runChecks(ids, s, col, churn, elastic, cacheRes, replicaRes); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			failed = true
 		}
@@ -152,7 +157,7 @@ func main() {
 // runChecks executes the hard assertions of the selected experiments,
 // evaluating the results this invocation already produced (the pipeline
 // sweep's metrics, the fault churn's rounds) rather than re-running them.
-func runChecks(ids []string, s bench.Scale, col *bench.Collector, churn *bench.FaultResult, elastic *bench.ElasticResult, cacheRes *bench.CacheResult) error {
+func runChecks(ids []string, s bench.Scale, col *bench.Collector, churn *bench.FaultResult, elastic *bench.ElasticResult, cacheRes *bench.CacheResult, replicaRes *bench.ReplicaResult) error {
 	for _, id := range ids {
 		switch strings.TrimSpace(id) {
 		case "pipeline":
@@ -180,12 +185,17 @@ func runChecks(ids []string, s bench.Scale, col *bench.Collector, churn *bench.F
 				return err
 			}
 			fmt.Println("alloc gate: steady-state hot paths within hard budgets (cached get and put at 0 allocs/op)")
+		case "replica":
+			if err := bench.ReplicaGate(replicaRes); err != nil {
+				return err
+			}
+			fmt.Println("replica gate: zero acked writes lost to the mid-window MS kill, all reachable exactly once; factor-2 steady state within 90% of control")
 		}
 	}
 	return nil
 }
 
-func run(id string, s bench.Scale, col *bench.Collector, report *bench.Report, churn **bench.FaultResult, elastic **bench.ElasticResult, cacheRes **bench.CacheResult) {
+func run(id string, s bench.Scale, col *bench.Collector, report *bench.Report, churn **bench.FaultResult, elastic **bench.ElasticResult, cacheRes **bench.CacheResult, replicaRes **bench.ReplicaResult) {
 	start := time.Now()
 	var tables []*bench.Table
 	switch id {
@@ -237,6 +247,10 @@ func run(id string, s bench.Scale, col *bench.Collector, report *bench.Report, c
 		*cacheRes = r
 	case "alloc":
 		tables = bench.AllocTables(s, col)
+	case "replica":
+		t, r := bench.Replica(s, col)
+		tables = []*bench.Table{t}
+		*replicaRes = r
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
 		os.Exit(2)

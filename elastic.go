@@ -153,6 +153,9 @@ type MemoryServerLoad struct {
 	InboundOps int64
 	// Draining marks a server being scaled in.
 	Draining bool
+	// Dead marks a server killed by KillMemoryServer; dead servers are
+	// excluded from LoadSkew and from migration and replica placement.
+	Dead bool
 }
 
 // MemoryServerLoads snapshots every memory server's inbound load.
@@ -160,7 +163,7 @@ func (c *Cluster) MemoryServerLoads() []MemoryServerLoad {
 	loads := migrate.Loads(c.cl.F)
 	out := make([]MemoryServerLoad, len(loads))
 	for i, l := range loads {
-		out[i] = MemoryServerLoad{MS: l.MS, InboundOps: l.Ops, Draining: l.Draining}
+		out[i] = MemoryServerLoad{MS: l.MS, InboundOps: l.Ops, Draining: l.Draining, Dead: l.Dead}
 	}
 	return out
 }
@@ -170,7 +173,7 @@ func (c *Cluster) MemoryServerLoads() []MemoryServerLoad {
 func LoadSkew(loads []MemoryServerLoad) float64 {
 	ls := make([]stats.MSLoad, len(loads))
 	for i, l := range loads {
-		ls[i] = stats.MSLoad{MS: l.MS, Ops: l.InboundOps, Draining: l.Draining}
+		ls[i] = stats.MSLoad{MS: l.MS, Ops: l.InboundOps, Draining: l.Draining, Dead: l.Dead}
 	}
 	return stats.LoadSkew(ls)
 }

@@ -37,6 +37,16 @@ type ThreadAllocator struct {
 
 	cur rdma.Addr
 	rem uint64
+
+	rep *ReplicaMap
+	rf  int
+}
+
+// SetReplication makes every chunk this allocator grows carry factor-1
+// replica copies, placed on distinct other servers and registered in rep
+// before the first node is carved from the chunk.
+func (a *ThreadAllocator) SetReplication(rep *ReplicaMap, factor int) {
+	a.rep, a.rf = rep, factor
 }
 
 // NewThreadAllocator creates an allocator for client thread c. startMS
@@ -59,10 +69,13 @@ func (a *ThreadAllocator) Alloc(size int) rdma.Addr {
 		panic(fmt.Sprintf("alloc: bad allocation size %d", size))
 	}
 	sz := (uint64(size) + nodeAlign - 1) &^ (nodeAlign - 1)
-	if a.rem > 0 && a.c.F.Servers()[a.cur.MS()].Draining() {
-		// The current chunk's server started draining: abandon the
-		// remainder so no new node lands on a server being scaled in.
-		a.rem = 0
+	if a.rem > 0 {
+		if s := a.c.F.Servers()[a.cur.MS()]; s.Draining() || s.Dead() {
+			// The current chunk's server started draining or died: abandon
+			// the remainder so no new node lands on a server being scaled in
+			// (or on dead memory that discards every write).
+			a.rem = 0
+		}
 	}
 	for a.rem < sz {
 		// A refill can yield slightly less than a full chunk (the nil-address
@@ -85,20 +98,83 @@ func (a *ThreadAllocator) refill() {
 	a.c.Call(ms, func() {
 		base = servers[ms].Grow()
 	})
+	if servers[ms].Dead() {
+		// The server died during (or just before) the growth RPC. A chunk
+		// born on dead memory would discard every write, and the failover
+		// sweep that promotes registered chunks has already run — so discard
+		// it unregistered and grab a chunk elsewhere.
+		a.rem = 0
+		a.refill()
+		return
+	}
 	a.cur, a.rem = chunkStart(ms, base)
 	a.stats.Chunks.Add(1)
+	if a.rep != nil && a.rf > 1 {
+		ck := ChunkID{MS: ms, Index: base / rdma.DefaultChunkSize}
+		a.rep.Register(ck, placeReplicas(servers, ms, a.rf-1, func(rms uint16) uint64 {
+			var rbase uint64
+			a.c.Call(rms, func() {
+				rbase = servers[rms].Grow()
+			})
+			return rbase
+		})...)
+		if servers[ms].Dead() {
+			// Died between the liveness check above and registration: the
+			// failover sweep may have missed this chunk. Nothing was carved
+			// from it yet — drop the registration (a no-op if the sweep did
+			// see it and re-keyed it) and start over.
+			a.rep.Drop(ck)
+			a.rem = 0
+			a.refill()
+		}
+	}
+}
+
+// placeReplicas grows want replica chunks for a primary on server ms, each
+// on a distinct other live, non-draining server, walking round-robin from
+// ms+1 so replica load spreads. grow performs the chunk growth on the
+// chosen server (RPC-timed or raw, per caller). Fewer than want servers
+// qualifying yields an under-replicated chunk the background re-replicator
+// repairs once capacity appears.
+func placeReplicas(servers []*rdma.Server, ms uint16, want int, grow func(uint16) uint64) []rdma.Addr {
+	var bases []rdma.Addr
+	cursor := (int(ms) + 1) % len(servers)
+	for i := 0; i < len(servers) && len(bases) < want; i++ {
+		rms := cursor
+		cursor = (cursor + 1) % len(servers)
+		if rms == int(ms) || servers[rms].Draining() || servers[rms].Dead() {
+			continue
+		}
+		bases = append(bases, rdma.MakeAddr(uint16(rms), grow(uint16(rms))))
+	}
+	return bases
+}
+
+// RegisterPlaced grows and registers want replica chunks for the primary
+// chunk ck, placed like any allocator refill (distinct live, non-draining
+// servers, never ck's own), growing each through grow so the caller controls
+// RPC timing. No-op when rep is nil, want is zero, or ck is already
+// registered — the migration engine calls this for fresh forwarding-target
+// chunks, which bypass the allocators, and a reused target is already
+// covered.
+func RegisterPlaced(rep *ReplicaMap, servers []*rdma.Server, ck ChunkID, want int, grow func(uint16) uint64) {
+	if rep == nil || want <= 0 || rep.Registered(ck) {
+		return
+	}
+	rep.Register(ck, placeReplicas(servers, ck.MS, want, grow)...)
 }
 
 // nextPlacement advances the round-robin cursor to the next server willing
-// to accept allocations, falling back to plain round-robin when every
-// server is draining (scale-in must never wedge the allocator).
+// to accept allocations — live and not draining — falling back to plain
+// round-robin when no server qualifies (scale-in must never wedge the
+// allocator).
 func nextPlacement(servers []*rdma.Server, cursor *int) int {
 	n := len(servers)
 	*cursor %= n
 	for i := 0; i < n; i++ {
 		ms := *cursor
 		*cursor = (*cursor + 1) % n
-		if !servers[ms].Draining() {
+		if !servers[ms].Draining() && !servers[ms].Dead() {
 			return ms
 		}
 	}
@@ -127,6 +203,16 @@ type Bulk struct {
 	cur   []rdma.Addr // per-MS open-chunk cursor
 	rem   []uint64
 	stats *Stats
+
+	rep *ReplicaMap
+	rf  int
+}
+
+// SetReplication mirrors ThreadAllocator.SetReplication for bulk loading:
+// every chunk Bulk grows is registered with factor-1 replica copies so the
+// bulkloaded tree is replicated from its first write.
+func (b *Bulk) SetReplication(rep *ReplicaMap, factor int) {
+	b.rep, b.rf = rep, factor
 }
 
 // NewBulk creates a bulk-load allocator over the fabric.
@@ -165,6 +251,12 @@ func (b *Bulk) Alloc(size int) rdma.Addr {
 		b.cur[ms], b.rem[ms] = chunkStart(uint16(ms), base)
 		if b.stats != nil {
 			b.stats.Chunks.Add(1)
+		}
+		if b.rep != nil && b.rf > 1 {
+			ck := ChunkID{MS: uint16(ms), Index: base / rdma.DefaultChunkSize}
+			b.rep.Register(ck, placeReplicas(servers, uint16(ms), b.rf-1, func(rms uint16) uint64 {
+				return servers[rms].Grow()
+			})...)
 		}
 	}
 	addr := b.cur[ms]

@@ -81,6 +81,27 @@ func (f *Forwarding) Install(c ChunkID, newBase rdma.Addr, ownerCS int, epoch in
 	f.installed.Add(1)
 }
 
+// permanentOwner marks entries no compute server owns: failover promotions
+// installed by the MS-death listener. They outlive every CS incarnation —
+// the dead server's addresses stay resolvable for the life of the cluster —
+// so DropDead never drains them.
+const permanentOwner = -1
+
+// InstallReplica publishes the failover of a dead server's chunk to its
+// promoted replica, owned permanently. A chunk that already forwards
+// somewhere (it was migrated off the dead server earlier) keeps its entry:
+// the existing target holds the live data, the dead original only
+// tombstones.
+func (f *Forwarding) InstallReplica(c ChunkID, newBase rdma.Addr) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.m[c]; ok {
+		return
+	}
+	f.m[c] = forwardEntry{newBase: newBase, ownerCS: permanentOwner}
+	f.installed.Add(1)
+}
+
 // Reuse returns the installed target base of an already-forwarded chunk,
 // re-stamping the entry's owner with the current migrator so a later crash
 // of the original owner cannot drain an entry a live migration still
@@ -127,6 +148,9 @@ func (f *Forwarding) DropDead(alive func(cs int, epoch int64) bool) int {
 	defer f.mu.Unlock()
 	n := 0
 	for c, e := range f.m {
+		if e.ownerCS == permanentOwner {
+			continue
+		}
 		if !alive(e.ownerCS, e.epoch) {
 			delete(f.m, c)
 			n++

@@ -39,6 +39,9 @@ type allocProbe struct {
 	depth int
 	ops   int // logical operations per run() (for the per-op division)
 	run   func(h *core.Handle, as *core.Async)
+	// setup overrides the default fixture (allocSetup) — the replicated
+	// probe builds a factor-2 cluster so the mirror engine is on the path.
+	setup func(depth int) (*core.Handle, *core.Async)
 }
 
 // allocProbes is the probe set. get_cached and put_steady are the tentpole
@@ -65,6 +68,18 @@ func allocProbes() []allocProbe {
 		},
 		{
 			name: "put_steady", depth: 1, ops: allocProbeOps,
+			run: func(h *core.Handle, as *core.Async) {
+				for i := 0; i < allocProbeOps; i++ {
+					h.Insert(uint64(i%allocProbeKeys+1), uint64(i+1))
+				}
+			},
+		},
+		{
+			// The steady put with factor-2 replication: every commit is
+			// preceded by a mirror doorbell, which must ride the pooled
+			// replica scratch and add zero allocations of its own.
+			name: "put_steady_rf2", depth: 1, ops: allocProbeOps,
+			setup: allocSetupRF2,
 			run: func(h *core.Handle, as *core.Async) {
 				for i := 0; i < allocProbeOps; i++ {
 					h.Insert(uint64(i%allocProbeKeys+1), uint64(i+1))
@@ -106,7 +121,18 @@ func allocProbes() []allocProbe {
 // the measured loops run entirely in the cached steady state the tentpole
 // targets.
 func allocSetup(depth int) (*core.Handle, *core.Async) {
-	cl := cluster.New(cluster.Config{NumMS: 2, NumCS: 1})
+	return allocSetupCluster(depth, cluster.Config{NumMS: 2, NumCS: 1})
+}
+
+// allocSetupRF2 is allocSetup on a replicated cluster: three memory servers
+// at ReplicationFactor 2, so every bulk chunk has a live replica and every
+// measured put mirrors before committing.
+func allocSetupRF2(depth int) (*core.Handle, *core.Async) {
+	return allocSetupCluster(depth, cluster.Config{NumMS: 3, NumCS: 1, ReplicationFactor: 2})
+}
+
+func allocSetupCluster(depth int, ccfg cluster.Config) (*core.Handle, *core.Async) {
+	cl := cluster.New(ccfg)
 	cfg := core.ShermanConfig()
 	cfg.Format = layout.NewFormat(layout.TwoLevel, 8, 256)
 	cfg.LocksPerMS = 1024
@@ -129,7 +155,11 @@ func allocSetup(depth int) (*core.Handle, *core.Async) {
 // deltas: allocations and heap bytes per operation, and the GC pause share
 // of the measured wall time.
 func measureAlloc(p allocProbe) (allocsPerOp, bytesPerOp, gcPauseFrac float64) {
-	h, as := allocSetup(p.depth)
+	setup := p.setup
+	if setup == nil {
+		setup = allocSetup
+	}
+	h, as := setup(p.depth)
 	// Warmup run: populates handle scratch, pools, and the tree's value
 	// overwrites so the measured run sees only steady-state work.
 	p.run(h, as)
@@ -187,6 +217,7 @@ var allocBudgets = map[string]float64{
 	"alloc/get_cached":       0.01,
 	"alloc/get_pipelined_d8": 0.01,
 	"alloc/put_steady":       0.01,
+	"alloc/put_steady_rf2":   0.01,
 	"alloc/put_pipelined_d8": 0.01,
 	"alloc/exec_mixed_d4":    0.01,
 }

@@ -36,7 +36,22 @@ type Cluster struct {
 	// their new home until every parent pointer is repointed.
 	Fwd *alloc.Forwarding
 
+	// Rep is the chunk→replicas placement table (nil when replication is
+	// off). Allocators register every fresh chunk's mirror copies here;
+	// writers mirror through it; MS-death promotion rewrites it.
+	Rep *alloc.ReplicaMap
+
+	rf int // configured replication factor (copies incl. primary; 0/1 = off)
+
 	numThreads []atomic.Int64 // per CS, for diagnostics
+
+	// invalidators are per-tree cache invalidation hooks, run by the
+	// MS-death promotion listener after it forwards a chunk to its replica
+	// so no compute server keeps steering into the dead server's addresses.
+	invMu        sync.Mutex
+	invalidators []func(alloc.ChunkID)
+
+	failovers atomic.Int64
 
 	// migMu serializes migration engines cluster-wide: two concurrent
 	// rebalances must never relocate the same chunk. Held in real time only
@@ -59,6 +74,12 @@ type Config struct {
 	// MaxMS caps online memory-server scale-out (AddMS); 0 means NumMS plus
 	// a small default headroom. Lock tables are sized for it up front.
 	MaxMS int
+	// ReplicationFactor is the number of copies each data chunk keeps,
+	// including the primary. 0 or 1 disables replication (the seed
+	// behavior); at 2+ every chunk carries factor-1 mirror copies on
+	// distinct other servers, writes are mirrored one-sided, and a memory
+	// server becomes a survivable unit of failure.
+	ReplicationFactor int
 	// Params overrides the fabric timing model; zero value means defaults.
 	Params sim.Params
 }
@@ -77,10 +98,73 @@ func New(cfg Config) *Cluster {
 	if maxMS == 0 {
 		maxMS = cfg.NumMS + rdma.DefaultServerHeadroom
 	}
+	rf := cfg.ReplicationFactor
+	if rf < 0 || rf > alloc.MaxReplicationFactor {
+		panic(fmt.Sprintf("cluster: replication factor %d not in [0,%d]", rf, alloc.MaxReplicationFactor))
+	}
+	if rf > cfg.NumMS {
+		panic(fmt.Sprintf("cluster: replication factor %d exceeds %d memory servers", rf, cfg.NumMS))
+	}
 	f := rdma.NewFabricCap(p, cfg.NumMS, maxMS, cfg.NumCS)
 	f.Servers()[0].Grow() // superblock chunk
-	return &Cluster{F: f, P: p, Fwd: alloc.NewForwarding(), numThreads: make([]atomic.Int64, cfg.NumCS)}
+	c := &Cluster{F: f, P: p, Fwd: alloc.NewForwarding(), rf: rf, numThreads: make([]atomic.Int64, cfg.NumCS)}
+	if rf > 1 {
+		c.Rep = alloc.NewReplicaMap()
+		// Promotion listener: runs synchronously in the MS-death chain,
+		// after the fabric has gated the dead server's memory. Installing
+		// the forwarding entries here — before the triggering verb proceeds
+		// — means a reader that observes the death already finds the chase
+		// target published; there is no window where the data is dark.
+		f.Faults.OnMSDeath(func(ms int, _ int64) {
+			promoted := c.Rep.FailoverServer(uint16(ms), f.Faults.MSAlive)
+			for _, p := range promoted {
+				c.Fwd.InstallReplica(p.Old, p.NewBase)
+				c.invMu.Lock()
+				invs := c.invalidators
+				c.invMu.Unlock()
+				for _, inv := range invs {
+					inv(p.Old)
+				}
+			}
+			c.failovers.Add(int64(len(promoted)))
+		})
+	}
+	return c
 }
+
+// ReplicationFactor returns the configured copies per chunk (0/1 = off).
+func (c *Cluster) ReplicationFactor() int { return c.rf }
+
+// OnChunkInvalidate registers a hook the MS-death promotion listener calls
+// for every chunk it fails over. Trees register their index-cache
+// invalidation here so cached pointers into a dead server stop steering.
+func (c *Cluster) OnChunkInvalidate(fn func(alloc.ChunkID)) {
+	c.invMu.Lock()
+	c.invalidators = append(c.invalidators, fn)
+	c.invMu.Unlock()
+}
+
+// KillMS fails memory server ms: its memory goes dark (reads zero-fill,
+// writes and atomics discard) and, under replication, every chunk it
+// hosted fails over to its freshest replica before this call returns.
+// Server 0 hosts the cluster superblock and cannot be killed.
+func (c *Cluster) KillMS(ms int) error {
+	if ms <= 0 || ms >= c.NumMS() {
+		return fmt.Errorf("cluster: cannot kill memory server %d (valid: 1..%d; server 0 holds the superblock)", ms, c.NumMS()-1)
+	}
+	if !c.F.Faults.MSAlive(ms) {
+		return fmt.Errorf("cluster: memory server %d is already dead", ms)
+	}
+	c.F.Faults.KillMS(ms, c.F.Faults.LatestVerbV())
+	return nil
+}
+
+// MSAlive reports whether memory server ms is live.
+func (c *Cluster) MSAlive(ms int) bool { return c.F.Faults.MSAlive(ms) }
+
+// Failovers returns the number of chunks promoted to a replica after a
+// memory-server death.
+func (c *Cluster) Failovers() int64 { return c.failovers.Load() }
 
 // NumMS returns the current memory-server count.
 func (c *Cluster) NumMS() int { return c.F.NumServers() }
@@ -133,9 +217,24 @@ func (c *Cluster) Restart(cs int) {
 // partitions).
 func (c *Cluster) Faults() *sim.Faults { return c.F.Faults }
 
-// NewThreadAllocator pairs a client thread with its stage-two allocator.
+// NewThreadAllocator pairs a client thread with its stage-two allocator,
+// wired for replica placement when the cluster replicates.
 func (c *Cluster) NewThreadAllocator(cl *rdma.Client, seed int) *alloc.ThreadAllocator {
-	return alloc.NewThreadAllocator(cl, &c.AllocStats, seed)
+	a := alloc.NewThreadAllocator(cl, &c.AllocStats, seed)
+	if c.Rep != nil {
+		a.SetReplication(c.Rep, c.rf)
+	}
+	return a
+}
+
+// NewBulk builds a setup-time bulk allocator, wired for replica placement
+// when the cluster replicates.
+func (c *Cluster) NewBulk() *alloc.Bulk {
+	b := alloc.NewBulk(c.F, &c.AllocStats)
+	if c.Rep != nil {
+		b.SetReplication(c.Rep, c.rf)
+	}
+	return b
 }
 
 // SuperAddr returns the global address of the superblock field at off.

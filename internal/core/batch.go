@@ -278,7 +278,9 @@ func (h *Handle) execWriteGroup(a *Async, ops []planOp, start int, results []OpR
 	f := h.t.cfg.Format
 	i := start
 	run := func() {
+	redo:
 		h.arena.reset()
+		i = start
 		addr, g, leaf := h.lockLeafForWrite(ops[i].key)
 		h.Rec.BatchLeafGroups++
 		pending := h.takeWops()
@@ -353,6 +355,12 @@ func (h *Handle) execWriteGroup(a *Async, ops []planOp, start int, results []OpR
 			h.unlockWrite(g, pending)
 			h.keepWops(pending)
 			break
+		}
+		if h.takeRedo() {
+			// A failover swallowed the group's doorbell (or a split's): no
+			// write became durable and nothing acked, so re-run the whole
+			// group against the promoted chunk; results recompute identically.
+			goto redo
 		}
 	}
 	if a != nil {

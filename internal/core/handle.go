@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"sherman/internal/alloc"
 	"sherman/internal/cache"
 	"sherman/internal/cluster"
@@ -54,6 +56,28 @@ type Handle struct {
 	scanReqs  []rdma.ReadOp
 	scanBufs  [][]byte
 
+	// Mirror engine scratch (see mirror.go). replicated caches Rep != nil;
+	// repWops/repMarks are the replica write ops of the current doorbell
+	// group with their per-replica watermark cells; repTargets is the
+	// per-chunk target snapshot; oneWop adapts single-write call sites to the
+	// group path; repLo/repHi frame the per-MS group mirrorFn posts (bound
+	// once at handle creation so OnTimeline takes no per-op closure);
+	// mirrorEndV is the latest mirror completion awaiting a lag sample.
+	replicated bool
+	repWops    []rdma.WriteOp
+	repMarks   []*atomic.Int64
+	repTargets alloc.TargetSet
+	oneWop     [1]rdma.WriteOp
+	repLo      int
+	repHi      int
+	mirrorEndV int64
+	mirrorFn   func()
+	// redo is raised by mirror when a write-back's chunk was re-keyed by a
+	// concurrent failover (its server died after the validating read): the
+	// primary write vanished into dead memory and no replica was mirrored, so
+	// the op must retry through the promoted chunk before acking.
+	redo bool
+
 	// poison mirrors Config.Poison: recycled scratch is filled with 0xDB so
 	// reuse-after-release reads deterministic garbage.
 	poison bool
@@ -76,6 +100,12 @@ func (t *Tree) NewHandle(cs int, seed int) *Handle {
 		poison:  t.cfg.Poison,
 	}
 	h.arena.poison = t.cfg.Poison
+	if t.cl.Rep != nil {
+		h.replicated = true
+		h.repWops = make([]rdma.WriteOp, 0, 8)
+		h.repMarks = make([]*atomic.Int64, 0, 8)
+		h.mirrorFn = h.postMirrorGroup
+	}
 	return h
 }
 
@@ -127,6 +157,14 @@ func (h *Handle) readNode(a rdma.Addr, buf []byte) (layout.Node, int) {
 		h.C.Read(a, buf)
 		n := layout.ViewNode(h.t.cfg.Format, buf)
 		if !n.Consistent() {
+			if !h.C.F.Faults.MSAlive(int(a.MS())) {
+				// Dead memory zero-fills, so no retry will ever read a
+				// consistent checksum. Return the zeroed view: it fails the
+				// caller's Alive check, which chases to the promoted replica.
+				// (A zeroed two-level node is version-consistent and exits
+				// above on its own.)
+				return n, retries
+			}
 			retries++
 			continue
 		}

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 
-	"sherman/internal/alloc"
 	"sherman/internal/layout"
 	"sherman/internal/rdma"
 )
@@ -101,7 +100,7 @@ func (t *Tree) Compact() CompactResult {
 
 	if len(kvs) == 0 {
 		// Rebuild to a single empty leaf.
-		b := alloc.NewBulk(t.cl.F, &t.cl.AllocStats)
+		b := t.cl.NewBulk()
 		rootAddr := b.Alloc(t.cfg.Format.NodeSize)
 		leaf := layout.NewLeaf(t.cfg.Format, 0, layout.NoUpperBound)
 		if t.cfg.Format.Mode == layout.Checksum {

@@ -45,6 +45,11 @@ import (
 // node-I/O layer's retry on a forwarded address is the read-side analogue.
 var ErrMoved = errors.New("core: node moved")
 
+// ErrLostTarget reports that a migration target chunk lost its memory server
+// before the node copy became durable; the original stays live at its source
+// and the engine skips (or re-plans) the move.
+var ErrLostTarget = errors.New("core: migration target lost its server")
+
 // chase resolves an address that turned out dead through the cluster's
 // forwarding map: ok=true means the node migrated and now lives at the
 // returned address (same offset in the relocated chunk). A traversal
@@ -88,7 +93,15 @@ func (h *Handle) MoveNode(src, dst rdma.Addr) (MovedNode, error) {
 	mv := MovedNode{Level: n.Level(), LowerFence: n.LowerFence()}
 	// The copy must be durable at dst before the original dies; dst is
 	// unreachable until then (no forwarding consumer sees a live original).
-	h.C.Write(dst, n.B)
+	// Under replication the copy mirrors to dst's chunk replicas too, so the
+	// relocated node is failover-covered from its first instant.
+	h.writeMirrored(dst, n.B)
+	if h.takeRedo() {
+		// dst's chunk was re-keyed by a failover mid-copy: the image never
+		// became durable, so the original must stay alive and authoritative.
+		h.unlockWrite(g, nil)
+		return MovedNode{}, ErrLostTarget
+	}
 	if h.t.cfg.Format.Mode == layout.Checksum {
 		// A checksum node must stay internally consistent even when dead,
 		// or lock-free readers would spin on the torn image instead of
@@ -178,6 +191,11 @@ func (h *Handle) repointChild(parentLevel uint8, key uint64, old, new rdma.Addr)
 			in.UpdateChecksum()
 		}
 		h.unlockWrite(r.g, []rdma.WriteOp{{Addr: r.addr, Data: in.B}})
+		if h.takeRedo() {
+			// The parent's chunk was re-keyed mid-commit: re-resolve and
+			// retry at the promoted parent.
+			return repointStale
+		}
 		h.cacheNode(r.addr, in.Node)
 		return repointDone
 	case new:
@@ -262,6 +280,60 @@ func (w *chunkWalk) visit(addr rdma.Addr) {
 	for _, c := range children {
 		w.visit(c)
 	}
+}
+
+// copyPaceStride is how many chunk slots CopyChunk copies between Pace
+// callbacks, so a re-replication sweep inside a paced benchmark window keeps
+// its clock inside the gate like any other worker.
+const copyPaceStride = 64
+
+// CopyChunk copies every node slot of chunk src onto the same offsets of the
+// chunk at dstBase, and returns the number of non-empty slots copied. It is
+// the bulk-copy half of re-replication: the caller registers dstBase's chunk
+// as a mirror target of src first (so writes committed during the copy reach
+// it as mirrors), then CopyChunk backfills everything older.
+//
+// Each slot is copied under its node lock — the same lock every writer holds
+// while mirroring — so a slot's copy can never overwrite a fresher mirror
+// with stale bytes. The scan is a raw grid walk at node-size strides rather
+// than a tree walk: it also reaches freed nodes and fresh split halves that
+// are only sibling-reachable (which CollectChunks deliberately skips), and a
+// replica must replicate those bytes too. All-zero slots (never-carved tail
+// of a partially filled chunk, or reads off a just-died source server, which
+// zero-fill) are skipped, never written — so a racing source death degrades
+// the copy to a no-op instead of clobbering mirrored data on the target.
+func (h *Handle) CopyChunk(src alloc.ChunkID, dstBase rdma.Addr) int {
+	nodeSize := h.t.cfg.Format.NodeSize
+	base := src.ChunkBase()
+	copied := 0
+	for off, slot := uint64(0), 0; off+uint64(nodeSize) <= rdma.DefaultChunkSize; off, slot = off+uint64(nodeSize), slot+1 {
+		if slot%copyPaceStride == 0 {
+			if !h.t.cl.MSAlive(int(src.MS)) {
+				break // source died; its failover owns the chunk now
+			}
+			if h.Pace != nil {
+				h.Pace(h.C.Now())
+			}
+		}
+		a := base.Add(off)
+		g := h.t.locks.Lock(h.C, a)
+		h.C.Read(a, h.nodeBuf)
+		if !allZero(h.nodeBuf) {
+			h.C.Write(dstBase.Add(off), h.nodeBuf)
+			copied++
+		}
+		h.unlockWrite(g, nil)
+	}
+	return copied
+}
+
+func allZero(b []byte) bool {
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // Cluster exposes the tree's cluster (forwarding map, fabric, fault

@@ -32,8 +32,12 @@ func New(cl *cluster.Cluster, cfg Config) *Tree {
 	for i := 0; i < cl.NumCS(); i++ {
 		t.caches = append(t.caches, newCSCache(cfg))
 	}
+	// Failed-over chunks must stop steering cached traversals into the dead
+	// server; the promotion listener purges them through the same O(affected)
+	// per-chunk invalidation migration uses.
+	cl.OnChunkInvalidate(func(ck alloc.ChunkID) { t.InvalidateChunk(ck) })
 	// Empty tree: one leaf covering the whole key space.
-	b := alloc.NewBulk(cl.F, &cl.AllocStats)
+	b := cl.NewBulk()
 	rootAddr := b.Alloc(cfg.Format.NodeSize)
 	leaf := layout.NewLeaf(cfg.Format, 0, layout.NoUpperBound)
 	if cfg.Format.Mode == layout.Checksum {
@@ -66,11 +70,38 @@ func newCSCache(cfg Config) *cache.Cache {
 	})
 }
 
+// writeRaw stores data at a without timing, mirrored to a's chunk replicas
+// when the cluster replicates — setup-time writes (bulk load, compaction,
+// free bits) must be failover-covered like any client write.
 func writeRaw(cl *cluster.Cluster, a rdma.Addr, data []byte) {
 	cl.F.Servers()[a.MS()].WriteAt(a.Off(), data)
+	if cl.Rep == nil {
+		return
+	}
+	var ts alloc.TargetSet
+	if cl.Rep.Targets(alloc.ChunkOf(a), &ts) {
+		inner := a.Off() % rdma.DefaultChunkSize
+		for i := 0; i < ts.N; i++ {
+			ra := ts.Bases[i].Add(inner)
+			cl.F.Servers()[ra.MS()].WriteAt(ra.Off(), data)
+		}
+	}
 }
 
+// readRaw loads len(buf) bytes at a without timing, chasing the forwarding
+// map when a's server is dead — so Validate and Stats keep working after a
+// memory-server death, reading the promoted replicas instead.
 func readRaw(cl *cluster.Cluster, a rdma.Addr, buf []byte) {
+	for hop := 0; hop < alloc.MaxReplicationFactor; hop++ {
+		if cl.F.Faults.MSAlive(int(a.MS())) {
+			break
+		}
+		fwd, ok := cl.Fwd.Resolve(a)
+		if !ok {
+			break
+		}
+		a = fwd
+	}
 	cl.F.Servers()[a.MS()].ReadAt(a.Off(), buf)
 }
 
@@ -88,7 +119,7 @@ func (t *Tree) Bulkload(kvs []layout.KV) {
 		}
 	}
 	f := t.cfg.Format
-	b := alloc.NewBulk(t.cl.F, &t.cl.AllocStats)
+	b := t.cl.NewBulk()
 
 	perLeaf := int(float64(f.LeafCap) * t.cfg.bulkFill())
 	if perLeaf < 1 {

@@ -20,6 +20,11 @@ func (h *Handle) Insert(key, value uint64) {
 	h.C.M.BeginOp()
 	t0 := h.C.Now()
 	dataBytes := h.insertInner(key, value)
+	for h.takeRedo() {
+		// A failover swallowed the commit (see mirror): retry through the
+		// promoted chunk; the insert is an idempotent upsert.
+		dataBytes = h.insertInner(key, value)
+	}
 	h.Rec.RecordOp(stats.OpInsert, h.C.Now()-t0)
 	h.Rec.WriteRoundTrips.Record(int(h.C.M.OpRoundTrips))
 	h.Rec.WriteSizes.Record(dataBytes)
@@ -35,6 +40,12 @@ func (h *Handle) Delete(key uint64) bool {
 	h.C.M.BeginOp()
 	t0 := h.C.Now()
 	found, dataBytes := h.deleteInner(key)
+	for h.takeRedo() {
+		// A failover swallowed the commit: nothing durable changed, so the
+		// retry sees the key again (keeping found truthful) and re-deletes.
+		f, db := h.deleteInner(key)
+		found, dataBytes = found || f, db
+	}
 	h.Rec.RecordOp(stats.OpDelete, h.C.Now()-t0)
 	h.Rec.WriteRoundTrips.Record(int(h.C.M.OpRoundTrips))
 	if found {
@@ -51,7 +62,13 @@ func (h *Handle) unlockWrite(g hocl.Guard, pending []rdma.WriteOp) {
 	if pending == nil {
 		pending = h.relWops[:0]
 	}
+	// Mirror the pending write-backs to their chunks' replicas before the
+	// primary commit below: once Unlock returns (and the op can ack), every
+	// replica already carries the write, so a memory-server death at any
+	// later verb boundary loses nothing acked.
+	h.mirror(pending)
 	h.t.locks.Unlock(h.C, g, pending, h.t.cfg.Combine)
+	h.noteMirrorLag()
 }
 
 // unlockWith releases g after posting exactly the given write-backs, built in
@@ -161,11 +178,25 @@ func (h *Handle) splitLeaf(addr rdma.Addr, g hocl.Guard, leaf layout.Leaf, key, 
 			rdma.WriteOp{Addr: addr, Data: leaf.B},
 		)
 	} else {
-		h.C.Write(sibAddr, sib.B)
+		h.writeMirrored(sibAddr, sib.B)
+		if h.redo {
+			// The sibling's chunk lost its server before the copy became
+			// durable: abandon the split with a bare release (nothing has
+			// committed) and leave the flag for the op-level retry.
+			h.unlockWrite(g, nil)
+			h.keepWops(carry)
+			return 0
+		}
 		carry = append(carry, rdma.WriteOp{Addr: addr, Data: leaf.B})
 	}
 	h.unlockWrite(g, carry)
 	h.keepWops(carry)
+	if h.redo {
+		// The leaf's chunk was re-keyed mid-split: the whole doorbell
+		// (earlier queued writes included) vanished, so no separator must be
+		// installed; the op-level retry redoes the split at the promoted leaf.
+		return 0
+	}
 	h.insertParent(sep, sibAddr, 1)
 	return dataBytes
 }
@@ -189,14 +220,23 @@ func (h *Handle) insertParent(sepKey uint64, child rdma.Addr, level uint8) {
 			if f.Mode == layout.Checksum {
 				nr.UpdateChecksum()
 			}
-			h.C.Write(newRootAddr, nr.B)
+			h.writeMirrored(newRootAddr, nr.B)
+			if h.takeRedo() {
+				// The new root's chunk died before the image became durable:
+				// grow it again from a fresh chunk (the allocator abandons
+				// chunks on dead servers).
+				h.refreshRoot()
+				continue
+			}
 			if cluster.CASRoot(h.C, root, newRootAddr, level) {
 				h.cache.SetRoot(newRootAddr, level)
 				return
 			}
 			// Lost the root race: deallocate (clear the free bit, §4.2.4)
-			// and retry against the winner's root.
-			h.C.Write(newRootAddr.Add(layout.AliveOffset), []byte{0})
+			// and retry against the winner's root. A failover eating the
+			// free-bit write only orphans an already-garbage node.
+			h.writeMirrored(newRootAddr.Add(layout.AliveOffset), []byte{0})
+			h.takeRedo()
 			h.refreshRoot()
 			continue
 		}
@@ -227,6 +267,11 @@ func (h *Handle) tryInsertAt(addr rdma.Addr, ce *cache.Entry, sepKey uint64, chi
 			in.UpdateChecksum()
 		}
 		h.unlockWith(g, rdma.WriteOp{Addr: addr, Data: in.B})
+		if h.takeRedo() {
+			// The parent's chunk was re-keyed mid-commit: nothing durable
+			// changed; re-resolve and retry at the promoted parent.
+			return false
+		}
 		// Refresh the cached copy with the post-insert image (replacement by
 		// fence key is O(1)) so the split's parent update never leaves a
 		// stale cached parent behind.
@@ -255,8 +300,19 @@ func (h *Handle) tryInsertAt(addr rdma.Addr, ce *cache.Entry, sepKey uint64, chi
 			rdma.WriteOp{Addr: addr, Data: in.B},
 		)
 	} else {
-		h.C.Write(rightAddr, right.B)
+		h.writeMirrored(rightAddr, right.B)
+		if h.takeRedo() {
+			// Right half's chunk died before the copy was durable: abandon
+			// the split (nothing committed) and retry from fresh steering.
+			h.unlockWrite(g, nil)
+			return false
+		}
 		h.unlockWith(g, rdma.WriteOp{Addr: addr, Data: in.B})
+	}
+	if h.takeRedo() {
+		// The split's commit vanished with its chunk: no durable change;
+		// retry from fresh steering against the promoted node.
+		return false
 	}
 	// Replace the split node's cached copy (its fence range shrank) and
 	// admit the new right half, so traversals steered by the cache see the

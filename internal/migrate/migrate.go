@@ -111,6 +111,7 @@ func Loads(f *rdma.Fabric) []stats.MSLoad {
 			Ops:      s.InboundOps(),
 			ChunkOps: s.ChunkOps(),
 			Draining: s.Draining(),
+			Dead:     s.Dead(),
 		}
 	}
 	return out
@@ -147,7 +148,7 @@ func (e *Engine) DrainServer(ms uint16) (Stats, error) {
 	}
 	alive := 0
 	for _, s := range cl.F.Servers() {
-		if !s.Draining() {
+		if !s.Draining() && !s.Dead() {
 			alive++
 		}
 	}
@@ -198,12 +199,18 @@ func planRebalance(loads []stats.MSLoad, slack float64, maxChunks int) []move {
 		ops      int64
 		chunks   []int64 // remaining per-chunk load
 		draining bool
+		dead     bool
 	}
 	srvs := make([]*srv, len(loads))
 	var total int64
 	targets := 0
 	for i, l := range loads {
-		srvs[i] = &srv{ms: l.MS, ops: l.Ops, chunks: append([]int64(nil), l.ChunkOps...), draining: l.Draining}
+		srvs[i] = &srv{ms: l.MS, ops: l.Ops, chunks: append([]int64(nil), l.ChunkOps...), draining: l.Draining, dead: l.Dead}
+		if l.Dead {
+			// A corpse is neither a migration source (its memory reads as
+			// zeros) nor a target; failover, not migration, owns its chunks.
+			continue
+		}
 		total += l.Ops
 		if !l.Draining {
 			targets++
@@ -219,7 +226,7 @@ func planRebalance(loads []stats.MSLoad, slack float64, maxChunks int) []move {
 		// server furthest above the slack band.
 		var src *srv
 		for _, s := range srvs {
-			if s.draining && s.ops > 0 {
+			if s.draining && !s.dead && s.ops > 0 {
 				if src == nil || s.ops > src.ops {
 					src = s
 				}
@@ -227,7 +234,7 @@ func planRebalance(loads []stats.MSLoad, slack float64, maxChunks int) []move {
 		}
 		if src == nil {
 			for _, s := range srvs {
-				if !s.draining && float64(s.ops) > slack*mean && (src == nil || s.ops > src.ops) {
+				if !s.draining && !s.dead && float64(s.ops) > slack*mean && (src == nil || s.ops > src.ops) {
 					src = s
 				}
 			}
@@ -248,10 +255,10 @@ func planRebalance(loads []stats.MSLoad, slack float64, maxChunks int) []move {
 		if ci < 0 {
 			break
 		}
-		// Coldest non-draining destination.
+		// Coldest live non-draining destination.
 		var dst *srv
 		for _, s := range srvs {
-			if s.draining || s.ms == src.ms {
+			if s.draining || s.dead || s.ms == src.ms {
 				continue
 			}
 			if dst == nil || s.ops < dst.ops {
@@ -296,7 +303,7 @@ func (e *Engine) assignTargets(plan []move) []move {
 	loads := Loads(e.t.Cluster().F)
 	var tgts []stats.MSLoad
 	for _, l := range loads {
-		if !l.Draining {
+		if !l.Draining && !l.Dead {
 			tgts = append(tgts, l)
 		}
 	}
@@ -355,6 +362,15 @@ func (e *Engine) migrateChunk(ck alloc.ChunkID, dstMS uint16, items []core.Chunk
 		var base uint64
 		e.h.C.Call(dstMS, func() { base = srv.Grow() })
 		newBase = rdma.MakeAddr(dstMS, base)
+		// The fresh destination chunk bypassed the allocators, so it must
+		// register its own replica set before the first node copies in —
+		// otherwise every migrated-into chunk would silently lose failover
+		// coverage.
+		alloc.RegisterPlaced(cl.Rep, cl.F.Servers(), alloc.ChunkOf(newBase), cl.ReplicationFactor()-1, func(rms uint16) uint64 {
+			var rbase uint64
+			e.h.C.Call(rms, func() { rbase = cl.F.Servers()[rms].Grow() })
+			return rbase
+		})
 		cl.Fwd.Install(ck, newBase, int(e.h.C.CS.ID), e.h.C.Epoch())
 	}
 	nodeSize := e.t.Config().Format.NodeSize

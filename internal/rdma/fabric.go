@@ -80,6 +80,15 @@ func NewFabricCap(p sim.Params, numMS, maxMS, numCS int) *Fabric {
 		panic(fmt.Sprintf("rdma: max server count %d exceeds the 15-bit id space", maxMS))
 	}
 	f := &Fabric{P: p, Faults: sim.NewFaults(numCS), maxServers: maxMS}
+	// First MS-death listener: gate the dead server's memory before any
+	// later listener (replica promotion) or the triggering verb can run, so
+	// no write lands on a server already declared dead.
+	f.Faults.OnMSDeath(func(ms int, _ int64) {
+		servers := *f.servers.Load()
+		if ms >= 0 && ms < len(servers) {
+			servers[ms].SetDead(true)
+		}
+	})
 	servers := make([]*Server, 0, maxMS)
 	for i := 0; i < numMS; i++ {
 		servers = append(servers, newServer(uint16(i), p))

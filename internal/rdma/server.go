@@ -54,6 +54,14 @@ type Server struct {
 	// its contents elsewhere. Existing addresses stay resolvable forever.
 	draining atomic.Bool
 
+	// dead marks a failed server. One-sided clients never learn of the
+	// failure in-band — their verbs simply stop taking effect: reads
+	// zero-fill (a zeroed buffer fails every consistency check, so readers
+	// chase to a replica), writes and atomics are discarded (a CAS "returns"
+	// 0, so lock paths proceed into a validating read that observes the
+	// death). Addresses stay resolvable so in-flight verbs never fault.
+	dead atomic.Bool
+
 	// inboundOps counts client verbs serviced by this NIC (reads, writes,
 	// atomics, RPCs) — the load signal the migration picker and the elastic
 	// benchmark consume. chunkOps breaks host-memory traffic down by chunk
@@ -90,6 +98,14 @@ func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 
 // Draining reports whether the server is scaling in.
 func (s *Server) Draining() bool { return s.draining.Load() }
+
+// SetDead fails (or revives, in tests) the server's memory: subsequent
+// reads zero-fill and writes/atomics discard. The fault injector's MS-death
+// listener chain calls this before replica promotion runs.
+func (s *Server) SetDead(v bool) { s.dead.Store(v) }
+
+// Dead reports whether the server has failed.
+func (s *Server) Dead() bool { return s.dead.Load() }
 
 // InboundOps returns the number of client verbs this NIC has serviced.
 func (s *Server) InboundOps() int64 { return s.inboundOps.Load() }
@@ -179,6 +195,10 @@ func (s *Server) region(a Addr, n int) (mem []byte, stripes []sync.Mutex, base u
 // copyOut reads n = len(buf) bytes at a into buf with line-granular
 // atomicity, in increasing address order.
 func (s *Server) copyOut(a Addr, buf []byte) {
+	if s.dead.Load() {
+		clear(buf)
+		return
+	}
 	mem, stripes, base := s.region(a, len(buf))
 	forEachLine(base, len(buf), func(lo, hi int, stripe uint64) {
 		mu := &stripes[stripe%uint64(len(stripes))]
@@ -191,6 +211,9 @@ func (s *Server) copyOut(a Addr, buf []byte) {
 // copyIn writes data at a with line-granular atomicity, in increasing
 // address order (real NIC DMA order, which Cell/NAM-DB and Sherman rely on).
 func (s *Server) copyIn(a Addr, data []byte) {
+	if s.dead.Load() {
+		return
+	}
 	mem, stripes, base := s.region(a, len(data))
 	forEachLine(base, len(data), func(lo, hi int, stripe uint64) {
 		mu := &stripes[stripe%uint64(len(stripes))]
@@ -220,6 +243,15 @@ func forEachLine(base uint64, n int, fn func(lo, hi int, line uint64)) {
 func (s *Server) atomic64(a Addr, fn func(old uint64) (new uint64, write bool)) uint64 {
 	if a.Off()%8 != 0 {
 		panic(fmt.Sprintf("rdma: unaligned atomic at %v", a))
+	}
+	if s.dead.Load() {
+		// Dead memory reads as zero and absorbs nothing: the atomic's
+		// "previous value" response is fabricated from that zero (so a CAS
+		// expecting 0 appears to succeed) and any write is discarded — the
+		// acquiring client then proceeds into a validating read that
+		// observes the death and chases to a replica.
+		fn(0)
+		return 0
 	}
 	mem, stripes, base := s.region(a, 8)
 	mu := &stripes[(base/lineSize)%uint64(len(stripes))]

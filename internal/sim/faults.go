@@ -39,7 +39,10 @@ func IsCrash(v any) (Crash, bool) {
 type Faults struct {
 	mu        sync.Mutex
 	cs        []csFault
+	ms        []msFault
+	msArmed   int // servers with an armed kill; keeps OnVerb's scan gated
 	onDeath   []func(cs int, deathV int64)
+	onMSDeath []func(ms int, deathV int64)
 	onRestart []func(cs int)
 
 	// lifecycle serializes a death (flag + listener sweep) against
@@ -62,10 +65,37 @@ type csFault struct {
 	healAtV   int64 // partition: verbs before this virtual time stall until it
 }
 
+// msFault is the fault state of one memory server. Unlike a compute-server
+// crash — which aborts the issuing threads — a memory-server death is
+// silent on the client side: verbs targeting the dead server's memory
+// simply stop taking effect (reads return zeros, writes and atomics are
+// discarded), which is exactly what a one-sided client observes when the
+// remote NIC vanishes. Death takes effect at verb granularity: the verb
+// whose issue triggers an armed kill already sees the server dead.
+type msFault struct {
+	dead     bool
+	deathV   int64 // latest virtual time any verb had reached when it died
+	killAtCS int   // armed verb-indexed kill: trigger on this CS's counter
+	killAtN  int64 // ... when it reaches this count (0 = disarmed)
+	killAtV  int64 // kill at the first verb (any CS) at/after this time (0 = disarmed)
+}
+
+func (s *msFault) armed() bool { return s.killAtN != 0 || s.killAtV != 0 }
+
 // NewFaults creates the injector for numCS compute servers, with no faults
 // armed.
 func NewFaults(numCS int) *Faults {
 	return &Faults{cs: make([]csFault, numCS)}
+}
+
+// ensureMS grows the memory-server table to cover ms. Callers hold f.mu.
+// The fabric adds servers dynamically (scale-out), so the table grows
+// lazily rather than being sized at creation.
+func (f *Faults) ensureMS(ms int) *msFault {
+	for len(f.ms) <= ms {
+		f.ms = append(f.ms, msFault{})
+	}
+	return &f.ms[ms]
 }
 
 // OnDeath registers a listener invoked synchronously (on the crashing
@@ -133,6 +163,102 @@ func (f *Faults) kill(cs int, epoch int64, nowV int64) {
 	for _, fn := range listeners {
 		fn(cs, deathV)
 	}
+}
+
+// OnMSDeath registers a listener invoked synchronously when a memory server
+// dies, before the triggering verb (if any) proceeds. The fabric uses the
+// first slot to gate the dead server's memory; the cluster layer promotes
+// replicas. Listeners run in registration order.
+func (f *Faults) OnMSDeath(fn func(ms int, deathV int64)) {
+	f.mu.Lock()
+	f.onMSDeath = append(f.onMSDeath, fn)
+	f.mu.Unlock()
+}
+
+// KillMS fails memory server ms immediately: every subsequent verb touching
+// its memory is a no-op (reads zero-fill, writes and atomics discard).
+// Returns only after the death listeners (memory gating, replica
+// promotion) have completed.
+func (f *Faults) KillMS(ms int, nowV int64) {
+	f.killMS(ms, nowV)
+}
+
+// KillMSAtCSVerb arms a kill of memory server ms at compute server cs's
+// n-th fabric verb counted from now (n >= 1: the very next verb). The verb
+// that trips the arm already observes the server dead, so the property
+// tests sweep n across every verb of an operation to probe each
+// intermediate state.
+func (f *Faults) KillMSAtCSVerb(ms, cs int, n int64) {
+	f.mu.Lock()
+	s := f.ensureMS(ms)
+	if !s.armed() && !s.dead {
+		f.msArmed++
+	}
+	s.killAtCS, s.killAtN = cs, f.cs[cs].verbs+n
+	f.mu.Unlock()
+}
+
+// KillMSAtTime arms a kill of memory server ms at the first fabric verb
+// (any compute server's) at or after virtual time v. The replica benchmark
+// uses it to land a memory-server death mid-window.
+func (f *Faults) KillMSAtTime(ms int, v int64) {
+	f.mu.Lock()
+	s := f.ensureMS(ms)
+	if !s.armed() && !s.dead {
+		f.msArmed++
+	}
+	s.killAtV = v
+	f.mu.Unlock()
+}
+
+// killMS marks the server dead and runs the MS-death listeners under the
+// lifecycle lock, serialized against CS death sweeps and restarts so
+// promotion never interleaves with an orphan sweep.
+func (f *Faults) killMS(ms int, nowV int64) {
+	f.lifecycle.Lock()
+	defer f.lifecycle.Unlock()
+	f.mu.Lock()
+	s := f.ensureMS(ms)
+	if s.dead {
+		f.mu.Unlock()
+		return
+	}
+	if s.armed() {
+		f.msArmed--
+	}
+	s.dead = true
+	s.killAtCS, s.killAtN, s.killAtV = 0, 0, 0
+	if nowV > s.deathV {
+		s.deathV = nowV
+	}
+	deathV := s.deathV
+	listeners := f.onMSDeath // header copy; registration appends never mutate it
+	f.mu.Unlock()
+	for _, fn := range listeners {
+		fn(ms, deathV)
+	}
+}
+
+// MSAlive reports whether memory server ms is live. Servers beyond the
+// table (never killed) are live.
+func (f *Faults) MSAlive(ms int) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if ms < 0 || ms >= len(f.ms) {
+		return true
+	}
+	return !f.ms[ms].dead
+}
+
+// MSDeathTime returns the dead server's death anchor — the latest virtual
+// time any verb had reached when it died (0 if alive).
+func (f *Faults) MSDeathTime(ms int) int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if ms < 0 || ms >= len(f.ms) || !f.ms[ms].dead {
+		return 0
+	}
+	return f.ms[ms].deathV
 }
 
 // Restart revives the CS under a new epoch. Clients created before the
@@ -261,6 +387,30 @@ func (f *Faults) OnVerb(cs int, epoch int64, nowV int64) (startV, delayNS int64,
 		startV = s.healAtV
 	}
 	delayNS = s.degradeNS
+	var victims [4]int
+	nv := 0
+	if f.msArmed > 0 {
+		// An armed memory-server kill trips on the verb that reaches its
+		// trigger — this verb then already observes the server dead.
+		for i := range f.ms {
+			m := &f.ms[i]
+			if m.dead || !m.armed() {
+				continue
+			}
+			if (m.killAtN != 0 && m.killAtCS == cs && f.cs[cs].verbs >= m.killAtN) ||
+				(m.killAtV != 0 && nowV >= m.killAtV) {
+				if nv < len(victims) {
+					victims[nv] = i
+					nv++
+				}
+			}
+		}
+	}
 	f.mu.Unlock()
+	for i := 0; i < nv; i++ {
+		// Unlike a CS crash, the issuing client survives: the verb proceeds
+		// against the now-dead server and simply has no effect there.
+		f.killMS(victims[i], nowV)
+	}
 	return startV, delayNS, true
 }

@@ -14,7 +14,14 @@ type MSLoad struct {
 	// Draining marks a server being scaled in; pickers treat it as having
 	// no capacity.
 	Draining bool
+	// Dead marks a failed server; pickers and skew math exclude it
+	// entirely — a corpse is neither a source of load nor a target.
+	Dead bool
 }
+
+// eligible reports whether a server participates in balance math: live and
+// not scaling in.
+func (l MSLoad) eligible() bool { return !l.Dead && !l.Draining }
 
 // Sub returns the load delta cur - prev (matched by MS id), the per-window
 // view benchmarks and pickers use. Servers present only in cur keep their
@@ -41,42 +48,55 @@ func SubLoads(cur, prev []MSLoad) []MSLoad {
 	return out
 }
 
-// LoadSkew returns max/mean inbound ops across the servers — 1.0 is a
-// perfectly balanced cluster, N means one server carries the whole load of
-// an N-server cluster. Returns 0 when there is no load.
+// LoadSkew returns max/mean inbound ops across the eligible (live,
+// non-draining) servers — 1.0 is a perfectly balanced cluster, N means one
+// server carries the whole load of an N-server cluster. Dead and draining
+// servers are excluded from both the mean and the max: counting a corpse's
+// zero ops in the mean would inflate the skew of a perfectly balanced
+// cluster and make the migration picker chase an imbalance no live server
+// can fix. Returns 0 when there is no eligible load.
 func LoadSkew(loads []MSLoad) float64 {
 	var total, max int64
+	n := 0
 	for _, l := range loads {
+		if !l.eligible() {
+			continue
+		}
+		n++
 		total += l.Ops
 		if l.Ops > max {
 			max = l.Ops
 		}
 	}
-	if total <= 0 || len(loads) == 0 {
+	if total <= 0 || n == 0 {
 		return 0
 	}
-	mean := float64(total) / float64(len(loads))
+	mean := float64(total) / float64(n)
 	return float64(max) / mean
 }
 
-// LoadMaxMin returns hottest/coldest inbound ops across the servers, with
-// the coldest floored at one op so an idle newcomer reads as a huge skew
-// rather than a division by zero. This is the headline imbalance metric of
-// the elastic benchmark: before rebalancing onto a fresh server it is
-// enormous; after, it approaches 1.
+// LoadMaxMin returns hottest/coldest inbound ops across the eligible
+// servers, with the coldest floored at one op so an idle newcomer reads as
+// a huge skew rather than a division by zero. This is the headline
+// imbalance metric of the elastic benchmark: before rebalancing onto a
+// fresh server it is enormous; after, it approaches 1. Dead and draining
+// servers are excluded — an idle corpse is not a rebalancing target.
 func LoadMaxMin(loads []MSLoad) float64 {
-	if len(loads) == 0 {
-		return 0
-	}
 	var max int64
 	min := int64(-1)
 	for _, l := range loads {
+		if !l.eligible() {
+			continue
+		}
 		if l.Ops > max {
 			max = l.Ops
 		}
 		if min < 0 || l.Ops < min {
 			min = l.Ops
 		}
+	}
+	if min < 0 {
+		return 0
 	}
 	if min < 1 {
 		min = 1

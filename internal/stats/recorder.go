@@ -144,6 +144,20 @@ type Recorder struct {
 	// one-hop forwarding entry to the relocated copy.
 	ForwardHops int64
 
+	// ReplicaWrites counts mirror WRITEs this thread posted to replica
+	// chunks — the write-amplification numerator of the replica benchmark.
+	ReplicaWrites int64
+	// ReplicaLagMaxNS is the worst bounded-lag sample observed: how far a
+	// replica's mirror doorbell completed after the primary's commit (0 when
+	// every mirror landed before its ack).
+	ReplicaLagMaxNS int64
+	// Failovers counts chunk promotions (replica became primary after a
+	// memory-server death) attributed to this recorder's window.
+	Failovers int64
+	// ReReplications counts chunks the background re-replicator restored to
+	// full replication factor.
+	ReReplications int64
+
 	// FinishV is the thread's virtual clock when it finished its share of
 	// the workload; the experiment makespan is the max across threads.
 	FinishV int64
@@ -279,6 +293,12 @@ func (r *Recorder) Merge(other *Recorder) {
 	r.Reclaims += other.Reclaims
 	r.SplitRepairs += other.SplitRepairs
 	r.ForwardHops += other.ForwardHops
+	r.ReplicaWrites += other.ReplicaWrites
+	if other.ReplicaLagMaxNS > r.ReplicaLagMaxNS {
+		r.ReplicaLagMaxNS = other.ReplicaLagMaxNS
+	}
+	r.Failovers += other.Failovers
+	r.ReReplications += other.ReReplications
 	if other.FinishV > r.FinishV {
 		r.FinishV = other.FinishV
 	}

@@ -1,6 +1,7 @@
 package sherman
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -287,6 +288,142 @@ func TestDifferentialOracleTinyCache(t *testing.T) {
 					t.Error("2-entry cache saw no evictions")
 				}
 			})
+		})
+	}
+}
+
+// runFailoverOracle drives one oracle stream on compute server 0 while a
+// churn goroutine on compute server 1 repeatedly kills a memory server,
+// brings a replacement in, and re-replicates back to full redundancy. Every
+// in-flight operation may therefore land mid-failover — its chunk re-keyed
+// to a promoted replica between the validating read and the commit — and
+// must still return exactly the model's answer.
+func runFailoverOracle(t *testing.T, opts TreeOptions, seed uint64, depth int) {
+	rng := testutil.RNG(seed)
+	c, err := NewCluster(ClusterConfig{
+		MemoryServers: 3, ComputeServers: 2, MaxMemoryServers: 6,
+		ReplicationFactor: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := testTree(t, c, opts)
+	s, err := tree.SessionAt(0, PipelineDepth(depth))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A bulkloaded band above the oracle keyspace stripes primary chunks
+	// across every memory server (the bulk allocator round-robins chunk
+	// placement), so each victim hosts data whose failover must actually
+	// promote replicas — a bare CreateTree could leave the victims empty.
+	// The band is in the model, so scans running off the oracle region
+	// still compare exactly.
+	const keySpace = 400
+	model := testutil.NewModel()
+	band := make([]KV, 3000)
+	for i := range band {
+		k := uint64(2*keySpace + 1 + i)
+		band[i] = KV{Key: k, Value: testutil.BulkValue(k)}
+		model.Put(k, band[i].Value)
+	}
+	if err := tree.Bulkload(band); err != nil {
+		t.Fatal(err)
+	}
+
+	reReplicateAll := func() error {
+		for i := 0; i < 64; i++ {
+			if _, err := tree.ReReplicate(1); err != nil {
+				return err
+			}
+			if c.ReplicationStats().UnderReplicated == 0 {
+				return nil
+			}
+		}
+		return fmt.Errorf("re-replication never drained: %d chunks still under-replicated",
+			c.ReplicationStats().UnderReplicated)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Kill a server, add a replacement, repair to full redundancy,
+		// repeat. The first cycle runs unconditionally so every run
+		// exercises at least one failover; MS 0 (superblock) is never a
+		// victim, and each kill is fully repaired before the next, so no
+		// chunk ever loses its last copy.
+		for kill := 0; kill < 3; kill++ {
+			victim := kill + 1 // replacements appear as MS 3, 4, 5
+			if err := c.KillMemoryServer(victim); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := c.AddMemoryServer(); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := reReplicateAll(); err != nil {
+				t.Error(err)
+				return
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+
+	oracleStream(t, s, model, rng, keySpace, 600)
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	checkFinalState(t, s, model, keySpace)
+	if err := tree.Validate(); err != nil {
+		t.Fatalf("validate after failovers: %v", err)
+	}
+	st := c.ReplicationStats()
+	if st.LostChunks != 0 {
+		t.Fatalf("%d chunks lost every copy", st.LostChunks)
+	}
+	if st.Failovers < 1 {
+		t.Fatal("no failover ever fired")
+	}
+	if st.UnderReplicated != 0 {
+		t.Fatalf("%d chunks left under-replicated", st.UnderReplicated)
+	}
+}
+
+// TestDifferentialOracleUnderFailover is the replicated differential oracle:
+// random mixed streams at factor 2 while memory servers die, get replaced,
+// and re-replicate underneath — the model must agree on every result, the
+// final state must match key by key, and no chunk may ever lose both copies.
+func TestDifferentialOracleUnderFailover(t *testing.T) {
+	for _, opts := range gridOptions() {
+		opts := opts
+		t.Run(opts.Advanced.name(), func(t *testing.T) {
+			testutil.RunSeeds(t, 3, func(t *testing.T, seed uint64) {
+				runFailoverOracle(t, opts, seed, []int{1, 4, 8}[(seed-1)%3])
+			})
+		})
+	}
+}
+
+// TestDifferentialOracleUnderFailoverPoison re-runs the failover oracle once
+// per grid cell with buffer poisoning on, so a mirror or redo path holding a
+// recycled buffer past its release fails the model comparison
+// deterministically (and the -race CI run doubles as the reuse detector).
+func TestDifferentialOracleUnderFailoverPoison(t *testing.T) {
+	for i, opts := range gridOptions() {
+		opts := opts
+		opts.Poison = true
+		i := i
+		t.Run(opts.Advanced.name(), func(t *testing.T) {
+			runFailoverOracle(t, opts, uint64(i)+201, []int{1, 4, 8}[i%3])
 		})
 	}
 }

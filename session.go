@@ -483,6 +483,9 @@ func (s *Session) Stats() SessionStats {
 		PipelinedOps:       r.PipelinedOps,
 		MeanOutstanding:    r.PipelineDepths.Mean(),
 		LatencyHidingRatio: r.HidingRatio(),
+
+		ReplicaWrites:   r.ReplicaWrites,
+		ReplicaLagMaxNS: r.ReplicaLagMaxNS,
 	}
 }
 
@@ -538,6 +541,14 @@ type SessionStats struct {
 	// their execution intervals: 1.0 means fully serialized, depth-D
 	// pipelines approach D. 0 means nothing was pipelined.
 	LatencyHidingRatio float64
+
+	// ReplicaWrites counts mirror WRITEs this session posted to replica
+	// chunks (zero with replication off); ReplicaWrites over Inserts+Deletes
+	// approximates the replication write amplification. ReplicaLagMaxNS is
+	// the worst observed gap between a primary commit and the completion of
+	// its mirror doorbell — the bounded replica lag (DESIGN.md §12).
+	ReplicaWrites   int64
+	ReplicaLagMaxNS int64
 }
 
 // Cursor iterates the tree in ascending key order, refilling leaf-at-a-time
