@@ -56,7 +56,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (table1,table2,fig2,fig3,fig10,fig11,fig12,fig13,fig14,fig15a,fig15b,fig15c,fig16,extras,ycsb,batch,pipeline,faults,elastic,cache,alloc,replica,all,quick)")
+		exp      = flag.String("exp", "all", "experiment id (table1,table2,fig2,fig3,fig10,fig11,fig12,fig13,fig14,fig15a,fig15b,fig15c,fig16,extras,ycsb,batch,pipeline,faults,elastic,cache,alloc,replica,tcp,all,quick; tcp spawns real shermand processes and is not part of all)")
 		keys     = flag.Uint64("keys", 0, "key-space size (0 = scale default)")
 		windowMS = flag.Int("window", 0, "virtual measurement window in ms (0 = scale default)")
 		warmup   = flag.Int("warmup", 0, "warmup ops per thread (0 = scale default)")
@@ -251,6 +251,20 @@ func run(id string, s bench.Scale, col *bench.Collector, report *bench.Report, c
 		t, r := bench.Replica(s, col)
 		tables = []*bench.Table{t}
 		*replicaRes = r
+	case "tcp":
+		// The differential is its own hard gate: any oracle mismatch (or a
+		// failed launch) fails the run regardless of -check.
+		t, err := runTCPDifferential()
+		if t != nil {
+			tables = []*bench.Table{t}
+		}
+		if err != nil {
+			for _, t := range tables {
+				fmt.Println(t)
+			}
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
 		os.Exit(2)

@@ -1,0 +1,50 @@
+// Command shermand is a Sherman memory server: one OS process exposing
+// host-memory chunks, NIC on-chip lock memory, and the atomic verbs over
+// the TCP transport's length-prefixed binary protocol (see
+// internal/transport/tcp).
+//
+// Run one process per memory server:
+//
+//	shermand -listen 127.0.0.1:0
+//
+// The process prints "LISTEN <addr>" once bound (with :0 the kernel picks
+// the port) and serves until it receives a Shutdown frame, SIGINT, or
+// SIGTERM.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"sherman/internal/transport/tcp"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:0", "address to listen on (:0 picks a free port)")
+	flag.Parse()
+
+	s, err := tcp.NewServer(*listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shermand:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("LISTEN %s\n", s.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		select {
+		case <-sig:
+			s.Close()
+		case <-s.Done():
+		}
+	}()
+
+	if err := s.Serve(); err != nil {
+		fmt.Fprintln(os.Stderr, "shermand:", err)
+		os.Exit(1)
+	}
+}

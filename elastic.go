@@ -22,6 +22,9 @@ import (
 // capacity is fixed at creation (MaxMemoryServers); beyond it an error is
 // returned.
 func (c *Cluster) AddMemoryServer() (int, error) {
+	if c.cl == nil {
+		return 0, fmt.Errorf("%w: AddMemoryServer", ErrSimOnly)
+	}
 	return c.cl.AddMS()
 }
 
@@ -49,6 +52,9 @@ func (t *Tree) Rebalance(via int) (MigrationStats, error) {
 // remains addressable (migrated originals stay as forwarding tombstones)
 // but holds no live data when the call returns.
 func (c *Cluster) DrainMemoryServer(ms, via int) (MigrationStats, error) {
+	if c.cl == nil {
+		return MigrationStats{}, fmt.Errorf("%w: DrainMemoryServer", ErrSimOnly)
+	}
 	if ms < 0 || ms >= c.cl.NumMS() {
 		return MigrationStats{}, fmt.Errorf("sherman: memory server %d not in [0,%d)", ms, c.cl.NumMS())
 	}
@@ -79,6 +85,11 @@ func (c *Cluster) DrainMemoryServer(ms, via int) (MigrationStats, error) {
 // runMigration runs fn over a fresh engine on compute server via,
 // converting a mid-migration crash of via into ErrSessionDead.
 func (t *Tree) runMigration(via int, fn func(*migrate.Engine) error) (err error) {
+	if t.c.cl == nil {
+		// Live migration leans on the simulator's load accounting and
+		// failover hooks; over a real network it is future work.
+		return fmt.Errorf("%w: migration", ErrSimOnly)
+	}
 	if via < 0 || via >= t.c.ComputeServers() {
 		return fmt.Errorf("%w: %d not in [0,%d)", ErrBadComputeServer, via, t.c.ComputeServers())
 	}
@@ -98,7 +109,7 @@ func (t *Tree) runMigration(via int, fn func(*migrate.Engine) error) (err error)
 	// Anchor the clock at the cluster's latest verb time so the reported
 	// VirtualNS measures the migration, not the cluster's age (see
 	// Tree.Recover).
-	h.C.Clk.Set(t.c.cl.Faults().LatestVerbV())
+	t.c.anchorClock(h)
 	return fn(migrate.New(h, migrate.Options{}))
 }
 
@@ -160,6 +171,9 @@ type MemoryServerLoad struct {
 
 // MemoryServerLoads snapshots every memory server's inbound load.
 func (c *Cluster) MemoryServerLoads() []MemoryServerLoad {
+	if c.cl == nil {
+		return nil // NIC load accounting is sim-only
+	}
 	loads := migrate.Loads(c.cl.F)
 	out := make([]MemoryServerLoad, len(loads))
 	for i, l := range loads {
@@ -182,5 +196,5 @@ func LoadSkew(loads []MemoryServerLoad) float64 {
 // currently installed — nonzero while (or after) migrations have moved
 // data; entries of crashed migrations drain after Recover.
 func (c *Cluster) ForwardingEntries() int {
-	return c.cl.Fwd.Len()
+	return c.be.Forwarding().Len()
 }

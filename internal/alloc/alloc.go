@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"sherman/internal/rdma"
+	"sherman/internal/transport"
 )
 
 // nodeAlign keeps every allocation 64-byte aligned so that node headers and
@@ -25,13 +26,20 @@ type Stats struct {
 	Nodes atomic.Int64
 }
 
+// placement is the topology view chunk placement decisions run over: both a
+// client Transport and a raw Grower satisfy it.
+type placement interface {
+	NumMS() int
+	MSUsable(ms int) bool
+}
+
 // ThreadAllocator is the per-client-thread stage-two allocator. It selects
 // memory servers round-robin per chunk (§4.2.4; the paper notes round-robin
 // may imbalance accesses and leaves that for future work). The server set is
 // re-read at every refill, so chunks start landing on scaled-out servers as
 // soon as they join, and never on draining ones.
 type ThreadAllocator struct {
-	c      *rdma.Client
+	c      transport.Transport
 	stats  *Stats
 	nextMS int
 
@@ -52,8 +60,8 @@ func (a *ThreadAllocator) SetReplication(rep *ReplicaMap, factor int) {
 // NewThreadAllocator creates an allocator for client thread c. startMS
 // staggers the round-robin origin so threads do not stampede one server;
 // pass e.g. the thread index.
-func NewThreadAllocator(c *rdma.Client, stats *Stats, startMS int) *ThreadAllocator {
-	numMS := c.F.NumServers()
+func NewThreadAllocator(c transport.Transport, stats *Stats, startMS int) *ThreadAllocator {
+	numMS := c.NumMS()
 	return &ThreadAllocator{
 		c:      c,
 		stats:  stats,
@@ -69,13 +77,11 @@ func (a *ThreadAllocator) Alloc(size int) rdma.Addr {
 		panic(fmt.Sprintf("alloc: bad allocation size %d", size))
 	}
 	sz := (uint64(size) + nodeAlign - 1) &^ (nodeAlign - 1)
-	if a.rem > 0 {
-		if s := a.c.F.Servers()[a.cur.MS()]; s.Draining() || s.Dead() {
-			// The current chunk's server started draining or died: abandon
-			// the remainder so no new node lands on a server being scaled in
-			// (or on dead memory that discards every write).
-			a.rem = 0
-		}
+	if a.rem > 0 && !a.c.MSUsable(int(a.cur.MS())) {
+		// The current chunk's server started draining or died: abandon
+		// the remainder so no new node lands on a server being scaled in
+		// (or on dead memory that discards every write).
+		a.rem = 0
 	}
 	for a.rem < sz {
 		// A refill can yield slightly less than a full chunk (the nil-address
@@ -92,13 +98,9 @@ func (a *ThreadAllocator) Alloc(size int) rdma.Addr {
 // refill obtains a new chunk from the next non-draining memory server in
 // round-robin order via the memory thread RPC.
 func (a *ThreadAllocator) refill() {
-	servers := a.c.F.Servers()
-	ms := uint16(nextPlacement(servers, &a.nextMS))
-	var base uint64
-	a.c.Call(ms, func() {
-		base = servers[ms].Grow()
-	})
-	if servers[ms].Dead() {
+	ms := uint16(nextPlacement(a.c, &a.nextMS))
+	base := a.c.GrowChunk(ms)
+	if !a.c.MSAlive(int(ms)) {
 		// The server died during (or just before) the growth RPC. A chunk
 		// born on dead memory would discard every write, and the failover
 		// sweep that promotes registered chunks has already run — so discard
@@ -111,14 +113,8 @@ func (a *ThreadAllocator) refill() {
 	a.stats.Chunks.Add(1)
 	if a.rep != nil && a.rf > 1 {
 		ck := ChunkID{MS: ms, Index: base / rdma.DefaultChunkSize}
-		a.rep.Register(ck, placeReplicas(servers, ms, a.rf-1, func(rms uint16) uint64 {
-			var rbase uint64
-			a.c.Call(rms, func() {
-				rbase = servers[rms].Grow()
-			})
-			return rbase
-		})...)
-		if servers[ms].Dead() {
+		a.rep.Register(ck, placeReplicas(a.c, ms, a.rf-1, a.c.GrowChunk)...)
+		if !a.c.MSAlive(int(ms)) {
 			// Died between the liveness check above and registration: the
 			// failover sweep may have missed this chunk. Nothing was carved
 			// from it yet — drop the registration (a no-op if the sweep did
@@ -136,13 +132,14 @@ func (a *ThreadAllocator) refill() {
 // chosen server (RPC-timed or raw, per caller). Fewer than want servers
 // qualifying yields an under-replicated chunk the background re-replicator
 // repairs once capacity appears.
-func placeReplicas(servers []*rdma.Server, ms uint16, want int, grow func(uint16) uint64) []rdma.Addr {
+func placeReplicas(view placement, ms uint16, want int, grow func(uint16) uint64) []rdma.Addr {
 	var bases []rdma.Addr
-	cursor := (int(ms) + 1) % len(servers)
-	for i := 0; i < len(servers) && len(bases) < want; i++ {
+	n := view.NumMS()
+	cursor := (int(ms) + 1) % n
+	for i := 0; i < n && len(bases) < want; i++ {
 		rms := cursor
-		cursor = (cursor + 1) % len(servers)
-		if rms == int(ms) || servers[rms].Draining() || servers[rms].Dead() {
+		cursor = (cursor + 1) % n
+		if rms == int(ms) || !view.MSUsable(rms) {
 			continue
 		}
 		bases = append(bases, rdma.MakeAddr(uint16(rms), grow(uint16(rms))))
@@ -157,24 +154,27 @@ func placeReplicas(servers []*rdma.Server, ms uint16, want int, grow func(uint16
 // registered — the migration engine calls this for fresh forwarding-target
 // chunks, which bypass the allocators, and a reused target is already
 // covered.
-func RegisterPlaced(rep *ReplicaMap, servers []*rdma.Server, ck ChunkID, want int, grow func(uint16) uint64) {
+func RegisterPlaced(rep *ReplicaMap, view interface {
+	NumMS() int
+	MSUsable(ms int) bool
+}, ck ChunkID, want int, grow func(uint16) uint64) {
 	if rep == nil || want <= 0 || rep.Registered(ck) {
 		return
 	}
-	rep.Register(ck, placeReplicas(servers, ck.MS, want, grow)...)
+	rep.Register(ck, placeReplicas(view, ck.MS, want, grow)...)
 }
 
 // nextPlacement advances the round-robin cursor to the next server willing
 // to accept allocations — live and not draining — falling back to plain
 // round-robin when no server qualifies (scale-in must never wedge the
 // allocator).
-func nextPlacement(servers []*rdma.Server, cursor *int) int {
-	n := len(servers)
+func nextPlacement(view placement, cursor *int) int {
+	n := view.NumMS()
 	*cursor %= n
 	for i := 0; i < n; i++ {
 		ms := *cursor
 		*cursor = (*cursor + 1) % n
-		if !servers[ms].Draining() && !servers[ms].Dead() {
+		if view.MSUsable(ms) {
 			return ms
 		}
 	}
@@ -198,7 +198,7 @@ func chunkStart(ms uint16, base uint64) (rdma.Addr, uint64) {
 // memory directly with no virtual-time accounting and no client context.
 // It is not safe for concurrent use.
 type Bulk struct {
-	f     *rdma.Fabric
+	g     transport.Grower
 	next  int
 	cur   []rdma.Addr // per-MS open-chunk cursor
 	rem   []uint64
@@ -215,12 +215,12 @@ func (b *Bulk) SetReplication(rep *ReplicaMap, factor int) {
 	b.rep, b.rf = rep, factor
 }
 
-// NewBulk creates a bulk-load allocator over the fabric.
-func NewBulk(f *rdma.Fabric, stats *Stats) *Bulk {
+// NewBulk creates a bulk-load allocator over the cluster's raw growth view.
+func NewBulk(g transport.Grower, stats *Stats) *Bulk {
 	return &Bulk{
-		f:     f,
-		cur:   make([]rdma.Addr, f.NumServers()),
-		rem:   make([]uint64, f.NumServers()),
+		g:     g,
+		cur:   make([]rdma.Addr, g.NumMS()),
+		rem:   make([]uint64, g.NumMS()),
 		stats: stats,
 	}
 }
@@ -239,24 +239,21 @@ func (b *Bulk) Alloc(size int) rdma.Addr {
 		panic(fmt.Sprintf("alloc: bad bulk allocation size %d", size))
 	}
 	sz := (uint64(size) + nodeAlign - 1) &^ (nodeAlign - 1)
-	servers := b.f.Servers()
-	ms := nextPlacement(servers, &b.next)
+	ms := nextPlacement(b.g, &b.next)
 	for ms >= len(b.cur) {
 		// The fabric grew since this Bulk was created.
 		b.cur = append(b.cur, rdma.NilAddr)
 		b.rem = append(b.rem, 0)
 	}
 	for b.rem[ms] < sz {
-		base := servers[ms].Grow()
+		base := b.g.GrowChunkRaw(uint16(ms))
 		b.cur[ms], b.rem[ms] = chunkStart(uint16(ms), base)
 		if b.stats != nil {
 			b.stats.Chunks.Add(1)
 		}
 		if b.rep != nil && b.rf > 1 {
 			ck := ChunkID{MS: uint16(ms), Index: base / rdma.DefaultChunkSize}
-			b.rep.Register(ck, placeReplicas(servers, uint16(ms), b.rf-1, func(rms uint16) uint64 {
-				return servers[rms].Grow()
-			})...)
+			b.rep.Register(ck, placeReplicas(b.g, uint16(ms), b.rf-1, b.g.GrowChunkRaw)...)
 		}
 	}
 	addr := b.cur[ms]

@@ -184,7 +184,7 @@ func RunElastic(e ElasticExp) ElasticResult {
 	var migr migrate.Stats
 	var migrErr error
 	mops, _, rec := window(func(h *core.Handle, gate *sim.Gate, slot int) {
-		h.C.Clk.Set(startV + e.MeasureNS/3)
+		h.SetClock(startV + e.MeasureNS/3)
 		gate.Sync(slot, h.C.Now())
 		eng := migrate.New(h, migrate.Options{
 			Baseline: baseline,
@@ -261,7 +261,7 @@ func runElasticWindow(e ElasticExp, cl *cluster.Cluster, tr *core.Tree, gens []*
 			slot := parts - 1
 			defer gate.Done(slot)
 			h := tr.NewHandle(0, seed+n)
-			h.C.Clk.Set(startV)
+			h.SetClock(startV)
 			coord(h, gate, slot)
 			ends[slot] = h.C.Now()
 		}()
@@ -273,7 +273,7 @@ func runElasticWindow(e ElasticExp, cl *cluster.Cluster, tr *core.Tree, gens []*
 			defer wg.Done()
 			defer gate.Done(i)
 			h := tr.NewHandle(i%e.NumCS, seed+i)
-			h.C.Clk.Set(startV + int64(i*9973%10_000))
+			h.SetClock(startV + int64(i*9973%10_000))
 			h.Pace = func(v int64) { gate.Sync(i, v) }
 			rec := stats.NewRecorder()
 			rec.StartV = h.C.Now()

@@ -186,7 +186,7 @@ func RunFaults(e FaultExp) FaultResult {
 		}
 		recH := tr.NewHandle(recCS, seed)
 		seed++
-		recH.C.Clk.Set(maxV)
+		recH.SetClock(maxV)
 		r.Repairs, _ = recH.RecoverStructure()
 		r.RecoveryNS = recH.C.Now() - maxV
 		r.ValidateErr = tr.Validate()
@@ -220,7 +220,7 @@ func runFaultRound(e FaultExp, cl *cluster.Cluster, tr *core.Tree, gens []*workl
 			defer wg.Done()
 			defer gate.Done(i)
 			h := tr.NewHandle(i%e.NumCS, seed+i)
-			h.C.Clk.Set(startV + int64(i*9973%10_000))
+			h.SetClock(startV + int64(i*9973%10_000))
 			h.Pace = func(v int64) { gate.Sync(i, v) }
 			rec := stats.NewRecorder()
 			rec.StartV = h.C.Now()
@@ -390,7 +390,7 @@ func midWriteCrashCheck(cfg core.Config) error {
 	// A survivor writing the same leaf must find the orphaned lock and
 	// reclaim it after the lease expires.
 	surv := tr.NewHandle(0, 2)
-	surv.C.Clk.Set(victim.C.Now())
+	surv.SetClock(victim.C.Now())
 	surv.Insert(key, val+1)
 	if got := tr.LockStats().Reclaims.Load(); got < 1 {
 		return fmt.Errorf("survivor write did not reclaim the orphaned lock (reclaims=%d)", got)

@@ -260,12 +260,12 @@ func RunTree(e TreeExp) TreeResult {
 			// key — on real hardware threads are in arbitrary phases when
 			// a measurement window opens.
 			start := maxStart + int64(i*9973%10_000)
-			h.C.Clk.AdvanceTo(start)
+			h.C.AdvanceTo(start)
 			gate.Resume(i, start)
 			rec := stats.NewRecorder()
 			rec.StartV = start
 			h.Rec = rec
-			rt0 := h.C.M.RoundTrips
+			rt0 := h.Metrics().RoundTrips
 			deadline := maxStart + e.MeasureNS
 			for j := 0; h.C.Now() < deadline && j < e.MaxOpsPerThread; j += issue(h, as, g, &sc) {
 				// Pace workers so virtual clocks stay within a bounded
@@ -275,7 +275,7 @@ func RunTree(e TreeExp) TreeResult {
 			if as != nil {
 				as.Flush() // fold outstanding completions into the makespan
 			}
-			rec.RoundTrips = h.C.M.RoundTrips - rt0
+			rec.RoundTrips = h.Metrics().RoundTrips - rt0
 			rec.FinishV = h.C.Now()
 			recs[i] = rec
 		}(i)

@@ -227,7 +227,7 @@ func RunReplica(e ReplicaExp) ReplicaResult {
 	}
 	rh := fx.tr.NewHandle(0, seed)
 	seed++
-	rh.C.Clk.Set(fx.cl.Faults().LatestVerbV())
+	rh.SetClock(fx.cl.Faults().LatestVerbV())
 	t0 := rh.C.Now()
 	for i := 0; ; i++ {
 		st, err := replica.New(rh, replica.Options{MaxChunks: 1 << 20}).ReReplicate()
@@ -249,7 +249,7 @@ func RunReplica(e ReplicaExp) ReplicaResult {
 	// the worker never acked.
 	ch := fx.tr.NewHandle(0, seed)
 	seed++
-	ch.C.Clk.Set(startV)
+	ch.SetClock(startV)
 	for i, cnt := range acked {
 		base := stripeKeyBase(i)
 		for j := int64(0); j < cnt; j++ {
@@ -317,7 +317,7 @@ func runReplicaWindow(e ReplicaExp, fx replicaFixture, startV int64, seed int, a
 			defer wg.Done()
 			defer gate.Done(i)
 			h := fx.tr.NewHandle(i%e.NumCS, seed+i)
-			h.C.Clk.Set(startV + int64(i*9973%10_000))
+			h.SetClock(startV + int64(i*9973%10_000))
 			h.Pace = func(v int64) { gate.Sync(i, v) }
 			rec := stats.NewRecorder()
 			rec.StartV = h.C.Now()

@@ -10,8 +10,10 @@ import (
 	"sync/atomic"
 
 	"sherman/internal/alloc"
+	"sherman/internal/hocl"
 	"sherman/internal/rdma"
 	"sherman/internal/sim"
+	"sherman/internal/transport"
 )
 
 // Superblock layout, at offset 0 of memory server 0. The root pointer is
@@ -196,6 +198,57 @@ func (c *Cluster) NewClient(cs int) *rdma.Client {
 	return c.F.NewClient(cs)
 }
 
+// NewTransport is NewClient through the pluggable verb surface (the
+// core.Backend spelling).
+func (c *Cluster) NewTransport(cs int) transport.Transport { return c.NewClient(cs) }
+
+// NewLockManager builds the HOCL lock manager over the simulated fabric.
+func (c *Cluster) NewLockManager(cfg hocl.Config) *hocl.Manager {
+	return hocl.NewManager(c.F, cfg)
+}
+
+// Forwarding is the chunk forwarding map shared by migration and failover.
+func (c *Cluster) Forwarding() *alloc.Forwarding { return c.Fwd }
+
+// Replicas is the chunk→replicas placement table (nil when replication is
+// off).
+func (c *Cluster) Replicas() *alloc.ReplicaMap { return c.Rep }
+
+// RawWrite stores data at a without timing, mirrored to a's chunk replicas
+// when the cluster replicates — setup-time writes (bulk load, compaction,
+// free bits) must be failover-covered like any client write.
+func (c *Cluster) RawWrite(a rdma.Addr, data []byte) {
+	c.F.Servers()[a.MS()].WriteAt(a.Off(), data)
+	if c.Rep == nil {
+		return
+	}
+	var ts alloc.TargetSet
+	if c.Rep.Targets(alloc.ChunkOf(a), &ts) {
+		inner := a.Off() % rdma.DefaultChunkSize
+		for i := 0; i < ts.N; i++ {
+			ra := ts.Bases[i].Add(inner)
+			c.F.Servers()[ra.MS()].WriteAt(ra.Off(), data)
+		}
+	}
+}
+
+// RawRead loads len(buf) bytes at a without timing, chasing the forwarding
+// map when a's server is dead — so Validate and Stats keep working after a
+// memory-server death, reading the promoted replicas instead.
+func (c *Cluster) RawRead(a rdma.Addr, buf []byte) {
+	for hop := 0; hop < alloc.MaxReplicationFactor; hop++ {
+		if c.F.Faults.MSAlive(int(a.MS())) {
+			break
+		}
+		fwd, ok := c.Fwd.Resolve(a)
+		if !ok {
+			break
+		}
+		a = fwd
+	}
+	c.F.Servers()[a.MS()].ReadAt(a.Off(), buf)
+}
+
 // Kill fails compute server cs: every client thread bound to it aborts with
 // sim.Crash at its next fabric verb, its held locks become reclaimable after
 // the lease expires, and its queued lock waiters are woken and aborted. nowV
@@ -219,7 +272,7 @@ func (c *Cluster) Faults() *sim.Faults { return c.F.Faults }
 
 // NewThreadAllocator pairs a client thread with its stage-two allocator,
 // wired for replica placement when the cluster replicates.
-func (c *Cluster) NewThreadAllocator(cl *rdma.Client, seed int) *alloc.ThreadAllocator {
+func (c *Cluster) NewThreadAllocator(cl transport.Transport, seed int) *alloc.ThreadAllocator {
 	a := alloc.NewThreadAllocator(cl, &c.AllocStats, seed)
 	if c.Rep != nil {
 		a.SetReplication(c.Rep, c.rf)
@@ -250,8 +303,9 @@ func (c *Cluster) SetRoot(root rdma.Addr, level uint8) {
 }
 
 // ReadRoot fetches the current root pointer and level via RDMA_READ on the
-// caller's clock.
-func ReadRoot(cl *rdma.Client) (rdma.Addr, uint8) {
+// caller's clock. It works over any transport: the superblock lives at
+// offset 0 of memory server 0 on every backend.
+func ReadRoot(cl transport.Transport) (rdma.Addr, uint8) {
 	var buf [16]byte
 	cl.Read(SuperAddr(superRootOff), buf[:])
 	root := rdma.Addr(binary.LittleEndian.Uint64(buf[0:]))
@@ -262,7 +316,7 @@ func ReadRoot(cl *rdma.Client) (rdma.Addr, uint8) {
 // CASRoot atomically swaps the root pointer from old to new; the level hint
 // is then updated with a plain WRITE (readers tolerate a stale hint — they
 // validate the fetched node's level field).
-func CASRoot(cl *rdma.Client, old, new rdma.Addr, newLevel uint8) bool {
+func CASRoot(cl transport.Transport, old, new rdma.Addr, newLevel uint8) bool {
 	_, ok := cl.CAS(SuperAddr(superRootOff), uint64(old), uint64(new))
 	if ok {
 		var lv [8]byte

@@ -51,6 +51,15 @@ type Async struct {
 	// dependency-stalled op raises the high mark past a later op's
 	// earlier start.
 	busyLo, busyHi int64
+
+	// runOp/runIssueV/runRes frame the operation runFn executes. runFn is
+	// bound once at construction so Submit passes no per-op closure through
+	// the VirtualTimer interface — an escaping closure would cost an
+	// allocation per pipelined operation (see the alloc gate).
+	runOp     Op
+	runIssueV int64
+	runRes    OpResult
+	runFn     func()
 }
 
 // keyDep is the outstanding-op ordering state of one key.
@@ -66,8 +75,9 @@ type keyDep struct {
 func (h *Handle) NewAsync(depth int) *Async {
 	a := &Async{h: h, lanes: sim.NewLanes(depth), deps: make(map[uint64]keyDep)}
 	if a.lanes.N() > 1 {
-		a.issueNS = h.C.F.P.PipelineIssueNS
+		a.issueNS = h.tm.PipelineIssueNS
 	}
+	a.runFn = func() { a.runRes = a.run(a.runOp, a.runIssueV) }
 	return a
 }
 
@@ -84,7 +94,7 @@ func (a *Async) Submit(op Op) (OpResult, int64) {
 	// Claim the earliest-free lane, waiting for its completion when all
 	// depth lanes are busy.
 	lane, laneDone := a.lanes.Min()
-	h.C.Clk.AdvanceTo(laneDone)
+	h.C.AdvanceTo(laneDone)
 	depthAtIssue := a.lanes.Busy(h.C.Now()) + 1
 	h.C.Step(a.issueNS)
 	issueV := h.C.Now()
@@ -114,8 +124,10 @@ func (a *Async) Submit(op Op) (OpResult, int64) {
 		}
 	}
 
-	var res OpResult
-	done := h.C.OnTimeline(start, func() { res = a.run(op, issueV) })
+	a.runOp, a.runIssueV = op, issueV
+	done := h.onTimeline(start, a.runFn)
+	res := a.runRes
+	a.runRes = OpResult{} // don't pin a scan's KVs past its submission
 	a.lanes.Set(lane, done)
 	a.noteCompletion(op, done)
 	a.recordPipeline(depthAtIssue, start, done)
@@ -128,7 +140,7 @@ func (a *Async) Submit(op Op) (OpResult, int64) {
 // a pipelined client observes (at depth 1 it equals the execution latency).
 func (a *Async) run(op Op, issueV int64) OpResult {
 	h := a.h
-	h.C.M.BeginOp()
+	h.m.BeginOp()
 	switch op.Kind {
 	case stats.OpLookup:
 		v, found := h.lookupInner(op.Key)
@@ -137,13 +149,13 @@ func (a *Async) run(op Op, issueV int64) OpResult {
 	case stats.OpInsert:
 		dataBytes := h.insertInner(op.Key, op.Value)
 		h.Rec.RecordOp(stats.OpInsert, h.C.Now()-issueV)
-		h.Rec.WriteRoundTrips.Record(int(h.C.M.OpRoundTrips))
+		h.Rec.WriteRoundTrips.Record(int(h.m.OpRoundTrips))
 		h.Rec.WriteSizes.Record(dataBytes)
 		return OpResult{}
 	case stats.OpDelete:
 		found, dataBytes := h.deleteInner(op.Key)
 		h.Rec.RecordOp(stats.OpDelete, h.C.Now()-issueV)
-		h.Rec.WriteRoundTrips.Record(int(h.C.M.OpRoundTrips))
+		h.Rec.WriteRoundTrips.Record(int(h.m.OpRoundTrips))
 		if found {
 			h.Rec.WriteSizes.Record(dataBytes)
 		}
@@ -235,13 +247,13 @@ func (a *Async) recordPipeline(depth int, start, done int64) {
 // outstanding completion, after which every submitted result is in the
 // session's past.
 func (a *Async) Flush() {
-	a.h.C.Clk.AdvanceTo(a.lanes.Max())
+	a.h.C.AdvanceTo(a.lanes.Max())
 	clear(a.deps)
 }
 
 // WaitUntil advances the driver clock to the given completion horizon —
 // the timing half of waiting on one future without draining the rest.
-func (a *Async) WaitUntil(done int64) { a.h.C.Clk.AdvanceTo(done) }
+func (a *Async) WaitUntil(done int64) { a.h.C.AdvanceTo(done) }
 
 // Exec applies a mixed batch through the planner (see batch.go) with each
 // planned unit — a leaf group or a scan — running on a lane timeline, so
@@ -270,7 +282,7 @@ func (a *Async) ExecInto(ops []Op, results []OpResult) {
 	clear(results) // a recycled buffer must not leak stale slots (not-found lookups never write theirs)
 	a.Flush()
 	h := a.h
-	h.C.M.BeginOp()
+	h.m.BeginOp()
 	t0 := h.C.Now()
 	scanNS := h.execOps(ops, a, results)
 	a.Flush()
@@ -282,7 +294,7 @@ func (a *Async) ExecInto(ops []Op, results []OpResult) {
 		if lat < 0 {
 			lat = 0
 		}
-		h.Rec.RecordMixedBatch(counts, lat, h.C.M.OpRoundTrips)
+		h.Rec.RecordMixedBatch(counts, lat, h.m.OpRoundTrips)
 	}
 }
 
@@ -294,7 +306,7 @@ func (a *Async) ExecInto(ops []Op, results []OpResult) {
 func (a *Async) unit(write bool, floor int64, fn func()) int64 {
 	h := a.h
 	lane, laneDone := a.lanes.Min()
-	h.C.Clk.AdvanceTo(laneDone)
+	h.C.AdvanceTo(laneDone)
 	depthAtIssue := a.lanes.Busy(h.C.Now()) + 1
 	h.C.Step(a.issueNS)
 	start := h.C.Now()
@@ -304,7 +316,7 @@ func (a *Async) unit(write bool, floor int64, fn func()) int64 {
 	if write && a.barrier > start {
 		start = a.barrier
 	}
-	done := h.C.OnTimeline(start, fn)
+	done := h.onTimeline(start, fn)
 	a.lanes.Set(lane, done)
 	if write && done > a.lastWriteDone {
 		a.lastWriteDone = done
@@ -322,14 +334,14 @@ func (a *Async) writeUnit(floor int64, fn func()) int64 { return a.unit(true, fl
 func (a *Async) scanUnit(fn func()) {
 	h := a.h
 	lane, _ := a.lanes.Min()
-	h.C.Clk.AdvanceTo(a.lanes.Max())
+	h.C.AdvanceTo(a.lanes.Max())
 	depthAtIssue := 1
 	h.C.Step(a.issueNS)
 	start := h.C.Now()
 	if a.barrier > start {
 		start = a.barrier
 	}
-	done := h.C.OnTimeline(start, fn)
+	done := h.onTimeline(start, fn)
 	a.lanes.Set(lane, done)
 	a.barrier = done
 	a.recordPipeline(depthAtIssue, start, done)

@@ -97,7 +97,7 @@ func TestAsyncSameKeyOrdering(t *testing.T) {
 	if gap < 0 {
 		gap = -gap
 	}
-	if gap > h.C.F.P.RTTNS {
+	if gap > h.Timing().RTTNS {
 		t.Errorf("independent gets completed %d ns apart, want overlap (< 1 RTT)", gap)
 	}
 }
@@ -145,7 +145,7 @@ func TestAsyncDepth1MatchesSync(t *testing.T) {
 	a := ha.NewAsync(1)
 
 	s0, a0 := hs.C.Now(), ha.C.Now()
-	srt, art := hs.C.M.RoundTrips, ha.C.M.RoundTrips
+	srt, art := hs.Metrics().RoundTrips, ha.Metrics().RoundTrips
 	keys := []uint64{5, 500, 5000, 9999, 123, 456}
 	for _, k := range keys {
 		hs.Insert(k, k*3)
@@ -163,7 +163,7 @@ func TestAsyncDepth1MatchesSync(t *testing.T) {
 	if sd, ad := hs.C.Now()-s0, ha.C.Now()-a0; sd != ad {
 		t.Errorf("depth-1 pipeline consumed %d virtual ns, sync path %d", ad, sd)
 	}
-	if sr, ar := hs.C.M.RoundTrips-srt, ha.C.M.RoundTrips-art; sr != ar {
+	if sr, ar := hs.Metrics().RoundTrips-srt, ha.Metrics().RoundTrips-art; sr != ar {
 		t.Errorf("depth-1 pipeline used %d round trips, sync path %d", ar, sr)
 	}
 	if ha.Rec.PipelinedOps != 0 {

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"sherman/internal/alloc"
+	"sherman/internal/hocl"
+	"sherman/internal/rdma"
+	"sherman/internal/transport"
+)
+
+// Backend is everything a Tree needs from the deployment hosting it, beyond
+// the per-thread verb surface (transport.Transport) itself: thread and
+// allocator construction, setup-time raw memory access, the compute-side
+// shared state of migration and replication, and lock-manager wiring.
+//
+// Two implementations exist: *cluster.Cluster (the simulated deployment —
+// the default) and the TCP cluster of internal/transport/tcp (real memory-
+// server processes). Core code never type-switches on the backend; the few
+// sim-only features (fault injection, migration orchestration) live behind
+// Tree.Cluster(), which reports nil on a real network.
+type Backend interface {
+	// NewTransport creates one client thread's verb surface, bound to
+	// compute server cs.
+	NewTransport(cs int) transport.Transport
+	// NewThreadAllocator pairs a client thread with its stage-two chunk
+	// allocator (§4.2.4), wired for replica placement when replicating.
+	NewThreadAllocator(c transport.Transport, seed int) *alloc.ThreadAllocator
+	// NewBulk builds a setup-time bulk allocator.
+	NewBulk() *alloc.Bulk
+	// NewLockManager builds the HOCL lock manager over this deployment.
+	NewLockManager(cfg hocl.Config) *hocl.Manager
+	// NumCS is the compute-server count.
+	NumCS() int
+
+	// SetRoot stores the superblock root pointer and level without timing;
+	// bulk load uses it before client threads start.
+	SetRoot(root rdma.Addr, level uint8)
+	// RawWrite stores data at a without timing, mirrored to a's chunk
+	// replicas when replicating — setup-time writes (bulk load, compaction,
+	// free bits) must be failover-covered like any client write.
+	RawWrite(a rdma.Addr, data []byte)
+	// RawRead loads len(buf) bytes at a without timing, chasing the
+	// forwarding map when a's server is dead.
+	RawRead(a rdma.Addr, buf []byte)
+
+	// Forwarding is the chunk forwarding map shared by migration and
+	// failover promotion.
+	Forwarding() *alloc.Forwarding
+	// Replicas is the chunk→replicas placement table; nil when replication
+	// is off.
+	Replicas() *alloc.ReplicaMap
+	// OnChunkInvalidate registers a hook run for every chunk failed over to
+	// a replica, so trees can purge cached pointers into dead memory.
+	OnChunkInvalidate(fn func(alloc.ChunkID))
+	// MSAlive reports whether memory server ms is reachable.
+	MSAlive(ms int) bool
+}

@@ -112,7 +112,7 @@ func (h *Handle) ExecInto(ops []Op, results []OpResult) {
 		panic("core: ExecInto results length mismatch")
 	}
 	clear(results) // a recycled buffer must not leak stale slots (not-found lookups never write theirs)
-	h.C.M.BeginOp()
+	h.m.BeginOp()
 	t0 := h.C.Now()
 	scanNS := h.execOps(ops, nil, results)
 	if counts, points := opCounts(ops); points > 0 {
@@ -122,7 +122,7 @@ func (h *Handle) ExecInto(ops []Op, results []OpResult) {
 		if lat < 0 {
 			lat = 0
 		}
-		h.Rec.RecordMixedBatch(counts, lat, h.C.M.OpRoundTrips)
+		h.Rec.RecordMixedBatch(counts, lat, h.m.OpRoundTrips)
 	}
 }
 
@@ -168,19 +168,22 @@ func (h *Handle) execScan(a *Async, op Op, res *OpResult) int64 {
 	if op.Span <= 0 {
 		return 0
 	}
-	var elapsed int64
-	run := func() {
-		t0 := h.C.Now()
-		res.KVs = h.rangeInner(op.Key, op.Span)
-		elapsed = h.C.Now() - t0
-		h.Rec.RecordOp(stats.OpRange, elapsed)
-	}
+	h.ex.op, h.ex.res = op, res
 	if a != nil {
-		a.scanUnit(run)
+		a.scanUnit(h.ex.scanFn)
 	} else {
-		run()
+		h.execScanBody()
 	}
-	return elapsed
+	h.ex.res = nil // don't pin the caller's results past the unit
+	return h.ex.elapsed
+}
+
+// execScanBody is the scan unit framed by h.ex (bound once as h.ex.scanFn).
+func (h *Handle) execScanBody() {
+	t0 := h.C.Now()
+	h.ex.res.KVs = h.rangeInner(h.ex.op.Key, h.ex.op.Span)
+	h.ex.elapsed = h.C.Now() - t0
+	h.Rec.RecordOp(stats.OpRange, h.ex.elapsed)
 }
 
 // execSegment walks one sorted point-op segment leaf group by leaf group. A
@@ -212,58 +215,65 @@ func (h *Handle) execSegment(a *Async, ops []planOp, results []OpResult) {
 // unconsumed op and, when the group stopped at a covered write, the read
 // unit's completion horizon (the floor for that write's unit).
 func (h *Handle) execReadGroup(a *Async, ops []planOp, start int, results []OpResult) (int, int64) {
-	i := start
-	sameLeafWrite := false
-	run := func() {
-		retries := 0
-		addr, ce := h.locateLeaf(ops[i].key)
-		r, ok := h.seek(ops[i].key, 0, intentRead, addr, ce, h.leafBuf, &retries, nil)
-		if !ok {
-			h.Rec.ReadRetries.Record(retries)
-			i++ // ran off the right edge: the key cannot exist
-			return
-		}
-		h.Rec.BatchLeafGroups++
-		leaf := layout.AsLeaf(r.n)
-		h.C.Step(h.C.F.P.LocalStepNS) // scan the (unsorted) leaf locally
-
-		// Keys whose entry-level check fails re-read via the sequential
-		// path (§4.4) — after the group (the walk shares one leaf buffer),
-		// but before any later group may write to their keys.
-		var torn []planOp
-		for i < len(ops) && ops[i].kind == stats.OpLookup && leafCovers(r.n, ops[i].key) {
-			op := ops[i]
-			if slot, hit := leaf.Find(op.key); hit {
-				if h.t.cfg.Format.Mode == layout.TwoLevel && !leaf.EntryConsistent(slot) {
-					torn = append(torn, op)
-				} else {
-					results[op.pos] = OpResult{Value: leaf.Value(slot), Found: true}
-				}
-			}
-			// Every lookup the group serves shares its validated read, so
-			// each records the group's retry count — keeping the per-lookup
-			// retry distribution (Figure 14a) comparable to the sequential
-			// path. Torn entries record again via their lookupInner re-read.
-			h.Rec.ReadRetries.Record(retries)
-			i++
-		}
-		// Evaluated before the torn re-reads below clobber the shared
-		// leaf buffer r.n views.
-		sameLeafWrite = i < len(ops) && leafCovers(r.n, ops[i].key)
-		for _, op := range torn {
-			v, found := h.lookupInner(op.key)
-			results[op.pos] = OpResult{Value: v, Found: found}
-		}
-	}
+	h.ex.ops, h.ex.results, h.ex.i = ops, results, start
+	h.ex.sameLeafWrite = false
+	var done int64
 	if a == nil {
-		run()
-		return i, 0
+		h.execReadGroupBody()
+	} else {
+		done = a.readUnit(h.ex.readFn)
 	}
-	done := a.readUnit(run)
-	if !sameLeafWrite {
+	if !h.ex.sameLeafWrite {
 		done = 0
 	}
-	return i, done
+	h.ex.ops, h.ex.results = nil, nil
+	return h.ex.i, done
+}
+
+// execReadGroupBody is the read unit framed by h.ex (bound once as
+// h.ex.readFn).
+func (h *Handle) execReadGroupBody() {
+	ops, results, i := h.ex.ops, h.ex.results, h.ex.i
+	retries := 0
+	addr, ce := h.locateLeaf(ops[i].key)
+	r, ok := h.seek(ops[i].key, 0, intentRead, addr, ce, h.leafBuf, &retries, nil)
+	if !ok {
+		h.Rec.ReadRetries.Record(retries)
+		h.ex.i = i + 1 // ran off the right edge: the key cannot exist
+		return
+	}
+	h.Rec.BatchLeafGroups++
+	leaf := layout.AsLeaf(r.n)
+	h.C.Step(h.tm.LocalStepNS) // scan the (unsorted) leaf locally
+
+	// Keys whose entry-level check fails re-read via the sequential
+	// path (§4.4) — after the group (the walk shares one leaf buffer),
+	// but before any later group may write to their keys.
+	var torn []planOp
+	for i < len(ops) && ops[i].kind == stats.OpLookup && leafCovers(r.n, ops[i].key) {
+		op := ops[i]
+		if slot, hit := leaf.Find(op.key); hit {
+			if h.t.cfg.Format.Mode == layout.TwoLevel && !leaf.EntryConsistent(slot) {
+				torn = append(torn, op)
+			} else {
+				results[op.pos] = OpResult{Value: leaf.Value(slot), Found: true}
+			}
+		}
+		// Every lookup the group serves shares its validated read, so
+		// each records the group's retry count — keeping the per-lookup
+		// retry distribution (Figure 14a) comparable to the sequential
+		// path. Torn entries record again via their lookupInner re-read.
+		h.Rec.ReadRetries.Record(retries)
+		i++
+	}
+	// Evaluated before the torn re-reads below clobber the shared
+	// leaf buffer r.n views.
+	h.ex.sameLeafWrite = i < len(ops) && leafCovers(r.n, ops[i].key)
+	h.ex.i = i
+	for _, op := range torn {
+		v, found := h.lookupInner(op.key)
+		results[op.pos] = OpResult{Value: v, Found: found}
+	}
 }
 
 // execWriteGroup locks the leaf covering ops[start] and applies every
@@ -275,18 +285,32 @@ func (h *Handle) execReadGroup(a *Async, ops []planOp, start int, results []OpRe
 // lane timeline (a preceding read unit of the same leaf). Returns the
 // index of the first unconsumed op.
 func (h *Handle) execWriteGroup(a *Async, ops []planOp, start int, results []OpResult, floor int64) int {
+	h.ex.ops, h.ex.results, h.ex.start = ops, results, start
+	if a != nil {
+		a.writeUnit(floor, h.ex.writeFn)
+	} else {
+		h.execWriteGroupBody()
+	}
+	h.ex.ops, h.ex.results = nil, nil
+	return h.ex.i
+}
+
+// execWriteGroupBody is the locked write unit framed by h.ex (bound once as
+// h.ex.writeFn).
+func (h *Handle) execWriteGroupBody() {
 	f := h.t.cfg.Format
-	i := start
-	run := func() {
-	redo:
-		h.arena.reset()
-		i = start
+	ops, results, start := h.ex.ops, h.ex.results, h.ex.start
+	var i int
+redo:
+	h.arena.reset()
+	i = start
+	{
 		addr, g, leaf := h.lockLeafForWrite(ops[i].key)
 		h.Rec.BatchLeafGroups++
 		pending := h.takeWops()
 	group:
 		for {
-			h.C.Step(h.C.F.P.LocalStepNS)
+			h.C.Step(h.tm.LocalStepNS)
 			dirty := false
 			for i < len(ops) && leafCovers(leaf.Node, ops[i].key) {
 				op := ops[i]
@@ -363,12 +387,7 @@ func (h *Handle) execWriteGroup(a *Async, ops []planOp, start int, results []OpR
 			goto redo
 		}
 	}
-	if a != nil {
-		a.writeUnit(floor, run)
-	} else {
-		run()
-	}
-	return i
+	h.ex.i = i
 }
 
 // chainToSibling attempts to continue a locked group into the right sibling

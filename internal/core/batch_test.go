@@ -262,7 +262,7 @@ func TestBatchAmortizesRoundTripsAndLocks(t *testing.T) {
 		for i := range upd {
 			upd[i] = layout.KV{Key: uint64(i + 1), Value: 7}
 		}
-		rt0, acq0 := h.C.M.RoundTrips, tr.LockStats().Acquisitions.Load()
+		rt0, acq0 := h.Metrics().RoundTrips, tr.LockStats().Acquisitions.Load()
 		if batched {
 			h.InsertBatch(upd)
 		} else {
@@ -270,7 +270,7 @@ func TestBatchAmortizesRoundTripsAndLocks(t *testing.T) {
 				h.Insert(kv.Key, kv.Value)
 			}
 		}
-		return h.C.M.RoundTrips - rt0, tr.LockStats().Acquisitions.Load() - acq0
+		return h.Metrics().RoundTrips - rt0, tr.LockStats().Acquisitions.Load() - acq0
 	}
 	seqRT, seqAcq := run(false)
 	batRT, batAcq := run(true)

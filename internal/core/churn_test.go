@@ -182,9 +182,9 @@ func TestUpdateInPlaceWriteSize(t *testing.T) {
 		tr.Bulkload(kvs)
 		h := tr.NewHandle(0, 0)
 		h.Lookup(50) // warm the path
-		before := h.C.M.WriteBytes
+		before := h.Metrics().WriteBytes
 		h.Insert(50, 99) // update in place, no split
-		return h.C.M.WriteBytes - before
+		return h.Metrics().WriteBytes - before
 	}
 
 	shermanBytes := measure(shermanCfg)
@@ -215,9 +215,9 @@ func TestCombineSavesRoundTrip(t *testing.T) {
 		tr.Bulkload(kvs)
 		h := tr.NewHandle(0, 0)
 		h.Lookup(50) // warm the cache so locate costs no round trips
-		h.C.M.BeginOp()
+		h.Metrics().BeginOp()
 		h.Insert(50, 2)
-		return h.C.M.OpRoundTrips
+		return h.Metrics().OpRoundTrips
 	}
 	with := measure(true)
 	without := measure(false)
@@ -253,9 +253,9 @@ func TestHandoverSavesRoundTrip(t *testing.T) {
 			h := tr.NewHandle(0, th)
 			h.Lookup(5)
 			for i := 0; i < 500; i++ {
-				h.C.M.BeginOp()
+				h.Metrics().BeginOp()
 				h.Insert(5, uint64(i))
-				if h.C.M.OpRoundTrips == 2 {
+				if h.Metrics().OpRoundTrips == 2 {
 					sawTwoRT.Store(true)
 				}
 			}
@@ -405,9 +405,9 @@ func TestStaleTopCacheFlushed(t *testing.T) {
 	// First lookup in the grown region pays sibling hops and triggers the
 	// flush; a subsequent lookup must be near-minimal again.
 	reader.Lookup(4900)
-	reader.C.M.BeginOp()
+	reader.Metrics().BeginOp()
 	reader.Lookup(4901)
-	if rt := reader.C.M.OpRoundTrips; rt > 6 {
+	if rt := reader.Metrics().OpRoundTrips; rt > 6 {
 		t.Errorf("post-flush lookup took %d round trips; stale steering persists", rt)
 	}
 }

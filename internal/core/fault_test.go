@@ -183,7 +183,7 @@ func TestCrashAtEveryVerb(t *testing.T) {
 					}
 
 					surv := tr.NewHandle(0, 2)
-					surv.C.Clk.Set(victim.C.Now())
+					surv.SetClock(victim.C.Now())
 
 					// Invisible or fully applied, never torn.
 					got, ok := surv.Lookup(sc.key)
@@ -262,7 +262,7 @@ func TestReclaimCountsAndLeaseExpiry(t *testing.T) {
 			t.Fatalf("%s: lease expiries = %d, want 1", faultCfgName(cfg), got)
 		}
 		surv := tr.NewHandle(0, 2)
-		surv.C.Clk.Set(victim.C.Now())
+		surv.SetClock(victim.C.Now())
 		surv.Insert(sc.key, 2)
 		if got := tr.LockStats().Reclaims.Load(); got != 1 {
 			t.Fatalf("%s: reclaims = %d, want 1", faultCfgName(cfg), got)

@@ -9,15 +9,27 @@ import (
 	"sherman/internal/layout"
 	"sherman/internal/rdma"
 	"sherman/internal/stats"
+	"sherman/internal/transport"
 )
 
 // Handle is one client thread's interface to the tree. Handles are not safe
 // for concurrent use; create one per goroutine.
 type Handle struct {
 	t     *Tree
-	C     *rdma.Client
+	C     transport.Transport
 	alloc *alloc.ThreadAllocator
 	cache *cache.Cache
+
+	// Flat views of the transport, cached at creation so the hot path pays
+	// no repeated interface calls: m is the verb-counter block (stable
+	// pointer), tm the cost-constant snapshot, vt the virtual-time
+	// capability (nil on real transports — every use degrades gracefully),
+	// fwd/rep the backend's migration and replication state.
+	m   *transport.Metrics
+	tm  transport.Timing
+	vt  transport.VirtualTimer
+	fwd *alloc.Forwarding
+	rep *alloc.ReplicaMap
 
 	// Rec accumulates this thread's measurements.
 	Rec *stats.Recorder
@@ -78,6 +90,26 @@ type Handle struct {
 	// the op must retry through the promoted chunk before acking.
 	redo bool
 
+	// ex frames the batch planner's current unit: the read/write/scan unit
+	// bodies are methods reading these fields, with their func values bound
+	// once at creation, so the planner passes no per-unit closure through
+	// the VirtualTimer interface (same trick as mirrorFn — an escaping
+	// closure would cost a heap allocation per leaf group; see the alloc
+	// gate).
+	ex struct {
+		ops           []planOp
+		results       []OpResult
+		op            Op
+		res           *OpResult
+		elapsed       int64
+		i             int
+		start         int
+		sameLeafWrite bool
+		scanFn        func()
+		readFn        func()
+		writeFn       func()
+	}
+
 	// poison mirrors Config.Poison: recycled scratch is filled with 0xDB so
 	// reuse-after-release reads deterministic garbage.
 	poison bool
@@ -86,7 +118,7 @@ type Handle struct {
 // NewHandle creates a handle on compute server cs. seed staggers the
 // allocator's round-robin start.
 func (t *Tree) NewHandle(cs int, seed int) *Handle {
-	c := t.cl.NewClient(cs)
+	c := t.cl.NewTransport(cs)
 	h := &Handle{
 		t:       t,
 		C:       c,
@@ -99,15 +131,49 @@ func (t *Tree) NewHandle(cs int, seed int) *Handle {
 		relWops: make([]rdma.WriteOp, 0, 1),
 		poison:  t.cfg.Poison,
 	}
+	h.m = c.Metrics()
+	h.tm = c.Timing()
+	h.vt, _ = c.(transport.VirtualTimer)
+	h.ex.scanFn = h.execScanBody
+	h.ex.readFn = h.execReadGroupBody
+	h.ex.writeFn = h.execWriteGroupBody
+	h.fwd = t.cl.Forwarding()
 	h.arena.poison = t.cfg.Poison
-	if t.cl.Rep != nil {
+	if rep := t.cl.Replicas(); rep != nil {
 		h.replicated = true
+		h.rep = rep
 		h.repWops = make([]rdma.WriteOp, 0, 8)
 		h.repMarks = make([]*atomic.Int64, 0, 8)
 		h.mirrorFn = h.postMirrorGroup
 	}
 	return h
 }
+
+// onTimeline runs fn on a detached timeline starting at start and returns
+// the completion time — the virtual-time overlap trick of the pipelined
+// executor and the mirror engine. On a real transport there is no timeline
+// to detach: fn just runs, and "completion" is the wall clock afterwards.
+func (h *Handle) onTimeline(start int64, fn func()) int64 {
+	if h.vt == nil {
+		fn()
+		return h.C.Now()
+	}
+	return h.vt.OnTimeline(start, fn)
+}
+
+// SetClock forces the thread's clock to v on a virtual transport; real
+// clocks cannot be set and the call is a no-op.
+func (h *Handle) SetClock(v int64) {
+	if h.vt != nil {
+		h.vt.SetClock(v)
+	}
+}
+
+// Metrics exposes the thread's verb counters.
+func (h *Handle) Metrics() *transport.Metrics { return h.m }
+
+// Timing exposes the transport's cost-constant snapshot.
+func (h *Handle) Timing() transport.Timing { return h.tm }
 
 // takeWops returns the emptied write-op scratch for one combined doorbell.
 // The slice is dead once unlockWrite returns; keepWops recycles any growth.
@@ -149,7 +215,6 @@ func (h *Handle) Cache() *cache.Cache { return h.cache }
 // full 4-bit version cycle and must retry). Returns the view and the number
 // of retries performed.
 func (h *Handle) readNode(a rdma.Addr, buf []byte) (layout.Node, int) {
-	p := h.C.F.P
 	retries := 0
 	wrap := 0
 	for {
@@ -157,7 +222,7 @@ func (h *Handle) readNode(a rdma.Addr, buf []byte) (layout.Node, int) {
 		h.C.Read(a, buf)
 		n := layout.ViewNode(h.t.cfg.Format, buf)
 		if !n.Consistent() {
-			if !h.C.F.Faults.MSAlive(int(a.MS())) {
+			if !h.C.MSAlive(int(a.MS())) {
 				// Dead memory zero-fills, so no retry will ever read a
 				// consistent checksum. Return the zeroed view: it fails the
 				// caller's Alive check, which chases to the promoted replica.
@@ -168,8 +233,10 @@ func (h *Handle) readNode(a rdma.Addr, buf []byte) (layout.Node, int) {
 			retries++
 			continue
 		}
-		if h.t.cfg.Format.Mode == layout.TwoLevel &&
-			h.C.Now()-start > p.WraparoundGuardNS && wrap < h.t.cfg.maxWrapRetries() {
+		// A zero guard disables the heuristic (real clocks never re-read the
+		// same 4-bit version within a wrap window).
+		if h.t.cfg.Format.Mode == layout.TwoLevel && h.tm.WraparoundGuardNS > 0 &&
+			h.C.Now()-start > h.tm.WraparoundGuardNS && wrap < h.t.cfg.maxWrapRetries() {
 			wrap++
 			retries++
 			continue
@@ -246,7 +313,7 @@ func (h *Handle) noteSiblingHop(hops *int) {
 
 // Lookup returns the value stored under key.
 func (h *Handle) Lookup(key uint64) (uint64, bool) {
-	h.C.M.BeginOp()
+	h.m.BeginOp()
 	t0 := h.C.Now()
 	val, found := h.lookupInner(key)
 	h.Rec.RecordOp(stats.OpLookup, h.C.Now()-t0)
@@ -264,7 +331,7 @@ func (h *Handle) lookupInner(key uint64) (uint64, bool) {
 			return 0, false // the sibling walk ran off the right edge
 		}
 		leaf := layout.AsLeaf(r.n)
-		h.C.Step(h.C.F.P.LocalStepNS) // scan the (unsorted) leaf locally
+		h.C.Step(h.tm.LocalStepNS) // scan the (unsorted) leaf locally
 		i, found := leaf.Find(key)
 		if !found {
 			return 0, false

@@ -42,7 +42,7 @@ func (t *Tree) Stats() TreeStats {
 func (t *Tree) statsNode(a rdma.Addr, st *TreeStats) {
 	f := t.cfg.Format
 	buf := make([]byte, f.NodeSize)
-	readRaw(t.cl, a, buf)
+	t.cl.RawRead(a, buf)
 	n := layout.ViewNode(f, buf)
 	st.BytesUsed += int64(f.NodeSize)
 	if n.IsLeaf() {
@@ -106,7 +106,7 @@ func (t *Tree) Compact() CompactResult {
 		if t.cfg.Format.Mode == layout.Checksum {
 			leaf.UpdateChecksum()
 		}
-		writeRaw(t.cl, rootAddr, leaf.B)
+		t.cl.RawWrite(rootAddr, leaf.B)
 		t.cl.SetRoot(rootAddr, 0)
 	} else {
 		t.Bulkload(kvs)
@@ -127,7 +127,7 @@ func (t *Tree) Compact() CompactResult {
 func (t *Tree) collect(a rdma.Addr, kvs *[]layout.KV, nodes *[]rdma.Addr) {
 	f := t.cfg.Format
 	buf := make([]byte, f.NodeSize)
-	readRaw(t.cl, a, buf)
+	t.cl.RawRead(a, buf)
 	n := layout.ViewNode(f, buf)
 	*nodes = append(*nodes, a)
 	if n.IsLeaf() {
@@ -147,7 +147,7 @@ func (t *Tree) collect(a rdma.Addr, kvs *[]layout.KV, nodes *[]rdma.Addr) {
 // tombstones that steer stale readers back to the root.
 func (t *Tree) freeNodes(addrs []rdma.Addr) {
 	for _, a := range addrs {
-		writeRaw(t.cl, a.Add(layout.AliveOffset), []byte{0})
+		t.cl.RawWrite(a.Add(layout.AliveOffset), []byte{0})
 	}
 }
 

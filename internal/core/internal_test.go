@@ -35,7 +35,7 @@ func TestTornNodeDetected(t *testing.T) {
 		// Snapshot the node, then simulate a half-applied write: bump the
 		// front version / flip a byte without updating the tail.
 		buf := make([]byte, cfg.Format.NodeSize)
-		readRaw(cl, root, buf)
+		cl.RawRead(root, buf)
 		n := layout.ViewNode(cfg.Format, buf)
 		if !n.Consistent() {
 			t.Fatalf("%s: clean node reports inconsistent", cfg.Name())
@@ -66,7 +66,7 @@ func TestCompactFreesOldNodes(t *testing.T) {
 	tr.Compact()
 
 	buf := make([]byte, cfg.Format.NodeSize)
-	readRaw(cl, oldRoot, buf)
+	cl.RawRead(oldRoot, buf)
 	if layout.ViewNode(cfg.Format, buf).Alive() {
 		t.Error("old root still marked alive after compact")
 	}

@@ -57,11 +57,11 @@ var ErrLostTarget = errors.New("core: migration target lost its server")
 // first kill of a chunk, so the copy is always reachable, and steady-state
 // repointing makes even the single hop transient.
 func (h *Handle) chase(addr rdma.Addr) (rdma.Addr, bool) {
-	fwd, ok := h.t.cl.Fwd.Resolve(addr)
+	fwd, ok := h.fwd.Resolve(addr)
 	if !ok {
 		return rdma.NilAddr, false
 	}
-	h.C.Step(h.C.F.P.LocalStepNS)
+	h.C.Step(h.tm.LocalStepNS)
 	h.Rec.ForwardHops++
 	return fwd, true
 }
@@ -180,7 +180,7 @@ func (h *Handle) repointChild(parentLevel uint8, key uint64, old, new rdma.Addr)
 		return repointStale
 	}
 	in := layout.AsInternal(r.n)
-	h.C.Step(h.C.F.P.LocalStepNS)
+	h.C.Step(h.tm.LocalStepNS)
 	child, idx := in.ChildFor(key)
 	switch child {
 	case old:
@@ -336,9 +336,17 @@ func allZero(b []byte) bool {
 	return true
 }
 
-// Cluster exposes the tree's cluster (forwarding map, fabric, fault
-// injector) to the migration engine and benchmarks.
-func (t *Tree) Cluster() *cluster.Cluster { return t.cl }
+// Cluster exposes the tree's simulated cluster (fabric, fault injector,
+// migration orchestration) to the migration engine and benchmarks. It
+// returns nil on a real-network backend: fault injection and live
+// migration are simulation features, so their callers are sim-only.
+func (t *Tree) Cluster() *cluster.Cluster {
+	cl, _ := t.cl.(*cluster.Cluster)
+	return cl
+}
+
+// Backend exposes the tree's deployment interface.
+func (t *Tree) Backend() Backend { return t.cl }
 
 // InvalidateChunk purges every compute server's cache of entries located
 // in — or steering into — the migrated chunk, so steady-state traversals
@@ -359,6 +367,9 @@ func (t *Tree) InvalidateChunk(ck alloc.ChunkID) int {
 // sweep: the sweep repaired every parent pointer, so nothing references the
 // old addresses anymore.
 func (t *Tree) DrainDeadForwarding() int {
-	faults := t.cl.Faults()
-	return t.cl.Fwd.DropDead(faults.Alive)
+	cl := t.Cluster()
+	if cl == nil {
+		return 0
+	}
+	return cl.Fwd.DropDead(cl.Faults().Alive)
 }

@@ -33,7 +33,7 @@ func (h *Handle) mirror(ops []rdma.WriteOp) {
 		if op.Addr.OnChip() {
 			continue
 		}
-		if !h.t.cl.Rep.Targets(alloc.ChunkOf(op.Addr), &h.repTargets) {
+		if !h.rep.Targets(alloc.ChunkOf(op.Addr), &h.repTargets) {
 			// In a replicated cluster every primary chunk is registered, so a
 			// miss means a failover re-keyed this chunk between the caller's
 			// validating read and now: its server is dead, the primary write
@@ -82,7 +82,7 @@ func (h *Handle) postMirrors() {
 			hi++
 		}
 		h.repLo, h.repHi = posted, hi
-		end := h.C.OnTimeline(start, h.mirrorFn)
+		end := h.onTimeline(start, h.mirrorFn)
 		for i := posted; i < hi; i++ {
 			alloc.NoteWatermark(h.repMarks[i], end)
 		}

@@ -154,7 +154,7 @@ func TestMSKillAtEveryVerb(t *testing.T) {
 						// A repair sweep from the surviving CS restores full
 						// redundancy; the tree stays intact throughout.
 						rh := tr.NewHandle(0, 2)
-						rh.C.Clk.Set(cl.Faults().LatestVerbV())
+						rh.SetClock(cl.Faults().LatestVerbV())
 						st, err := replica.New(rh, replica.Options{MaxChunks: 1 << 20}).ReReplicate()
 						if err != nil {
 							t.Fatalf("%s: re-replicate: %v", tag, err)
@@ -178,7 +178,7 @@ func TestMSKillAtEveryVerb(t *testing.T) {
 func checkMSKillState(t *testing.T, tag string, tr *core.Tree, want map[uint64]uint64) {
 	t.Helper()
 	h := tr.NewHandle(0, 99)
-	h.C.Clk.Set(tr.Cluster().Faults().LatestVerbV())
+	h.SetClock(tr.Cluster().Faults().LatestVerbV())
 	for k, wantV := range want {
 		if got, ok := h.Lookup(k); !ok || got != wantV {
 			t.Fatalf("%s: key %d = (%#x,%v), want (%#x,true)", tag, k, got, ok, wantV)

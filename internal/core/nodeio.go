@@ -194,7 +194,7 @@ func (h *Handle) descend(key uint64, target uint8) (rdma.Addr, *cache.Entry) {
 			if e := h.cache.Deepest(key, target+1, rootLvl); e != nil {
 				// Resume below the deepest cached node of the path: consume
 				// the local copy (no verbs) and jump to its child.
-				h.C.Step(h.C.F.P.LocalStepNS)
+				h.C.Step(h.tm.LocalStepNS)
 				h.Rec.CacheLevelHits[stats.CacheLevelIdx(e.Level())]++
 				if target == 0 && e.Level() == 1 {
 					// The jump hands the caller a leaf address straight from
@@ -279,7 +279,7 @@ func (h *Handle) traverseToLeaf(key uint64) (rdma.Addr, *cache.Entry) {
 // ancestor. The returned cache entry (nil on miss) lets the caller
 // invalidate stale steering.
 func (h *Handle) locateLeaf(key uint64) (rdma.Addr, *cache.Entry) {
-	h.C.Step(h.C.F.P.LocalStepNS)
+	h.C.Step(h.tm.LocalStepNS)
 	if e := h.cache.Lookup(key, 1); e != nil {
 		h.Rec.CacheHits++
 		h.Rec.CacheLevelHits[stats.CacheLevelIdx(1)]++

@@ -24,10 +24,7 @@ import (
 func moveWithoutRepoint(t *testing.T, h *core.Handle, src rdma.Addr, dstMS uint16, owner int) rdma.Addr {
 	t.Helper()
 	cl := h.Tree().Cluster()
-	srv := cl.F.Servers()[dstMS]
-	var base uint64
-	h.C.Call(dstMS, func() { base = srv.Grow() })
-	newBase := rdma.MakeAddr(dstMS, base)
+	newBase := rdma.MakeAddr(dstMS, h.C.GrowChunk(dstMS))
 	ck := alloc.ChunkOf(src)
 	cl.Fwd.Install(ck, newBase, owner, cl.Faults().Epoch(owner))
 	dst := newBase.Add(src.Off() % rdma.DefaultChunkSize)

@@ -21,7 +21,7 @@ const maxScanRestarts = 1 << 20
 // writes (§4.4): each leaf is read consistently, but the scan as a whole is
 // not a snapshot.
 func (h *Handle) Range(from uint64, span int) []layout.KV {
-	h.C.M.BeginOp()
+	h.m.BeginOp()
 	t0 := h.C.Now()
 	out := h.rangeInner(from, span)
 	h.Rec.RecordOp(stats.OpRange, h.C.Now()-t0)
@@ -45,7 +45,7 @@ func (h *Handle) rangeInner(from uint64, span int) []layout.KV {
 		// node yields many at once, fetched with parallel RDMA_READs; a
 		// cache miss falls back to a single traversal.
 		addrs := h.scanAddrs[:0]
-		h.C.Step(h.C.F.P.LocalStepNS)
+		h.C.Step(h.tm.LocalStepNS)
 		e := h.cache.Lookup(cursor, 1)
 		if e != nil {
 			h.Rec.CacheHits++
@@ -134,7 +134,7 @@ func (h *Handle) rangeInner(from uint64, span int) []layout.KV {
 				restart = true
 				break
 			}
-			h.C.Step(h.C.F.P.LocalStepNS) // local sort/scan of the leaf
+			h.C.Step(h.tm.LocalStepNS) // local sort/scan of the leaf
 			for _, kv := range kvs {
 				if kv.Key >= cursor {
 					out = append(out, kv)
@@ -181,7 +181,7 @@ func (h *Handle) scanWalkRight(n layout.Node, buf []byte, cursor uint64, span in
 	if !okc {
 		return false, false, cursor
 	}
-	h.C.Step(h.C.F.P.LocalStepNS)
+	h.C.Step(h.tm.LocalStepNS)
 	for _, kv := range kvs {
 		if kv.Key >= cursor {
 			*out = append(*out, kv)

@@ -5,7 +5,6 @@ import (
 
 	"sherman/internal/alloc"
 	"sherman/internal/cache"
-	"sherman/internal/cluster"
 	"sherman/internal/hocl"
 	"sherman/internal/layout"
 	"sherman/internal/rdma"
@@ -15,7 +14,7 @@ import (
 // All methods on Tree itself are setup-time; concurrent index operations go
 // through per-thread Handles.
 type Tree struct {
-	cl  *cluster.Cluster
+	cl  Backend
 	cfg Config
 
 	locks *hocl.Manager
@@ -26,9 +25,9 @@ type Tree struct {
 }
 
 // New creates an empty tree (a single empty leaf as root) in the cluster.
-func New(cl *cluster.Cluster, cfg Config) *Tree {
+func New(cl Backend, cfg Config) *Tree {
 	t := &Tree{cl: cl, cfg: cfg}
-	t.locks = hocl.NewManager(cl.F, hocl.Config{Mode: cfg.Locks, LocksPerMS: cfg.LocksPerMS})
+	t.locks = cl.NewLockManager(hocl.Config{Mode: cfg.Locks, LocksPerMS: cfg.LocksPerMS})
 	for i := 0; i < cl.NumCS(); i++ {
 		t.caches = append(t.caches, newCSCache(cfg))
 	}
@@ -43,7 +42,7 @@ func New(cl *cluster.Cluster, cfg Config) *Tree {
 	if cfg.Format.Mode == layout.Checksum {
 		leaf.UpdateChecksum()
 	}
-	writeRaw(cl, rootAddr, leaf.B)
+	cl.RawWrite(rootAddr, leaf.B)
 	cl.SetRoot(rootAddr, 0)
 	return t
 }
@@ -68,41 +67,6 @@ func newCSCache(cfg Config) *cache.Cache {
 		NodeSize: cfg.Format.NodeSize,
 		Levels:   cfg.CacheLevels,
 	})
-}
-
-// writeRaw stores data at a without timing, mirrored to a's chunk replicas
-// when the cluster replicates — setup-time writes (bulk load, compaction,
-// free bits) must be failover-covered like any client write.
-func writeRaw(cl *cluster.Cluster, a rdma.Addr, data []byte) {
-	cl.F.Servers()[a.MS()].WriteAt(a.Off(), data)
-	if cl.Rep == nil {
-		return
-	}
-	var ts alloc.TargetSet
-	if cl.Rep.Targets(alloc.ChunkOf(a), &ts) {
-		inner := a.Off() % rdma.DefaultChunkSize
-		for i := 0; i < ts.N; i++ {
-			ra := ts.Bases[i].Add(inner)
-			cl.F.Servers()[ra.MS()].WriteAt(ra.Off(), data)
-		}
-	}
-}
-
-// readRaw loads len(buf) bytes at a without timing, chasing the forwarding
-// map when a's server is dead — so Validate and Stats keep working after a
-// memory-server death, reading the promoted replicas instead.
-func readRaw(cl *cluster.Cluster, a rdma.Addr, buf []byte) {
-	for hop := 0; hop < alloc.MaxReplicationFactor; hop++ {
-		if cl.F.Faults.MSAlive(int(a.MS())) {
-			break
-		}
-		fwd, ok := cl.Fwd.Resolve(a)
-		if !ok {
-			break
-		}
-		a = fwd
-	}
-	cl.F.Servers()[a.MS()].ReadAt(a.Off(), buf)
 }
 
 // Bulkload replaces the tree contents with the given key-value pairs, which
@@ -160,7 +124,7 @@ func (t *Tree) Bulkload(kvs []layout.KV) {
 		if f.Mode == layout.Checksum {
 			leaf.UpdateChecksum()
 		}
-		writeRaw(t.cl, leafAddrs[i], leaf.B)
+		t.cl.RawWrite(leafAddrs[i], leaf.B)
 		bounds = append(bounds, lower)
 	}
 
@@ -206,7 +170,7 @@ func (t *Tree) Bulkload(kvs []layout.KV) {
 			if f.Mode == layout.Checksum {
 				node.UpdateChecksum()
 			}
-			writeRaw(t.cl, newAddrs[i], node.B)
+			t.cl.RawWrite(newAddrs[i], node.B)
 			upAddrs = append(upAddrs, newAddrs[i])
 			upLowers = append(upLowers, lower)
 		}
@@ -227,13 +191,13 @@ func (t *Tree) Validate() error {
 
 func (t *Tree) rawRoot() (rdma.Addr, uint8) {
 	var buf [16]byte
-	t.cl.F.Servers()[0].ReadAt(0, buf[:])
+	t.cl.RawRead(rdma.MakeAddr(0, 0), buf[:])
 	root := rdma.Addr(le64(buf[0:]))
 	// The superblock's level field is only a hint (the pointer CAS and the
 	// hint write are separate verbs; a client can crash between them): the
 	// node's own level field is authoritative.
 	nb := make([]byte, t.cfg.Format.NodeSize)
-	readRaw(t.cl, root, nb)
+	t.cl.RawRead(root, nb)
 	return root, layout.ViewNode(t.cfg.Format, nb).Level()
 }
 
@@ -248,7 +212,7 @@ func le64(b []byte) uint64 {
 func (t *Tree) validateNode(a rdma.Addr, level uint8, lower, upper uint64) error {
 	f := t.cfg.Format
 	buf := make([]byte, f.NodeSize)
-	readRaw(t.cl, a, buf)
+	t.cl.RawRead(a, buf)
 	n := layout.ViewNode(f, buf)
 	if !n.Alive() {
 		return fmt.Errorf("node %v is freed but reachable", a)

@@ -17,7 +17,7 @@ func (h *Handle) Insert(key, value uint64) {
 	if key == 0 {
 		panic("core: key 0 is reserved")
 	}
-	h.C.M.BeginOp()
+	h.m.BeginOp()
 	t0 := h.C.Now()
 	dataBytes := h.insertInner(key, value)
 	for h.takeRedo() {
@@ -26,7 +26,7 @@ func (h *Handle) Insert(key, value uint64) {
 		dataBytes = h.insertInner(key, value)
 	}
 	h.Rec.RecordOp(stats.OpInsert, h.C.Now()-t0)
-	h.Rec.WriteRoundTrips.Record(int(h.C.M.OpRoundTrips))
+	h.Rec.WriteRoundTrips.Record(int(h.m.OpRoundTrips))
 	h.Rec.WriteSizes.Record(dataBytes)
 }
 
@@ -37,7 +37,7 @@ func (h *Handle) Delete(key uint64) bool {
 	if key == 0 {
 		panic("core: key 0 is reserved")
 	}
-	h.C.M.BeginOp()
+	h.m.BeginOp()
 	t0 := h.C.Now()
 	found, dataBytes := h.deleteInner(key)
 	for h.takeRedo() {
@@ -47,7 +47,7 @@ func (h *Handle) Delete(key uint64) bool {
 		found, dataBytes = found || f, db
 	}
 	h.Rec.RecordOp(stats.OpDelete, h.C.Now()-t0)
-	h.Rec.WriteRoundTrips.Record(int(h.C.M.OpRoundTrips))
+	h.Rec.WriteRoundTrips.Record(int(h.m.OpRoundTrips))
 	if found {
 		h.Rec.WriteSizes.Record(dataBytes)
 	}
@@ -84,7 +84,7 @@ func (h *Handle) insertInner(key, value uint64) (dataBytes int64) {
 	h.arena.reset()
 	addr, g, leaf := h.lockLeafForWrite(key)
 	f := h.t.cfg.Format
-	h.C.Step(h.C.F.P.LocalStepNS)
+	h.C.Step(h.tm.LocalStepNS)
 	if f.Mode == layout.TwoLevel {
 		i, found := leaf.Find(key)
 		if !found {
@@ -112,7 +112,7 @@ func (h *Handle) deleteInner(key uint64) (bool, int64) {
 	h.arena.reset()
 	addr, g, leaf := h.lockLeafForWrite(key)
 	f := h.t.cfg.Format
-	h.C.Step(h.C.F.P.LocalStepNS)
+	h.C.Step(h.tm.LocalStepNS)
 	if f.Mode == layout.TwoLevel {
 		i, found := leaf.Find(key)
 		if !found {
@@ -259,7 +259,7 @@ func (h *Handle) tryInsertAt(addr rdma.Addr, ce *cache.Entry, sepKey uint64, chi
 	}
 	addr, g := r.addr, r.g
 	in := layout.AsInternal(r.n)
-	h.C.Step(h.C.F.P.LocalStepNS)
+	h.C.Step(h.tm.LocalStepNS)
 	if in.Insert(sepKey, child) {
 		if f.Mode == layout.TwoLevel {
 			in.BumpNodeVersions()

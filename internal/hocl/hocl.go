@@ -16,7 +16,7 @@ import (
 	"sync/atomic"
 
 	"sherman/internal/rdma"
-	"sherman/internal/sim"
+	"sherman/internal/transport"
 )
 
 // DefaultLocksPerMS is the default GLT size. The paper packs 131,072
@@ -127,7 +127,17 @@ type Manager struct {
 	mode        Mode
 	locksPerMS  int
 	maxHandover int
-	f           *rdma.Fabric
+	f           *rdma.Fabric // nil for a remote manager
+
+	// virtual selects the acquisition protocol. A virtual manager (built by
+	// NewManager over the simulated fabric) serializes each global lock
+	// through its gslot so virtual-time ordering holds regardless of
+	// goroutine scheduling, and requires clients to implement
+	// transport.VirtualTimer. A remote manager (NewRemoteManager) has no
+	// slot state at all: mutual exclusion is exactly the physical CAS on the
+	// lock word, retried over the real network, with lease expiry measured
+	// on the real clock.
+	virtual bool
 
 	// gltHostBase[ms] is the host-memory base offset of ms's lock table
 	// when !mode.OnChip. On-chip GLTs start at on-chip offset 0.
@@ -269,7 +279,7 @@ func NewManager(f *rdma.Fabric, cfg Config) *Manager {
 	if maxHO == 0 {
 		maxHO = DefaultMaxHandover
 	}
-	m := &Manager{mode: cfg.Mode, locksPerMS: n, maxHandover: maxHO, f: f}
+	m := &Manager{mode: cfg.Mode, locksPerMS: n, maxHandover: maxHO, f: f, virtual: true}
 	// Tables are sized for the fabric's memory-server *capacity*, not its
 	// current count, so AddServer can attach servers while clients hold and
 	// contend locks — the slot array and local tables never move.
@@ -293,6 +303,46 @@ func NewManager(f *rdma.Fabric, cfg Config) *Manager {
 	// waiters (woken and aborted); a restart resets the CS's local tables.
 	f.Faults.OnDeath(m.noteDeath)
 	f.Faults.OnRestart(m.resetCS)
+	return m
+}
+
+// NewRemoteManager builds a lock manager for a real-network transport with
+// numMS memory servers and numCS compute servers. There is no fabric and no
+// slot arbitration: the physical lock word is the whole truth, acquired by a
+// plain CAS retry loop. onChipSize is each server's on-chip capacity in
+// bytes (checked against the GLT when Mode.OnChip); growHost reserves the
+// host-memory GLT chunk on one server when !Mode.OnChip.
+func NewRemoteManager(cfg Config, numMS, numCS, onChipSize int, growHost func(ms uint16) uint64) *Manager {
+	if err := cfg.Mode.validate(); err != nil {
+		panic(err)
+	}
+	n := cfg.LocksPerMS
+	if n == 0 {
+		n = DefaultLocksPerMS
+	}
+	maxHO := cfg.MaxHandover
+	if maxHO == 0 {
+		maxHO = DefaultMaxHandover
+	}
+	m := &Manager{mode: cfg.Mode, locksPerMS: n, maxHandover: maxHO}
+	m.gltHostBase = make([]uint64, numMS)
+	if cfg.Mode.OnChip {
+		if need := n * 2; need > onChipSize {
+			panic(fmt.Sprintf("hocl: %d locks need %d B on-chip, NIC has %d B", n, need, onChipSize))
+		}
+	} else {
+		if n*8 > rdma.DefaultChunkSize {
+			panic(fmt.Sprintf("hocl: host GLT of %d locks exceeds one chunk", n))
+		}
+		for ms := 0; ms < numMS; ms++ {
+			m.gltHostBase[ms] = growHost(uint16(ms))
+		}
+	}
+	if cfg.Mode.Local {
+		for i := 0; i < numCS; i++ {
+			m.llts = append(m.llts, newLocalTable(numMS*n))
+		}
+	}
 	return m
 }
 
@@ -372,7 +422,7 @@ func (m *Manager) SameSlot(g Guard, a rdma.Addr) bool {
 // Lock acquires the exclusive lock protecting the object at addr, per the
 // HOCL_Lock pseudo-code (Figure 6): local lock first (queueing locally under
 // contention), then the remote lock in the GLT unless it was handed over.
-func (m *Manager) Lock(c *rdma.Client, addr rdma.Addr) Guard {
+func (m *Manager) Lock(c transport.Transport, addr rdma.Addr) Guard {
 	idx := m.index(addr)
 	return m.LockIdx(c, addr.MS(), idx)
 }
@@ -380,7 +430,7 @@ func (m *Manager) Lock(c *rdma.Client, addr rdma.Addr) Guard {
 // LockIdx acquires GLT slot idx on server ms directly, bypassing hashing.
 // The lock microbenchmarks (Figures 2 and 16) use it to place exactly N
 // distinct locks.
-func (m *Manager) LockIdx(c *rdma.Client, ms uint16, idx int) Guard {
+func (m *Manager) LockIdx(c transport.Transport, ms uint16, idx int) Guard {
 	slot := int(ms)*m.locksPerMS + idx
 	g := Guard{m: m, ms: ms, idx: idx, slot: slot, gaddr: m.gltAddr(ms, idx)}
 	if m.mode.Local {
@@ -400,10 +450,10 @@ func (m *Manager) LockIdx(c *rdma.Client, ms uint16, idx int) Guard {
 
 // llt returns the client's CS-local lock table under the table swap lock
 // (restart replaces a dead CS's table wholesale).
-func (m *Manager) llt(c *rdma.Client) *localTable {
+func (m *Manager) llt(c transport.Transport) *localTable {
 	m.lltMu.Lock()
 	defer m.lltMu.Unlock()
-	return m.llts[c.CS.ID]
+	return m.llts[c.CSID()]
 }
 
 // acquireGlobal acquires the GLT slot: it claims the slot's simulation state
@@ -414,9 +464,13 @@ func (m *Manager) llt(c *rdma.Client) *localTable {
 // holder crashed, the caller instead becomes the slot's reclaimer and steals
 // the lock after the dead holder's lease expires; the return value reports
 // that case.
-func (m *Manager) acquireGlobal(c *rdma.Client, gaddr rdma.Addr, slot int) (reclaimed bool) {
+func (m *Manager) acquireGlobal(c transport.Transport, gaddr rdma.Addr, slot int) (reclaimed bool) {
+	if !m.virtual {
+		return m.acquireGlobalRemote(c, gaddr)
+	}
+	vt := c.(transport.VirtualTimer)
 	s := &m.slots[slot]
-	svc := c.AtomicSvcNS(gaddr)
+	svc := vt.AtomicSvcNS(gaddr)
 	var spinners int
 	var rel int64
 	s.mu.Lock()
@@ -427,21 +481,21 @@ func (m *Manager) acquireGlobal(c *rdma.Client, gaddr rdma.Addr, slot int) (recl
 	// way no doomed waiter is ever stranded in the queue.
 	if !c.Alive() {
 		s.mu.Unlock()
-		panic(sim.Crash{CS: int(c.CS.ID)})
+		panic(transport.Crash{CS: int(c.CSID())})
 	}
 	if s.held {
 		if s.deadCS != 0 {
 			// Orphaned slot with no reclaimer yet: take over directly.
 			deadV := s.deadV
 			s.deadCS, s.deadV = 0, 0
-			s.holderCS = int(c.CS.ID)
+			s.holderCS = int(c.CSID())
 			s.mu.Unlock()
 			m.reclaim(c, gaddr, deadV)
 			return true
 		}
 		// Queue on the slot; the releaser grants to the virtually-earliest
 		// waiter and passes its release timestamp along.
-		w := m.newWaiter(c.Now(), int(c.CS.ID))
+		w := m.newWaiter(c.Now(), int(c.CSID()))
 		s.waiters = append(s.waiters, w)
 		s.noteArrival(w.clock)
 		m.Stats.noteWaiters(len(s.waiters))
@@ -450,7 +504,7 @@ func (m *Manager) acquireGlobal(c *rdma.Client, gaddr rdma.Addr, slot int) (recl
 		m.waiterPool.Put(w) // single grant received; no one else holds w
 		if g.killed {
 			m.Stats.DeadWaiterKills.Add(1)
-			panic(sim.Crash{CS: int(c.CS.ID)})
+			panic(transport.Crash{CS: int(c.CSID())})
 		}
 		if !c.Alive() {
 			// Granted ownership in the race window between the releaser's
@@ -466,8 +520,8 @@ func (m *Manager) acquireGlobal(c *rdma.Client, gaddr rdma.Addr, slot int) (recl
 			if now := c.Now(); now > deathV {
 				deathV = now
 			}
-			m.orphanSlot(slot, int(c.CS.ID), deathV)
-			panic(sim.Crash{CS: int(c.CS.ID)})
+			m.orphanSlot(slot, int(c.CSID()), deathV)
+			panic(transport.Crash{CS: int(c.CSID())})
 		}
 		if g.reclaim {
 			m.reclaim(c, gaddr, g.deadV)
@@ -479,7 +533,7 @@ func (m *Manager) acquireGlobal(c *rdma.Client, gaddr rdma.Addr, slot int) (recl
 	} else {
 		rel = s.relV
 		s.held = true
-		s.holderCS = int(c.CS.ID)
+		s.holderCS = int(c.CSID())
 		s.mu.Unlock()
 		// The lock is free in real time, but the previous virtual hold
 		// window may extend past our clock; spin through the remainder.
@@ -488,20 +542,70 @@ func (m *Manager) acquireGlobal(c *rdma.Client, gaddr rdma.Addr, slot int) (recl
 	// each completing only after the convoy's queued commands drain
 	// (§3.2.2), so the retry cadence stretches with the convoy.
 	backlog := int64(spinners) * svc
-	n := c.ChargeSpin(gaddr, c.Now(), rel, c.F.P.RTTNS+svc+backlog)
+	n := vt.ChargeSpin(gaddr, c.Now(), rel, c.Timing().RTTNS+svc+backlog)
 	m.Stats.GlobalRetries.Add(int64(n))
 
-	id := uint64(c.CS.ID) + 1
+	id := uint64(c.CSID()) + 1
 	var ok bool
 	if m.mode.OnChip {
-		_, ok = c.CAS16Backlog(gaddr, 0, uint16(id), backlog)
+		_, ok = vt.CAS16Backlog(gaddr, 0, uint16(id), backlog)
 	} else {
-		_, ok = c.CASBacklog(gaddr, 0, uint64(id), backlog)
+		_, ok = vt.CASBacklog(gaddr, 0, uint64(id), backlog)
 	}
 	if !ok {
 		panic("hocl: winning CAS failed despite slot serialization")
 	}
 	return false
+}
+
+// acquireGlobalRemote is the real-network acquisition: a plain CAS retry
+// loop on the physical lock word, exactly the spin real hardware performs
+// (§3.2.2's collapse under contention happens for real here — there is no
+// model to bill, the retries themselves are the cost). A stamp that stays
+// unchanged for a full lease is treated as a crashed holder's and stolen,
+// mirroring the simulator's lease-expiry reclamation on the real clock.
+func (m *Manager) acquireGlobalRemote(c transport.Transport, gaddr rdma.Addr) (reclaimed bool) {
+	id := uint64(c.CSID()) + 1
+	lease := c.Timing().LeaseNS
+	var stamp uint64 // last observed holder stamp
+	var since int64  // real time the stamp was first observed
+	for retries := 0; ; retries++ {
+		c.CheckAlive()
+		if retries > 0 {
+			m.Stats.GlobalRetries.Add(1)
+		}
+		var prev uint64
+		var ok bool
+		if m.mode.OnChip {
+			p16, ok16 := c.CAS16(gaddr, 0, uint16(id))
+			prev, ok = uint64(p16), ok16
+		} else {
+			prev, ok = c.CAS(gaddr, 0, id)
+		}
+		if ok {
+			return false
+		}
+		if prev != stamp {
+			stamp, since = prev, c.Now()
+			continue
+		}
+		if lease > 0 && stamp != 0 && c.Now()-since > lease {
+			// The same holder stamp has survived a full lease with no
+			// release: treat the holder as dead and steal the word. A losing
+			// steal means another reclaimer (or a late release) moved it —
+			// restart the observation window on whatever is there now.
+			if m.mode.OnChip {
+				_, ok = c.CAS16(gaddr, uint16(stamp), uint16(id))
+			} else {
+				_, ok = c.CAS(gaddr, stamp, id)
+			}
+			if ok {
+				m.Stats.Reclaims.Add(1)
+				return true
+			}
+			stamp, since = 0, 0
+		}
+	}
 }
 
 // reclaim frees an orphaned GLT slot whose holder crashed: the reclaimer —
@@ -516,18 +620,19 @@ func (m *Manager) acquireGlobal(c *rdma.Client, gaddr rdma.Addr, slot int) (recl
 // exclusive simulation ownership guarantee the observed stamp belongs to a
 // dead client. Reclamation counts as an acquisition; the caller holds the
 // lock when it returns.
-func (m *Manager) reclaim(c *rdma.Client, gaddr rdma.Addr, deadV int64) {
-	p := c.F.P
-	svc := c.AtomicSvcNS(gaddr)
-	expiry := deadV + p.LeaseNS
+func (m *Manager) reclaim(c transport.Transport, gaddr rdma.Addr, deadV int64) {
+	vt := c.(transport.VirtualTimer)
+	tm := c.Timing()
+	svc := vt.AtomicSvcNS(gaddr)
+	expiry := deadV + tm.LeaseNS
 	// Until the lease runs out the reclaimer is just another spinner.
-	n := c.ChargeSpin(gaddr, c.Now(), expiry, p.RTTNS+svc)
+	n := vt.ChargeSpin(gaddr, c.Now(), expiry, tm.RTTNS+svc)
 	m.Stats.GlobalRetries.Add(int64(n))
 
 	// Read-then-CAS, retried: a dead client's final posted verb can still
 	// land (it passed its fault check before the crash flag rose) and
 	// rewrite the word under our read — one more round trip resolves it.
-	id := uint64(c.CS.ID) + 1
+	id := uint64(c.CSID()) + 1
 	for attempt := 0; ; attempt++ {
 		var swapped bool
 		if m.mode.OnChip {
@@ -728,7 +833,7 @@ func (m *Manager) releaseOp(gaddr rdma.Addr) rdma.WriteOp {
 // All writes in pending must target the same memory server as the lock;
 // PostWrites enforces this. Writes to *other* servers (cross-MS split
 // siblings) must be issued by the caller before Unlock, as in Figure 7.
-func (m *Manager) Unlock(c *rdma.Client, g Guard, pending []rdma.WriteOp, combine bool) {
+func (m *Manager) Unlock(c transport.Transport, g Guard, pending []rdma.WriteOp, combine bool) {
 	if g.ll != nil {
 		// Decide the handover before flushing, but do not hold the local
 		// entry's mutex across the flush: flushing issues fabric verbs, and
@@ -756,7 +861,7 @@ func (m *Manager) Unlock(c *rdma.Client, g Guard, pending []rdma.WriteOp, combin
 
 // flush issues the dependent writes and, when releaseGlobal is set, the GLT
 // clear.
-func (m *Manager) flush(c *rdma.Client, g Guard, pending []rdma.WriteOp, combine, releaseGlobal bool) {
+func (m *Manager) flush(c transport.Transport, g Guard, pending []rdma.WriteOp, combine, releaseGlobal bool) {
 	if combine {
 		ops := pending
 		if releaseGlobal {
@@ -774,7 +879,9 @@ func (m *Manager) flush(c *rdma.Client, g Guard, pending []rdma.WriteOp, combine
 			c.Write(op.Addr, op.Data)
 		}
 	}
-	if releaseGlobal {
-		m.releaseSlot(g.slot, c.Now(), int(c.CS.ID))
+	if releaseGlobal && m.virtual {
+		// Remote managers have no slot state: the release WRITE above
+		// cleared the physical word, and that is the whole release.
+		m.releaseSlot(g.slot, c.Now(), int(c.CSID()))
 	}
 }

@@ -4,8 +4,7 @@ import (
 	"runtime"
 	"sync"
 
-	"sherman/internal/rdma"
-	"sherman/internal/sim"
+	"sherman/internal/transport"
 )
 
 // localTable is one compute server's local lock table (LLT): one local lock
@@ -50,11 +49,11 @@ type wake struct {
 // to c's CS; when that CS dies the death sweep (killAll) aborts every
 // queued waiter, and the alive checks below keep doomed threads from
 // queueing after the sweep or spinning forever on verb-free paths.
-func (l *localLock) acquire(c *rdma.Client, waitQueue bool, st *Stats) bool {
+func (l *localLock) acquire(c transport.Transport, waitQueue bool, st *Stats) bool {
 	l.mu.Lock()
 	if !c.Alive() {
 		l.mu.Unlock()
-		panic(sim.Crash{CS: int(c.CS.ID)})
+		panic(transport.Crash{CS: int(c.CSID())})
 	}
 	if !l.held {
 		l.held = true
@@ -62,7 +61,7 @@ func (l *localLock) acquire(c *rdma.Client, waitQueue bool, st *Stats) bool {
 		l.mu.Unlock()
 		// The previous virtual hold window may extend past our clock even
 		// though the lock is free in real time.
-		c.Clk.AdvanceTo(rel)
+		c.AdvanceTo(rel)
 		return false
 	}
 	st.LocalWaits.Add(1)
@@ -72,11 +71,11 @@ func (l *localLock) acquire(c *rdma.Client, waitQueue bool, st *Stats) bool {
 		l.mu.Unlock()
 		w := <-ch
 		if w.killed {
-			panic(sim.Crash{CS: int(c.CS.ID)})
+			panic(transport.Crash{CS: int(c.CSID())})
 		}
 		// Ownership transferred by the releaser; account the wait.
-		c.Clk.AdvanceTo(w.v)
-		c.Step(c.F.P.LocalSpinNS)
+		c.AdvanceTo(w.v)
+		c.Step(c.Timing().LocalSpinNS)
 		return w.handover
 	}
 	// No wait queue: unfair local spinning (the "+Hierarchical structure
@@ -84,14 +83,14 @@ func (l *localLock) acquire(c *rdma.Client, waitQueue bool, st *Stats) bool {
 	l.mu.Unlock()
 	for {
 		c.CheckAlive()
-		c.Step(c.F.P.LocalSpinNS)
+		c.Step(c.Timing().LocalSpinNS)
 		runtime.Gosched()
 		l.mu.Lock()
 		if !l.held {
 			l.held = true
 			rel := l.relV
 			l.mu.Unlock()
-			c.Clk.AdvanceTo(rel)
+			c.AdvanceTo(rel)
 			return false
 		}
 		l.mu.Unlock()

@@ -356,22 +356,15 @@ func (e *Engine) migrateChunk(ck alloc.ChunkID, dstMS uint16, items []core.Chunk
 	// copy into untouched offsets of that same target, whatever server it
 	// sits on. Installing a second target would strand every reference to a
 	// first-generation original.
-	newBase, reused := cl.Fwd.Reuse(ck, int(e.h.C.CS.ID), e.h.C.Epoch())
+	newBase, reused := cl.Fwd.Reuse(ck, int(e.h.C.CSID()), e.h.C.Epoch())
 	if !reused {
-		srv := cl.F.Servers()[dstMS]
-		var base uint64
-		e.h.C.Call(dstMS, func() { base = srv.Grow() })
-		newBase = rdma.MakeAddr(dstMS, base)
+		newBase = rdma.MakeAddr(dstMS, e.h.C.GrowChunk(dstMS))
 		// The fresh destination chunk bypassed the allocators, so it must
 		// register its own replica set before the first node copies in —
 		// otherwise every migrated-into chunk would silently lose failover
 		// coverage.
-		alloc.RegisterPlaced(cl.Rep, cl.F.Servers(), alloc.ChunkOf(newBase), cl.ReplicationFactor()-1, func(rms uint16) uint64 {
-			var rbase uint64
-			e.h.C.Call(rms, func() { rbase = cl.F.Servers()[rms].Grow() })
-			return rbase
-		})
-		cl.Fwd.Install(ck, newBase, int(e.h.C.CS.ID), e.h.C.Epoch())
+		alloc.RegisterPlaced(cl.Rep, e.h.C, alloc.ChunkOf(newBase), cl.ReplicationFactor()-1, e.h.C.GrowChunk)
+		cl.Fwd.Install(ck, newBase, int(e.h.C.CSID()), e.h.C.Epoch())
 	}
 	nodeSize := e.t.Config().Format.NodeSize
 	for _, it := range items {

@@ -107,7 +107,7 @@ func TestMigrationCrashAtEveryVerb(t *testing.T) {
 				// Before recovery the tree must already serve every key —
 				// forwarding keeps killed nodes reachable in one hop.
 				surv := tr.NewHandle(0, 2)
-				surv.C.Clk.Set(victim.C.Now())
+				surv.SetClock(victim.C.Now())
 				for k := uint64(1); k <= keys; k += 13 {
 					if v, ok := surv.Lookup(k); !ok || v != testutil.BulkValue(k) {
 						t.Fatalf("verb %d: pre-recovery Lookup(%d) = (%d,%v)", i, k, v, ok)

@@ -9,75 +9,40 @@
 // observe genuine torn data that the index's version/checksum machinery must
 // catch. Performance is accounted in virtual time via internal/sim; see
 // DESIGN.md §3 for the model.
+//
+// The verb surface and its value types are defined by internal/transport;
+// *Client implements transport.Transport (and transport.VirtualTimer, the
+// capability interface carrying the virtual-time hooks). The aliases below
+// keep the historical rdma.Addr / rdma.WriteOp spellings working — the
+// simulated backend was the only backend for most of this repo's life, and
+// half the codebase names these types through it.
 package rdma
 
-import "fmt"
+import "sherman/internal/transport"
 
-// Addr is a 64-bit global pointer into disaggregated memory, matching the
-// paper's pointer format (§4.2.1): a 16-bit memory-server identifier and a
-// 48-bit offset within that server. The top bit of the MS field is borrowed
-// to address NIC on-chip device memory (used only for lock tables, never for
-// tree nodes, so it can never be confused with a tree pointer).
-//
-// The zero Addr is the nil pointer; offset 0 of MS 0 holds the cluster
-// superblock and is never handed out by the allocator.
-type Addr uint64
-
-const (
-	onChipBit  = uint64(1) << 63
-	offsetMask = (uint64(1) << 48) - 1
-)
+// Addr is a 64-bit global pointer into disaggregated memory; see
+// transport.Addr.
+type Addr = transport.Addr
 
 // NilAddr is the null pointer.
-const NilAddr Addr = 0
+const NilAddr = transport.NilAddr
+
+// DefaultChunkSize is the fixed-length chunk granularity used by memory
+// threads when handing memory to compute servers (§4.2.4).
+const DefaultChunkSize = transport.DefaultChunkSize
 
 // MakeAddr builds a host-memory address on memory server ms at offset off.
-func MakeAddr(ms uint16, off uint64) Addr {
-	if off&^offsetMask != 0 {
-		panic(fmt.Sprintf("rdma: offset %#x exceeds 48 bits", off))
-	}
-	if ms&0x8000 != 0 {
-		panic(fmt.Sprintf("rdma: ms id %d exceeds 15 bits", ms))
-	}
-	return Addr(uint64(ms)<<48 | off)
-}
+func MakeAddr(ms uint16, off uint64) Addr { return transport.MakeAddr(ms, off) }
 
 // MakeOnChipAddr builds an address into the on-chip device memory of memory
 // server ms's NIC.
-func MakeOnChipAddr(ms uint16, off uint64) Addr {
-	return Addr(uint64(MakeAddr(ms, off)) | onChipBit)
-}
+func MakeOnChipAddr(ms uint16, off uint64) Addr { return transport.MakeOnChipAddr(ms, off) }
 
-// MS returns the memory-server identifier.
-func (a Addr) MS() uint16 { return uint16(uint64(a)>>48) &^ 0x8000 }
+// ReadOp names one RDMA_READ target for ReadMulti.
+type ReadOp = transport.ReadOp
 
-// Off returns the 48-bit offset within the server (or within the NIC's
-// on-chip memory for on-chip addresses).
-func (a Addr) Off() uint64 { return uint64(a) & offsetMask }
+// WriteOp names one RDMA_WRITE for a doorbell-batched post.
+type WriteOp = transport.WriteOp
 
-// OnChip reports whether the address targets NIC on-chip device memory.
-func (a Addr) OnChip() bool { return uint64(a)&onChipBit != 0 }
-
-// IsNil reports whether the address is the null pointer.
-func (a Addr) IsNil() bool { return a == NilAddr }
-
-// Add returns the address displaced by d bytes within the same server and
-// memory space.
-func (a Addr) Add(d uint64) Addr {
-	if a.IsNil() {
-		panic("rdma: Add on nil address")
-	}
-	return Addr(uint64(a) + d)
-}
-
-// String formats the address for diagnostics.
-func (a Addr) String() string {
-	if a.IsNil() {
-		return "nil"
-	}
-	space := "mem"
-	if a.OnChip() {
-		space = "chip"
-	}
-	return fmt.Sprintf("ms%d/%s+%#x", a.MS(), space, a.Off())
-}
+// Metrics counts verb activity on one client thread.
+type Metrics = transport.Metrics

@@ -34,44 +34,6 @@ type Client struct {
 	epoch int64
 }
 
-// Metrics counts verb activity on one client thread. All fields are owned by
-// the client's goroutine; aggregate across threads only after they finish.
-type Metrics struct {
-	// RoundTrips counts network round trips; a doorbell-batched post of
-	// several dependent WRITEs counts once (that is the point of command
-	// combination, §4.5).
-	RoundTrips int64
-	// OpRoundTrips counts round trips since the last BeginOp.
-	OpRoundTrips int64
-
-	// WriteBytes totals payload bytes sent by WRITE verbs; OpWriteBytes
-	// since the last BeginOp.
-	WriteBytes   int64
-	OpWriteBytes int64
-
-	Reads   int64
-	Writes  int64
-	Atomics int64
-	RPCs    int64
-
-	// DoorbellBatches counts multi-command doorbell posts (a PostWrites of
-	// several WRITEs or a ReadMulti of several READs); DoorbellOps totals
-	// the commands those posts carried. Their ratio is the doorbell
-	// amortization the combination and batching layers achieve (§4.5).
-	DoorbellBatches int64
-	DoorbellOps     int64
-
-	// CASFailures counts remote compare-and-swap attempts that did not
-	// swap — the retry traffic that squanders NIC IOPS (§3.2.2).
-	CASFailures int64
-}
-
-// BeginOp resets the per-operation counters.
-func (m *Metrics) BeginOp() {
-	m.OpRoundTrips = 0
-	m.OpWriteBytes = 0
-}
-
 // NewClient creates a client thread context on compute server cs.
 func (f *Fabric) NewClient(cs int) *Client {
 	if cs < 0 || cs >= len(f.CSs) {
@@ -189,21 +151,9 @@ func (c *Client) ReadMulti(reqs []ReadOp) {
 	yield()
 }
 
-// ReadOp names one RDMA_READ target for ReadMulti.
-type ReadOp struct {
-	Addr Addr
-	Buf  []byte
-}
-
 // Write stores data at a via a single signaled RDMA_WRITE: one round trip.
 func (c *Client) Write(a Addr, data []byte) {
 	c.PostWrites(WriteOp{Addr: a, Data: data})
-}
-
-// WriteOp names one RDMA_WRITE for a doorbell-batched post.
-type WriteOp struct {
-	Addr Addr
-	Data []byte
 }
 
 // PostWrites posts the given WRITE commands on one queue pair in order, with

@@ -33,7 +33,7 @@ func TestAddrEncoding(t *testing.T) {
 func TestAddrEncodingProperty(t *testing.T) {
 	fn := func(ms uint16, off uint64) bool {
 		ms &= 0x7fff
-		off &= offsetMask
+		off &= (uint64(1) << 48) - 1
 		a := MakeAddr(ms, off)
 		return a.MS() == ms && a.Off() == off && !a.OnChip()
 	}

@@ -9,10 +9,6 @@ import (
 	"sherman/internal/sim"
 )
 
-// DefaultChunkSize is the fixed-length chunk granularity used by memory
-// threads when handing memory to compute servers (§4.2.4).
-const DefaultChunkSize = 8 << 20
-
 // lineSize is the granularity at which simulated DMA is atomic. Real NICs
 // read/write host memory in cacheline units in increasing address order
 // (§3.2.3 footnote 5), so larger transfers can be observed torn at line

@@ -114,10 +114,7 @@ func (e *Engine) ReReplicate() (Stats, error) {
 			st.SkippedNoTarget++
 			continue
 		}
-		srv := cl.F.Servers()[ms]
-		var base uint64
-		e.h.C.Call(uint16(ms), func() { base = srv.Grow() })
-		dst := rdma.MakeAddr(uint16(ms), base)
+		dst := rdma.MakeAddr(uint16(ms), e.h.C.GrowChunk(uint16(ms)))
 		if !cl.Rep.AddPendingReplica(ck, dst) {
 			st.SkippedNoTarget++
 			continue // re-keyed by a racing failover, or set full

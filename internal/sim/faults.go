@@ -1,8 +1,9 @@
 package sim
 
 import (
-	"fmt"
 	"sync"
+
+	"sherman/internal/transport"
 )
 
 // Crash is the panic value raised when a client thread of a failed compute
@@ -13,18 +14,15 @@ import (
 // the crashing verb and everything after it have no effect. Higher layers
 // (the session API, the bench harness) recover the panic at the thread
 // boundary and surface a typed error.
-type Crash struct {
-	// CS is the failed compute server.
-	CS int
-}
-
-// Error makes a Crash usable as an error value after recovery.
-func (c Crash) Error() string { return fmt.Sprintf("sim: compute server %d crashed", c.CS) }
+//
+// The type is shared with every other transport backend (an alias of
+// transport.Crash), so crash recovery in the session layer works identically
+// over a real network.
+type Crash = transport.Crash
 
 // IsCrash reports whether a recovered panic value is a compute-server crash.
 func IsCrash(v any) (Crash, bool) {
-	c, ok := v.(Crash)
-	return c, ok
+	return transport.IsCrash(v)
 }
 
 // Faults is the deterministic fault injector of one fabric. All client

@@ -1,0 +1,288 @@
+package tcp
+
+import (
+	"bufio"
+	"net"
+	"time"
+
+	"sherman/internal/transport"
+)
+
+const dialTimeout = 5 * time.Second
+
+// clockBase anchors the process-wide real clock: Now() is monotonic
+// nanoseconds since process start, shared by every Transport so lease
+// arithmetic compares like with like.
+var clockBase = time.Now()
+
+func nowNS() int64 { return time.Since(clockBase).Nanoseconds() }
+
+// msConn is one pooled connection to one memory server. Frames are
+// request/response in lockstep, so the connection needs no framing state
+// beyond a buffered reader; the request is assembled into one scratch
+// buffer and sent with a single Write.
+type msConn struct {
+	c   net.Conn
+	r   *bufio.Reader
+	buf []byte
+}
+
+// request sends one frame and waits for its response. An I/O error means
+// the server (or the path to it) is gone and surfaces as (nil, err); a
+// statusErr response is a protocol bug — out-of-range access, bad opcode —
+// and panics, matching the simulator's treatment of verb misuse.
+func (mc *msConn) request(op byte, payload []byte) ([]byte, error) {
+	mc.buf = mc.buf[:0]
+	mc.buf = appendU32(mc.buf, uint32(1+len(payload)))
+	mc.buf = append(mc.buf, op)
+	mc.buf = append(mc.buf, payload...)
+	if _, err := mc.c.Write(mc.buf); err != nil {
+		return nil, err
+	}
+	status, resp, err := readFrame(mc.r)
+	if err != nil {
+		return nil, err
+	}
+	if status != statusOK {
+		panic("tcp: server rejected request: " + string(resp))
+	}
+	return resp, nil
+}
+
+// Transport is one client thread's connection pool over the TCP fabric. It
+// implements transport.Transport with real clocks: Now is monotonic
+// wall time, Step/AdvanceTo are no-ops (local work takes whatever time it
+// takes), and it deliberately does not implement transport.VirtualTimer —
+// core code holding a nil VirtualTimer degrades to synchronous execution.
+//
+// Like every Transport it is owned by a single goroutine; connections are
+// dialed lazily per memory server on first use.
+type Transport struct {
+	cl      *Cluster
+	cs      uint16
+	m       transport.Metrics
+	conns   []*msConn
+	payload []byte // request payload scratch
+}
+
+var _ transport.Transport = (*Transport)(nil)
+
+// conn returns the pooled connection to ms, dialing on first use. A dial
+// failure marks the server dead cluster-wide.
+func (t *Transport) conn(ms uint16) (*msConn, bool) {
+	if t.cl.isDead(int(ms)) {
+		return nil, false
+	}
+	if t.conns[ms] == nil {
+		c, err := net.DialTimeout("tcp", t.cl.endpoints[ms], dialTimeout)
+		if err != nil {
+			t.cl.markDead(int(ms))
+			return nil, false
+		}
+		t.conns[ms] = &msConn{c: c, r: bufio.NewReader(c)}
+	}
+	return t.conns[ms], true
+}
+
+// request performs one round trip against ms. ok=false means the server is
+// dead: the caller applies the dead-memory semantics every backend shares —
+// reads zero-fill, writes and atomics are discarded (see DESIGN.md §10).
+func (t *Transport) request(ms uint16, op byte, payload []byte) ([]byte, bool) {
+	mc, ok := t.conn(ms)
+	if !ok {
+		return nil, false
+	}
+	resp, err := mc.request(op, payload)
+	if err != nil {
+		mc.c.Close()
+		t.conns[ms] = nil
+		t.cl.markDead(int(ms))
+		return nil, false
+	}
+	t.m.RoundTrips++
+	t.m.OpRoundTrips++
+	return resp, true
+}
+
+// Close drops the pooled connections. The owning goroutine calls it when
+// done; a Transport is not reusable afterwards.
+func (t *Transport) Close() {
+	for i, mc := range t.conns {
+		if mc != nil {
+			mc.c.Close()
+			t.conns[i] = nil
+		}
+	}
+}
+
+// --- verbs -----------------------------------------------------------------
+
+func (t *Transport) Read(a transport.Addr, buf []byte) {
+	t.m.Reads++
+	t.payload = appendU32(appendU64(t.payload[:0], uint64(a)), uint32(len(buf)))
+	resp, ok := t.request(a.MS(), opRead, t.payload)
+	if !ok {
+		clear(buf) // dead memory zero-fills
+		return
+	}
+	copy(buf, resp)
+}
+
+func (t *Transport) ReadMulti(ops []transport.ReadOp) {
+	if len(ops) == 0 {
+		return
+	}
+	// Group by memory server: each group is one ReadBatch frame — the
+	// doorbell-batched post of the simulator mapped to one round trip.
+	// Groups go out sequentially; ops are order-preserved within a group.
+	done := make([]bool, len(ops))
+	for i := range ops {
+		if done[i] {
+			continue
+		}
+		ms := ops[i].Addr.MS()
+		t.payload = appendU32(t.payload[:0], 0)
+		n := 0
+		for j := i; j < len(ops); j++ {
+			if done[j] || ops[j].Addr.MS() != ms {
+				continue
+			}
+			t.payload = appendU32(appendU64(t.payload, uint64(ops[j].Addr)), uint32(len(ops[j].Buf)))
+			n++
+		}
+		t.payload[0] = byte(n) // count < 2^8 in practice; encode fully anyway
+		t.payload[1], t.payload[2], t.payload[3] = byte(n>>8), byte(n>>16), byte(n>>24)
+		t.m.Reads += int64(n)
+		if n > 1 {
+			t.m.DoorbellBatches++
+			t.m.DoorbellOps += int64(n)
+		}
+		resp, ok := t.request(ms, opReadBatch, t.payload)
+		off := 0
+		for j := i; j < len(ops); j++ {
+			if done[j] || ops[j].Addr.MS() != ms {
+				continue
+			}
+			if ok {
+				copy(ops[j].Buf, resp[off:off+len(ops[j].Buf)])
+			} else {
+				clear(ops[j].Buf)
+			}
+			off += len(ops[j].Buf)
+			done[j] = true
+		}
+	}
+}
+
+func (t *Transport) Write(a transport.Addr, data []byte) {
+	t.m.Writes++
+	t.m.WriteBytes += int64(len(data))
+	t.m.OpWriteBytes += int64(len(data))
+	t.payload = appendU32(t.payload[:0], 1)
+	t.payload = appendU32(appendU64(t.payload, uint64(a)), uint32(len(data)))
+	t.payload = append(t.payload, data...)
+	t.request(a.MS(), opWriteBatch, t.payload) // dead: write discarded
+}
+
+func (t *Transport) PostWrites(ops ...transport.WriteOp) {
+	if len(ops) == 0 {
+		return
+	}
+	// Dependent writes to one server coalesce into a single WriteBatch
+	// frame, applied in order under the store mutex: §4.5's doorbell batch
+	// with strictly stronger (atomic) semantics.
+	t.payload = appendU32(t.payload[:0], uint32(len(ops)))
+	for _, op := range ops {
+		t.payload = appendU32(appendU64(t.payload, uint64(op.Addr)), uint32(len(op.Data)))
+		t.payload = append(t.payload, op.Data...)
+		t.m.Writes++
+		t.m.WriteBytes += int64(len(op.Data))
+		t.m.OpWriteBytes += int64(len(op.Data))
+	}
+	if len(ops) > 1 {
+		t.m.DoorbellBatches++
+		t.m.DoorbellOps += int64(len(ops))
+	}
+	t.request(ops[0].Addr.MS(), opWriteBatch, t.payload)
+}
+
+func (t *Transport) CAS(a transport.Addr, old, new uint64) (uint64, bool) {
+	t.m.Atomics++
+	t.payload = appendU64(appendU64(appendU64(t.payload[:0], uint64(a)), old), new)
+	resp, ok := t.request(a.MS(), opCAS, t.payload)
+	if !ok {
+		t.m.CASFailures++
+		return 0, false
+	}
+	p := payloadReader{b: resp}
+	prev := p.u64()
+	swapped := p.u8() == 1
+	if !swapped {
+		t.m.CASFailures++
+	}
+	return prev, swapped
+}
+
+func (t *Transport) CAS16(a transport.Addr, old, new uint16) (uint16, bool) {
+	t.m.Atomics++
+	t.payload = appendU64(t.payload[:0], uint64(a))
+	t.payload = append(t.payload, byte(old), byte(old>>8), byte(new), byte(new>>8))
+	resp, ok := t.request(a.MS(), opCAS16, t.payload)
+	if !ok {
+		t.m.CASFailures++
+		return 0, false
+	}
+	p := payloadReader{b: resp}
+	prev := p.u16()
+	swapped := p.u8() == 1
+	if !swapped {
+		t.m.CASFailures++
+	}
+	return prev, swapped
+}
+
+func (t *Transport) FAA(a transport.Addr, delta uint64) uint64 {
+	t.m.Atomics++
+	t.payload = appendU64(appendU64(t.payload[:0], uint64(a)), delta)
+	resp, ok := t.request(a.MS(), opFAA, t.payload)
+	if !ok {
+		return 0
+	}
+	p := payloadReader{b: resp}
+	return p.u64()
+}
+
+func (t *Transport) GrowChunk(ms uint16) uint64 {
+	t.m.RPCs++
+	resp, ok := t.request(ms, opGrow, nil)
+	if !ok {
+		return 0
+	}
+	p := payloadReader{b: resp}
+	return p.u64()
+}
+
+// --- clock and topology ----------------------------------------------------
+
+func (t *Transport) Now() int64      { return nowNS() }
+func (t *Transport) Step(int64)      {}
+func (t *Transport) AdvanceTo(int64) {}
+
+func (t *Transport) CSID() uint16 { return t.cs }
+func (t *Transport) Epoch() int64 { return 0 }
+func (t *Transport) Alive() bool  { return true }
+func (t *Transport) CheckAlive()  {}
+
+func (t *Transport) NumMS() int           { return len(t.cl.endpoints) }
+func (t *Transport) MSAlive(ms int) bool  { return !t.cl.isDead(ms) }
+func (t *Transport) MSUsable(ms int) bool { return !t.cl.isDead(ms) }
+
+func (t *Transport) Metrics() *transport.Metrics { return &t.m }
+
+func (t *Transport) Timing() transport.Timing {
+	// Real clocks: no virtual cost constants. A zero WraparoundGuardNS
+	// disables §4.4's wraparound heuristic (a real clock never re-reads the
+	// same 4-bit version within a wrap window); the lease is a real
+	// duration.
+	return transport.Timing{LeaseNS: int64(200 * time.Millisecond)}
+}

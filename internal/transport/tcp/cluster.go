@@ -1,0 +1,204 @@
+package tcp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"sherman/internal/alloc"
+	"sherman/internal/hocl"
+	"sherman/internal/transport"
+)
+
+// Cluster is the client-side view of a set of shermand processes: the
+// core.Backend of the TCP transport. It mirrors internal/cluster.Cluster's
+// role for the simulator — transport factory, allocator wiring, lock
+// manager construction, raw superblock access — against real sockets.
+//
+// Replication is not wired over TCP (Replicas returns nil, rf is 1): the
+// mirror engine leans on virtual-time watermarks to bound ack lag, and a
+// real deployment would use a real consensus/backup path instead. The
+// forwarding map exists but stays empty until a live-migration driver runs.
+type Cluster struct {
+	endpoints []string
+	numCS     int
+	onChip    int
+
+	// AllocStats aggregates allocator activity across all client threads.
+	AllocStats alloc.Stats
+
+	// Fwd is the chunk forwarding map (see internal/cluster); empty unless
+	// a migration driver installs entries.
+	Fwd *alloc.Forwarding
+
+	// dead[ms] flips once when ms becomes unreachable; every Transport of
+	// this cluster shares the view, so one thread's I/O error makes the
+	// death visible to all (the fabric-manager gossip of §2 collapsed to a
+	// process-local flag).
+	dead []atomic.Bool
+
+	// raw is the metadata client behind RawRead/RawWrite/SetRoot — unlike
+	// per-thread Transports it is shared, hence the mutex.
+	rawMu sync.Mutex
+	raw   *Transport
+}
+
+// NewCluster dials the given shermand endpoints and prepares the cluster:
+// every server is pinged (verifying protocol agreement and on-chip
+// capacity) and memory server 0's first chunk is reserved for the
+// superblock, exactly like the simulated cluster's setup.
+func NewCluster(endpoints []string, numCS int) (*Cluster, error) {
+	if len(endpoints) == 0 {
+		return nil, fmt.Errorf("tcp: need at least one memory server endpoint")
+	}
+	if numCS <= 0 {
+		return nil, fmt.Errorf("tcp: need at least one compute server")
+	}
+	c := &Cluster{
+		endpoints: endpoints,
+		numCS:     numCS,
+		Fwd:       alloc.NewForwarding(),
+		dead:      make([]atomic.Bool, len(endpoints)),
+	}
+	c.raw = c.newTransport(0)
+	for ms := range endpoints {
+		mc, ok := c.raw.conn(uint16(ms))
+		if !ok {
+			return nil, fmt.Errorf("tcp: memory server %d (%s) unreachable", ms, endpoints[ms])
+		}
+		resp, err := mc.request(opPing, nil)
+		if err != nil {
+			return nil, fmt.Errorf("tcp: ping to %s failed: %w", endpoints[ms], err)
+		}
+		p := payloadReader{b: resp}
+		onChip := int(p.u32())
+		if p.err != nil {
+			return nil, fmt.Errorf("tcp: bad ping response from %s: %v", endpoints[ms], p.err)
+		}
+		if c.onChip == 0 || onChip < c.onChip {
+			c.onChip = onChip
+		}
+	}
+	// Reserve the superblock chunk: offset 0 of memory server 0 must be
+	// grown before anything reads or CASes the root pointer, and must never
+	// be handed to the allocator (growing it here guarantees both).
+	if base := c.raw.GrowChunk(0); base != 0 {
+		return nil, fmt.Errorf("tcp: memory server 0 is not fresh (superblock chunk at %#x)", base)
+	}
+	return c, nil
+}
+
+// Close drops the metadata client's connections. Per-thread Transports are
+// closed by their owners; the server processes are owned by the launcher.
+func (c *Cluster) Close() { c.raw.Close() }
+
+// Shutdown asks every live memory server to exit (the orderly counterpart
+// of killing the processes).
+func (c *Cluster) Shutdown() {
+	c.rawMu.Lock()
+	defer c.rawMu.Unlock()
+	for ms := range c.endpoints {
+		c.raw.request(uint16(ms), opShutdown, nil)
+	}
+	c.raw.Close()
+}
+
+func (c *Cluster) isDead(ms int) bool { return c.dead[ms].Load() }
+func (c *Cluster) markDead(ms int)    { c.dead[ms].Store(true) }
+
+func (c *Cluster) newTransport(cs int) *Transport {
+	return &Transport{cl: c, cs: uint16(cs), conns: make([]*msConn, len(c.endpoints))}
+}
+
+// --- core.Backend ----------------------------------------------------------
+
+// NewTransport creates a client thread's transport bound to compute server
+// cs. On TCP a "compute server" is a thread-group identity, not a process
+// boundary — CSID still partitions the local lock tables.
+func (c *Cluster) NewTransport(cs int) transport.Transport { return c.newTransport(cs) }
+
+// NewThreadAllocator pairs a client thread with its stage-two allocator.
+func (c *Cluster) NewThreadAllocator(cl transport.Transport, seed int) *alloc.ThreadAllocator {
+	return alloc.NewThreadAllocator(cl, &c.AllocStats, seed)
+}
+
+// NewBulk builds a setup-time bulk allocator over the raw growth path.
+func (c *Cluster) NewBulk() *alloc.Bulk {
+	return alloc.NewBulk(c, &c.AllocStats)
+}
+
+// NewLockManager builds the remote lock manager: no fabric, no virtual-time
+// arbitration — the physical lock word on the servers is the whole truth.
+func (c *Cluster) NewLockManager(cfg hocl.Config) *hocl.Manager {
+	return hocl.NewRemoteManager(cfg, len(c.endpoints), c.numCS, c.onChip, c.GrowChunkRaw)
+}
+
+// NumCS returns the compute-server (thread-group) count.
+func (c *Cluster) NumCS() int { return c.numCS }
+
+// SetRoot stores the root pointer and level without timing; used by bulk
+// load before client threads start.
+func (c *Cluster) SetRoot(root transport.Addr, level uint8) {
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[0:], uint64(root))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(level))
+	c.RawWrite(transport.MakeAddr(0, 0), buf[:])
+}
+
+// RawWrite stores data at a without timing (no replication over TCP).
+func (c *Cluster) RawWrite(a transport.Addr, data []byte) {
+	c.rawMu.Lock()
+	defer c.rawMu.Unlock()
+	c.raw.Write(a, data)
+}
+
+// RawRead loads len(buf) bytes at a without timing, chasing the forwarding
+// map when a's server is dead (the map is empty unless a migration driver
+// populated it, so this normally reads a directly).
+func (c *Cluster) RawRead(a transport.Addr, buf []byte) {
+	c.rawMu.Lock()
+	defer c.rawMu.Unlock()
+	for hop := 0; hop < alloc.MaxReplicationFactor; hop++ {
+		if !c.isDead(int(a.MS())) {
+			break
+		}
+		fwd, ok := c.Fwd.Resolve(a)
+		if !ok {
+			break
+		}
+		a = fwd
+	}
+	c.raw.Read(a, buf)
+}
+
+// Forwarding is the chunk forwarding map.
+func (c *Cluster) Forwarding() *alloc.Forwarding { return c.Fwd }
+
+// Replicas returns nil: chunk replication is not wired over TCP.
+func (c *Cluster) Replicas() *alloc.ReplicaMap { return nil }
+
+// OnChunkInvalidate registers a chunk re-key listener. No failover
+// promotion runs over TCP, so the callback is never invoked; accepting it
+// keeps the Backend contract uniform.
+func (c *Cluster) OnChunkInvalidate(fn func(alloc.ChunkID)) {}
+
+// MSAlive reports whether memory server ms is reachable.
+func (c *Cluster) MSAlive(ms int) bool { return !c.isDead(ms) }
+
+// --- transport.Grower ------------------------------------------------------
+
+// NumMS returns the memory-server count.
+func (c *Cluster) NumMS() int { return len(c.endpoints) }
+
+// MSUsable reports whether ms should receive new allocations.
+func (c *Cluster) MSUsable(ms int) bool { return !c.isDead(ms) }
+
+// GrowChunkRaw grows one chunk on ms with no timing accounting.
+func (c *Cluster) GrowChunkRaw(ms uint16) uint64 {
+	c.rawMu.Lock()
+	defer c.rawMu.Unlock()
+	return c.raw.GrowChunk(ms)
+}
+
+var _ transport.Grower = (*Cluster)(nil)

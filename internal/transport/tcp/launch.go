@@ -1,0 +1,94 @@
+package tcp
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// LocalServers is a set of shermand processes launched on loopback for a
+// local cluster (the README's 2-process quickstart, the differential
+// oracle, the tcp bench experiment).
+type LocalServers struct {
+	// Endpoints are the servers' listen addresses, index = memory server id.
+	Endpoints []string
+
+	procs []*exec.Cmd
+	dir   string
+}
+
+// LaunchLocal builds cmd/shermand (with the module's own toolchain — no
+// binaries are shipped) and spawns n memory-server processes on loopback
+// ports. Each prints "LISTEN <addr>" once bound; LaunchLocal returns when
+// all n are accepting. Call Stop to tear the processes down.
+func LaunchLocal(n int) (*LocalServers, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("tcp: need at least one server")
+	}
+	dir, err := os.MkdirTemp("", "shermand")
+	if err != nil {
+		return nil, err
+	}
+	ls := &LocalServers{dir: dir}
+	bin := filepath.Join(dir, "shermand")
+	build := exec.Command("go", "build", "-o", bin, "sherman/cmd/shermand")
+	if out, err := build.CombinedOutput(); err != nil {
+		os.RemoveAll(dir)
+		return nil, fmt.Errorf("tcp: building shermand: %v\n%s", err, out)
+	}
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(bin, "-listen", "127.0.0.1:0")
+		cmd.Stderr = os.Stderr
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			ls.Stop()
+			return nil, err
+		}
+		if err := cmd.Start(); err != nil {
+			ls.Stop()
+			return nil, fmt.Errorf("tcp: starting shermand %d: %w", i, err)
+		}
+		ls.procs = append(ls.procs, cmd)
+		line, err := bufio.NewReader(stdout).ReadString('\n')
+		if err != nil {
+			ls.Stop()
+			return nil, fmt.Errorf("tcp: shermand %d died before binding: %w", i, err)
+		}
+		addr, ok := strings.CutPrefix(strings.TrimSpace(line), "LISTEN ")
+		if !ok {
+			ls.Stop()
+			return nil, fmt.Errorf("tcp: unexpected shermand %d banner %q", i, line)
+		}
+		ls.Endpoints = append(ls.Endpoints, addr)
+	}
+	return ls, nil
+}
+
+// Stop kills every server process and removes the scratch directory. Safe
+// to call more than once and on a partially-launched set.
+func (ls *LocalServers) Stop() {
+	for _, p := range ls.procs {
+		if p.Process != nil {
+			p.Process.Kill()
+		}
+	}
+	for _, p := range ls.procs {
+		if p.Process != nil {
+			waited := make(chan struct{})
+			go func(c *exec.Cmd) { c.Wait(); close(waited) }(p)
+			select {
+			case <-waited:
+			case <-time.After(5 * time.Second):
+			}
+		}
+	}
+	ls.procs = nil
+	if ls.dir != "" {
+		os.RemoveAll(ls.dir)
+		ls.dir = ""
+	}
+}

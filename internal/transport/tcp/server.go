@@ -1,0 +1,307 @@
+package tcp
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"sherman/internal/transport"
+)
+
+// OnChipBytes is the NIC device-memory capacity each shermand exposes,
+// matching the simulator's ConnectX-5 default (256 KB). Client and server
+// agree on it via the Ping handshake.
+const OnChipBytes = 256 << 10
+
+const chunkSize = transport.DefaultChunkSize
+
+// store is one memory server's memory: host chunks handed out by Grow plus
+// the fixed on-chip region. One mutex serializes every frame — see the
+// package comment for why that is a sound (strictly stronger) model of the
+// RDMA fabric's atomicity.
+type store struct {
+	mu     sync.Mutex
+	chunks [][]byte
+	onChip []byte
+}
+
+func newStore() *store {
+	return &store{onChip: make([]byte, OnChipBytes)}
+}
+
+// slice locates [off, off+n) in the addressed memory space. Tree nodes and
+// lock words never straddle a chunk boundary (the allocator carves aligned
+// blocks out of aligned chunks), so a region crossing one is a protocol
+// error, not a case to support. Caller holds mu.
+func (s *store) slice(addr transport.Addr, n int) ([]byte, error) {
+	off := addr.Off()
+	if addr.OnChip() {
+		if off+uint64(n) > uint64(len(s.onChip)) {
+			return nil, fmt.Errorf("on-chip access [%#x,+%d) exceeds %d B", off, n, len(s.onChip))
+		}
+		return s.onChip[off : off+uint64(n)], nil
+	}
+	ci := off / chunkSize
+	if ci >= uint64(len(s.chunks)) {
+		return nil, fmt.Errorf("access [%#x,+%d) beyond grown memory (%d chunks)", off, n, len(s.chunks))
+	}
+	co := off % chunkSize
+	if co+uint64(n) > chunkSize {
+		return nil, fmt.Errorf("access [%#x,+%d) straddles a chunk boundary", off, n)
+	}
+	return s.chunks[ci][co : co+uint64(n)], nil
+}
+
+func (s *store) grow() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	base := uint64(len(s.chunks)) * chunkSize
+	s.chunks = append(s.chunks, make([]byte, chunkSize))
+	return base
+}
+
+// Server is one memory-server process's serving half: the store plus an
+// accept loop. cmd/shermand wraps it; tests can also run it in-process.
+type Server struct {
+	st *store
+	ln net.Listener
+
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	shutdown chan struct{}
+	once     sync.Once
+}
+
+// NewServer creates a server listening on addr ("host:0" picks a free
+// port). Call Serve to start accepting and Addr for the bound address.
+func NewServer(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		st:       newStore(),
+		ln:       ln,
+		conns:    make(map[net.Conn]struct{}),
+		shutdown: make(chan struct{}),
+	}, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Done is closed when a Shutdown frame arrives or Close is called.
+func (s *Server) Done() <-chan struct{} { return s.shutdown }
+
+// Close stops the server: the listener closes, open connections drop.
+func (s *Server) Close() {
+	s.once.Do(func() { close(s.shutdown) })
+	s.ln.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+}
+
+// Serve accepts connections until Close (or a Shutdown frame). It returns
+// nil on orderly shutdown.
+func (s *Server) Serve() error {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.shutdown:
+				return nil
+			default:
+				return err
+			}
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		op, payload, err := readFrame(conn)
+		if err != nil {
+			return // peer hung up (or died mid-frame); its state is already durable
+		}
+		resp, err := s.handle(op, payload)
+		if err != nil {
+			if werr := writeFrame(conn, statusErr, []byte(err.Error())); werr != nil {
+				return
+			}
+			continue
+		}
+		if err := writeFrame(conn, statusOK, resp); err != nil {
+			return
+		}
+		if op == opShutdown {
+			s.Close()
+			return
+		}
+	}
+}
+
+// handle applies one request frame and returns the response payload.
+func (s *Server) handle(op byte, payload []byte) ([]byte, error) {
+	p := &payloadReader{b: payload}
+	st := s.st
+	switch op {
+	case opPing:
+		return appendU32(nil, OnChipBytes), nil
+
+	case opRead:
+		a := transport.Addr(p.u64())
+		n := int(p.u32())
+		if p.err != nil {
+			return nil, p.err
+		}
+		st.mu.Lock()
+		src, err := st.slice(a, n)
+		if err != nil {
+			st.mu.Unlock()
+			return nil, err
+		}
+		out := make([]byte, n)
+		copy(out, src)
+		st.mu.Unlock()
+		return out, nil
+
+	case opReadBatch:
+		count := int(p.u32())
+		if p.err != nil {
+			return nil, p.err
+		}
+		type req struct {
+			a transport.Addr
+			n int
+		}
+		reqs := make([]req, count)
+		total := 0
+		for i := range reqs {
+			reqs[i].a = transport.Addr(p.u64())
+			reqs[i].n = int(p.u32())
+			total += reqs[i].n
+		}
+		if p.err != nil {
+			return nil, p.err
+		}
+		out := make([]byte, 0, total)
+		st.mu.Lock()
+		for _, r := range reqs {
+			src, err := st.slice(r.a, r.n)
+			if err != nil {
+				st.mu.Unlock()
+				return nil, err
+			}
+			out = append(out, src...)
+		}
+		st.mu.Unlock()
+		return out, nil
+
+	case opWriteBatch:
+		count := int(p.u32())
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		for i := 0; i < count; i++ {
+			a := transport.Addr(p.u64())
+			n := int(p.u32())
+			data := p.bytes(n)
+			if p.err != nil {
+				return nil, p.err
+			}
+			dst, err := st.slice(a, n)
+			if err != nil {
+				return nil, err
+			}
+			copy(dst, data)
+		}
+		return nil, p.err
+
+	case opCAS:
+		a := transport.Addr(p.u64())
+		old, new := p.u64(), p.u64()
+		if p.err != nil {
+			return nil, p.err
+		}
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		w, err := st.slice(a, 8)
+		if err != nil {
+			return nil, err
+		}
+		prev := leU64(w)
+		swapped := byte(0)
+		if prev == old {
+			putU64(w, new)
+			swapped = 1
+		}
+		return append(appendU64(nil, prev), swapped), nil
+
+	case opCAS16:
+		a := transport.Addr(p.u64())
+		old, new := p.u16(), p.u16()
+		if p.err != nil {
+			return nil, p.err
+		}
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		w, err := st.slice(a, 2)
+		if err != nil {
+			return nil, err
+		}
+		prev := uint16(w[0]) | uint16(w[1])<<8
+		swapped := byte(0)
+		if prev == old {
+			w[0], w[1] = byte(new), byte(new>>8)
+			swapped = 1
+		}
+		return []byte{byte(prev), byte(prev >> 8), swapped}, nil
+
+	case opFAA:
+		a := transport.Addr(p.u64())
+		delta := p.u64()
+		if p.err != nil {
+			return nil, p.err
+		}
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		w, err := st.slice(a, 8)
+		if err != nil {
+			return nil, err
+		}
+		prev := leU64(w)
+		putU64(w, prev+delta)
+		return appendU64(nil, prev), nil
+
+	case opGrow:
+		return appendU64(nil, st.grow()), nil
+
+	case opShutdown:
+		return nil, nil
+
+	default:
+		return nil, fmt.Errorf("tcp: unknown opcode %d", op)
+	}
+}
+
+func leU64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putU64(b []byte, v uint64) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	b[4], b[5], b[6], b[7] = byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56)
+}

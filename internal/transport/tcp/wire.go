@@ -1,0 +1,172 @@
+// Package tcp is the real-network transport: memory servers are OS
+// processes (cmd/shermand) serving chunks, locks and atomics over a
+// length-prefixed binary protocol, and clients implement
+// transport.Transport over per-server pooled connections with real clocks.
+//
+// Wire protocol. Every message is one frame:
+//
+//	[u32 length][u8 opcode][payload]
+//
+// little-endian, where length covers the opcode byte plus the payload.
+// Requests carry an operation opcode; responses reuse the opcode slot as a
+// status byte (statusOK with a result payload, statusErr with a UTF-8
+// message). One request frame gets exactly one response frame, in order, so
+// a doorbell batch of dependent writes coalesces into a single WriteBatch
+// frame — one network round trip, the §4.5 batching mapped onto TCP.
+//
+// The server applies each frame under one store-wide mutex, which makes a
+// WriteBatch atomic and totally orders conflicting atomics — strictly
+// stronger than RDMA's per-verb atomicity, and therefore a safe home for
+// the same tree protocol (every interleaving the TCP transport can produce,
+// the RDMA fabric can produce too; not vice versa).
+package tcp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Request opcodes.
+const (
+	opPing       byte = 1 // () -> u32 onChipSize
+	opRead       byte = 2 // addr u64, n u32 -> n bytes
+	opReadBatch  byte = 3 // count u32, (addr u64, n u32)* -> concatenated bytes
+	opWriteBatch byte = 4 // count u32, (addr u64, n u32, data)* applied in order -> ()
+	opCAS        byte = 5 // addr u64, old u64, new u64 -> prev u64, swapped u8
+	opCAS16      byte = 6 // addr u64, old u16, new u16 -> prev u16, swapped u8
+	opFAA        byte = 7 // addr u64, delta u64 -> old u64
+	opGrow       byte = 8 // () -> base u64
+	opShutdown   byte = 9 // () -> (), then the server exits
+)
+
+// Response status bytes (the opcode slot of a response frame).
+const (
+	statusOK  byte = 0
+	statusErr byte = 1
+)
+
+// maxFrame bounds a frame's length field: one chunk plus batching slack.
+// A reader that sees a bigger length is desynchronized (or under attack)
+// and errors out instead of allocating unboundedly.
+const maxFrame = 64 << 20
+
+// writeFrame emits one frame. payload may be nil.
+func writeFrame(w io.Writer, op byte, payload []byte) error {
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(1+len(payload)))
+	hdr[4] = op
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFrame reads one frame, returning its opcode (or status) byte and
+// payload. A torn or truncated frame — the peer died mid-write — surfaces
+// as io.ErrUnexpectedEOF; a length outside (0, maxFrame] as a framing
+// error.
+func readFrame(r io.Reader) (op byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:4]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	if n == 0 || n > maxFrame {
+		return 0, nil, fmt.Errorf("tcp: bad frame length %d", n)
+	}
+	if _, err := io.ReadFull(r, hdr[4:5]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	op = hdr[4]
+	if n > 1 {
+		payload = make([]byte, n-1)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return 0, nil, err
+		}
+	}
+	return op, payload, nil
+}
+
+// appendU64/appendU32 are the payload builders shared by client and server.
+func appendU64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+// payloadReader decodes a request/response payload field by field.
+type payloadReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (p *payloadReader) u64() uint64 {
+	if p.err != nil || p.off+8 > len(p.b) {
+		p.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(p.b[p.off:])
+	p.off += 8
+	return v
+}
+
+func (p *payloadReader) u32() uint32 {
+	if p.err != nil || p.off+4 > len(p.b) {
+		p.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(p.b[p.off:])
+	p.off += 4
+	return v
+}
+
+func (p *payloadReader) u16() uint16 {
+	if p.err != nil || p.off+2 > len(p.b) {
+		p.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(p.b[p.off:])
+	p.off += 2
+	return v
+}
+
+func (p *payloadReader) u8() uint8 {
+	if p.err != nil || p.off+1 > len(p.b) {
+		p.fail()
+		return 0
+	}
+	v := p.b[p.off]
+	p.off++
+	return v
+}
+
+func (p *payloadReader) bytes(n int) []byte {
+	if p.err != nil || n < 0 || p.off+n > len(p.b) {
+		p.fail()
+		return nil
+	}
+	v := p.b[p.off : p.off+n]
+	p.off += n
+	return v
+}
+
+func (p *payloadReader) fail() {
+	if p.err == nil {
+		p.err = fmt.Errorf("tcp: short payload (%d bytes, need more at offset %d)", len(p.b), p.off)
+	}
+}

@@ -1,0 +1,238 @@
+package tcp
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"net"
+	"testing"
+)
+
+// TestFrameRoundTrip encodes frames of assorted opcodes and payload sizes
+// and decodes them back, including several frames back to back on one
+// stream (the pipelining case).
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		nil,
+		{},
+		{0xAB},
+		bytes.Repeat([]byte{0x5A}, 1024),
+		bytes.Repeat([]byte{0xFF}, 1<<20),
+	}
+	var buf bytes.Buffer
+	for i, p := range payloads {
+		op := byte(i + 1)
+		if err := writeFrame(&buf, op, p); err != nil {
+			t.Fatalf("writeFrame(op=%d, %d bytes): %v", op, len(p), err)
+		}
+	}
+	for i, p := range payloads {
+		op, got, err := readFrame(&buf)
+		if err != nil {
+			t.Fatalf("readFrame #%d: %v", i, err)
+		}
+		if op != byte(i+1) {
+			t.Fatalf("readFrame #%d: opcode %d, want %d", i, op, i+1)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("readFrame #%d: payload %d bytes, want %d", i, len(got), len(p))
+		}
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("stream not fully consumed: %d bytes left", buf.Len())
+	}
+}
+
+// TestFrameTorn truncates an encoded frame at every possible byte boundary:
+// a cut inside the length header must surface as EOF or ErrUnexpectedEOF
+// (the reader read nothing usable), and a cut after it as ErrUnexpectedEOF —
+// the peer died mid-frame, never a silent short payload.
+func TestFrameTorn(t *testing.T) {
+	var full bytes.Buffer
+	if err := writeFrame(&full, opCAS, bytes.Repeat([]byte{7}, 24)); err != nil {
+		t.Fatal(err)
+	}
+	whole := full.Bytes()
+	for cut := 0; cut < len(whole); cut++ {
+		_, _, err := readFrame(bytes.NewReader(whole[:cut]))
+		if err == nil {
+			t.Fatalf("cut at %d of %d: no error", cut, len(whole))
+		}
+		if cut <= 4 {
+			if err != io.EOF && err != io.ErrUnexpectedEOF {
+				t.Fatalf("cut at %d (inside header): err = %v", cut, err)
+			}
+			continue
+		}
+		if err != io.ErrUnexpectedEOF {
+			t.Fatalf("cut at %d (inside body): err = %v, want ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+// TestFrameBadLength rejects zero and oversized length fields instead of
+// blocking on (or allocating for) a desynchronized stream.
+func TestFrameBadLength(t *testing.T) {
+	for _, n := range []uint32{0, maxFrame + 1, 1 << 31} {
+		raw := appendU32(nil, n)
+		raw = append(raw, opPing)
+		if _, _, err := readFrame(bytes.NewReader(raw)); err == nil {
+			t.Fatalf("length %d: no error", n)
+		}
+	}
+}
+
+// TestPayloadReaderShortRead checks that every accessor fails cleanly past
+// the end of the payload and that the error sticks.
+func TestPayloadReaderShortRead(t *testing.T) {
+	b := appendU64(nil, 0xDEADBEEF)
+	b = appendU32(b, 42)
+
+	p := payloadReader{b: b}
+	if v := p.u64(); v != 0xDEADBEEF || p.err != nil {
+		t.Fatalf("u64 = %#x, err %v", v, p.err)
+	}
+	if v := p.u32(); v != 42 || p.err != nil {
+		t.Fatalf("u32 = %d, err %v", v, p.err)
+	}
+	if v := p.u16(); v != 0 || p.err == nil {
+		t.Fatalf("u16 past end = %d, err %v — want 0 and an error", v, p.err)
+	}
+	first := p.err
+	if v := p.u8(); v != 0 || p.err != first {
+		t.Fatalf("error did not stick: u8 = %d, err %v", v, p.err)
+	}
+	if v := p.bytes(8); v != nil {
+		t.Fatalf("bytes past end = %v, want nil", v)
+	}
+
+	// A negative count must fail, not panic or wrap.
+	q := payloadReader{b: b}
+	if v := q.bytes(-1); v != nil || q.err == nil {
+		t.Fatalf("bytes(-1) = %v, err %v", v, q.err)
+	}
+}
+
+// TestServerFrames drives one in-process Server over a real socket with raw
+// frames: ping, write/read round trip, batches, atomics, on-chip addressing
+// and the error path, verifying each response payload byte for byte.
+func TestServerFrames(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	mc := &msConn{c: conn, r: bufio.NewReader(conn)}
+
+	req := func(op byte, payload []byte) []byte {
+		t.Helper()
+		if err := writeFrame(mc.c, op, payload); err != nil {
+			t.Fatalf("op %d: write: %v", op, err)
+		}
+		status, resp, err := readFrame(mc.r)
+		if err != nil {
+			t.Fatalf("op %d: read: %v", op, err)
+		}
+		if status != statusOK {
+			t.Fatalf("op %d: status %d, payload %q", op, status, resp)
+		}
+		return resp
+	}
+
+	// Ping reports the on-chip size.
+	resp := req(opPing, nil)
+	p := payloadReader{b: resp}
+	if got := p.u32(); got != OnChipBytes || p.err != nil {
+		t.Fatalf("ping: on-chip %d, want %d (err %v)", got, OnChipBytes, p.err)
+	}
+
+	// Grow a chunk, write into it, read it back.
+	p = payloadReader{b: req(opGrow, nil)}
+	base := p.u64()
+	if p.err != nil {
+		t.Fatalf("grow: %v", p.err)
+	}
+	data := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	w := appendU32(nil, 1)
+	w = appendU64(w, base+16)
+	w = appendU32(w, uint32(len(data)))
+	w = append(w, data...)
+	req(opWriteBatch, w)
+
+	r := appendU64(nil, base+16)
+	r = appendU32(r, uint32(len(data)))
+	if got := req(opRead, r); !bytes.Equal(got, data) {
+		t.Fatalf("read back %v, want %v", got, data)
+	}
+
+	// ReadBatch returns the concatenation in request order.
+	rb := appendU32(nil, 2)
+	rb = appendU64(rb, base+16)
+	rb = appendU32(rb, 4)
+	rb = appendU64(rb, base+20)
+	rb = appendU32(rb, 4)
+	if got := req(opReadBatch, rb); !bytes.Equal(got, data) {
+		t.Fatalf("read batch %v, want %v", got, data)
+	}
+
+	// CAS: success then failure, previous value reported both ways.
+	cas := func(addr, old, new uint64) (uint64, bool) {
+		c := appendU64(nil, addr)
+		c = appendU64(c, old)
+		c = appendU64(c, new)
+		p := payloadReader{b: req(opCAS, c)}
+		prev, swapped := p.u64(), p.u8()
+		if p.err != nil {
+			t.Fatalf("cas: %v", p.err)
+		}
+		return prev, swapped != 0
+	}
+	if prev, ok := cas(base, 0, 99); !ok || prev != 0 {
+		t.Fatalf("cas(0->99) = %d, %v", prev, ok)
+	}
+	if prev, ok := cas(base, 0, 7); ok || prev != 99 {
+		t.Fatalf("cas(0->7) on 99 = %d, %v", prev, ok)
+	}
+
+	// FAA returns the old value and adds.
+	f := appendU64(nil, base)
+	f = appendU64(f, 1)
+	p = payloadReader{b: req(opFAA, f)}
+	if old := p.u64(); old != 99 || p.err != nil {
+		t.Fatalf("faa old = %d (err %v), want 99", old, p.err)
+	}
+
+	// CAS16 against on-chip device memory (top address bit).
+	onChip := uint64(1) << 63
+	c16 := appendU64(nil, onChip+2)
+	c16 = append(c16, 0, 0)       // old u16
+	c16 = append(c16, 0x34, 0x12) // new u16
+	p = payloadReader{b: req(opCAS16, c16)}
+	prev16, swapped := p.u16(), p.u8()
+	if p.err != nil || prev16 != 0 || swapped == 0 {
+		t.Fatalf("cas16 = prev %#x swapped %d (err %v)", prev16, swapped, p.err)
+	}
+
+	// A read beyond grown memory is an error frame, and the connection
+	// stays usable afterwards.
+	bad := appendU64(nil, uint64(1)<<40)
+	bad = appendU32(bad, 8)
+	if err := writeFrame(mc.c, opRead, bad); err != nil {
+		t.Fatal(err)
+	}
+	status, msg, err := readFrame(mc.r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != statusErr || len(msg) == 0 {
+		t.Fatalf("out-of-range read: status %d, msg %q", status, msg)
+	}
+	req(opPing, nil) // still alive
+}

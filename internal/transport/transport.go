@@ -1,0 +1,179 @@
+// Package transport defines the verb surface of the disaggregated fabric:
+// the Transport interface every tree client runs over, the address/op/metric
+// value types shared by all implementations, and the optional capability
+// interfaces (VirtualTimer) that expose backend-specific powers without the
+// core ever type-switching on the implementation.
+//
+// Two implementations exist:
+//
+//   - internal/rdma: the simulated RDMA fabric with virtual time. It also
+//     implements VirtualTimer, which carries the timing-model hooks
+//     (OnTimeline lanes, spin charging, atomic backlog arbitration) the
+//     simulation's contention model needs.
+//   - internal/transport/tcp: a real network. Memory servers are OS
+//     processes (cmd/shermand) serving chunks, locks, and atomics over a
+//     length-prefixed binary protocol; clients dial them with real clocks
+//     and map doorbell batches to coalesced frames. It does not implement
+//     VirtualTimer — virtual-time hooks degrade to synchronous no-ops.
+//
+// The package is dependency-free so both backends (and the packages between
+// them and the tree) can share its types without import cycles.
+package transport
+
+import "fmt"
+
+// Transport is one client thread's connection to the fabric: the one-sided
+// verb surface of §2/§4, the allocation RPC, a clock, and the topology
+// queries the allocator and failover paths need. Implementations are owned
+// by a single goroutine, exactly like the tree Handle built on top.
+//
+// A Transport whose compute server has crashed panics with Crash from any
+// verb; Session.run recovers that into ErrSessionDead.
+type Transport interface {
+	// Read performs a one-sided read of len(buf) bytes at a.
+	Read(a Addr, buf []byte)
+	// ReadMulti posts all reads at once (doorbell batching when they share
+	// a server, parallel fan-out otherwise) and waits for completion.
+	ReadMulti(ops []ReadOp)
+	// Write performs a one-sided write of data at a.
+	Write(a Addr, data []byte)
+	// PostWrites posts dependent writes as one doorbell batch (§4.5): all
+	// ops must target one memory server and apply in order.
+	PostWrites(ops ...WriteOp)
+	// CAS is a one-sided 8-byte compare-and-swap returning the previous
+	// value and whether the swap happened.
+	CAS(a Addr, old, new uint64) (uint64, bool)
+	// CAS16 is the masked 2-byte CAS used by on-chip lock words (§4.3).
+	CAS16(a Addr, old, new uint16) (uint16, bool)
+	// FAA is a one-sided 8-byte fetch-and-add returning the old value.
+	FAA(a Addr, delta uint64) uint64
+
+	// GrowChunk asks memory server ms's allocation thread for one fresh
+	// fixed-length chunk (§4.2.4) and returns its base host offset.
+	GrowChunk(ms uint16) uint64
+
+	// Now returns the clock: virtual nanoseconds on the simulator, real
+	// monotonic nanoseconds on a network transport.
+	Now() int64
+	// Step charges d nanoseconds of local compute. Real transports treat
+	// it as a no-op — local work takes whatever time it takes.
+	Step(d int64)
+	// AdvanceTo moves the clock forward to t if t is ahead. Real
+	// transports treat it as a no-op; it exists so pipelined executors can
+	// model completion-time waits without switching on the backend.
+	AdvanceTo(t int64)
+
+	// CSID identifies the compute server this client thread runs on.
+	CSID() uint16
+	// Epoch is the compute server's incarnation number (advances on
+	// restart after a crash).
+	Epoch() int64
+	// Alive reports whether the compute server is still up.
+	Alive() bool
+	// CheckAlive panics with Crash if the compute server has died.
+	CheckAlive()
+
+	// NumMS is the number of memory servers currently in the cluster.
+	NumMS() int
+	// MSAlive reports whether memory server ms is reachable.
+	MSAlive(ms int) bool
+	// MSUsable reports whether ms should receive new allocations: alive
+	// and not draining for scale-in.
+	MSUsable(ms int) bool
+
+	// Metrics exposes the per-thread verb counters. The pointer is stable
+	// for the transport's lifetime.
+	Metrics() *Metrics
+	// Timing exposes the transport's cost constants; real transports
+	// return zeros for the virtual-only entries.
+	Timing() Timing
+}
+
+// VirtualTimer is the optional capability interface of transports that run
+// on a virtual clock. The simulator implements it; real transports do not,
+// and callers must degrade gracefully (run the closure synchronously, skip
+// the charge). Core code holds it as a nillable field — never a type switch
+// on the concrete backend.
+type VirtualTimer interface {
+	// OnTimeline runs fn with the clock temporarily set to start and
+	// returns the clock value fn reached; the ambient clock is restored
+	// afterwards. Pipelined executors use it to run each operation on its
+	// own lane's timeline.
+	OnTimeline(start int64, fn func()) int64
+	// SetClock forces the clock to v (backwards allowed); benchmarks and
+	// recovery use it to align a fresh thread with cluster time.
+	SetClock(v int64)
+	// AtomicSvcNS returns the NIC service time of one atomic targeting a.
+	AtomicSvcNS(a Addr) int64
+	// ChargeAtomic books the cost of one atomic command — NIC pipelines,
+	// bucket serialization, a round trip, a failure count — without a
+	// memory effect.
+	ChargeAtomic(a Addr)
+	// ChargeSpin books a failed-CAS retry spin on a across [from, to) at
+	// the given cadence, charging fabric resources per retry, and returns
+	// the number of retries charged.
+	ChargeSpin(a Addr, from, to, cadence int64) int
+	// CASBacklog is CAS with backlogNS of NIC-bucket queueing prepended —
+	// the arbitration-aware variant the lock manager uses.
+	CASBacklog(a Addr, old, new uint64, backlogNS int64) (uint64, bool)
+	// CAS16Backlog is the 16-bit masked equivalent of CASBacklog.
+	CAS16Backlog(a Addr, old, new uint16, backlogNS int64) (uint16, bool)
+}
+
+// Timing carries the cost constants core code folds into its own
+// bookkeeping. Virtual transports fill every field; real transports report
+// zeros for virtual-only entries (a zero WraparoundGuardNS disables the
+// wraparound heuristic, a zero LocalStepNS makes Step free) and real
+// durations where the concept still applies (LeaseNS).
+type Timing struct {
+	// RTTNS is the one-sided verb round-trip estimate.
+	RTTNS int64
+	// LocalStepNS is the cost of one local compute step (node search,
+	// cache jump).
+	LocalStepNS int64
+	// LocalSpinNS is the polling cadence of a local lock spin.
+	LocalSpinNS int64
+	// PipelineIssueNS is the issue gap between pipelined operations.
+	PipelineIssueNS int64
+	// WraparoundGuardNS is §4.4's version-wraparound guard window; zero
+	// disables the guard (real clocks never re-read the same version
+	// within a wrap window).
+	WraparoundGuardNS int64
+	// LeaseNS is the liveness lease after which a crashed client's locks
+	// become reclaimable.
+	LeaseNS int64
+}
+
+// Grower is the raw, untimed allocation view of a cluster: topology plus
+// direct chunk growth with no client context and no clock. Setup-time bulk
+// loading runs over it; the simulated Fabric and the TCP client cluster both
+// implement it.
+type Grower interface {
+	// NumMS is the number of memory servers.
+	NumMS() int
+	// MSAlive reports whether memory server ms is reachable.
+	MSAlive(ms int) bool
+	// MSUsable reports whether ms should receive new allocations.
+	MSUsable(ms int) bool
+	// GrowChunkRaw grows one chunk on ms and returns its base offset,
+	// with no timing accounting.
+	GrowChunkRaw(ms uint16) uint64
+}
+
+// Crash is the panic value thrown by a transport whose compute server has
+// been killed; the session layer recovers it into ErrSessionDead. It lives
+// here so every backend throws the same type without importing the
+// simulator (sim.Crash is an alias of it).
+type Crash struct {
+	// CS is the dead compute server's id.
+	CS int
+}
+
+// Error makes a Crash usable as an error value after recovery.
+func (c Crash) Error() string { return fmt.Sprintf("transport: compute server %d crashed", c.CS) }
+
+// IsCrash reports whether a recovered panic value is a compute-server crash.
+func IsCrash(v any) (Crash, bool) {
+	c, ok := v.(Crash)
+	return c, ok
+}

@@ -45,7 +45,7 @@ func (t *Tree) ReReplicate(via int) (ReReplicationStats, error) {
 		h := t.tr.NewHandle(via, int(sessionSeq.Add(1)))
 		// Anchor the clock at the cluster's latest verb time so VirtualNS
 		// measures the repair, not the cluster's age (see Tree.Recover).
-		h.C.Clk.Set(t.c.cl.Faults().LatestVerbV())
+		t.c.anchorClock(h)
 		st, err = replica.New(h, replica.Options{}).ReReplicate()
 		return err
 	}()
@@ -72,6 +72,10 @@ type ReReplicationStats struct {
 
 // ReplicationStats snapshots the cluster's replication state.
 func (c *Cluster) ReplicationStats() ReplicationStats {
+	if c.cl == nil {
+		// Replication is sim-only; a TCP cluster always runs single-copy.
+		return ReplicationStats{ReplicationFactor: 1}
+	}
 	st := ReplicationStats{
 		ReplicationFactor: c.cl.ReplicationFactor(),
 		Failovers:         c.cl.Failovers(),

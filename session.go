@@ -309,6 +309,56 @@ func (s *Session) Flush() error {
 	return s.run(func() { s.a.Flush() })
 }
 
+// --- error-returning synchronous methods ---------------------------------
+
+// PutE stores value under key (insert or in-place update), reporting
+// ErrReservedKey for key 0 and ErrSessionDead on a crashed session. It is
+// the error-returning replacement for Put.
+func (s *Session) PutE(key, value uint64) error {
+	cop, err := PutOp(key, value).toCore()
+	if err != nil {
+		return err
+	}
+	_, err = s.submitWait(cop)
+	return err
+}
+
+// GetE returns the value stored under key, reporting ErrSessionDead on a
+// crashed session. It is the error-returning replacement for Get.
+func (s *Session) GetE(key uint64) (uint64, bool, error) {
+	r, err := s.submitWait(core.Op{Kind: stats.OpLookup, Key: key})
+	if err != nil {
+		return 0, false, err
+	}
+	return r.Value, r.Found, nil
+}
+
+// DeleteE removes key, reporting whether it was present, ErrReservedKey for
+// key 0, and ErrSessionDead on a crashed session. It is the error-returning
+// replacement for Delete.
+func (s *Session) DeleteE(key uint64) (bool, error) {
+	cop, err := DeleteOp(key).toCore()
+	if err != nil {
+		return false, err
+	}
+	r, err := s.submitWait(cop)
+	return r.Found, err
+}
+
+// ScanE returns up to span pairs with key >= from in ascending key order,
+// reporting ErrSessionDead on a crashed session. Like Scan it is not a
+// snapshot. It is the error-returning replacement for Scan.
+func (s *Session) ScanE(from uint64, span int) ([]KV, error) {
+	if span <= 0 {
+		return nil, nil
+	}
+	r, err := s.submitWait(core.Op{Kind: stats.OpRange, Key: from, Span: span})
+	if err != nil {
+		return nil, err
+	}
+	return r.KVs, nil
+}
+
 // --- legacy synchronous methods: thin wrappers over the unified API ------
 
 // legacyErr enforces the legacy methods' panic contracts: reserved keys keep
@@ -341,8 +391,11 @@ func (s *Session) submitWait(cop core.Op) (core.OpResult, error) {
 
 // Put stores value under key, inserting or updating in place. Key 0 is
 // reserved and panics (it is the tree's deleted-entry sentinel, §4.4), as
-// does a dead session (with ErrSessionDead); use Submit for the typed-error
-// contract.
+// does a dead session (with ErrSessionDead).
+//
+// Deprecated: prefer PutE (or Submit/Exec), which report ErrReservedKey and
+// ErrSessionDead as errors instead of panicking. Put remains for
+// compatibility with the original synchronous contract.
 func (s *Session) Put(key, value uint64) {
 	cop, err := PutOp(key, value).toCore()
 	if err == nil {
@@ -352,7 +405,10 @@ func (s *Session) Put(key, value uint64) {
 }
 
 // Get returns the value stored under key. A dead session panics with
-// ErrSessionDead; use Submit for the typed-error contract.
+// ErrSessionDead.
+//
+// Deprecated: prefer GetE (or Submit/Exec), which report ErrSessionDead as
+// an error instead of panicking.
 func (s *Session) Get(key uint64) (uint64, bool) {
 	r, err := s.submitWait(core.Op{Kind: stats.OpLookup, Key: key})
 	legacyErr(err)
@@ -360,8 +416,10 @@ func (s *Session) Get(key uint64) (uint64, bool) {
 }
 
 // Delete removes key, reporting whether it was present. Key 0 is reserved
-// and panics, as does a dead session (with ErrSessionDead); use Submit for
-// the typed-error contract.
+// and panics, as does a dead session (with ErrSessionDead).
+//
+// Deprecated: prefer DeleteE (or Submit/Exec), which report ErrReservedKey
+// and ErrSessionDead as errors instead of panicking.
 func (s *Session) Delete(key uint64) bool {
 	cop, err := DeleteOp(key).toCore()
 	var r core.OpResult
@@ -376,6 +434,9 @@ func (s *Session) Delete(key uint64) bool {
 // Like the paper's range query (§4.4), a scan is not atomic with concurrent
 // writes: each leaf is read consistently, but the scan as a whole is not a
 // snapshot. A dead session panics with ErrSessionDead.
+//
+// Deprecated: prefer ScanE (or Submit/Exec), which report ErrSessionDead as
+// an error instead of panicking.
 func (s *Session) Scan(from uint64, span int) []KV {
 	if span <= 0 {
 		return nil
@@ -453,7 +514,7 @@ func (s *Session) VirtualNow() int64 { return s.h.C.Now() }
 // a pipelined session to fold outstanding operations in.
 func (s *Session) Stats() SessionStats {
 	r := s.h.Rec
-	m := &s.h.C.M
+	m := s.h.Metrics()
 	return SessionStats{
 		Lookups:      r.Ops[stats.OpLookup],
 		Inserts:      r.Ops[stats.OpInsert],
@@ -561,6 +622,7 @@ type Cursor struct {
 	buf  []KV
 	i    int
 	done bool
+	err  error
 }
 
 // Cursor opens a cursor positioned at the first key >= from. The refill
@@ -574,7 +636,9 @@ func (s *Session) Cursor(from uint64) *Cursor {
 }
 
 // Next returns the next pair in ascending key order, or ok=false when the
-// range is exhausted.
+// range is exhausted — or when a refill failed, which Err reports. Next
+// never panics: a crashed compute server ends the iteration cleanly with
+// Err returning ErrSessionDead.
 func (c *Cursor) Next() (kv KV, ok bool) {
 	for {
 		if c.i < len(c.buf) {
@@ -585,7 +649,13 @@ func (c *Cursor) Next() (kv KV, ok bool) {
 		if c.done {
 			return KV{}, false
 		}
-		c.buf = c.s.Scan(c.next, c.span)
+		buf, err := c.s.ScanE(c.next, c.span)
+		if err != nil {
+			c.err = err
+			c.done = true
+			return KV{}, false
+		}
+		c.buf = buf
 		c.i = 0
 		if len(c.buf) < c.span {
 			c.done = true // the tree ran out before the span filled
@@ -601,3 +671,7 @@ func (c *Cursor) Next() (kv KV, ok bool) {
 		}
 	}
 }
+
+// Err returns the error that terminated the iteration early, or nil after a
+// clean exhaustion. Check it once Next reports ok=false.
+func (c *Cursor) Err() error { return c.err }

@@ -1,0 +1,284 @@
+package sherman
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestEMethods covers the error-returning synchronous API: the happy path,
+// the reserved-key rejection, and the post-crash ErrSessionDead contract
+// that replaces the legacy methods' panics.
+func TestEMethods(t *testing.T) {
+	c := testCluster(t)
+	tree := testTree(t, c, TreeOptions{})
+	s, err := tree.SessionAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := s.PutE(7, 70); err != nil {
+		t.Fatalf("PutE: %v", err)
+	}
+	if v, ok, err := s.GetE(7); err != nil || !ok || v != 70 {
+		t.Fatalf("GetE(7) = %d, %v, %v", v, ok, err)
+	}
+	if _, ok, err := s.GetE(8); err != nil || ok {
+		t.Fatalf("GetE(8) = present (err %v), want absent", err)
+	}
+	if err := s.PutE(9, 90); err != nil {
+		t.Fatal(err)
+	}
+	kvs, err := s.ScanE(1, 10)
+	if err != nil || len(kvs) != 2 || kvs[0].Key != 7 || kvs[1].Key != 9 {
+		t.Fatalf("ScanE = %v, %v", kvs, err)
+	}
+	if found, err := s.DeleteE(7); err != nil || !found {
+		t.Fatalf("DeleteE(7) = %v, %v", found, err)
+	}
+	if found, err := s.DeleteE(7); err != nil || found {
+		t.Fatalf("DeleteE(7) again = %v, %v", found, err)
+	}
+
+	if err := s.PutE(0, 1); !errors.Is(err, ErrReservedKey) {
+		t.Fatalf("PutE(0) err = %v, want ErrReservedKey", err)
+	}
+	if _, err := s.DeleteE(0); !errors.Is(err, ErrReservedKey) {
+		t.Fatalf("DeleteE(0) err = %v, want ErrReservedKey", err)
+	}
+
+	// A crashed compute server turns every E-method into ErrSessionDead —
+	// no panics.
+	if err := c.KillComputeServer(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutE(5, 50); !errors.Is(err, ErrSessionDead) {
+		t.Fatalf("PutE after crash err = %v, want ErrSessionDead", err)
+	}
+	if _, _, err := s.GetE(5); !errors.Is(err, ErrSessionDead) {
+		t.Fatalf("GetE after crash err = %v, want ErrSessionDead", err)
+	}
+	if _, err := s.DeleteE(5); !errors.Is(err, ErrSessionDead) {
+		t.Fatalf("DeleteE after crash err = %v, want ErrSessionDead", err)
+	}
+	if _, err := s.ScanE(1, 4); !errors.Is(err, ErrSessionDead) {
+		t.Fatalf("ScanE after crash err = %v, want ErrSessionDead", err)
+	}
+}
+
+// TestCursorErr checks both ends of the Cursor.Err contract: nil after a
+// clean exhaustion, ErrSessionDead after the session's compute server dies
+// mid-iteration — with Next ending the iteration instead of panicking.
+func TestCursorErr(t *testing.T) {
+	c := testCluster(t)
+	tree := testTree(t, c, TreeOptions{})
+	s, err := tree.SessionAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(1); k <= 100; k++ {
+		if err := s.PutE(k, k*3); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cur := s.Cursor(1)
+	n := 0
+	for _, ok := cur.Next(); ok; _, ok = cur.Next() {
+		n++
+	}
+	if n != 100 || cur.Err() != nil {
+		t.Fatalf("clean cursor: %d pairs, err %v", n, cur.Err())
+	}
+
+	cur = s.Cursor(1)
+	if _, ok := cur.Next(); !ok {
+		t.Fatal("first Next failed")
+	}
+	if err := c.KillComputeServer(0); err != nil {
+		t.Fatal(err)
+	}
+	// Drain the already-buffered leaf; the next refill must fail cleanly.
+	for _, ok := cur.Next(); ok; _, ok = cur.Next() {
+	}
+	if !errors.Is(cur.Err(), ErrSessionDead) {
+		t.Fatalf("cursor err after crash = %v, want ErrSessionDead", cur.Err())
+	}
+}
+
+// TestFabricParamsValidation checks the typed config rejections: a negative
+// fabric field names itself in ErrBadFabricParams, any fabric override on
+// TCP is rejected (a real network's timing is not tunable), and the
+// sim-only features are refused up front with ErrSimOnly.
+func TestFabricParamsValidation(t *testing.T) {
+	_, err := NewCluster(ClusterConfig{
+		MemoryServers: 1, ComputeServers: 1,
+		Fabric: FabricParams{RTTNS: -1},
+	})
+	if !errors.Is(err, ErrBadFabricParams) || !strings.Contains(err.Error(), "RTTNS") {
+		t.Fatalf("negative RTTNS err = %v, want ErrBadFabricParams naming RTTNS", err)
+	}
+	_, err = NewCluster(ClusterConfig{
+		MemoryServers: 1, ComputeServers: 1,
+		Fabric: FabricParams{AtomicBuckets: -5},
+	})
+	if !errors.Is(err, ErrBadFabricParams) || !strings.Contains(err.Error(), "AtomicBuckets") {
+		t.Fatalf("negative AtomicBuckets err = %v", err)
+	}
+
+	_, err = NewCluster(ClusterConfig{
+		MemoryServers: 1, ComputeServers: 1, Transport: TransportTCP,
+		Fabric: FabricParams{RTTNS: 2000},
+	})
+	if !errors.Is(err, ErrBadFabricParams) || !strings.Contains(err.Error(), "RTTNS") {
+		t.Fatalf("fabric override on tcp err = %v, want ErrBadFabricParams naming RTTNS", err)
+	}
+	_, err = NewCluster(ClusterConfig{
+		MemoryServers: 2, ComputeServers: 1, Transport: TransportTCP,
+		ReplicationFactor: 2,
+	})
+	if !errors.Is(err, ErrSimOnly) {
+		t.Fatalf("replication on tcp err = %v, want ErrSimOnly", err)
+	}
+	_, err = NewCluster(ClusterConfig{
+		MemoryServers: 2, ComputeServers: 1, Transport: TransportTCP,
+		MaxMemoryServers: 4,
+	})
+	if !errors.Is(err, ErrSimOnly) {
+		t.Fatalf("scale-out headroom on tcp err = %v, want ErrSimOnly", err)
+	}
+	if _, err = NewCluster(ClusterConfig{MemoryServers: 1, ComputeServers: 1, Transport: "infiniband"}); err == nil {
+		t.Fatal("unknown transport accepted")
+	}
+}
+
+// TestKillMemoryServerZeroRejected pins the superblock single-point
+// contract: memory server 0 holds the superblock and cannot be killed
+// (DESIGN.md §12).
+func TestKillMemoryServerZeroRejected(t *testing.T) {
+	c := testCluster(t)
+	if err := c.KillMemoryServer(0); err == nil || !strings.Contains(err.Error(), "superblock") {
+		t.Fatalf("KillMemoryServer(0) err = %v, want superblock rejection", err)
+	}
+	if err := c.KillMemoryServer(-1); err == nil {
+		t.Fatal("KillMemoryServer(-1) accepted")
+	}
+}
+
+// TestTCPDifferential runs the random-stream oracle against a tree over the
+// TCP transport with two real shermand memory-server processes — the test
+// half of the `shermanbench -exp tcp` gate, at test-sized op counts. It
+// exercises launch, the wire protocol, doorbell coalescing, pipelined
+// sessions and teardown end to end.
+func TestTCPDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes and builds cmd/shermand")
+	}
+	c, err := NewCluster(ClusterConfig{
+		MemoryServers:  2,
+		ComputeServers: 2,
+		Transport:      TransportTCP,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	tree, err := c.CreateTree(TreeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		opsPerDepth = 3000
+		keySpace    = 1024
+		scanSpan    = 16
+	)
+	oracle := make(map[uint64]uint64, keySpace)
+	var kvs []KV
+	for k := uint64(1); k <= 256; k++ {
+		kvs = append(kvs, KV{Key: k, Value: k * 7})
+		oracle[k] = k * 7
+	}
+	if err := tree.Bulkload(kvs); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	for _, depth := range []int{1, 4} {
+		s, err := tree.SessionAt(depth%c.ComputeServers(), PipelineDepth(depth))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < opsPerDepth; i++ {
+			key := uint64(rng.Intn(keySpace)) + 1
+			switch r := rng.Intn(100); {
+			case r < 45:
+				v := rng.Uint64() | 1
+				if err := s.PutE(key, v); err != nil {
+					t.Fatalf("depth %d op %d: PutE: %v", depth, i, err)
+				}
+				oracle[key] = v
+			case r < 75:
+				v, ok, err := s.GetE(key)
+				if err != nil {
+					t.Fatalf("depth %d op %d: GetE: %v", depth, i, err)
+				}
+				ov, ook := oracle[key]
+				if ok != ook || (ok && v != ov) {
+					t.Fatalf("depth %d op %d: GetE(%d) = %d,%v; oracle %d,%v", depth, i, key, v, ok, ov, ook)
+				}
+			case r < 90:
+				found, err := s.DeleteE(key)
+				if err != nil {
+					t.Fatalf("depth %d op %d: DeleteE: %v", depth, i, err)
+				}
+				if _, ook := oracle[key]; found != ook {
+					t.Fatalf("depth %d op %d: DeleteE(%d) = %v; oracle %v", depth, i, key, found, ook)
+				}
+				delete(oracle, key)
+			default:
+				got, err := s.ScanE(key, scanSpan)
+				if err != nil {
+					t.Fatalf("depth %d op %d: ScanE: %v", depth, i, err)
+				}
+				var keys []uint64
+				for k := range oracle {
+					if k >= key {
+						keys = append(keys, k)
+					}
+				}
+				sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+				if len(keys) > scanSpan {
+					keys = keys[:scanSpan]
+				}
+				if len(got) != len(keys) {
+					t.Fatalf("depth %d op %d: ScanE(%d) %d pairs, oracle %d", depth, i, key, len(got), len(keys))
+				}
+				for j, k := range keys {
+					if got[j].Key != k || got[j].Value != oracle[k] {
+						t.Fatalf("depth %d op %d: ScanE(%d)[%d] = %v, oracle {%d %d}", depth, i, key, j, got[j], k, oracle[k])
+					}
+				}
+			}
+		}
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Sim-only surfaces must refuse cleanly on this cluster.
+	if err := c.KillComputeServer(0); !errors.Is(err, ErrSimOnly) {
+		t.Fatalf("KillComputeServer on tcp err = %v, want ErrSimOnly", err)
+	}
+	if err := c.KillMemoryServer(1); !errors.Is(err, ErrSimOnly) {
+		t.Fatalf("KillMemoryServer on tcp err = %v, want ErrSimOnly", err)
+	}
+	if _, err := c.AddMemoryServer(); !errors.Is(err, ErrSimOnly) {
+		t.Fatalf("AddMemoryServer on tcp err = %v, want ErrSimOnly", err)
+	}
+	if _, err := tree.Rebalance(0); !errors.Is(err, ErrSimOnly) {
+		t.Fatalf("Rebalance on tcp err = %v, want ErrSimOnly", err)
+	}
+}

@@ -172,7 +172,7 @@ func (c *Cluster) CreateTree(opts TreeOptions) (*Tree, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Tree{c: c, tr: core.New(c.cl, cfg)}
+	t := &Tree{c: c, tr: core.New(c.be, cfg)}
 	c.treeMu.Lock()
 	c.trees = append(c.trees, t)
 	c.treeMu.Unlock()
@@ -317,7 +317,7 @@ func (t *Tree) Recover(cs int) (rs RecoveryStats, err error) {
 	// otherwise the sweep's first contended acquisition would spend virtual
 	// time catching up through all prior activity and the reported latency
 	// would measure the cluster's age, not the recovery.
-	h.C.Clk.Set(t.c.cl.Faults().LatestVerbV())
+	t.c.anchorClock(h)
 	t0 := h.C.Now()
 	repairs, complete := h.RecoverStructure()
 	rs = RecoveryStats{SplitRepairs: repairs, VirtualNS: h.C.Now() - t0}
@@ -335,7 +335,7 @@ func (t *Tree) Recover(cs int) (rs RecoveryStats, err error) {
 			continue
 		}
 		oh := other.tr.NewHandle(cs, int(sessionSeq.Add(1)))
-		oh.C.Clk.Set(h.C.Now())
+		oh.SetClock(h.C.Now())
 		n, ok := oh.RecoverStructure()
 		rs.SplitRepairs += n
 		if !ok {
