@@ -19,8 +19,11 @@ const (
 	// default.
 	TransportSim = "sim"
 	// TransportTCP runs against real memory-server processes (cmd/shermand)
-	// over TCP with real clocks. Fault injection, replication, and
-	// elasticity are sim-only; their methods return ErrSimOnly.
+	// over TCP with real clocks. Replication and memory-server failover are
+	// real here — a membership service heartbeats the servers, and
+	// KillMemoryServer SIGKILLs a launched process. Compute-side fault
+	// injection, elasticity, and live migration are sim-only; their methods
+	// return ErrSimOnly.
 	TransportTCP = "tcp"
 )
 
@@ -66,7 +69,8 @@ type ClusterConfig struct {
 	// chunk's writes are mirrored to k-1 replica chunks on distinct other
 	// memory servers, and a memory-server death promotes the freshest replica
 	// of each lost chunk with zero lost acknowledged writes (see DESIGN.md
-	// §12). Must not exceed MemoryServers. Sim-only.
+	// §12; §13 for the TCP backend's membership-driven variant). Must not
+	// exceed MemoryServers.
 	ReplicationFactor int
 
 	// Fabric overrides the simulated network timing model. The zero value
@@ -223,8 +227,8 @@ func newTCPCluster(cfg ClusterConfig) (*Cluster, error) {
 	if f := cfg.Fabric.firstSet(); f != "" {
 		return nil, fmt.Errorf("%w: %s is set, but Transport %q has no simulated fabric to tune", ErrBadFabricParams, f, TransportTCP)
 	}
-	if cfg.ReplicationFactor > 1 {
-		return nil, fmt.Errorf("%w: ReplicationFactor %d (replication)", ErrSimOnly, cfg.ReplicationFactor)
+	if cfg.ReplicationFactor < 0 || cfg.ReplicationFactor > alloc.MaxReplicationFactor {
+		return nil, fmt.Errorf("sherman: ReplicationFactor %d outside [0, %d]", cfg.ReplicationFactor, alloc.MaxReplicationFactor)
 	}
 	if cfg.MaxMemoryServers != 0 {
 		return nil, fmt.Errorf("%w: MaxMemoryServers (online scale-out)", ErrSimOnly)
@@ -244,7 +248,15 @@ func newTCPCluster(cfg ClusterConfig) (*Cluster, error) {
 	} else if cfg.MemoryServers != 0 && cfg.MemoryServers != len(endpoints) {
 		return nil, fmt.Errorf("sherman: MemoryServers %d does not match %d Endpoints", cfg.MemoryServers, len(endpoints))
 	}
-	tc, err := tcp.NewCluster(endpoints, cfg.ComputeServers)
+	if cfg.ReplicationFactor > len(endpoints) {
+		if ts != nil {
+			ts.Stop()
+		}
+		return nil, fmt.Errorf("sherman: ReplicationFactor %d exceeds %d memory servers", cfg.ReplicationFactor, len(endpoints))
+	}
+	tc, err := tcp.NewCluster(endpoints, cfg.ComputeServers, tcp.Options{
+		ReplicationFactor: cfg.ReplicationFactor,
+	})
 	if err != nil {
 		if ts != nil {
 			ts.Stop()
@@ -358,21 +370,38 @@ func (c *Cluster) ComputeServerAlive(cs int) bool {
 	return !c.cl.Faults().Dead(cs)
 }
 
-// KillMemoryServer simulates the permanent death of memory server ms: its
-// NIC stops answering, reads of its memory return zeros, and writes to it
-// are lost. With replication enabled the cluster fails over synchronously —
-// the freshest complete replica of every chunk the server owned is promoted
-// and all acknowledged writes remain readable; run Tree.ReReplicate
-// afterwards to restore full redundancy. Without replication the server's
-// data is simply gone (the call still succeeds; it models the failure the
-// replication subsystem exists to survive). Memory server 0 holds the
-// cluster superblock and cannot be killed, and a dead server cannot be
-// killed twice. Sim-only.
+// KillMemoryServer fails memory server ms permanently: reads of its memory
+// return zeros, and writes to it are lost. On the simulator its NIC stops
+// answering; on TransportTCP the shermand process this cluster launched is
+// SIGKILLed for real (external Endpoints are not this process's to kill and
+// return ErrSimOnly). With replication enabled the cluster fails over
+// synchronously — the freshest complete replica of every chunk the server
+// owned is promoted and all acknowledged writes remain readable; run
+// Tree.ReReplicate afterwards to restore full redundancy. Without
+// replication the server's data is simply gone (the call still succeeds; it
+// models the failure the replication subsystem exists to survive). Memory
+// server 0 holds the cluster superblock and cannot be killed, and a dead
+// server cannot be killed twice.
 func (c *Cluster) KillMemoryServer(ms int) error {
-	if c.cl == nil {
-		return fmt.Errorf("%w: KillMemoryServer", ErrSimOnly)
+	if c.cl != nil {
+		return c.cl.KillMS(ms)
 	}
-	return c.cl.KillMS(ms)
+	if c.ts == nil {
+		return fmt.Errorf("%w: KillMemoryServer on external Endpoints (this process does not own the servers)", ErrSimOnly)
+	}
+	if ms <= 0 || ms >= c.numMS() {
+		return fmt.Errorf("sherman: cannot kill memory server %d (valid: 1..%d; server 0 holds the superblock)", ms, c.numMS()-1)
+	}
+	if !c.tc.MSAlive(ms) {
+		return fmt.Errorf("sherman: memory server %d is already dead", ms)
+	}
+	if err := c.ts.Kill(ms); err != nil {
+		return err
+	}
+	// Publish the death (and run failover promotion) immediately rather
+	// than waiting for a heartbeat or client verb to trip over the corpse.
+	c.tc.MarkDead(ms)
+	return nil
 }
 
 // MemoryServerAlive reports whether memory server ms is currently up. On

@@ -11,7 +11,8 @@
 //
 // Experiments: table1 table2 fig2 fig3 fig10 fig11 fig12 fig13 fig14
 // fig15a fig15b fig15c fig16 extras ycsb batch pipeline faults elastic
-// cache alloc replica all quick
+// cache alloc replica tcp tcpfault all quick (tcp and tcpfault spawn real
+// shermand processes and are not part of all)
 //
 // Machine-readable output and CI gating:
 //
@@ -39,7 +40,10 @@
 // replication gate (a memory server killed mid-window loses zero acked
 // writes — each tracked key reachable exactly once after failover and
 // re-replication — and factor-2 steady-state throughput stays within 90%
-// of the unreplicated control).
+// of the unreplicated control); with -exp tcpfault, the TCP fault gate (a
+// real shermand process SIGKILLed mid-window over the TCP transport loses
+// zero acked writes, at least one chunk fails over, and re-replication
+// restores full redundancy on the survivors).
 package main
 
 import (
@@ -56,7 +60,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (table1,table2,fig2,fig3,fig10,fig11,fig12,fig13,fig14,fig15a,fig15b,fig15c,fig16,extras,ycsb,batch,pipeline,faults,elastic,cache,alloc,replica,tcp,all,quick; tcp spawns real shermand processes and is not part of all)")
+		exp      = flag.String("exp", "all", "experiment id (table1,table2,fig2,fig3,fig10,fig11,fig12,fig13,fig14,fig15a,fig15b,fig15c,fig16,extras,ycsb,batch,pipeline,faults,elastic,cache,alloc,replica,tcp,tcpfault,all,quick; tcp and tcpfault spawn real shermand processes and are not part of all)")
 		keys     = flag.Uint64("keys", 0, "key-space size (0 = scale default)")
 		windowMS = flag.Int("window", 0, "virtual measurement window in ms (0 = scale default)")
 		warmup   = flag.Int("warmup", 0, "warmup ops per thread (0 = scale default)")
@@ -106,8 +110,9 @@ func main() {
 	var elastic *bench.ElasticResult
 	var cacheRes *bench.CacheResult
 	var replicaRes *bench.ReplicaResult
+	var tcpFaultRes *tcpFaultResult
 	for _, id := range ids {
-		run(strings.TrimSpace(id), s, col, report, &churn, &elastic, &cacheRes, &replicaRes)
+		run(strings.TrimSpace(id), s, col, report, &churn, &elastic, &cacheRes, &replicaRes, &tcpFaultRes)
 	}
 	report.Metrics = col.Metrics
 
@@ -144,7 +149,7 @@ func main() {
 		}
 	}
 	if *check {
-		if err := runChecks(ids, s, col, churn, elastic, cacheRes, replicaRes); err != nil {
+		if err := runChecks(ids, s, col, churn, elastic, cacheRes, replicaRes, tcpFaultRes); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			failed = true
 		}
@@ -157,7 +162,7 @@ func main() {
 // runChecks executes the hard assertions of the selected experiments,
 // evaluating the results this invocation already produced (the pipeline
 // sweep's metrics, the fault churn's rounds) rather than re-running them.
-func runChecks(ids []string, s bench.Scale, col *bench.Collector, churn *bench.FaultResult, elastic *bench.ElasticResult, cacheRes *bench.CacheResult, replicaRes *bench.ReplicaResult) error {
+func runChecks(ids []string, s bench.Scale, col *bench.Collector, churn *bench.FaultResult, elastic *bench.ElasticResult, cacheRes *bench.CacheResult, replicaRes *bench.ReplicaResult, tcpFaultRes *tcpFaultResult) error {
 	for _, id := range ids {
 		switch strings.TrimSpace(id) {
 		case "pipeline":
@@ -190,12 +195,17 @@ func runChecks(ids []string, s bench.Scale, col *bench.Collector, churn *bench.F
 				return err
 			}
 			fmt.Println("replica gate: zero acked writes lost to the mid-window MS kill, all reachable exactly once; factor-2 steady state within 90% of control")
+		case "tcpfault":
+			if err := tcpFaultGate(tcpFaultRes); err != nil {
+				return err
+			}
+			fmt.Println("tcpfault gate: zero acked writes lost to the SIGKILLed shermand, all reachable exactly once; failover real, redundancy restored")
 		}
 	}
 	return nil
 }
 
-func run(id string, s bench.Scale, col *bench.Collector, report *bench.Report, churn **bench.FaultResult, elastic **bench.ElasticResult, cacheRes **bench.CacheResult, replicaRes **bench.ReplicaResult) {
+func run(id string, s bench.Scale, col *bench.Collector, report *bench.Report, churn **bench.FaultResult, elastic **bench.ElasticResult, cacheRes **bench.CacheResult, replicaRes **bench.ReplicaResult, tcpFaultRes **tcpFaultResult) {
 	start := time.Now()
 	var tables []*bench.Table
 	switch id {
@@ -258,6 +268,21 @@ func run(id string, s bench.Scale, col *bench.Collector, report *bench.Report, c
 		if t != nil {
 			tables = []*bench.Table{t}
 		}
+		if err != nil {
+			for _, t := range tables {
+				fmt.Println(t)
+			}
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case "tcpfault":
+		// A run error (failed launch, worker verb error) fails regardless of
+		// -check; the semantic gate itself runs under -check.
+		t, r, err := runTCPFault()
+		if t != nil {
+			tables = []*bench.Table{t}
+		}
+		*tcpFaultRes = r
 		if err != nil {
 			for _, t := range tables {
 				fmt.Println(t)

@@ -30,6 +30,14 @@ func (c ChunkID) Contains(a rdma.Addr) bool {
 	return !a.OnChip() && ChunkOf(a) == c
 }
 
+// MaxForwardHops bounds a forwarding chase: a chunk may be relocated many
+// times over a cluster's life (migration, then failover of the target, ...),
+// and each relocation adds at most one hop to the chase a reader performs
+// after observing a dead node. The bound is a defensive cap on that chain —
+// distinct from MaxReplicationFactor, which bounds copies of one chunk, not
+// generations of relocation.
+const MaxForwardHops = 8
+
 // forwardEntry is one installed chunk relocation.
 type forwardEntry struct {
 	newBase rdma.Addr

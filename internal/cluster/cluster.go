@@ -164,6 +164,12 @@ func (c *Cluster) KillMS(ms int) error {
 // MSAlive reports whether memory server ms is live.
 func (c *Cluster) MSAlive(ms int) bool { return c.F.Faults.MSAlive(ms) }
 
+// MSUsable reports whether memory server ms should receive new placements:
+// live and not draining.
+func (c *Cluster) MSUsable(ms int) bool {
+	return c.F.Faults.MSAlive(ms) && !c.F.Servers()[ms].Draining()
+}
+
 // Failovers returns the number of chunks promoted to a replica after a
 // memory-server death.
 func (c *Cluster) Failovers() int64 { return c.failovers.Load() }
@@ -236,7 +242,7 @@ func (c *Cluster) RawWrite(a rdma.Addr, data []byte) {
 // map when a's server is dead — so Validate and Stats keep working after a
 // memory-server death, reading the promoted replicas instead.
 func (c *Cluster) RawRead(a rdma.Addr, buf []byte) {
-	for hop := 0; hop < alloc.MaxReplicationFactor; hop++ {
+	for hop := 0; hop < alloc.MaxForwardHops; hop++ {
 		if c.F.Faults.MSAlive(int(a.MS())) {
 			break
 		}

@@ -48,9 +48,22 @@ type Backend interface {
 	// Replicas is the chunk→replicas placement table; nil when replication
 	// is off.
 	Replicas() *alloc.ReplicaMap
+	// ReplicationFactor is the configured copies per chunk (0/1 = off).
+	ReplicationFactor() int
 	// OnChunkInvalidate registers a hook run for every chunk failed over to
 	// a replica, so trees can purge cached pointers into dead memory.
 	OnChunkInvalidate(fn func(alloc.ChunkID))
 	// MSAlive reports whether memory server ms is reachable.
 	MSAlive(ms int) bool
+	// NumMS is the current memory-server count.
+	NumMS() int
+	// MSUsable reports whether ms should receive new placements (alive and
+	// not draining).
+	MSUsable(ms int) bool
+
+	// MigrationLock and MigrationUnlock bound the cluster-wide critical
+	// section shared by migration and re-replication engines: two sweeps
+	// must never relocate or repair the same chunk concurrently.
+	MigrationLock()
+	MigrationUnlock()
 }

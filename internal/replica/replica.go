@@ -92,21 +92,22 @@ func New(h *core.Handle, opt Options) *Engine {
 // up to MaxChunks of them. Safe while client threads run; the repaired
 // chunks serve reads and writes throughout.
 func (e *Engine) ReReplicate() (Stats, error) {
-	cl := e.t.Cluster()
+	be := e.t.Backend()
+	rep := be.Replicas()
 	var st Stats
-	if cl.Rep == nil {
+	if rep == nil {
 		return st, nil
 	}
 	start := e.h.C.Now()
-	cl.MigrationLock()
-	defer cl.MigrationUnlock()
-	queue := cl.Rep.UnderReplicated(cl.ReplicationFactor())
+	be.MigrationLock()
+	defer be.MigrationUnlock()
+	queue := rep.UnderReplicated(be.ReplicationFactor())
 	e.sortHottest(queue)
 	for _, ck := range queue {
 		if st.ChunksRepaired >= e.opt.maxChunks() {
 			break
 		}
-		if !cl.MSAlive(int(ck.MS)) {
+		if !be.MSAlive(int(ck.MS)) {
 			continue // raced a death; failover owns this chunk now
 		}
 		ms := e.pickTarget(ck)
@@ -115,15 +116,15 @@ func (e *Engine) ReReplicate() (Stats, error) {
 			continue
 		}
 		dst := rdma.MakeAddr(uint16(ms), e.h.C.GrowChunk(uint16(ms)))
-		if !cl.Rep.AddPendingReplica(ck, dst) {
+		if !rep.AddPendingReplica(ck, dst) {
 			st.SkippedNoTarget++
 			continue // re-keyed by a racing failover, or set full
 		}
 		copied := e.h.CopyChunk(ck, dst)
-		if !cl.MSAlive(int(ck.MS)) {
+		if !be.MSAlive(int(ck.MS)) {
 			continue // source died mid-copy; leave the backfill pending
 		}
-		cl.Rep.CompleteReplica(ck, dst)
+		rep.CompleteReplica(ck, dst)
 		e.h.Rec.ReReplications++
 		st.ChunksRepaired++
 		st.SlotsCopied += copied
@@ -137,9 +138,15 @@ func (e *Engine) ReReplicate() (Stats, error) {
 
 // sortHottest orders the repair queue by the chunks' inbound verb counts,
 // hottest first, with the deterministic (server, index) order breaking ties
-// so paced sweeps stay reproducible.
+// so paced sweeps stay reproducible. Per-chunk heat counters are a
+// simulator instrument; on a real network the queue keeps its deterministic
+// order (repair priority is a policy refinement, not a correctness need).
 func (e *Engine) sortHottest(cks []alloc.ChunkID) {
-	servers := e.t.Cluster().F.Servers()
+	cl := e.t.Cluster()
+	if cl == nil {
+		return
+	}
+	servers := cl.F.Servers()
 	heat := make(map[alloc.ChunkID]int64, len(cks))
 	for _, ck := range cks {
 		if int(ck.MS) < len(servers) {
@@ -151,30 +158,40 @@ func (e *Engine) sortHottest(cks []alloc.ChunkID) {
 	sort.SliceStable(cks, func(i, j int) bool { return heat[cks[i]] > heat[cks[j]] })
 }
 
-// pickTarget returns the coldest live, non-draining server not already
-// holding a copy of ck, or -1 when none qualifies.
+// pickTarget returns a usable server not already holding a copy of ck, or
+// -1 when none qualifies. On the simulator it picks the coldest by inbound
+// verb count; on a real network (no load counters) it walks round-robin
+// from the primary's successor so repairs spread across the cluster.
 func (e *Engine) pickTarget(ck alloc.ChunkID) int {
-	cl := e.t.Cluster()
+	be := e.t.Backend()
 	var holders [alloc.MaxReplicationFactor]uint16
-	nh := cl.Rep.Holders(ck, &holders)
-	best, bestOps := -1, int64(0)
-	for i, s := range cl.F.Servers() {
-		if s.Dead() || s.Draining() {
-			continue
-		}
-		held := false
+	nh := be.Replicas().Holders(ck, &holders)
+	held := func(i int) bool {
 		for j := 0; j < nh; j++ {
 			if int(holders[j]) == i {
-				held = true
-				break
+				return true
 			}
 		}
-		if held {
-			continue
+		return false
+	}
+	if cl := e.t.Cluster(); cl != nil {
+		best, bestOps := -1, int64(0)
+		for i, s := range cl.F.Servers() {
+			if s.Dead() || s.Draining() || held(i) {
+				continue
+			}
+			if ops := s.InboundOps(); best < 0 || ops < bestOps {
+				best, bestOps = i, ops
+			}
 		}
-		if ops := s.InboundOps(); best < 0 || ops < bestOps {
-			best, bestOps = i, ops
+		return best
+	}
+	n := be.NumMS()
+	for d := 1; d <= n; d++ {
+		i := (int(ck.MS) + d) % n
+		if be.MSUsable(i) && !held(i) {
+			return i
 		}
 	}
-	return best
+	return -1
 }

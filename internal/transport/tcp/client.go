@@ -10,9 +10,12 @@ import (
 
 const dialTimeout = 5 * time.Second
 
-// clockBase anchors the process-wide real clock: Now() is monotonic
-// nanoseconds since process start, shared by every Transport so lease
-// arithmetic compares like with like.
+// clockBase anchors this process's monotonic clock. On its own it is NOT a
+// valid lease-time origin — two client processes would stamp locks against
+// different zeros — so Transport.Now() adds the cluster's clock offset,
+// established against memory server 0's Ping epoch at NewCluster time.
+// Every client process of one cluster thereby compares lease stamps on the
+// same (server-anchored) timeline.
 var clockBase = time.Now()
 
 func nowNS() int64 { return time.Since(clockBase).Nanoseconds() }
@@ -80,13 +83,21 @@ func (t *Transport) conn(ms uint16) (*msConn, bool) {
 			return nil, false
 		}
 		t.conns[ms] = &msConn{c: c, r: bufio.NewReader(c)}
+		// Register with the cluster so a failover (possibly detected by the
+		// membership service while this goroutine is blocked mid-read on a
+		// stalled server) can force our pending round trip to error out.
+		t.cl.registerConn(int(ms), c)
 	}
 	return t.conns[ms], true
 }
 
 // request performs one round trip against ms. ok=false means the server is
 // dead: the caller applies the dead-memory semantics every backend shares —
-// reads zero-fill, writes and atomics are discarded (see DESIGN.md §10).
+// reads zero-fill, writes are discarded, atomics fabricate success from
+// zeroed memory so validating reads observe the death (DESIGN.md §12).
+// markDead runs failover promotion synchronously before returning, so by
+// the time a verb reports a dead server the forwarding map already
+// redirects its chunks.
 func (t *Transport) request(ms uint16, op byte, payload []byte) ([]byte, bool) {
 	mc, ok := t.conn(ms)
 	if !ok {
@@ -95,6 +106,7 @@ func (t *Transport) request(ms uint16, op byte, payload []byte) ([]byte, bool) {
 	resp, err := mc.request(op, payload)
 	if err != nil {
 		mc.c.Close()
+		t.cl.unregisterConn(int(ms), mc.c)
 		t.conns[ms] = nil
 		t.cl.markDead(int(ms))
 		return nil, false
@@ -110,6 +122,7 @@ func (t *Transport) Close() {
 	for i, mc := range t.conns {
 		if mc != nil {
 			mc.c.Close()
+			t.cl.unregisterConn(i, mc.c)
 			t.conns[i] = nil
 		}
 	}
@@ -163,6 +176,13 @@ func (t *Transport) ReadMulti(ops []transport.ReadOp) {
 			if done[j] || ops[j].Addr.MS() != ms {
 				continue
 			}
+			if ok && off+len(ops[j].Buf) > len(resp) {
+				// Truncated response: the server died (or desynchronized)
+				// mid-batch. Treat it as a death — zero-fill the rest of
+				// the group rather than slicing past the frame.
+				t.cl.markDead(int(ms))
+				ok = false
+			}
 			if ok {
 				copy(ops[j].Buf, resp[off:off+len(ops[j].Buf)])
 			} else {
@@ -211,6 +231,14 @@ func (t *Transport) CAS(a transport.Addr, old, new uint64) (uint64, bool) {
 	t.payload = appendU64(appendU64(appendU64(t.payload[:0], uint64(a)), old), new)
 	resp, ok := t.request(a.MS(), opCAS, t.payload)
 	if !ok {
+		// Dead memory fabricates the atomic from zeroed bytes, exactly as
+		// the simulator does (DESIGN.md §12): a CAS expecting 0 "succeeds"
+		// so lock acquisition proceeds into its validating read, which
+		// observes the death and takes the chase/failover path — instead of
+		// spinning forever on a false CAS.
+		if old == 0 {
+			return 0, true
+		}
 		t.m.CASFailures++
 		return 0, false
 	}
@@ -229,6 +257,10 @@ func (t *Transport) CAS16(a transport.Addr, old, new uint16) (uint16, bool) {
 	t.payload = append(t.payload, byte(old), byte(old>>8), byte(new), byte(new>>8))
 	resp, ok := t.request(a.MS(), opCAS16, t.payload)
 	if !ok {
+		// Same fabricated-from-zero contract as CAS above.
+		if old == 0 {
+			return 0, true
+		}
 		t.m.CASFailures++
 		return 0, false
 	}
@@ -264,7 +296,10 @@ func (t *Transport) GrowChunk(ms uint16) uint64 {
 
 // --- clock and topology ----------------------------------------------------
 
-func (t *Transport) Now() int64      { return nowNS() }
+// Now returns cluster time: this process's monotonic clock shifted onto the
+// timeline anchored at memory server 0's Ping epoch, so lease stamps are
+// comparable across client processes.
+func (t *Transport) Now() int64      { return nowNS() + t.cl.clockOff.Load() }
 func (t *Transport) Step(int64)      {}
 func (t *Transport) AdvanceTo(int64) {}
 

@@ -3,40 +3,89 @@ package tcp
 import (
 	"encoding/binary"
 	"fmt"
+	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sherman/internal/alloc"
 	"sherman/internal/hocl"
 	"sherman/internal/transport"
 )
 
+// Options configures a TCP cluster beyond its endpoint list.
+type Options struct {
+	// ReplicationFactor is the number of copies each data chunk keeps,
+	// including the primary (0/1 = off). At 2+ allocators place factor-1
+	// mirror chunks on distinct other servers, client writes are mirrored
+	// as coalesced WriteBatch frames, and a memory-server death promotes
+	// each of its chunks to the freshest replica before the detecting verb
+	// returns.
+	ReplicationFactor int
+	// HeartbeatInterval is the membership service's ping cadence; 0 means
+	// the 50ms default, negative disables heartbeats (deaths are then
+	// detected only by I/O errors on client verbs).
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout is the per-ping deadline after which an unresponsive
+	// server is declared dead; 0 means the 200ms default (one lease).
+	HeartbeatTimeout time.Duration
+}
+
 // Cluster is the client-side view of a set of shermand processes: the
 // core.Backend of the TCP transport. It mirrors internal/cluster.Cluster's
 // role for the simulator — transport factory, allocator wiring, lock
 // manager construction, raw superblock access — against real sockets.
 //
-// Replication is not wired over TCP (Replicas returns nil, rf is 1): the
-// mirror engine leans on virtual-time watermarks to bound ack lag, and a
-// real deployment would use a real consensus/backup path instead. The
-// forwarding map exists but stays empty until a live-migration driver runs.
+// Fault tolerance is real here: a membership service heartbeats every
+// server on a wall-clock interval, I/O errors on any client verb feed the
+// same death path, and under replication each death synchronously promotes
+// the dead server's chunks to their freshest replicas (DESIGN.md §13).
+// Elasticity and live migration remain sim-only.
 type Cluster struct {
 	endpoints []string
 	numCS     int
 	onChip    int
+	rf        int // copies per chunk incl. primary (0/1 = off)
 
 	// AllocStats aggregates allocator activity across all client threads.
 	AllocStats alloc.Stats
 
-	// Fwd is the chunk forwarding map (see internal/cluster); empty unless
-	// a migration driver installs entries.
+	// Fwd is the chunk forwarding map (see internal/cluster): failover
+	// promotions install permanent entries here.
 	Fwd *alloc.Forwarding
+
+	// Rep is the chunk→replicas placement table (nil when replication is
+	// off), the same compute-side structure the simulator uses.
+	Rep *alloc.ReplicaMap
+
+	// clockOff shifts this process's monotonic clock onto the cluster
+	// timeline anchored at memory server 0's Ping epoch (see Transport.Now).
+	clockOff atomic.Int64
 
 	// dead[ms] flips once when ms becomes unreachable; every Transport of
 	// this cluster shares the view, so one thread's I/O error makes the
 	// death visible to all (the fabric-manager gossip of §2 collapsed to a
-	// process-local flag).
-	dead []atomic.Bool
+	// process-local flag). deadOnce serializes the failover promotion that
+	// must complete before the death is published.
+	dead     []atomic.Bool
+	deadOnce []sync.Once
+
+	// conns registers every live client connection per server so failover
+	// can force round trips blocked on a stalled (not closed) server to
+	// error out.
+	connMu sync.Mutex
+	conns  []map[net.Conn]struct{}
+
+	invMu        sync.Mutex
+	invalidators []func(alloc.ChunkID)
+
+	failovers atomic.Int64
+
+	// migMu serializes re-replication engines cluster-wide, mirroring the
+	// simulator's migration critical section.
+	migMu sync.Mutex
+
+	hb *membership
 
 	// raw is the metadata client behind RawRead/RawWrite/SetRoot — unlike
 	// per-thread Transports it is shared, hence the mutex.
@@ -45,21 +94,36 @@ type Cluster struct {
 }
 
 // NewCluster dials the given shermand endpoints and prepares the cluster:
-// every server is pinged (verifying protocol agreement and on-chip
-// capacity) and memory server 0's first chunk is reserved for the
-// superblock, exactly like the simulated cluster's setup.
-func NewCluster(endpoints []string, numCS int) (*Cluster, error) {
+// every server is pinged (verifying protocol agreement, on-chip capacity,
+// and anchoring the cluster clock to server 0's epoch), memory server 0's
+// first chunk is reserved for the superblock, and the membership service
+// starts heartbeating — exactly the simulated cluster's setup plus the
+// pieces a real network needs.
+func NewCluster(endpoints []string, numCS int, opt Options) (*Cluster, error) {
 	if len(endpoints) == 0 {
 		return nil, fmt.Errorf("tcp: need at least one memory server endpoint")
 	}
 	if numCS <= 0 {
 		return nil, fmt.Errorf("tcp: need at least one compute server")
 	}
+	rf := opt.ReplicationFactor
+	if rf < 0 || rf > alloc.MaxReplicationFactor {
+		return nil, fmt.Errorf("tcp: replication factor %d not in [0,%d]", rf, alloc.MaxReplicationFactor)
+	}
+	if rf > len(endpoints) {
+		return nil, fmt.Errorf("tcp: replication factor %d exceeds %d memory servers", rf, len(endpoints))
+	}
 	c := &Cluster{
 		endpoints: endpoints,
 		numCS:     numCS,
+		rf:        rf,
 		Fwd:       alloc.NewForwarding(),
 		dead:      make([]atomic.Bool, len(endpoints)),
+		deadOnce:  make([]sync.Once, len(endpoints)),
+		conns:     make([]map[net.Conn]struct{}, len(endpoints)),
+	}
+	if rf > 1 {
+		c.Rep = alloc.NewReplicaMap()
 	}
 	c.raw = c.newTransport(0)
 	for ms := range endpoints {
@@ -76,6 +140,14 @@ func NewCluster(endpoints []string, numCS int) (*Cluster, error) {
 		if p.err != nil {
 			return nil, fmt.Errorf("tcp: bad ping response from %s: %v", endpoints[ms], p.err)
 		}
+		if ms == 0 {
+			// Anchor the cluster clock: server 0's monotonic epoch becomes
+			// the shared lease-time origin of every client process.
+			serverNow := int64(p.u64())
+			if p.err == nil {
+				c.clockOff.Store(serverNow - nowNS())
+			}
+		}
 		if c.onChip == 0 || onChip < c.onChip {
 			c.onChip = onChip
 		}
@@ -86,16 +158,28 @@ func NewCluster(endpoints []string, numCS int) (*Cluster, error) {
 	if base := c.raw.GrowChunk(0); base != 0 {
 		return nil, fmt.Errorf("tcp: memory server 0 is not fresh (superblock chunk at %#x)", base)
 	}
+	if opt.HeartbeatInterval >= 0 {
+		c.hb = startMembership(c, opt.HeartbeatInterval, opt.HeartbeatTimeout)
+	}
 	return c, nil
 }
 
-// Close drops the metadata client's connections. Per-thread Transports are
-// closed by their owners; the server processes are owned by the launcher.
-func (c *Cluster) Close() { c.raw.Close() }
+// Close stops the membership service and drops the metadata client's
+// connections. Per-thread Transports are closed by their owners; the server
+// processes are owned by the launcher.
+func (c *Cluster) Close() {
+	if c.hb != nil {
+		c.hb.stop()
+	}
+	c.raw.Close()
+}
 
 // Shutdown asks every live memory server to exit (the orderly counterpart
 // of killing the processes).
 func (c *Cluster) Shutdown() {
+	if c.hb != nil {
+		c.hb.stop()
+	}
 	c.rawMu.Lock()
 	defer c.rawMu.Unlock()
 	for ms := range c.endpoints {
@@ -105,7 +189,67 @@ func (c *Cluster) Shutdown() {
 }
 
 func (c *Cluster) isDead(ms int) bool { return c.dead[ms].Load() }
-func (c *Cluster) markDead(ms int)    { c.dead[ms].Store(true) }
+
+// markDead publishes the death of memory server ms. Under replication the
+// failover promotion runs first, inside the sync.Once — a concurrent caller
+// blocks until it finishes — so by the time any verb observes dead[ms] the
+// forwarding map already redirects every promoted chunk: the same
+// no-dark-window guarantee the simulator gets from its synchronous
+// OnMSDeath listener. The promotion itself issues no network verbs (the
+// replica copies are already on the live servers; only compute-side maps
+// change), so running it inside the detecting verb cannot deadlock.
+func (c *Cluster) markDead(ms int) {
+	if ms < 0 || ms >= len(c.endpoints) {
+		return
+	}
+	c.deadOnce[ms].Do(func() {
+		if c.Rep != nil {
+			alive := func(i int) bool { return i != ms && !c.dead[i].Load() }
+			promoted := c.Rep.FailoverServer(uint16(ms), alive)
+			for _, p := range promoted {
+				c.Fwd.InstallReplica(p.Old, p.NewBase)
+				c.invMu.Lock()
+				invs := c.invalidators
+				c.invMu.Unlock()
+				for _, inv := range invs {
+					inv(p.Old)
+				}
+			}
+			c.failovers.Add(int64(len(promoted)))
+		}
+		c.dead[ms].Store(true)
+		// Unblock any goroutine stuck mid-round-trip on the dead server
+		// (a SIGSTOPped process holds its sockets open without answering).
+		c.connMu.Lock()
+		for conn := range c.conns[ms] {
+			conn.Close()
+		}
+		c.conns[ms] = nil
+		c.connMu.Unlock()
+	})
+}
+
+// MarkDead declares memory server ms dead, running failover promotion as if
+// a verb had observed the death. The launcher's kill path calls it right
+// after SIGKILL so tests don't wait out a heartbeat interval.
+func (c *Cluster) MarkDead(ms int) { c.markDead(ms) }
+
+func (c *Cluster) registerConn(ms int, conn net.Conn) {
+	c.connMu.Lock()
+	if c.conns[ms] == nil {
+		c.conns[ms] = make(map[net.Conn]struct{})
+	}
+	c.conns[ms][conn] = struct{}{}
+	c.connMu.Unlock()
+}
+
+func (c *Cluster) unregisterConn(ms int, conn net.Conn) {
+	c.connMu.Lock()
+	if c.conns[ms] != nil {
+		delete(c.conns[ms], conn)
+	}
+	c.connMu.Unlock()
+}
 
 func (c *Cluster) newTransport(cs int) *Transport {
 	return &Transport{cl: c, cs: uint16(cs), conns: make([]*msConn, len(c.endpoints))}
@@ -118,14 +262,24 @@ func (c *Cluster) newTransport(cs int) *Transport {
 // boundary — CSID still partitions the local lock tables.
 func (c *Cluster) NewTransport(cs int) transport.Transport { return c.newTransport(cs) }
 
-// NewThreadAllocator pairs a client thread with its stage-two allocator.
+// NewThreadAllocator pairs a client thread with its stage-two allocator,
+// wired for replica placement when the cluster replicates.
 func (c *Cluster) NewThreadAllocator(cl transport.Transport, seed int) *alloc.ThreadAllocator {
-	return alloc.NewThreadAllocator(cl, &c.AllocStats, seed)
+	a := alloc.NewThreadAllocator(cl, &c.AllocStats, seed)
+	if c.Rep != nil {
+		a.SetReplication(c.Rep, c.rf)
+	}
+	return a
 }
 
-// NewBulk builds a setup-time bulk allocator over the raw growth path.
+// NewBulk builds a setup-time bulk allocator over the raw growth path,
+// wired for replica placement when the cluster replicates.
 func (c *Cluster) NewBulk() *alloc.Bulk {
-	return alloc.NewBulk(c, &c.AllocStats)
+	b := alloc.NewBulk(c, &c.AllocStats)
+	if c.Rep != nil {
+		b.SetReplication(c.Rep, c.rf)
+	}
+	return b
 }
 
 // NewLockManager builds the remote lock manager: no fabric, no virtual-time
@@ -146,20 +300,32 @@ func (c *Cluster) SetRoot(root transport.Addr, level uint8) {
 	c.RawWrite(transport.MakeAddr(0, 0), buf[:])
 }
 
-// RawWrite stores data at a without timing (no replication over TCP).
+// RawWrite stores data at a without timing, mirrored to a's chunk replicas
+// when the cluster replicates — setup-time writes (bulk load, free bits)
+// must be failover-covered like any client write.
 func (c *Cluster) RawWrite(a transport.Addr, data []byte) {
 	c.rawMu.Lock()
 	defer c.rawMu.Unlock()
 	c.raw.Write(a, data)
+	if c.Rep == nil {
+		return
+	}
+	var ts alloc.TargetSet
+	if c.Rep.Targets(alloc.ChunkOf(a), &ts) {
+		inner := a.Off() % transport.DefaultChunkSize
+		for i := 0; i < ts.N; i++ {
+			c.raw.Write(ts.Bases[i].Add(inner), data)
+		}
+	}
 }
 
 // RawRead loads len(buf) bytes at a without timing, chasing the forwarding
-// map when a's server is dead (the map is empty unless a migration driver
-// populated it, so this normally reads a directly).
+// map when a's server is dead — so Validate and Stats keep working after a
+// memory-server death, reading the promoted replicas instead.
 func (c *Cluster) RawRead(a transport.Addr, buf []byte) {
 	c.rawMu.Lock()
 	defer c.rawMu.Unlock()
-	for hop := 0; hop < alloc.MaxReplicationFactor; hop++ {
+	for hop := 0; hop < alloc.MaxForwardHops; hop++ {
 		if !c.isDead(int(a.MS())) {
 			break
 		}
@@ -175,13 +341,31 @@ func (c *Cluster) RawRead(a transport.Addr, buf []byte) {
 // Forwarding is the chunk forwarding map.
 func (c *Cluster) Forwarding() *alloc.Forwarding { return c.Fwd }
 
-// Replicas returns nil: chunk replication is not wired over TCP.
-func (c *Cluster) Replicas() *alloc.ReplicaMap { return nil }
+// Replicas is the chunk→replicas placement table (nil when replication is
+// off).
+func (c *Cluster) Replicas() *alloc.ReplicaMap { return c.Rep }
 
-// OnChunkInvalidate registers a chunk re-key listener. No failover
-// promotion runs over TCP, so the callback is never invoked; accepting it
-// keeps the Backend contract uniform.
-func (c *Cluster) OnChunkInvalidate(fn func(alloc.ChunkID)) {}
+// ReplicationFactor returns the configured copies per chunk (0/1 = off).
+func (c *Cluster) ReplicationFactor() int { return c.rf }
+
+// OnChunkInvalidate registers a hook the MS-death promotion path calls for
+// every chunk it fails over, so trees drop cached pointers into the dead
+// server.
+func (c *Cluster) OnChunkInvalidate(fn func(alloc.ChunkID)) {
+	c.invMu.Lock()
+	c.invalidators = append(c.invalidators, fn)
+	c.invMu.Unlock()
+}
+
+// Failovers returns the number of chunks promoted to a replica after a
+// memory-server death.
+func (c *Cluster) Failovers() int64 { return c.failovers.Load() }
+
+// MigrationLock enters the cluster-wide re-replication critical section.
+func (c *Cluster) MigrationLock() { c.migMu.Lock() }
+
+// MigrationUnlock leaves the re-replication critical section.
+func (c *Cluster) MigrationUnlock() { c.migMu.Unlock() }
 
 // MSAlive reports whether memory server ms is reachable.
 func (c *Cluster) MSAlive(ms int) bool { return !c.isDead(ms) }

@@ -1,0 +1,227 @@
+package tcp
+
+import (
+	"bytes"
+	"syscall"
+	"testing"
+	"time"
+
+	"sherman/internal/alloc"
+	"sherman/internal/hocl"
+	"sherman/internal/rdma"
+	"sherman/internal/sim"
+	"sherman/internal/transport"
+)
+
+// startServers runs n in-process memory servers on loopback and returns
+// their endpoints. In-process servers exercise the full wire protocol
+// without building cmd/shermand.
+func startServers(t *testing.T, n int) []string {
+	t.Helper()
+	endpoints := make([]string, n)
+	for i := 0; i < n; i++ {
+		srv, err := NewServer("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Serve()
+		t.Cleanup(srv.Close)
+		endpoints[i] = srv.Addr()
+	}
+	return endpoints
+}
+
+// TestDeadVerbsMatchSimulator is the cross-backend contract test for dead
+// memory (DESIGN.md §12): reads zero-fill, writes are discarded, and atomics
+// fabricate their response from zeroed memory — a CAS expecting 0 appears to
+// succeed so lock acquisition proceeds into its validating read, which
+// observes the death. The same verb script runs against a simulated fabric
+// and a TCP cluster with a server marked dead; every response must match.
+func TestDeadVerbsMatchSimulator(t *testing.T) {
+	type outcome struct {
+		readZero             bool
+		casZeroPrev, casPrev uint64
+		casZeroOK, casOK     bool
+		cas16Prev            uint16
+		cas16ZeroOK, cas16OK bool
+		faa                  uint64
+	}
+
+	script := func(c transport.Transport, base uint64, kill func()) outcome {
+		a := transport.MakeAddr(1, base+64)
+		c.Write(a, []byte{9, 9, 9, 9, 9, 9, 9, 9})
+		kill()
+		var o outcome
+		buf := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+		c.Read(a, buf)
+		o.readZero = bytes.Equal(buf, make([]byte, 8))
+		o.casZeroPrev, o.casZeroOK = c.CAS(a, 0, 42) // expecting zero: fabricated success
+		o.casPrev, o.casOK = c.CAS(a, 9, 42)         // expecting the old bytes: failure
+		_, o.cas16ZeroOK = c.CAS16(transport.MakeOnChipAddr(1, 2), 0, 7)
+		o.cas16Prev, o.cas16OK = c.CAS16(transport.MakeOnChipAddr(1, 2), 3, 7)
+		o.faa = c.FAA(a, 5)
+		c.Write(a, []byte{8, 8, 8, 8, 8, 8, 8, 8}) // discarded, must not panic
+		return o
+	}
+
+	f := rdma.NewFabric(sim.DefaultParams(), 2, 1)
+	simClient := f.NewClient(0)
+	simOut := script(simClient, simClient.GrowChunk(1), func() {
+		f.Faults.KillMS(1, 0)
+	})
+
+	c, err := NewCluster(startServers(t, 2), 1, Options{HeartbeatInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	tr := c.NewTransport(0)
+	defer tr.(*Transport).Close()
+	tcpOut := script(tr, tr.GrowChunk(1), func() {
+		c.MarkDead(1)
+	})
+
+	if simOut != tcpOut {
+		t.Fatalf("dead-verb semantics diverge:\n  sim %+v\n  tcp %+v", simOut, tcpOut)
+	}
+	// Pin the contract itself, not just the agreement.
+	if !tcpOut.readZero {
+		t.Error("dead read did not zero-fill")
+	}
+	if !tcpOut.casZeroOK || tcpOut.casZeroPrev != 0 {
+		t.Errorf("dead CAS(old=0) = %d,%v; want fabricated 0,true", tcpOut.casZeroPrev, tcpOut.casZeroOK)
+	}
+	if tcpOut.casOK || tcpOut.casPrev != 0 {
+		t.Errorf("dead CAS(old=9) = %d,%v; want 0,false", tcpOut.casPrev, tcpOut.casOK)
+	}
+	if !tcpOut.cas16ZeroOK || tcpOut.cas16OK || tcpOut.cas16Prev != 0 {
+		t.Errorf("dead CAS16 = (%d, zeroOK=%v, ok=%v); want 0, true, false",
+			tcpOut.cas16Prev, tcpOut.cas16ZeroOK, tcpOut.cas16OK)
+	}
+	if tcpOut.faa != 0 {
+		t.Errorf("dead FAA = %d, want 0", tcpOut.faa)
+	}
+}
+
+// TestForwardingChaseTwoHops pins the RawRead forwarding chase across a
+// chain of deaths: a chunk failed over from ms1 to ms2, then from ms2 to
+// ms0, must resolve through two hops (the hop bound is MaxForwardHops, a
+// constant that once was silently conflated with the replication-factor
+// cap).
+func TestForwardingChaseTwoHops(t *testing.T) {
+	c, err := NewCluster(startServers(t, 3), 1, Options{HeartbeatInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	tr := c.NewTransport(0)
+	defer tr.(*Transport).Close()
+
+	base1 := tr.GrowChunk(1)
+	base2 := tr.GrowChunk(2)
+	base0 := tr.GrowChunk(0)
+	data := []byte("surviving copy on ms0")
+	// Only the final holder has the bytes; the intermediates stay empty, as
+	// after real promotions (the data moved by mirroring, not by the map).
+	tr.Write(transport.MakeAddr(0, base0+128), data)
+
+	a1 := transport.MakeAddr(1, base1+128)
+	c.Fwd.InstallReplica(alloc.ChunkOf(a1), transport.MakeAddr(2, base2))
+	c.Fwd.InstallReplica(alloc.ChunkOf(transport.MakeAddr(2, base2)), transport.MakeAddr(0, base0))
+	c.MarkDead(1)
+	c.MarkDead(2)
+
+	buf := make([]byte, len(data))
+	c.RawRead(a1, buf)
+	if !bytes.Equal(buf, data) {
+		t.Fatalf("RawRead through 2 hops = %q, want %q", buf, data)
+	}
+}
+
+// TestLeaseReclaimRealClock exercises lease-expiry lock reclamation on the
+// real clock: a client thread acquires a lock and vanishes without
+// releasing; a second thread's acquisition must spin out the full lease
+// (200ms of wall time) and then steal the word, reporting Reclaimed so the
+// caller re-validates the protected object.
+func TestLeaseReclaimRealClock(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins a real 200ms lease")
+	}
+	c, err := NewCluster(startServers(t, 1), 2, Options{HeartbeatInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	m := c.NewLockManager(hocl.Config{Mode: hocl.Baseline()})
+
+	dead := c.NewTransport(1)
+	defer dead.(*Transport).Close()
+	g := m.LockIdx(dead, 0, 3)
+	if g.Reclaimed() {
+		t.Fatal("first acquisition reclaimed")
+	}
+	// The holder "crashes": never unlocks, never pings again.
+
+	tr := c.NewTransport(0)
+	defer tr.(*Transport).Close()
+	start := time.Now()
+	g2 := m.LockIdx(tr, 0, 3)
+	waited := time.Since(start)
+	if !g2.Reclaimed() {
+		t.Fatal("second acquisition did not report Reclaimed")
+	}
+	lease := time.Duration(tr.Timing().LeaseNS)
+	if waited < lease/2 {
+		t.Fatalf("stole after %v, before the %v lease could plausibly expire", waited, lease)
+	}
+	m.Unlock(tr, g2, nil, false)
+
+	// A third acquisition after a clean release is an ordinary fast one.
+	start = time.Now()
+	g3 := m.LockIdx(tr, 0, 3)
+	if g3.Reclaimed() || time.Since(start) > lease/2 {
+		t.Fatalf("post-release acquisition: reclaimed=%v after %v", g3.Reclaimed(), time.Since(start))
+	}
+	m.Unlock(tr, g3, nil, false)
+}
+
+// TestHeartbeatDetectsSIGSTOP pins the failure mode that only a deadline
+// can catch: a SIGSTOPped server keeps its sockets open (the kernel ACKs
+// writes) but never answers, so death shows up as a heartbeat read timeout,
+// not an I/O error. Spawns real shermand processes.
+func TestHeartbeatDetectsSIGSTOP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes and builds cmd/shermand")
+	}
+	ls, err := LaunchLocal(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ls.Stop()
+	c, err := NewCluster(ls.Endpoints, 1, Options{
+		HeartbeatInterval: 10 * time.Millisecond,
+		HeartbeatTimeout:  100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := ls.Signal(1, syscall.SIGSTOP); err != nil {
+		t.Fatal(err)
+	}
+	// SIGCONT before reaping: Stop's SIGKILL reaps stopped processes too,
+	// but resuming keeps the teardown path uniform.
+	defer ls.Signal(1, syscall.SIGCONT)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for c.MSAlive(1) {
+		if time.Now().After(deadline) {
+			t.Fatal("membership service never declared the SIGSTOPped server dead")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !c.MSAlive(0) {
+		t.Fatal("healthy server was declared dead")
+	}
+}

@@ -10,6 +10,37 @@ import (
 	"time"
 )
 
+// Signal delivers sig to server ms's process — SIGSTOP stalls it without
+// closing its sockets (the silent-death case heartbeats must catch),
+// SIGCONT resumes it.
+func (ls *LocalServers) Signal(ms int, sig os.Signal) error {
+	if ms < 0 || ms >= len(ls.procs) || ls.procs[ms].Process == nil {
+		return fmt.Errorf("tcp: no server process %d", ms)
+	}
+	return ls.procs[ms].Process.Signal(sig)
+}
+
+// Kill SIGKILLs server ms's process — the real-world analogue of the
+// simulator's KillMS, taking effect mid-doorbell if one is in flight. The
+// process is reaped so it does not linger as a zombie; Stop remains safe to
+// call afterwards.
+func (ls *LocalServers) Kill(ms int) error {
+	if ms < 0 || ms >= len(ls.procs) || ls.procs[ms].Process == nil {
+		return fmt.Errorf("tcp: no server process %d", ms)
+	}
+	if err := ls.procs[ms].Process.Kill(); err != nil {
+		return err
+	}
+	waited := make(chan struct{})
+	go func(c *exec.Cmd) { c.Wait(); close(waited) }(ls.procs[ms])
+	select {
+	case <-waited:
+	case <-time.After(5 * time.Second):
+		return fmt.Errorf("tcp: server %d did not exit after SIGKILL", ms)
+	}
+	return nil
+}
+
 // LocalServers is a set of shermand processes launched on loopback for a
 // local cluster (the README's 2-process quickstart, the differential
 // oracle, the tcp bench experiment).

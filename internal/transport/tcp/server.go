@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"sherman/internal/transport"
 )
@@ -14,6 +15,12 @@ import (
 const OnChipBytes = 256 << 10
 
 const chunkSize = transport.DefaultChunkSize
+
+// serverStart anchors this server process's monotonic clock. Ping responses
+// carry nanoseconds since this instant so every client process can anchor
+// lease arithmetic to the same origin (the server's), not its own — lease
+// stamps written by one client process must be comparable in another.
+var serverStart = time.Now()
 
 // store is one memory server's memory: host chunks handed out by Grow plus
 // the fixed on-chip region. One mutex serializes every frame — see the
@@ -159,7 +166,8 @@ func (s *Server) handle(op byte, payload []byte) ([]byte, error) {
 	st := s.st
 	switch op {
 	case opPing:
-		return appendU32(nil, OnChipBytes), nil
+		resp := appendU32(nil, OnChipBytes)
+		return appendU64(resp, uint64(time.Since(serverStart).Nanoseconds())), nil
 
 	case opRead:
 		a := transport.Addr(p.u64())

@@ -29,7 +29,7 @@ import (
 
 // Request opcodes.
 const (
-	opPing       byte = 1 // () -> u32 onChipSize
+	opPing       byte = 1 // () -> u32 onChipSize, u64 serverNowNS (clock epoch)
 	opRead       byte = 2 // addr u64, n u32 -> n bytes
 	opReadBatch  byte = 3 // count u32, (addr u64, n u32)* -> concatenated bytes
 	opWriteBatch byte = 4 // count u32, (addr u64, n u32, data)* applied in order -> ()

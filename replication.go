@@ -72,20 +72,25 @@ type ReReplicationStats struct {
 
 // ReplicationStats snapshots the cluster's replication state.
 func (c *Cluster) ReplicationStats() ReplicationStats {
-	if c.cl == nil {
-		// Replication is sim-only; a TCP cluster always runs single-copy.
-		return ReplicationStats{ReplicationFactor: 1}
+	rf, failovers := 1, int64(0)
+	if c.cl != nil {
+		rf, failovers = c.cl.ReplicationFactor(), c.cl.Failovers()
+	} else {
+		rf, failovers = c.tc.ReplicationFactor(), c.tc.Failovers()
+		if rf == 0 {
+			rf = 1
+		}
 	}
 	st := ReplicationStats{
-		ReplicationFactor: c.cl.ReplicationFactor(),
-		Failovers:         c.cl.Failovers(),
+		ReplicationFactor: rf,
+		Failovers:         failovers,
 	}
-	if rep := c.cl.Rep; rep != nil {
+	if rep := c.be.Replicas(); rep != nil {
 		st.RegisteredChunks = rep.Len()
 		st.Promotions = rep.Promotions()
 		st.DroppedReplicas = rep.DroppedReplicas()
 		st.LostChunks = rep.Lost()
-		st.UnderReplicated = len(rep.UnderReplicated(c.cl.ReplicationFactor()))
+		st.UnderReplicated = len(rep.UnderReplicated(rf))
 	}
 	return st
 }

@@ -135,12 +135,21 @@ func TestFabricParamsValidation(t *testing.T) {
 	if !errors.Is(err, ErrBadFabricParams) || !strings.Contains(err.Error(), "RTTNS") {
 		t.Fatalf("fabric override on tcp err = %v, want ErrBadFabricParams naming RTTNS", err)
 	}
+	// Replication on TCP is real now (§13); only its bounds are rejected.
 	_, err = NewCluster(ClusterConfig{
 		MemoryServers: 2, ComputeServers: 1, Transport: TransportTCP,
-		ReplicationFactor: 2,
+		ReplicationFactor: 5,
 	})
-	if !errors.Is(err, ErrSimOnly) {
-		t.Fatalf("replication on tcp err = %v, want ErrSimOnly", err)
+	if err == nil || !strings.Contains(err.Error(), "ReplicationFactor") {
+		t.Fatalf("oversized factor on tcp err = %v, want ReplicationFactor range error", err)
+	}
+	_, err = NewCluster(ClusterConfig{
+		Transport: TransportTCP, ComputeServers: 1,
+		Endpoints:         []string{"127.0.0.1:1", "127.0.0.1:2"},
+		ReplicationFactor: 3,
+	})
+	if err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("factor > servers on tcp err = %v, want exceeds error", err)
 	}
 	_, err = NewCluster(ClusterConfig{
 		MemoryServers: 2, ComputeServers: 1, Transport: TransportTCP,
@@ -271,9 +280,6 @@ func TestTCPDifferential(t *testing.T) {
 	// Sim-only surfaces must refuse cleanly on this cluster.
 	if err := c.KillComputeServer(0); !errors.Is(err, ErrSimOnly) {
 		t.Fatalf("KillComputeServer on tcp err = %v, want ErrSimOnly", err)
-	}
-	if err := c.KillMemoryServer(1); !errors.Is(err, ErrSimOnly) {
-		t.Fatalf("KillMemoryServer on tcp err = %v, want ErrSimOnly", err)
 	}
 	if _, err := c.AddMemoryServer(); !errors.Is(err, ErrSimOnly) {
 		t.Fatalf("AddMemoryServer on tcp err = %v, want ErrSimOnly", err)
