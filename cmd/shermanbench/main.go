@@ -11,8 +11,8 @@
 //
 // Experiments: table1 table2 fig2 fig3 fig10 fig11 fig12 fig13 fig14
 // fig15a fig15b fig15c fig16 extras ycsb batch pipeline faults elastic
-// cache alloc replica tcp tcpfault all quick (tcp and tcpfault spawn real
-// shermand processes and are not part of all)
+// cache alloc replica tcp tcpfault tcppipe all quick (tcp, tcpfault and
+// tcppipe spawn real shermand processes and are not part of all)
 //
 // Machine-readable output and CI gating:
 //
@@ -43,7 +43,11 @@
 // of the unreplicated control); with -exp tcpfault, the TCP fault gate (a
 // real shermand process SIGKILLed mid-window over the TCP transport loses
 // zero acked writes, at least one chunk fails over, and re-replication
-// restores full redundancy on the survivors).
+// restores full redundancy on the survivors); with -exp tcppipe, the
+// pipelining gate (depth-8 pipelined read verbs over real sockets reach at
+// least 3x the depth-1 throughput — the multiplexed connections genuinely
+// keep the window in flight — and the matched-scale sim-vs-TCP session
+// rows are present).
 package main
 
 import (
@@ -60,7 +64,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (table1,table2,fig2,fig3,fig10,fig11,fig12,fig13,fig14,fig15a,fig15b,fig15c,fig16,extras,ycsb,batch,pipeline,faults,elastic,cache,alloc,replica,tcp,tcpfault,all,quick; tcp and tcpfault spawn real shermand processes and are not part of all)")
+		exp      = flag.String("exp", "all", "experiment id (table1,table2,fig2,fig3,fig10,fig11,fig12,fig13,fig14,fig15a,fig15b,fig15c,fig16,extras,ycsb,batch,pipeline,faults,elastic,cache,alloc,replica,tcp,tcpfault,tcppipe,all,quick; tcp, tcpfault and tcppipe spawn real shermand processes and are not part of all)")
 		keys     = flag.Uint64("keys", 0, "key-space size (0 = scale default)")
 		windowMS = flag.Int("window", 0, "virtual measurement window in ms (0 = scale default)")
 		warmup   = flag.Int("warmup", 0, "warmup ops per thread (0 = scale default)")
@@ -111,8 +115,9 @@ func main() {
 	var cacheRes *bench.CacheResult
 	var replicaRes *bench.ReplicaResult
 	var tcpFaultRes *tcpFaultResult
+	var tcpPipeRes *tcpPipeResult
 	for _, id := range ids {
-		run(strings.TrimSpace(id), s, col, report, &churn, &elastic, &cacheRes, &replicaRes, &tcpFaultRes)
+		run(strings.TrimSpace(id), s, col, report, &churn, &elastic, &cacheRes, &replicaRes, &tcpFaultRes, &tcpPipeRes)
 	}
 	report.Metrics = col.Metrics
 
@@ -149,7 +154,7 @@ func main() {
 		}
 	}
 	if *check {
-		if err := runChecks(ids, s, col, churn, elastic, cacheRes, replicaRes, tcpFaultRes); err != nil {
+		if err := runChecks(ids, s, col, churn, elastic, cacheRes, replicaRes, tcpFaultRes, tcpPipeRes); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			failed = true
 		}
@@ -162,7 +167,7 @@ func main() {
 // runChecks executes the hard assertions of the selected experiments,
 // evaluating the results this invocation already produced (the pipeline
 // sweep's metrics, the fault churn's rounds) rather than re-running them.
-func runChecks(ids []string, s bench.Scale, col *bench.Collector, churn *bench.FaultResult, elastic *bench.ElasticResult, cacheRes *bench.CacheResult, replicaRes *bench.ReplicaResult, tcpFaultRes *tcpFaultResult) error {
+func runChecks(ids []string, s bench.Scale, col *bench.Collector, churn *bench.FaultResult, elastic *bench.ElasticResult, cacheRes *bench.CacheResult, replicaRes *bench.ReplicaResult, tcpFaultRes *tcpFaultResult, tcpPipeRes *tcpPipeResult) error {
 	for _, id := range ids {
 		switch strings.TrimSpace(id) {
 		case "pipeline":
@@ -200,12 +205,18 @@ func runChecks(ids []string, s bench.Scale, col *bench.Collector, churn *bench.F
 				return err
 			}
 			fmt.Println("tcpfault gate: zero acked writes lost to the SIGKILLed shermand, all reachable exactly once; failover real, redundancy restored")
+		case "tcppipe":
+			if err := tcpPipeGate(tcpPipeRes); err != nil {
+				return err
+			}
+			fmt.Printf("tcppipe gate: depth-8 pipelined read verbs %.2fx depth-1 over real sockets (>= 3x), matched-scale sim-vs-TCP rows present\n",
+				tcpPipeRes.VerbMops[8]/tcpPipeRes.VerbMops[1])
 		}
 	}
 	return nil
 }
 
-func run(id string, s bench.Scale, col *bench.Collector, report *bench.Report, churn **bench.FaultResult, elastic **bench.ElasticResult, cacheRes **bench.CacheResult, replicaRes **bench.ReplicaResult, tcpFaultRes **tcpFaultResult) {
+func run(id string, s bench.Scale, col *bench.Collector, report *bench.Report, churn **bench.FaultResult, elastic **bench.ElasticResult, cacheRes **bench.CacheResult, replicaRes **bench.ReplicaResult, tcpFaultRes **tcpFaultResult, tcpPipeRes **tcpPipeResult) {
 	start := time.Now()
 	var tables []*bench.Table
 	switch id {
@@ -283,6 +294,19 @@ func run(id string, s bench.Scale, col *bench.Collector, report *bench.Report, c
 			tables = []*bench.Table{t}
 		}
 		*tcpFaultRes = r
+		if err != nil {
+			for _, t := range tables {
+				fmt.Println(t)
+			}
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case "tcppipe":
+		// A run error (failed launch, worker verb error) fails regardless of
+		// -check; the scaling gate itself runs under -check.
+		ts, r, err := runTCPPipe(col)
+		tables = ts
+		*tcpPipeRes = r
 		if err != nil {
 			for _, t := range tables {
 				fmt.Println(t)

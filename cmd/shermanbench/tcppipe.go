@@ -1,0 +1,390 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"sherman"
+	"sherman/internal/bench"
+	"sherman/internal/transport"
+	"sherman/internal/transport/tcp"
+)
+
+// runTCPPipe is the -exp tcppipe experiment: real-socket pipelining against
+// 3 shermand processes, measured at two layers.
+//
+// The gated layer is the transport itself: a depth sweep (1/2/4/8) of
+// pipelined leaf-sized read verbs through the multiplexed connections'
+// async issue/complete path (ReadAsync/Await — exactly what the pipelined
+// executor drives). Depth-8 must beat depth-1 by >= 3x: tagging, frame
+// coalescing and out-of-order demux have to actually amortize the per-frame
+// syscalls, or the whole v2 protocol is decoration. The ratio divides out
+// host speed, so the gate holds on slow CI machines where the absolute
+// numbers would be meaningless.
+//
+// The comparison layer is end-to-end: each worker streams Submits through
+// depth-N sessions — futures held open across the executor's window, so
+// depth-N sessions genuinely keep N operations in flight per memory
+// server — and the same sweep runs at matched scale on the simulated
+// fabric, giving the sim-vs-TCP rows ROADMAP asks for. TCP rows are honest
+// wall-clock Mops; sim rows are virtual-time Mops on the same op mix. The
+// session-level scaling is reported but not gated: a session op spends CPU
+// on the B+tree client (seek, leaf scan, executor) that a small host
+// cannot overlap with the wire, so its depth scaling is host-dependent in a
+// way the verb layer's is not.
+
+const (
+	tpNumMS    = 3
+	tpNumCS    = 2
+	tpWorkers  = 2
+	tpPreload  = 160000 // enough keys for a 4-level tree: one internal level below the always-cached top
+	tpKeySpace = tpPreload * 2
+	tpGetOps   = 6000 // per worker per depth
+	tpMixedOps = 4000 // per worker per depth
+	tpWarmup   = 300  // untimed per-worker ops before each depth's windows
+	tpDrain    = 64   // streamed futures held open before a drain
+	tpReps     = 3    // timed repetitions per depth; best rep is reported
+
+	tpVerbOps   = 20000 // pipelined read verbs per depth per rep
+	tpVerbSize  = 1024  // one default-node-sized read
+	tpVerbSlots = 64    // distinct seeded offsets per server
+)
+
+var tpDepths = []int{1, 2, 4, 8}
+
+// tcpPipeResult is the outcome runChecks gates on: per-depth pipelined verb
+// throughput (the gate), plus session get-phase and mixed-phase throughput,
+// TCP (wall) and sim (virtual), for the matched-scale comparison rows.
+type tcpPipeResult struct {
+	VerbMops     map[int]float64
+	TCPGetMops   map[int]float64
+	TCPMixedMops map[int]float64
+	SimGetMops   map[int]float64
+	SimMixedMops map[int]float64
+}
+
+// tpVerbSweep launches its own shermand trio and drives the depth sweep of
+// pipelined read verbs through the transport's AsyncVerbs path: a window of
+// depth in-flight reads, retiring the oldest before each issue, exactly the
+// issue/complete pattern the real executor uses. Best of tpReps per depth.
+func tpVerbSweep() (map[int]float64, error) {
+	ls, err := tcp.LaunchLocal(tpNumMS)
+	if err != nil {
+		return nil, fmt.Errorf("tcppipe: launch: %w", err)
+	}
+	defer ls.Stop()
+	cl, err := tcp.NewCluster(ls.Endpoints, 1, tcp.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("tcppipe: dial: %w", err)
+	}
+	defer cl.Close()
+	tr := cl.NewTransport(0)
+	av, ok := tr.(transport.AsyncVerbs)
+	if !ok {
+		return nil, fmt.Errorf("tcppipe: tcp transport does not implement AsyncVerbs")
+	}
+	// One chunk per server, seeded with leaf-sized records so the reads
+	// move real bytes.
+	bases := make([]transport.Addr, tpNumMS)
+	seed := make([]byte, tpVerbSize)
+	for ms := 0; ms < tpNumMS; ms++ {
+		bases[ms] = transport.MakeAddr(uint16(ms), tr.GrowChunk(uint16(ms)))
+		for s := 0; s < tpVerbSlots; s++ {
+			for i := range seed {
+				seed[i] = byte(ms + s + i)
+			}
+			tr.Write(bases[ms].Add(uint64(s*tpVerbSize)), seed)
+		}
+	}
+	// The window under test is the per-MS multiplexed connection's: depth-N
+	// keeps N verbs in flight per memory server. Each shermand is streamed
+	// in turn with a full depth-deep window on its connection (round-robin
+	// would dilute the per-connection depth to depth/numMS), and the depth's
+	// throughput aggregates all three servers' streams.
+	res := make(map[int]float64)
+	for _, depth := range tpDepths {
+		pend := make([]transport.Pending, depth)
+		bufs := make([][]byte, depth)
+		for i := range bufs {
+			bufs[i] = make([]byte, tpVerbSize)
+		}
+		var best float64
+		for rep := 0; rep < tpReps; rep++ {
+			var elapsed time.Duration
+			for ms := 0; ms < tpNumMS; ms++ {
+				start := time.Now()
+				for i := 0; i < tpVerbOps; i++ {
+					slot := i % depth
+					if i >= depth {
+						av.Await(pend[slot])
+					}
+					a := bases[ms].Add(uint64((i*7)%tpVerbSlots) * tpVerbSize)
+					pend[slot] = av.ReadAsync(a, bufs[slot])
+				}
+				for s := 0; s < depth; s++ {
+					av.Await(pend[s])
+				}
+				elapsed += time.Since(start)
+			}
+			if mops := float64(tpNumMS*tpVerbOps) / elapsed.Seconds() / 1e6; mops > best {
+				best = mops
+			}
+		}
+		res[depth] = best
+	}
+	return res, nil
+}
+
+// tpPhase drives one worker's streamed window: ops operations submitted
+// through the session's pipeline with up to tpDrain futures open, mixed or
+// get-only. Returns the first error any future carried.
+func tpPhase(s *sherman.Session, r *rand.Rand, ops int, mixed bool) error {
+	// Rolling FIFO of open futures: once full, retire only the oldest before
+	// each submit, so the executor's window never drains — a stop-the-world
+	// drain every tpDrain ops would bubble the pipeline at exactly the
+	// depths the experiment is trying to measure.
+	futs := make([]*sherman.Future, tpDrain)
+	head, tail := 0, 0
+	for i := 0; i < ops; i++ {
+		key := uint64(r.Intn(tpKeySpace)) + 1
+		var op sherman.Op
+		switch v := r.Intn(100); {
+		case !mixed || v >= 50:
+			op = sherman.GetOp(key)
+		case v < 40:
+			op = sherman.PutOp(key, key*31+uint64(i))
+		default:
+			op = sherman.DeleteOp(key)
+		}
+		if tail-head >= tpDrain {
+			if res := futs[head%tpDrain].Wait(); res.Err != nil {
+				return res.Err
+			}
+			head++
+		}
+		futs[tail%tpDrain] = s.Submit(op)
+		tail++
+	}
+	for ; head < tail; head++ {
+		if res := futs[head%tpDrain].Wait(); res.Err != nil {
+			return res.Err
+		}
+	}
+	return s.Flush()
+}
+
+// tpSweep runs the full depth sweep on one tree. wall=true measures
+// wall-clock seconds across the concurrent workers; wall=false measures the
+// longest worker's virtual-time span (the simulator's makespan convention).
+func tpSweep(tree *sherman.Tree, wall bool) (get, mixed map[int]float64, err error) {
+	get, mixed = make(map[int]float64), make(map[int]float64)
+	seed := int64(1)
+	round := func(depth, ops int, isMixed bool, seed int64) (float64, error) {
+		var spanMax int64 // sim: longest worker virtual span, ns
+		var spanMu sync.Mutex
+		var firstErr error
+		start := time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < tpWorkers; w++ {
+			wg.Add(1)
+			go func(w int, seed int64) {
+				defer wg.Done()
+				s, err := tree.SessionAt(w%tpNumCS, sherman.PipelineDepth(depth))
+				if err == nil {
+					r := rand.New(rand.NewSource(seed))
+					if err = tpPhase(s, r, tpWarmup, isMixed); err == nil {
+						v0 := s.VirtualNow()
+						if err = tpPhase(s, r, ops, isMixed); err == nil {
+							span := s.VirtualNow() - v0
+							spanMu.Lock()
+							if span > spanMax {
+								spanMax = span
+							}
+							spanMu.Unlock()
+						}
+					}
+				}
+				if err != nil {
+					spanMu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("tcppipe: depth %d worker %d: %w", depth, w, err)
+					}
+					spanMu.Unlock()
+				}
+			}(w, seed+int64(w))
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return 0, firstErr
+		}
+		total := float64(ops * tpWorkers)
+		if wall {
+			return total / time.Since(start).Seconds() / 1e6, nil
+		}
+		return total / (float64(spanMax) / 1e9) / 1e6, nil
+	}
+	for _, depth := range tpDepths {
+		for phase := 0; phase < 2; phase++ {
+			isMixed := phase == 1
+			ops := tpGetOps
+			if isMixed {
+				ops = tpMixedOps
+			}
+			// Best of tpReps timed rounds: wall-clock loopback throughput on
+			// a shared host is noisy, and the per-depth best is the stable
+			// estimate of what each depth can actually sustain.
+			var best float64
+			for rep := 0; rep < tpReps; rep++ {
+				mops, err := round(depth, ops, isMixed, seed)
+				if err != nil {
+					return nil, nil, err
+				}
+				if mops > best {
+					best = mops
+				}
+				seed += tpWorkers
+			}
+			if isMixed {
+				mixed[depth] = best
+			} else {
+				get[depth] = best
+			}
+		}
+	}
+	return get, mixed, nil
+}
+
+func runTCPPipe(col *bench.Collector) ([]*bench.Table, *tcpPipeResult, error) {
+	res := &tcpPipeResult{}
+
+	// Gated half: pipelined read verbs through the multiplexed transport.
+	{
+		var err error
+		if res.VerbMops, err = tpVerbSweep(); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// TCP session half: three real shermand processes.
+	{
+		c, err := sherman.NewCluster(sherman.ClusterConfig{
+			MemoryServers:  tpNumMS,
+			ComputeServers: tpNumCS,
+			Transport:      sherman.TransportTCP,
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("tcppipe: %w", err)
+		}
+		defer c.Close()
+		tree, err := c.CreateTree(sherman.TreeOptions{CacheLevels: -1})
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := tpBulkload(tree); err != nil {
+			return nil, nil, err
+		}
+		if res.TCPGetMops, res.TCPMixedMops, err = tpSweep(tree, true); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Sim half at matched scale: same servers, workers, op counts and mix.
+	{
+		c, err := sherman.NewCluster(sherman.ClusterConfig{
+			MemoryServers:  tpNumMS,
+			ComputeServers: tpNumCS,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		tree, err := c.CreateTree(sherman.TreeOptions{CacheLevels: -1})
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := tpBulkload(tree); err != nil {
+			return nil, nil, err
+		}
+		if res.SimGetMops, res.SimMixedMops, err = tpSweep(tree, false); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	vt := bench.NewTable(fmt.Sprintf("TCP pipelined read verbs: depth sweep over %d shermand processes (the -check gate)", tpNumMS),
+		"depth", "read verbs Mops", "us/verb", "vs depth-1")
+	for _, d := range tpDepths {
+		vt.Addf(fmt.Sprintf("%d", d),
+			fmt.Sprintf("%.3f", res.VerbMops[d]),
+			fmt.Sprintf("%.1f", 1/res.VerbMops[d]),
+			fmt.Sprintf("%.2fx", res.VerbMops[d]/res.VerbMops[1]))
+		col.Add(bench.Metric{Exp: "tcppipe", Name: fmt.Sprintf("tcppipe/verb_read_d%d", d),
+			Mops: res.VerbMops[d], KopsPerThread: res.VerbMops[d] * 1e3})
+	}
+	vt.Note("%d-byte reads through ReadAsync/Await with a window of depth in flight; best of %d reps", tpVerbSize, tpReps)
+	if d1, d8 := res.VerbMops[1], res.VerbMops[8]; d1 > 0 {
+		vt.Note("verb scaling depth-8/depth-1: %.2fx (gate: >= 3x)", d8/d1)
+	}
+
+	t := bench.NewTable(fmt.Sprintf("TCP sessions: depth sweep over %d shermand processes, %d workers, vs sim at matched scale", tpNumMS, tpWorkers),
+		"depth", "tcp get Mops", "tcp mixed Mops", "sim get Mops", "sim mixed Mops", "tcp get kops/thread")
+	for _, d := range tpDepths {
+		t.Addf(fmt.Sprintf("%d", d),
+			fmt.Sprintf("%.3f", res.TCPGetMops[d]),
+			fmt.Sprintf("%.3f", res.TCPMixedMops[d]),
+			fmt.Sprintf("%.3f", res.SimGetMops[d]),
+			fmt.Sprintf("%.3f", res.SimMixedMops[d]),
+			fmt.Sprintf("%.1f", res.TCPGetMops[d]*1e3/tpWorkers))
+		col.Add(bench.Metric{Exp: "tcppipe", Name: fmt.Sprintf("tcppipe/tcp_get_d%d", d),
+			Mops: res.TCPGetMops[d], KopsPerThread: res.TCPGetMops[d] * 1e3 / tpWorkers})
+		col.Add(bench.Metric{Exp: "tcppipe", Name: fmt.Sprintf("tcppipe/tcp_mixed_d%d", d),
+			Mops: res.TCPMixedMops[d], KopsPerThread: res.TCPMixedMops[d] * 1e3 / tpWorkers})
+		col.Add(bench.Metric{Exp: "tcppipe", Name: fmt.Sprintf("tcppipe/sim_get_d%d", d),
+			Mops: res.SimGetMops[d], KopsPerThread: res.SimGetMops[d] * 1e3 / tpWorkers})
+		col.Add(bench.Metric{Exp: "tcppipe", Name: fmt.Sprintf("tcppipe/sim_mixed_d%d", d),
+			Mops: res.SimMixedMops[d], KopsPerThread: res.SimMixedMops[d] * 1e3 / tpWorkers})
+	}
+	if d1, d8 := res.TCPGetMops[1], res.TCPGetMops[8]; d1 > 0 {
+		t.Note("session get scaling depth-8/depth-1: %.2fx (reported, not gated: session CPU is host-dependent)", d8/d1)
+	}
+	t.Note("cache-cold gets (2 dependent round trips); tcp rows are wall-clock over real sockets, sim rows virtual-time at the same scale")
+	t.Note("futures stream through the executor window: depth-N sessions hold N ops physically in flight per server")
+	return []*bench.Table{vt, t}, res, nil
+}
+
+// tpBulkload seeds the tree with the preload working set.
+func tpBulkload(tree *sherman.Tree) error {
+	kvs := make([]sherman.KV, 0, tpPreload)
+	for k := uint64(1); k <= tpPreload; k++ {
+		kvs = append(kvs, sherman.KV{Key: k * 2, Value: k * 31})
+	}
+	return tree.Bulkload(kvs)
+}
+
+// tcpPipeGate is the CI check behind `shermanbench -exp tcppipe -check`:
+// genuine in-flight concurrency must pay — depth-8 pipelined read verbs
+// over real sockets must reach at least 3x the depth-1 throughput, or the
+// multiplexed protocol is not actually amortizing anything. The ratio
+// divides out host speed, so the gate holds on slow CI machines where the
+// absolute numbers would be meaningless. The gate also requires the
+// matched-scale session comparison rows to exist: BENCH_9.json without the
+// sim-vs-TCP rows would be gating a transport nobody measured end to end.
+func tcpPipeGate(r *tcpPipeResult) error {
+	if r == nil {
+		return fmt.Errorf("tcppipe gate: experiment did not run")
+	}
+	d1, d8 := r.VerbMops[1], r.VerbMops[8]
+	if d1 <= 0 || d8 <= 0 {
+		return fmt.Errorf("tcppipe gate: missing verb depth rows (d1=%.3f d8=%.3f)", d1, d8)
+	}
+	if d8 < 3*d1 {
+		return fmt.Errorf("tcppipe gate: depth-8 read verbs %.3f Mops is only %.2fx depth-1 (%.3f Mops), want >= 3x",
+			d8, d8/d1, d1)
+	}
+	for _, d := range tpDepths {
+		if r.TCPGetMops[d] <= 0 || r.SimGetMops[d] <= 0 {
+			return fmt.Errorf("tcppipe gate: missing matched-scale comparison row for depth %d", d)
+		}
+	}
+	return nil
+}

@@ -169,10 +169,22 @@ type MemoryServerLoad struct {
 	Dead bool
 }
 
-// MemoryServerLoads snapshots every memory server's inbound load.
+// MemoryServerLoads snapshots every memory server's inbound load. On the
+// simulator the counts come from the NIC load accounting; over TCP each
+// server reports its striped per-chunk op counters through the Stats opcode
+// (dead servers are reported as Dead with their last-known count unknown,
+// i.e. zero).
 func (c *Cluster) MemoryServerLoads() []MemoryServerLoad {
 	if c.cl == nil {
-		return nil // NIC load accounting is sim-only
+		if c.tc == nil {
+			return nil
+		}
+		loads := c.tc.Loads()
+		out := make([]MemoryServerLoad, len(loads))
+		for i, l := range loads {
+			out[i] = MemoryServerLoad{MS: l.MS, InboundOps: l.Ops, Draining: l.Draining, Dead: l.Dead}
+		}
+		return out
 	}
 	loads := migrate.Loads(c.cl.F)
 	out := make([]MemoryServerLoad, len(loads))

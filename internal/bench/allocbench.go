@@ -9,6 +9,7 @@ import (
 	"sherman/internal/core"
 	"sherman/internal/layout"
 	"sherman/internal/stats"
+	"sherman/internal/transport/tcp"
 )
 
 // This file is the heap-discipline experiment: single-goroutine probes that
@@ -96,6 +97,19 @@ func allocProbes() []allocProbe {
 			},
 		},
 		{
+			// The cached get over real sockets: in-process wire-v2 servers
+			// share the probe's heap, so the deltas cover the whole round
+			// trip — mux issue/await, the server's pooled request contexts,
+			// its coalescing writer and the inline-read fast path.
+			name: "get_tcp", depth: 1, ops: allocProbeOps,
+			setup: allocSetupTCP,
+			run: func(h *core.Handle, as *core.Async) {
+				for i := 0; i < allocProbeOps; i++ {
+					h.Lookup(uint64(i%allocProbeKeys + 1))
+				}
+			},
+		},
+		{
 			name: "exec_mixed_d4", depth: 4, ops: allocProbeOps,
 			run: func(h *core.Handle, as *core.Async) {
 				ops := make([]core.Op, execBatchSize)
@@ -131,8 +145,34 @@ func allocSetupRF2(depth int) (*core.Handle, *core.Async) {
 	return allocSetupCluster(depth, cluster.Config{NumMS: 3, NumCS: 1, ReplicationFactor: 2})
 }
 
+// allocSetupTCP is allocSetup over real sockets: two in-process wire-v2
+// servers (the same demux / inline-read / coalescing-writer path shermand
+// runs) and a TCP cluster client with heartbeats disabled, so the measured
+// deltas include both ends of every round trip in one heap. The servers are
+// deliberately leaked — probes have no teardown hook, and the measurement
+// process exits right after.
+func allocSetupTCP(depth int) (*core.Handle, *core.Async) {
+	endpoints := make([]string, 2)
+	for i := range endpoints {
+		s, err := tcp.NewServer("127.0.0.1:0")
+		if err != nil {
+			panic("bench: alloc tcp server: " + err.Error())
+		}
+		go s.Serve()
+		endpoints[i] = s.Addr()
+	}
+	tc, err := tcp.NewCluster(endpoints, 1, tcp.Options{HeartbeatInterval: -1})
+	if err != nil {
+		panic("bench: alloc tcp cluster: " + err.Error())
+	}
+	return allocSetupTree(depth, tc)
+}
+
 func allocSetupCluster(depth int, ccfg cluster.Config) (*core.Handle, *core.Async) {
-	cl := cluster.New(ccfg)
+	return allocSetupTree(depth, cluster.New(ccfg))
+}
+
+func allocSetupTree(depth int, cl core.Backend) (*core.Handle, *core.Async) {
 	cfg := core.ShermanConfig()
 	cfg.Format = layout.NewFormat(layout.TwoLevel, 8, 256)
 	cfg.LocksPerMS = 1024
@@ -204,6 +244,7 @@ func AllocTables(s Scale, c *Collector) []*Table {
 	}
 	t.Note("single goroutine, %d ops per probe after a warmup pass and forced GC", allocProbeOps)
 	t.Note("exec_mixed's residual allocs/op is the caller-owned results slice of Exec-without-Into callers: the probe itself recycles")
+	t.Note("get_tcp runs client and in-process wire-v2 servers in one heap: the delta covers both ends of every real round trip")
 	return []*Table{t}
 }
 
@@ -219,6 +260,7 @@ var allocBudgets = map[string]float64{
 	"alloc/put_steady":       0.01,
 	"alloc/put_steady_rf2":   0.01,
 	"alloc/put_pipelined_d8": 0.01,
+	"alloc/get_tcp":          0.01,
 	"alloc/exec_mixed_d4":    0.01,
 }
 

@@ -60,6 +60,10 @@ type Async struct {
 	runIssueV int64
 	runRes    OpResult
 	runFn     func()
+
+	// real drives physical concurrency when the transport has no virtual
+	// timer (see realasync.go); nil on the simulator and at depth 1.
+	real *realExec
 }
 
 // keyDep is the outstanding-op ordering state of one key.
@@ -78,7 +82,67 @@ func (h *Handle) NewAsync(depth int) *Async {
 		a.issueNS = h.tm.PipelineIssueNS
 	}
 	a.runFn = func() { a.runRes = a.run(a.runOp, a.runIssueV) }
+	if depth > 1 && h.vt == nil {
+		a.real = newRealExec(a, depth)
+	}
 	return a
+}
+
+// Pending is one submitted operation. On the simulator the result is already
+// materialized (Submit runs the op inline on the virtual timeline) and Wait
+// merely advances the driver clock; on a real transport at depth > 1 the op
+// runs on a worker goroutine and Wait genuinely blocks for it.
+type Pending struct {
+	a    *Async
+	tk   *ticket
+	res  OpResult
+	done int64
+}
+
+// Deferred reports whether the result is still in flight on a worker
+// goroutine (real transport, depth > 1). When false, Result is already
+// materialized.
+func (p Pending) Deferred() bool { return p.tk != nil }
+
+// Result returns the materialized result of a non-deferred Pending without
+// touching the driver clock.
+func (p Pending) Result() (OpResult, int64) { return p.res, p.done }
+
+// Wait blocks until the operation completes and returns its result and
+// completion time (virtual on the simulator, wall-clock nanos on a real
+// transport). Owner-goroutine only, like every Async method.
+func (p Pending) Wait() (OpResult, int64) {
+	if p.tk != nil {
+		return p.a.real.wait(p.tk)
+	}
+	p.a.WaitUntil(p.done)
+	return p.res, p.done
+}
+
+// SubmitOp submits op through whichever executor is active and returns its
+// Pending. This is the entry point the session layer uses; Submit remains
+// the simulator-only path with materialized results.
+func (a *Async) SubmitOp(op Op) Pending {
+	if a.real != nil {
+		return Pending{a: a, tk: a.real.submit(op)}
+	}
+	res, done := a.Submit(op)
+	return Pending{a: a, res: res, done: done}
+}
+
+// ForEachWorker visits the worker handles of the real executor (no-op on
+// the simulator). Call after Flush: workers must be quiescent, since their
+// per-handle counters are read without synchronization.
+func (a *Async) ForEachWorker(fn func(*Handle)) {
+	if a.real == nil {
+		return
+	}
+	a.real.mu.Lock()
+	ws := append([]*Handle(nil), a.real.workers...)
+	a.real.mu.Unlock()
+	for _, h := range ws {
+		fn(h)
+	}
 }
 
 // Depth returns the pipeline depth (the bound on outstanding operations).
@@ -247,6 +311,9 @@ func (a *Async) recordPipeline(depth int, start, done int64) {
 // outstanding completion, after which every submitted result is in the
 // session's past.
 func (a *Async) Flush() {
+	if a.real != nil {
+		a.real.flush()
+	}
 	a.h.C.AdvanceTo(a.lanes.Max())
 	clear(a.deps)
 }

@@ -28,6 +28,7 @@ type Handle struct {
 	m   *transport.Metrics
 	tm  transport.Timing
 	vt  transport.VirtualTimer
+	av  transport.AsyncVerbs
 	fwd *alloc.Forwarding
 	rep *alloc.ReplicaMap
 
@@ -78,6 +79,7 @@ type Handle struct {
 	replicated bool
 	repWops    []rdma.WriteOp
 	repMarks   []*atomic.Int64
+	repPends   []transport.Pending
 	repTargets alloc.TargetSet
 	oneWop     [1]rdma.WriteOp
 	repLo      int
@@ -134,6 +136,7 @@ func (t *Tree) NewHandle(cs int, seed int) *Handle {
 	h.m = c.Metrics()
 	h.tm = c.Timing()
 	h.vt, _ = c.(transport.VirtualTimer)
+	h.av, _ = c.(transport.AsyncVerbs)
 	h.ex.scanFn = h.execScanBody
 	h.ex.readFn = h.execReadGroupBody
 	h.ex.writeFn = h.execWriteGroupBody

@@ -65,6 +65,10 @@ func (h *Handle) mirror(ops []rdma.WriteOp) {
 // issues next. Each posted op's replica watermark advances to the doorbell's
 // completion time.
 func (h *Handle) postMirrors() {
+	if h.vt == nil && h.av != nil {
+		h.postMirrorsAsync()
+		return
+	}
 	start := h.C.Now()
 	posted := 0
 	for posted < len(h.repWops) {
@@ -98,6 +102,45 @@ func (h *Handle) postMirrors() {
 // OnTimeline runs on the detached mirror timeline (bound once in NewHandle).
 func (h *Handle) postMirrorGroup() {
 	h.C.PostWrites(h.repWops[h.repLo:h.repHi]...)
+}
+
+// postMirrorsAsync is postMirrors on a real asynchronous transport: there is
+// no detached timeline to hide the mirrors on, but the transport can hold
+// every per-server doorbell in flight at once, so all groups are issued
+// before any is awaited and the replica servers genuinely absorb them in
+// parallel. The superset invariant holds as on the simulator — every mirror
+// completes here, before the caller issues the primary commit.
+func (h *Handle) postMirrorsAsync() {
+	h.repPends = h.repPends[:0]
+	posted := 0
+	for posted < len(h.repWops) {
+		ms := h.repWops[posted].Addr.MS()
+		hi := posted + 1
+		for i := hi; i < len(h.repWops); i++ {
+			if h.repWops[i].Addr.MS() != ms {
+				continue
+			}
+			// Rotate [hi, i] right by one, keeping same-server op order.
+			op, mk := h.repWops[i], h.repMarks[i]
+			copy(h.repWops[hi+1:i+1], h.repWops[hi:i])
+			copy(h.repMarks[hi+1:i+1], h.repMarks[hi:i])
+			h.repWops[hi], h.repMarks[hi] = op, mk
+			hi++
+		}
+		h.repPends = append(h.repPends, h.av.PostWritesAsync(h.repWops[posted:hi]...))
+		posted = hi
+	}
+	for _, p := range h.repPends {
+		h.av.Await(p)
+	}
+	end := h.C.Now()
+	for i := range h.repMarks {
+		alloc.NoteWatermark(h.repMarks[i], end)
+	}
+	if end > h.mirrorEndV {
+		h.mirrorEndV = end
+	}
+	h.Rec.ReplicaWrites += int64(len(h.repWops))
 }
 
 // noteMirrorLag samples how far the latest mirror doorbell's completion

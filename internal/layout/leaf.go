@@ -2,6 +2,7 @@ package layout
 
 import (
 	"cmp"
+	"encoding/binary"
 	"slices"
 	"sort"
 )
@@ -122,10 +123,16 @@ func (l Leaf) Find(key uint64) (int, bool) {
 		}
 		return -1, false
 	}
-	for i := 0; i < l.Cap(); i++ {
-		if l.Key(i) == key {
+	// Stride the buffer directly: the per-slot accessors copy the whole
+	// view struct per call, which dominates the scan on warm reads.
+	ent := l.F.LeafEntSize
+	off := headerEnd + 1 // first slot's key (skip FEV)
+	b := l.B
+	for i, n := 0, l.F.LeafCap; i < n; i++ {
+		if binary.LittleEndian.Uint64(b[off:]) == key {
 			return i, true
 		}
+		off += ent
 	}
 	return -1, false
 }
@@ -133,10 +140,14 @@ func (l Leaf) Find(key uint64) (int, bool) {
 // FindFree returns an empty slot, or -1 when the leaf is full. Only
 // meaningful in TwoLevel mode.
 func (l Leaf) FindFree() int {
-	for i := 0; i < l.Cap(); i++ {
-		if l.Key(i) == 0 {
+	ent := l.F.LeafEntSize
+	off := headerEnd + 1
+	b := l.B
+	for i, n := 0, l.F.LeafCap; i < n; i++ {
+		if binary.LittleEndian.Uint64(b[off:]) == 0 {
 			return i
 		}
+		off += ent
 	}
 	return -1
 }

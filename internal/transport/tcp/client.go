@@ -1,8 +1,7 @@
 package tcp
 
 import (
-	"bufio"
-	"net"
+	"encoding/binary"
 	"time"
 
 	"sherman/internal/transport"
@@ -20,125 +19,95 @@ var clockBase = time.Now()
 
 func nowNS() int64 { return time.Since(clockBase).Nanoseconds() }
 
-// msConn is one pooled connection to one memory server. Frames are
-// request/response in lockstep, so the connection needs no framing state
-// beyond a buffered reader; the request is assembled into one scratch
-// buffer and sent with a single Write.
-type msConn struct {
-	c   net.Conn
-	r   *bufio.Reader
-	buf []byte
-}
-
-// request sends one frame and waits for its response. An I/O error means
-// the server (or the path to it) is gone and surfaces as (nil, err); a
-// statusErr response is a protocol bug — out-of-range access, bad opcode —
-// and panics, matching the simulator's treatment of verb misuse.
-func (mc *msConn) request(op byte, payload []byte) ([]byte, error) {
-	mc.buf = mc.buf[:0]
-	mc.buf = appendU32(mc.buf, uint32(1+len(payload)))
-	mc.buf = append(mc.buf, op)
-	mc.buf = append(mc.buf, payload...)
-	if _, err := mc.c.Write(mc.buf); err != nil {
-		return nil, err
-	}
-	status, resp, err := readFrame(mc.r)
-	if err != nil {
-		return nil, err
-	}
-	if status != statusOK {
-		panic("tcp: server rejected request: " + string(resp))
-	}
-	return resp, nil
-}
-
-// Transport is one client thread's connection pool over the TCP fabric. It
-// implements transport.Transport with real clocks: Now is monotonic
-// wall time, Step/AdvanceTo are no-ops (local work takes whatever time it
-// takes), and it deliberately does not implement transport.VirtualTimer —
-// core code holding a nil VirtualTimer degrades to synchronous execution.
+// Transport is one client thread's view of the TCP fabric. It implements
+// transport.Transport with real clocks: Now is monotonic wall time,
+// Step/AdvanceTo are no-ops (local work takes whatever time it takes), and
+// it deliberately does not implement transport.VirtualTimer — core code
+// holding a nil VirtualTimer runs its timeline hooks synchronously. It does
+// implement transport.AsyncVerbs: reads and doorbell write batches can be
+// issued without waiting, so a pipelined executor keeps depth-N verbs in
+// flight per memory server.
 //
-// Like every Transport it is owned by a single goroutine; connections are
-// dialed lazily per memory server on first use.
+// Like every Transport it is owned by a single goroutine. The sockets
+// themselves live in the cluster's per-server muxConns (dialed once at
+// bring-up, shared by every thread); this struct is just the per-thread
+// scratch — metrics, payload builders, pending-op slots — so creating one
+// is cheap and thread counts don't multiply connections.
 type Transport struct {
 	cl      *Cluster
 	cs      uint16
 	m       transport.Metrics
-	conns   []*msConn
 	payload []byte // request payload scratch
+
+	rmGroups []readGroup // ReadMulti per-server group scratch
+
+	pend  []pendingOp // AsyncVerbs completion slots
+	pfree []int32     // free indices into pend
 }
 
 var _ transport.Transport = (*Transport)(nil)
+var _ transport.AsyncVerbs = (*Transport)(nil)
 
-// conn returns the pooled connection to ms, dialing on first use. A dial
-// failure marks the server dead cluster-wide.
-func (t *Transport) conn(ms uint16) (*msConn, bool) {
-	if t.cl.isDead(int(ms)) {
-		return nil, false
-	}
-	if t.conns[ms] == nil {
-		c, err := net.DialTimeout("tcp", t.cl.endpoints[ms], dialTimeout)
-		if err != nil {
-			t.cl.markDead(int(ms))
-			return nil, false
-		}
-		t.conns[ms] = &msConn{c: c, r: bufio.NewReader(c)}
-		// Register with the cluster so a failover (possibly detected by the
-		// membership service while this goroutine is blocked mid-read on a
-		// stalled server) can force our pending round trip to error out.
-		t.cl.registerConn(int(ms), c)
-	}
-	return t.conns[ms], true
+// readGroup is one per-server slice of a ReadMulti fan-out: the ReadBatch
+// frame for ms was issued under tag (when issued; a server already dead at
+// issue time yields an unissued group that zero-fills). head is the index
+// of the group's first op; membership is every op addressed to ms.
+type readGroup struct {
+	ms     uint16
+	tag    uint32
+	head   int
+	issued bool
 }
 
-// request performs one round trip against ms. ok=false means the server is
-// dead: the caller applies the dead-memory semantics every backend shares —
-// reads zero-fill, writes are discarded, atomics fabricate success from
-// zeroed memory so validating reads observe the death (DESIGN.md §12).
-// markDead runs failover promotion synchronously before returning, so by
-// the time a verb reports a dead server the forwarding map already
-// redirects its chunks.
-func (t *Transport) request(ms uint16, op byte, payload []byte) ([]byte, bool) {
-	mc, ok := t.conn(ms)
-	if !ok {
-		return nil, false
-	}
-	resp, err := mc.request(op, payload)
-	if err != nil {
-		mc.c.Close()
-		t.cl.unregisterConn(int(ms), mc.c)
-		t.conns[ms] = nil
-		t.cl.markDead(int(ms))
-		return nil, false
-	}
-	t.m.RoundTrips++
-	t.m.OpRoundTrips++
-	return resp, true
+// pendingOp is one in-flight AsyncVerbs operation awaiting completion.
+type pendingOp struct {
+	kind byte
+	ms   uint16
+	tag  uint32
+	buf  []byte // read destination; nil for writes
 }
 
-// Close drops the pooled connections. The owning goroutine calls it when
-// done; a Transport is not reusable afterwards.
-func (t *Transport) Close() {
-	for i, mc := range t.conns {
-		if mc != nil {
-			mc.c.Close()
-			t.cl.unregisterConn(i, mc.c)
-			t.conns[i] = nil
-		}
-	}
-}
+const (
+	pendDead  byte = iota // server was dead at issue; Await applies dead semantics
+	pendRead              // opRead in flight; Await fills buf
+	pendWrite             // opWriteBatch in flight
+)
+
+// Close releases the per-thread scratch. The sockets are cluster-owned
+// (Cluster.Close tears them down), so this is a formality kept for the
+// owner-calls-Close discipline the v1 pooled transport established.
+func (t *Transport) Close() {}
 
 // --- verbs -----------------------------------------------------------------
 
+// Verbs against a dead server apply the dead-memory semantics every backend
+// shares — reads zero-fill, writes are discarded, atomics fabricate success
+// from zeroed memory so validating reads observe the death (DESIGN.md §12).
+// markDead runs failover promotion synchronously before publishing the
+// death, so by the time a verb reports a dead server the forwarding map
+// already redirects its chunks.
+
 func (t *Transport) Read(a transport.Addr, buf []byte) {
 	t.m.Reads++
+	ms := a.MS()
+	mx, alive := t.cl.mux(ms)
+	if !alive {
+		clear(buf)
+		return
+	}
 	t.payload = appendU32(appendU64(t.payload[:0], uint64(a)), uint32(len(buf)))
-	resp, ok := t.request(a.MS(), opRead, t.payload)
+	tag := mx.issue(opRead, t.payload)
+	resp, ok := mx.await(tag)
 	if !ok {
-		clear(buf) // dead memory zero-fills
+		mx.release(tag)
+		t.cl.markDead(int(ms))
+		clear(buf)
 		return
 	}
 	copy(buf, resp)
+	mx.release(tag)
+	t.m.RoundTrips++
+	t.m.OpRoundTrips++
 }
 
 func (t *Transport) ReadMulti(ops []transport.ReadOp) {
@@ -146,41 +115,65 @@ func (t *Transport) ReadMulti(ops []transport.ReadOp) {
 		return
 	}
 	// Group by memory server: each group is one ReadBatch frame — the
-	// doorbell-batched post of the simulator mapped to one round trip.
-	// Groups go out sequentially; ops are order-preserved within a group.
-	done := make([]bool, len(ops))
+	// doorbell-batched post of the simulator mapped to one round trip. All
+	// groups are issued before any is awaited, so a multi-server fan-out
+	// overlaps its round trips instead of visiting servers sequentially.
+	t.rmGroups = t.rmGroups[:0]
 	for i := range ops {
-		if done[i] {
+		ms := ops[i].Addr.MS()
+		grouped := false
+		for _, g := range t.rmGroups {
+			if g.ms == ms {
+				grouped = true
+				break
+			}
+		}
+		if grouped {
 			continue
 		}
-		ms := ops[i].Addr.MS()
 		t.payload = appendU32(t.payload[:0], 0)
 		n := 0
 		for j := i; j < len(ops); j++ {
-			if done[j] || ops[j].Addr.MS() != ms {
+			if ops[j].Addr.MS() != ms {
 				continue
 			}
 			t.payload = appendU32(appendU64(t.payload, uint64(ops[j].Addr)), uint32(len(ops[j].Buf)))
 			n++
 		}
-		t.payload[0] = byte(n) // count < 2^8 in practice; encode fully anyway
-		t.payload[1], t.payload[2], t.payload[3] = byte(n>>8), byte(n>>16), byte(n>>24)
+		binary.LittleEndian.PutUint32(t.payload[0:4], uint32(n))
 		t.m.Reads += int64(n)
 		if n > 1 {
 			t.m.DoorbellBatches++
 			t.m.DoorbellOps += int64(n)
 		}
-		resp, ok := t.request(ms, opReadBatch, t.payload)
+		g := readGroup{ms: ms, head: i}
+		if mx, alive := t.cl.mux(ms); alive {
+			g.tag = mx.issue(opReadBatch, t.payload)
+			g.issued = true
+		}
+		t.rmGroups = append(t.rmGroups, g)
+	}
+	for _, g := range t.rmGroups {
+		var resp []byte
+		ok := false
+		var mx *muxConn
+		if g.issued {
+			mx = t.cl.muxes[g.ms]
+			resp, ok = mx.await(g.tag)
+			if ok {
+				t.m.RoundTrips++
+				t.m.OpRoundTrips++
+			}
+		}
 		off := 0
-		for j := i; j < len(ops); j++ {
-			if done[j] || ops[j].Addr.MS() != ms {
+		for j := g.head; j < len(ops); j++ {
+			if ops[j].Addr.MS() != g.ms {
 				continue
 			}
 			if ok && off+len(ops[j].Buf) > len(resp) {
-				// Truncated response: the server died (or desynchronized)
-				// mid-batch. Treat it as a death — zero-fill the rest of
-				// the group rather than slicing past the frame.
-				t.cl.markDead(int(ms))
+				// Truncated response: the server desynchronized mid-batch.
+				// Treat it as a death — zero-fill the rest of the group
+				// rather than slicing past the frame.
 				ok = false
 			}
 			if ok {
@@ -189,7 +182,12 @@ func (t *Transport) ReadMulti(ops []transport.ReadOp) {
 				clear(ops[j].Buf)
 			}
 			off += len(ops[j].Buf)
-			done[j] = true
+		}
+		if g.issued {
+			mx.release(g.tag)
+			if !ok {
+				t.cl.markDead(int(g.ms))
+			}
 		}
 	}
 }
@@ -198,19 +196,28 @@ func (t *Transport) Write(a transport.Addr, data []byte) {
 	t.m.Writes++
 	t.m.WriteBytes += int64(len(data))
 	t.m.OpWriteBytes += int64(len(data))
+	ms := a.MS()
+	mx, alive := t.cl.mux(ms)
+	if !alive {
+		return // dead: write discarded
+	}
 	t.payload = appendU32(t.payload[:0], 1)
 	t.payload = appendU32(appendU64(t.payload, uint64(a)), uint32(len(data)))
 	t.payload = append(t.payload, data...)
-	t.request(a.MS(), opWriteBatch, t.payload) // dead: write discarded
-}
-
-func (t *Transport) PostWrites(ops ...transport.WriteOp) {
-	if len(ops) == 0 {
+	tag := mx.issue(opWriteBatch, t.payload)
+	_, ok := mx.await(tag)
+	mx.release(tag)
+	if !ok {
+		t.cl.markDead(int(ms))
 		return
 	}
-	// Dependent writes to one server coalesce into a single WriteBatch
-	// frame, applied in order under the store mutex: §4.5's doorbell batch
-	// with strictly stronger (atomic) semantics.
+	t.m.RoundTrips++
+	t.m.OpRoundTrips++
+}
+
+// buildWriteBatch assembles the WriteBatch payload for ops and books the
+// write metrics — shared by the sync and async paths.
+func (t *Transport) buildWriteBatch(ops []transport.WriteOp) {
 	t.payload = appendU32(t.payload[:0], uint32(len(ops)))
 	for _, op := range ops {
 		t.payload = appendU32(appendU64(t.payload, uint64(op.Addr)), uint32(len(op.Data)))
@@ -223,75 +230,225 @@ func (t *Transport) PostWrites(ops ...transport.WriteOp) {
 		t.m.DoorbellBatches++
 		t.m.DoorbellOps += int64(len(ops))
 	}
-	t.request(ops[0].Addr.MS(), opWriteBatch, t.payload)
+}
+
+func (t *Transport) PostWrites(ops ...transport.WriteOp) {
+	if len(ops) == 0 {
+		return
+	}
+	// Dependent writes to one server coalesce into a single WriteBatch
+	// frame, applied in order under the target chunks' stripe locks: §4.5's
+	// doorbell batch with strictly stronger (atomic per op) semantics.
+	t.buildWriteBatch(ops)
+	ms := ops[0].Addr.MS()
+	mx, alive := t.cl.mux(ms)
+	if !alive {
+		return
+	}
+	tag := mx.issue(opWriteBatch, t.payload)
+	_, ok := mx.await(tag)
+	mx.release(tag)
+	if !ok {
+		t.cl.markDead(int(ms))
+		return
+	}
+	t.m.RoundTrips++
+	t.m.OpRoundTrips++
 }
 
 func (t *Transport) CAS(a transport.Addr, old, new uint64) (uint64, bool) {
 	t.m.Atomics++
-	t.payload = appendU64(appendU64(appendU64(t.payload[:0], uint64(a)), old), new)
-	resp, ok := t.request(a.MS(), opCAS, t.payload)
-	if !ok {
-		// Dead memory fabricates the atomic from zeroed bytes, exactly as
-		// the simulator does (DESIGN.md §12): a CAS expecting 0 "succeeds"
-		// so lock acquisition proceeds into its validating read, which
-		// observes the death and takes the chase/failover path — instead of
-		// spinning forever on a false CAS.
-		if old == 0 {
-			return 0, true
+	ms := a.MS()
+	mx, alive := t.cl.mux(ms)
+	if alive {
+		t.payload = appendU64(appendU64(appendU64(t.payload[:0], uint64(a)), old), new)
+		tag := mx.issue(opCAS, t.payload)
+		resp, ok := mx.await(tag)
+		if ok {
+			p := payloadReader{b: resp}
+			prev := p.u64()
+			swapped := p.u8() == 1
+			mx.release(tag)
+			t.m.RoundTrips++
+			t.m.OpRoundTrips++
+			if !swapped {
+				t.m.CASFailures++
+			}
+			return prev, swapped
 		}
-		t.m.CASFailures++
-		return 0, false
+		mx.release(tag)
+		t.cl.markDead(int(ms))
 	}
-	p := payloadReader{b: resp}
-	prev := p.u64()
-	swapped := p.u8() == 1
-	if !swapped {
-		t.m.CASFailures++
+	// Dead memory fabricates the atomic from zeroed bytes, exactly as the
+	// simulator does (DESIGN.md §12): a CAS expecting 0 "succeeds" so lock
+	// acquisition proceeds into its validating read, which observes the
+	// death and takes the chase/failover path — instead of spinning forever
+	// on a false CAS.
+	if old == 0 {
+		return 0, true
 	}
-	return prev, swapped
+	t.m.CASFailures++
+	return 0, false
 }
 
 func (t *Transport) CAS16(a transport.Addr, old, new uint16) (uint16, bool) {
 	t.m.Atomics++
-	t.payload = appendU64(t.payload[:0], uint64(a))
-	t.payload = append(t.payload, byte(old), byte(old>>8), byte(new), byte(new>>8))
-	resp, ok := t.request(a.MS(), opCAS16, t.payload)
-	if !ok {
-		// Same fabricated-from-zero contract as CAS above.
-		if old == 0 {
-			return 0, true
+	ms := a.MS()
+	mx, alive := t.cl.mux(ms)
+	if alive {
+		t.payload = appendU64(t.payload[:0], uint64(a))
+		t.payload = append(t.payload, byte(old), byte(old>>8), byte(new), byte(new>>8))
+		tag := mx.issue(opCAS16, t.payload)
+		resp, ok := mx.await(tag)
+		if ok {
+			p := payloadReader{b: resp}
+			prev := p.u16()
+			swapped := p.u8() == 1
+			mx.release(tag)
+			t.m.RoundTrips++
+			t.m.OpRoundTrips++
+			if !swapped {
+				t.m.CASFailures++
+			}
+			return prev, swapped
 		}
-		t.m.CASFailures++
-		return 0, false
+		mx.release(tag)
+		t.cl.markDead(int(ms))
 	}
-	p := payloadReader{b: resp}
-	prev := p.u16()
-	swapped := p.u8() == 1
-	if !swapped {
-		t.m.CASFailures++
+	// Same fabricated-from-zero contract as CAS above.
+	if old == 0 {
+		return 0, true
 	}
-	return prev, swapped
+	t.m.CASFailures++
+	return 0, false
 }
 
 func (t *Transport) FAA(a transport.Addr, delta uint64) uint64 {
 	t.m.Atomics++
+	ms := a.MS()
+	mx, alive := t.cl.mux(ms)
+	if !alive {
+		return 0
+	}
 	t.payload = appendU64(appendU64(t.payload[:0], uint64(a)), delta)
-	resp, ok := t.request(a.MS(), opFAA, t.payload)
+	tag := mx.issue(opFAA, t.payload)
+	resp, ok := mx.await(tag)
 	if !ok {
+		mx.release(tag)
+		t.cl.markDead(int(ms))
 		return 0
 	}
 	p := payloadReader{b: resp}
-	return p.u64()
+	prev := p.u64()
+	mx.release(tag)
+	t.m.RoundTrips++
+	t.m.OpRoundTrips++
+	return prev
 }
 
 func (t *Transport) GrowChunk(ms uint16) uint64 {
 	t.m.RPCs++
-	resp, ok := t.request(ms, opGrow, nil)
+	mx, alive := t.cl.mux(ms)
+	if !alive {
+		return 0
+	}
+	tag := mx.issue(opGrow, nil)
+	resp, ok := mx.await(tag)
 	if !ok {
+		mx.release(tag)
+		t.cl.markDead(int(ms))
 		return 0
 	}
 	p := payloadReader{b: resp}
-	return p.u64()
+	base := p.u64()
+	mx.release(tag)
+	t.m.RoundTrips++
+	t.m.OpRoundTrips++
+	return base
+}
+
+// --- transport.AsyncVerbs --------------------------------------------------
+
+// newPending takes a completion slot off the freelist (growing the table on
+// first use; steady state allocates nothing).
+func (t *Transport) newPending() (transport.Pending, *pendingOp) {
+	if n := len(t.pfree); n > 0 {
+		idx := t.pfree[n-1]
+		t.pfree = t.pfree[:n-1]
+		return transport.Pending(idx), &t.pend[idx]
+	}
+	t.pend = append(t.pend, pendingOp{})
+	return transport.Pending(len(t.pend) - 1), &t.pend[len(t.pend)-1]
+}
+
+// ReadAsync issues the read and returns without waiting. buf is filled (or
+// zero-filled, on death) at Await time.
+func (t *Transport) ReadAsync(a transport.Addr, buf []byte) transport.Pending {
+	t.m.Reads++
+	idx, p := t.newPending()
+	p.ms = a.MS()
+	p.buf = buf
+	mx, alive := t.cl.mux(p.ms)
+	if !alive {
+		p.kind = pendDead
+		return idx
+	}
+	t.payload = appendU32(appendU64(t.payload[:0], uint64(a)), uint32(len(buf)))
+	p.kind = pendRead
+	p.tag = mx.issue(opRead, t.payload)
+	return idx
+}
+
+// PostWritesAsync issues one doorbell batch and returns without waiting.
+// The data is captured into the frame at issue, so callers may reuse their
+// op buffers immediately.
+func (t *Transport) PostWritesAsync(ops ...transport.WriteOp) transport.Pending {
+	idx, p := t.newPending()
+	p.buf = nil
+	if len(ops) == 0 {
+		p.kind = pendDead
+		return idx
+	}
+	t.buildWriteBatch(ops)
+	p.ms = ops[0].Addr.MS()
+	mx, alive := t.cl.mux(p.ms)
+	if !alive {
+		p.kind = pendDead
+		return idx
+	}
+	p.kind = pendWrite
+	p.tag = mx.issue(opWriteBatch, t.payload)
+	return idx
+}
+
+// Await completes pd: blocks for the response, applies it (filling the read
+// buffer, or dead-memory semantics), and releases the slot.
+func (t *Transport) Await(pd transport.Pending) {
+	p := &t.pend[pd]
+	if p.kind == pendDead {
+		if p.buf != nil {
+			clear(p.buf)
+		}
+	} else {
+		mx := t.cl.muxes[p.ms]
+		resp, ok := mx.await(p.tag)
+		if ok {
+			if p.kind == pendRead {
+				copy(p.buf, resp)
+			}
+			mx.release(p.tag)
+			t.m.RoundTrips++
+			t.m.OpRoundTrips++
+		} else {
+			mx.release(p.tag)
+			t.cl.markDead(int(p.ms))
+			if p.kind == pendRead {
+				clear(p.buf)
+			}
+		}
+	}
+	p.buf = nil
+	t.pfree = append(t.pfree, int32(pd))
 }
 
 // --- clock and topology ----------------------------------------------------

@@ -3,13 +3,13 @@ package tcp
 import (
 	"encoding/binary"
 	"fmt"
-	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"sherman/internal/alloc"
 	"sherman/internal/hocl"
+	"sherman/internal/stats"
 	"sherman/internal/transport"
 )
 
@@ -29,6 +29,10 @@ type Options struct {
 	// HeartbeatTimeout is the per-ping deadline after which an unresponsive
 	// server is declared dead; 0 means the 200ms default (one lease).
 	HeartbeatTimeout time.Duration
+	// Window is the per-server outstanding-request window of the
+	// multiplexed connections (0 = the 64 default). Issues beyond it block
+	// until responses drain — the cluster-wide backpressure bound.
+	Window int
 }
 
 // Cluster is the client-side view of a set of shermand processes: the
@@ -70,11 +74,12 @@ type Cluster struct {
 	dead     []atomic.Bool
 	deadOnce []sync.Once
 
-	// conns registers every live client connection per server so failover
-	// can force round trips blocked on a stalled (not closed) server to
-	// error out.
-	connMu sync.Mutex
-	conns  []map[net.Conn]struct{}
+	// muxes holds the one multiplexed connection per memory server, dialed
+	// at bring-up (so the first measured op never pays a TCP handshake) and
+	// shared by every client thread. Failover closes a server's mux, which
+	// forces round trips blocked on a stalled (not closed) server to error
+	// out.
+	muxes []*muxConn
 
 	invMu        sync.Mutex
 	invalidators []func(alloc.ChunkID)
@@ -120,36 +125,51 @@ func NewCluster(endpoints []string, numCS int, opt Options) (*Cluster, error) {
 		Fwd:       alloc.NewForwarding(),
 		dead:      make([]atomic.Bool, len(endpoints)),
 		deadOnce:  make([]sync.Once, len(endpoints)),
-		conns:     make([]map[net.Conn]struct{}, len(endpoints)),
+		muxes:     make([]*muxConn, len(endpoints)),
 	}
 	if rf > 1 {
 		c.Rep = alloc.NewReplicaMap()
 	}
+	// Pre-dial every server's multiplexed connection now, so the first
+	// measured verb against each server pays no TCP handshake — bring-up
+	// absorbs the dial latency, not the benchmark's first op.
+	for ms := range endpoints {
+		mx, err := dialMux(ms, endpoints[ms], opt.Window)
+		if err != nil {
+			for _, m := range c.muxes[:ms] {
+				m.fail()
+			}
+			return nil, fmt.Errorf("tcp: memory server %d (%s) unreachable: %w", ms, endpoints[ms], err)
+		}
+		c.muxes[ms] = mx
+	}
 	c.raw = c.newTransport(0)
 	for ms := range endpoints {
-		mc, ok := c.raw.conn(uint16(ms))
+		var version, onChip uint32
+		var serverNow uint64
+		var perr error
+		ok := c.muxes[ms].roundTrip(opPing, nil, func(resp []byte) {
+			p := payloadReader{b: resp}
+			version, onChip, serverNow = p.u32(), p.u32(), p.u64()
+			perr = p.err
+		})
 		if !ok {
-			return nil, fmt.Errorf("tcp: memory server %d (%s) unreachable", ms, endpoints[ms])
+			return nil, fmt.Errorf("tcp: ping to %s failed", endpoints[ms])
 		}
-		resp, err := mc.request(opPing, nil)
-		if err != nil {
-			return nil, fmt.Errorf("tcp: ping to %s failed: %w", endpoints[ms], err)
+		if perr != nil {
+			return nil, fmt.Errorf("tcp: bad ping response from %s: %v", endpoints[ms], perr)
 		}
-		p := payloadReader{b: resp}
-		onChip := int(p.u32())
-		if p.err != nil {
-			return nil, fmt.Errorf("tcp: bad ping response from %s: %v", endpoints[ms], p.err)
+		if version != protocolVersion {
+			return nil, fmt.Errorf("tcp: memory server %s speaks protocol v%d, want v%d",
+				endpoints[ms], version, protocolVersion)
 		}
 		if ms == 0 {
 			// Anchor the cluster clock: server 0's monotonic epoch becomes
 			// the shared lease-time origin of every client process.
-			serverNow := int64(p.u64())
-			if p.err == nil {
-				c.clockOff.Store(serverNow - nowNS())
-			}
+			c.clockOff.Store(int64(serverNow) - nowNS())
 		}
-		if c.onChip == 0 || onChip < c.onChip {
-			c.onChip = onChip
+		if c.onChip == 0 || int(onChip) < c.onChip {
+			c.onChip = int(onChip)
 		}
 	}
 	// Reserve the superblock chunk: offset 0 of memory server 0 must be
@@ -164,14 +184,17 @@ func NewCluster(endpoints []string, numCS int, opt Options) (*Cluster, error) {
 	return c, nil
 }
 
-// Close stops the membership service and drops the metadata client's
-// connections. Per-thread Transports are closed by their owners; the server
-// processes are owned by the launcher.
+// Close stops the membership service and tears down the multiplexed
+// connections. The server processes are owned by the launcher.
 func (c *Cluster) Close() {
 	if c.hb != nil {
 		c.hb.stop()
 	}
-	c.raw.Close()
+	for _, mx := range c.muxes {
+		if mx != nil {
+			mx.fail()
+		}
+	}
 }
 
 // Shutdown asks every live memory server to exit (the orderly counterpart
@@ -180,12 +203,12 @@ func (c *Cluster) Shutdown() {
 	if c.hb != nil {
 		c.hb.stop()
 	}
-	c.rawMu.Lock()
-	defer c.rawMu.Unlock()
 	for ms := range c.endpoints {
-		c.raw.request(uint16(ms), opShutdown, nil)
+		if !c.isDead(ms) {
+			c.muxes[ms].roundTrip(opShutdown, nil, nil)
+		}
 	}
-	c.raw.Close()
+	c.Close()
 }
 
 func (c *Cluster) isDead(ms int) bool { return c.dead[ms].Load() }
@@ -218,14 +241,10 @@ func (c *Cluster) markDead(ms int) {
 			c.failovers.Add(int64(len(promoted)))
 		}
 		c.dead[ms].Store(true)
-		// Unblock any goroutine stuck mid-round-trip on the dead server
-		// (a SIGSTOPped process holds its sockets open without answering).
-		c.connMu.Lock()
-		for conn := range c.conns[ms] {
-			conn.Close()
-		}
-		c.conns[ms] = nil
-		c.connMu.Unlock()
+		// Fail the mux: unblocks every goroutine stuck mid-round-trip on the
+		// dead server (a SIGSTOPped process holds its sockets open without
+		// answering) with dead-memory semantics.
+		c.muxes[ms].fail()
 	})
 }
 
@@ -234,25 +253,17 @@ func (c *Cluster) markDead(ms int) {
 // after SIGKILL so tests don't wait out a heartbeat interval.
 func (c *Cluster) MarkDead(ms int) { c.markDead(ms) }
 
-func (c *Cluster) registerConn(ms int, conn net.Conn) {
-	c.connMu.Lock()
-	if c.conns[ms] == nil {
-		c.conns[ms] = make(map[net.Conn]struct{})
+// mux returns the multiplexed connection to ms, or alive=false when the
+// server is dead (the caller applies dead-memory semantics).
+func (c *Cluster) mux(ms uint16) (*muxConn, bool) {
+	if c.isDead(int(ms)) {
+		return nil, false
 	}
-	c.conns[ms][conn] = struct{}{}
-	c.connMu.Unlock()
-}
-
-func (c *Cluster) unregisterConn(ms int, conn net.Conn) {
-	c.connMu.Lock()
-	if c.conns[ms] != nil {
-		delete(c.conns[ms], conn)
-	}
-	c.connMu.Unlock()
+	return c.muxes[ms], true
 }
 
 func (c *Cluster) newTransport(cs int) *Transport {
-	return &Transport{cl: c, cs: uint16(cs), conns: make([]*msConn, len(c.endpoints))}
+	return &Transport{cl: c, cs: uint16(cs)}
 }
 
 // --- core.Backend ----------------------------------------------------------
@@ -369,6 +380,41 @@ func (c *Cluster) MigrationUnlock() { c.migMu.Unlock() }
 
 // MSAlive reports whether memory server ms is reachable.
 func (c *Cluster) MSAlive(ms int) bool { return !c.isDead(ms) }
+
+// Loads polls every memory server's Stats opcode and returns per-server
+// inbound-op counts with per-chunk breakdowns — the real-network analogue
+// of the simulator's NIC load accounting, feeding the same stats.MSLoad
+// aggregation (LoadSkew, SubLoads) the rebalancer uses. Dead servers report
+// Dead with zero counts.
+func (c *Cluster) Loads() []stats.MSLoad {
+	out := make([]stats.MSLoad, len(c.endpoints))
+	for ms := range c.endpoints {
+		out[ms].MS = ms
+		mx, alive := c.mux(uint16(ms))
+		if !alive {
+			out[ms].Dead = true
+			continue
+		}
+		ok := mx.roundTrip(opStats, nil, func(resp []byte) {
+			p := payloadReader{b: resp}
+			total := int64(p.u64())
+			n := int(p.u32())
+			chunk := make([]int64, 0, n)
+			for i := 0; i < n; i++ {
+				chunk = append(chunk, int64(p.u64()))
+			}
+			if p.err == nil {
+				out[ms].Ops = total
+				out[ms].ChunkOps = chunk
+			}
+		})
+		if !ok {
+			c.markDead(ms)
+			out[ms].Dead = true
+		}
+	}
+	return out
+}
 
 // --- transport.Grower ------------------------------------------------------
 

@@ -96,9 +96,9 @@ func (m *membership) ping(conn net.Conn, r *bufio.Reader) bool {
 	if err := conn.SetDeadline(time.Now().Add(m.timeout)); err != nil {
 		return false
 	}
-	if err := writeFrame(conn, opPing, nil); err != nil {
+	if err := writeFrame(conn, 0, opPing, nil); err != nil {
 		return false
 	}
-	status, _, err := readFrame(r)
+	_, status, _, err := readFrame(r)
 	return err == nil && status == statusOK
 }

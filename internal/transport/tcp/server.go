@@ -1,9 +1,12 @@
 package tcp
 
 import (
+	"bufio"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sherman/internal/transport"
@@ -16,54 +19,121 @@ const OnChipBytes = 256 << 10
 
 const chunkSize = transport.DefaultChunkSize
 
+// numStripes is the lock-striping width of each address space half: host
+// chunks stripe by chunk index, the on-chip region by 64-byte line, so
+// concurrent tagged requests to different chunks (or different lock words)
+// never serialize on one mutex. 64 stripes comfortably exceed any plausible
+// per-server worker concurrency.
+const numStripes = 64
+
+// connWorkers is the per-connection handler pool: how many tagged requests
+// of one client connection the server works on concurrently. It matches the
+// client's default window order of magnitude; excess requests queue in the
+// read loop (backpressure via the request-context free list).
+const connWorkers = 16
+
 // serverStart anchors this server process's monotonic clock. Ping responses
 // carry nanoseconds since this instant so every client process can anchor
 // lease arithmetic to the same origin (the server's), not its own — lease
 // stamps written by one client process must be comparable in another.
 var serverStart = time.Now()
 
-// store is one memory server's memory: host chunks handed out by Grow plus
-// the fixed on-chip region. One mutex serializes every frame — see the
-// package comment for why that is a sound (strictly stronger) model of the
-// RDMA fabric's atomicity.
-type store struct {
-	mu     sync.Mutex
+// storeSnap is the immutable chunk directory: the chunk slices plus their
+// inbound-op counters, republished wholesale on every Grow so readers
+// navigate lock-free.
+type storeSnap struct {
 	chunks [][]byte
+	ops    []*atomic.Int64
+}
+
+// store is one memory server's memory: host chunks handed out by Grow plus
+// the fixed on-chip region. Every access locks only its stripe — host
+// stripes by chunk, on-chip stripes by 64-byte line — so each verb (and
+// each op of a batch, applied in posted order) is individually atomic,
+// matching RDMA's per-verb atomicity (DESIGN.md §13).
+type store struct {
+	growMu sync.Mutex
+	snap   atomic.Pointer[storeSnap]
 	onChip []byte
+
+	// locks[0:numStripes] guard host chunks, locks[numStripes:] on-chip lines.
+	locks [2 * numStripes]sync.Mutex
+
+	// totalOps counts every inbound data verb (reads, writes, atomics) plus
+	// allocation RPCs; chipOps the on-chip subset. Per-chunk counts live in
+	// the snapshot. Together they answer the Stats opcode.
+	totalOps atomic.Int64
+	chipOps  atomic.Int64
 }
 
 func newStore() *store {
-	return &store{onChip: make([]byte, OnChipBytes)}
+	s := &store{onChip: make([]byte, OnChipBytes)}
+	s.snap.Store(&storeSnap{})
+	return s
 }
 
-// slice locates [off, off+n) in the addressed memory space. Tree nodes and
+// region is one located access target: the bytes, the stripe lock guarding
+// them, and the per-chunk counter to bump (nil for on-chip targets).
+type region struct {
+	b   []byte
+	mu  *sync.Mutex
+	ops *atomic.Int64
+}
+
+// locate resolves [off, off+n) in the addressed memory space. Tree nodes and
 // lock words never straddle a chunk boundary (the allocator carves aligned
 // blocks out of aligned chunks), so a region crossing one is a protocol
-// error, not a case to support. Caller holds mu.
-func (s *store) slice(addr transport.Addr, n int) ([]byte, error) {
-	off := addr.Off()
-	if addr.OnChip() {
+// error, not a case to support.
+func (s *store) locate(a transport.Addr, n int) (region, error) {
+	off := a.Off()
+	if a.OnChip() {
 		if off+uint64(n) > uint64(len(s.onChip)) {
-			return nil, fmt.Errorf("on-chip access [%#x,+%d) exceeds %d B", off, n, len(s.onChip))
+			return region{}, fmt.Errorf("on-chip access [%#x,+%d) exceeds %d B", off, n, len(s.onChip))
 		}
-		return s.onChip[off : off+uint64(n)], nil
+		return region{
+			b:  s.onChip[off : off+uint64(n)],
+			mu: &s.locks[numStripes+int((off>>6)%numStripes)],
+		}, nil
 	}
+	snap := s.snap.Load()
 	ci := off / chunkSize
-	if ci >= uint64(len(s.chunks)) {
-		return nil, fmt.Errorf("access [%#x,+%d) beyond grown memory (%d chunks)", off, n, len(s.chunks))
+	if ci >= uint64(len(snap.chunks)) {
+		return region{}, fmt.Errorf("access [%#x,+%d) beyond grown memory (%d chunks)", off, n, len(snap.chunks))
 	}
 	co := off % chunkSize
 	if co+uint64(n) > chunkSize {
-		return nil, fmt.Errorf("access [%#x,+%d) straddles a chunk boundary", off, n)
+		return region{}, fmt.Errorf("access [%#x,+%d) straddles a chunk boundary", off, n)
 	}
-	return s.chunks[ci][co : co+uint64(n)], nil
+	return region{
+		b:   snap.chunks[ci][co : co+uint64(n)],
+		mu:  &s.locks[ci%numStripes],
+		ops: snap.ops[ci],
+	}, nil
 }
 
+// count books one inbound op against the server totals and r's chunk.
+func (s *store) count(r region) {
+	s.totalOps.Add(1)
+	if r.ops != nil {
+		r.ops.Add(1)
+	} else {
+		s.chipOps.Add(1)
+	}
+}
+
+// grow appends one chunk, republishing the snapshot. Growth serializes on
+// growMu; in-flight accesses keep reading the old snapshot (they cannot
+// target the new chunk, whose base is unpublished until the response).
 func (s *store) grow() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	base := uint64(len(s.chunks)) * chunkSize
-	s.chunks = append(s.chunks, make([]byte, chunkSize))
+	s.growMu.Lock()
+	defer s.growMu.Unlock()
+	old := s.snap.Load()
+	base := uint64(len(old.chunks)) * chunkSize
+	next := &storeSnap{
+		chunks: append(append([][]byte(nil), old.chunks...), make([]byte, chunkSize)),
+		ops:    append(append([]*atomic.Int64(nil), old.ops...), new(atomic.Int64)),
+	}
+	s.snap.Store(next)
 	return base
 }
 
@@ -72,6 +142,8 @@ func (s *store) grow() uint64 {
 type Server struct {
 	st *store
 	ln net.Listener
+
+	accepted atomic.Int64
 
 	mu       sync.Mutex
 	conns    map[net.Conn]struct{}
@@ -96,6 +168,11 @@ func NewServer(addr string) (*Server, error) {
 
 // Addr returns the bound listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Accepted returns the number of connections the server has accepted — the
+// pre-dial regression probe: a cluster that pre-dials at bring-up accepts
+// nothing new when the first verb flies.
+func (s *Server) Accepted() int64 { return s.accepted.Load() }
 
 // Done is closed when a Shutdown frame arrives or Close is called.
 func (s *Server) Done() <-chan struct{} { return s.shutdown }
@@ -124,6 +201,7 @@ func (s *Server) Serve() error {
 				return err
 			}
 		}
+		s.accepted.Add(1)
 		s.mu.Lock()
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
@@ -131,6 +209,121 @@ func (s *Server) Serve() error {
 	}
 }
 
+// reqCtx is one pooled request context: the read loop fills tag/op/in, a
+// worker appends the response payload into resp. Both buffers are reused
+// across requests, so the steady request path allocates nothing (the
+// in-process alloc probe measures this server too).
+type reqCtx struct {
+	tag  uint32
+	op   byte
+	in   []byte
+	resp []byte
+}
+
+// connWriter coalesces one connection's response writes: workers append
+// complete frames into a shared buffer, and a flusher goroutine swaps the
+// buffer out and writes it with a single syscall. Under a deep pipeline
+// many responses ride one flush — the server-side mirror of the client
+// mux's request coalescing; when the connection is idle the flusher runs
+// immediately, so a lone response flushes with no added delay. Responses to
+// different tags may legally leave in any order (the client demuxes by
+// tag), so the flusher and flushNow never need to agree on frame order —
+// only on whole-frame writes.
+type connWriter struct {
+	conn net.Conn
+	mu   sync.Mutex // guards buf
+	buf  []byte
+	wmu  sync.Mutex // serializes conn.Write between run and flushNow
+	fout []byte     // flushNow's recycled swap buffer; guarded by wmu
+	wake chan struct{}
+	done chan struct{}
+}
+
+func newConnWriter(conn net.Conn) *connWriter {
+	w := &connWriter{conn: conn, wake: make(chan struct{}, 1), done: make(chan struct{})}
+	go w.run()
+	return w
+}
+
+// post appends one response frame for the flusher to pick up.
+func (w *connWriter) post(tag uint32, status byte, resp []byte) {
+	w.mu.Lock()
+	w.buf = appendFrame(w.buf, tag, status, resp)
+	w.mu.Unlock()
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+}
+
+// flushNow synchronously drains the buffer — the demux loop's batch
+// boundary, and the shutdown path (the ack must be on the wire before the
+// listener closes). The drained buffer swaps against a recycled spare so
+// the per-burst flush allocates nothing in steady state.
+func (w *connWriter) flushNow() {
+	w.wmu.Lock()
+	w.mu.Lock()
+	out := w.buf
+	w.buf = w.fout[:0]
+	w.mu.Unlock()
+	var err error
+	if len(out) > 0 {
+		_, err = w.conn.Write(out)
+	}
+	w.fout = out[:0]
+	w.wmu.Unlock()
+	if err != nil {
+		w.conn.Close()
+	}
+}
+
+func (w *connWriter) run() {
+	var out []byte
+	for {
+		select {
+		case <-w.wake:
+		case <-w.done:
+			return
+		}
+		// Same trick as the client mux's writer: yield while the buffer is
+		// still growing, so a window's worth of responses rides one Write.
+		runtime.Gosched()
+		w.mu.Lock()
+		n := len(w.buf)
+		w.mu.Unlock()
+		for i := 0; n > 0 && i < 4; i++ {
+			runtime.Gosched()
+			w.mu.Lock()
+			grown := len(w.buf)
+			w.mu.Unlock()
+			if grown == n {
+				break
+			}
+			n = grown
+		}
+		w.mu.Lock()
+		out, w.buf = w.buf, out[:0]
+		w.mu.Unlock()
+		if len(out) == 0 {
+			continue
+		}
+		w.wmu.Lock()
+		_, err := w.conn.Write(out)
+		w.wmu.Unlock()
+		if err != nil {
+			w.conn.Close() // unblocks the read loop
+			return
+		}
+	}
+}
+
+// serveConn runs one client connection: a read loop feeding a fixed worker
+// pool through pooled request contexts. Workers handle requests
+// concurrently — the tag is what lets their responses return out of order —
+// and serialize only on the coalescing response writer and the stripe locks
+// their ops touch. The free list of contexts bounds the per-connection work
+// in flight: when all connWorkers contexts are busy the read loop itself
+// blocks, pushing backpressure into the socket.
 func (s *Server) serveConn(conn net.Conn) {
 	defer func() {
 		conn.Close()
@@ -138,169 +331,261 @@ func (s *Server) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	for {
-		op, payload, err := readFrame(conn)
-		if err != nil {
-			return // peer hung up (or died mid-frame); its state is already durable
-		}
-		resp, err := s.handle(op, payload)
-		if err != nil {
-			if werr := writeFrame(conn, statusErr, []byte(err.Error())); werr != nil {
-				return
+
+	work := make(chan *reqCtx, connWorkers)
+	free := make(chan *reqCtx, connWorkers)
+	for i := 0; i < connWorkers; i++ {
+		free <- &reqCtx{}
+	}
+	w := newConnWriter(conn)
+	defer close(w.done)
+	var wg sync.WaitGroup
+	wg.Add(connWorkers)
+	for i := 0; i < connWorkers; i++ {
+		go func() {
+			defer wg.Done()
+			for ctx := range work {
+				s.serveReq(w, ctx)
+				free <- ctx
 			}
-			continue
+		}()
+	}
+
+	r := bufio.NewReader(conn)
+	var hdr [frameHeader]byte
+	for {
+		ctx := <-free
+		tag, op, payload, err := readFrameInto(r, ctx.in, &hdr)
+		ctx.in = payload
+		if err != nil {
+			free <- ctx
+			break // peer hung up (or died mid-frame); its state is already durable
 		}
-		if err := writeFrame(conn, statusOK, resp); err != nil {
-			return
+		ctx.tag, ctx.op = tag, op
+		if op == opRead && s.tryInlineRead(w, ctx) {
+			free <- ctx
+		} else {
+			work <- ctx
 		}
-		if op == opShutdown {
-			s.Close()
-			return
+		// Batch boundary: the inbound burst is drained, the next ReadFull
+		// blocks. Flush whatever responses accumulated synchronously — the
+		// whole burst's answers ride one Write with no flusher handoff.
+		if r.Buffered() == 0 {
+			w.flushNow()
 		}
+	}
+	close(work)
+	wg.Wait()
+}
+
+// tryInlineRead serves an uncontended read right on the demux goroutine,
+// appending the response frame straight from the store into the write
+// buffer — no worker handoff, no intermediate copy — so the dominant opcode
+// of a read-mostly pipeline costs two channel operations and a memcpy less
+// per request. TryLock keeps the no-blocking guarantee: a read whose stripe
+// is held (or any parse/locate error) falls back to the worker pool,
+// exactly as if the fast path did not exist.
+func (s *Server) tryInlineRead(w *connWriter, ctx *reqCtx) bool {
+	p := &payloadReader{b: ctx.in}
+	a := transport.Addr(p.u64())
+	n := int(p.u32())
+	if p.err != nil {
+		return false
+	}
+	reg, err := s.st.locate(a, n)
+	if err != nil {
+		return false
+	}
+	if !reg.mu.TryLock() {
+		return false
+	}
+	// Stripe lock before buffer lock, always in this order; workers never
+	// nest the two (handle releases the stripe before post takes the
+	// buffer), so the ordering is acyclic.
+	w.mu.Lock()
+	b := appendU32(w.buf, uint32(5+n))
+	b = appendU32(b, ctx.tag)
+	b = append(b, statusOK)
+	off := len(b)
+	if cap(b) < off+n {
+		nb := make([]byte, off, (off+n)*2)
+		copy(nb, b)
+		b = nb
+	}
+	b = b[:off+n]
+	copy(b[off:], reg.b)
+	w.buf = b
+	w.mu.Unlock()
+	reg.mu.Unlock()
+	s.st.count(reg)
+	return true
+}
+
+// serveReq handles one request and posts its response frame.
+func (s *Server) serveReq(w *connWriter, ctx *reqCtx) {
+	resp, err := s.handle(ctx.op, ctx.in, ctx.resp[:0])
+	status := statusOK
+	if err != nil {
+		status = statusErr
+		resp = append(resp[:0], err.Error()...)
+	}
+	w.post(ctx.tag, status, resp)
+	ctx.resp = resp[:0] // keep the grown backing array; post copied it out
+	if ctx.op == opShutdown && err == nil {
+		w.flushNow()
+		s.Close()
 	}
 }
 
-// handle applies one request frame and returns the response payload.
-func (s *Server) handle(op byte, payload []byte) ([]byte, error) {
+// handle applies one request frame, appending the response payload to resp
+// and returning it.
+func (s *Server) handle(op byte, payload, resp []byte) ([]byte, error) {
 	p := &payloadReader{b: payload}
 	st := s.st
 	switch op {
 	case opPing:
-		resp := appendU32(nil, OnChipBytes)
+		resp = appendU32(resp, protocolVersion)
+		resp = appendU32(resp, OnChipBytes)
 		return appendU64(resp, uint64(time.Since(serverStart).Nanoseconds())), nil
 
 	case opRead:
 		a := transport.Addr(p.u64())
 		n := int(p.u32())
 		if p.err != nil {
-			return nil, p.err
+			return resp, p.err
 		}
-		st.mu.Lock()
-		src, err := st.slice(a, n)
+		reg, err := st.locate(a, n)
 		if err != nil {
-			st.mu.Unlock()
-			return nil, err
+			return resp, err
 		}
-		out := make([]byte, n)
-		copy(out, src)
-		st.mu.Unlock()
-		return out, nil
+		if cap(resp) < n {
+			resp = append(resp[:0], make([]byte, n)...)
+		}
+		resp = resp[:n]
+		reg.mu.Lock()
+		copy(resp, reg.b)
+		reg.mu.Unlock()
+		st.count(reg)
+		return resp, nil
 
 	case opReadBatch:
 		count := int(p.u32())
-		if p.err != nil {
-			return nil, p.err
-		}
-		type req struct {
-			a transport.Addr
-			n int
-		}
-		reqs := make([]req, count)
-		total := 0
-		for i := range reqs {
-			reqs[i].a = transport.Addr(p.u64())
-			reqs[i].n = int(p.u32())
-			total += reqs[i].n
-		}
-		if p.err != nil {
-			return nil, p.err
-		}
-		out := make([]byte, 0, total)
-		st.mu.Lock()
-		for _, r := range reqs {
-			src, err := st.slice(r.a, r.n)
-			if err != nil {
-				st.mu.Unlock()
-				return nil, err
+		for i := 0; i < count; i++ {
+			a := transport.Addr(p.u64())
+			n := int(p.u32())
+			if p.err != nil {
+				return resp, p.err
 			}
-			out = append(out, src...)
+			reg, err := st.locate(a, n)
+			if err != nil {
+				return resp, err
+			}
+			off := len(resp)
+			resp = append(resp, make([]byte, n)...)
+			reg.mu.Lock()
+			copy(resp[off:], reg.b)
+			reg.mu.Unlock()
+			st.count(reg)
 		}
-		st.mu.Unlock()
-		return out, nil
+		return resp, p.err
 
 	case opWriteBatch:
 		count := int(p.u32())
-		st.mu.Lock()
-		defer st.mu.Unlock()
 		for i := 0; i < count; i++ {
 			a := transport.Addr(p.u64())
 			n := int(p.u32())
 			data := p.bytes(n)
 			if p.err != nil {
-				return nil, p.err
+				return resp, p.err
 			}
-			dst, err := st.slice(a, n)
+			reg, err := st.locate(a, n)
 			if err != nil {
-				return nil, err
+				return resp, err
 			}
-			copy(dst, data)
+			reg.mu.Lock()
+			copy(reg.b, data)
+			reg.mu.Unlock()
+			st.count(reg)
 		}
-		return nil, p.err
+		return resp, p.err
 
 	case opCAS:
 		a := transport.Addr(p.u64())
 		old, new := p.u64(), p.u64()
 		if p.err != nil {
-			return nil, p.err
+			return resp, p.err
 		}
-		st.mu.Lock()
-		defer st.mu.Unlock()
-		w, err := st.slice(a, 8)
+		reg, err := st.locate(a, 8)
 		if err != nil {
-			return nil, err
+			return resp, err
 		}
-		prev := leU64(w)
+		reg.mu.Lock()
+		prev := leU64(reg.b)
 		swapped := byte(0)
 		if prev == old {
-			putU64(w, new)
+			putU64(reg.b, new)
 			swapped = 1
 		}
-		return append(appendU64(nil, prev), swapped), nil
+		reg.mu.Unlock()
+		st.count(reg)
+		return append(appendU64(resp, prev), swapped), nil
 
 	case opCAS16:
 		a := transport.Addr(p.u64())
 		old, new := p.u16(), p.u16()
 		if p.err != nil {
-			return nil, p.err
+			return resp, p.err
 		}
-		st.mu.Lock()
-		defer st.mu.Unlock()
-		w, err := st.slice(a, 2)
+		reg, err := st.locate(a, 2)
 		if err != nil {
-			return nil, err
+			return resp, err
 		}
-		prev := uint16(w[0]) | uint16(w[1])<<8
+		reg.mu.Lock()
+		prev := uint16(reg.b[0]) | uint16(reg.b[1])<<8
 		swapped := byte(0)
 		if prev == old {
-			w[0], w[1] = byte(new), byte(new>>8)
+			reg.b[0], reg.b[1] = byte(new), byte(new>>8)
 			swapped = 1
 		}
-		return []byte{byte(prev), byte(prev >> 8), swapped}, nil
+		reg.mu.Unlock()
+		st.count(reg)
+		return append(resp, byte(prev), byte(prev>>8), swapped), nil
 
 	case opFAA:
 		a := transport.Addr(p.u64())
 		delta := p.u64()
 		if p.err != nil {
-			return nil, p.err
+			return resp, p.err
 		}
-		st.mu.Lock()
-		defer st.mu.Unlock()
-		w, err := st.slice(a, 8)
+		reg, err := st.locate(a, 8)
 		if err != nil {
-			return nil, err
+			return resp, err
 		}
-		prev := leU64(w)
-		putU64(w, prev+delta)
-		return appendU64(nil, prev), nil
+		reg.mu.Lock()
+		prev := leU64(reg.b)
+		putU64(reg.b, prev+delta)
+		reg.mu.Unlock()
+		st.count(reg)
+		return appendU64(resp, prev), nil
 
 	case opGrow:
-		return appendU64(nil, st.grow()), nil
+		st.totalOps.Add(1)
+		return appendU64(resp, st.grow()), nil
+
+	case opStats:
+		snap := st.snap.Load()
+		resp = appendU64(resp, uint64(st.totalOps.Load()))
+		resp = appendU32(resp, uint32(len(snap.ops)))
+		for _, c := range snap.ops {
+			resp = appendU64(resp, uint64(c.Load()))
+		}
+		return resp, nil
 
 	case opShutdown:
-		return nil, nil
+		return resp, nil
 
 	default:
-		return nil, fmt.Errorf("tcp: unknown opcode %d", op)
+		return resp, fmt.Errorf("tcp: unknown opcode %d", op)
 	}
 }
 

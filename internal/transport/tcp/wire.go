@@ -1,24 +1,31 @@
 // Package tcp is the real-network transport: memory servers are OS
 // processes (cmd/shermand) serving chunks, locks and atomics over a
 // length-prefixed binary protocol, and clients implement
-// transport.Transport over per-server pooled connections with real clocks.
+// transport.Transport over multiplexed per-server connections with real
+// clocks.
 //
-// Wire protocol. Every message is one frame:
+// Wire protocol (version 2). Every message is one frame:
 //
-//	[u32 length][u8 opcode][payload]
+//	[u32 length][u32 tag][u8 opcode][payload]
 //
-// little-endian, where length covers the opcode byte plus the payload.
-// Requests carry an operation opcode; responses reuse the opcode slot as a
-// status byte (statusOK with a result payload, statusErr with a UTF-8
-// message). One request frame gets exactly one response frame, in order, so
-// a doorbell batch of dependent writes coalesces into a single WriteBatch
-// frame — one network round trip, the §4.5 batching mapped onto TCP.
+// little-endian, where length covers the tag, the opcode byte and the
+// payload. Requests carry an operation opcode and a caller-chosen tag;
+// the response echoes the tag and reuses the opcode slot as a status byte
+// (statusOK with a result payload, statusErr with a UTF-8 message). Tags
+// let many requests share one connection with responses returning in
+// completion order, not request order: the client keeps a bounded window
+// of tagged slots per server, a writer path coalesces queued frames into
+// single flushes, and a reader goroutine demuxes responses by tag (see
+// mux.go). A doorbell batch of dependent writes still coalesces into a
+// single WriteBatch frame — one network round trip, the §4.5 batching
+// mapped onto TCP.
 //
-// The server applies each frame under one store-wide mutex, which makes a
-// WriteBatch atomic and totally orders conflicting atomics — strictly
-// stronger than RDMA's per-verb atomicity, and therefore a safe home for
-// the same tree protocol (every interleaving the TCP transport can produce,
-// the RDMA fabric can produce too; not vice versa).
+// The server applies each operation under striped per-chunk locks, so
+// concurrent tagged requests to different chunks proceed in parallel.
+// Each individual verb — and each op of a batch, applied in posted
+// order — is atomic under its stripe, which is exactly the per-verb
+// atomicity RDMA provides; see DESIGN.md §13 for why the tree protocol
+// needs nothing stronger.
 package tcp
 
 import (
@@ -27,17 +34,23 @@ import (
 	"io"
 )
 
+// protocolVersion is checked during the Ping handshake: a v1 peer (5-byte
+// headers) would silently desynchronize a v2 reader, so the version rides
+// first in the Ping response and a mismatch fails cluster bring-up.
+const protocolVersion = 2
+
 // Request opcodes.
 const (
-	opPing       byte = 1 // () -> u32 onChipSize, u64 serverNowNS (clock epoch)
-	opRead       byte = 2 // addr u64, n u32 -> n bytes
-	opReadBatch  byte = 3 // count u32, (addr u64, n u32)* -> concatenated bytes
-	opWriteBatch byte = 4 // count u32, (addr u64, n u32, data)* applied in order -> ()
-	opCAS        byte = 5 // addr u64, old u64, new u64 -> prev u64, swapped u8
-	opCAS16      byte = 6 // addr u64, old u16, new u16 -> prev u16, swapped u8
-	opFAA        byte = 7 // addr u64, delta u64 -> old u64
-	opGrow       byte = 8 // () -> base u64
-	opShutdown   byte = 9 // () -> (), then the server exits
+	opPing       byte = 1  // () -> u32 version, u32 onChipSize, u64 serverNowNS (clock epoch)
+	opRead       byte = 2  // addr u64, n u32 -> n bytes
+	opReadBatch  byte = 3  // count u32, (addr u64, n u32)* -> concatenated bytes
+	opWriteBatch byte = 4  // count u32, (addr u64, n u32, data)* applied in order -> ()
+	opCAS        byte = 5  // addr u64, old u64, new u64 -> prev u64, swapped u8
+	opCAS16      byte = 6  // addr u64, old u16, new u16 -> prev u16, swapped u8
+	opFAA        byte = 7  // addr u64, delta u64 -> old u64
+	opGrow       byte = 8  // () -> base u64
+	opShutdown   byte = 9  // () -> (), then the server exits
+	opStats      byte = 10 // () -> total u64, count u32, (chunkOps u64)*
 )
 
 // Response status bytes (the opcode slot of a response frame).
@@ -46,57 +59,87 @@ const (
 	statusErr byte = 1
 )
 
+// frameHeader is the fixed prefix of every frame: length, tag, opcode.
+const frameHeader = 9
+
 // maxFrame bounds a frame's length field: one chunk plus batching slack.
 // A reader that sees a bigger length is desynchronized (or under attack)
 // and errors out instead of allocating unboundedly.
 const maxFrame = 64 << 20
 
-// writeFrame emits one frame. payload may be nil.
-func writeFrame(w io.Writer, op byte, payload []byte) error {
-	var hdr [5]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(1+len(payload)))
-	hdr[4] = op
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	if len(payload) > 0 {
-		if _, err := w.Write(payload); err != nil {
-			return err
-		}
-	}
-	return nil
+// appendFrame appends one whole frame to b — the coalescing building block:
+// the mux writer path appends several frames to one buffer and flushes them
+// with a single Write.
+func appendFrame(b []byte, tag uint32, op byte, payload []byte) []byte {
+	b = appendU32(b, uint32(5+len(payload)))
+	b = appendU32(b, tag)
+	b = append(b, op)
+	return append(b, payload...)
 }
 
-// readFrame reads one frame, returning its opcode (or status) byte and
+// writeFrame emits one frame with a single Write. payload may be nil.
+func writeFrame(w io.Writer, tag uint32, op byte, payload []byte) error {
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(5+len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], tag)
+	hdr[8] = op
+	if len(payload) == 0 {
+		_, err := w.Write(hdr[:])
+		return err
+	}
+	buf := make([]byte, 0, frameHeader+len(payload))
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, payload...)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame reads one frame, returning its tag, opcode (or status) byte and
 // payload. A torn or truncated frame — the peer died mid-write — surfaces
-// as io.ErrUnexpectedEOF; a length outside (0, maxFrame] as a framing
+// as io.ErrUnexpectedEOF; a length outside [5, maxFrame] as a framing
 // error.
-func readFrame(r io.Reader) (op byte, payload []byte, err error) {
-	var hdr [5]byte
+func readFrame(r io.Reader) (tag uint32, op byte, payload []byte, err error) {
+	var hdr [frameHeader]byte
+	tag, op, payload, err = readFrameInto(r, nil, &hdr)
+	return
+}
+
+// readFrameInto is readFrame reusing buf for the payload when it has the
+// capacity — the allocation-free variant the server's request loop runs on.
+// The returned payload aliases buf (possibly grown); it is valid until the
+// next reuse. hdr is caller-owned header scratch: passed through the
+// io.Reader interface it would escape, so a stack-local here costs one heap
+// allocation per frame — the caller hoists it out of its loop instead.
+func readFrameInto(r io.Reader, buf []byte, hdr *[frameHeader]byte) (tag uint32, op byte, payload []byte, err error) {
 	if _, err := io.ReadFull(r, hdr[:4]); err != nil {
-		return 0, nil, err
+		return 0, 0, buf, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[0:4])
-	if n == 0 || n > maxFrame {
-		return 0, nil, fmt.Errorf("tcp: bad frame length %d", n)
+	if n < 5 || n > maxFrame {
+		return 0, 0, buf, fmt.Errorf("tcp: bad frame length %d", n)
 	}
-	if _, err := io.ReadFull(r, hdr[4:5]); err != nil {
+	if _, err := io.ReadFull(r, hdr[4:frameHeader]); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
 		}
-		return 0, nil, err
+		return 0, 0, buf, err
 	}
-	op = hdr[4]
-	if n > 1 {
-		payload = make([]byte, n-1)
+	tag = binary.LittleEndian.Uint32(hdr[4:8])
+	op = hdr[8]
+	plen := int(n) - 5
+	if cap(buf) < plen {
+		buf = make([]byte, plen)
+	}
+	payload = buf[:plen]
+	if plen > 0 {
 		if _, err := io.ReadFull(r, payload); err != nil {
 			if err == io.EOF {
 				err = io.ErrUnexpectedEOF
 			}
-			return 0, nil, err
+			return 0, 0, payload, err
 		}
 	}
-	return op, payload, nil
+	return tag, op, payload, nil
 }
 
 // appendU64/appendU32 are the payload builders shared by client and server.

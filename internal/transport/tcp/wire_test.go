@@ -8,9 +8,10 @@ import (
 	"testing"
 )
 
-// TestFrameRoundTrip encodes frames of assorted opcodes and payload sizes
-// and decodes them back, including several frames back to back on one
-// stream (the pipelining case).
+// TestFrameRoundTrip encodes frames of assorted opcodes, tags and payload
+// sizes and decodes them back, including several frames back to back on one
+// stream (the pipelining case). Tags must echo exactly — they are the demux
+// key of protocol v2.
 func TestFrameRoundTrip(t *testing.T) {
 	payloads := [][]byte{
 		nil,
@@ -19,17 +20,21 @@ func TestFrameRoundTrip(t *testing.T) {
 		bytes.Repeat([]byte{0x5A}, 1024),
 		bytes.Repeat([]byte{0xFF}, 1<<20),
 	}
+	tags := []uint32{0, 1, 63, 0xFFFFFFFF, 7}
 	var buf bytes.Buffer
 	for i, p := range payloads {
 		op := byte(i + 1)
-		if err := writeFrame(&buf, op, p); err != nil {
-			t.Fatalf("writeFrame(op=%d, %d bytes): %v", op, len(p), err)
+		if err := writeFrame(&buf, tags[i], op, p); err != nil {
+			t.Fatalf("writeFrame(tag=%d, op=%d, %d bytes): %v", tags[i], op, len(p), err)
 		}
 	}
 	for i, p := range payloads {
-		op, got, err := readFrame(&buf)
+		tag, op, got, err := readFrame(&buf)
 		if err != nil {
 			t.Fatalf("readFrame #%d: %v", i, err)
+		}
+		if tag != tags[i] {
+			t.Fatalf("readFrame #%d: tag %d, want %d", i, tag, tags[i])
 		}
 		if op != byte(i+1) {
 			t.Fatalf("readFrame #%d: opcode %d, want %d", i, op, i+1)
@@ -43,40 +48,55 @@ func TestFrameRoundTrip(t *testing.T) {
 	}
 }
 
+// TestFrameAppendMatchesWrite pins that the coalescing builder (appendFrame,
+// the mux writer's path) produces byte-identical wire output to writeFrame.
+func TestFrameAppendMatchesWrite(t *testing.T) {
+	payload := bytes.Repeat([]byte{3}, 37)
+	var w bytes.Buffer
+	if err := writeFrame(&w, 42, opCAS, payload); err != nil {
+		t.Fatal(err)
+	}
+	if got := appendFrame(nil, 42, opCAS, payload); !bytes.Equal(got, w.Bytes()) {
+		t.Fatalf("appendFrame diverges from writeFrame:\n  %v\n  %v", got, w.Bytes())
+	}
+}
+
 // TestFrameTorn truncates an encoded frame at every possible byte boundary:
-// a cut inside the length header must surface as EOF or ErrUnexpectedEOF
-// (the reader read nothing usable), and a cut after it as ErrUnexpectedEOF —
-// the peer died mid-frame, never a silent short payload.
+// a clean cut before any bytes is EOF, and any mid-frame cut — inside the
+// tag, the opcode, or the payload — is ErrUnexpectedEOF: the peer died
+// mid-frame, never a silent short payload.
 func TestFrameTorn(t *testing.T) {
 	var full bytes.Buffer
-	if err := writeFrame(&full, opCAS, bytes.Repeat([]byte{7}, 24)); err != nil {
+	if err := writeFrame(&full, 9, opCAS, bytes.Repeat([]byte{7}, 24)); err != nil {
 		t.Fatal(err)
 	}
 	whole := full.Bytes()
 	for cut := 0; cut < len(whole); cut++ {
-		_, _, err := readFrame(bytes.NewReader(whole[:cut]))
+		_, _, _, err := readFrame(bytes.NewReader(whole[:cut]))
 		if err == nil {
 			t.Fatalf("cut at %d of %d: no error", cut, len(whole))
 		}
-		if cut <= 4 {
-			if err != io.EOF && err != io.ErrUnexpectedEOF {
-				t.Fatalf("cut at %d (inside header): err = %v", cut, err)
+		if cut == 0 {
+			if err != io.EOF {
+				t.Fatalf("cut at 0: err = %v, want EOF", err)
 			}
 			continue
 		}
 		if err != io.ErrUnexpectedEOF {
-			t.Fatalf("cut at %d (inside body): err = %v, want ErrUnexpectedEOF", cut, err)
+			t.Fatalf("cut at %d: err = %v, want ErrUnexpectedEOF", cut, err)
 		}
 	}
 }
 
-// TestFrameBadLength rejects zero and oversized length fields instead of
-// blocking on (or allocating for) a desynchronized stream.
+// TestFrameBadLength rejects length fields below the tag+opcode minimum and
+// above maxFrame instead of blocking on (or allocating for) a
+// desynchronized stream.
 func TestFrameBadLength(t *testing.T) {
-	for _, n := range []uint32{0, maxFrame + 1, 1 << 31} {
+	for _, n := range []uint32{0, 1, 4, maxFrame + 1, 1 << 31} {
 		raw := appendU32(nil, n)
+		raw = appendU32(raw, 0) // tag
 		raw = append(raw, opPing)
-		if _, _, err := readFrame(bytes.NewReader(raw)); err == nil {
+		if _, _, _, err := readFrame(bytes.NewReader(raw)); err == nil {
 			t.Fatalf("length %d: no error", n)
 		}
 	}
@@ -113,9 +133,52 @@ func TestPayloadReaderShortRead(t *testing.T) {
 	}
 }
 
+// rawClient is a lockstep test harness speaking raw v2 frames on one
+// socket — deliberately below the mux, so server behavior (tag echo,
+// status frames, payload layout) is pinned at the wire level.
+type rawClient struct {
+	t    *testing.T
+	c    net.Conn
+	r    *bufio.Reader
+	next uint32
+}
+
+func dialRaw(t *testing.T, addr string) *rawClient {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &rawClient{t: t, c: conn, r: bufio.NewReader(conn)}
+}
+
+// req sends one frame with a fresh tag and returns the response payload,
+// failing the test unless the response echoes the tag with statusOK.
+func (rc *rawClient) req(op byte, payload []byte) []byte {
+	rc.t.Helper()
+	rc.next++
+	tag := rc.next
+	if err := writeFrame(rc.c, tag, op, payload); err != nil {
+		rc.t.Fatalf("op %d: write: %v", op, err)
+	}
+	gotTag, status, resp, err := readFrame(rc.r)
+	if err != nil {
+		rc.t.Fatalf("op %d: read: %v", op, err)
+	}
+	if gotTag != tag {
+		rc.t.Fatalf("op %d: response tag %d, want %d", op, gotTag, tag)
+	}
+	if status != statusOK {
+		rc.t.Fatalf("op %d: status %d, payload %q", op, status, resp)
+	}
+	return resp
+}
+
 // TestServerFrames drives one in-process Server over a real socket with raw
-// frames: ping, write/read round trip, batches, atomics, on-chip addressing
-// and the error path, verifying each response payload byte for byte.
+// v2 frames: ping, write/read round trip, batches, atomics, stats, on-chip
+// addressing and the error path, verifying each response payload byte for
+// byte.
 func TestServerFrames(t *testing.T) {
 	srv, err := NewServer("127.0.0.1:0")
 	if err != nil {
@@ -124,37 +187,19 @@ func TestServerFrames(t *testing.T) {
 	go srv.Serve()
 	defer srv.Close()
 
-	conn, err := net.Dial("tcp", srv.Addr())
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer conn.Close()
-	mc := &msConn{c: conn, r: bufio.NewReader(conn)}
+	rc := dialRaw(t, srv.Addr())
 
-	req := func(op byte, payload []byte) []byte {
-		t.Helper()
-		if err := writeFrame(mc.c, op, payload); err != nil {
-			t.Fatalf("op %d: write: %v", op, err)
-		}
-		status, resp, err := readFrame(mc.r)
-		if err != nil {
-			t.Fatalf("op %d: read: %v", op, err)
-		}
-		if status != statusOK {
-			t.Fatalf("op %d: status %d, payload %q", op, status, resp)
-		}
-		return resp
+	// Ping reports the protocol version and the on-chip size.
+	p := payloadReader{b: rc.req(opPing, nil)}
+	if got := p.u32(); got != protocolVersion {
+		t.Fatalf("ping: version %d, want %d", got, protocolVersion)
 	}
-
-	// Ping reports the on-chip size.
-	resp := req(opPing, nil)
-	p := payloadReader{b: resp}
 	if got := p.u32(); got != OnChipBytes || p.err != nil {
 		t.Fatalf("ping: on-chip %d, want %d (err %v)", got, OnChipBytes, p.err)
 	}
 
 	// Grow a chunk, write into it, read it back.
-	p = payloadReader{b: req(opGrow, nil)}
+	p = payloadReader{b: rc.req(opGrow, nil)}
 	base := p.u64()
 	if p.err != nil {
 		t.Fatalf("grow: %v", p.err)
@@ -164,11 +209,11 @@ func TestServerFrames(t *testing.T) {
 	w = appendU64(w, base+16)
 	w = appendU32(w, uint32(len(data)))
 	w = append(w, data...)
-	req(opWriteBatch, w)
+	rc.req(opWriteBatch, w)
 
 	r := appendU64(nil, base+16)
 	r = appendU32(r, uint32(len(data)))
-	if got := req(opRead, r); !bytes.Equal(got, data) {
+	if got := rc.req(opRead, r); !bytes.Equal(got, data) {
 		t.Fatalf("read back %v, want %v", got, data)
 	}
 
@@ -178,7 +223,7 @@ func TestServerFrames(t *testing.T) {
 	rb = appendU32(rb, 4)
 	rb = appendU64(rb, base+20)
 	rb = appendU32(rb, 4)
-	if got := req(opReadBatch, rb); !bytes.Equal(got, data) {
+	if got := rc.req(opReadBatch, rb); !bytes.Equal(got, data) {
 		t.Fatalf("read batch %v, want %v", got, data)
 	}
 
@@ -187,7 +232,7 @@ func TestServerFrames(t *testing.T) {
 		c := appendU64(nil, addr)
 		c = appendU64(c, old)
 		c = appendU64(c, new)
-		p := payloadReader{b: req(opCAS, c)}
+		p := payloadReader{b: rc.req(opCAS, c)}
 		prev, swapped := p.u64(), p.u8()
 		if p.err != nil {
 			t.Fatalf("cas: %v", p.err)
@@ -204,7 +249,7 @@ func TestServerFrames(t *testing.T) {
 	// FAA returns the old value and adds.
 	f := appendU64(nil, base)
 	f = appendU64(f, 1)
-	p = payloadReader{b: req(opFAA, f)}
+	p = payloadReader{b: rc.req(opFAA, f)}
 	if old := p.u64(); old != 99 || p.err != nil {
 		t.Fatalf("faa old = %d (err %v), want 99", old, p.err)
 	}
@@ -214,25 +259,98 @@ func TestServerFrames(t *testing.T) {
 	c16 := appendU64(nil, onChip+2)
 	c16 = append(c16, 0, 0)       // old u16
 	c16 = append(c16, 0x34, 0x12) // new u16
-	p = payloadReader{b: req(opCAS16, c16)}
+	p = payloadReader{b: rc.req(opCAS16, c16)}
 	prev16, swapped := p.u16(), p.u8()
 	if p.err != nil || prev16 != 0 || swapped == 0 {
 		t.Fatalf("cas16 = prev %#x swapped %d (err %v)", prev16, swapped, p.err)
 	}
 
-	// A read beyond grown memory is an error frame, and the connection
-	// stays usable afterwards.
+	// Stats reports the inbound op totals with a per-chunk breakdown. By
+	// here the single grown chunk has absorbed: 1 write, 1 read, 2 batched
+	// reads, 2 CAS, 1 FAA = 7 chunk ops; plus 1 on-chip CAS16 and the Grow
+	// RPC in the total. Stats itself is control traffic and not counted.
+	p = payloadReader{b: rc.req(opStats, nil)}
+	total := p.u64()
+	nchunks := p.u32()
+	chunk0 := p.u64()
+	if p.err != nil {
+		t.Fatalf("stats: %v", p.err)
+	}
+	if nchunks != 1 || chunk0 != 7 || total != 9 {
+		t.Fatalf("stats = total %d, %d chunks, chunk0 %d; want 9, 1, 7", total, nchunks, chunk0)
+	}
+
+	// A read beyond grown memory is an error frame that still echoes the
+	// tag, and the connection stays usable afterwards.
 	bad := appendU64(nil, uint64(1)<<40)
 	bad = appendU32(bad, 8)
-	if err := writeFrame(mc.c, opRead, bad); err != nil {
+	if err := writeFrame(rc.c, 7777, opRead, bad); err != nil {
 		t.Fatal(err)
 	}
-	status, msg, err := readFrame(mc.r)
+	tag, status, msg, err := readFrame(rc.r)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if status != statusErr || len(msg) == 0 {
-		t.Fatalf("out-of-range read: status %d, msg %q", status, msg)
+	if tag != 7777 || status != statusErr || len(msg) == 0 {
+		t.Fatalf("out-of-range read: tag %d, status %d, msg %q", tag, status, msg)
 	}
-	req(opPing, nil) // still alive
+	rc.req(opPing, nil) // still alive
+}
+
+// TestServerOutOfOrderCompletion pins the server's out-of-order delivery:
+// two requests posted back to back on one connection may complete in either
+// order, and the tags — not the arrival order — say which response is
+// which. A slow (big) read is posted first and a tiny read second; both
+// responses must carry the right payload for their tag regardless of order.
+func TestServerOutOfOrderCompletion(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+
+	rc := dialRaw(t, srv.Addr())
+	p := payloadReader{b: rc.req(opGrow, nil)}
+	base := p.u64()
+
+	pattern := bytes.Repeat([]byte{0xA5}, 4096)
+	w := appendU32(nil, 1)
+	w = appendU64(w, base)
+	w = appendU32(w, uint32(len(pattern)))
+	w = append(w, pattern...)
+	rc.req(opWriteBatch, w)
+
+	// Post both reads without reading a single response byte.
+	big := appendU32(appendU64(nil, base), 4096)
+	small := appendU32(appendU64(nil, base), 1)
+	if err := writeFrame(rc.c, 100, opRead, big); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrame(rc.c, 200, opRead, small); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint32]int{}
+	for i := 0; i < 2; i++ {
+		tag, status, resp, err := readFrame(rc.r)
+		if err != nil || status != statusOK {
+			t.Fatalf("response %d: status %d err %v", i, status, err)
+		}
+		switch tag {
+		case 100:
+			if len(resp) != 4096 || !bytes.Equal(resp, pattern) {
+				t.Fatalf("tag 100: wrong payload (%d bytes)", len(resp))
+			}
+		case 200:
+			if len(resp) != 1 || resp[0] != 0xA5 {
+				t.Fatalf("tag 200: payload %v", resp)
+			}
+		default:
+			t.Fatalf("unknown response tag %d", tag)
+		}
+		seen[tag]++
+	}
+	if seen[100] != 1 || seen[200] != 1 {
+		t.Fatalf("responses per tag = %v, want one each", seen)
+	}
 }

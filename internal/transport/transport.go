@@ -1,8 +1,8 @@
 // Package transport defines the verb surface of the disaggregated fabric:
 // the Transport interface every tree client runs over, the address/op/metric
 // value types shared by all implementations, and the optional capability
-// interfaces (VirtualTimer) that expose backend-specific powers without the
-// core ever type-switching on the implementation.
+// interfaces (VirtualTimer, AsyncVerbs) that expose backend-specific powers
+// without the core ever type-switching on the implementation.
 //
 // Two implementations exist:
 //
@@ -12,9 +12,11 @@
 //     simulation's contention model needs.
 //   - internal/transport/tcp: a real network. Memory servers are OS
 //     processes (cmd/shermand) serving chunks, locks, and atomics over a
-//     length-prefixed binary protocol; clients dial them with real clocks
-//     and map doorbell batches to coalesced frames. It does not implement
-//     VirtualTimer — virtual-time hooks degrade to synchronous no-ops.
+//     tagged multiplexed binary protocol; clients share one connection per
+//     server with real clocks and map doorbell batches to coalesced frames.
+//     It does not implement VirtualTimer — virtual-time hooks degrade to
+//     synchronous no-ops — but it does implement AsyncVerbs, so pipelined
+//     executors overlap real round trips.
 //
 // The package is dependency-free so both backends (and the packages between
 // them and the tree) can share its types without import cycles.
@@ -87,6 +89,36 @@ type Transport interface {
 	// Timing exposes the transport's cost constants; real transports
 	// return zeros for the virtual-only entries.
 	Timing() Timing
+}
+
+// Pending identifies one in-flight asynchronous verb issued through
+// AsyncVerbs. It indexes the transport's internal completion-slot table, so
+// it is only meaningful against the transport that issued it.
+type Pending int32
+
+// AsyncVerbs is the optional capability interface of transports that can
+// genuinely overlap round trips: issue returns as soon as the request is on
+// the wire (or queued behind the transport's outstanding window), and Await
+// blocks until that request's response has been applied. The TCP transport
+// implements it over tagged multiplexed connections; the simulator does not
+// need it (virtual time overlaps round trips by accounting, not by I/O).
+// Like every Transport method, these are single-goroutine: the owner issues
+// and awaits its own pendings.
+//
+// Pipelined executors running on a real clock (VirtualTimer absent) use it
+// to keep depth-N verbs in flight per memory server; when it too is absent
+// they degrade to synchronous verbs.
+type AsyncVerbs interface {
+	// ReadAsync issues the read of len(buf) bytes at a. buf must stay
+	// untouched until Await; dead-memory zero-fill is applied at Await time.
+	ReadAsync(a Addr, buf []byte) Pending
+	// PostWritesAsync issues one doorbell batch of dependent writes (the
+	// async PostWrites: all ops on one memory server, applied in order).
+	// The op data is captured at issue time and may be reused immediately.
+	PostWritesAsync(ops ...WriteOp) Pending
+	// Await blocks until p's response has been applied (read buffers
+	// filled, or dead-memory semantics applied) and releases p.
+	Await(p Pending)
 }
 
 // VirtualTimer is the optional capability interface of transports that run

@@ -75,15 +75,30 @@ type Result struct {
 // Future is the pending result of one submitted operation.
 type Future struct {
 	s    *Session
+	p    core.Pending
+	pend bool
 	res  Result
 	done int64
 }
 
-// Wait blocks the session's virtual timeline until the operation has
-// completed — the session clock advances to the operation's completion
-// time — and returns its result. Waiting on an already-passed future is
-// free; Wait may be called any number of times.
+// Wait blocks until the operation has completed and returns its result. On
+// the simulator the session clock advances to the operation's virtual
+// completion time; on a real transport at PipelineDepth > 1 the operation is
+// genuinely in flight and Wait blocks for it. Waiting on an already-passed
+// future is free; Wait may be called any number of times.
 func (f *Future) Wait() Result {
+	if f.pend {
+		f.pend = false
+		p := f.p
+		var cres core.OpResult
+		var end int64
+		if err := f.s.run(func() { cres, end = p.Wait() }); err != nil {
+			f.res, f.done = Result{Err: err}, f.s.h.C.Now()
+		} else {
+			f.res, f.done = resultFrom(cres), end
+		}
+		return f.res
+	}
 	if f.s != nil {
 		f.s.a.WaitUntil(f.done)
 	}
@@ -91,7 +106,10 @@ func (f *Future) Wait() Result {
 }
 
 // CompleteAtV returns the operation's completion time on the session's
-// virtual clock (see Session.VirtualNow).
+// virtual clock (see Session.VirtualNow). On a real transport at
+// PipelineDepth > 1 the completion time is unknown until the operation
+// finishes: CompleteAtV returns 0 before the first Wait and the wall-clock
+// completion (transport nanos) after.
 func (f *Future) CompleteAtV() int64 { return f.done }
 
 // Session is one client thread's interface to a tree, bound to one compute
@@ -244,11 +262,16 @@ func (s *Session) Submit(op Op) *Future {
 	if op.Kind == OpScan && op.Span <= 0 {
 		return &Future{res: Result{}, done: s.h.C.Now()}
 	}
-	var res core.OpResult
-	var done int64
-	if err := s.run(func() { res, done = s.a.Submit(cop) }); err != nil {
+	var p core.Pending
+	if err := s.run(func() { p = s.a.SubmitOp(cop) }); err != nil {
 		return &Future{res: Result{Err: err}, done: s.h.C.Now()}
 	}
+	if p.Deferred() {
+		// Real transport, depth > 1: the op is physically in flight on a
+		// worker goroutine; its result materializes at Wait.
+		return &Future{s: s, p: p, pend: true}
+	}
+	res, done := p.Result()
 	return &Future{s: s, res: resultFrom(res), done: done}
 }
 
@@ -382,9 +405,8 @@ func legacyErr(err error) {
 func (s *Session) submitWait(cop core.Op) (core.OpResult, error) {
 	var res core.OpResult
 	err := s.run(func() {
-		var done int64
-		res, done = s.a.Submit(cop)
-		s.a.WaitUntil(done)
+		p := s.a.SubmitOp(cop)
+		res, _ = p.Wait()
 	})
 	return res, err
 }
@@ -511,11 +533,15 @@ func (s *Session) DeleteBatch(keys []uint64) (found []bool) {
 func (s *Session) VirtualNow() int64 { return s.h.C.Now() }
 
 // Stats returns the session's accumulated measurements. Call Flush first on
-// a pipelined session to fold outstanding operations in.
+// a pipelined session to fold outstanding operations in. On a real transport
+// at PipelineDepth > 1, operations execute on pooled worker handles: their
+// op counts and latencies are folded into the session's recorder at harvest,
+// and the workers' own verb and cache counters are summed in here (so Flush
+// first — a worker mid-operation is counted mid-flight).
 func (s *Session) Stats() SessionStats {
 	r := s.h.Rec
 	m := s.h.Metrics()
-	return SessionStats{
+	st := SessionStats{
 		Lookups:      r.Ops[stats.OpLookup],
 		Inserts:      r.Ops[stats.OpInsert],
 		Deletes:      r.Ops[stats.OpDelete],
@@ -548,6 +574,27 @@ func (s *Session) Stats() SessionStats {
 		ReplicaWrites:   r.ReplicaWrites,
 		ReplicaLagMaxNS: r.ReplicaLagMaxNS,
 	}
+	s.a.ForEachWorker(func(w *core.Handle) {
+		wm := w.Metrics()
+		st.RoundTrips += wm.RoundTrips
+		st.WriteBytes += wm.WriteBytes
+		st.CASFailures += wm.CASFailures
+		st.DoorbellBatches += wm.DoorbellBatches
+		st.DoorbellOps += wm.DoorbellOps
+		wr := w.Rec
+		st.CacheHits += wr.CacheHits
+		st.CacheMisses += wr.CacheMisses
+		st.Handovers += wr.Handovers
+		st.Reclaims += wr.Reclaims
+		st.CacheInvalidations += wr.CacheInvalidations
+		st.SpeculativeReads += wr.SpecReads
+		st.SpeculativeFails += wr.SpecFails
+		st.ReplicaWrites += wr.ReplicaWrites
+		if wr.ReplicaLagMaxNS > st.ReplicaLagMaxNS {
+			st.ReplicaLagMaxNS = wr.ReplicaLagMaxNS
+		}
+	})
+	return st
 }
 
 // SessionStats summarizes one session's activity. Latencies are in virtual

@@ -2,9 +2,11 @@ package sherman
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -215,7 +217,7 @@ func TestTCPDifferential(t *testing.T) {
 	}
 
 	rng := rand.New(rand.NewSource(1))
-	for _, depth := range []int{1, 4} {
+	for _, depth := range []int{1, 4, 8} {
 		s, err := tree.SessionAt(depth%c.ComputeServers(), PipelineDepth(depth))
 		if err != nil {
 			t.Fatal(err)
@@ -275,6 +277,152 @@ func TestTCPDifferential(t *testing.T) {
 		if err := s.Flush(); err != nil {
 			t.Fatal(err)
 		}
+	}
+
+	// Streamed futures: a full window of Submits held open at once, each
+	// verified against the oracle captured at submit time (the pipeline
+	// preserves per-key order, so the submit-time state is what each op
+	// observes).
+	{
+		s, err := tree.SessionAt(0, PipelineDepth(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		type expect struct {
+			fut   *Future
+			kind  OpKind
+			key   uint64
+			val   uint64
+			found bool
+		}
+		var window []expect
+		drain := func() {
+			for _, e := range window {
+				r := e.fut.Wait()
+				if r.Err != nil {
+					t.Fatalf("streamed %v(%d): %v", e.kind, e.key, r.Err)
+				}
+				switch e.kind {
+				case OpGet:
+					if r.Found != e.found || (r.Found && r.Value != e.val) {
+						t.Fatalf("streamed Get(%d) = %d,%v; submit-time oracle %d,%v",
+							e.key, r.Value, r.Found, e.val, e.found)
+					}
+				case OpDelete:
+					if r.Found != e.found {
+						t.Fatalf("streamed Delete(%d) = %v; submit-time oracle %v", e.key, r.Found, e.found)
+					}
+				}
+			}
+			window = window[:0]
+		}
+		for i := 0; i < 2000; i++ {
+			key := uint64(rng.Intn(keySpace)) + 1
+			switch r := rng.Intn(100); {
+			case r < 50:
+				v := rng.Uint64() | 1
+				window = append(window, expect{fut: s.Submit(PutOp(key, v)), kind: OpPut, key: key})
+				oracle[key] = v
+			case r < 85:
+				ov, ok := oracle[key]
+				window = append(window, expect{fut: s.Submit(GetOp(key)), kind: OpGet, key: key, val: ov, found: ok})
+			default:
+				_, ok := oracle[key]
+				window = append(window, expect{fut: s.Submit(DeleteOp(key)), kind: OpDelete, key: key, found: ok})
+				delete(oracle, key)
+			}
+			if len(window) >= 64 {
+				drain()
+			}
+		}
+		drain()
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Concurrent sessions: two depth-8 sessions on different compute servers
+	// drive disjoint key ranges through the shared multiplexed connections
+	// at once; each verifies against its own oracle.
+	{
+		var wg sync.WaitGroup
+		errs := make(chan error, 2)
+		for w := 0; w < 2; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				s, err := tree.SessionAt(w, PipelineDepth(8))
+				if err != nil {
+					errs <- err
+					return
+				}
+				base := uint64(10_000 + w*10_000)
+				local := make(map[uint64]uint64)
+				lr := rand.New(rand.NewSource(int64(100 + w)))
+				for i := 0; i < 1500; i++ {
+					key := base + uint64(lr.Intn(512)) + 1
+					switch r := lr.Intn(100); {
+					case r < 50:
+						v := lr.Uint64() | 1
+						if err := s.PutE(key, v); err != nil {
+							errs <- err
+							return
+						}
+						local[key] = v
+					case r < 85:
+						v, ok, err := s.GetE(key)
+						if err != nil {
+							errs <- err
+							return
+						}
+						ov, ook := local[key]
+						if ok != ook || (ok && v != ov) {
+							errs <- fmt.Errorf("worker %d: Get(%d) = %d,%v; oracle %d,%v", w, key, v, ok, ov, ook)
+							return
+						}
+					default:
+						found, err := s.DeleteE(key)
+						if err != nil {
+							errs <- err
+							return
+						}
+						if _, ook := local[key]; found != ook {
+							errs <- fmt.Errorf("worker %d: Delete(%d) = %v; oracle %v", w, key, found, ook)
+							return
+						}
+						delete(local, key)
+					}
+				}
+				if err := s.Flush(); err != nil {
+					errs <- err
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+	}
+
+	// The Stats opcode surfaces per-server load over TCP.
+	loads := c.MemoryServerLoads()
+	if len(loads) != 2 {
+		t.Fatalf("MemoryServerLoads over tcp = %d servers, want 2", len(loads))
+	}
+	var totalOps int64
+	for _, l := range loads {
+		if l.Dead || l.Draining {
+			t.Fatalf("unexpected load state %+v", l)
+		}
+		totalOps += l.InboundOps
+	}
+	if totalOps == 0 {
+		t.Fatal("MemoryServerLoads over tcp reported zero inbound ops")
+	}
+	if skew := LoadSkew(loads); skew < 1 {
+		t.Fatalf("LoadSkew over tcp = %v, want >= 1", skew)
 	}
 
 	// Sim-only surfaces must refuse cleanly on this cluster.
